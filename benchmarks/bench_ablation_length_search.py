@@ -1,0 +1,16 @@
+"""Ablation: the [0.5W, 2W] length search vs fixed-length matching."""
+
+from conftest import CAMPAIGN, print_summaries
+
+from repro.experiments import figures
+
+
+def test_ablation_length_search(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: figures.ablation_length_search(**CAMPAIGN), rounds=1, iterations=1
+    )
+    print_summaries(capsys, "Ablation: match-length search", result)
+    search = result["length search [0.5W,2W]"]["summary"].median_deg
+    fixed = result["fixed length W"]["summary"].median_deg
+    # Sec. 3.4.4: the speed mismatch needs the length search.
+    assert search < fixed

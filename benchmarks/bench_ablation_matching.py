@@ -1,0 +1,21 @@
+"""Ablation: DTW series matching vs single-point and rigid matching.
+
+The paper rejects single-point inversion (Eq. 5) for its ambiguity.  In
+our simulated channel the phase-orientation curve is smoother than the
+hardware's, so the single-point baseline is closer than the paper found —
+what separates the trackers here is tail behaviour and robustness, which
+EXPERIMENTS.md discusses.
+"""
+
+from conftest import CAMPAIGN, print_summaries
+
+from repro.experiments import figures
+
+
+def test_ablation_matching(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: figures.ablation_matching(**CAMPAIGN), rounds=1, iterations=1
+    )
+    print_summaries(capsys, "Ablation: matching strategy", result)
+    vihot = result["vihot (dtw series)"]["summary"]
+    assert vihot.median_deg < 10.0

@@ -1,0 +1,16 @@
+"""Ablation: position-orientation joint profiling vs one position."""
+
+from conftest import CAMPAIGN, print_summaries
+
+from repro.experiments import figures
+
+
+def test_ablation_position(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: figures.ablation_position(**CAMPAIGN), rounds=1, iterations=1
+    )
+    print_summaries(capsys, "Ablation: profiled head positions", result)
+    many = result["10 positions"]["summary"].median_deg
+    one = result["1 position"]["summary"].median_deg
+    # The joint design is the paper's contribution; it must matter.
+    assert many < one

@@ -1,0 +1,15 @@
+"""Sec. 7 extension: ViHOT on a 5 GHz channel vs the prototype's 2.4 GHz."""
+
+from conftest import CAMPAIGN, print_summaries
+
+from repro.experiments.extensions import extension_5ghz
+
+
+def test_extension_5ghz(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: extension_5ghz(**CAMPAIGN), rounds=1, iterations=1
+    )
+    print_summaries(capsys, "Sec. 7 extension: carrier band", result)
+    # Both bands work; the paper expects 5 GHz to be at least as good.
+    assert result["5GHz"]["summary"].median_deg < 12.0
+    assert result["2.4GHz"]["summary"].median_deg < 12.0

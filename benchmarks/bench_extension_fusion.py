@@ -1,0 +1,17 @@
+"""Sec. 7 extension: camera+CSI sensor fusion vs camera duty cycle."""
+
+from conftest import CAMPAIGN, print_summaries
+
+from repro.experiments.extensions import extension_fusion
+
+
+def test_extension_fusion(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: extension_fusion(**CAMPAIGN), rounds=1, iterations=1
+    )
+    print_summaries(capsys, "Sec. 7 extension: camera fusion", result)
+    pure = result["camera duty 0%"]["summary"]
+    fused = result["camera duty 100%"]["summary"]
+    # Fusion must not hurt, and pure ViHOT must already be in band.
+    assert pure.median_deg < 10.0
+    assert fused.mean_deg <= pure.mean_deg + 1.0

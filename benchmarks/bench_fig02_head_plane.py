@@ -1,0 +1,18 @@
+"""Fig. 2: the driver's head turns within the 2-D horizontal plane."""
+
+import numpy as np
+
+from repro.experiments import figures
+
+
+def test_fig02_head_plane(benchmark, capsys):
+    data = benchmark.pedantic(
+        lambda: figures.fig02_head_plane(duration_s=12.0), rounds=1, iterations=1
+    )
+    yaw = np.abs(data["yaw_deg"]).max()
+    pitch = np.abs(data["pitch_deg"]).max()
+    roll = np.abs(data["roll_deg"]).max()
+    with capsys.disabled():
+        print(f"\nFig. 2 peak projections: yaw {yaw:.1f} deg, "
+              f"pitch {pitch:.1f} deg, roll {roll:.1f} deg")
+    assert yaw > 3 * max(pitch, roll)

@@ -1,0 +1,29 @@
+"""Fig. 3: CSI phase vs head orientation, parallel curves per position."""
+
+import numpy as np
+
+from repro.experiments import figures
+
+
+def test_fig03_phase_curves(benchmark, capsys):
+    data = benchmark.pedantic(
+        lambda: figures.fig03_phase_curves(leans_m=(-0.02, 0.0, 0.02)),
+        rounds=1,
+        iterations=1,
+    )
+    with capsys.disabled():
+        print("\nFig. 3 phase-at-orientation by head position (rad):")
+        grid = (-60.0, -30.0, 0.0, 30.0, 60.0)
+        for lean, curves in data.items():
+            samples = []
+            for theta in grid:
+                mask = np.abs(curves["orientation_deg"] - theta) < 3.0
+                samples.append(float(np.median(curves["phase_rad"][mask])))
+            row = "  ".join(f"{v:+.2f}" for v in samples)
+            print(f"  lean {lean * 100:+.0f} cm: {row}")
+    # Parallel curves: distinct facing-front levels per position.
+    fronts = [
+        np.median(c["phase_rad"][np.abs(c["orientation_deg"]) < 3.0])
+        for c in data.values()
+    ]
+    assert np.ptp(fronts) > 0.02

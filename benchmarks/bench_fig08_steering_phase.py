@@ -1,0 +1,21 @@
+"""Fig. 8: steering-wheel turning affects the CSI phase."""
+
+import numpy as np
+
+from repro.experiments import figures
+
+
+def test_fig08_steering_phase(benchmark, capsys):
+    data = benchmark.pedantic(
+        lambda: figures.fig08_steering_phase(segment_s=6.0), rounds=1, iterations=1
+    )
+    boundary = data["segment_boundary_s"]
+    head = data["time_s"] < boundary
+    wheel = ~head
+    head_swing = np.ptp(data["phase_rad"][head])
+    wheel_swing = np.ptp(data["phase_rad"][wheel])
+    with capsys.disabled():
+        print(f"\nFig. 8 phase swing: head-turn segment {head_swing:.2f} rad, "
+              f"steering-only segment {wheel_swing:.2f} rad "
+              f"(head still: {np.ptp(data['head_yaw_deg'][wheel]):.2f} deg)")
+    assert wheel_swing > 0.1  # steering moves the phase with no head motion

@@ -1,0 +1,20 @@
+"""Fig. 10: head-orientation prediction accuracy vs horizon."""
+
+from conftest import CAMPAIGN, print_cdfs, print_summaries
+
+from repro.experiments import figures
+
+
+def test_fig10_prediction(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: figures.fig10_prediction(**CAMPAIGN), rounds=1, iterations=1
+    )
+    rows = print_summaries(
+        capsys, "Fig. 10a: error vs prediction horizon",
+        result, key_format=lambda h: f"{h * 1000:.0f} ms",
+    )
+    print_cdfs(capsys, result, key_format=lambda h: f"{h * 1000:.0f} ms CDF")
+    # Shape: error grows with the horizon; tracking stays in the paper band.
+    means = {h: v["summary"].mean_deg for h, v in result.items()}
+    assert means[0.0] < 10.0
+    assert means[0.4] > means[0.0]

@@ -1,0 +1,18 @@
+"""Fig. 11: antenna placement changes the CSI-orientation relation."""
+
+import numpy as np
+
+from repro.experiments import figures
+
+
+def test_fig11_layout_curves(benchmark, capsys):
+    data = benchmark.pedantic(
+        lambda: figures.fig11_layout_curves(), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\nFig. 11 phase dynamic range by layout:")
+        for layout, curves in data.items():
+            print(f"  {layout:16s} {np.ptp(curves['phase_rad']):.2f} rad")
+    assert np.ptp(data["behind-driver"]["phase_rad"]) > np.ptp(
+        data["center-console"]["phase_rad"]
+    )

@@ -1,0 +1,17 @@
+"""Fig. 12: tracking accuracy under the five RX antenna placements."""
+
+from conftest import CAMPAIGN, print_summaries
+
+from repro.experiments import figures
+
+
+def test_fig12_antenna_layouts(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: figures.fig12_antenna_layouts(**CAMPAIGN), rounds=1, iterations=1
+    )
+    rows = print_summaries(capsys, "Fig. 12: error by antenna layout", result)
+    medians = {k: v["summary"].median_deg for k, v in result.items()}
+    # Layout 1 (behind-driver) wins, by a wide margin (paper: <5 vs ~20).
+    best = medians.pop("behind-driver")
+    assert best < 10.0
+    assert all(best < other for other in medians.values())

@@ -1,0 +1,20 @@
+"""Fig. 13a: accuracy vs profiling-to-runtime interval."""
+
+from conftest import CAMPAIGN, print_summaries
+
+from repro.experiments import figures
+
+
+def test_fig13a_profile_interval(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: figures.fig13a_profile_interval(**CAMPAIGN), rounds=1, iterations=1
+    )
+    print_summaries(capsys, "Fig. 13a: error by profiling interval", result)
+    medians = {k: v["summary"].median_deg for k, v in result.items()}
+    # 1 minute (same seating) is best; the re-seated intervals cluster
+    # together (Sec. 5.2.4) and stay within the paper's ~10 deg band.
+    assert medians["1 minute"] <= min(
+        medians["1 hour"], medians["1 day"], medians["1 week"]
+    )
+    for interval in ("1 hour", "1 day", "1 week"):
+        assert medians[interval] < 20.0

@@ -1,0 +1,20 @@
+"""Fig. 13b: accuracy vs CSI input window size."""
+
+from conftest import CAMPAIGN, print_summaries
+
+from repro.experiments import figures
+
+
+def test_fig13b_window_size(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: figures.fig13b_window_size(**CAMPAIGN), rounds=1, iterations=1
+    )
+    print_summaries(
+        capsys, "Fig. 13b: error by window size",
+        result, key_format=lambda w: f"{w * 1000:.0f} ms",
+    )
+    medians = {w: v["summary"].median_deg for w, v in result.items()}
+    # The paper: even 10 ms stays usable (~7 deg); 100 ms comfortably in band.
+    assert medians[0.01] < 15.0
+    assert medians[0.1] < 10.0
+    assert medians[0.1] <= medians[0.01]

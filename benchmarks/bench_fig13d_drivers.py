@@ -1,0 +1,15 @@
+"""Fig. 13d: accuracy across the three test drivers."""
+
+from conftest import CAMPAIGN, print_summaries
+
+from repro.experiments import figures
+
+
+def test_fig13d_drivers(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: figures.fig13d_drivers(**CAMPAIGN), rounds=1, iterations=1
+    )
+    print_summaries(capsys, "Fig. 13d: error by driver", result)
+    # The paper: median tracking error always below 10 degrees.
+    for driver, v in result.items():
+        assert v["summary"].median_deg < 10.0, f"driver {driver} out of band"

@@ -1,0 +1,16 @@
+"""Fig. 15: phase variation of cabin micro-motions vs head turning."""
+
+from repro.experiments import figures
+
+
+def test_fig15_micromotions(benchmark, capsys):
+    data = benchmark.pedantic(
+        lambda: figures.fig15_micromotions(duration_s=6.0), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\nFig. 15 phase standard deviation (rad):")
+        for label, v in data.items():
+            print(f"  {label:22s} {v['phase_std_rad']:.4f}")
+    turning = data["head turning"]["phase_std_rad"]
+    for label in ("breathing+blinking", "intense eye motion", "music vibration"):
+        assert data[label]["phase_std_rad"] < 0.15 * turning

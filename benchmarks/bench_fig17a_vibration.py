@@ -1,0 +1,17 @@
+"""Fig. 17a: tracking accuracy with and without antenna vibration."""
+
+from conftest import CAMPAIGN, print_summaries
+
+from repro.experiments import figures
+
+
+def test_fig17a_vibration(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: figures.fig17a_vibration(**CAMPAIGN), rounds=1, iterations=1
+    )
+    print_summaries(capsys, "Fig. 17a: antenna vibration", result)
+    with_v = result["w/ ant vibration"]["summary"].median_deg
+    without = result["w/o ant vibration"]["summary"].median_deg
+    # Paper: vibration costs accuracy but the median stays ~6 deg.
+    assert with_v >= without
+    assert with_v < 12.0

@@ -1,0 +1,20 @@
+"""Fig. 17b: the driver-steering identifier on vs off."""
+
+from conftest import CAMPAIGN, print_summaries
+
+from repro.experiments import figures
+
+
+def test_fig17b_steering_identifier(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: figures.fig17b_steering_identifier(**CAMPAIGN),
+        rounds=1,
+        iterations=1,
+    )
+    print_summaries(capsys, "Fig. 17b: steering identifier", result)
+    off = result["w/o steering identifier"]["summary"]
+    on = result["w/ steering identifier"]["summary"]
+    # Identifier improves the turn-polluted tail (paper: errors up to ~80
+    # deg without it).
+    assert on.p90_deg < off.p90_deg
+    assert off.max_deg > 25.0

@@ -1,0 +1,17 @@
+"""Fig. 17c: tracking accuracy with and without a front passenger."""
+
+from conftest import CAMPAIGN, print_summaries
+
+from repro.experiments import figures
+
+
+def test_fig17c_passenger(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: figures.fig17c_passenger(**CAMPAIGN), rounds=1, iterations=1
+    )
+    print_summaries(capsys, "Fig. 17c: passenger", result)
+    with_p = result["w/ passenger"]["summary"]
+    without = result["w/o passenger"]["summary"]
+    # Paper: "very similar performance for these two cases".
+    assert abs(with_p.median_deg - without.median_deg) < 5.0
+    assert with_p.max_deg < 60.0

@@ -1,0 +1,19 @@
+"""Fig. 17d: tracking accuracy under interfering WiFi traffic."""
+
+from conftest import CAMPAIGN, print_summaries
+
+from repro.experiments import figures
+
+
+def test_fig17d_interference(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: figures.fig17d_interference(**CAMPAIGN), rounds=1, iterations=1
+    )
+    print_summaries(capsys, "Fig. 17d: WiFi interference", result)
+    busy = result["w/ WiFi interference"]["summary"]
+    clean = result["w/o WiFi interference"]["summary"]
+    # Paper: degradation, but still ~10 deg median.  At this reduced
+    # scale the penalty is within seed noise (EXPERIMENTS.md discusses),
+    # so assert the band and near-ordering rather than a strict one.
+    assert busy.median_deg >= clean.median_deg - 1.0
+    assert busy.median_deg < 15.0

@@ -1,0 +1,44 @@
+"""Micro-benchmarks of the computational kernels (real timing runs).
+
+These are the only benches measuring steady-state throughput rather than
+regenerating a figure: the batched DTW matcher (the run-time hot path,
+Alg. 1), CSI synthesis (Eq. 1) and the sanitiser (Sec. 3.2).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.sanitize import sanitize_stream
+from repro.dsp.dtw import batched_dtw_distance
+from repro.rf.multipath import synthesize_csi
+
+
+@pytest.fixture(scope="module")
+def dtw_inputs():
+    rng = np.random.default_rng(0)
+    query = rng.uniform(-np.pi, np.pi, 20)
+    candidates = rng.uniform(-np.pi, np.pi, (400, 40))
+    return query, candidates
+
+
+def test_batched_dtw_throughput(benchmark, dtw_inputs):
+    query, candidates = dtw_inputs
+    result = benchmark(batched_dtw_distance, query, candidates, None, "circular")
+    assert len(result) == 400
+
+
+def test_csi_synthesis_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    lengths = rng.uniform(0.5, 3.0, (5000, 10))
+    amps = rng.uniform(0.0, 0.01, (5000, 10))
+    wavelengths = 0.123 + 0.0001 * np.arange(30)
+    csi = benchmark(synthesize_csi, lengths, amps, wavelengths)
+    assert csi.shape == (5000, 30)
+
+
+def test_sanitizer_throughput(benchmark):
+    rng = np.random.default_rng(2)
+    csi = rng.normal(size=(5000, 2, 30)) + 1j * rng.normal(size=(5000, 2, 30))
+    times = np.linspace(0, 10, 5000)
+    series = benchmark(sanitize_stream, times, csi)
+    assert len(series) == 5000

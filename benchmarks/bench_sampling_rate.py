@@ -1,0 +1,20 @@
+"""The sampling-rate table: 500/400 Hz CSI vs the 30 fps camera."""
+
+from repro.experiments import figures
+
+
+def test_sampling_rate(benchmark, capsys):
+    rates = benchmark.pedantic(
+        lambda: figures.sampling_rate(duration_s=10.0), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\nSampling-rate table:")
+        print(f"  CSI clean:      {rates['csi_rate_hz_clean']:6.0f} Hz "
+              f"(max gap {rates['max_gap_ms_clean']:.0f} ms)")
+        print(f"  CSI interfered: {rates['csi_rate_hz_interfered']:6.0f} Hz "
+              f"(max gap {rates['max_gap_ms_interfered']:.0f} ms)")
+        print(f"  Camera:         {rates['camera_rate_hz']:6.0f} Hz "
+              f"-> {rates['speedup_clean']:.1f}x speedup")
+    assert rates["speedup_clean"] > 10.0
+    assert rates["max_gap_ms_clean"] <= 34.0 + 1e-6
+    assert rates["max_gap_ms_interfered"] <= 49.0 + 1e-6

@@ -1,0 +1,37 @@
+"""Shared benchmark scaffolding.
+
+Every bench regenerates one of the paper's tables/figures at a reduced
+scale (one session, ~10 s run time instead of 10 x 60 s) and prints the
+same rows/series the paper plots.  Pass ``--benchmark-only`` as in the
+README to run them; the printed tables are the reproduction artefacts.
+"""
+
+import numpy as np
+import pytest
+
+#: Reduced campaign scale used by all campaign-style benches.
+CAMPAIGN = dict(num_sessions=1, runtime_duration_s=10.0, seed=0)
+
+
+def print_summaries(capsys, title, result, key_format=str):
+    """Render an arm->summary dict as the paper's figure rows."""
+    from repro.experiments.report import format_summary_table
+
+    rows = {key_format(k): v["summary"] for k, v in result.items()}
+    with capsys.disabled():
+        print()
+        print(format_summary_table(rows, title=title))
+    return rows
+
+
+def print_cdfs(capsys, result, key_format=str):
+    """Render arm CDFs at the grid points the paper's plots emphasise."""
+    from repro.experiments.report import format_cdf_rows
+
+    with capsys.disabled():
+        for k, v in result.items():
+            print(format_cdf_rows(key_format(k), v["grid_deg"], v["cdf"]))
+
+
+def medians(result):
+    return {k: v["summary"].median_deg for k, v in result.items()}

@@ -1,0 +1,74 @@
+"""ViHOT — wireless CSI-based head tracking in the driver seat.
+
+A full reproduction of the CoNEXT 2018 paper, including the in-cabin RF
+simulator that stands in for the Intel 5300 testbed (see DESIGN.md for
+the substitution rationale).
+
+Quickstart::
+
+    from repro import build_scenario, run_profiling, run_campaign
+
+    scenario = build_scenario(seed=0)
+    profile = run_profiling(scenario)          # Sec. 3.3 profiling pass
+    campaign = run_campaign(scenario, profile=profile)
+    print(campaign.summary())                  # median angular error etc.
+
+The layers, bottom-up: :mod:`repro.geometry` and :mod:`repro.dsp`
+(math), :mod:`repro.rf` (channel physics), :mod:`repro.cabin` (the car
+world), :mod:`repro.sensors` and :mod:`repro.net` (measurement front
+ends), :mod:`repro.core` (the ViHOT system itself),
+:mod:`repro.baselines` and :mod:`repro.experiments` (evaluation).
+"""
+
+from repro.core.config import ViHOTConfig
+from repro.core.profile import CsiProfile, PositionProfile
+from repro.core.profiling import ProfileBuilder, build_position_profile
+from repro.core.diagnostics import TrackingHealth, diagnose, should_reprofile
+from repro.core.fusion import FusedTracker, FusionConfig
+from repro.core.online import OnlineTracker
+from repro.core.quality import ProfileQuality, assess_profile
+from repro.core.tracker import Estimate, TrackingResult, ViHOTTracker
+from repro.experiments.runner import (
+    CampaignResult,
+    SessionResult,
+    run_campaign,
+    run_profiling,
+    run_tracking_session,
+)
+from repro.experiments.scenarios import (
+    DRIVERS,
+    Scenario,
+    ScenarioConfig,
+    build_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ViHOTConfig",
+    "CsiProfile",
+    "PositionProfile",
+    "ProfileBuilder",
+    "build_position_profile",
+    "ViHOTTracker",
+    "TrackingResult",
+    "Estimate",
+    "OnlineTracker",
+    "FusedTracker",
+    "FusionConfig",
+    "TrackingHealth",
+    "diagnose",
+    "should_reprofile",
+    "ProfileQuality",
+    "assess_profile",
+    "Scenario",
+    "ScenarioConfig",
+    "build_scenario",
+    "DRIVERS",
+    "run_profiling",
+    "run_tracking_session",
+    "run_campaign",
+    "CampaignResult",
+    "SessionResult",
+    "__version__",
+]

@@ -1,0 +1,11 @@
+"""Baselines ViHOT is compared against (and ablations of its design)."""
+
+from repro.baselines.pointmap import PointMappingTracker
+from repro.baselines.nearest import NearestFingerprintTracker
+from repro.baselines.camera_only import CameraOnlyTracker
+
+__all__ = [
+    "PointMappingTracker",
+    "NearestFingerprintTracker",
+    "CameraOnlyTracker",
+]

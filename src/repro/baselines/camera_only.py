@@ -1,0 +1,58 @@
+"""Camera-only head tracking — the conventional solution (Sec. 2.1).
+
+Wraps :class:`repro.sensors.camera.CameraTracker` in the same
+``TrackingResult`` interface as ViHOT so the benchmarks can compare the
+two directly: sampling rate (30 fps vs 400-500 Hz), motion blur at speed,
+and night-time degradation (set ``CameraConfig.light_level`` low).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tracker import Estimate, TrackingResult
+from repro.sensors.camera import CameraConfig, CameraTracker
+
+
+class CameraOnlyTracker:
+    """Head tracking from camera frames alone."""
+
+    def __init__(
+        self,
+        scene,
+        config: CameraConfig = CameraConfig(),
+        rng: np.random.Generator = None,
+    ) -> None:
+        self._camera = CameraTracker(scene, config, rng=rng)
+
+    @property
+    def camera(self) -> CameraTracker:
+        return self._camera
+
+    def process(self, t_start: float, t_end: float) -> TrackingResult:
+        """Track ``[t_start, t_end]``; estimates appear at frame times.
+
+        Dropped frames produce gaps — downstream consumers see stale
+        estimates, exactly the motion-blur failure Sec. 2.1 describes.
+        """
+        stream = self._camera.yaw_stream(t_start, t_end)
+        result = TrackingResult()
+        values = np.asarray(stream.values)
+        for k in range(len(stream)):
+            t = float(stream.times[k])
+            result.estimates.append(
+                Estimate(
+                    time=t,
+                    target_time=t,
+                    orientation=float(values[k]),
+                    mode="camera",
+                )
+            )
+        return result
+
+    def sampling_rate_hz(self, t_start: float, t_end: float) -> float:
+        """Achieved estimate rate over a span (drops included)."""
+        stream = self._camera.yaw_stream(t_start, t_end)
+        if len(stream) < 2:
+            return 0.0
+        return (len(stream) - 1) / stream.duration

@@ -1,0 +1,96 @@
+"""Euclidean nearest-window fingerprint baseline.
+
+The classic CSI-fingerprinting recipe from indoor localisation: slide a
+fixed-length window and pick the profile segment with the smallest
+point-wise distance — no time warping, no length search.  It fails
+whenever the run-time head speed differs from the profiling speed
+(Sec. 3.4.4's motivation for DTW), which the ablation benchmark shows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import ViHOTConfig
+from repro.core.position import PositionEstimator
+from repro.core.profile import CsiProfile
+from repro.core.sanitize import sanitize_stream
+from repro.core.tracker import Estimate, TrackingResult
+from repro.dsp.phase import wrap_phase
+from repro.dsp.resample import resample_uniform
+from repro.dsp.windows import sliding_windows
+from repro.net.link import CsiStream
+
+
+class NearestFingerprintTracker:
+    """Fixed-length window matching under a plain circular-L1 distance."""
+
+    def __init__(self, profile: CsiProfile, config: ViHOTConfig = ViHOTConfig()) -> None:
+        if len(profile) == 0:
+            raise ValueError("cannot track against an empty profile")
+        self._profile = profile
+        self._config = config
+
+    def _match(self, query: np.ndarray, index: int):
+        pos = self._profile[index]
+        length = len(query)
+        if length > len(pos.phases):
+            return None
+        candidates = sliding_windows(
+            pos.phases, length, self._config.profile_stride
+        )
+        diff = np.mod(candidates - query[None, :] + np.pi, 2.0 * np.pi) - np.pi
+        distances = np.mean(np.abs(diff), axis=1)
+        k = int(np.argmin(distances))
+        end = k * self._config.profile_stride + length - 1
+        return float(pos.orientations[end]), float(distances[k])
+
+    def process(
+        self,
+        stream: CsiStream,
+        estimate_stride_s: float = 0.05,
+        t_start: Optional[float] = None,
+    ) -> TrackingResult:
+        """Track a session with rigid window matching."""
+        if estimate_stride_s <= 0:
+            raise ValueError("estimate_stride_s must be positive")
+        config = self._config
+        phase = sanitize_stream(stream.times, stream.csi)
+        position = PositionEstimator(
+            self._profile,
+            window_s=config.stable_window_s,
+            std_threshold_rad=config.stable_std_rad,
+        )
+        if t_start is None:
+            t_start = phase.start + max(config.window_s, config.stable_window_s)
+        default_position = len(self._profile) // 2
+
+        result = TrackingResult()
+        previous = None
+        t = float(t_start)
+        while t <= phase.end + 1e-9:
+            index = position.update(phase, t)
+            mode = "csi" if index is not None else "init"
+            if index is None:
+                index = default_position
+            window = phase.slice(t - config.window_s, t)
+            if len(window) >= 2 and window.duration >= 0.5 * config.window_s:
+                uniform = resample_uniform(window, config.resample_rate_hz)
+                query = wrap_phase(np.asarray(uniform.values))
+                matched = self._match(query, index) if len(query) >= 2 else None
+            else:
+                matched = None
+            if matched is None:
+                if previous is None:
+                    t += estimate_stride_s
+                    continue
+                estimate = Estimate(t, t, previous.orientation, "held", index)
+            else:
+                orientation, distance = matched
+                estimate = Estimate(t, t, orientation, mode, index, distance)
+            result.estimates.append(estimate)
+            previous = estimate
+            t += estimate_stride_s
+        return result

@@ -1,0 +1,80 @@
+"""Naive single-point inverse mapping — the strawman of Sec. 3.4.2.
+
+Eq. (5) hopes for an inverse mapping ``theta = R^{-1}(phi)`` applied to
+the instantaneous phase.  The paper rejects it because the
+phase-to-orientation relation is non-injective: this tracker implements it
+anyway (nearest profiled phase sample wins) so the ablation benchmarks can
+quantify exactly how much the DTW series matching buys.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import ViHOTConfig
+from repro.core.position import PositionEstimator
+from repro.core.profile import CsiProfile
+from repro.core.sanitize import sanitize_stream
+from repro.core.tracker import Estimate, TrackingResult
+from repro.dsp.phase import phase_difference, wrap_phase
+from repro.net.link import CsiStream
+
+
+class PointMappingTracker:
+    """Maps each instantaneous phase reading to its nearest profile sample.
+
+    Shares ViHOT's sanitisation and position estimation so the comparison
+    isolates the series-matching stage.
+    """
+
+    def __init__(self, profile: CsiProfile, config: ViHOTConfig = ViHOTConfig()) -> None:
+        if len(profile) == 0:
+            raise ValueError("cannot track against an empty profile")
+        self._profile = profile
+        self._config = config
+
+    def process(
+        self,
+        stream: CsiStream,
+        estimate_stride_s: float = 0.05,
+        t_start: Optional[float] = None,
+    ) -> TrackingResult:
+        """Track a session with per-sample inverse mapping."""
+        if estimate_stride_s <= 0:
+            raise ValueError("estimate_stride_s must be positive")
+        config = self._config
+        phase = sanitize_stream(stream.times, stream.csi)
+        position = PositionEstimator(
+            self._profile,
+            window_s=config.stable_window_s,
+            std_threshold_rad=config.stable_std_rad,
+        )
+        if t_start is None:
+            t_start = phase.start + config.stable_window_s
+        default_position = len(self._profile) // 2
+
+        result = TrackingResult()
+        t = float(t_start)
+        while t <= phase.end + 1e-9:
+            index = position.update(phase, t)
+            mode = "csi" if index is not None else "init"
+            if index is None:
+                index = default_position
+            pos = self._profile[index]
+            phi = wrap_phase(float(phase.value_at(t)))
+            distances = np.abs(phase_difference(pos.phases, phi))
+            k = int(np.argmin(distances))
+            result.estimates.append(
+                Estimate(
+                    time=t,
+                    target_time=t,
+                    orientation=float(pos.orientations[k]),
+                    mode=mode,
+                    position_index=index,
+                    dtw_distance=float(distances[k]),
+                )
+            )
+            t += estimate_stride_s
+        return result

@@ -1,0 +1,44 @@
+"""Cabin world model: geometry, occupants, motions and the RF scene."""
+
+from repro.cabin.geometry import CabinLayout, rx_layout, RX_LAYOUT_NAMES
+from repro.cabin.head import HeadModel
+from repro.cabin.driver import (
+    DriverProfile,
+    YawTrajectory,
+    scan_trajectory,
+    glance_trajectory,
+    constant_trajectory,
+    HeadPositionModel,
+)
+from repro.cabin.steering import SteeringModel, SteeringTrajectory
+from repro.cabin.vehicle import VehicleKinematics
+from repro.cabin.passenger import PassengerModel
+from repro.cabin.micromotion import (
+    BreathingMotion,
+    EyeBlinkMotion,
+    MusicVibrationMotion,
+)
+from repro.cabin.vibration import VibrationModel
+from repro.cabin.scene import CabinScene
+
+__all__ = [
+    "CabinLayout",
+    "rx_layout",
+    "RX_LAYOUT_NAMES",
+    "HeadModel",
+    "DriverProfile",
+    "YawTrajectory",
+    "scan_trajectory",
+    "glance_trajectory",
+    "constant_trajectory",
+    "HeadPositionModel",
+    "SteeringModel",
+    "SteeringTrajectory",
+    "VehicleKinematics",
+    "PassengerModel",
+    "BreathingMotion",
+    "EyeBlinkMotion",
+    "MusicVibrationMotion",
+    "VibrationModel",
+    "CabinScene",
+]

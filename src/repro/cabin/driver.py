@@ -1,0 +1,248 @@
+"""Driver behaviour: head-yaw trajectories and head-position dynamics.
+
+Two trajectory families matter for ViHOT:
+
+* ``scan_trajectory`` — the profiling motion of Sec. 3.3: the driver
+  sweeps the head continuously from the anatomic leftmost to the rightmost
+  orientation and back, at a deliberate speed, for ~10 s per head position.
+* ``glance_trajectory`` — run-time driving: mostly facing the road, with
+  quick mirror checks and shoulder glances at 100-150 deg/s (Sec. 5.1's
+  "normal head-turning speed around 100-120 deg/s").
+
+``HeadPositionModel`` adds what makes the problem two-level (Sec. 3.4):
+the head centre is not fixed.  A lean offset models the discrete profiled
+positions (Fig. 5) and re-seating shifts (Sec. 5.2.4); a slow
+Ornstein-Uhlenbeck sway models natural postural drift within a trip.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.cabin.geometry import DRIVER_HEAD_CENTER
+from repro.cabin.head import HeadModel
+from repro.cabin.trajectory import PiecewiseTrajectory, TrajectoryBuilder
+
+# Re-export under the domain name used throughout the tracker code.
+YawTrajectory = PiecewiseTrajectory
+
+
+def constant_trajectory(
+    duration_s: float, yaw_rad: float = 0.0, t_start: float = 0.0
+) -> YawTrajectory:
+    """Head held at a fixed yaw (facing front by default)."""
+    return PiecewiseTrajectory.constant(yaw_rad, t_start, t_start + duration_s)
+
+
+def scan_trajectory(
+    duration_s: float,
+    amplitude_rad: float = np.deg2rad(80.0),
+    speed_rad_s: float = np.deg2rad(60.0),
+    t_start: float = 0.0,
+    rng: Optional[np.random.Generator] = None,
+    amplitude_jitter: float = 0.06,
+) -> YawTrajectory:
+    """Continuous left-right head sweeps for profiling (Sec. 3.3).
+
+    Starts facing front, swings to ``-amplitude`` (driver's left), then
+    sweeps between the extremes until ``duration_s`` is exhausted, ending
+    wherever the clock runs out.  ``rng`` adds a small per-sweep amplitude
+    jitter, mimicking that a human never hits identical end points, which
+    is part of why repeated profiling rounds give slightly different
+    curves (Fig. 3).
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    if amplitude_rad <= 0 or speed_rad_s <= 0:
+        raise ValueError("amplitude and speed must be positive")
+    builder = TrajectoryBuilder(t_start, 0.0)
+    target_sign = -1.0
+    t_end = t_start + duration_s
+    while builder.time < t_end:
+        jitter = 0.0
+        if rng is not None:
+            jitter = rng.normal(0.0, amplitude_jitter * amplitude_rad)
+        target = target_sign * amplitude_rad + jitter
+        builder.ramp_to(target, speed_rad_s)
+        target_sign = -target_sign
+    trajectory = builder.build()
+    # Trim: re-interpolate the final knot exactly at t_end.
+    end_value = float(np.interp(t_end, trajectory.knot_times, trajectory.knot_values))
+    keep = trajectory.knot_times < t_end
+    return YawTrajectory(
+        np.append(trajectory.knot_times[keep], t_end),
+        np.append(trajectory.knot_values[keep], end_value),
+        trajectory.smoothing_s,
+    )
+
+
+def glance_trajectory(
+    duration_s: float,
+    rng: np.random.Generator,
+    speed_rad_s: float = np.deg2rad(110.0),
+    glances_per_minute: float = 14.0,
+    max_glance_rad: float = np.deg2rad(85.0),
+    min_glance_rad: float = np.deg2rad(25.0),
+    dwell_range_s: tuple = (0.25, 0.9),
+    t_start: float = 0.0,
+) -> YawTrajectory:
+    """Run-time driving: face front, with randomly timed quick glances.
+
+    Glance targets are drawn uniformly in ``[min, max]`` degrees with a
+    random side (mirrors on both sides); the head dwells briefly at the
+    target and returns to front — matching how Sec. 5.1 describes typical
+    driving ("drivers ... will never keep the neck twisted for a long
+    time").
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    if glances_per_minute <= 0:
+        raise ValueError("glances_per_minute must be positive")
+    builder = TrajectoryBuilder(t_start, 0.0)
+    t_end = t_start + duration_s
+    mean_gap = 60.0 / glances_per_minute
+    while True:
+        gap = float(rng.uniform(0.45 * mean_gap, 1.55 * mean_gap))
+        if builder.time + gap >= t_end:
+            break
+        builder.hold(gap)
+        side = 1.0 if rng.random() < 0.5 else -1.0
+        target = side * float(rng.uniform(min_glance_rad, max_glance_rad))
+        dwell = float(rng.uniform(*dwell_range_s))
+        builder.ramp_to(target, speed_rad_s)
+        builder.hold(dwell)
+        builder.ramp_to(0.0, speed_rad_s)
+    if builder.time < t_end:
+        builder.hold(t_end - builder.time)
+    return builder.build()
+
+
+@dataclass(frozen=True)
+class HeadPositionModel:
+    """Head-centre track: lean offset + deterministic slow sway.
+
+    The sway is an OU process realised once (from ``seed``) on a coarse
+    grid covering ``horizon_s``, so every query with the same model sees
+    the same world — profiling, channel synthesis and ground-truth reads
+    must agree on where the head was.
+
+    Attributes:
+        base_center: nominal head centre [m].
+        lean_m: forward/backward lean along +x (positive = toward rear,
+            i.e. leaning back).  The profiled positions of Fig. 5 differ
+            in this coordinate.
+        sway_std_m: standard deviation of the postural sway per axis.
+        sway_tau_s: OU correlation time of the sway.
+        seed: RNG seed realising the sway path.
+        horizon_s: time horizon the sway path covers.
+    """
+
+    base_center: np.ndarray = field(default_factory=lambda: DRIVER_HEAD_CENTER.copy())
+    lean_m: float = 0.0
+    sway_std_m: float = 0.0012
+    sway_tau_s: float = 6.0
+    seed: int = 7
+    horizon_s: float = 900.0
+
+    _GRID_HZ = 20.0
+
+    def __post_init__(self) -> None:
+        center = np.asarray(self.base_center, dtype=np.float64)
+        if center.shape != (3,):
+            raise ValueError(f"base_center must be a 3-vector, got {center.shape}")
+        if self.sway_std_m < 0:
+            raise ValueError("sway_std_m must be non-negative")
+        if self.sway_tau_s <= 0 or self.horizon_s <= 0:
+            raise ValueError("sway_tau_s and horizon_s must be positive")
+        object.__setattr__(self, "base_center", center)
+        object.__setattr__(self, "_sway_cache", None)
+
+    def _sway_path(self):
+        """Lazily realise the sway on a coarse grid (deterministic)."""
+        if self._sway_cache is None:
+            rng = np.random.default_rng(self.seed)
+            n = int(self.horizon_s * self._GRID_HZ) + 2
+            grid = np.arange(n) / self._GRID_HZ
+            dt = 1.0 / self._GRID_HZ
+            rho = np.exp(-dt / self.sway_tau_s)
+            innovation = self.sway_std_m * np.sqrt(1.0 - rho**2)
+            path = np.empty((n, 3))
+            path[0] = rng.normal(0.0, self.sway_std_m, 3)
+            noise = rng.normal(0.0, innovation, (n - 1, 3))
+            for k in range(1, n):
+                path[k] = rho * path[k - 1] + noise[k - 1]
+            object.__setattr__(self, "_sway_cache", (grid, path))
+        return self._sway_cache
+
+    def centers(self, times: np.ndarray) -> np.ndarray:
+        """Head centre positions, shape ``(T, 3)``."""
+        times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+        if np.any(times < 0) or np.any(times > self.horizon_s):
+            raise ValueError(
+                f"times outside the realised horizon [0, {self.horizon_s}]"
+            )
+        base = self.base_center + np.array([self.lean_m, 0.0, 0.0])
+        if self.sway_std_m == 0.0:
+            return np.broadcast_to(base, (len(times), 3)).copy()
+        grid, path = self._sway_path()
+        sway = np.stack(
+            [np.interp(times, grid, path[:, d]) for d in range(3)], axis=1
+        )
+        return base[None, :] + sway
+
+    def with_lean(self, lean_m: float, seed: Optional[int] = None) -> "HeadPositionModel":
+        """Copy with a different lean (a new profiled head position)."""
+        return HeadPositionModel(
+            base_center=self.base_center,
+            lean_m=lean_m,
+            sway_std_m=self.sway_std_m,
+            sway_tau_s=self.sway_tau_s,
+            seed=self.seed if seed is None else seed,
+            horizon_s=self.horizon_s,
+        )
+
+
+@dataclass(frozen=True)
+class DriverProfile:
+    """Per-driver physical traits (Sec. 5.2.5 tests three drivers).
+
+    Attributes:
+        name: label ("A", "B", "C").
+        head_radius_m: blocking-sphere radius.
+        head_height_m: head-centre height offset from the nominal centre
+            (taller drivers sit higher).
+        turn_speed_rad_s: habitual glance speed.
+        face_scale: scales the scattering-centre offsets (head size).
+    """
+
+    name: str = "A"
+    head_radius_m: float = 0.095
+    head_height_m: float = 0.0
+    turn_speed_rad_s: float = np.deg2rad(110.0)
+    face_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.head_radius_m <= 0 or self.face_scale <= 0:
+            raise ValueError("head_radius_m and face_scale must be positive")
+        if self.turn_speed_rad_s <= 0:
+            raise ValueError("turn_speed_rad_s must be positive")
+
+    def head_model(self) -> HeadModel:
+        """HeadModel with this driver's scaled scattering geometry."""
+        base = HeadModel()
+        coeffs = tuple(c * self.face_scale for c in base.depth_coeffs)
+        return HeadModel(
+            radius=self.head_radius_m,
+            rcs_m2=base.rcs_m2 * self.face_scale,
+            depth_coeffs=coeffs,
+            lateral_swing_m=base.lateral_swing_m * self.face_scale,
+            name_prefix=f"driver-{self.name}",
+        )
+
+    def position_model(self, lean_m: float = 0.0, seed: int = 7) -> HeadPositionModel:
+        """HeadPositionModel at this driver's seat height."""
+        center = DRIVER_HEAD_CENTER + np.array([0.0, 0.0, self.head_height_m])
+        return HeadPositionModel(base_center=center, lean_m=lean_m, seed=seed)

@@ -1,0 +1,141 @@
+"""Cabin geometry: the car frame, antenna layouts and static clutter.
+
+Frame convention (DESIGN.md): origin at the phone mount on the dashboard
+in front of the driver; +x toward the car's rear (the driver sits at +x),
++y toward the passenger side, +z up.  A mid-size sedan cabin (the paper's
+Toyota Camry) spans roughly 1.9 m (x) x 1.45 m (y) x 1.2 m (z) around the
+front seats.
+
+Five RX-antenna layouts mirror Sec. 5.2.2:
+
+1. ``behind-driver`` (the paper's Fig. 9 / best layout): one antenna
+   behind the driver's head so its LOS is blocked and its phase is
+   dominated by the head reflection, the other near the rear-view mirror
+   with a clean LOS reference.
+2. ``center-console``: both antennas low on the centre console.
+3. ``rear-shelf``: both far back on the parcel shelf.
+4. ``a-pillars``: one antenna on each A-pillar.
+5. ``overhead``: both in an overhead console, close together.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.geometry.vec import normalize, vec3
+from repro.rf.antenna import Antenna, DipolePattern, IsotropicPattern
+from repro.rf.surfaces import ReflectingPlane, default_cabin_surfaces
+
+#: The phone mount on the dashboard — the car frame's origin [m].
+PHONE_POSITION = vec3(0.0, 0.0, 0.0)
+
+#: Nominal driver head centre in the car frame [m].
+DRIVER_HEAD_CENTER = vec3(0.55, 0.0, 0.15)
+
+#: Nominal front passenger head centre [m].
+PASSENGER_HEAD_CENTER = vec3(0.55, 0.70, 0.15)
+
+#: Steering wheel hub centre [m] (between the phone and the driver).
+STEERING_WHEEL_CENTER = vec3(0.28, 0.0, -0.12)
+
+#: Steering wheel rim radius [m].
+STEERING_WHEEL_RADIUS = 0.19
+
+#: Cabin bounding box for static clutter, (min, max) corners [m].
+CABIN_BOUNDS = (vec3(0.05, -0.55, -0.45), vec3(1.85, 0.90, 0.65))
+
+_RX_LAYOUTS: Dict[str, Tuple[Tuple[float, float, float], ...]] = {
+    "behind-driver": ((1.05, 0.00, 0.33), (0.25, 0.25, 0.35)),
+    "center-console": ((0.45, 0.35, -0.15), (0.50, 0.42, -0.15)),
+    "rear-shelf": ((1.75, -0.25, 0.30), (1.75, 0.30, 0.30)),
+    "a-pillars": ((0.10, -0.45, 0.40), (0.10, 0.78, 0.40)),
+    "overhead": ((0.35, 0.18, 0.60), (0.35, 0.30, 0.60)),
+}
+
+#: Layout names in the paper's "Layout 1..5" order.
+RX_LAYOUT_NAMES: Tuple[str, ...] = tuple(_RX_LAYOUTS.keys())
+
+
+def rx_layout(name_or_index) -> List[Antenna]:
+    """Build the RX antenna pair for a named (or 1-based indexed) layout."""
+    if isinstance(name_or_index, int):
+        if not 1 <= name_or_index <= len(RX_LAYOUT_NAMES):
+            raise ValueError(
+                f"layout index must be 1..{len(RX_LAYOUT_NAMES)}, got {name_or_index}"
+            )
+        name = RX_LAYOUT_NAMES[name_or_index - 1]
+    else:
+        name = str(name_or_index)
+    if name not in _RX_LAYOUTS:
+        raise ValueError(f"unknown layout {name!r}; choose from {RX_LAYOUT_NAMES}")
+    positions = _RX_LAYOUTS[name]
+    return [
+        Antenna(vec3(*pos), IsotropicPattern(), name=f"rx{k + 1}-{name}")
+        for k, pos in enumerate(positions)
+    ]
+
+
+@dataclass(frozen=True)
+class CabinLayout:
+    """Antenna placement plus static clutter for one cabin configuration.
+
+    Attributes:
+        tx_antenna: the phone.  By default its dipole axis points at the
+            passenger's head, the Sec. 3.5 placement that puts the
+            radiation null on the passenger.
+        rx_antennas: the receiver NIC's antennas.
+        num_clutter: how many static scatterers to scatter through the
+            cabin (seats, pillars, console electronics, ...).
+        clutter_seed: RNG seed for clutter placement, so one cabin keeps
+            identical clutter across profiling and run-time sessions.
+        surfaces: large planar reflectors (glass, roof) contributing
+            first-order image-method paths.
+    """
+
+    tx_antenna: Antenna = field(
+        default_factory=lambda: Antenna(
+            vec3(0.0, 0.0, 0.0),
+            DipolePattern(axis=normalize(PASSENGER_HEAD_CENTER)),
+            name="phone",
+        )
+    )
+    rx_antennas: Tuple[Antenna, ...] = field(
+        default_factory=lambda: tuple(rx_layout("behind-driver"))
+    )
+    num_clutter: int = 6
+    clutter_seed: int = 2018
+    surfaces: Tuple[ReflectingPlane, ...] = field(
+        default_factory=lambda: tuple(default_cabin_surfaces())
+    )
+
+    def __post_init__(self) -> None:
+        if self.num_clutter < 0:
+            raise ValueError(f"num_clutter must be >= 0, got {self.num_clutter}")
+        object.__setattr__(self, "rx_antennas", tuple(self.rx_antennas))
+        object.__setattr__(self, "surfaces", tuple(self.surfaces))
+
+    def static_clutter(self) -> List[Tuple[np.ndarray, float]]:
+        """Deterministic ``(position, rcs)`` list for the cabin's clutter.
+
+        Metal interior objects can be strong reflectors (footnote 2 of the
+        paper), but they are stationary, so their paths contribute a
+        constant phasor.  RCS values span 0.002-0.015 m^2 (upholstered surfaces scatter weakly; the strongest metal faces are behind the dash).
+        """
+        rng = np.random.default_rng(self.clutter_seed)
+        low, high = CABIN_BOUNDS
+        positions = rng.uniform(low, high, size=(self.num_clutter, 3))
+        rcs = rng.uniform(0.002, 0.015, size=self.num_clutter)
+        return [(positions[k], float(rcs[k])) for k in range(self.num_clutter)]
+
+    def with_rx_layout(self, name_or_index) -> "CabinLayout":
+        """Copy of this layout with a different RX antenna placement."""
+        return CabinLayout(
+            tx_antenna=self.tx_antenna,
+            rx_antennas=tuple(rx_layout(name_or_index)),
+            num_clutter=self.num_clutter,
+            clutter_seed=self.clutter_seed,
+            surfaces=self.surfaces,
+        )

@@ -1,0 +1,219 @@
+"""The driver's head as an RF object.
+
+The head is a sphere (LOS blocker) carrying an *effective scattering
+centre*.  A human head at 2.4 GHz (wavelength ~12 cm, head diameter
+~19 cm) sits in the Mie regime: the backscatter is well described by one
+dominant scattering centre whose position depends on which part of the
+head faces the illuminator.  As the head yaws, the nose (protruding),
+cheeks, ears and occiput (receding) successively face the phone, so the
+effective centre slides back and forth *along the illumination axis* by a
+few centimetres.  Both the TX->head and head->RX path lengths change by
+that depth, which at 2.4 GHz converts to a CSI phase swing of a couple of
+radians across the yaw range — the physical origin of the
+phase-vs-orientation curves of Fig. 3.
+
+The depth profile is a low-order Fourier series in yaw:
+
+    depth(theta) = c1 cos(theta) + c2 cos(2 theta) + c3 sin(theta)
+
+``c1`` captures nose-front vs flat-back, ``c2`` the cheek/ear dip on both
+sides, and ``c3`` the left-right asymmetry of a real face (noses are never
+perfectly centred, and the jawline is asymmetric) — without it, +theta and
+-theta would be indistinguishable.
+
+Yaw convention: theta = 0 faces the front of the car (-x direction, i.e.
+toward the phone); positive theta turns toward the passenger (+y).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.rf.multipath import BlockerTrack, ScattererTrack
+
+
+def facing_direction(yaw_rad: np.ndarray) -> np.ndarray:
+    """Unit vector(s) the head faces, shape ``(..., 3)``."""
+    yaw_rad = np.asarray(yaw_rad, dtype=np.float64)
+    return np.stack(
+        [-np.cos(yaw_rad), np.sin(yaw_rad), np.zeros_like(yaw_rad)], axis=-1
+    )
+
+
+def lateral_direction(yaw_rad: np.ndarray) -> np.ndarray:
+    """Unit vector(s) toward the driver's left, shape ``(..., 3)``."""
+    yaw_rad = np.asarray(yaw_rad, dtype=np.float64)
+    return np.stack(
+        [np.sin(yaw_rad), np.cos(yaw_rad), np.zeros_like(yaw_rad)], axis=-1
+    )
+
+
+@dataclass(frozen=True)
+class HeadModel:
+    """Geometry and scattering behaviour of one person's head.
+
+    Attributes:
+        radius: blocking-sphere radius [m]; adult heads are ~0.09-0.10.
+        rcs_m2: radar cross-section of the dominant scattering centre.
+            Human heads at 2.4 GHz measure ~0.05-0.15 m^2.
+        depth_coeffs: ``(c1, c2, c3)`` [m] of the aspect-depth profile
+            (see module docstring).  Defaults give a ~5 cm total path
+            swing over a +-85 degree sweep.
+        lateral_swing_m: small lateral drift of the scattering centre as
+            the head turns (the bright spot walks toward the leading
+            cheek), adding cross-range structure for off-axis antennas.
+        back_rcs_m2: weak secondary centre on the occiput; its
+            interference with the main centre adds the gentle ripples
+            real CSI curves show.
+        rcs_aspect_gain: fractional RCS modulation with aspect (a face
+            reflects a little more strongly than an ear).
+        creeping_coeffs: ``(e1, e2, e3)`` [m] of the aspect-dependent
+            excess path the creeping wave around the head accrues on a
+            blocked LOS (same Fourier basis as ``depth_coeffs``).  This
+            is the dominant orientation->phase coupling for an antenna
+            shadowed by the head (the paper's Layout 1).
+        ripple_amp_m / ripple_cycles / ripple_phase_rad: a higher-order
+            ripple on the creeping profile (hair, ears, jawline pass
+            through the grazing path several times per sweep).  This is
+            what makes the phase-orientation curve locally non-injective
+            (Fig. 3): the same phase value recurs at nearby orientations,
+            defeating single-point inversion (Sec. 3.4.2) while leaving
+            series matching intact.
+        transmission: amplitude of the blocked LOS relative to free
+            space (creeping energy dominates near grazing incidence, ~-4 dB).
+        name_prefix: prepended to scatterer names for diagnostics.
+    """
+
+    radius: float = 0.095
+    rcs_m2: float = 0.030
+    depth_coeffs: Tuple[float, float, float] = (0.016, 0.009, 0.005)
+    lateral_swing_m: float = 0.025
+    back_rcs_m2: float = 0.006
+    rcs_aspect_gain: float = 0.25
+    creeping_coeffs: Tuple[float, float, float] = (0.006, 0.004, 0.030)
+    ripple_amp_m: float = 0.0015
+    ripple_cycles: float = 3.0
+    ripple_phase_rad: float = 0.7
+    transmission: float = 0.65
+    name_prefix: str = "driver"
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ValueError(f"head radius must be positive, got {self.radius}")
+        if self.rcs_m2 <= 0 or self.back_rcs_m2 < 0:
+            raise ValueError("head RCS values must be positive (back may be 0)")
+        if len(self.depth_coeffs) != 3:
+            raise ValueError("depth_coeffs must be (c1, c2, c3)")
+        if not 0.0 <= self.rcs_aspect_gain < 1.0:
+            raise ValueError("rcs_aspect_gain must be in [0, 1)")
+        if len(self.creeping_coeffs) != 3:
+            raise ValueError("creeping_coeffs must be (e1, e2, e3)")
+        if not 0.0 <= self.transmission <= 1.0:
+            raise ValueError(f"transmission must be in [0, 1], got {self.transmission}")
+        if self.ripple_amp_m < 0 or self.ripple_cycles < 0:
+            raise ValueError("ripple parameters must be non-negative")
+
+    def depth_profile(self, yaw_rad: np.ndarray) -> np.ndarray:
+        """Scattering-centre depth toward the illuminator [m] vs yaw."""
+        yaw_rad = np.asarray(yaw_rad, dtype=np.float64)
+        c1, c2, c3 = self.depth_coeffs
+        return c1 * np.cos(yaw_rad) + c2 * np.cos(2.0 * yaw_rad) + c3 * np.sin(yaw_rad)
+
+    def creeping_excess_path(self, yaw_rad: np.ndarray) -> np.ndarray:
+        """Aspect-dependent excess path [m] of the creeping wave vs yaw.
+
+        This is only the head-shape term — the wave hugs whatever profile
+        the head presents, so a nose or a jawline in the path lengthens
+        it.  The geometric detour around the blocking sphere itself is
+        computed by the channel from the actual geometry
+        (:meth:`repro.rf.multipath.BlockerTrack.creeping_excess`), which
+        is what makes the blocked path sensitive to the head *position*.
+        """
+        yaw_rad = np.asarray(yaw_rad, dtype=np.float64)
+        e1, e2, e3 = self.creeping_coeffs
+        ripple = self.ripple_amp_m * np.sin(
+            self.ripple_cycles * yaw_rad + self.ripple_phase_rad
+        )
+        return (
+            e1 * np.cos(yaw_rad)
+            + e2 * np.cos(2.0 * yaw_rad)
+            + e3 * np.sin(yaw_rad)
+            + ripple
+        )
+
+    def scatterer_tracks(
+        self,
+        centers: np.ndarray,
+        yaw_rad: np.ndarray,
+        toward: np.ndarray,
+    ) -> List[ScattererTrack]:
+        """Scattering-centre tracks for the RF channel.
+
+        Args:
+            centers: head centre track, shape ``(T, 3)``.
+            yaw_rad: head yaw per sample, shape ``(T,)``.
+            toward: the illuminator position (the phone), shape ``(3,)``;
+                the aspect-depth displacement acts along the line from
+                the head centre to this point.
+        """
+        centers = np.asarray(centers, dtype=np.float64)
+        yaw_rad = np.asarray(yaw_rad, dtype=np.float64)
+        toward = np.asarray(toward, dtype=np.float64)
+        if centers.ndim != 2 or centers.shape[1] != 3:
+            raise ValueError(f"centers must have shape (T, 3), got {centers.shape}")
+        if yaw_rad.shape != (len(centers),):
+            raise ValueError(
+                f"yaw must have shape ({len(centers)},), got {yaw_rad.shape}"
+            )
+        if toward.shape != (3,):
+            raise ValueError(f"toward must be a 3-vector, got {toward.shape}")
+
+        to_tx = toward[None, :] - centers
+        norms = np.linalg.norm(to_tx, axis=1, keepdims=True)
+        if np.any(norms < 1e-9):
+            raise ValueError("head centre coincides with the illuminator")
+        axis = to_tx / norms
+        # Horizontal direction perpendicular to the illumination axis.
+        up = np.array([0.0, 0.0, 1.0])
+        lateral = np.cross(up, axis)
+        lateral_norm = np.linalg.norm(lateral, axis=1, keepdims=True)
+        lateral_norm[lateral_norm < 1e-9] = 1.0
+        lateral = lateral / lateral_norm
+
+        depth = self.depth_profile(yaw_rad)
+        side = self.lateral_swing_m * np.sin(yaw_rad)
+        main = centers + depth[:, None] * axis + side[:, None] * lateral
+        rcs = self.rcs_m2 * (1.0 + self.rcs_aspect_gain * (np.cos(yaw_rad) - 1.0) / 2.0)
+
+        tracks = [ScattererTrack(f"{self.name_prefix}-head-front", main, rcs)]
+        if self.back_rcs_m2 > 0:
+            back = centers - (0.85 * self.radius) * axis
+            tracks.append(
+                ScattererTrack(
+                    f"{self.name_prefix}-head-back", back, self.back_rcs_m2
+                )
+            )
+        return tracks
+
+    def blocker_track(
+        self, centers: np.ndarray, yaw_rad: Optional[np.ndarray] = None
+    ) -> BlockerTrack:
+        """The head sphere as an LOS blocker.
+
+        With ``yaw_rad`` supplied, the blocker carries the
+        aspect-dependent creeping excess path — the orientation coupling
+        for shadowed antennas.
+        """
+        extra = None
+        if yaw_rad is not None:
+            extra = self.creeping_excess_path(yaw_rad)
+        return BlockerTrack(
+            f"{self.name_prefix}-head",
+            centers,
+            self.radius,
+            extra_path_m=extra,
+            transmission=self.transmission,
+        )

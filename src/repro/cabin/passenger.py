@@ -1,0 +1,79 @@
+"""Front-seat passenger: an interfering head beside the driver.
+
+Sec. 3.5/5.3.4: a passenger's head turns pollute the CSI.  ViHOT's
+mitigation is geometric — the phone's radiation null points at the
+passenger and the passenger's reflection path is longer — so the model
+only needs to put a realistic head in the passenger seat and move it
+occasionally ("a normal passenger who turns his head infrequently to look
+at roadside scenes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cabin.driver import HeadPositionModel, YawTrajectory, glance_trajectory
+from repro.cabin.geometry import PASSENGER_HEAD_CENTER, PHONE_POSITION
+from repro.cabin.head import HeadModel
+from repro.rf.multipath import BlockerTrack, ScattererTrack
+
+
+def passenger_glance_trajectory(
+    duration_s: float,
+    rng: np.random.Generator,
+    t_start: float = 0.0,
+) -> YawTrajectory:
+    """Infrequent, slower roadside glances for the passenger."""
+    return glance_trajectory(
+        duration_s,
+        rng,
+        speed_rad_s=np.deg2rad(70.0),
+        glances_per_minute=5.0,
+        max_glance_rad=np.deg2rad(90.0),
+        min_glance_rad=np.deg2rad(35.0),
+        dwell_range_s=(1.0, 3.0),
+        t_start=t_start,
+    )
+
+
+@dataclass(frozen=True)
+class PassengerModel:
+    """A passenger head (scatterers + blocker) with its own motion.
+
+    Attributes:
+        head: the passenger's head geometry.
+        positions: head-centre track model (seated in the passenger seat).
+        yaw: the passenger's glance trajectory; ``None`` means a perfectly
+            still passenger.
+    """
+
+    head: HeadModel = field(
+        default_factory=lambda: HeadModel(name_prefix="passenger")
+    )
+    positions: HeadPositionModel = field(
+        default_factory=lambda: HeadPositionModel(
+            base_center=PASSENGER_HEAD_CENTER.copy(), seed=23
+        )
+    )
+    yaw: Optional[YawTrajectory] = None
+
+    def _yaw_at(self, times: np.ndarray) -> np.ndarray:
+        if self.yaw is None:
+            return np.zeros(len(times))
+        return self.yaw.value(times)
+
+    def scatterer_tracks(self, times: np.ndarray) -> List[ScattererTrack]:
+        """Passenger head scatterers at ``times``."""
+        times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+        centers = self.positions.centers(times)
+        return self.head.scatterer_tracks(
+            centers, self._yaw_at(times), toward=PHONE_POSITION
+        )
+
+    def blocker_tracks(self, times: np.ndarray) -> List[BlockerTrack]:
+        """Passenger head as an LOS blocker."""
+        times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+        return [self.head.blocker_track(self.positions.centers(times))]

@@ -1,0 +1,156 @@
+"""The full cabin scene: everything the channel and the sensors observe.
+
+``CabinScene`` composes the layout, the driver (head geometry, head
+position, yaw trajectory), optional steering activity, optional passenger,
+micro-motions, antenna vibration and static clutter into the scene
+interface consumed by :class:`repro.rf.channel.ChannelSimulator`, and also
+exposes the ground-truth accessors the sensor models and the evaluation
+harness read (driver yaw, car yaw rate).
+
+Every stochastic element realises its randomness from its own seed at
+construction, so a scene is a deterministic function of time — the channel
+synthesis, the IMU streams and the ground truth all agree on one world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.cabin.driver import HeadPositionModel, YawTrajectory
+from repro.cabin.geometry import CabinLayout
+from repro.cabin.head import HeadModel
+from repro.cabin.micromotion import BreathingMotion
+from repro.cabin.passenger import PassengerModel
+from repro.cabin.steering import SteeringModel, SteeringTrajectory
+from repro.cabin.trajectory import PiecewiseTrajectory
+from repro.cabin.vehicle import VehicleKinematics
+from repro.cabin.vibration import VibrationModel
+from repro.rf.antenna import Antenna
+from repro.rf.multipath import BlockerTrack, ScattererTrack
+
+
+@dataclass
+class CabinScene:
+    """One deterministic cabin world.
+
+    Attributes:
+        layout: antennas + static clutter.
+        driver_head: the driver's head geometry.
+        driver_positions: the driver's head-centre track model.
+        driver_yaw_trajectory: the driver's head yaw over time.
+        steering: wheel/hand geometry; ``None`` removes the hands from the
+            scene entirely (e.g. a bench test without a driver's arms).
+        steering_trajectory: wheel angle over time (``None`` = wheel held
+            straight, hands at rest on the rim).
+        vehicle: kinematics converting wheel angle into car yaw rate.
+        passenger: optional front passenger.
+        micromotions: extra micro-motion sources (breathing is included by
+            default; see ``default_micromotions``).
+        vibration: RX antenna vibration model (``None`` = rigid antennas).
+    """
+
+    layout: CabinLayout = field(default_factory=CabinLayout)
+    driver_head: HeadModel = field(default_factory=HeadModel)
+    driver_positions: HeadPositionModel = field(default_factory=HeadPositionModel)
+    driver_yaw_trajectory: YawTrajectory = field(
+        default_factory=lambda: PiecewiseTrajectory.constant(0.0, 0.0, 60.0)
+    )
+    steering: Optional[SteeringModel] = field(default_factory=SteeringModel)
+    steering_trajectory: Optional[SteeringTrajectory] = None
+    vehicle: VehicleKinematics = field(default_factory=VehicleKinematics)
+    passenger: Optional[PassengerModel] = None
+    micromotions: Sequence = field(default_factory=lambda: [BreathingMotion()])
+    vibration: Optional[VibrationModel] = None
+
+    # ------------------------------------------------------------------
+    # Scene interface for ChannelSimulator
+    # ------------------------------------------------------------------
+    @property
+    def tx_antenna(self) -> Antenna:
+        return self.layout.tx_antenna
+
+    @property
+    def rx_antennas(self):
+        return self.layout.rx_antennas
+
+    @property
+    def surfaces(self):
+        """Planar reflectors for the channel's image-method paths."""
+        return self.layout.surfaces
+
+    def rx_offsets(self, times: np.ndarray) -> np.ndarray:
+        """Antenna vibration offsets, shape ``(n_rx, T, 3)``."""
+        times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+        n_rx = len(self.rx_antennas)
+        if self.vibration is None:
+            return np.zeros((n_rx, len(times), 3))
+        return self.vibration.offsets(times, n_rx)
+
+    def scatterer_tracks(self, times: np.ndarray) -> List[ScattererTrack]:
+        """Every reflector in the cabin, sampled at ``times``."""
+        times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+        tracks: List[ScattererTrack] = []
+
+        centers = self.driver_positions.centers(times)
+        yaw = self.driver_yaw_trajectory.value(times)
+        tracks.extend(
+            self.driver_head.scatterer_tracks(
+                centers, yaw, toward=self.tx_antenna.position
+            )
+        )
+
+        if self.steering is not None:
+            tracks.extend(
+                self.steering.scatterer_tracks(times, self.steering_trajectory)
+            )
+
+        if self.passenger is not None:
+            tracks.extend(self.passenger.scatterer_tracks(times))
+
+        for motion in self.micromotions:
+            tracks.extend(motion.tracks(times))
+
+        for position, rcs in self.layout.static_clutter():
+            constant = np.broadcast_to(position, (len(times), 3)).copy()
+            tracks.append(ScattererTrack("static-clutter", constant, rcs))
+        return tracks
+
+    def blocker_tracks(self, times: np.ndarray) -> List[BlockerTrack]:
+        """LOS-blocking spheres (driver head, passenger head)."""
+        times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+        centers = self.driver_positions.centers(times)
+        yaw = self.driver_yaw_trajectory.value(times)
+        blockers = [self.driver_head.blocker_track(centers, yaw)]
+        if self.passenger is not None:
+            blockers.extend(self.passenger.blocker_tracks(times))
+        return blockers
+
+    # ------------------------------------------------------------------
+    # Ground truth / sensor feeds
+    # ------------------------------------------------------------------
+    def driver_yaw(self, times) -> np.ndarray:
+        """True head yaw [rad] at ``times``."""
+        return self.driver_yaw_trajectory.value(times)
+
+    def driver_yaw_rate(self, times) -> np.ndarray:
+        """True head yaw rate [rad/s] at ``times``."""
+        return self.driver_yaw_trajectory.rate(times)
+
+    def driver_head_centers(self, times) -> np.ndarray:
+        """True head centre positions, shape ``(T, 3)``."""
+        times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+        return self.driver_positions.centers(times)
+
+    def car_yaw_rate(self, times) -> np.ndarray:
+        """Car body yaw rate [rad/s] — what the phone IMU senses."""
+        return self.vehicle.yaw_rate(times, self.steering_trajectory)
+
+    def steering_angle(self, times) -> np.ndarray:
+        """Steering-wheel angle [rad] at ``times``."""
+        times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+        if self.steering_trajectory is None:
+            return np.zeros(len(times))
+        return self.steering_trajectory.value(times)

@@ -1,0 +1,145 @@
+"""Steering wheel, hands-on-wheel scatterers and steering trajectories.
+
+Sec. 3.6: turning the steering wheel moves the driver's hands through the
+signal field, producing CSI phase swings that look like head turns
+(Fig. 8).  We model two hands gripping the rim; their world positions
+rotate with the wheel angle.  The vehicle kinematics convert the wheel
+angle into the car yaw rate that the phone IMU observes — the physical
+signal the steering identifier (Sec. 3.6.2) keys on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.cabin.geometry import STEERING_WHEEL_CENTER, STEERING_WHEEL_RADIUS
+from repro.cabin.trajectory import PiecewiseTrajectory, TrajectoryBuilder
+from repro.rf.multipath import ScattererTrack
+
+SteeringTrajectory = PiecewiseTrajectory
+
+
+def lane_keeping_trajectory(
+    duration_s: float,
+    rng: np.random.Generator,
+    jitter_rad: float = np.deg2rad(3.0),
+    correction_rate_hz: float = 0.4,
+    t_start: float = 0.0,
+) -> SteeringTrajectory:
+    """Small bursty corrections that keep the car straight (Sec. 3.6).
+
+    These are the "small & bursty steering motion" whose CSI effect the
+    tracker filters with the jump filter, as opposed to large turns.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    builder = TrajectoryBuilder(t_start, 0.0)
+    t_end = t_start + duration_s
+    mean_gap = 1.0 / correction_rate_hz
+    while True:
+        gap = float(rng.uniform(0.5 * mean_gap, 1.5 * mean_gap))
+        if builder.time + gap >= t_end:
+            break
+        builder.hold(gap)
+        target = float(rng.normal(0.0, jitter_rad))
+        builder.ramp_to(target, np.deg2rad(40.0))
+        builder.ramp_to(0.0, np.deg2rad(40.0))
+    if builder.time < t_end:
+        builder.hold(t_end - builder.time)
+    return builder.build()
+
+
+def turning_trajectory(
+    duration_s: float,
+    rng: np.random.Generator,
+    turns_per_minute: float = 2.0,
+    turn_angle_range_rad: Tuple[float, float] = (np.deg2rad(120.0), np.deg2rad(360.0)),
+    wheel_rate_rad_s: float = np.deg2rad(180.0),
+    t_start: float = 0.0,
+) -> SteeringTrajectory:
+    """Lane keeping plus occasional large intersection turns.
+
+    Each turn winds the wheel to a large angle, holds through the corner,
+    then unwinds — the "large-scale steering event" of Sec. 3.6 that the
+    identifier must catch.
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    builder = TrajectoryBuilder(t_start, 0.0)
+    t_end = t_start + duration_s
+    mean_gap = 60.0 / turns_per_minute
+    while True:
+        gap = float(rng.uniform(0.5 * mean_gap, 1.5 * mean_gap))
+        if builder.time + gap >= t_end:
+            break
+        builder.hold(gap)
+        side = 1.0 if rng.random() < 0.5 else -1.0
+        angle = side * float(rng.uniform(*turn_angle_range_rad))
+        builder.ramp_to(angle, wheel_rate_rad_s)
+        builder.hold(float(rng.uniform(0.8, 2.0)))
+        builder.ramp_to(0.0, wheel_rate_rad_s)
+    if builder.time < t_end:
+        builder.hold(t_end - builder.time)
+    return builder.build(smoothing_s=0.15)
+
+
+@dataclass(frozen=True)
+class SteeringModel:
+    """The wheel rim and the driver's hands as scatterers.
+
+    The wheel rim lies in the y-z plane at ``center`` (it faces the
+    driver along +x).  A rim point at wheel-angle ``phi`` sits at
+    ``center + radius * (0, sin(phi), cos(phi))`` — ``phi = 0`` is the
+    top of the wheel.  Hands grip at 10-and-2 (+-50 degrees from top) and
+    rotate with the wheel.
+    """
+
+    center: np.ndarray = field(default_factory=lambda: STEERING_WHEEL_CENTER.copy())
+    radius: float = STEERING_WHEEL_RADIUS
+    hand_angles_rad: Tuple[float, float] = (-np.deg2rad(50.0), np.deg2rad(50.0))
+    hand_rcs_m2: float = 0.008
+
+    def __post_init__(self) -> None:
+        center = np.asarray(self.center, dtype=np.float64)
+        if center.shape != (3,):
+            raise ValueError(f"wheel center must be a 3-vector, got {center.shape}")
+        if self.radius <= 0:
+            raise ValueError(f"wheel radius must be positive, got {self.radius}")
+        if self.hand_rcs_m2 < 0:
+            raise ValueError("hand_rcs_m2 must be non-negative")
+        object.__setattr__(self, "center", center)
+
+    def rim_point(self, phi_rad: np.ndarray) -> np.ndarray:
+        """World position(s) of the rim point at wheel-angle ``phi``."""
+        phi_rad = np.asarray(phi_rad, dtype=np.float64)
+        offset = np.stack(
+            [
+                np.zeros_like(phi_rad),
+                self.radius * np.sin(phi_rad),
+                self.radius * np.cos(phi_rad),
+            ],
+            axis=-1,
+        )
+        return self.center + offset
+
+    def scatterer_tracks(
+        self,
+        times: np.ndarray,
+        wheel_angle: Optional[SteeringTrajectory],
+    ) -> List[ScattererTrack]:
+        """Hand scatterer tracks for the channel (empty if no steering)."""
+        times = np.asarray(times, dtype=np.float64)
+        if wheel_angle is None:
+            angles = np.zeros(len(times))
+        else:
+            angles = wheel_angle.value(times)
+        tracks = []
+        for k, grip in enumerate(self.hand_angles_rad):
+            positions = self.rim_point(angles + grip)
+            tracks.append(
+                ScattererTrack(f"steering-hand-{k + 1}", positions, self.hand_rcs_m2)
+            )
+        return tracks

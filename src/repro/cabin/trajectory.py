@@ -1,0 +1,149 @@
+"""Piecewise-linear 1-D trajectories with corner smoothing.
+
+Head yaw, steering-wheel angle and vehicle speed are all described as
+knot sequences ``(t_k, value_k)`` evaluated with linear interpolation.  A
+short boxcar smoothing (applied by averaging the interpolant over a small
+time window) rounds the corners, because real necks and hands accelerate
+smoothly — and because perfectly sharp corners would give DTW artificial
+landmarks to latch onto.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Number of quadrature points used for the boxcar smoothing average.
+_SMOOTH_TAPS = 9
+
+
+@dataclass(frozen=True)
+class PiecewiseTrajectory:
+    """A smoothed piecewise-linear function of time.
+
+    Attributes:
+        knot_times: strictly increasing knot timestamps [s].
+        knot_values: value at each knot.
+        smoothing_s: width of the boxcar smoothing window [s]; 0 disables.
+    """
+
+    knot_times: np.ndarray
+    knot_values: np.ndarray
+    smoothing_s: float = 0.08
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.knot_times, dtype=np.float64)
+        values = np.asarray(self.knot_values, dtype=np.float64)
+        if times.ndim != 1 or len(times) < 1:
+            raise ValueError("knot_times must be a non-empty 1-D array")
+        if values.shape != times.shape:
+            raise ValueError(
+                f"knot shapes differ: {times.shape} times vs {values.shape} values"
+            )
+        if len(times) > 1 and np.any(np.diff(times) <= 0):
+            raise ValueError("knot_times must be strictly increasing")
+        if self.smoothing_s < 0:
+            raise ValueError(f"smoothing_s must be >= 0, got {self.smoothing_s}")
+        object.__setattr__(self, "knot_times", times)
+        object.__setattr__(self, "knot_values", values)
+
+    @property
+    def start(self) -> float:
+        return float(self.knot_times[0])
+
+    @property
+    def end(self) -> float:
+        return float(self.knot_times[-1])
+
+    def _raw(self, times: np.ndarray) -> np.ndarray:
+        return np.interp(times, self.knot_times, self.knot_values)
+
+    def value(self, times) -> np.ndarray:
+        """Evaluate the smoothed trajectory at ``times`` (scalar or array)."""
+        scalar = np.ndim(times) == 0
+        times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+        if self.smoothing_s == 0.0 or len(self.knot_times) < 2:
+            out = self._raw(times)
+        else:
+            offsets = np.linspace(
+                -self.smoothing_s / 2.0, self.smoothing_s / 2.0, _SMOOTH_TAPS
+            )
+            out = np.mean(
+                [self._raw(times + off) for off in offsets], axis=0
+            )
+        return float(out[0]) if scalar else out
+
+    def rate(self, times, dt: float = 1e-3) -> np.ndarray:
+        """Central-difference time derivative of the smoothed value."""
+        scalar = np.ndim(times) == 0
+        times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+        out = (self.value(times + dt / 2) - self.value(times - dt / 2)) / dt
+        return float(out[0]) if scalar else out
+
+    def shift(self, dt: float) -> "PiecewiseTrajectory":
+        """Copy with knots moved ``dt`` later."""
+        return PiecewiseTrajectory(
+            self.knot_times + dt, self.knot_values, self.smoothing_s
+        )
+
+    def scaled(self, factor: float) -> "PiecewiseTrajectory":
+        """Copy with values multiplied by ``factor``."""
+        return PiecewiseTrajectory(
+            self.knot_times, self.knot_values * factor, self.smoothing_s
+        )
+
+    @staticmethod
+    def constant(value: float, t_start: float = 0.0, t_end: float = 1.0) -> "PiecewiseTrajectory":
+        """A trajectory pinned to ``value`` over ``[t_start, t_end]``."""
+        if t_end <= t_start:
+            raise ValueError(f"need t_end > t_start, got [{t_start}, {t_end}]")
+        return PiecewiseTrajectory(
+            np.array([t_start, t_end]), np.array([value, value]), smoothing_s=0.0
+        )
+
+
+class TrajectoryBuilder:
+    """Incrementally appends hold/ramp segments into a trajectory."""
+
+    def __init__(self, t_start: float = 0.0, value: float = 0.0) -> None:
+        self._times = [float(t_start)]
+        self._values = [float(value)]
+
+    @property
+    def time(self) -> float:
+        """Current (latest) knot time."""
+        return self._times[-1]
+
+    @property
+    def value(self) -> float:
+        """Current (latest) knot value."""
+        return self._values[-1]
+
+    def hold(self, duration: float) -> "TrajectoryBuilder":
+        """Stay at the current value for ``duration`` seconds."""
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        if duration > 0:
+            self._times.append(self.time + duration)
+            self._values.append(self.value)
+        return self
+
+    def ramp_to(self, target: float, rate: float) -> "TrajectoryBuilder":
+        """Move linearly to ``target`` at ``abs(rate)`` units per second."""
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate}")
+        delta = abs(target - self.value)
+        new_time = self.time + delta / rate
+        # Guard vanishing deltas: a sub-ulp ramp would create a knot at
+        # the same timestamp and violate strict monotonicity.
+        if delta > 0 and new_time > self.time:
+            self._times.append(new_time)
+            self._values.append(float(target))
+        return self
+
+    def build(self, smoothing_s: float = 0.08) -> PiecewiseTrajectory:
+        """Finish and return the trajectory."""
+        return PiecewiseTrajectory(
+            np.array(self._times), np.array(self._values), smoothing_s
+        )

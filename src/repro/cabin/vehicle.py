@@ -1,0 +1,60 @@
+"""Vehicle kinematics: steering angle -> car yaw rate.
+
+The phone is mounted rigidly on the dashboard, so the phone IMU measures
+the car body's rotation, not the driver's.  Sec. 3.6.1: "the car body will
+turn only if the driver's hand turns the steering wheel" — this module is
+the physical link the steering identifier relies on.  A simple kinematic
+bicycle model suffices: at the paper's sub-15 mph campus speeds tyre slip
+is negligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cabin.trajectory import PiecewiseTrajectory
+
+
+@dataclass(frozen=True)
+class VehicleKinematics:
+    """Kinematic bicycle model parameters.
+
+    Attributes:
+        speed_mps: vehicle speed (paper: "safe speed below 15 mph",
+            ~6.7 m/s; default 6.0).
+        wheelbase_m: distance between axles (Camry: ~2.78 m).
+        steering_ratio: steering-wheel angle / road-wheel angle (~15).
+    """
+
+    speed_mps: float = 6.0
+    wheelbase_m: float = 2.78
+    steering_ratio: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.speed_mps < 0:
+            raise ValueError(f"speed_mps must be >= 0, got {self.speed_mps}")
+        if self.wheelbase_m <= 0 or self.steering_ratio <= 0:
+            raise ValueError("wheelbase_m and steering_ratio must be positive")
+
+    def yaw_rate(
+        self,
+        times: np.ndarray,
+        wheel_angle: Optional[PiecewiseTrajectory],
+    ) -> np.ndarray:
+        """Car yaw rate [rad/s] from the steering-wheel angle trajectory."""
+        times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+        if wheel_angle is None or self.speed_mps == 0.0:
+            return np.zeros(len(times))
+        road_angle = wheel_angle.value(times) / self.steering_ratio
+        return self.speed_mps / self.wheelbase_m * np.tan(road_angle)
+
+    def lateral_accel(
+        self,
+        times: np.ndarray,
+        wheel_angle: Optional[PiecewiseTrajectory],
+    ) -> np.ndarray:
+        """Lateral acceleration [m/s^2]: ``v * yaw_rate``."""
+        return self.speed_mps * self.yaw_rate(times, wheel_angle)

@@ -1,0 +1,79 @@
+"""Road-induced antenna vibration (Sec. 5.3.2 / Fig. 16).
+
+Bumpy roads shake the RX antennas; the paper stresses their long soft coil
+antennas as a worst case.  We model each antenna's displacement as
+low-pass-filtered Gaussian noise (suspension + antenna-whip dynamics pass
+mostly < ~20 Hz), realised deterministically from a seed so the channel
+sees a repeatable world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VibrationModel:
+    """Per-antenna position jitter from road vibration.
+
+    Attributes:
+        amplitude_m: RMS displacement per axis.  ~3 mm models the paper's
+            worst-case soft coil antennas on a bumpy campus road; 0
+            disables vibration (parked car).
+        bandwidth_hz: first-order low-pass corner of the displacement.
+        seed: realisation seed (each antenna gets an independent stream).
+        horizon_s: time horizon the realisation covers.
+    """
+
+    amplitude_m: float = 0.003
+    bandwidth_hz: float = 15.0
+    seed: int = 5
+    horizon_s: float = 900.0
+
+    _GRID_HZ = 120.0
+
+    def __post_init__(self) -> None:
+        if self.amplitude_m < 0:
+            raise ValueError(f"amplitude_m must be >= 0, got {self.amplitude_m}")
+        if self.bandwidth_hz <= 0 or self.horizon_s <= 0:
+            raise ValueError("bandwidth_hz and horizon_s must be positive")
+        object.__setattr__(self, "_path_cache", {})
+
+    def _path(self, antenna_index: int) -> tuple:
+        cache = self._path_cache
+        if antenna_index not in cache:
+            rng = np.random.default_rng((self.seed, antenna_index))
+            n = int(self.horizon_s * self._GRID_HZ) + 2
+            grid = np.arange(n) / self._GRID_HZ
+            white = rng.normal(0.0, 1.0, (n, 3))
+            # One-pole low-pass, then rescale to the requested RMS.
+            alpha = np.exp(-2.0 * np.pi * self.bandwidth_hz / self._GRID_HZ)
+            path = np.empty_like(white)
+            path[0] = white[0]
+            for k in range(1, n):
+                path[k] = alpha * path[k - 1] + (1.0 - alpha) * white[k]
+            std = np.std(path, axis=0)
+            std[std == 0] = 1.0
+            path = path / std * self.amplitude_m
+            cache[antenna_index] = (grid, path)
+        return cache[antenna_index]
+
+    def offsets(self, times: np.ndarray, num_antennas: int) -> np.ndarray:
+        """Displacements, shape ``(num_antennas, T, 3)``."""
+        times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+        if num_antennas < 0:
+            raise ValueError(f"num_antennas must be >= 0, got {num_antennas}")
+        if self.amplitude_m == 0.0:
+            return np.zeros((num_antennas, len(times), 3))
+        if len(times) and (times[0] < 0 or times[-1] > self.horizon_s):
+            raise ValueError(
+                f"times outside the realised horizon [0, {self.horizon_s}]"
+            )
+        out = np.empty((num_antennas, len(times), 3))
+        for a in range(num_antennas):
+            grid, path = self._path(a)
+            for d in range(3):
+                out[a, :, d] = np.interp(times, grid, path[:, d])
+        return out

@@ -1,0 +1,272 @@
+"""Command-line interface: ``vihot <subcommand>``.
+
+The workflows a user actually runs, end to end:
+
+* ``vihot simulate-capture`` — synthesize a capture session (the stand-in
+  for logging an Intel 5300 in a car) and save it as ``.npz``.
+* ``vihot profile`` — run the Sec. 3.3 profiling pass for a scenario and
+  save the driver's CSI profile.
+* ``vihot track`` — track a saved capture against a saved profile; write
+  the estimates as CSV and print a summary.
+* ``vihot figure`` — regenerate one of the paper's figures and print its
+  rows (the same output as the corresponding benchmark).
+* ``vihot report`` — regenerate every figure at a chosen scale and write
+  a combined text report.
+
+Everything is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import ViHOTConfig
+from repro.core.profile import CsiProfile
+from repro.core.tracker import ViHOTTracker
+from repro.experiments import figures
+from repro.experiments.presets import PRESETS, preset_scenario
+from repro.experiments.report import format_summary_table
+from repro.net.link import CsiStream
+
+#: Figure registry for ``vihot figure`` / ``vihot report``: name ->
+#: (callable, takes campaign kwargs?).
+FIGURES = {
+    "fig02": (figures.fig02_head_plane, False),
+    "fig03": (figures.fig03_phase_curves, False),
+    "fig08": (figures.fig08_steering_phase, False),
+    "fig10": (figures.fig10_prediction, True),
+    "fig11": (figures.fig11_layout_curves, False),
+    "fig12": (figures.fig12_antenna_layouts, True),
+    "fig13a": (figures.fig13a_profile_interval, True),
+    "fig13b": (figures.fig13b_window_size, True),
+    "fig13c": (figures.fig13c_turn_speed, True),
+    "fig13d": (figures.fig13d_drivers, True),
+    "fig14": (figures.fig14_speed_curves, False),
+    "fig15": (figures.fig15_micromotions, False),
+    "fig16": (figures.fig16_vibration_phase, False),
+    "fig17a": (figures.fig17a_vibration, True),
+    "fig17b": (figures.fig17b_steering_identifier, True),
+    "fig17c": (figures.fig17c_passenger, True),
+    "fig17d": (figures.fig17d_interference, True),
+    "sampling-rate": (figures.sampling_rate, False),
+    "ablation-matching": (figures.ablation_matching, True),
+    "ablation-position": (figures.ablation_position, True),
+    "ablation-length": (figures.ablation_length_search, True),
+    "ablation-sanitize": (figures.ablation_sanitization, False),
+}
+
+# Sec. 7 extension experiments join the registry lazily to keep import
+# costs down for the common subcommands.
+def _register_extensions() -> None:
+    from repro.experiments import extensions
+
+    FIGURES.setdefault("ext-5ghz", (extensions.extension_5ghz, True))
+    FIGURES.setdefault("ext-fusion", (extensions.extension_fusion, True))
+
+
+_register_extensions()
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=0, help="scenario seed")
+    parser.add_argument(
+        "--preset",
+        choices=sorted(PRESETS),
+        default="campus",
+        help="driving-condition preset",
+    )
+    parser.add_argument("--driver", choices=("A", "B", "C"), default="A")
+    parser.add_argument(
+        "--duration", type=float, default=20.0, help="run-time session seconds"
+    )
+
+
+def _scenario_from_args(args):
+    return preset_scenario(
+        args.preset,
+        seed=args.seed,
+        driver=args.driver,
+        runtime_duration_s=args.duration,
+    )
+
+
+def cmd_simulate_capture(args) -> int:
+    scenario = _scenario_from_args(args)
+    stream, _scene = scenario.runtime_capture(args.session)
+    stream.save(args.output)
+    rate = (len(stream) - 1) / (stream.times[-1] - stream.times[0])
+    print(f"wrote {args.output}: {len(stream)} packets at {rate:.0f} Hz "
+          f"({'with' if stream.imu is not None else 'no'} IMU side-channel)")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.core.quality import assess_profile
+
+    scenario = _scenario_from_args(args)
+    start = time.time()
+    profile = scenario.build_profile()
+    profile.save(args.output)
+    print(f"profiled {len(profile)} head positions in {time.time() - start:.1f}s "
+          f"-> {args.output}")
+    print(f"phi0 fingerprints: {np.round(profile.phi0_fingerprints(), 3)}")
+    quality = assess_profile(profile)
+    print(f"profile quality: {quality}")
+    return 0 if quality.verdict != "poor" else 2
+
+
+def cmd_track(args) -> int:
+    profile = CsiProfile.load(args.profile)
+    stream = CsiStream.load(args.capture)
+    config = ViHOTConfig(
+        window_s=args.window / 1000.0, horizon_s=args.horizon / 1000.0
+    )
+    tracker = ViHOTTracker(profile, config)
+    start = time.time()
+    result = tracker.process(stream, estimate_stride_s=args.stride / 1000.0)
+    elapsed = time.time() - start
+    if len(result) == 0:
+        print("no estimates produced (capture too short?)", file=sys.stderr)
+        return 1
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write("time_s,target_time_s,orientation_deg,mode\n")
+            for e in result.estimates:
+                fh.write(
+                    f"{e.time:.4f},{e.target_time:.4f},"
+                    f"{np.rad2deg(e.orientation):.2f},{e.mode}\n"
+                )
+        print(f"wrote {len(result)} estimates to {args.output}")
+
+    modes = {m: result.modes.count(m) for m in sorted(set(result.modes))}
+    rate = len(result) / (result.times[-1] - result.times[0])
+    print(f"{len(result)} estimates at {rate:.0f} Hz "
+          f"({len(result) / elapsed:.0f} estimates/s wall), modes: {modes}")
+    spread = np.rad2deg(result.orientations)
+    print(f"orientation span: [{spread.min():+.1f}, {spread.max():+.1f}] deg")
+
+    from repro.core.diagnostics import diagnose, should_reprofile
+
+    health = diagnose(result, stream)
+    print(f"health: {health}")
+    if should_reprofile(health):
+        print("recommendation: re-profile this driver (Sec. 3.3 update)")
+    return 0
+
+
+def cmd_figure(args) -> int:
+    fn, campaign = FIGURES[args.name]
+    kwargs = {"seed": args.seed}
+    if campaign:
+        kwargs.update(
+            num_sessions=args.sessions, runtime_duration_s=args.duration
+        )
+    start = time.time()
+    result = fn(**kwargs)
+    print(f"[{args.name} in {time.time() - start:.0f}s]")
+    _print_figure(args.name, result)
+    return 0
+
+
+def _print_figure(name: str, result) -> None:
+    if isinstance(result, dict) and result and all(
+        isinstance(v, dict) and "summary" in v for v in result.values()
+    ):
+        rows = {str(k): v["summary"] for k, v in result.items()}
+        print(format_summary_table(rows, title=name))
+    elif isinstance(result, dict) and all(
+        np.isscalar(v) for v in result.values()
+    ):
+        for k, v in result.items():
+            print(f"  {k:28s} {v:.4g}")
+    else:
+        print(f"  {name}: series data with keys {list(result)[:6]} "
+              "(use the python API for the raw arrays)")
+
+
+def cmd_report(args) -> int:
+    lines = []
+    for name in args.only or FIGURES:
+        fn, campaign = FIGURES[name]
+        kwargs = {"seed": args.seed}
+        if campaign:
+            kwargs.update(
+                num_sessions=args.sessions, runtime_duration_s=args.duration
+            )
+        start = time.time()
+        result = fn(**kwargs)
+        stamp = f"[{name}: {time.time() - start:.0f}s]"
+        print(stamp)
+        lines.append(stamp)
+        import io
+        from contextlib import redirect_stdout
+
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            _print_figure(name, result)
+        print(buffer.getvalue(), end="")
+        lines.append(buffer.getvalue())
+    if args.output:
+        Path(args.output).write_text("\n".join(lines))
+        print(f"\nwrote report to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="vihot",
+        description="ViHOT: wireless CSI-based head tracking (CoNEXT'18 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate-capture", help="synthesize a CSI capture session")
+    _add_scenario_args(p)
+    p.add_argument("--session", type=int, default=0, help="session index")
+    p.add_argument("-o", "--output", default="capture.npz")
+    p.set_defaults(func=cmd_simulate_capture)
+
+    p = sub.add_parser("profile", help="run the profiling pass, save the profile")
+    _add_scenario_args(p)
+    p.add_argument("-o", "--output", default="profile.npz")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("track", help="track a saved capture against a profile")
+    p.add_argument("profile", help="profile .npz from `vihot profile`")
+    p.add_argument("capture", help="capture .npz from `vihot simulate-capture`")
+    p.add_argument("-o", "--output", default=None, help="estimates CSV path")
+    p.add_argument("--window", type=float, default=100.0, help="CSI window [ms]")
+    p.add_argument("--horizon", type=float, default=0.0, help="forecast horizon [ms]")
+    p.add_argument("--stride", type=float, default=50.0, help="estimate stride [ms]")
+    p.set_defaults(func=cmd_track)
+
+    p = sub.add_parser("figure", help="regenerate one paper figure")
+    p.add_argument("name", choices=sorted(FIGURES))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sessions", type=int, default=2)
+    p.add_argument("--duration", type=float, default=12.0)
+    p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser("report", help="regenerate all figures into a text report")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--sessions", type=int, default=1)
+    p.add_argument("--duration", type=float, default=10.0)
+    p.add_argument("--only", nargs="*", choices=sorted(FIGURES), default=None)
+    p.add_argument("-o", "--output", default=None)
+    p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

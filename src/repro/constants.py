@@ -1,0 +1,84 @@
+"""Physical constants and 802.11n parameters shared across the library.
+
+All quantities are SI (metres, seconds, hertz, radians) unless a name says
+otherwise.  The WiFi parameters follow the paper's prototype: a 2.4 GHz
+802.11n link measured with the Intel 5300 CSI tool, which reports CSI on 30
+of the 56 populated 20 MHz subcarriers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Speed of light in vacuum [m/s].
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Default 2.4 GHz WiFi channel (channel 6 centre frequency) [Hz].
+DEFAULT_CARRIER_HZ = 2.437e9
+
+#: 802.11n 20 MHz channel bandwidth [Hz].
+CHANNEL_BANDWIDTH_HZ = 20e6
+
+#: OFDM FFT size for a 20 MHz 802.11n channel.
+OFDM_FFT_SIZE = 64
+
+#: Subcarrier spacing for 20 MHz 802.11n [Hz].
+SUBCARRIER_SPACING_HZ = CHANNEL_BANDWIDTH_HZ / OFDM_FFT_SIZE
+
+#: Subcarrier indices reported by the Intel 5300 CSI tool for a 20 MHz
+#: channel (the "-28 to 28 step 2, skipping DC neighbourhood" grouping).
+INTEL5300_SUBCARRIER_INDICES = np.array(
+    [-28, -26, -24, -22, -20, -18, -16, -14, -12, -10, -8, -6, -4, -2, -1,
+     1, 3, 5, 7, 9, 11, 13, 15, 17, 19, 21, 23, 25, 27, 28],
+    dtype=np.int64,
+)
+
+#: Number of subcarriers in an Intel 5300 CSI report.
+INTEL5300_NUM_SUBCARRIERS = len(INTEL5300_SUBCARRIER_INDICES)
+
+#: Number of RX antennas used by the ViHOT prototype.
+DEFAULT_NUM_RX_ANTENNAS = 2
+
+#: CSI sample rate with the cabin to itself (no interfering traffic) [Hz]
+#: (Sec. 5.3.5: "around 500 frames per second at a 34 ms maximum interval").
+CLEAN_CSI_RATE_HZ = 500.0
+
+#: Maximum inter-frame gap without interference [s].
+CLEAN_MAX_GAP_S = 0.034
+
+#: CSI sample rate under interfering WiFi traffic [Hz] (Sec. 5.3.5).
+INTERFERED_CSI_RATE_HZ = 400.0
+
+#: Maximum inter-frame gap under interference [s].
+INTERFERED_MAX_GAP_S = 0.049
+
+#: Typical camera head-tracker frame rate the paper compares against [Hz].
+CAMERA_FRAME_RATE_HZ = 30.0
+
+#: Default CSI input window length (Sec. 5.1 "100 ms CSI input window") [s].
+DEFAULT_WINDOW_S = 0.100
+
+#: Normal head-turning speed range in typical driving [deg/s] (Sec. 5.1).
+TYPICAL_TURN_SPEED_DEG_S = (100.0, 120.0)
+
+#: Uniform grid rate the tracker resamples irregular CSI onto [Hz].
+DEFAULT_RESAMPLE_RATE_HZ = 200.0
+
+
+def wavelength(frequency_hz: float) -> float:
+    """Return the free-space wavelength [m] for ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def subcarrier_frequencies(
+    carrier_hz: float = DEFAULT_CARRIER_HZ,
+    indices: np.ndarray = INTEL5300_SUBCARRIER_INDICES,
+) -> np.ndarray:
+    """Absolute frequencies [Hz] of the reported OFDM subcarriers.
+
+    Subcarrier ``k`` sits at ``carrier + k * spacing`` for the signed
+    index grid used by the Intel 5300 report format.
+    """
+    return carrier_hz + np.asarray(indices, dtype=np.float64) * SUBCARRIER_SPACING_HZ

@@ -1,0 +1,42 @@
+"""ViHOT core: profiling, position-orientation joint tracking, forecasting."""
+
+from repro.core.config import ViHOTConfig
+from repro.core.sanitize import sanitize_stream, antenna_phase_difference
+from repro.core.profile import PositionProfile, CsiProfile
+from repro.core.profiling import build_position_profile, ProfileBuilder
+from repro.core.position import PositionEstimator, detect_stable_phase
+from repro.core.matching import MatchResult, SeriesMatcher
+from repro.core.forecast import forecast_orientation
+from repro.core.steering_id import SteeringIdentifier
+from repro.core.tracker import ViHOTTracker, TrackingResult, Estimate
+from repro.core.online import OnlineTracker
+from repro.core.fusion import FusedTracker, FusionConfig
+from repro.core.diagnostics import TrackingHealth, diagnose, should_reprofile
+from repro.core.quality import ProfileQuality, assess_profile
+
+__all__ = [
+    "ViHOTConfig",
+    "sanitize_stream",
+    "antenna_phase_difference",
+    "PositionProfile",
+    "CsiProfile",
+    "build_position_profile",
+    "ProfileBuilder",
+    "PositionEstimator",
+    "detect_stable_phase",
+    "MatchResult",
+    "SeriesMatcher",
+    "forecast_orientation",
+    "SteeringIdentifier",
+    "ViHOTTracker",
+    "TrackingResult",
+    "Estimate",
+    "OnlineTracker",
+    "FusedTracker",
+    "FusionConfig",
+    "TrackingHealth",
+    "diagnose",
+    "should_reprofile",
+    "ProfileQuality",
+    "assess_profile",
+]

@@ -1,0 +1,146 @@
+"""Tracking-health diagnostics a deployment would log and alert on.
+
+The evaluation harness knows the ground truth; a deployed ViHOT does not.
+What it *can* observe about itself: how often it produced confident CSI
+matches vs fallbacks/holds, how good those matches were (DTW distances),
+how fresh the head-position fix is, and how healthy the CSI sampling
+was.  ``diagnose`` condenses a session into those signals plus a coarse
+verdict, so a head unit can decide to suggest re-profiling (Sec. 3.3's
+"update after each trip") or fall back to the camera permanently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.tracker import TrackingResult
+from repro.dsp.resample import largest_gap, mean_rate
+from repro.dsp.series import TimeSeries
+from repro.net.link import CsiStream
+
+#: Verdict levels in increasing severity.
+VERDICTS = ("healthy", "degraded", "unusable")
+
+
+@dataclass(frozen=True)
+class TrackingHealth:
+    """Self-observable quality signals of one tracked session.
+
+    Attributes:
+        csi_fraction: fraction of estimates from confident CSI matches.
+        hold_fraction: fraction that were held/stationary re-issues.
+        fallback_fraction: fraction served by the camera fallback.
+        median_dtw_distance: median winning DTW distance (matching
+            residual; grows when the profile no longer fits the cabin).
+        p90_dtw_distance: its 90th percentile.
+        position_switches: how many times the head-position estimate
+            changed (posture restlessness, or fingerprint confusion).
+        sampling_rate_hz: achieved CSI packet rate.
+        max_gap_ms: worst packet gap.
+        verdict: "healthy" | "degraded" | "unusable".
+    """
+
+    csi_fraction: float
+    hold_fraction: float
+    fallback_fraction: float
+    median_dtw_distance: float
+    p90_dtw_distance: float
+    position_switches: int
+    sampling_rate_hz: float
+    max_gap_ms: float
+    verdict: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.verdict}: csi {self.csi_fraction:.0%}, holds "
+            f"{self.hold_fraction:.0%}, fallback {self.fallback_fraction:.0%}, "
+            f"dtw median {self.median_dtw_distance:.4f} (p90 "
+            f"{self.p90_dtw_distance:.4f}), {self.position_switches} position "
+            f"switches, {self.sampling_rate_hz:.0f} Hz CSI "
+            f"(max gap {self.max_gap_ms:.0f} ms)"
+        )
+
+
+@dataclass(frozen=True)
+class DiagnosticThresholds:
+    """Verdict boundaries (defaults from the simulated-campaign baselines)."""
+
+    min_csi_fraction_healthy: float = 0.5
+    min_csi_fraction_usable: float = 0.2
+    max_dtw_median_healthy: float = 0.05
+    max_dtw_median_usable: float = 0.15
+    min_rate_healthy_hz: float = 300.0
+
+
+def diagnose(
+    result: TrackingResult,
+    stream: Optional[CsiStream] = None,
+    thresholds: DiagnosticThresholds = DiagnosticThresholds(),
+) -> TrackingHealth:
+    """Condense a session into a :class:`TrackingHealth` report."""
+    if len(result) == 0:
+        raise ValueError("cannot diagnose an empty tracking result")
+
+    csi = result.mode_fraction("csi")
+    holds = result.mode_fraction("held") + result.mode_fraction("stationary")
+    fallback = result.mode_fraction("fallback")
+
+    distances = np.array(
+        [e.dtw_distance for e in result.estimates if np.isfinite(e.dtw_distance)]
+    )
+    if distances.size:
+        median_d = float(np.median(distances))
+        p90_d = float(np.percentile(distances, 90))
+    else:
+        median_d = float("nan")
+        p90_d = float("nan")
+
+    positions = [e.position_index for e in result.estimates if e.position_index >= 0]
+    switches = int(np.sum(np.diff(positions) != 0)) if len(positions) > 1 else 0
+
+    rate = 0.0
+    gap_ms = 0.0
+    if stream is not None and len(stream) > 1:
+        series = TimeSeries(stream.times, np.zeros(len(stream)))
+        rate = mean_rate(series)
+        gap_ms = largest_gap(series) * 1000.0
+
+    verdict = "healthy"
+    dtw_ok = not np.isfinite(median_d) or median_d <= thresholds.max_dtw_median_healthy
+    rate_ok = stream is None or rate >= thresholds.min_rate_healthy_hz
+    if csi < thresholds.min_csi_fraction_healthy or not dtw_ok or not rate_ok:
+        verdict = "degraded"
+    dtw_usable = (
+        not np.isfinite(median_d) or median_d <= thresholds.max_dtw_median_usable
+    )
+    if csi < thresholds.min_csi_fraction_usable or not dtw_usable:
+        verdict = "unusable"
+
+    return TrackingHealth(
+        csi_fraction=csi,
+        hold_fraction=holds,
+        fallback_fraction=fallback,
+        median_dtw_distance=median_d,
+        p90_dtw_distance=p90_d,
+        position_switches=switches,
+        sampling_rate_hz=rate,
+        max_gap_ms=gap_ms,
+        verdict=verdict,
+    )
+
+
+def should_reprofile(health: TrackingHealth) -> bool:
+    """Heuristic for the Sec. 3.3 "update the profile after each trip".
+
+    A degraded-or-worse verdict with a rising matching residual means
+    the profiled curves no longer describe this cabin/posture.
+    """
+    if health.verdict == "unusable":
+        return True
+    return health.verdict == "degraded" and (
+        not np.isfinite(health.median_dtw_distance)
+        or health.median_dtw_distance > 0.05
+    )

@@ -1,0 +1,41 @@
+"""Head-orientation forecasting (Sec. 3.4.6, Eq. 6).
+
+Once the matcher has located ``Phi*_m`` in the profile, the profile tells
+us how the motion *continued* after that point.  The speed ratio
+``L_m / W`` converts run-time seconds into profile samples:
+
+    theta_hat(t + t_h) = Theta*_c( tau_e + t_h * L_m / W )
+
+i.e. step ``t_h * L_m / W`` seconds forward in the profile from the match
+end and read the orientation there.  The profile's own future stands in
+for the driver's — accurate for short horizons, drifting as ``t_h`` grows
+(Fig. 10 quantifies exactly that decay).
+"""
+
+from __future__ import annotations
+
+from repro.core.matching import MatchResult
+from repro.core.profile import CsiProfile
+
+
+def forecast_orientation(
+    profile: CsiProfile,
+    match: MatchResult,
+    horizon_s: float,
+) -> float:
+    """Predict the head yaw ``horizon_s`` into the future (Eq. 6).
+
+    With ``horizon_s == 0`` this reduces exactly to the tracking estimate
+    (the match end's orientation).  Horizons that run past the end of the
+    profiled series clamp to its last sample — the profile has no further
+    future to offer.
+    """
+    if horizon_s < 0:
+        raise ValueError(f"horizon_s must be non-negative, got {horizon_s}")
+    position = profile[match.position_index]
+    # t_h seconds of run-time correspond to t_h * speed_ratio seconds of
+    # profile time, i.e. that many grid samples scaled by the rate.
+    step = horizon_s * match.speed_ratio * position.rate_hz
+    index = match.end_index + int(round(step))
+    index = min(index, len(position) - 1)
+    return float(position.orientations[index])

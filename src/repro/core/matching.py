@@ -1,0 +1,188 @@
+"""DTW series matching — Algorithm 1 of the paper (Secs. 3.4.3-3.4.5).
+
+The instantaneous phase cannot be inverted to an orientation (the mapping
+is non-injective), so ViHOT matches the whole windowed phase series
+``Phi_r = {phi_r(t') : t' in [t - W, t]}`` against the profile series
+``Phi*_c`` and reads the orientation off the best match's end point:
+
+1. enumerate candidate match lengths ``L_n in [0.5 W, 2 W]`` (the head may
+   have turned faster or slower than during profiling);
+2. for each length, DTW-match ``Phi_r`` against every profile segment of
+   that length (vectorised in one ``batched_dtw_distance`` call);
+3. take the globally best segment ``Phi*_m``; its last sample's
+   ground-truth orientation is the estimate, and ``L_m / W`` is the
+   profiling-to-runtime speed ratio the forecaster reuses (Sec. 3.4.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import ViHOTConfig
+from repro.core.profile import CsiProfile, PositionProfile
+from repro.dsp.dtw import batched_dtw_distance
+from repro.dsp.phase import wrap_phase
+from repro.dsp.windows import sliding_windows
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of one window match.
+
+    Attributes:
+        orientation: estimated head yaw [rad] (``Theta*_m``'s last sample).
+        distance: normalised DTW distance of the winning segment.
+        position_index: which profiled position the match came from.
+        start_index: offset of ``Phi*_m`` in that position's series.
+        length: match length ``L_m`` [samples].
+        speed_ratio: ``L_m / W`` — profiling-time over run-time speed.
+    """
+
+    orientation: float
+    distance: float
+    position_index: int
+    start_index: int
+    length: int
+    speed_ratio: float
+
+    @property
+    def end_index(self) -> int:
+        """Index of the match's final sample in the profile series."""
+        return self.start_index + self.length - 1
+
+
+class SeriesMatcher:
+    """Matches CSI input windows against a driver's profile."""
+
+    def __init__(self, profile: CsiProfile, config: ViHOTConfig = ViHOTConfig()) -> None:
+        if len(profile) == 0:
+            raise ValueError("cannot match against an empty profile")
+        self._profile = profile
+        self._config = config
+
+    @property
+    def config(self) -> ViHOTConfig:
+        return self._config
+
+    def _match_position(
+        self,
+        query: np.ndarray,
+        position: PositionProfile,
+        position_index: int,
+        center_orientation: Optional[float],
+        tolerance_rad: float,
+    ):
+        """Best matches of ``query`` within one position's profile series.
+
+        Returns ``(best_global, best_feasible)`` where ``best_feasible``
+        honours the continuity constraint (``None`` when nothing is
+        feasible) and ``best_global`` is the unconstrained winner.
+        """
+        config = self._config
+        phases = position.phases
+        # Long windows are decimated (query and candidates alike) so DTW
+        # cost stays bounded; the matched time span is unchanged.
+        decimation = max(1, -(-len(query) // config.max_query_samples))
+        decimated_query = query[::decimation]
+        best_global = None
+        best_feasible = None
+        for length in config.candidate_lengths():
+            if length > len(phases):
+                continue
+            candidates = sliding_windows(phases, int(length), config.profile_stride)
+            ends = (
+                np.arange(len(candidates)) * config.profile_stride + int(length) - 1
+            )
+            distances = batched_dtw_distance(
+                decimated_query,
+                candidates[:, ::decimation],
+                band=config.dtw_band,
+                metric="circular",
+            )
+
+            def make_result(k: int) -> MatchResult:
+                end = int(ends[k])
+                return MatchResult(
+                    orientation=float(position.orientations[end]),
+                    distance=float(distances[k]),
+                    position_index=position_index,
+                    start_index=end - int(length) + 1,
+                    length=int(length),
+                    speed_ratio=float(length) / len(query),
+                )
+
+            k = int(np.argmin(distances))
+            if best_global is None or distances[k] < best_global.distance:
+                best_global = make_result(k)
+            if center_orientation is not None:
+                feasible = (
+                    np.abs(position.orientations[ends] - center_orientation)
+                    <= tolerance_rad
+                )
+                if np.any(feasible):
+                    masked = np.where(feasible, distances, np.inf)
+                    k = int(np.argmin(masked))
+                    if best_feasible is None or masked[k] < best_feasible.distance:
+                        best_feasible = make_result(k)
+        return best_global, best_feasible
+
+    def match(
+        self,
+        query: np.ndarray,
+        position_index: int,
+        center_orientation: Optional[float] = None,
+        tolerance_rad: float = float("inf"),
+    ) -> MatchResult:
+        """Match a resampled, wrapped phase window (Alg. 1).
+
+        Args:
+            query: the CSI input window on the uniform grid, wrapped
+                phases, shape ``(W_samples,)``.
+            position_index: the estimated head position ``i*``; with
+                ``config.neighbor_positions > 0`` adjacent positions
+                compete too and the lowest DTW distance wins.
+            center_orientation: optional continuity prior — candidates
+                ending within ``tolerance_rad`` of this yaw are
+                preferred.  The head moves continuously, so the tracker
+                passes its previous estimate here; this is the
+                search-space form of the paper's jump filter, resolving
+                same-phase-different-orientation ambiguity instead of
+                merely rejecting its fallout.  To avoid locking onto a
+                wrong branch forever, the unconstrained global best wins
+                whenever its distance beats the best feasible candidate
+                by more than ``config.escape_ratio``.
+        """
+        query = wrap_phase(np.asarray(query, dtype=np.float64))
+        if query.ndim != 1 or len(query) < 2:
+            raise ValueError("query must be a 1-D array with >= 2 samples")
+        if not 0 <= position_index < len(self._profile):
+            raise ValueError(
+                f"position_index {position_index} out of range "
+                f"[0, {len(self._profile)})"
+            )
+        lo = max(0, position_index - self._config.neighbor_positions)
+        hi = min(len(self._profile), position_index + self._config.neighbor_positions + 1)
+        globals_, feasibles = [], []
+        for i in range(lo, hi):
+            best_global, best_feasible = self._match_position(
+                query, self._profile[i], i, center_orientation, tolerance_rad
+            )
+            if best_global is not None:
+                globals_.append(best_global)
+            if best_feasible is not None:
+                feasibles.append(best_feasible)
+        if not globals_:
+            raise ValueError(
+                "every profiled position is shorter than every candidate "
+                "match length"
+            )
+        best_global = min(globals_, key=lambda r: r.distance)
+        if not feasibles:
+            return best_global
+        best_feasible = min(feasibles, key=lambda r: r.distance)
+        if best_global.distance < self._config.escape_ratio * best_feasible.distance:
+            return best_global
+        return best_feasible

@@ -1,0 +1,224 @@
+"""Online (streaming) tracking — the API a real deployment drives.
+
+:class:`repro.core.tracker.ViHOTTracker` processes a whole logged capture
+at once, which is right for evaluation but not for a head unit receiving
+one CSI report per WiFi packet.  ``OnlineTracker`` exposes the push-style
+interface:
+
+    tracker = OnlineTracker(profile)
+    for record in nic:                      # one CsiRecord per packet
+        tracker.push_csi(record.time, record.csi)
+        ...
+    estimate = tracker.estimate()           # whenever the HUD needs one
+
+State is identical to the batch tracker's (same position estimator, same
+matcher, same stationary/continuity logic); the difference is purely that
+samples arrive incrementally and old ones are evicted from a bounded
+ring buffer.  ``tests/core/test_online.py`` pins the equivalence against
+the batch tracker.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import ViHOTConfig
+from repro.core.profile import CsiProfile
+from repro.core.sanitize import antenna_phase_difference
+from repro.core.tracker import Estimate, ViHOTTracker
+from repro.dsp.phase import wrap_phase
+from repro.dsp.series import TimeSeries
+from repro.net.link import CsiStream
+
+
+class OnlineTracker:
+    """Incremental ViHOT: push CSI/IMU samples, pull estimates.
+
+    Args:
+        profile: the driver's CSI profile.
+        config: run-time parameters (shared with the batch tracker).
+        camera: optional steering fallback with ``estimate_at(t)``.
+        buffer_s: how much phase history to retain.  Must cover the
+            stability window plus the largest match window; the default
+            keeps a comfortable margin.
+    """
+
+    def __init__(
+        self,
+        profile: CsiProfile,
+        config: ViHOTConfig = ViHOTConfig(),
+        camera=None,
+        buffer_s: float = 10.0,
+    ) -> None:
+        needed = max(config.stable_window_s, config.window_s) + 1.0
+        if buffer_s < needed:
+            raise ValueError(
+                f"buffer_s={buffer_s} too small; need >= {needed:.1f}s for "
+                "the configured stability/match windows"
+            )
+        self._batch = ViHOTTracker(profile, config, camera=camera)
+        self._config = config
+        self._buffer_s = buffer_s
+
+        self._phase_times: List[float] = []
+        self._phase_values: List[float] = []
+        self._last_wrapped: Optional[float] = None
+        self._unwrap_offset = 0.0
+
+        self._imu_times: List[float] = []
+        self._imu_values: List[float] = []
+
+        self._position = None  # created lazily on first estimate
+        self._previous: Optional[Estimate] = None
+        self._last_confident: Optional[float] = None
+
+    @property
+    def config(self) -> ViHOTConfig:
+        return self._config
+
+    @property
+    def buffered_seconds(self) -> float:
+        if len(self._phase_times) < 2:
+            return 0.0
+        return self._phase_times[-1] - self._phase_times[0]
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def push_csi(self, time: float, csi: np.ndarray) -> None:
+        """Ingest one packet's CSI matrix, shape ``(n_rx, F)``."""
+        csi = np.asarray(csi)
+        if csi.ndim != 2:
+            raise ValueError(f"per-packet CSI must be (n_rx, F), got {csi.shape}")
+        if self._phase_times and time <= self._phase_times[-1]:
+            # Reordered/duplicate packet: the NIC timestamps are our
+            # clock, so a non-increasing arrival is dropped.
+            return
+        wrapped = float(antenna_phase_difference(csi[None, :, :])[0])
+        # Incremental unwrap against the previous sample.
+        if self._last_wrapped is not None:
+            delta = wrapped - self._last_wrapped
+            if delta > np.pi:
+                self._unwrap_offset -= 2.0 * np.pi
+            elif delta < -np.pi:
+                self._unwrap_offset += 2.0 * np.pi
+        self._last_wrapped = wrapped
+        self._phase_times.append(float(time))
+        self._phase_values.append(wrapped + self._unwrap_offset)
+        self._evict(time)
+
+    def push_imu(self, time: float, yaw_rate: float) -> None:
+        """Ingest one phone gyro reading."""
+        if self._imu_times and time <= self._imu_times[-1]:
+            return
+        self._imu_times.append(float(time))
+        self._imu_values.append(float(yaw_rate))
+
+    def _evict(self, now: float) -> None:
+        horizon = now - self._buffer_s
+        drop = 0
+        while drop < len(self._phase_times) and self._phase_times[drop] < horizon:
+            drop += 1
+        if drop:
+            del self._phase_times[:drop]
+            del self._phase_values[:drop]
+        drop = 0
+        while drop < len(self._imu_times) and self._imu_times[drop] < horizon:
+            drop += 1
+        if drop:
+            del self._imu_times[:drop]
+            del self._imu_values[:drop]
+
+    # ------------------------------------------------------------------
+    # Estimate
+    # ------------------------------------------------------------------
+    def ready(self) -> bool:
+        """True once enough history has accumulated to estimate."""
+        warmup = max(self._config.window_s, self._config.stable_window_s)
+        return self.buffered_seconds >= warmup
+
+    def estimate(self, t: Optional[float] = None) -> Optional[Estimate]:
+        """Estimate the head orientation at ``t`` (default: latest sample).
+
+        Returns ``None`` until :meth:`ready` (Alg. 1's setup time) or if
+        no estimate can be formed at ``t``.
+        """
+        if not self._phase_times:
+            return None
+        if t is None:
+            t = self._phase_times[-1]
+        if not self.ready():
+            return None
+
+        from repro.core.position import PositionEstimator
+
+        if self._position is None:
+            self._position = PositionEstimator(
+                self._batch.profile,
+                window_s=self._config.stable_window_s,
+                std_threshold_rad=self._config.stable_std_rad,
+            )
+
+        phase = TimeSeries(
+            np.asarray(self._phase_times), np.asarray(self._phase_values)
+        )
+        imu = None
+        if self._imu_times:
+            imu = TimeSeries(np.asarray(self._imu_times), np.asarray(self._imu_values))
+        stream = _StreamView(imu)
+
+        estimate = self._batch._estimate_once(
+            phase,
+            stream,
+            self._position,
+            float(t),
+            len(self._batch.profile) // 2,
+            self._previous,
+            self._last_confident,
+        )
+        if estimate is not None:
+            self._previous = estimate
+            if estimate.mode in ("csi", "fallback"):
+                self._last_confident = estimate.time
+        return estimate
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def feed(self, stream: CsiStream, estimate_stride_s: float = 0.05):
+        """Replay a logged capture through the online path.
+
+        Yields estimates as they become available — the streaming
+        equivalent of ``ViHOTTracker.process``.
+        """
+        if estimate_stride_s <= 0:
+            raise ValueError("estimate_stride_s must be positive")
+        imu_iter = 0
+        imu = stream.imu
+        next_estimate = None
+        for k in range(len(stream)):
+            t = float(stream.times[k])
+            if imu is not None:
+                while imu_iter < len(imu) and imu.times[imu_iter] <= t:
+                    self.push_imu(
+                        float(imu.times[imu_iter]),
+                        float(np.asarray(imu.values)[imu_iter]),
+                    )
+                    imu_iter += 1
+            self.push_csi(t, stream.csi[k])
+            if next_estimate is None and self.ready():
+                next_estimate = t
+            if next_estimate is not None and t >= next_estimate:
+                estimate = self.estimate(t)
+                next_estimate += estimate_stride_s
+                if estimate is not None:
+                    yield estimate
+
+
+class _StreamView:
+    """Duck-typed stand-in for CsiStream inside _estimate_once."""
+
+    def __init__(self, imu: Optional[TimeSeries]) -> None:
+        self.imu = imu

@@ -1,0 +1,122 @@
+"""Head-position estimation from the stable facing-front phase (Sec. 3.4.1).
+
+Drivers must watch the road, so whenever the CSI phase has been flat for a
+while the head is at 0 degrees — and the flat phase value ``phi0_r`` is a
+fingerprint of the current head *position*.  Eq. (4) picks the profiled
+position whose fingerprint is closest:
+
+    i* = argmin_i | phi0_c(i) - phi0_r |
+
+with the distance measured on the circle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.profile import CsiProfile
+from repro.dsp.phase import circular_mean, phase_difference, phase_std, wrap_phase
+from repro.dsp.series import TimeSeries
+
+
+def detect_stable_phase(
+    phase: TimeSeries,
+    t: float,
+    window_s: float,
+    std_threshold_rad: float,
+) -> Optional[float]:
+    """If the phase was flat over ``[t - window_s, t]``, return its level.
+
+    Returns the wrapped circular-mean phase of the window when its
+    circular standard deviation is below ``std_threshold_rad``; ``None``
+    when the window is too sparse or not flat (head moving).
+    """
+    if window_s <= 0 or std_threshold_rad <= 0:
+        raise ValueError("window_s and std_threshold_rad must be positive")
+    window = phase.slice(t - window_s, t)
+    # Require a sane sample count: a 2-sample window is trivially "flat".
+    if len(window) < 8:
+        return None
+    wrapped = wrap_phase(np.asarray(window.values))
+    if phase_std(wrapped) > std_threshold_rad:
+        return None
+    return float(circular_mean(wrapped))
+
+
+@dataclass
+class PositionEstimator:
+    """Tracks the current head-position index ``i*`` over a session.
+
+    Feed it phase observations via :meth:`update`; it re-estimates the
+    position whenever it sees a stable facing-front interval, and
+    otherwise holds the last estimate (the head position cannot change
+    while the head is turning mid-glance).
+    """
+
+    profile: CsiProfile
+    window_s: float = 0.5
+    std_threshold_rad: float = 0.06
+    tie_margin_rad: float = 0.04
+
+    def __post_init__(self) -> None:
+        if len(self.profile) == 0:
+            raise ValueError("cannot estimate positions against an empty profile")
+        self._fingerprints = self.profile.phi0_fingerprints()
+        self._current: Optional[int] = None
+        self._last_phi0: Optional[float] = None
+        self._last_fix_time: Optional[float] = None
+
+    @property
+    def current_index(self) -> Optional[int]:
+        """Most recent position estimate (``None`` before the first one)."""
+        return self._current
+
+    @property
+    def last_phi0(self) -> Optional[float]:
+        """The stable phase that produced the current estimate."""
+        return self._last_phi0
+
+    @property
+    def last_fix_time(self) -> Optional[float]:
+        """When the most recent stable interval was observed.
+
+        While a fix is *current* (the phase is stable right now), the
+        Sec. 3.4.1 assumption also pins the orientation: stable phase
+        means the driver is facing front at 0 degrees.  The tracker uses
+        this to anchor its estimate during facing-front stretches.
+        """
+        return self._last_fix_time
+
+    def estimate_from_phi0(self, phi0_r: float) -> int:
+        """Eq. (4): nearest profiled fingerprint on the circle.
+
+        Fingerprints of *distant* positions can collide (the composite
+        phase is not monotone in the lean), so near-ties are broken
+        toward the current position index: a head position drifts slowly
+        ("the driver's head position typically does not vary much during
+        a trip", Sec. 2.3), it does not teleport across the seat.
+        """
+        distances = np.abs(phase_difference(self._fingerprints, phi0_r))
+        best = int(np.argmin(distances))
+        if self._current is None:
+            return best
+        ties = np.flatnonzero(distances <= distances[best] + self.tie_margin_rad)
+        return int(min(ties, key=lambda i: abs(int(i) - self._current)))
+
+    def update(self, phase: TimeSeries, t: float) -> Optional[int]:
+        """Ingest the phase history up to time ``t``.
+
+        Returns the (possibly unchanged) current position index, or
+        ``None`` if no stable interval has been seen yet this session.
+        """
+        phi0_r = detect_stable_phase(
+            phase, t, self.window_s, self.std_threshold_rad
+        )
+        if phi0_r is not None:
+            self._current = self.estimate_from_phi0(phi0_r)
+            self._last_phi0 = phi0_r
+            self._last_fix_time = t
+        return self._current

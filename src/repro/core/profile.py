@@ -1,0 +1,152 @@
+"""The CSI profile ``P = {C_1, ..., C_i, ...}`` (Sec. 3.3).
+
+Each ``PositionProfile`` (the paper's ``C_i``) stores, for one head
+position, the synchronized pair of uniform-grid series collected while the
+driver scanned left-right:
+
+* ``phases`` — the sanitized, wrapped CSI phase series ``Phi*_c``;
+* ``orientations`` — the ground-truth head yaw series ``Theta*_c``;
+* ``phi0`` — the stable "facing front" phase fingerprint ``phi0_c(i)``
+  used by the position estimator (Sec. 3.4.1).
+
+Profiles persist as ``.npz`` archives so a driver's profile survives
+across trips (Sec. 3.3: the profile "can be timely improved after each
+use").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.dsp.phase import wrap_phase
+
+
+@dataclass(frozen=True)
+class PositionProfile:
+    """The profiled CSI-orientation relation at one head position.
+
+    Attributes:
+        label: position identifier (we use the lean offset in metres).
+        rate_hz: uniform grid rate of the stored series.
+        phases: wrapped CSI phases, shape ``(N,)``.
+        orientations: head yaw [rad], shape ``(N,)``.
+        phi0: wrapped stable-front phase fingerprint.
+    """
+
+    label: float
+    rate_hz: float
+    phases: np.ndarray
+    orientations: np.ndarray
+    phi0: float
+
+    def __post_init__(self) -> None:
+        phases = np.asarray(self.phases, dtype=np.float64)
+        orientations = np.asarray(self.orientations, dtype=np.float64)
+        if phases.ndim != 1 or len(phases) < 2:
+            raise ValueError("phases must be a 1-D array with >= 2 samples")
+        if orientations.shape != phases.shape:
+            raise ValueError(
+                f"orientations shape {orientations.shape} != phases {phases.shape}"
+            )
+        if self.rate_hz <= 0:
+            raise ValueError(f"rate_hz must be positive, got {self.rate_hz}")
+        object.__setattr__(self, "phases", wrap_phase(phases))
+        object.__setattr__(self, "orientations", orientations)
+        object.__setattr__(self, "phi0", float(wrap_phase(self.phi0)))
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+    @property
+    def duration_s(self) -> float:
+        return (len(self.phases) - 1) / self.rate_hz
+
+    @property
+    def orientation_range(self) -> tuple:
+        """(min, max) profiled yaw [rad] — the coverage of this position."""
+        return (float(self.orientations.min()), float(self.orientations.max()))
+
+
+@dataclass
+class CsiProfile:
+    """A driver's complete profile ``P`` over all head positions."""
+
+    positions: List[PositionProfile] = field(default_factory=list)
+    driver: str = "unknown"
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+    def __iter__(self):
+        return iter(self.positions)
+
+    def __getitem__(self, index: int) -> PositionProfile:
+        return self.positions[index]
+
+    def add(self, position: PositionProfile) -> None:
+        """Append a newly profiled head position."""
+        if self.positions and position.rate_hz != self.positions[0].rate_hz:
+            raise ValueError(
+                f"rate mismatch: profile at {self.positions[0].rate_hz} Hz, "
+                f"new position at {position.rate_hz} Hz"
+            )
+        self.positions.append(position)
+
+    @property
+    def rate_hz(self) -> float:
+        if not self.positions:
+            raise ValueError("empty profile has no rate")
+        return self.positions[0].rate_hz
+
+    def phi0_fingerprints(self) -> np.ndarray:
+        """``phi0_c(i)`` for every position, shape ``(len(self),)``."""
+        return np.array([p.phi0 for p in self.positions])
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Serialise to a ``.npz`` archive at ``path``."""
+        path = Path(path)
+        arrays = {}
+        meta = {"driver": self.driver, "num_positions": len(self.positions)}
+        labels, rates, phi0s = [], [], []
+        for k, pos in enumerate(self.positions):
+            arrays[f"phases_{k}"] = pos.phases
+            arrays[f"orientations_{k}"] = pos.orientations
+            labels.append(pos.label)
+            rates.append(pos.rate_hz)
+            phi0s.append(pos.phi0)
+        arrays["labels"] = np.array(labels)
+        arrays["rates"] = np.array(rates)
+        arrays["phi0s"] = np.array(phi0s)
+        arrays["meta_json"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+
+    @staticmethod
+    def load(path) -> "CsiProfile":
+        """Load a profile previously written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"no profile at {path}")
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta_json"].tobytes()).decode("utf-8"))
+            profile = CsiProfile(driver=meta["driver"])
+            for k in range(int(meta["num_positions"])):
+                profile.add(
+                    PositionProfile(
+                        label=float(data["labels"][k]),
+                        rate_hz=float(data["rates"][k]),
+                        phases=data[f"phases_{k}"],
+                        orientations=data[f"orientations_{k}"],
+                        phi0=float(data["phi0s"][k]),
+                    )
+                )
+        return profile

@@ -1,0 +1,158 @@
+"""Profile quality assessment — is this CSI profile fit for tracking?
+
+The profiling pass (Sec. 3.3) is quick and human-driven, so a deployment
+should check what it got before trusting it for a whole trip.  Three
+properties make a profile good:
+
+1. **Coverage** — the scanned orientations span the range the driver
+   will actually use (±80 degrees or so);
+2. **Sensitivity** — the phase moves enough per degree of orientation
+   that measurement noise does not swamp it;
+3. **Separability** — the per-position phi0 fingerprints are far enough
+   apart (relative to their own noise) for Eq. (4) to work.
+
+``assess_profile`` measures all three and aggregates a verdict; the CLI
+and the profiling example surface it to the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.core.profile import CsiProfile, PositionProfile
+from repro.dsp.phase import phase_difference
+
+
+@dataclass(frozen=True)
+class PositionQuality:
+    """Per-position quality numbers.
+
+    Attributes:
+        label: the position's label.
+        coverage_deg: scanned orientation span.
+        phase_range_rad: wrapped-phase dynamic range over the sweep.
+        sensitivity_rad_per_deg: median |dphi/dtheta| over the sweep.
+        noise_rad: residual phase noise (high-frequency component).
+        snr: sensitivity * 10 degrees / noise — how clearly a 10-degree
+            head turn stands out of the noise.
+    """
+
+    label: float
+    coverage_deg: float
+    phase_range_rad: float
+    sensitivity_rad_per_deg: float
+    noise_rad: float
+    snr: float
+
+
+@dataclass(frozen=True)
+class ProfileQuality:
+    """Whole-profile assessment."""
+
+    positions: List[PositionQuality]
+    min_coverage_deg: float
+    median_snr: float
+    fingerprint_separation: float
+    verdict: str
+
+    def __str__(self) -> str:
+        return (
+            f"{self.verdict}: coverage >= {self.min_coverage_deg:.0f} deg, "
+            f"median 10-deg SNR {self.median_snr:.1f}, fingerprint "
+            f"separation {self.fingerprint_separation:.1f}x noise"
+        )
+
+
+def _assess_position(position: PositionProfile) -> PositionQuality:
+    orientations = position.orientations
+    phases = position.phases
+    coverage = float(np.rad2deg(orientations.max() - orientations.min()))
+    phase_range = float(np.ptp(phases))
+
+    # Sensitivity: slope of the binned curve, not per-sample differences
+    # (those measure noise when consecutive samples are milli-degrees
+    # apart).  Bin orientations at 5-degree resolution, take the median
+    # phase per bin, and measure the slope between adjacent bins.
+    theta_deg = np.rad2deg(orientations)
+    bins = np.arange(theta_deg.min(), theta_deg.max() + 5.0, 5.0)
+    slopes = []
+    previous = None
+    for lo in bins[:-1]:
+        mask = (theta_deg >= lo) & (theta_deg < lo + 5.0)
+        if mask.sum() < 3:
+            previous = None
+            continue
+        level = (lo + 2.5, float(np.median(phases[mask])))
+        if previous is not None:
+            slopes.append(abs(level[1] - previous[1]) / (level[0] - previous[0]))
+        previous = level
+    sensitivity = float(np.median(slopes)) if slopes else 0.0
+
+    # Noise: the high-frequency residual after a short moving average.
+    kernel = np.ones(9) / 9.0
+    smooth = np.convolve(phases, kernel, mode="same")
+    noise = float(np.std((phases - smooth)[5:-5])) if len(phases) > 20 else 0.0
+
+    snr = sensitivity * 10.0 / noise if noise > 0 else float("inf")
+    return PositionQuality(
+        label=position.label,
+        coverage_deg=coverage,
+        phase_range_rad=phase_range,
+        sensitivity_rad_per_deg=sensitivity,
+        noise_rad=noise,
+        snr=snr,
+    )
+
+
+def assess_profile(
+    profile: CsiProfile,
+    min_coverage_deg: float = 120.0,
+    min_snr: float = 3.0,
+    min_separation: float = 2.0,
+) -> ProfileQuality:
+    """Assess a profile's fitness for run-time tracking.
+
+    Verdicts: ``"good"`` (all criteria met), ``"marginal"`` (tracking
+    will work with elevated error), ``"poor"`` (re-profile).
+    """
+    if len(profile) == 0:
+        raise ValueError("cannot assess an empty profile")
+    positions = [_assess_position(p) for p in profile]
+
+    coverage = min(p.coverage_deg for p in positions)
+    snr = float(np.median([p.snr for p in positions]))
+
+    # Fingerprint separability: nearest-neighbour phi0 gap over the
+    # typical phi0 noise (approximated by the per-position phase noise).
+    phi0s = profile.phi0_fingerprints()
+    if len(phi0s) > 1:
+        gaps = []
+        for k, phi0 in enumerate(phi0s):
+            others = np.delete(phi0s, k)
+            gaps.append(float(np.min(np.abs(phase_difference(others, phi0)))))
+        noise = float(np.median([max(p.noise_rad, 1e-4) for p in positions]))
+        separation = float(np.median(gaps)) / noise
+    else:
+        separation = float("inf")
+
+    verdict = "good"
+    criteria = (
+        coverage >= min_coverage_deg,
+        snr >= min_snr,
+        separation >= min_separation,
+    )
+    if not all(criteria):
+        verdict = "marginal"
+    if coverage < 0.5 * min_coverage_deg or snr < 1.0:
+        verdict = "poor"
+
+    return ProfileQuality(
+        positions=positions,
+        min_coverage_deg=coverage,
+        median_snr=snr,
+        fingerprint_separation=separation,
+        verdict=verdict,
+    )

@@ -1,0 +1,73 @@
+"""CSI phase sanitisation (Sec. 3.2).
+
+Raw CSI phase from commodity hardware is useless: the CFO term ``beta(t)``
+jumps packet-to-packet and the SFO term tilts the phase across
+subcarriers.  Both are *common to all RX antennas* of one NIC, so the
+phase difference between two RX antennas cancels them (Eq. 3):
+
+    phi_hat_1 - phi_hat_2 = phi_1 - phi_2 + (Z_1 - Z_2)
+
+Averaging that difference across subcarriers then suppresses the residual
+thermal noise.  We do the average circularly (on unit phasors), which is
+the numerically exact version of the paper's arithmetic mean and behaves
+at the +-pi seam.  Finally the per-packet phases are unwrapped along time
+into a continuous track, which is what windowing/resampling needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.phase import circular_mean
+from repro.dsp.series import TimeSeries
+
+
+def antenna_phase_difference(
+    csi: np.ndarray, rx_a: int = 0, rx_b: int = 1
+) -> np.ndarray:
+    """Per-packet subcarrier-averaged phase difference between antennas.
+
+    Args:
+        csi: CSI matrices, shape ``(T, n_rx, F)``.
+        rx_a, rx_b: which RX antennas to difference.
+
+    Returns:
+        Wrapped phases in ``(-pi, pi]``, shape ``(T,)``.
+    """
+    csi = np.asarray(csi)
+    if csi.ndim != 3:
+        raise ValueError(f"csi must have shape (T, n_rx, F), got {csi.shape}")
+    n_rx = csi.shape[1]
+    if not (0 <= rx_a < n_rx and 0 <= rx_b < n_rx) or rx_a == rx_b:
+        raise ValueError(
+            f"need two distinct RX indices below {n_rx}, got {rx_a}, {rx_b}"
+        )
+    # angle(H_a * conj(H_b)) is the wrapped difference phi_a - phi_b,
+    # computed without ever forming the individually-wrapped phases.
+    cross = csi[:, rx_a, :] * np.conj(csi[:, rx_b, :])
+    per_subcarrier = np.angle(cross)
+    return np.asarray(circular_mean(per_subcarrier, axis=1))
+
+
+def sanitize_stream(
+    times: np.ndarray,
+    csi: np.ndarray,
+    rx_a: int = 0,
+    rx_b: int = 1,
+    unwrap: bool = True,
+) -> TimeSeries:
+    """Turn a CSI capture into the tracker's phase series ``phi(t)``.
+
+    With ``unwrap=True`` (default) the result is a continuous track,
+    suitable for interpolation; wrap it back (``repro.dsp.phase.wrap_phase``)
+    when a value in ``(-pi, pi]`` is needed.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    phases = antenna_phase_difference(csi, rx_a, rx_b)
+    if len(times) != len(phases):
+        raise ValueError(
+            f"got {len(times)} timestamps for {len(phases)} CSI snapshots"
+        )
+    if unwrap and len(phases) > 1:
+        phases = np.unwrap(phases)
+    return TimeSeries(times, phases)

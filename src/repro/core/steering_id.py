@@ -1,0 +1,72 @@
+"""The driver-steering identifier (Sec. 3.6.2).
+
+A large steering input moves the driver's hands through the signal field
+and swings the CSI phase exactly like a head turn would (Fig. 8).  The
+phone IMU disambiguates: only steering turns the car body, so
+
+* car yaw rate above a threshold  ->  the CSI variation is steering-borne;
+  the tracker must not trust CSI and falls back (camera, or hold);
+* car yaw rate flat               ->  the CSI variation is the head.
+
+The identifier smooths the gyro over a short window to reject vibration
+jitter, and extends each detection by a hold-off: the hands keep moving
+(unwinding the wheel) slightly after the yaw rate decays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.series import TimeSeries
+
+
+@dataclass
+class SteeringIdentifier:
+    """Classifies instants as steering-dominated from the phone gyro.
+
+    Attributes:
+        rate_threshold: |car yaw rate| [rad/s] above which the car is
+            considered turning (default ~3.4 deg/s).
+        smooth_window_s: gyro smoothing window.
+        holdoff_s: how long after the yaw rate drops the identifier keeps
+            flagging (wheel unwinding tail).
+    """
+
+    rate_threshold: float = 0.06
+    smooth_window_s: float = 0.25
+    holdoff_s: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.rate_threshold <= 0:
+            raise ValueError("rate_threshold must be positive")
+        if self.smooth_window_s <= 0 or self.holdoff_s < 0:
+            raise ValueError("invalid smoothing/holdoff configuration")
+
+    def smoothed_rate(self, imu: TimeSeries, t: float) -> float:
+        """Mean |yaw rate| over the smoothing window ending at ``t``."""
+        window = imu.slice(t - self.smooth_window_s, t)
+        if len(window) == 0:
+            # No IMU data yet: report zero so the tracker trusts CSI, the
+            # same behaviour as the prototype before the stream starts.
+            return 0.0
+        return float(np.mean(np.abs(np.asarray(window.values))))
+
+    def is_steering(self, imu: TimeSeries, t: float) -> bool:
+        """True when the CSI at ``t`` should be attributed to steering.
+
+        Checks both the window ending at ``t`` and the one ending
+        ``holdoff_s`` earlier, so the flag persists through the unwinding
+        tail of a turn.
+        """
+        if self.smoothed_rate(imu, t) > self.rate_threshold:
+            return True
+        if self.holdoff_s > 0:
+            return self.smoothed_rate(imu, t - self.holdoff_s) > self.rate_threshold
+        return False
+
+    def steering_mask(self, imu: TimeSeries, times: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`is_steering` over many timestamps."""
+        times = np.asarray(times, dtype=np.float64)
+        return np.array([self.is_steering(imu, float(t)) for t in times])

@@ -1,0 +1,34 @@
+"""Signal-processing substrate: time series, resampling, DTW, phase math."""
+
+from repro.dsp.series import TimeSeries
+from repro.dsp.resample import resample_uniform, largest_gap, mean_rate
+from repro.dsp.phase import (
+    wrap_phase,
+    circular_mean,
+    phase_difference,
+    unwrap_phase,
+    phase_std,
+)
+from repro.dsp.dtw import dtw_distance, dtw_path, batched_dtw_distance
+from repro.dsp.filters import moving_average, median_filter, hampel_filter
+from repro.dsp.windows import sliding_windows, window_slice
+
+__all__ = [
+    "TimeSeries",
+    "resample_uniform",
+    "largest_gap",
+    "mean_rate",
+    "wrap_phase",
+    "circular_mean",
+    "phase_difference",
+    "unwrap_phase",
+    "phase_std",
+    "dtw_distance",
+    "dtw_path",
+    "batched_dtw_distance",
+    "moving_average",
+    "median_filter",
+    "hampel_filter",
+    "sliding_windows",
+    "window_slice",
+]

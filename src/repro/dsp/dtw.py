@@ -1,0 +1,184 @@
+"""Dynamic Time Warping distances for CSI series matching.
+
+Algorithm 1 of the paper matches a windowed CSI phase series against every
+candidate segment of the CSI profile, for a range of candidate lengths
+(Sec. 3.4.4-3.4.5).  Three entry points support that:
+
+``dtw_distance``
+    Reference implementation for a single pair of series.  Used by tests
+    and small ablations; clarity over speed.
+
+``dtw_path``
+    Distance plus the optimal alignment path (needed by the forecasting
+    ablation and useful for debugging matches).
+
+``batched_dtw_distance``
+    One query against a stack of equal-length candidates, vectorised over
+    the batch along anti-diagonals of the DP table.  This is what makes the
+    faithful Algorithm 1 (hundreds of candidate offsets per length)
+    tractable in pure numpy.
+
+Distances are normalised by ``len(a) + len(b)`` so that candidates of
+different lengths compete fairly in the length search.
+
+All entry points accept ``metric="abs"`` (plain ``|a - b|``) or
+``metric="circular"`` (``|wrap(a - b)|``); the circular metric is the right
+one for wrapped CSI phases, which would otherwise pay a spurious ~2 pi cost
+when a series crosses the +-pi seam.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+_INF = np.inf
+
+_METRICS = ("abs", "circular")
+
+
+def _as_1d(x: np.ndarray, name: str) -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1 or len(x) == 0:
+        raise ValueError(f"{name} must be a non-empty 1-D array, got shape {x.shape}")
+    return x
+
+
+def _pointwise_cost(a: np.ndarray, b: np.ndarray, metric: str) -> np.ndarray:
+    """Element-wise cost between broadcastable arrays under ``metric``."""
+    if metric not in _METRICS:
+        raise ValueError(f"metric must be one of {_METRICS}, got {metric!r}")
+    diff = a - b
+    if metric == "circular":
+        diff = np.mod(diff + np.pi, 2.0 * np.pi) - np.pi
+    return np.abs(diff)
+
+
+def dtw_distance(
+    a: np.ndarray,
+    b: np.ndarray,
+    band: Optional[int] = None,
+    metric: str = "abs",
+) -> float:
+    """Normalised DTW distance between two 1-D series.
+
+    ``band`` is an optional Sakoe-Chiba constraint: cells further than
+    ``band`` from the (rescaled) diagonal are forbidden.  Returns ``inf``
+    when the band makes alignment infeasible.
+    """
+    a = _as_1d(a, "a")
+    b = _as_1d(b, "b")
+    m, n = len(a), len(b)
+    cost = _pointwise_cost(a[:, None], b[None, :], metric)
+    if band is not None:
+        if band < 0:
+            raise ValueError(f"band must be non-negative, got {band}")
+        i_idx = np.arange(m)[:, None]
+        j_idx = np.arange(n)[None, :]
+        # Rescale the diagonal for unequal lengths before applying the band.
+        off_diag = np.abs(i_idx * (n / m) - j_idx)
+        cost = np.where(off_diag <= band, cost, _INF)
+
+    dp = np.full((m + 1, n + 1), _INF)
+    dp[0, 0] = 0.0
+    for i in range(1, m + 1):
+        # Vector over j is impossible (dp[i, j-1] dependency); plain loop.
+        row_cost = cost[i - 1]
+        prev = dp[i - 1]
+        cur = dp[i]
+        for j in range(1, n + 1):
+            c = row_cost[j - 1]
+            if c == _INF:
+                continue
+            best = min(prev[j], prev[j - 1], cur[j - 1])
+            if best != _INF:
+                cur[j] = c + best
+    total = dp[m, n]
+    if total == _INF:
+        return _INF
+    return float(total / (m + n))
+
+
+def dtw_path(
+    a: np.ndarray, b: np.ndarray, metric: str = "abs"
+) -> Tuple[float, List[Tuple[int, int]]]:
+    """DTW distance and optimal alignment path as ``[(i, j), ...]``.
+
+    The path starts at ``(0, 0)`` and ends at ``(len(a)-1, len(b)-1)``.
+    """
+    a = _as_1d(a, "a")
+    b = _as_1d(b, "b")
+    m, n = len(a), len(b)
+    cost = _pointwise_cost(a[:, None], b[None, :], metric)
+    dp = np.full((m + 1, n + 1), _INF)
+    dp[0, 0] = 0.0
+    for i in range(1, m + 1):
+        for j in range(1, n + 1):
+            best = min(dp[i - 1, j], dp[i, j - 1], dp[i - 1, j - 1])
+            dp[i, j] = cost[i - 1, j - 1] + best
+
+    path: List[Tuple[int, int]] = []
+    i, j = m, n
+    while i > 0 and j > 0:
+        path.append((i - 1, j - 1))
+        moves = (
+            (dp[i - 1, j - 1], i - 1, j - 1),
+            (dp[i - 1, j], i - 1, j),
+            (dp[i, j - 1], i, j - 1),
+        )
+        _, i, j = min(moves, key=lambda item: item[0])
+    path.reverse()
+    return float(dp[m, n] / (m + n)), path
+
+
+def batched_dtw_distance(
+    query: np.ndarray,
+    candidates: np.ndarray,
+    band: Optional[int] = None,
+    metric: str = "abs",
+) -> np.ndarray:
+    """Normalised DTW distance from ``query`` to each row of ``candidates``.
+
+    ``query`` has shape ``(m,)``; ``candidates`` has shape ``(B, L)``.
+    Returns shape ``(B,)``.  The DP table is evaluated along anti-diagonals
+    so the per-cell min/add work is vectorised over all ``B`` candidates
+    and all cells of the diagonal at once; the python-level loop runs only
+    ``m + L - 1`` times.
+    """
+    query = _as_1d(query, "query")
+    candidates = np.asarray(candidates, dtype=np.float64)
+    if candidates.ndim != 2 or candidates.shape[1] == 0:
+        raise ValueError(
+            f"candidates must have shape (B, L) with L > 0, got {candidates.shape}"
+        )
+    m = len(query)
+    n_batch, length = candidates.shape
+    if n_batch == 0:
+        return np.zeros(0)
+
+    cost = _pointwise_cost(query[None, :, None], candidates[:, None, :], metric)
+    if band is not None:
+        if band < 0:
+            raise ValueError(f"band must be non-negative, got {band}")
+        i_idx = np.arange(m)[:, None]
+        j_idx = np.arange(length)[None, :]
+        off_diag = np.abs(i_idx * (length / m) - j_idx)
+        cost = np.where(off_diag[None] <= band, cost, _INF)
+
+    dp = np.full((n_batch, m + 1, length + 1), _INF)
+    dp[:, 0, 0] = 0.0
+    for k in range(2, m + length + 1):
+        i_lo = max(1, k - length)
+        i_hi = min(m, k - 1)
+        if i_lo > i_hi:
+            continue
+        i_arr = np.arange(i_lo, i_hi + 1)
+        j_arr = k - i_arr
+        step_cost = cost[:, i_arr - 1, j_arr - 1]
+        best = np.minimum(
+            dp[:, i_arr - 1, j_arr],
+            np.minimum(dp[:, i_arr, j_arr - 1], dp[:, i_arr - 1, j_arr - 1]),
+        )
+        dp[:, i_arr, j_arr] = step_cost + best
+    return dp[:, m, length] / (m + length)

@@ -1,0 +1,81 @@
+"""Simple robust filters for CSI phase streams.
+
+The tracker uses a short moving average to tame thermal noise, and a
+Hampel (median + MAD) filter to reject the "jumpy" single-sample outliers
+the paper attributes to small bursty steering corrections (Sec. 3.6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_signal(x: np.ndarray, name: str = "x") -> np.ndarray:
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {x.shape}")
+    return x
+
+
+def moving_average(x: np.ndarray, window: int) -> np.ndarray:
+    """Centred moving average with edge shrinking (output length == input).
+
+    ``window`` is the nominal number of taps; near the edges the window
+    shrinks so no samples are invented.
+    """
+    x = _check_signal(x)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window == 1 or len(x) == 0:
+        return x.copy()
+    kernel = np.ones(min(window, len(x)))
+    sums = np.convolve(x, kernel, mode="same")
+    counts = np.convolve(np.ones_like(x), kernel, mode="same")
+    return sums / counts
+
+
+def median_filter(x: np.ndarray, window: int) -> np.ndarray:
+    """Centred running median with edge shrinking."""
+    x = _check_signal(x)
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if window == 1 or len(x) == 0:
+        return x.copy()
+    half = window // 2
+    out = np.empty_like(x)
+    for i in range(len(x)):
+        lo = max(0, i - half)
+        hi = min(len(x), i + half + 1)
+        out[i] = np.median(x[lo:hi])
+    return out
+
+
+def hampel_filter(
+    x: np.ndarray,
+    window: int = 7,
+    n_sigmas: float = 3.0,
+) -> np.ndarray:
+    """Replace outliers with the running median (Hampel identifier).
+
+    A sample further than ``n_sigmas`` scaled MADs from the local median is
+    replaced by that median.  With an all-constant window (MAD = 0) any
+    deviating sample is treated as an outlier, which is the desired
+    behaviour for a phase that should be flat while the head faces front.
+    """
+    x = _check_signal(x)
+    if window < 3:
+        raise ValueError(f"window must be >= 3, got {window}")
+    if n_sigmas <= 0:
+        raise ValueError(f"n_sigmas must be positive, got {n_sigmas}")
+    medians = median_filter(x, window)
+    out = x.copy()
+    half = window // 2
+    mad_scale = 1.4826  # MAD -> sigma for a normal distribution
+    for i in range(len(x)):
+        lo = max(0, i - half)
+        hi = min(len(x), i + half + 1)
+        mad = np.median(np.abs(x[lo:hi] - medians[i]))
+        threshold = n_sigmas * mad_scale * mad
+        if np.abs(x[i] - medians[i]) > threshold:
+            out[i] = medians[i]
+    return out

@@ -1,0 +1,61 @@
+"""Phase arithmetic: wrapping, circular averaging, unwrapping.
+
+CSI phases live on the circle, so plain arithmetic means (and plain
+subtraction) are wrong near the +-pi seam.  The sanitiser (Sec. 3.2)
+averages the inter-antenna phase difference across subcarriers; we do that
+as a circular mean of unit phasors, which is exact and seam-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def wrap_phase(phase):
+    """Wrap phase values to ``(-pi, pi]`` (vectorised)."""
+    wrapped = np.mod(np.asarray(phase, dtype=np.float64) + np.pi, 2.0 * np.pi) - np.pi
+    wrapped = np.where(wrapped == -np.pi, np.pi, wrapped)
+    if np.ndim(phase) == 0:
+        return float(wrapped)
+    return wrapped
+
+
+def circular_mean(phases: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Mean direction of angles along ``axis`` (result in ``(-pi, pi]``)."""
+    phases = np.asarray(phases, dtype=np.float64)
+    mean_vector = np.exp(1j * phases).mean(axis=axis)
+    result = np.angle(mean_vector)
+    if result.ndim == 0:
+        return float(result)
+    return result
+
+
+def phase_difference(a: np.ndarray, b: np.ndarray):
+    """Wrapped difference ``a - b`` on the circle."""
+    return wrap_phase(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64))
+
+
+def unwrap_phase(phases: np.ndarray) -> np.ndarray:
+    """Unwrap a 1-D wrapped phase sequence into a continuous track."""
+    phases = np.asarray(phases, dtype=np.float64)
+    if phases.ndim != 1:
+        raise ValueError("unwrap_phase expects a 1-D array")
+    return np.unwrap(phases)
+
+
+def phase_std(phases: np.ndarray) -> float:
+    """Circular standard deviation [rad] of a phase sample set.
+
+    Uses the standard ``sqrt(-2 ln R)`` definition where ``R`` is the mean
+    resultant length; 0 for perfectly aligned phases, growing without bound
+    as the distribution spreads around the circle.
+    """
+    phases = np.asarray(phases, dtype=np.float64)
+    if phases.size == 0:
+        raise ValueError("phase_std of an empty array is undefined")
+    resultant = np.abs(np.exp(1j * phases).mean())
+    # Clamp: resultant can exceed 1 by a few ulps for constant input.
+    resultant = min(1.0, float(resultant))
+    if resultant <= 1e-12:
+        return float(np.sqrt(-2.0 * np.log(1e-12)))
+    return float(np.sqrt(-2.0 * np.log(resultant)))

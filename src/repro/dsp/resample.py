@@ -1,0 +1,56 @@
+"""Resampling irregular CSI streams onto uniform grids.
+
+Sec. 3.4.3 of the paper: "Since the CSI sampling interval is random due to
+WiFi CSMA, we resample [the input and the profile] to the same sampling
+rate before matching them."  Sec. 5.3.5 then attributes the accuracy loss
+under interfering traffic to resampling across large packet gaps, so the
+resampler reports gap statistics instead of hiding them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsp.series import TimeSeries
+
+
+def resample_uniform(
+    series: TimeSeries,
+    rate_hz: float,
+    t_start: float = None,
+    t_end: float = None,
+) -> TimeSeries:
+    """Linearly resample ``series`` onto a uniform grid at ``rate_hz``.
+
+    The grid covers ``[t_start, t_end]`` (defaulting to the series' own
+    span) with spacing ``1/rate_hz``; the endpoints are clamped to the
+    observed samples as linear interpolation cannot extrapolate.
+    """
+    if rate_hz <= 0:
+        raise ValueError(f"rate_hz must be positive, got {rate_hz}")
+    if len(series) < 2:
+        raise ValueError("need at least 2 samples to resample")
+    if t_start is None:
+        t_start = series.start
+    if t_end is None:
+        t_end = series.end
+    if t_end <= t_start:
+        raise ValueError(f"empty resample span [{t_start}, {t_end}]")
+    step = 1.0 / rate_hz
+    n = int(np.floor((t_end - t_start) / step)) + 1
+    grid = t_start + step * np.arange(n)
+    return TimeSeries(grid, series.interp(grid))
+
+
+def largest_gap(series: TimeSeries) -> float:
+    """Largest inter-sample interval [s] (0 for fewer than 2 samples)."""
+    if len(series) < 2:
+        return 0.0
+    return float(np.max(np.diff(series.times)))
+
+
+def mean_rate(series: TimeSeries) -> float:
+    """Average sampling rate [Hz] over the series span."""
+    if len(series) < 2:
+        return 0.0
+    return (len(series) - 1) / series.duration

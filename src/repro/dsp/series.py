@@ -1,0 +1,126 @@
+"""Irregularly-sampled time series.
+
+WiFi CSI arrives at CSMA-jittered packet times, so almost every signal in
+this library is an irregular ``(times, values)`` pair.  ``TimeSeries`` is a
+small immutable container with the slicing, interpolation and resampling
+operations the tracker needs, keeping every call site honest about
+timestamps instead of assuming a uniform grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """A strictly time-ordered series of scalar (or vector) samples.
+
+    ``times`` has shape ``(N,)`` and must be strictly increasing.
+    ``values`` has shape ``(N,)`` or ``(N, D)``.
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=np.float64)
+        values = np.asarray(self.values)
+        if times.ndim != 1:
+            raise ValueError(f"times must be 1-D, got shape {times.shape}")
+        if len(values) != len(times):
+            raise ValueError(
+                f"length mismatch: {len(times)} times vs {len(values)} values"
+            )
+        if len(times) > 1 and np.any(np.diff(times) <= 0):
+            raise ValueError("times must be strictly increasing")
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "values", values)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def duration(self) -> float:
+        """Time span [s] between first and last sample (0 for <2 samples)."""
+        if len(self) < 2:
+            return 0.0
+        return float(self.times[-1] - self.times[0])
+
+    @property
+    def start(self) -> float:
+        if len(self) == 0:
+            raise ValueError("empty series has no start time")
+        return float(self.times[0])
+
+    @property
+    def end(self) -> float:
+        if len(self) == 0:
+            raise ValueError("empty series has no end time")
+        return float(self.times[-1])
+
+    def slice(self, t_start: float, t_end: float) -> "TimeSeries":
+        """Samples with ``t_start <= t <= t_end`` (inclusive both ends)."""
+        if t_end < t_start:
+            raise ValueError(f"t_end ({t_end}) < t_start ({t_start})")
+        lo = int(np.searchsorted(self.times, t_start, side="left"))
+        hi = int(np.searchsorted(self.times, t_end, side="right"))
+        return TimeSeries(self.times[lo:hi], self.values[lo:hi])
+
+    def before(self, t: float) -> "TimeSeries":
+        """Samples with time strictly less than ``t``."""
+        hi = int(np.searchsorted(self.times, t, side="left"))
+        return TimeSeries(self.times[:hi], self.values[:hi])
+
+    def interp(self, query_times: np.ndarray) -> np.ndarray:
+        """Linear interpolation at ``query_times`` (clamped at the ends)."""
+        if len(self) == 0:
+            raise ValueError("cannot interpolate an empty series")
+        query_times = np.asarray(query_times, dtype=np.float64)
+        values = np.asarray(self.values, dtype=np.float64)
+        if values.ndim == 1:
+            return np.interp(query_times, self.times, values)
+        columns = [
+            np.interp(query_times, self.times, values[:, d])
+            for d in range(values.shape[1])
+        ]
+        return np.stack(columns, axis=-1)
+
+    def value_at(self, t: float):
+        """Interpolated value at a single time ``t``."""
+        result = self.interp(np.array([t]))
+        return result[0]
+
+    def map(self, fn: Callable[[np.ndarray], np.ndarray]) -> "TimeSeries":
+        """Apply ``fn`` to the value array, keeping timestamps."""
+        mapped = fn(self.values)
+        return TimeSeries(self.times, mapped)
+
+    def shift(self, dt: float) -> "TimeSeries":
+        """Return a copy with all timestamps shifted by ``dt``."""
+        return TimeSeries(self.times + dt, self.values)
+
+    def concat(self, other: "TimeSeries") -> "TimeSeries":
+        """Append ``other`` (which must start after this series ends)."""
+        if len(self) == 0:
+            return other
+        if len(other) == 0:
+            return self
+        if other.times[0] <= self.times[-1]:
+            raise ValueError(
+                "cannot concat: second series starts at "
+                f"{other.times[0]} <= {self.times[-1]}"
+            )
+        return TimeSeries(
+            np.concatenate([self.times, other.times]),
+            np.concatenate([self.values, other.values]),
+        )
+
+    @staticmethod
+    def empty(value_dims: Optional[int] = None) -> "TimeSeries":
+        """An empty series (optionally with a vector value dimension)."""
+        shape = (0,) if value_dims is None else (0, value_dims)
+        return TimeSeries(np.zeros(0), np.zeros(shape))

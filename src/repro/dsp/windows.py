@@ -1,0 +1,63 @@
+"""Sliding-window helpers for series matching.
+
+Algorithm 1 enumerates every profile segment of a candidate length; these
+helpers materialise such segment stacks efficiently using numpy stride
+tricks (read-only views, no copying).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+
+def sliding_windows(x: np.ndarray, length: int, stride: int = 1) -> np.ndarray:
+    """All windows of ``length`` samples, advancing by ``stride``.
+
+    Returns a read-only view of shape ``(num_windows, length)``.  Raises if
+    the signal is shorter than one window.
+    """
+    x = np.ascontiguousarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError(f"x must be 1-D, got shape {x.shape}")
+    if length < 1:
+        raise ValueError(f"length must be >= 1, got {length}")
+    if stride < 1:
+        raise ValueError(f"stride must be >= 1, got {stride}")
+    if len(x) < length:
+        raise ValueError(f"signal of {len(x)} samples has no window of {length}")
+    num = (len(x) - length) // stride + 1
+    item = x.strides[0]
+    view = np.lib.stride_tricks.as_strided(
+        x, shape=(num, length), strides=(stride * item, item), writeable=False
+    )
+    return view
+
+
+def window_slice(
+    times: np.ndarray, t_end: float, window_s: float
+) -> Tuple[int, int]:
+    """Index range ``(lo, hi)`` covering ``[t_end - window_s, t_end]``.
+
+    ``times`` must be sorted ascending.  The range is half-open and may be
+    empty if no samples fall inside the window.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    if window_s <= 0:
+        raise ValueError(f"window_s must be positive, got {window_s}")
+    lo = int(np.searchsorted(times, t_end - window_s, side="left"))
+    hi = int(np.searchsorted(times, t_end, side="right"))
+    return lo, hi
+
+
+def iter_estimate_times(
+    t_start: float, t_end: float, stride_s: float
+) -> Iterator[float]:
+    """Yield evaluation timestamps from ``t_start`` to ``t_end``."""
+    if stride_s <= 0:
+        raise ValueError(f"stride_s must be positive, got {stride_s}")
+    t = t_start
+    while t <= t_end + 1e-9:
+        yield t
+        t += stride_s

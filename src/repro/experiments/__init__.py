@@ -1,0 +1,44 @@
+"""Evaluation harness: metrics, scenarios, per-figure experiment runners."""
+
+from repro.experiments.metrics import (
+    angular_errors_deg,
+    error_cdf,
+    summarize_errors,
+    ErrorSummary,
+)
+from repro.experiments.scenarios import (
+    ScenarioConfig,
+    Scenario,
+    build_scenario,
+    DRIVERS,
+)
+from repro.experiments.runner import (
+    run_profiling,
+    run_tracking_session,
+    SessionResult,
+)
+from repro.experiments import extensions, figures, plots, presets
+from repro.experiments.presets import preset_config, preset_scenario
+from repro.experiments.report import format_cdf_rows, format_summary_table
+
+__all__ = [
+    "angular_errors_deg",
+    "error_cdf",
+    "summarize_errors",
+    "ErrorSummary",
+    "ScenarioConfig",
+    "Scenario",
+    "build_scenario",
+    "DRIVERS",
+    "run_profiling",
+    "run_tracking_session",
+    "SessionResult",
+    "figures",
+    "extensions",
+    "plots",
+    "presets",
+    "preset_config",
+    "preset_scenario",
+    "format_cdf_rows",
+    "format_summary_table",
+]

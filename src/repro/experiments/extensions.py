@@ -1,0 +1,90 @@
+"""Experiments for the paper's Sec. 7 discussion/future-work items.
+
+These are not figures in the paper; they quantify the extensions the
+authors sketch:
+
+* ``extension_5ghz`` — "Choice of radio frequency": rerun the default
+  accuracy experiment on a 5 GHz channel.  The shorter wavelength roughly
+  doubles phase sensitivity per centimetre of path change.
+* ``extension_fusion`` — "Combining with cameras": the duty-cycled
+  camera + CSI fusion of :mod:`repro.core.fusion`, traded against the
+  camera energy budget.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.config import ViHOTConfig
+from repro.core.fusion import FusedTracker, FusionConfig
+from repro.experiments.metrics import error_cdf, summarize_errors
+from repro.experiments.runner import run_campaign, run_profiling
+from repro.experiments.scenarios import build_scenario
+from repro.sensors.camera import CameraTracker
+
+
+def _cdf_dict(errors: np.ndarray) -> Dict[str, np.ndarray]:
+    grid, frac = error_cdf(errors)
+    return {"grid_deg": grid, "cdf": frac}
+
+
+def extension_5ghz(
+    seed: int = 0, num_sessions: int = 2, runtime_duration_s: float = 12.0
+) -> Dict[str, Dict]:
+    """Default accuracy experiment on 2.4 GHz vs 5 GHz."""
+    out: Dict[str, Dict] = {}
+    for band in ("2.4GHz", "5GHz"):
+        scenario = build_scenario(
+            seed=seed, band=band, runtime_duration_s=runtime_duration_s
+        )
+        campaign = run_campaign(scenario, num_sessions=num_sessions)
+        errors = campaign.errors_deg
+        out[band] = {"summary": summarize_errors(errors), **_cdf_dict(errors)}
+    return out
+
+
+def extension_fusion(
+    duty_cycles: Sequence[float] = (0.0, 0.3, 1.0),
+    seed: int = 0,
+    num_sessions: int = 2,
+    runtime_duration_s: float = 12.0,
+) -> Dict[str, Dict]:
+    """Camera+CSI fusion accuracy vs the camera's duty cycle.
+
+    ``0.0`` is pure ViHOT; ``1.0`` is an always-on camera fused in at
+    every frame.  The interesting point is the middle: most of the
+    accuracy for a fraction of the camera energy.
+    """
+    scenario = build_scenario(
+        seed=seed, runtime_duration_s=runtime_duration_s, runtime_motion="glance"
+    )
+    profile = run_profiling(scenario)
+    out: Dict[str, Dict] = {}
+    for duty in duty_cycles:
+        errors = []
+        for session in range(num_sessions):
+            stream, scene = scenario.runtime_capture(session)
+            camera = CameraTracker(
+                scene, rng=np.random.default_rng((seed, 91, session))
+            )
+            tracker = FusedTracker(
+                profile,
+                camera,
+                ViHOTConfig(),
+                FusionConfig(camera_duty_cycle=float(duty)),
+                rng=np.random.default_rng((seed, 92, session)),
+            )
+            result = tracker.process(stream, estimate_stride_s=0.05)
+            truth_stream = scenario.headset_truth(
+                scene, float(stream.times[-1]) + 0.1, session
+            )
+            truth = truth_stream.interp(result.target_times)
+            err = np.abs(np.rad2deg(result.orientations - truth))
+            active = result.target_times > scenario.config.runtime_front_hold_s
+            errors.append(err[active])
+        pooled = np.concatenate(errors)
+        label = f"camera duty {duty:.0%}"
+        out[label] = {"summary": summarize_errors(pooled), **_cdf_dict(pooled)}
+    return out

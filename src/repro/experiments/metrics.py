@@ -1,0 +1,93 @@
+"""Evaluation metrics (Sec. 5.1).
+
+The paper's metric is the *angular deviation*: the absolute difference
+between ViHOT's head-orientation estimate and the headset ground truth,
+reported as medians, means with standard deviations, and CDFs across all
+head-turning events of a set of sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.tracker import TrackingResult
+
+
+def angular_errors_deg(
+    result: TrackingResult,
+    truth_yaw_rad: np.ndarray,
+) -> np.ndarray:
+    """Per-estimate absolute angular deviation [deg].
+
+    ``truth_yaw_rad`` must be sampled at ``result.target_times`` (the
+    session runner does that against the scene's ground truth).
+    """
+    truth_yaw_rad = np.asarray(truth_yaw_rad, dtype=np.float64)
+    if truth_yaw_rad.shape != (len(result),):
+        raise ValueError(
+            f"need one truth sample per estimate: got {truth_yaw_rad.shape} "
+            f"for {len(result)} estimates"
+        )
+    return np.abs(np.rad2deg(result.orientations - truth_yaw_rad))
+
+
+def error_cdf(
+    errors_deg: np.ndarray,
+    grid_deg: np.ndarray = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of angular errors on a degree grid.
+
+    Returns ``(grid, fraction <= grid)`` — the curves of Figs. 10b, 12,
+    13 and 17.
+    """
+    errors_deg = np.asarray(errors_deg, dtype=np.float64)
+    if errors_deg.size == 0:
+        raise ValueError("cannot build a CDF from zero errors")
+    if grid_deg is None:
+        grid_deg = np.arange(0.0, 61.0, 1.0)
+    grid_deg = np.asarray(grid_deg, dtype=np.float64)
+    fractions = np.searchsorted(np.sort(errors_deg), grid_deg, side="right") / len(
+        errors_deg
+    )
+    return grid_deg, fractions
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Summary statistics of one experiment arm.
+
+    Attributes mirror what the paper reports: median, mean, std, p90 and
+    max of the angular deviation [deg], plus the sample count.
+    """
+
+    median_deg: float
+    mean_deg: float
+    std_deg: float
+    p90_deg: float
+    max_deg: float
+    count: int
+
+    def __str__(self) -> str:
+        return (
+            f"median {self.median_deg:5.1f}  mean {self.mean_deg:5.1f}"
+            f" +- {self.std_deg:4.1f}  p90 {self.p90_deg:5.1f}"
+            f"  max {self.max_deg:5.1f}  (n={self.count})"
+        )
+
+
+def summarize_errors(errors_deg: np.ndarray) -> ErrorSummary:
+    """Condense an error sample into the paper's headline statistics."""
+    errors_deg = np.asarray(errors_deg, dtype=np.float64)
+    if errors_deg.size == 0:
+        raise ValueError("cannot summarise zero errors")
+    return ErrorSummary(
+        median_deg=float(np.median(errors_deg)),
+        mean_deg=float(np.mean(errors_deg)),
+        std_deg=float(np.std(errors_deg)),
+        p90_deg=float(np.percentile(errors_deg, 90)),
+        max_deg=float(np.max(errors_deg)),
+        count=int(errors_deg.size),
+    )

@@ -1,0 +1,103 @@
+"""Terminal plots — dependency-free rendering for reports and examples.
+
+The benchmarks print tables; sometimes a picture says it faster, and this
+repository deliberately has no matplotlib dependency.  These helpers draw
+compact unicode line/CDF charts good enough to eyeball a figure's shape
+in a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+_BARS = " .:-=+*#%@"
+
+
+def ascii_series(
+    x: np.ndarray,
+    y: np.ndarray,
+    width: int = 72,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render one series as a unicode scatter-line chart."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1 or len(x) < 2:
+        raise ValueError("need matching 1-D x and y with >= 2 points")
+    if width < 10 or height < 3:
+        raise ValueError("chart too small to draw")
+
+    x_lo, x_hi = float(x.min()), float(x.max())
+    y_lo, y_hi = float(y.min()), float(y.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    cols = np.clip(((x - x_lo) / (x_hi - x_lo) * (width - 1)).astype(int), 0, width - 1)
+    rows = np.clip(
+        ((y_hi - y) / (y_hi - y_lo) * (height - 1)).astype(int), 0, height - 1
+    )
+    for c, r in zip(cols, rows):
+        grid[r][c] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    for r, row in enumerate(grid):
+        label = y_hi if r == 0 else (y_lo if r == height - 1 else None)
+        prefix = f"{label:+8.2f} |" if label is not None else "         |"
+        lines.append(prefix + "".join(row))
+    lines.append("         +" + "-" * width)
+    lines.append(f"          {x_lo:<10.2f}{'':^{max(width - 20, 0)}}{x_hi:>10.2f}")
+    return "\n".join(lines)
+
+
+def ascii_cdfs(
+    curves: Dict[str, Sequence],
+    width: int = 60,
+    grid_max: Optional[float] = None,
+    title: str = "",
+) -> str:
+    """Render labelled CDF curves as per-arm horizontal bars.
+
+    ``curves`` maps an arm label to ``(grid_deg, fractions)``.  Each arm
+    prints one bar whose fill encodes the CDF height across the grid —
+    reading left to right shows how fast the arm's errors concentrate.
+    """
+    lines = [title] if title else []
+    for label, (grid, frac) in curves.items():
+        grid = np.asarray(grid, dtype=np.float64)
+        frac = np.asarray(frac, dtype=np.float64)
+        if grid_max is not None:
+            keep = grid <= grid_max
+            grid, frac = grid[keep], frac[keep]
+        if len(grid) < 2:
+            raise ValueError(f"CDF for {label!r} has too few points")
+        samples = np.interp(
+            np.linspace(grid[0], grid[-1], width), grid, frac
+        )
+        bar = "".join(_BARS[int(round(v * (len(_BARS) - 1)))] for v in samples)
+        lines.append(f"{label:>26s} |{bar}|")
+    lines.append(f"{'':>26s}  0{'deg':^{max(width - 6, 0)}}{grid[-1]:.0f}deg")
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence, width: int = 40) -> str:
+    """One-line sparkline of a series (resampled to ``width`` chars)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or len(values) < 2:
+        raise ValueError("need a 1-D series with >= 2 points")
+    resampled = np.interp(
+        np.linspace(0, len(values) - 1, width), np.arange(len(values)), values
+    )
+    lo, hi = resampled.min(), resampled.max()
+    span = (hi - lo) or 1.0
+    blocks = "▁▂▃▄▅▆▇█"
+    return "".join(
+        blocks[int(round((v - lo) / span * (len(blocks) - 1)))] for v in resampled
+    )

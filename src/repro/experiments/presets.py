@@ -1,0 +1,73 @@
+"""Driving-condition presets.
+
+The paper evaluates on "a campus road with light traffic at a safe speed
+below 15 mph" (Sec. 5.1).  Downstream users asked-for-by the intro's
+ADAS scenarios want more: city stop-and-go, highway cruising, a parked
+calibration bay.  Each preset bundles the environmental knobs of
+:class:`repro.experiments.scenarios.ScenarioConfig` that co-vary with a
+road type; everything else stays overridable.
+
+    >>> from repro.experiments.presets import preset_scenario
+    >>> scenario = preset_scenario("city", seed=3)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.scenarios import Scenario, ScenarioConfig
+
+#: Environmental knob bundles per road type.
+PRESETS: Dict[str, Dict] = {
+    # The paper's evaluation condition: slow, smooth, little steering.
+    "campus": dict(
+        vehicle_speed_mps=6.0,
+        steering="lane",
+        vibration_amplitude_m=0.0008,
+        csma="clean",
+        runtime_motion="glance",
+    ),
+    # Urban stop-and-go: frequent intersection turns, moderate vibration,
+    # other WiFi everywhere.
+    "city": dict(
+        vehicle_speed_mps=9.0,
+        steering="turns",
+        vibration_amplitude_m=0.0015,
+        csma="interfered",
+        runtime_motion="glance",
+    ),
+    # Highway: fast and straight; mirror checks dominate; expansion-joint
+    # vibration.
+    "highway": dict(
+        vehicle_speed_mps=30.0,
+        steering="lane",
+        vibration_amplitude_m=0.002,
+        csma="clean",
+        runtime_motion="glance",
+    ),
+    # Parked calibration bay: the profiling condition.
+    "parked": dict(
+        vehicle_speed_mps=0.0,
+        steering="none",
+        vibration_amplitude_m=0.0,
+        csma="clean",
+        runtime_motion="scan",
+    ),
+}
+
+
+def preset_config(name: str, **overrides) -> ScenarioConfig:
+    """Build a ``ScenarioConfig`` for a named road type.
+
+    Explicit ``overrides`` win over the preset's bundle.
+    """
+    if name not in PRESETS:
+        raise ValueError(f"unknown preset {name!r}; choose from {sorted(PRESETS)}")
+    merged = dict(PRESETS[name])
+    merged.update(overrides)
+    return ScenarioConfig(**merged)
+
+
+def preset_scenario(name: str, **overrides) -> Scenario:
+    """Build a ready-to-run :class:`Scenario` for a named road type."""
+    return Scenario(preset_config(name, **overrides))

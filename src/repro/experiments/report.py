@@ -1,0 +1,47 @@
+"""Plain-text rendering of experiment outputs.
+
+The benchmarks print the same rows/series the paper's figures plot; these
+helpers keep that formatting consistent (and trivially greppable in CI
+logs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.experiments.metrics import ErrorSummary
+
+
+def format_cdf_rows(
+    label: str,
+    grid_deg: np.ndarray,
+    fractions: np.ndarray,
+    points: Sequence[float] = (5, 10, 20, 30, 60),
+) -> str:
+    """One line summarising a CDF at a few grid points."""
+    grid_deg = np.asarray(grid_deg)
+    fractions = np.asarray(fractions)
+    parts = []
+    for p in points:
+        k = int(np.searchsorted(grid_deg, p))
+        k = min(k, len(fractions) - 1)
+        parts.append(f"P(err<={p:g}deg)={fractions[k]:.2f}")
+    return f"{label:28s} " + "  ".join(parts)
+
+
+def format_summary_table(rows: Dict[str, ErrorSummary], title: str = "") -> str:
+    """Multi-line table of per-arm error summaries."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = f"{'arm':28s} {'median':>7s} {'mean':>7s} {'std':>6s} {'p90':>7s} {'max':>7s} {'n':>6s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, s in rows.items():
+        lines.append(
+            f"{label:28s} {s.median_deg:7.1f} {s.mean_deg:7.1f} {s.std_deg:6.1f} "
+            f"{s.p90_deg:7.1f} {s.max_deg:7.1f} {s.count:6d}"
+        )
+    return "\n".join(lines)

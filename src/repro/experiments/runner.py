@@ -1,0 +1,128 @@
+"""Session runners: profile once, track sessions, collect angular errors.
+
+Matches the paper's protocol (Sec. 5.1): build the driver's CSI profile,
+run each test for 60 s, repeat 10 times, and report the angular deviation
+against the headset ground truth across sessions.  Our defaults shrink
+the durations/session counts for CI; pass paper-scale numbers to
+reproduce the full campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.config import ViHOTConfig
+from repro.core.profile import CsiProfile
+from repro.core.tracker import TrackingResult, ViHOTTracker
+from repro.experiments.metrics import ErrorSummary, summarize_errors
+from repro.experiments.scenarios import Scenario
+from repro.sensors.camera import CameraTracker
+
+
+@dataclass
+class SessionResult:
+    """One tracked run-time session with its evaluation data.
+
+    Attributes:
+        tracking: the tracker's estimates.
+        truth_yaw: headset ground-truth yaw at each estimate's target
+            time [rad].
+        errors_deg: absolute angular deviation per estimate [deg].
+        active_mask: True where the session counts as a "head-turning
+            event" window (after the initial facing-front hold) — the
+            population the paper's CDFs are computed over.
+    """
+
+    tracking: TrackingResult
+    truth_yaw: np.ndarray
+    errors_deg: np.ndarray
+    active_mask: np.ndarray
+
+    @property
+    def active_errors_deg(self) -> np.ndarray:
+        return self.errors_deg[self.active_mask]
+
+    def summary(self) -> ErrorSummary:
+        return summarize_errors(self.active_errors_deg)
+
+
+def run_profiling(scenario: Scenario) -> CsiProfile:
+    """Run the scenario's profiling pass (Sec. 3.3)."""
+    return scenario.build_profile()
+
+
+def run_tracking_session(
+    scenario: Scenario,
+    profile: CsiProfile,
+    config: ViHOTConfig = ViHOTConfig(),
+    session: int = 0,
+    estimate_stride_s: float = 0.05,
+    with_camera_fallback: bool = False,
+) -> SessionResult:
+    """Capture and track one run-time session against ``profile``."""
+    stream, scene = scenario.runtime_capture(session)
+    camera = None
+    if with_camera_fallback:
+        camera = CameraTracker(
+            scene, rng=np.random.default_rng((scenario.config.seed, 77, session))
+        )
+    tracker = ViHOTTracker(profile, config, camera=camera)
+    tracking = tracker.process(stream, estimate_stride_s=estimate_stride_s)
+    if len(tracking) == 0:
+        raise RuntimeError("tracker produced no estimates; session too short?")
+
+    t_end = float(stream.times[-1]) + config.horizon_s + 0.1
+    truth_stream = scenario.headset_truth(scene, t_end, session)
+    truth = truth_stream.interp(tracking.target_times)
+    errors = np.abs(np.rad2deg(tracking.orientations - truth))
+    active = tracking.target_times > scenario.config.runtime_front_hold_s
+    if not np.any(active):
+        active = np.ones(len(tracking), dtype=bool)
+    return SessionResult(tracking, truth, errors, active)
+
+
+@dataclass
+class CampaignResult:
+    """Errors pooled across repeated sessions (the paper runs 10)."""
+
+    sessions: List[SessionResult] = field(default_factory=list)
+
+    @property
+    def errors_deg(self) -> np.ndarray:
+        if not self.sessions:
+            return np.zeros(0)
+        return np.concatenate([s.active_errors_deg for s in self.sessions])
+
+    def summary(self) -> ErrorSummary:
+        return summarize_errors(self.errors_deg)
+
+
+def run_campaign(
+    scenario: Scenario,
+    config: ViHOTConfig = ViHOTConfig(),
+    num_sessions: int = 3,
+    estimate_stride_s: float = 0.05,
+    profile: Optional[CsiProfile] = None,
+    with_camera_fallback: bool = False,
+) -> CampaignResult:
+    """Profile once, then track ``num_sessions`` independent sessions."""
+    if num_sessions < 1:
+        raise ValueError("num_sessions must be >= 1")
+    if profile is None:
+        profile = run_profiling(scenario)
+    campaign = CampaignResult()
+    for session in range(num_sessions):
+        campaign.sessions.append(
+            run_tracking_session(
+                scenario,
+                profile,
+                config,
+                session=session,
+                estimate_stride_s=estimate_stride_s,
+                with_camera_fallback=with_camera_fallback,
+            )
+        )
+    return campaign

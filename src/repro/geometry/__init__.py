@@ -1,0 +1,47 @@
+"""Geometric primitives: vectors, rotations and reflection-point math."""
+
+from repro.geometry.vec import (
+    vec3,
+    norm,
+    normalize,
+    distance,
+    angle_between,
+    project_onto,
+)
+from repro.geometry.rotations import (
+    rotz,
+    roty,
+    rotx,
+    euler_zyx,
+    yaw_of,
+    wrap_angle,
+    unwrap_angles,
+    deg2rad,
+    rad2deg,
+)
+from repro.geometry.shapes import (
+    Sphere,
+    reflection_point_sphere,
+    segment_intersects_sphere,
+)
+
+__all__ = [
+    "vec3",
+    "norm",
+    "normalize",
+    "distance",
+    "angle_between",
+    "project_onto",
+    "rotz",
+    "roty",
+    "rotx",
+    "euler_zyx",
+    "yaw_of",
+    "wrap_angle",
+    "unwrap_angles",
+    "deg2rad",
+    "rad2deg",
+    "Sphere",
+    "reflection_point_sphere",
+    "segment_intersects_sphere",
+]

@@ -1,0 +1,70 @@
+"""Small 3-D vector helpers on top of numpy arrays.
+
+Vectors are plain ``numpy.ndarray`` objects of shape ``(3,)`` (or ``(N, 3)``
+for batches); these helpers keep call sites short and validated without
+introducing a wrapper class that the rest of the numerical code would have
+to unwrap.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[Sequence[float], np.ndarray]
+
+
+def vec3(x: float, y: float, z: float) -> np.ndarray:
+    """Build a float64 3-vector."""
+    return np.array([x, y, z], dtype=np.float64)
+
+
+def _check_vec(v: np.ndarray) -> np.ndarray:
+    v = np.asarray(v, dtype=np.float64)
+    if v.shape[-1] != 3:
+        raise ValueError(f"expected trailing dimension 3, got shape {v.shape}")
+    return v
+
+
+def norm(v: ArrayLike) -> Union[float, np.ndarray]:
+    """Euclidean norm along the last axis.
+
+    Returns a scalar for a single vector and an array for a batch.
+    """
+    v = _check_vec(v)
+    result = np.linalg.norm(v, axis=-1)
+    return float(result) if result.ndim == 0 else result
+
+
+def normalize(v: ArrayLike) -> np.ndarray:
+    """Return ``v`` scaled to unit length.
+
+    Raises ``ValueError`` for (near-)zero vectors because a direction is
+    undefined there and silently returning garbage hides geometry bugs.
+    """
+    v = _check_vec(v)
+    length = np.linalg.norm(v, axis=-1, keepdims=True)
+    if np.any(length < 1e-12):
+        raise ValueError("cannot normalize a zero-length vector")
+    return v / length
+
+
+def distance(a: ArrayLike, b: ArrayLike) -> Union[float, np.ndarray]:
+    """Euclidean distance between points (broadcasts over batches)."""
+    return norm(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64))
+
+
+def angle_between(a: ArrayLike, b: ArrayLike) -> float:
+    """Angle [rad] between two vectors, in ``[0, pi]``."""
+    ua = normalize(a)
+    ub = normalize(b)
+    cosine = float(np.clip(np.dot(ua, ub), -1.0, 1.0))
+    return float(np.arccos(cosine))
+
+
+def project_onto(v: ArrayLike, axis: ArrayLike) -> np.ndarray:
+    """Project ``v`` onto the direction of ``axis``."""
+    u = normalize(axis)
+    v = _check_vec(v)
+    return np.dot(v, u) * u

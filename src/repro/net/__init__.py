@@ -1,0 +1,20 @@
+"""WiFi link substrate: packet timing, traffic, CSI extraction, clocks."""
+
+from repro.net.csma import CsmaConfig, PacketTimeline
+from repro.net.traffic import IperfClient, Packet
+from repro.net.csi_tool import CsiToolConfig, CsiRecord, CsiTool
+from repro.net.clock import ClockModel
+from repro.net.link import CsiStream, WifiLink
+
+__all__ = [
+    "CsmaConfig",
+    "PacketTimeline",
+    "IperfClient",
+    "Packet",
+    "CsiToolConfig",
+    "CsiRecord",
+    "CsiTool",
+    "ClockModel",
+    "CsiStream",
+    "WifiLink",
+]

@@ -1,0 +1,48 @@
+"""Clock offset/drift between the phone and the laptop.
+
+The prototype "uses NTP to roughly synchronize the phone and the laptop"
+(Sec. 4).  NTP over WiFi leaves a residual offset of a few milliseconds
+plus parts-per-million drift; the IMU stream (timestamped by the phone)
+and the CSI stream (timestamped by the laptop) therefore disagree
+slightly.  The steering identifier must tolerate this misalignment, so the
+link model routes every phone-side timestamp through a ``ClockModel``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ClockModel:
+    """Affine clock mapping ``device = true * (1 + drift) + offset``.
+
+    Attributes:
+        offset_s: constant offset after NTP sync (a few ms is typical).
+        drift_ppm: frequency error of the device clock in parts/million.
+    """
+
+    offset_s: float = 0.0
+    drift_ppm: float = 0.0
+
+    def to_device(self, true_times):
+        """Map true time to this device's timestamps."""
+        true_times = np.asarray(true_times, dtype=np.float64)
+        result = true_times * (1.0 + self.drift_ppm * 1e-6) + self.offset_s
+        return float(result) if result.ndim == 0 else result
+
+    def to_true(self, device_times):
+        """Invert: map device timestamps back to true time."""
+        device_times = np.asarray(device_times, dtype=np.float64)
+        result = (device_times - self.offset_s) / (1.0 + self.drift_ppm * 1e-6)
+        return float(result) if result.ndim == 0 else result
+
+    @staticmethod
+    def ntp_synced(rng: np.random.Generator) -> "ClockModel":
+        """Draw a realistic post-NTP residual clock."""
+        return ClockModel(
+            offset_s=float(rng.normal(0.0, 0.004)),
+            drift_ppm=float(rng.normal(0.0, 8.0)),
+        )

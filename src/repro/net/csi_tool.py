@@ -1,0 +1,114 @@
+"""Intel-5300-style CSI extraction.
+
+The 802.11n CSI tool [16] reports, per received packet, a complex CSI
+matrix over 30 subcarriers per RX antenna, with each I/Q component
+quantised to a signed 8-bit integer under a per-packet automatic gain.
+That quantisation is a real (if small) noise source on top of Eq. (2), and
+keeping it in the loop means the tracker is tested against CSI with the
+same dynamic-range limits as the hardware's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.rf.spectrum import Spectrum
+
+
+@dataclass(frozen=True)
+class CsiToolConfig:
+    """CSI report format parameters.
+
+    Attributes:
+        bits: two's-complement width per I/Q component (Intel 5300: 8).
+        agc_headroom: per-packet scale such that the largest component
+            uses this fraction of full scale (AGC never rails the ADC).
+    """
+
+    bits: int = 8
+    agc_headroom: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.bits < 2:
+            raise ValueError(f"bits must be >= 2, got {self.bits}")
+        if not 0.0 < self.agc_headroom <= 1.0:
+            raise ValueError("agc_headroom must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class CsiRecord:
+    """One parsed CSI report.
+
+    Attributes:
+        time: receiver timestamp [s].
+        seq: packet sequence number.
+        csi: complex CSI, shape ``(n_rx, n_subcarriers)``.
+        rssi_dbm: coarse received power indication.
+    """
+
+    time: float
+    seq: int
+    csi: np.ndarray
+    rssi_dbm: float
+
+
+class CsiTool:
+    """Quantises raw channel snapshots into CSI records."""
+
+    def __init__(
+        self,
+        spectrum: Spectrum = None,
+        config: CsiToolConfig = CsiToolConfig(),
+    ) -> None:
+        self._spectrum = spectrum if spectrum is not None else Spectrum()
+        self._config = config
+
+    @property
+    def config(self) -> CsiToolConfig:
+        return self._config
+
+    def quantize(self, csi: np.ndarray) -> np.ndarray:
+        """Apply per-packet AGC + fixed-point quantisation.
+
+        ``csi`` has shape ``(T, n_rx, F)``; each packet (first axis) gets
+        its own gain, exactly like a per-packet AGC'd ADC capture.  The
+        returned CSI is rescaled back so amplitudes remain comparable
+        across packets (the tool reports the AGC gain alongside).
+        """
+        csi = np.asarray(csi, dtype=np.complex128)
+        if csi.ndim != 3:
+            raise ValueError(f"csi must have shape (T, n_rx, F), got {csi.shape}")
+        full_scale = 2 ** (self._config.bits - 1) - 1
+        peak = np.max(
+            np.maximum(np.abs(csi.real), np.abs(csi.imag)), axis=(1, 2), keepdims=True
+        )
+        peak = np.where(peak == 0, 1.0, peak)
+        scale = self._config.agc_headroom * full_scale / peak
+        quantised = np.round(csi.real * scale) + 1j * np.round(csi.imag * scale)
+        return quantised / scale
+
+    def records(
+        self,
+        times: np.ndarray,
+        seqs: np.ndarray,
+        csi: np.ndarray,
+    ) -> List[CsiRecord]:
+        """Package quantised CSI snapshots as per-packet records."""
+        times = np.asarray(times, dtype=np.float64)
+        seqs = np.asarray(seqs)
+        if not len(times) == len(seqs) == len(csi):
+            raise ValueError(
+                f"length mismatch: {len(times)} times, {len(seqs)} seqs, "
+                f"{len(csi)} CSI snapshots"
+            )
+        quantised = self.quantize(csi)
+        power = np.mean(np.abs(quantised) ** 2, axis=(1, 2))
+        power = np.where(power <= 0, 1e-12, power)
+        rssi = 10.0 * np.log10(power) - 30.0
+        return [
+            CsiRecord(float(times[k]), int(seqs[k]), quantised[k], float(rssi[k]))
+            for k in range(len(times))
+        ]

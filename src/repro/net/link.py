@@ -1,0 +1,166 @@
+"""The end-to-end WiFi link: packets in, CSI records out.
+
+``WifiLink`` is the measurement front-end the tracker consumes.  It runs
+the CSMA packet timeline through the channel simulator and the CSI tool,
+and carries the phone's IMU stream across (through the phone's NTP-synced
+clock).  The result, ``CsiStream``, is the in-memory equivalent of a
+logged Intel 5300 capture session.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.dsp.series import TimeSeries
+from repro.net.clock import ClockModel
+from repro.net.csi_tool import CsiTool
+from repro.net.csma import CsmaConfig, PacketTimeline
+from repro.rf.channel import ChannelSimulator
+from repro.sensors.imu import ImuConfig, PhoneImu
+
+
+@dataclass(frozen=True)
+class CsiStream:
+    """One capture session.
+
+    Attributes:
+        times: packet arrival times (laptop clock = true time), ``(T,)``.
+        csi: quantised CSI, ``(T, n_rx, F)``.
+        seqs: packet sequence numbers, ``(T,)``.
+        imu: phone gyro yaw-rate stream, re-expressed on the laptop
+            timeline as well as possible given the NTP residual; ``None``
+            when IMU streaming was off.
+    """
+
+    times: np.ndarray
+    csi: np.ndarray
+    seqs: np.ndarray
+    imu: Optional[TimeSeries] = None
+
+    def __post_init__(self) -> None:
+        times = np.asarray(self.times, dtype=np.float64)
+        csi = np.asarray(self.csi)
+        seqs = np.asarray(self.seqs)
+        if csi.ndim != 3 or len(csi) != len(times) or len(seqs) != len(times):
+            raise ValueError(
+                f"inconsistent stream shapes: times {times.shape}, "
+                f"csi {csi.shape}, seqs {seqs.shape}"
+            )
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "csi", csi)
+        object.__setattr__(self, "seqs", seqs)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def slice(self, t_start: float, t_end: float) -> "CsiStream":
+        """Sub-stream with ``t_start <= time <= t_end``."""
+        lo = int(np.searchsorted(self.times, t_start, side="left"))
+        hi = int(np.searchsorted(self.times, t_end, side="right"))
+        imu = self.imu.slice(t_start, t_end) if self.imu is not None else None
+        return CsiStream(self.times[lo:hi], self.csi[lo:hi], self.seqs[lo:hi], imu)
+
+    # ------------------------------------------------------------------
+    # Persistence: capture sessions are the raw data of this system, and
+    # a deployment logs them (for profile updates, offline debugging and
+    # regression traces).
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Serialise the capture to a compressed ``.npz`` archive."""
+        path = Path(path)
+        arrays = {
+            "times": self.times,
+            "csi": self.csi,
+            "seqs": self.seqs,
+        }
+        meta = {"has_imu": self.imu is not None, "format": "vihot-csi-stream-v1"}
+        if self.imu is not None:
+            arrays["imu_times"] = self.imu.times
+            arrays["imu_values"] = np.asarray(self.imu.values)
+        arrays["meta_json"] = np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+
+    @staticmethod
+    def load(path) -> "CsiStream":
+        """Load a capture previously written by :meth:`save`."""
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"no capture at {path}")
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta_json"].tobytes()).decode("utf-8"))
+            if meta.get("format") != "vihot-csi-stream-v1":
+                raise ValueError(f"unrecognised capture format in {path}")
+            imu = None
+            if meta["has_imu"]:
+                imu = TimeSeries(data["imu_times"], data["imu_values"])
+            return CsiStream(data["times"], data["csi"], data["seqs"], imu)
+
+
+class WifiLink:
+    """Phone -> laptop link producing CSI capture sessions."""
+
+    def __init__(
+        self,
+        channel: ChannelSimulator,
+        csma: CsmaConfig = None,
+        csi_tool: CsiTool = None,
+        phone_clock: ClockModel = ClockModel(),
+        imu_config: ImuConfig = ImuConfig(),
+        rng: np.random.Generator = None,
+    ) -> None:
+        self._channel = channel
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._timeline = PacketTimeline(
+            csma if csma is not None else CsmaConfig.clean(),
+            rng=np.random.default_rng(self._rng.integers(2**32)),
+        )
+        self._csi_tool = csi_tool if csi_tool is not None else CsiTool(channel.spectrum)
+        self._phone_clock = phone_clock
+        self._imu_config = imu_config
+
+    @property
+    def channel(self) -> ChannelSimulator:
+        return self._channel
+
+    def capture(
+        self,
+        t_start: float,
+        t_end: float,
+        with_imu: bool = True,
+    ) -> CsiStream:
+        """Run the link over ``[t_start, t_end)`` and log the session."""
+        if t_end <= t_start:
+            raise ValueError(f"empty capture span [{t_start}, {t_end}]")
+        times = self._timeline.sample(t_start, t_end)
+        if len(times) < 2:
+            raise RuntimeError(
+                f"capture [{t_start}, {t_end}) produced {len(times)} packets; "
+                "span too short for the configured packet rate"
+            )
+        csi = self._channel.measure(times)
+        csi = self._csi_tool.quantize(csi)
+        seqs = np.arange(len(times))
+
+        imu = None
+        if with_imu:
+            phone_imu = PhoneImu(
+                # The channel's scene carries the vehicle ground truth.
+                self._channel.scene,
+                self._imu_config,
+                rng=np.random.default_rng(self._rng.integers(2**32)),
+            )
+            stream = phone_imu.yaw_rate_stream(t_start, t_end)
+            # The phone stamps IMU readings with its own clock; the laptop
+            # treats those stamps as if they were its own — the residual
+            # NTP offset/drift lands here, exactly as in the prototype.
+            device_stamps = self._phone_clock.to_device(stream.times)
+            order = np.argsort(device_stamps)
+            imu = TimeSeries(device_stamps[order], np.asarray(stream.values)[order])
+        return CsiStream(times, csi, seqs, imu)

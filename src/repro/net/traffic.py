@@ -1,0 +1,91 @@
+"""Iperf-style UDP probe traffic.
+
+The prototype keeps the CSI stream alive by running an iperf UDP client on
+the phone (Sec. 4).  Only packet timing matters for CSI sampling, but the
+stream also carries sequence numbers (used by the tracker to detect
+reordering/loss) and piggybacked IMU readings (Sec. 4: the phone's IMU
+measurements "are UDP-streamed to the laptop along with the dummy Iperf
+packets").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dsp.series import TimeSeries
+from repro.net.csma import PacketTimeline
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One UDP probe packet as the receiver logs it.
+
+    Attributes:
+        time: arrival time at the receiver [s].
+        seq: sender sequence number.
+        size_bytes: UDP payload size.
+        imu_yaw_rate: most recent phone gyro reading piggybacked on this
+            packet, or ``None`` when IMU streaming is off.
+    """
+
+    time: float
+    seq: int
+    size_bytes: int
+    imu_yaw_rate: Optional[float] = None
+
+
+class IperfClient:
+    """Generates the probe packet stream seen at the receiver."""
+
+    def __init__(
+        self,
+        timeline: PacketTimeline,
+        payload_bytes: int = 64,
+        loss_rate: float = 0.0,
+        rng: np.random.Generator = None,
+    ) -> None:
+        if payload_bytes <= 0:
+            raise ValueError(f"payload_bytes must be positive, got {payload_bytes}")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self._timeline = timeline
+        self._payload_bytes = payload_bytes
+        self._loss_rate = loss_rate
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def stream(
+        self,
+        t_start: float,
+        t_end: float,
+        imu_stream: Optional[TimeSeries] = None,
+    ) -> List[Packet]:
+        """Packets received in ``[t_start, t_end)``.
+
+        Lost packets burn a sequence number but never arrive, so the
+        receiver can detect the hole.  When ``imu_stream`` is given, each
+        packet carries the latest IMU reading at its send time.
+        """
+        times = self._timeline.sample(t_start, t_end)
+        # Latest IMU reading per packet, resolved in one vectorised pass.
+        imu_index = None
+        if imu_stream is not None and len(imu_stream) > 0:
+            imu_index = np.searchsorted(imu_stream.times, times, side="right") - 1
+        packets: List[Packet] = []
+        for seq, t in enumerate(times):
+            if self._loss_rate > 0 and self._rng.random() < self._loss_rate:
+                continue
+            imu_value = None
+            if imu_index is not None and imu_index[seq] >= 0:
+                imu_value = float(np.asarray(imu_stream.values)[imu_index[seq]])
+            packets.append(
+                Packet(
+                    time=float(t),
+                    seq=seq,
+                    size_bytes=self._payload_bytes,
+                    imu_yaw_rate=imu_value,
+                )
+            )
+        return packets

@@ -1,0 +1,34 @@
+"""RF substrate: spectrum, antennas, propagation, multipath CSI synthesis."""
+
+from repro.rf.spectrum import Spectrum
+from repro.rf.antenna import (
+    Antenna,
+    IsotropicPattern,
+    DipolePattern,
+    RadiationPattern,
+)
+from repro.rf.propagation import (
+    los_amplitude,
+    reflection_amplitude,
+    BLOCKED_LOS_ATTENUATION,
+)
+from repro.rf.multipath import ScattererTrack, BlockerTrack, synthesize_csi
+from repro.rf.impairments import HardwareImpairments, ImpairmentConfig
+from repro.rf.channel import ChannelSimulator
+
+__all__ = [
+    "Spectrum",
+    "Antenna",
+    "IsotropicPattern",
+    "DipolePattern",
+    "RadiationPattern",
+    "los_amplitude",
+    "reflection_amplitude",
+    "BLOCKED_LOS_ATTENUATION",
+    "ScattererTrack",
+    "BlockerTrack",
+    "synthesize_csi",
+    "HardwareImpairments",
+    "ImpairmentConfig",
+    "ChannelSimulator",
+]

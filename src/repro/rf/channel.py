@@ -1,0 +1,167 @@
+"""End-to-end channel simulation: scene geometry -> per-packet CSI.
+
+``ChannelSimulator`` is the bridge between the cabin world model and the
+RF math.  Any object with the attributes below works as a scene (the
+concrete implementation lives in :mod:`repro.cabin.scene`):
+
+* ``tx_antenna`` — an :class:`repro.rf.antenna.Antenna` (the phone).
+* ``rx_antennas`` — sequence of RX :class:`Antenna` objects (the NIC).
+* ``rx_offsets(times)`` — vibration offsets, shape ``(n_rx, T, 3)``.
+* ``scatterer_tracks(times)`` — list of :class:`ScattererTrack` covering
+  everything that reflects: driver head, steering hands, passenger,
+  micro-motions and static clutter.
+* ``blocker_tracks(times)`` — list of :class:`BlockerTrack` spheres that
+  can shadow LOS paths (the driver's head).
+* ``surfaces`` (optional) — planar reflectors contributing first-order
+  image-method paths (:mod:`repro.rf.surfaces`).
+
+For every RX antenna the simulator assembles the LOS path (attenuated when
+blocked) plus one bounce per scatterer, then evaluates Eq. (1) across the
+subcarrier grid.  Hardware impairments (Eq. 2) are applied on top when a
+:class:`HardwareImpairments` instance is supplied.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.rf.antenna import Antenna
+from repro.rf.impairments import HardwareImpairments
+from repro.rf.multipath import synthesize_csi
+from repro.rf.propagation import (
+    BLOCKED_LOS_ATTENUATION,
+    los_amplitude,
+    reflection_amplitude,
+)
+from repro.rf.spectrum import Spectrum
+from repro.rf.surfaces import surface_paths
+
+
+class ChannelSimulator:
+    """Synthesises (optionally impaired) CSI matrices for a cabin scene."""
+
+    def __init__(
+        self,
+        scene,
+        spectrum: Optional[Spectrum] = None,
+        impairments: Optional[HardwareImpairments] = None,
+        blocked_los_attenuation: float = BLOCKED_LOS_ATTENUATION,
+    ) -> None:
+        self._scene = scene
+        self._spectrum = spectrum if spectrum is not None else Spectrum()
+        self._impairments = impairments
+        if not 0.0 <= blocked_los_attenuation <= 1.0:
+            raise ValueError(
+                f"blocked_los_attenuation must be in [0, 1], got {blocked_los_attenuation}"
+            )
+        self._blocked_atten = blocked_los_attenuation
+
+    @property
+    def scene(self):
+        return self._scene
+
+    @property
+    def spectrum(self) -> Spectrum:
+        return self._spectrum
+
+    @property
+    def num_rx(self) -> int:
+        return len(self._scene.rx_antennas)
+
+    def clean_csi(self, times: np.ndarray) -> np.ndarray:
+        """Noise-free CSI, shape ``(T, n_rx, F)`` (Eq. 1 only)."""
+        times = np.asarray(times, dtype=np.float64)
+        if times.ndim != 1:
+            raise ValueError(f"times must be 1-D, got shape {times.shape}")
+        num_times = len(times)
+        scene = self._scene
+        wavelengths = self._spectrum.wavelengths_m
+        carrier_wavelength = self._spectrum.carrier_wavelength_m
+
+        tx: Antenna = scene.tx_antenna
+        scatterers = scene.scatterer_tracks(times)
+        blockers = scene.blocker_tracks(times)
+        rx_offsets = scene.rx_offsets(times)
+        rx_offsets = np.asarray(rx_offsets, dtype=np.float64)
+        expected = (self.num_rx, num_times, 3)
+        if rx_offsets.shape != expected:
+            raise ValueError(
+                f"rx_offsets must have shape {expected}, got {rx_offsets.shape}"
+            )
+
+        for track in scatterers:
+            if len(track) != num_times:
+                raise ValueError(
+                    f"scatterer {track.name!r} has {len(track)} samples for "
+                    f"{num_times} times"
+                )
+
+        csi = np.empty((num_times, self.num_rx, len(wavelengths)), dtype=np.complex128)
+        tx_pos = tx.position[None, :]
+        for a, rx in enumerate(scene.rx_antennas):
+            rx_pos = rx.position[None, :] + rx_offsets[a]
+
+            # --- LOS path -------------------------------------------------
+            los_vec = rx_pos - tx_pos
+            los_len = np.linalg.norm(los_vec, axis=1).copy()
+            los_amp = los_amplitude(los_len, carrier_wavelength)
+            los_amp = los_amp * tx.gain_toward(rx_pos)
+            for blocker in blockers:
+                blocked = blocker.blocks(
+                    np.broadcast_to(tx_pos, rx_pos.shape), rx_pos
+                )
+                if not np.any(blocked):
+                    continue
+                transmission = (
+                    blocker.transmission
+                    if blocker.transmission is not None
+                    else self._blocked_atten
+                )
+                los_amp = np.where(blocked, los_amp * transmission, los_amp)
+                # The creeping wave around the blocker is longer than the
+                # straight line.  Two contributions: the geometric detour
+                # (sensitive to where the blocker sits relative to the
+                # line — how a leaning head moves the phase) and the
+                # blocker's own aspect term (how a *rotating* head does).
+                los_len = los_len + blocker.creeping_excess(
+                    np.broadcast_to(tx_pos, rx_pos.shape), rx_pos
+                )
+                if blocker.extra_path_m is not None:
+                    los_len = los_len + np.where(blocked, blocker.extra_path_m, 0.0)
+
+            lengths = [los_len]
+            amplitudes = [los_amp]
+
+            # --- first-order surface bounces (static image paths) ----------
+            for _name, length, gamma, departure in surface_paths(
+                tx.position, rx.position, getattr(scene, "surfaces", ())
+            ):
+                amp = gamma * los_amplitude(length, carrier_wavelength)
+                amp = amp * float(tx.gain_toward(departure[None, :])[0])
+                lengths.append(np.full(num_times, length))
+                amplitudes.append(np.full(num_times, amp))
+
+            # --- one bounce per scatterer ----------------------------------
+            for track in scatterers:
+                d1 = np.linalg.norm(track.positions - tx_pos, axis=1)
+                d2 = np.linalg.norm(track.positions - rx_pos, axis=1)
+                amp = reflection_amplitude(d1, d2, carrier_wavelength, 1.0)
+                amp = amp * np.sqrt(track.rcs_m2) * tx.gain_toward(track.positions)
+                lengths.append(d1 + d2)
+                amplitudes.append(amp)
+
+            csi[:, a, :] = synthesize_csi(
+                np.stack(lengths, axis=1),
+                np.stack(amplitudes, axis=1),
+                wavelengths,
+            )
+        return csi
+
+    def measure(self, times: np.ndarray) -> np.ndarray:
+        """CSI as the NIC would report it: Eq. (1) plus Eq. (2) noise."""
+        csi = self.clean_csi(times)
+        if self._impairments is None:
+            return csi
+        return self._impairments.apply(csi, np.asarray(times, dtype=np.float64))

@@ -1,0 +1,149 @@
+"""Commodity-hardware CSI impairments — Eq. (2) of the paper.
+
+The measured phase on subcarrier ``f`` is
+
+    phi_hat_f(t) = phi_f(t) + 2 pi (f / N) dt + beta(t) + Z_f
+
+where ``beta(t)`` is the CFO-induced common phase offset, ``dt`` the
+SFO-induced sampling lag (its phase error grows linearly with the signed
+subcarrier index ``f``), and ``Z_f`` thermal noise.  Crucially, all RX
+antennas of one NIC share the oscillator and sampling clock, so ``beta``
+and ``dt`` are identical across antennas — that is what makes the
+antenna-difference sanitiser of Sec. 3.2 work, and what these models must
+reproduce exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rf.spectrum import Spectrum
+
+
+@dataclass(frozen=True)
+class ImpairmentConfig:
+    """Noise magnitudes for the simulated NIC.
+
+    Attributes:
+        cfo_step_rad: per-packet standard deviation of the CFO phase
+            random walk.  Residual CFO after the 802.11 preamble
+            correction drifts packet-to-packet; a random walk with
+            occasional large steps is the accepted model [47].
+        cfo_jitter_rad: additional i.i.d. per-packet CFO phase jitter.
+        sfo_delay_std_s: standard deviation of the slowly varying SFO
+            sampling lag ``dt`` (tens of nanoseconds for commodity NICs).
+        sfo_drift_tau_s: correlation time of the SFO lag process.
+        snr_db: per-subcarrier thermal SNR relative to the total received
+            power (sets ``Z_f``).
+    """
+
+    cfo_step_rad: float = 0.05
+    cfo_jitter_rad: float = 0.3
+    sfo_delay_std_s: float = 40e-9
+    sfo_drift_tau_s: float = 1.0
+    snr_db: float = 28.0
+
+    def __post_init__(self) -> None:
+        if self.cfo_step_rad < 0 or self.cfo_jitter_rad < 0:
+            raise ValueError("CFO noise magnitudes must be non-negative")
+        if self.sfo_delay_std_s < 0:
+            raise ValueError("sfo_delay_std_s must be non-negative")
+        if self.sfo_drift_tau_s <= 0:
+            raise ValueError("sfo_drift_tau_s must be positive")
+
+
+class HardwareImpairments:
+    """Applies CFO/SFO/thermal noise to clean CSI matrices.
+
+    One instance models one receiver NIC; the CFO/SFO realisations it
+    draws are shared across that NIC's antennas (see module docstring).
+    """
+
+    def __init__(
+        self,
+        spectrum: Spectrum,
+        config: ImpairmentConfig = ImpairmentConfig(),
+        rng: np.random.Generator = None,
+    ) -> None:
+        self._spectrum = spectrum
+        self._config = config
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    @property
+    def config(self) -> ImpairmentConfig:
+        return self._config
+
+    def cfo_phases(self, times: np.ndarray) -> np.ndarray:
+        """Draw the CFO phase offset ``beta(t)`` for each packet time."""
+        times = np.asarray(times, dtype=np.float64)
+        steps = self._rng.normal(0.0, self._config.cfo_step_rad, len(times))
+        walk = np.cumsum(steps)
+        jitter = self._rng.normal(0.0, self._config.cfo_jitter_rad, len(times))
+        return walk + jitter
+
+    def sfo_delays(self, times: np.ndarray) -> np.ndarray:
+        """Draw the slowly varying SFO sampling lag ``dt(t)`` per packet.
+
+        Ornstein-Uhlenbeck-style first-order process so that nearby
+        packets share nearly the same lag, as real sampling clocks do.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        if len(times) == 0:
+            return np.zeros(0)
+        config = self._config
+        delays = np.empty(len(times))
+        delays[0] = self._rng.normal(0.0, config.sfo_delay_std_s)
+        for k in range(1, len(times)):
+            gap = max(times[k] - times[k - 1], 0.0)
+            rho = np.exp(-gap / config.sfo_drift_tau_s)
+            innovation_std = config.sfo_delay_std_s * np.sqrt(max(1.0 - rho**2, 0.0))
+            delays[k] = rho * delays[k - 1] + self._rng.normal(0.0, innovation_std)
+        return delays
+
+    def apply(self, csi: np.ndarray, times: np.ndarray) -> np.ndarray:
+        """Return noisy CSI per Eq. (2).
+
+        Args:
+            csi: clean CSI of shape ``(T, n_rx, F)``.
+            times: packet times, shape ``(T,)``.
+        """
+        csi = np.asarray(csi, dtype=np.complex128)
+        times = np.asarray(times, dtype=np.float64)
+        if csi.ndim != 3:
+            raise ValueError(f"csi must have shape (T, n_rx, F), got {csi.shape}")
+        if len(times) != csi.shape[0]:
+            raise ValueError(
+                f"got {len(times)} times for {csi.shape[0]} CSI snapshots"
+            )
+
+        beta = self.cfo_phases(times)
+        delays = self.sfo_delays(times)
+        indices = self._spectrum.subcarrier_indices.astype(np.float64)
+        # SFO phase error: 2 pi * (f / N) * dt, with f the SIGNED subcarrier
+        # index, expressed against the subcarrier spacing (f/N of the
+        # sample clock) — the linear-in-f term of Eq. (2).
+        sample_rate_hz = (
+            self._spectrum.fft_size
+            * (self._spectrum.frequencies_hz[1] - self._spectrum.frequencies_hz[0])
+            / float(indices[1] - indices[0])
+        )
+        sfo_phase = (
+            2.0
+            * np.pi
+            * (indices[None, :] / self._spectrum.fft_size)
+            * delays[:, None]
+            * sample_rate_hz
+        )
+        distortion = np.exp(1j * (beta[:, None] + sfo_phase))
+        noisy = csi * distortion[:, None, :]
+
+        # Thermal noise scaled to the average per-subcarrier signal power.
+        signal_power = float(np.mean(np.abs(csi) ** 2))
+        noise_power = signal_power * 10.0 ** (-self._config.snr_db / 10.0)
+        sigma = np.sqrt(noise_power / 2.0)
+        noise = self._rng.normal(0.0, sigma, csi.shape) + 1j * self._rng.normal(
+            0.0, sigma, csi.shape
+        )
+        return noisy + noise

@@ -1,0 +1,196 @@
+"""Multipath CSI synthesis — Eq. (1) of the paper.
+
+The cabin scene is reduced to a set of time-varying point scatterers plus
+(possibly blocked) LOS paths.  ``synthesize_csi`` turns per-path lengths
+and amplitudes into per-subcarrier complex CSI:
+
+    H_f(t) = sum_k  A_k(t) * exp(j 2 pi d_k(t) / lambda_f)
+
+``ScattererTrack`` / ``BlockerTrack`` are the hand-off types between the
+cabin world model (which knows about heads, wheels and passengers) and the
+RF channel (which only cares about positions and cross-sections).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ScattererTrack:
+    """A point scatterer sampled at the channel's packet times.
+
+    Attributes:
+        name: label for diagnostics ("head-face", "steering-hands", ...).
+        positions: ``(T, 3)`` scatterer positions per sample time.
+        rcs_m2: radar cross-section [m^2]; scalar or ``(T,)`` if the
+            effective cross-section varies (e.g. a turning head presenting
+            a different aspect).
+    """
+
+    name: str
+    positions: np.ndarray
+    rcs_m2: np.ndarray
+
+    def __post_init__(self) -> None:
+        positions = np.asarray(self.positions, dtype=np.float64)
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ValueError(
+                f"positions must have shape (T, 3), got {positions.shape}"
+            )
+        rcs = np.asarray(self.rcs_m2, dtype=np.float64)
+        if rcs.ndim == 0:
+            rcs = np.full(len(positions), float(rcs))
+        if rcs.shape != (len(positions),):
+            raise ValueError(
+                f"rcs_m2 must be scalar or shape (T,); got {rcs.shape} for T={len(positions)}"
+            )
+        if np.any(rcs < 0):
+            raise ValueError("rcs_m2 must be non-negative")
+        object.__setattr__(self, "positions", positions)
+        object.__setattr__(self, "rcs_m2", rcs)
+
+    def __len__(self) -> int:
+        return len(self.positions)
+
+
+@dataclass(frozen=True)
+class BlockerTrack:
+    """A moving sphere that can shadow LOS paths (the driver's head).
+
+    A blocked LOS does not vanish: the field creeps around (and partly
+    through) the obstacle, attenuated and with an excess path length.
+    For a rotating head that excess is aspect-dependent — the creeping
+    wave hugs a nose, a cheek or an ear depending on the yaw — which is
+    precisely how head *orientation* modulates the phase of the
+    behind-the-head antenna in the paper's Layout 1.
+
+    Attributes:
+        name: label for diagnostics.
+        centers: ``(T, 3)`` sphere centres per sample time.
+        radius: sphere radius [m].
+        extra_path_m: optional ``(T,)`` aspect-dependent excess path the
+            creeping wave accrues, added to a blocked LOS path's length.
+        transmission: optional amplitude factor for blocked paths; when
+            ``None`` the channel's default blocked-LOS attenuation is
+            used.
+    """
+
+    name: str
+    centers: np.ndarray
+    radius: float
+    extra_path_m: Optional[np.ndarray] = None
+    transmission: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        centers = np.asarray(self.centers, dtype=np.float64)
+        if centers.ndim != 2 or centers.shape[1] != 3:
+            raise ValueError(f"centers must have shape (T, 3), got {centers.shape}")
+        if self.radius <= 0:
+            raise ValueError(f"radius must be positive, got {self.radius}")
+        object.__setattr__(self, "centers", centers)
+        if self.extra_path_m is not None:
+            extra = np.asarray(self.extra_path_m, dtype=np.float64)
+            if extra.shape != (len(centers),):
+                raise ValueError(
+                    f"extra_path_m must have shape ({len(centers)},), "
+                    f"got {extra.shape}"
+                )
+            object.__setattr__(self, "extra_path_m", extra)
+        if self.transmission is not None and not 0.0 <= self.transmission <= 1.0:
+            raise ValueError(f"transmission must be in [0, 1], got {self.transmission}")
+
+    def creeping_excess(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorised geometric detour excess for blocked segments.
+
+        Tangent-arc-tangent geodesic around the sphere (see
+        :func:`repro.geometry.shapes.creeping_excess`); returns 0 where
+        the segment clears the sphere.  Shapes broadcast like
+        :meth:`blocks`.
+        """
+        a = np.broadcast_to(np.asarray(a, dtype=np.float64), self.centers.shape)
+        b = np.broadcast_to(np.asarray(b, dtype=np.float64), self.centers.shape)
+        ca = a - self.centers
+        cb = b - self.centers
+        da = np.linalg.norm(ca, axis=1)
+        db = np.linalg.norm(cb, axis=1)
+        r = self.radius
+        blocked = self.blocks(a, b)
+        outside = (da > r) & (db > r)
+        safe_da = np.where(outside, da, 2.0 * r)
+        safe_db = np.where(outside, db, 2.0 * r)
+        cos_gamma = np.einsum("td,td->t", ca, cb) / (safe_da * safe_db)
+        gamma = np.arccos(np.clip(cos_gamma, -1.0, 1.0))
+        arc = gamma - np.arccos(r / safe_da) - np.arccos(r / safe_db)
+        detour = (
+            np.sqrt(np.maximum(safe_da**2 - r**2, 0.0))
+            + np.sqrt(np.maximum(safe_db**2 - r**2, 0.0))
+            + r * np.maximum(arc, 0.0)
+        )
+        straight = np.linalg.norm(b - a, axis=1)
+        excess = np.maximum(detour - straight, 0.0)
+        excess = np.where(arc > 0.0, excess, 0.0)
+        # Endpoint inside the sphere: grazing fallback (matches the
+        # scalar helper in repro.geometry.shapes).
+        excess = np.where(outside, excess, (np.pi / 2.0 - 1.0) * r)
+        return np.where(blocked, excess, 0.0)
+
+    def blocks(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorised segment-sphere test for segment ``a(t) -> b(t)``.
+
+        ``a`` and ``b`` broadcast against ``(T, 3)``.  Returns a boolean
+        ``(T,)`` mask, True where the sphere intersects the segment.
+        """
+        a = np.broadcast_to(np.asarray(a, dtype=np.float64), self.centers.shape)
+        b = np.broadcast_to(np.asarray(b, dtype=np.float64), self.centers.shape)
+        ab = b - a
+        length_sq = np.einsum("td,td->t", ab, ab)
+        # Guard zero-length segments: treat as point-in-sphere.
+        safe = np.where(length_sq > 0, length_sq, 1.0)
+        t_par = np.einsum("td,td->t", self.centers - a, ab) / safe
+        t_par = np.clip(t_par, 0.0, 1.0)
+        closest = a + t_par[:, None] * ab
+        dist = np.linalg.norm(closest - self.centers, axis=1)
+        return dist <= self.radius
+
+
+def synthesize_csi(
+    lengths_m: np.ndarray,
+    amplitudes: np.ndarray,
+    wavelengths_m: np.ndarray,
+) -> np.ndarray:
+    """Sum paths into per-subcarrier CSI (Eq. 1).
+
+    Args:
+        lengths_m: ``(T, K)`` path lengths over time.
+        amplitudes: ``(T, K)`` path amplitudes over time.
+        wavelengths_m: ``(F,)`` subcarrier wavelengths.
+
+    Returns:
+        Complex CSI of shape ``(T, F)``.
+
+    The path loop is kept at python level and the ``(T, F)`` inner product
+    vectorised, so memory stays at one ``(T, F)`` buffer instead of a
+    ``(T, K, F)`` cube.
+    """
+    lengths_m = np.asarray(lengths_m, dtype=np.float64)
+    amplitudes = np.asarray(amplitudes, dtype=np.float64)
+    wavelengths_m = np.asarray(wavelengths_m, dtype=np.float64)
+    if lengths_m.shape != amplitudes.shape or lengths_m.ndim != 2:
+        raise ValueError(
+            f"lengths {lengths_m.shape} and amplitudes {amplitudes.shape} "
+            "must share a (T, K) shape"
+        )
+    if wavelengths_m.ndim != 1 or np.any(wavelengths_m <= 0):
+        raise ValueError("wavelengths_m must be a 1-D array of positive values")
+
+    num_times, num_paths = lengths_m.shape
+    inv_lambda = 1.0 / wavelengths_m
+    csi = np.zeros((num_times, len(wavelengths_m)), dtype=np.complex128)
+    for k in range(num_paths):
+        phase = 2.0 * np.pi * np.outer(lengths_m[:, k], inv_lambda)
+        csi += amplitudes[:, k, None] * np.exp(1j * phase)
+    return csi

@@ -1,0 +1,82 @@
+"""OFDM spectrum description for the simulated 802.11n link.
+
+A ``Spectrum`` pins down which subcarriers the CSI tool reports and their
+absolute frequencies/wavelengths.  The per-subcarrier wavelength matters:
+Eq. (1) of the paper sums ``exp(j 2 pi d_k / lambda_f)`` per subcarrier
+``f``, and the small wavelength spread across a 20 MHz channel is what
+gives CSI its frequency selectivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import constants
+
+
+@dataclass(frozen=True)
+class Spectrum:
+    """Carrier frequency plus the reported subcarrier grid.
+
+    Attributes:
+        carrier_hz: centre frequency of the channel [Hz].
+        subcarrier_indices: signed OFDM subcarrier indices (Intel 5300
+            layout by default).
+        fft_size: OFDM FFT size ``N`` used by the SFO phase model
+            (Eq. (2) has the SFO term grow as ``2 pi f / N * dt``).
+    """
+
+    carrier_hz: float = constants.DEFAULT_CARRIER_HZ
+    subcarrier_indices: np.ndarray = field(
+        default_factory=lambda: constants.INTEL5300_SUBCARRIER_INDICES.copy()
+    )
+    fft_size: int = constants.OFDM_FFT_SIZE
+
+    def __post_init__(self) -> None:
+        if self.carrier_hz <= 0:
+            raise ValueError(f"carrier_hz must be positive, got {self.carrier_hz}")
+        indices = np.asarray(self.subcarrier_indices, dtype=np.int64)
+        if indices.ndim != 1 or len(indices) == 0:
+            raise ValueError("subcarrier_indices must be a non-empty 1-D array")
+        if self.fft_size < 2:
+            raise ValueError(f"fft_size must be >= 2, got {self.fft_size}")
+        if np.any(np.abs(indices) >= self.fft_size):
+            raise ValueError("subcarrier indices exceed the FFT size")
+        object.__setattr__(self, "subcarrier_indices", indices)
+
+    @property
+    def num_subcarriers(self) -> int:
+        return len(self.subcarrier_indices)
+
+    @property
+    def frequencies_hz(self) -> np.ndarray:
+        """Absolute subcarrier frequencies [Hz], shape ``(num_subcarriers,)``."""
+        return constants.subcarrier_frequencies(self.carrier_hz, self.subcarrier_indices)
+
+    @property
+    def wavelengths_m(self) -> np.ndarray:
+        """Per-subcarrier wavelengths [m]."""
+        return constants.SPEED_OF_LIGHT / self.frequencies_hz
+
+    @property
+    def carrier_wavelength_m(self) -> float:
+        """Wavelength at the channel centre [m] (~0.123 m at 2.437 GHz)."""
+        return constants.wavelength(self.carrier_hz)
+
+    @staticmethod
+    def wifi_2_4ghz() -> "Spectrum":
+        """The prototype's band: 2.4 GHz channel 6 (Sec. 4)."""
+        return Spectrum()
+
+    @staticmethod
+    def wifi_5ghz() -> "Spectrum":
+        """5 GHz channel 36 — the Sec. 7 extension.
+
+        The paper expects *better* performance at 5 GHz: the shorter
+        wavelength roughly doubles the phase swing per centimetre of
+        path change, and the higher propagation loss shrinks the
+        interference footprint of distant reflectors.
+        """
+        return Spectrum(carrier_hz=5.180e9)

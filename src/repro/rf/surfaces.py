@@ -1,0 +1,130 @@
+"""First-order specular reflections off cabin surfaces (image method).
+
+The random point clutter of :mod:`repro.cabin.geometry` models small
+interior objects; the *large* reflectors — windshield, roof, side glass —
+are better modelled as planes.  For a plane with a reflection coefficient
+``gamma``, the specular TX -> plane -> RX path is exactly the direct path
+from the TX's mirror image to the RX (the image method), valid when the
+plane is large compared to the Fresnel zone, which metre-scale glass at
+12 cm wavelength comfortably is.
+
+These paths are static (the glass does not move), so like the point
+clutter they contribute constant phasors — but physically placed ones,
+which matters for how the composite phase differs between antenna
+layouts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.geometry.vec import normalize
+
+
+@dataclass(frozen=True)
+class ReflectingPlane:
+    """An infinite plane reflector ``dot(n, x) = d`` with amplitude gamma.
+
+    Attributes:
+        name: label ("windshield", "roof", ...).
+        normal: unit normal (direction does not matter for mirroring).
+        offset: signed plane offset ``d`` such that points on the plane
+            satisfy ``dot(normal, x) == offset``.
+        gamma: amplitude reflection coefficient (glass at WiFi grazing
+            angles: ~0.3-0.6; a metal roof: ~0.9).
+    """
+
+    name: str
+    normal: np.ndarray
+    offset: float
+    gamma: float
+
+    def __post_init__(self) -> None:
+        normal = normalize(np.asarray(self.normal, dtype=np.float64))
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ValueError(f"gamma must be in [0, 1], got {self.gamma}")
+        object.__setattr__(self, "normal", normal)
+
+    def signed_distance(self, points: np.ndarray) -> np.ndarray:
+        """Signed distance of ``points`` (``(..., 3)``) to the plane."""
+        points = np.asarray(points, dtype=np.float64)
+        return points @ self.normal - self.offset
+
+    def mirror(self, points: np.ndarray) -> np.ndarray:
+        """Mirror image of ``points`` across the plane."""
+        points = np.asarray(points, dtype=np.float64)
+        distance = self.signed_distance(points)
+        return points - 2.0 * distance[..., None] * self.normal
+
+    def reflection_path(
+        self, tx: np.ndarray, rx: np.ndarray
+    ) -> Tuple[float, float]:
+        """``(path_length, amplitude_factor)`` of the specular bounce.
+
+        The path length is ``|image(tx) - rx|``; the amplitude factor is
+        ``gamma`` (free-space spreading over the unfolded length is the
+        caller's job, identical to a LOS of that length).  Raises if TX
+        and RX sit on opposite sides of the plane (no specular path).
+        """
+        tx = np.asarray(tx, dtype=np.float64)
+        rx = np.asarray(rx, dtype=np.float64)
+        side_tx = self.signed_distance(tx)
+        side_rx = self.signed_distance(rx)
+        if side_tx * side_rx < 0:
+            raise ValueError(
+                f"no specular path off {self.name!r}: endpoints straddle the plane"
+            )
+        image = self.mirror(tx)
+        return float(np.linalg.norm(image - rx)), self.gamma
+
+
+def default_cabin_surfaces() -> List[ReflectingPlane]:
+    """The dominant glass/metal planes of a sedan cabin (car frame).
+
+    Offsets follow DESIGN.md's frame: origin at the phone on the dash,
+    +x rear, +y passenger side, +z up.
+    """
+    return [
+        # Windshield: raked glass ahead of the dashboard.  Automotive
+        # glass reflects ~10-20% of the power at WiFi incidence angles.
+        ReflectingPlane(
+            "windshield", np.array([0.85, 0.0, -0.53]), -0.22, gamma=0.15
+        ),
+        # Roof: the metal panel reflects strongly but the headliner
+        # (fabric + foam, lossy at 2.4 GHz) attenuates both passes.
+        ReflectingPlane("roof", np.array([0.0, 0.0, 1.0]), 0.75, gamma=0.12),
+        # Side glass, as the windshield.
+        ReflectingPlane(
+            "driver-window", np.array([0.0, 1.0, 0.0]), -0.62, gamma=0.15
+        ),
+        ReflectingPlane(
+            "passenger-window", np.array([0.0, 1.0, 0.0]), 0.95, gamma=0.15
+        ),
+    ]
+
+
+def surface_paths(
+    tx: np.ndarray,
+    rx: np.ndarray,
+    surfaces: List[ReflectingPlane],
+) -> List[Tuple[str, float, float, np.ndarray]]:
+    """All first-order surface bounces between two antennas.
+
+    Returns ``(name, path_length, gamma, departure_target)`` per usable
+    surface, where ``departure_target`` is the RX's mirror image — the
+    point the TX radiates *toward* along this path, which is what the TX
+    antenna pattern must be evaluated against.  Surfaces with no
+    specular path (endpoints straddling) are skipped.
+    """
+    paths = []
+    rx = np.asarray(rx, dtype=np.float64)
+    for plane in surfaces:
+        try:
+            length, gamma = plane.reflection_path(tx, rx)
+        except ValueError:
+            continue
+        paths.append((plane.name, length, gamma, plane.mirror(rx)))
+    return paths

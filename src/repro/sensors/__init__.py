@@ -1,0 +1,15 @@
+"""Sensor models: IMUs, the ground-truth headset and the camera tracker."""
+
+from repro.sensors.imu import ImuConfig, PhoneImu, GyroSample
+from repro.sensors.headset import HeadsetConfig, HeadsetTracker
+from repro.sensors.camera import CameraConfig, CameraTracker
+
+__all__ = [
+    "ImuConfig",
+    "PhoneImu",
+    "GyroSample",
+    "HeadsetConfig",
+    "HeadsetTracker",
+    "CameraConfig",
+    "CameraTracker",
+]

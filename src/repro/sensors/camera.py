@@ -1,0 +1,131 @@
+"""Camera-based head tracking (the fallback mode and the baseline).
+
+The paper's fallback uses dlib landmarks on the phone's front camera; its
+camera *baseline* is what ViHOT's 10x-sampling-rate claim is measured
+against.  The error model captures the three camera weaknesses Sec. 2.1
+lists:
+
+* a 30 fps frame rate (no samples between frames),
+* motion blur: per-frame error grows with the angular speed during the
+  exposure, and the tracker drops frames entirely at high speed, and
+* lighting: error scales up as the cabin darkens.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import constants
+from repro.dsp.series import TimeSeries
+
+
+@dataclass(frozen=True)
+class CameraConfig:
+    """Camera tracker error model.
+
+    Attributes:
+        frame_rate_hz: video frame rate.
+        base_noise_rad: per-frame angular error std in good light with a
+            still head.
+        exposure_s: effective exposure time; blur error is proportional to
+            ``|yaw rate| * exposure``.
+        blur_gain: fraction of the intra-exposure sweep that turns into
+            estimation error.
+        drop_speed_rad_s: angular speed beyond which the landmark fitter
+            starts losing the face.
+        drop_probability: chance of losing a frame beyond that speed.
+        profile_error_gain: landmark error added per radian of yaw beyond
+            ``profile_threshold_rad`` — at large yaw the camera sees a
+            profile face, half the landmarks vanish and dlib-style
+            fitting degrades steeply (why FaceRig "may temporarily lose
+            track of the head", Sec. 2.1).
+        profile_threshold_rad: yaw where profile-face degradation begins.
+        light_level: 1.0 = daylight; error scales with ``1/light_level``
+            down to ``min_light`` (night-time failure of Sec. 2.1).
+        min_light: floor preventing a division blow-up.
+    """
+
+    frame_rate_hz: float = constants.CAMERA_FRAME_RATE_HZ
+    base_noise_rad: float = np.deg2rad(2.0)
+    exposure_s: float = 1.0 / 120.0
+    blur_gain: float = 0.5
+    drop_speed_rad_s: float = np.deg2rad(160.0)
+    drop_probability: float = 0.5
+    profile_error_gain: float = 0.20
+    profile_threshold_rad: float = np.deg2rad(35.0)
+    light_level: float = 1.0
+    min_light: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.frame_rate_hz <= 0:
+            raise ValueError(f"frame_rate_hz must be positive, got {self.frame_rate_hz}")
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        if not 0.0 < self.min_light <= 1.0:
+            raise ValueError("min_light must be in (0, 1]")
+        if self.light_level <= 0:
+            raise ValueError("light_level must be positive")
+
+
+class CameraTracker:
+    """Simulated dlib-style head tracker on the phone's front camera."""
+
+    def __init__(
+        self,
+        scene,
+        config: CameraConfig = CameraConfig(),
+        rng: np.random.Generator = None,
+    ) -> None:
+        self._scene = scene
+        self._config = config
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    @property
+    def config(self) -> CameraConfig:
+        return self._config
+
+    def _noise_std(self, yaw_rates: np.ndarray, yaws: np.ndarray) -> np.ndarray:
+        config = self._config
+        light = max(config.light_level, config.min_light)
+        blur = config.blur_gain * np.abs(yaw_rates) * config.exposure_s
+        profile_face = config.profile_error_gain * np.maximum(
+            np.abs(yaws) - config.profile_threshold_rad, 0.0
+        )
+        return config.base_noise_rad / light + blur + profile_face
+
+    def yaw_stream(self, t_start: float, t_end: float) -> TimeSeries:
+        """Per-frame yaw estimates over ``[t_start, t_end]``.
+
+        Dropped frames are simply absent from the returned series, which
+        is how a downstream consumer experiences tracking loss.
+        """
+        if t_end <= t_start:
+            raise ValueError(f"empty camera span [{t_start}, {t_end}]")
+        config = self._config
+        step = 1.0 / config.frame_rate_hz
+        times = np.arange(t_start, t_end, step)
+        true_yaw = self._scene.driver_yaw(times)
+        yaw_rates = self._scene.driver_yaw_rate(times)
+
+        keep = np.ones(len(times), dtype=bool)
+        lost = (np.abs(yaw_rates) > config.drop_speed_rad_s) | (
+            np.abs(true_yaw) > np.deg2rad(80.0)
+        )
+        keep[lost] = self._rng.random(int(lost.sum())) > config.drop_probability
+
+        noise = self._rng.normal(0.0, 1.0, len(times)) * self._noise_std(
+            yaw_rates, true_yaw
+        )
+        estimates = true_yaw + noise
+        return TimeSeries(times[keep], estimates[keep])
+
+    def estimate_at(self, t: float) -> float:
+        """Single-shot estimate at ``t`` using the most recent frame."""
+        frame_interval = 1.0 / self._config.frame_rate_hz
+        stream = self.yaw_stream(max(0.0, t - 5 * frame_interval), t + frame_interval)
+        past = stream.before(t + 1e-9)
+        if len(past) == 0:
+            raise RuntimeError(f"camera produced no frame before t={t}")
+        return float(np.asarray(past.values)[-1])

@@ -1,0 +1,91 @@
+"""Ground-truth headset (the paper's reversed GearVR).
+
+The evaluation wears a Samsung GearVR on the *back* of the driver's head
+purely to log ground-truth orientation (Fig. 2 and Sec. 5.1).  The IMU
+fusion inside such a headset is accurate to ~1 degree, but footnote 5
+admits the headset "may temporarily slip away during rotation, causing a
+high but rare error" — we model slip as rare transient offsets so the
+evaluation harness sees the same artefact the authors did, and so tests
+can assert that slips create outliers rather than bias.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.series import TimeSeries
+
+
+@dataclass(frozen=True)
+class HeadsetConfig:
+    """Headset tracking error model.
+
+    Attributes:
+        rate_hz: IMU fusion output rate.
+        noise_std_rad: white angular noise of the fused yaw estimate.
+        slip_rate_per_min: expected number of slip events per minute of
+            vigorous head turning (rare).
+        slip_magnitude_rad: std of the transient slip offset.
+        slip_duration_s: how long a slip takes to recover (strap settles).
+    """
+
+    rate_hz: float = 120.0
+    noise_std_rad: float = np.deg2rad(0.8)
+    slip_rate_per_min: float = 0.4
+    slip_magnitude_rad: float = np.deg2rad(12.0)
+    slip_duration_s: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ValueError(f"rate_hz must be positive, got {self.rate_hz}")
+        if self.noise_std_rad < 0 or self.slip_magnitude_rad < 0:
+            raise ValueError("noise magnitudes must be non-negative")
+        if self.slip_rate_per_min < 0:
+            raise ValueError("slip_rate_per_min must be non-negative")
+        if self.slip_duration_s <= 0:
+            raise ValueError("slip_duration_s must be positive")
+
+
+class HeadsetTracker:
+    """Produces ground-truth yaw streams as the headset would log them."""
+
+    def __init__(
+        self,
+        scene,
+        config: HeadsetConfig = HeadsetConfig(),
+        rng: np.random.Generator = None,
+    ) -> None:
+        self._scene = scene
+        self._config = config
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    @property
+    def config(self) -> HeadsetConfig:
+        return self._config
+
+    def yaw_stream(self, t_start: float, t_end: float) -> TimeSeries:
+        """Headset yaw log over ``[t_start, t_end]`` (noise + rare slips)."""
+        if t_end <= t_start:
+            raise ValueError(f"empty headset span [{t_start}, {t_end}]")
+        config = self._config
+        step = 1.0 / config.rate_hz
+        times = np.arange(t_start, t_end, step)
+        yaw = self._scene.driver_yaw(times) + self._rng.normal(
+            0.0, config.noise_std_rad, len(times)
+        )
+
+        duration_min = (t_end - t_start) / 60.0
+        expected_slips = config.slip_rate_per_min * duration_min
+        num_slips = int(self._rng.poisson(expected_slips))
+        for _ in range(num_slips):
+            slip_start = float(self._rng.uniform(t_start, t_end))
+            offset = float(self._rng.normal(0.0, config.slip_magnitude_rad))
+            # Offset decays linearly back to zero as the strap settles.
+            in_slip = (times >= slip_start) & (
+                times < slip_start + config.slip_duration_s
+            )
+            decay = 1.0 - (times[in_slip] - slip_start) / config.slip_duration_s
+            yaw[in_slip] += offset * decay
+        return TimeSeries(times, yaw)

@@ -1,0 +1,85 @@
+"""IMU models: the dashboard phone's gyroscope and accelerometer.
+
+The phone is rigidly mounted, so its gyro z-axis reads the car body's yaw
+rate (plus bias and noise) — the signal the steering identifier
+(Sec. 3.6.2) thresholds to decide whether a CSI variation came from the
+steering wheel or the head.  Readings are also jittered by engine/road
+vibration, which the identifier must not mistake for a turn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dsp.series import TimeSeries
+
+
+@dataclass(frozen=True)
+class GyroSample:
+    """One gyroscope reading (z-axis yaw rate only, 2-D tracking)."""
+
+    time: float
+    yaw_rate: float
+
+
+@dataclass(frozen=True)
+class ImuConfig:
+    """Noise model for a phone-grade MEMS IMU.
+
+    Attributes:
+        rate_hz: sampling rate of the IMU stream.
+        gyro_noise_std: white noise std of the yaw-rate reading [rad/s].
+        gyro_bias_std: std of the constant (per-power-cycle) bias [rad/s].
+        vibration_std: extra jitter from engine/road vibration [rad/s].
+    """
+
+    rate_hz: float = 100.0
+    gyro_noise_std: float = 0.004
+    gyro_bias_std: float = 0.002
+    vibration_std: float = 0.006
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ValueError(f"rate_hz must be positive, got {self.rate_hz}")
+        for name in ("gyro_noise_std", "gyro_bias_std", "vibration_std"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+class PhoneImu:
+    """Samples the car's yaw rate as the mounted phone would report it."""
+
+    def __init__(
+        self,
+        scene,
+        config: ImuConfig = ImuConfig(),
+        rng: np.random.Generator = None,
+    ) -> None:
+        self._scene = scene
+        self._config = config
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._bias = float(self._rng.normal(0.0, config.gyro_bias_std))
+
+    @property
+    def config(self) -> ImuConfig:
+        return self._config
+
+    @property
+    def bias(self) -> float:
+        """This power-cycle's constant gyro bias [rad/s]."""
+        return self._bias
+
+    def yaw_rate_stream(self, t_start: float, t_end: float) -> TimeSeries:
+        """Gyro z readings over ``[t_start, t_end]`` at the IMU rate."""
+        if t_end <= t_start:
+            raise ValueError(f"empty IMU span [{t_start}, {t_end}]")
+        step = 1.0 / self._config.rate_hz
+        times = np.arange(t_start, t_end, step)
+        true_rate = self._scene.car_yaw_rate(times)
+        noise_std = np.hypot(
+            self._config.gyro_noise_std, self._config.vibration_std
+        )
+        readings = true_rate + self._bias + self._rng.normal(0.0, noise_std, len(times))
+        return TimeSeries(times, readings)

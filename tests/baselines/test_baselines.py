@@ -1,0 +1,86 @@
+"""Baseline tracker tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.camera_only import CameraOnlyTracker
+from repro.baselines.nearest import NearestFingerprintTracker
+from repro.baselines.pointmap import PointMappingTracker
+from repro.core import ViHOTConfig
+from repro.core.profile import CsiProfile
+from repro.sensors.camera import CameraConfig
+
+
+def test_pointmap_tracks_roughly(small_profile, runtime_stream, small_scenario):
+    stream, scene = runtime_stream
+    tracker = PointMappingTracker(small_profile, ViHOTConfig())
+    result = tracker.process(stream, estimate_stride_s=0.1)
+    assert len(result) > 30
+    truth = scene.driver_yaw(result.target_times)
+    err = np.abs(np.rad2deg(result.orientations - truth))
+    active = result.target_times > 2.5
+    # Instantaneous inversion works most of the time in this channel...
+    assert np.median(err[active]) < 25.0
+
+
+def test_pointmap_outputs_profile_orientations(small_profile, runtime_stream):
+    stream, _scene = runtime_stream
+    tracker = PointMappingTracker(small_profile)
+    result = tracker.process(stream, estimate_stride_s=0.25)
+    all_orients = np.concatenate([p.orientations for p in small_profile])
+    for est in result.orientations:
+        assert np.min(np.abs(all_orients - est)) < 1e-9
+
+
+def test_nearest_fingerprint_tracks(small_profile, runtime_stream, small_scenario):
+    stream, scene = runtime_stream
+    tracker = NearestFingerprintTracker(small_profile, ViHOTConfig())
+    result = tracker.process(stream, estimate_stride_s=0.1)
+    truth = scene.driver_yaw(result.target_times)
+    err = np.abs(np.rad2deg(result.orientations - truth))
+    active = result.target_times > 2.5
+    assert np.median(err[active]) < 25.0
+
+
+def test_baselines_reject_empty_profile():
+    with pytest.raises(ValueError):
+        PointMappingTracker(CsiProfile())
+    with pytest.raises(ValueError):
+        NearestFingerprintTracker(CsiProfile())
+
+
+def test_baselines_reject_bad_stride(small_profile, runtime_stream):
+    stream, _scene = runtime_stream
+    with pytest.raises(ValueError):
+        PointMappingTracker(small_profile).process(stream, estimate_stride_s=0)
+    with pytest.raises(ValueError):
+        NearestFingerprintTracker(small_profile).process(stream, estimate_stride_s=0)
+
+
+def test_camera_only_rate_limited(runtime_stream):
+    _stream, scene = runtime_stream
+    tracker = CameraOnlyTracker(scene, rng=np.random.default_rng(0))
+    result = tracker.process(0.0, 5.0)
+    # ~30 fps, minus any drops.
+    assert 100 < len(result) <= 155
+    assert set(result.modes) == {"camera"}
+
+
+def test_camera_only_sampling_rate(runtime_stream):
+    _stream, scene = runtime_stream
+    tracker = CameraOnlyTracker(scene, rng=np.random.default_rng(1))
+    rate = tracker.sampling_rate_hz(0.0, 5.0)
+    assert rate == pytest.approx(30.0, rel=0.15)
+
+
+def test_camera_only_night_degrades(runtime_stream):
+    _stream, scene = runtime_stream
+    day = CameraOnlyTracker(scene, CameraConfig(light_level=1.0), rng=np.random.default_rng(2))
+    night = CameraOnlyTracker(scene, CameraConfig(light_level=0.2), rng=np.random.default_rng(2))
+    day_result = day.process(0.0, 6.0)
+    night_result = night.process(0.0, 6.0)
+    day_truth = scene.driver_yaw(day_result.target_times)
+    night_truth = scene.driver_yaw(night_result.target_times)
+    day_err = np.median(np.abs(day_result.orientations - day_truth))
+    night_err = np.median(np.abs(night_result.orientations - night_truth))
+    assert night_err > day_err

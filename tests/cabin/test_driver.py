@@ -1,0 +1,120 @@
+"""Driver behaviour tests: trajectories, head positions, driver profiles."""
+
+import numpy as np
+import pytest
+
+from repro.cabin.driver import (
+    DriverProfile,
+    HeadPositionModel,
+    constant_trajectory,
+    glance_trajectory,
+    scan_trajectory,
+)
+
+
+def test_constant_trajectory():
+    t = constant_trajectory(5.0, yaw_rad=0.3)
+    assert t.value(2.0) == pytest.approx(0.3)
+
+
+def test_scan_trajectory_covers_both_sides():
+    t = scan_trajectory(10.0, amplitude_rad=np.deg2rad(80), speed_rad_s=np.deg2rad(80))
+    times = np.linspace(0, 10, 500)
+    yaw = t.value(times)
+    assert yaw.min() < -np.deg2rad(60)
+    assert yaw.max() > np.deg2rad(60)
+
+
+def test_scan_trajectory_speed_respected():
+    speed = np.deg2rad(70)
+    t = scan_trajectory(10.0, speed_rad_s=speed, amplitude_rad=np.deg2rad(80))
+    times = np.linspace(0.2, 9.8, 2000)
+    rates = np.abs(t.rate(times))
+    assert rates.max() <= speed * 1.05
+
+
+def test_scan_trajectory_ends_at_duration():
+    t = scan_trajectory(7.0, t_start=1.0)
+    assert t.end == pytest.approx(8.0)
+
+
+def test_scan_trajectory_jitter_differs_per_rng():
+    a = scan_trajectory(8.0, rng=np.random.default_rng(1))
+    b = scan_trajectory(8.0, rng=np.random.default_rng(2))
+    times = np.linspace(0, 8, 100)
+    assert not np.allclose(a.value(times), b.value(times))
+
+
+def test_scan_validation():
+    with pytest.raises(ValueError):
+        scan_trajectory(0.0)
+    with pytest.raises(ValueError):
+        scan_trajectory(5.0, amplitude_rad=-1.0)
+
+
+def test_glance_trajectory_returns_to_front():
+    t = glance_trajectory(30.0, np.random.default_rng(3))
+    times = np.linspace(0, 30, 3000)
+    yaw = np.rad2deg(t.value(times))
+    # Most of the time the driver faces the road.
+    assert np.mean(np.abs(yaw) < 5.0) > 0.5
+    # But glances do happen.
+    assert np.abs(yaw).max() > 20.0
+
+
+def test_glance_speed_bounded():
+    speed = np.deg2rad(110)
+    t = glance_trajectory(30.0, np.random.default_rng(4), speed_rad_s=speed)
+    times = np.linspace(0.5, 29.5, 5000)
+    assert np.abs(t.rate(times)).max() <= speed * 1.05
+
+
+def test_position_model_deterministic():
+    m = HeadPositionModel(seed=5)
+    times = np.linspace(0, 10, 50)
+    np.testing.assert_allclose(m.centers(times), m.centers(times))
+
+
+def test_position_model_lean_shifts_x():
+    base = HeadPositionModel(sway_std_m=0.0)
+    leaned = base.with_lean(0.02)
+    times = np.array([1.0])
+    delta = leaned.centers(times)[0] - base.centers(times)[0]
+    np.testing.assert_allclose(delta, [0.02, 0.0, 0.0], atol=1e-12)
+
+
+def test_position_model_sway_is_small_and_slow():
+    m = HeadPositionModel(seed=6)
+    times = np.linspace(0, 60, 600)
+    centers = m.centers(times)
+    sway = centers - centers.mean(axis=0)
+    assert np.abs(sway).max() < 0.01  # < 1 cm
+    # Slow: adjacent samples (0.1 s apart) nearly identical.
+    assert np.abs(np.diff(centers, axis=0)).max() < 0.002
+
+
+def test_position_model_horizon_enforced():
+    m = HeadPositionModel(horizon_s=10.0)
+    with pytest.raises(ValueError):
+        m.centers(np.array([11.0]))
+
+
+def test_driver_profile_head_models_differ():
+    a = DriverProfile(name="A").head_model()
+    b = DriverProfile(name="B", face_scale=1.2, head_radius_m=0.1).head_model()
+    assert a.radius != b.radius
+    assert a.depth_coeffs != b.depth_coeffs
+
+
+def test_driver_profile_position_height():
+    tall = DriverProfile(name="T", head_height_m=0.06).position_model()
+    short = DriverProfile(name="S", head_height_m=-0.03).position_model()
+    t = np.array([0.0])
+    assert tall.centers(t)[0][2] > short.centers(t)[0][2]
+
+
+def test_driver_profile_validation():
+    with pytest.raises(ValueError):
+        DriverProfile(face_scale=0.0)
+    with pytest.raises(ValueError):
+        DriverProfile(turn_speed_rad_s=-1.0)

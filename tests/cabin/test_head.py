@@ -1,0 +1,110 @@
+"""Head model tests: facing conventions, depth profile, creeping path."""
+
+import numpy as np
+import pytest
+
+from repro.cabin.head import HeadModel, facing_direction, lateral_direction
+from repro.geometry.vec import vec3
+
+
+def test_facing_convention():
+    # theta = 0 faces the car front (-x); +90 deg faces the passenger (+y).
+    np.testing.assert_allclose(facing_direction(0.0), [-1, 0, 0], atol=1e-12)
+    np.testing.assert_allclose(facing_direction(np.pi / 2), [0, 1, 0], atol=1e-12)
+
+
+def test_lateral_orthogonal_to_facing():
+    for yaw in np.linspace(-np.pi, np.pi, 9):
+        f = facing_direction(yaw)
+        l = lateral_direction(yaw)
+        assert abs(np.dot(f, l)) < 1e-12
+
+
+def test_depth_profile_nose_forward():
+    head = HeadModel()
+    # Facing the phone presents the deepest profile (nose).
+    assert head.depth_profile(0.0) > head.depth_profile(np.pi / 2)
+    assert head.depth_profile(0.0) > head.depth_profile(np.pi)
+
+
+def test_depth_profile_asymmetric():
+    head = HeadModel()
+    assert head.depth_profile(0.5) != pytest.approx(head.depth_profile(-0.5))
+
+
+def test_creeping_excess_monotone_dominant():
+    """The sin term dominates: excess is monotone over most of the range,
+
+    giving the mostly-injective phase-orientation curve of Fig. 1/3."""
+    head = HeadModel()
+    yaws = np.linspace(-np.deg2rad(80), np.deg2rad(80), 50)
+    excess = head.creeping_excess_path(yaws)
+    diffs = np.diff(excess)
+    assert np.mean(diffs > 0) > 0.8
+
+
+def test_creeping_excess_range_couple_of_radians():
+    # At 2.4 GHz the excess swing should translate to ~1.5-3 rad of phase.
+    head = HeadModel()
+    yaws = np.linspace(-np.deg2rad(85), np.deg2rad(85), 100)
+    swing = np.ptp(head.creeping_excess_path(yaws))
+    phase_swing = 2 * np.pi * swing / 0.123
+    assert 1.0 < phase_swing < 4.0
+
+
+def test_scatterer_tracks_move_with_yaw():
+    head = HeadModel()
+    centers = np.tile(vec3(0.55, 0.0, 0.15), (3, 1))
+    yaws = np.array([0.0, 0.5, 1.0])
+    tracks = head.scatterer_tracks(centers, yaws, toward=vec3(0, 0, 0))
+    main = tracks[0]
+    assert main.name.endswith("head-front")
+    assert not np.allclose(main.positions[0], main.positions[1])
+
+
+def test_scatterer_stays_near_head():
+    head = HeadModel()
+    centers = np.tile(vec3(0.55, 0.0, 0.15), (20, 1))
+    yaws = np.linspace(-1.5, 1.5, 20)
+    tracks = head.scatterer_tracks(centers, yaws, toward=vec3(0, 0, 0))
+    for track in tracks:
+        dist = np.linalg.norm(track.positions - centers, axis=1)
+        assert np.all(dist < 2 * head.radius)
+
+
+def test_back_scatterer_optional():
+    head = HeadModel(back_rcs_m2=0.0)
+    centers = np.zeros((2, 3)) + [0.5, 0, 0]
+    tracks = head.scatterer_tracks(centers, np.zeros(2), toward=vec3(0, 0, 0))
+    assert len(tracks) == 1
+
+
+def test_blocker_carries_aspect_path():
+    head = HeadModel()
+    centers = np.tile(vec3(0.55, 0.0, 0.15), (4, 1))
+    yaws = np.linspace(0, 1.0, 4)
+    blocker = head.blocker_track(centers, yaws)
+    assert blocker.extra_path_m is not None
+    assert np.ptp(blocker.extra_path_m) > 0
+    assert blocker.transmission == head.transmission
+    # Without yaw: geometric blocker only.
+    assert head.blocker_track(centers).extra_path_m is None
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HeadModel(radius=-0.1)
+    with pytest.raises(ValueError):
+        HeadModel(rcs_m2=0.0)
+    with pytest.raises(ValueError):
+        HeadModel(transmission=1.5)
+    with pytest.raises(ValueError):
+        HeadModel(depth_coeffs=(0.01, 0.01))
+
+
+def test_shape_validation():
+    head = HeadModel()
+    with pytest.raises(ValueError):
+        head.scatterer_tracks(np.zeros((3, 2)), np.zeros(3), toward=vec3(0, 0, 0))
+    with pytest.raises(ValueError):
+        head.scatterer_tracks(np.zeros((3, 3)), np.zeros(4), toward=vec3(0, 0, 0))

@@ -1,0 +1,134 @@
+"""CabinScene composition plus passenger/micromotion/vibration/geometry."""
+
+import numpy as np
+import pytest
+
+from repro.cabin.geometry import CabinLayout, RX_LAYOUT_NAMES, rx_layout
+from repro.cabin.micromotion import (
+    BreathingMotion,
+    EyeBlinkMotion,
+    MusicVibrationMotion,
+)
+from repro.cabin.passenger import PassengerModel, passenger_glance_trajectory
+from repro.cabin.scene import CabinScene
+from repro.cabin.vibration import VibrationModel
+
+
+def test_rx_layouts_all_resolve():
+    for name in RX_LAYOUT_NAMES:
+        antennas = rx_layout(name)
+        assert len(antennas) == 2
+    assert rx_layout(1)[0].position[0] == rx_layout("behind-driver")[0].position[0]
+
+
+def test_rx_layout_unknown():
+    with pytest.raises(ValueError):
+        rx_layout("trunk")
+    with pytest.raises(ValueError):
+        rx_layout(0)
+
+
+def test_layout1_blocks_one_antenna_only():
+    """The defining property of the paper's best placement (Sec. 5.2.2)."""
+    scene = CabinScene()
+    times = np.array([0.0])
+    blockers = scene.blocker_tracks(times)
+    tx = scene.tx_antenna.position
+    blocked = []
+    for rx in scene.rx_antennas:
+        hit = any(b.blocks(tx[None], rx.position[None])[0] for b in blockers)
+        blocked.append(hit)
+    assert blocked == [True, False]
+
+
+def test_static_clutter_deterministic():
+    layout = CabinLayout()
+    a = layout.static_clutter()
+    b = layout.static_clutter()
+    for (pa, ra), (pb, rb) in zip(a, b):
+        np.testing.assert_allclose(pa, pb)
+        assert ra == rb
+
+
+def test_scene_scatterers_cover_everything():
+    scene = CabinScene(passenger=PassengerModel())
+    times = np.linspace(0, 1, 5)
+    names = [t.name for t in scene.scatterer_tracks(times)]
+    assert any("head-front" in n for n in names)
+    assert any("steering-hand" in n for n in names)
+    assert any(n.startswith("passenger") for n in names)
+    assert any(n == "breathing-chest" for n in names)
+    assert any(n == "static-clutter" for n in names)
+
+
+def test_scene_track_lengths_consistent():
+    scene = CabinScene()
+    times = np.linspace(0, 2, 7)
+    for track in scene.scatterer_tracks(times):
+        assert len(track) == 7
+    assert scene.rx_offsets(times).shape == (2, 7, 3)
+
+
+def test_scene_ground_truth_accessors():
+    scene = CabinScene()
+    t = np.linspace(0, 1, 5)
+    assert scene.driver_yaw(t).shape == (5,)
+    assert scene.car_yaw_rate(t).shape == (5,)
+    assert scene.steering_angle(t).shape == (5,)
+    assert scene.driver_head_centers(t).shape == (5, 3)
+
+
+def test_passenger_tracks_and_blocker():
+    p = PassengerModel(
+        yaw=passenger_glance_trajectory(10.0, np.random.default_rng(0))
+    )
+    times = np.linspace(0, 5, 11)
+    tracks = p.scatterer_tracks(times)
+    assert all(len(t) == 11 for t in tracks)
+    blockers = p.blocker_tracks(times)
+    assert len(blockers) == 1
+    # Passenger sits on the +y side of the cabin.
+    assert tracks[0].positions[:, 1].mean() > 0.4
+
+
+def test_micromotion_displacements_small():
+    times = np.linspace(0, 10, 500)
+    for motion, bound in (
+        (BreathingMotion(), 0.003),
+        (EyeBlinkMotion(), 0.001),
+        (MusicVibrationMotion(), 0.001),
+    ):
+        track = motion.tracks(times)[0]
+        spread = np.ptp(track.positions, axis=0).max()
+        assert 0.0 < spread <= 2 * bound
+
+
+def test_micromotion_deterministic():
+    times = np.linspace(0, 2, 50)
+    a = EyeBlinkMotion(seed=3).tracks(times)[0].positions
+    b = EyeBlinkMotion(seed=3).tracks(times)[0].positions
+    np.testing.assert_allclose(a, b)
+
+
+def test_vibration_rms_and_bandwidth():
+    model = VibrationModel(amplitude_m=0.003, seed=9)
+    times = np.linspace(0, 30, 3000)
+    offsets = model.offsets(times, 2)
+    assert offsets.shape == (2, 3000, 3)
+    rms = np.std(offsets[0], axis=0)
+    np.testing.assert_allclose(rms, 0.003, rtol=0.25)
+    # Independent per antenna.
+    assert not np.allclose(offsets[0], offsets[1])
+
+
+def test_vibration_zero_amplitude_zero_offsets():
+    model = VibrationModel(amplitude_m=0.0)
+    offsets = model.offsets(np.linspace(0, 1, 10), 2)
+    np.testing.assert_allclose(offsets, 0.0)
+
+
+def test_vibration_validation():
+    with pytest.raises(ValueError):
+        VibrationModel(amplitude_m=-0.001)
+    with pytest.raises(ValueError):
+        VibrationModel(bandwidth_hz=0.0)

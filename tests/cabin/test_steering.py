@@ -1,0 +1,72 @@
+"""Steering model and trajectory tests."""
+
+import numpy as np
+import pytest
+
+from repro.cabin.steering import (
+    SteeringModel,
+    lane_keeping_trajectory,
+    turning_trajectory,
+)
+
+
+def test_rim_point_on_circle():
+    model = SteeringModel()
+    for phi in np.linspace(0, 2 * np.pi, 9):
+        p = model.rim_point(phi)
+        assert np.linalg.norm(p - model.center) == pytest.approx(model.radius)
+
+
+def test_rim_point_top_at_zero():
+    model = SteeringModel()
+    top = model.rim_point(0.0)
+    assert top[2] == pytest.approx(model.center[2] + model.radius)
+
+
+def test_hands_rotate_with_wheel():
+    from repro.cabin.trajectory import PiecewiseTrajectory
+
+    model = SteeringModel()
+    times = np.array([0.0, 1.0])
+    wheel = PiecewiseTrajectory(times, np.array([0.0, np.pi / 2]), smoothing_s=0.0)
+    tracks = model.scatterer_tracks(times, wheel)
+    assert len(tracks) == 2
+    for track in tracks:
+        assert not np.allclose(track.positions[0], track.positions[1])
+
+
+def test_hands_static_without_trajectory():
+    model = SteeringModel()
+    times = np.linspace(0, 2, 5)
+    tracks = model.scatterer_tracks(times, None)
+    for track in tracks:
+        np.testing.assert_allclose(track.positions, np.tile(track.positions[0], (5, 1)))
+
+
+def test_lane_keeping_small_angles():
+    traj = lane_keeping_trajectory(30.0, np.random.default_rng(0))
+    times = np.linspace(0, 30, 1000)
+    assert np.abs(np.rad2deg(traj.value(times))).max() < 15.0
+
+
+def test_turning_trajectory_has_large_turns():
+    traj = turning_trajectory(60.0, np.random.default_rng(1), turns_per_minute=4.0)
+    times = np.linspace(0, 60, 5000)
+    angles = np.abs(np.rad2deg(traj.value(times)))
+    assert angles.max() > 90.0
+    # And returns to straight between turns.
+    assert np.mean(angles < 5.0) > 0.3
+
+
+def test_trajectory_validation():
+    with pytest.raises(ValueError):
+        lane_keeping_trajectory(0.0, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        turning_trajectory(-1.0, np.random.default_rng(0))
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        SteeringModel(radius=0.0)
+    with pytest.raises(ValueError):
+        SteeringModel(hand_rcs_m2=-1.0)

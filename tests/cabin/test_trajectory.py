@@ -1,0 +1,92 @@
+"""Piecewise trajectory tests."""
+
+import numpy as np
+import pytest
+
+from repro.cabin.trajectory import PiecewiseTrajectory, TrajectoryBuilder
+
+
+def test_constant():
+    t = PiecewiseTrajectory.constant(2.0, 0.0, 5.0)
+    assert t.value(3.0) == pytest.approx(2.0)
+    assert t.rate(3.0) == pytest.approx(0.0)
+
+
+def test_linear_interp():
+    t = PiecewiseTrajectory(np.array([0.0, 1.0]), np.array([0.0, 10.0]), smoothing_s=0.0)
+    assert t.value(0.5) == pytest.approx(5.0)
+    assert t.rate(0.5) == pytest.approx(10.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PiecewiseTrajectory(np.array([1.0, 0.0]), np.array([0.0, 1.0]))
+    with pytest.raises(ValueError):
+        PiecewiseTrajectory(np.array([0.0]), np.array([0.0, 1.0]))
+    with pytest.raises(ValueError):
+        PiecewiseTrajectory(np.array([0.0, 1.0]), np.array([0.0, 1.0]), smoothing_s=-1.0)
+    with pytest.raises(ValueError):
+        PiecewiseTrajectory.constant(0.0, 1.0, 1.0)
+
+
+def test_smoothing_rounds_corner():
+    # A sharp corner at t=1: smoothed value dips below the corner peak.
+    t = PiecewiseTrajectory(
+        np.array([0.0, 1.0, 2.0]), np.array([0.0, 1.0, 0.0]), smoothing_s=0.4
+    )
+    assert t.value(1.0) < 1.0
+    # Far from the corner the trajectory is untouched.
+    assert t.value(0.1) == pytest.approx(0.1, abs=0.02)
+
+
+def test_smoothing_preserves_mean_slope():
+    t = PiecewiseTrajectory(
+        np.array([0.0, 2.0]), np.array([0.0, 4.0]), smoothing_s=0.2
+    )
+    assert t.value(1.0) == pytest.approx(2.0, abs=1e-9)
+
+
+def test_rate_sign():
+    t = PiecewiseTrajectory(
+        np.array([0.0, 1.0, 2.0]), np.array([0.0, 1.0, 0.0]), smoothing_s=0.0
+    )
+    assert t.rate(0.5) > 0
+    assert t.rate(1.5) < 0
+
+
+def test_shift_and_scale():
+    t = PiecewiseTrajectory(np.array([0.0, 1.0]), np.array([0.0, 2.0]), smoothing_s=0.0)
+    assert t.shift(1.0).value(1.5) == pytest.approx(1.0)
+    assert t.scaled(3.0).value(1.0) == pytest.approx(6.0)
+
+
+def test_builder_hold_and_ramp():
+    b = TrajectoryBuilder(0.0, 0.0)
+    b.hold(1.0).ramp_to(2.0, rate=2.0).hold(0.5)
+    t = b.build(smoothing_s=0.0)
+    assert t.end == pytest.approx(2.5)
+    assert t.value(0.5) == pytest.approx(0.0)
+    assert t.value(1.5) == pytest.approx(1.0)
+    assert t.value(2.3) == pytest.approx(2.0)
+
+
+def test_builder_ramp_noop_when_at_target():
+    b = TrajectoryBuilder(0.0, 1.0)
+    b.ramp_to(1.0, rate=5.0)
+    assert b.time == 0.0
+
+
+def test_builder_validation():
+    b = TrajectoryBuilder()
+    with pytest.raises(ValueError):
+        b.hold(-1.0)
+    with pytest.raises(ValueError):
+        b.ramp_to(1.0, rate=0.0)
+
+
+def test_scalar_and_array_evaluation_agree():
+    t = PiecewiseTrajectory(np.array([0.0, 1.0, 3.0]), np.array([0.0, 2.0, -1.0]))
+    times = np.array([0.2, 1.5, 2.9])
+    batch = t.value(times)
+    singles = [t.value(float(x)) for x in times]
+    np.testing.assert_allclose(batch, singles)

@@ -1,0 +1,83 @@
+"""Property-based trajectory tests."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cabin.trajectory import PiecewiseTrajectory, TrajectoryBuilder
+
+
+@st.composite
+def random_trajectory(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.05, max_value=2.0, allow_nan=False),
+            min_size=n, max_size=n,
+        )
+    )
+    values = draw(
+        st.lists(
+            st.floats(min_value=-3.0, max_value=3.0, allow_nan=False),
+            min_size=n, max_size=n,
+        )
+    )
+    times = np.cumsum(gaps)
+    return PiecewiseTrajectory(times, np.array(values), smoothing_s=0.08)
+
+
+@given(random_trajectory())
+@settings(max_examples=40, deadline=None)
+def test_value_bounded_by_knots(traj):
+    query = np.linspace(traj.start, traj.end, 50)
+    values = traj.value(query)
+    assert np.all(values >= traj.knot_values.min() - 1e-9)
+    assert np.all(values <= traj.knot_values.max() + 1e-9)
+
+
+@given(random_trajectory())
+@settings(max_examples=40, deadline=None)
+def test_clamped_outside_span(traj):
+    before = traj.value(traj.start - 5.0)
+    after = traj.value(traj.end + 5.0)
+    assert before == traj.value(traj.start - 1.0)
+    assert after == traj.value(traj.end + 1.0)
+
+
+@given(random_trajectory(), st.floats(min_value=-5, max_value=5, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_shift_equivariant(traj, dt):
+    shifted = traj.shift(dt)
+    query = np.linspace(traj.start, traj.end, 20)
+    np.testing.assert_allclose(shifted.value(query + dt), traj.value(query), atol=1e-9)
+
+
+@given(random_trajectory(), st.floats(min_value=-3, max_value=3, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_scale_linear(traj, factor):
+    scaled = traj.scaled(factor)
+    query = np.linspace(traj.start, traj.end, 20)
+    np.testing.assert_allclose(
+        scaled.value(query), factor * traj.value(query), atol=1e-9
+    )
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.05, max_value=2.0, allow_nan=False),
+            st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+        ),
+        min_size=1,
+        max_size=8,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_builder_monotone_time(segments):
+    builder = TrajectoryBuilder(0.0, 0.0)
+    for hold, target in segments:
+        builder.hold(hold)
+        builder.ramp_to(target, rate=1.0)
+    traj = builder.build()
+    assert np.all(np.diff(traj.knot_times) > 0)
+    assert traj.end >= sum(h for h, _t in segments) - 1e-9

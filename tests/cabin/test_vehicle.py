@@ -1,0 +1,58 @@
+"""Vehicle kinematics tests."""
+
+import numpy as np
+import pytest
+
+from repro.cabin.trajectory import PiecewiseTrajectory
+from repro.cabin.vehicle import VehicleKinematics
+
+
+def wheel(angle_rad, duration=2.0):
+    return PiecewiseTrajectory.constant(angle_rad, 0.0, duration)
+
+
+def test_straight_wheel_zero_yaw_rate():
+    v = VehicleKinematics()
+    rates = v.yaw_rate(np.linspace(0, 1, 5), wheel(0.0))
+    np.testing.assert_allclose(rates, 0.0)
+
+
+def test_no_trajectory_zero_yaw_rate():
+    v = VehicleKinematics()
+    np.testing.assert_allclose(v.yaw_rate(np.zeros(3), None), 0.0)
+
+
+def test_parked_car_zero_yaw_rate():
+    v = VehicleKinematics(speed_mps=0.0)
+    rates = v.yaw_rate(np.zeros(3), wheel(np.pi / 2))
+    np.testing.assert_allclose(rates, 0.0)
+
+
+def test_bicycle_model_magnitude():
+    # 6 m/s, 180 deg wheel / ratio 15 = 12 deg road angle.
+    v = VehicleKinematics(speed_mps=6.0, wheelbase_m=2.78, steering_ratio=15.0)
+    rate = v.yaw_rate(np.array([0.0]), wheel(np.pi))[0]
+    expected = 6.0 / 2.78 * np.tan(np.pi / 15.0)
+    assert rate == pytest.approx(expected)
+
+
+def test_yaw_rate_sign_follows_wheel():
+    v = VehicleKinematics()
+    left = v.yaw_rate(np.array([0.0]), wheel(-0.5))[0]
+    right = v.yaw_rate(np.array([0.0]), wheel(0.5))[0]
+    assert left < 0 < right
+
+
+def test_lateral_accel_is_v_times_yaw_rate():
+    v = VehicleKinematics(speed_mps=5.0)
+    t = np.array([0.0])
+    assert v.lateral_accel(t, wheel(0.3))[0] == pytest.approx(
+        5.0 * v.yaw_rate(t, wheel(0.3))[0]
+    )
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        VehicleKinematics(speed_mps=-1.0)
+    with pytest.raises(ValueError):
+        VehicleKinematics(wheelbase_m=0.0)

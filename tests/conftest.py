@@ -1,0 +1,47 @@
+"""Shared fixtures.
+
+The expensive world-building (profiling pass, run-time capture) happens
+once per test session at reduced scale; tests that need different knobs
+build their own scenarios.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ViHOTConfig
+from repro.experiments.scenarios import Scenario, ScenarioConfig
+
+
+SMALL = ScenarioConfig(
+    seed=7,
+    num_positions=4,
+    profile_seconds=5.0,
+    runtime_duration_s=8.0,
+)
+
+
+@pytest.fixture(scope="session")
+def small_scenario():
+    return Scenario(SMALL)
+
+
+@pytest.fixture(scope="session")
+def small_profile(small_scenario):
+    return small_scenario.build_profile()
+
+
+@pytest.fixture(scope="session")
+def runtime_stream(small_scenario):
+    stream, scene = small_scenario.runtime_capture(0)
+    return stream, scene
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def fast_config():
+    """Tracker config tuned for test speed (coarser search)."""
+    return ViHOTConfig(profile_stride=6, num_length_candidates=3)

@@ -1,0 +1,67 @@
+"""ViHOTConfig validation and derived-quantity tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ViHOTConfig
+
+
+def test_defaults_match_paper():
+    config = ViHOTConfig()
+    assert config.window_s == pytest.approx(0.1)
+    assert config.horizon_s == 0.0
+    assert config.length_range == (0.5, 2.0)
+    assert config.neighbor_positions == 0
+
+
+def test_window_samples():
+    assert ViHOTConfig(window_s=0.1, resample_rate_hz=200.0).window_samples == 20
+    # Tiny windows still yield a matchable 2-sample query.
+    assert ViHOTConfig(window_s=0.001, resample_rate_hz=200.0).window_samples == 2
+
+
+def test_candidate_lengths_span_range():
+    config = ViHOTConfig(window_s=0.1, resample_rate_hz=200.0, num_length_candidates=5)
+    lengths = config.candidate_lengths()
+    assert lengths.min() == 10  # 0.5 W
+    assert lengths.max() == 40  # 2 W
+    assert np.all(np.diff(lengths) > 0)
+
+
+def test_candidate_lengths_deduplicated():
+    config = ViHOTConfig(window_s=0.01, resample_rate_hz=200.0, num_length_candidates=8)
+    lengths = config.candidate_lengths()
+    assert len(lengths) == len(set(lengths.tolist()))
+    assert np.all(lengths >= 2)
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"window_s": 0.0},
+        {"resample_rate_hz": -1.0},
+        {"num_length_candidates": 0},
+        {"length_range": (2.0, 1.0)},
+        {"length_range": (0.0, 1.0)},
+        {"profile_stride": 0},
+        {"max_query_samples": 2},
+        {"stable_window_s": 0.0},
+        {"stationary_std_rad": -0.1},
+        {"steering_rate_threshold": 0.0},
+        {"max_head_rate": 0.0},
+        {"continuity_margin": -0.1},
+        {"escape_ratio": 0.0},
+        {"escape_ratio": 1.5},
+        {"horizon_s": -0.1},
+        {"neighbor_positions": -1},
+    ],
+)
+def test_invalid_configs_rejected(kwargs):
+    with pytest.raises(ValueError):
+        ViHOTConfig(**kwargs)
+
+
+def test_config_is_frozen():
+    config = ViHOTConfig()
+    with pytest.raises(Exception):
+        config.window_s = 0.5

@@ -1,0 +1,133 @@
+"""Diagnostics and profile-quality tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import ViHOTConfig, ViHOTTracker
+from repro.core.diagnostics import (
+    DiagnosticThresholds,
+    TrackingHealth,
+    diagnose,
+    should_reprofile,
+)
+from repro.core.profile import CsiProfile, PositionProfile
+from repro.core.quality import assess_profile
+from repro.core.tracker import Estimate, TrackingResult
+
+
+def result_with(modes, distances=None):
+    distances = distances or [0.01] * len(modes)
+    estimates = [
+        Estimate(0.1 * k, 0.1 * k, 0.0, mode, 0, d)
+        for k, (mode, d) in enumerate(zip(modes, distances))
+    ]
+    return TrackingResult(estimates)
+
+
+def test_diagnose_healthy_session(small_profile, runtime_stream):
+    stream, _scene = runtime_stream
+    tracking = ViHOTTracker(small_profile).process(stream, estimate_stride_s=0.1)
+    health = diagnose(tracking, stream)
+    assert health.verdict in ("healthy", "degraded")
+    assert health.csi_fraction > 0.3
+    assert health.sampling_rate_hz > 300.0
+    assert "csi" in str(health)
+
+
+def test_diagnose_mode_fractions():
+    health = diagnose(result_with(["csi", "csi", "held", "fallback"]))
+    assert health.csi_fraction == pytest.approx(0.5)
+    assert health.hold_fraction == pytest.approx(0.25)
+    assert health.fallback_fraction == pytest.approx(0.25)
+
+
+def test_diagnose_degraded_on_low_csi():
+    health = diagnose(result_with(["held"] * 8 + ["csi", "csi", "csi"]))
+    assert health.verdict == "degraded"
+
+
+def test_diagnose_unusable_on_bad_matches():
+    modes = ["csi"] * 10
+    health = diagnose(result_with(modes, distances=[0.5] * 10))
+    assert health.verdict == "unusable"
+    assert should_reprofile(health)
+
+
+def test_diagnose_counts_position_switches():
+    estimates = [
+        Estimate(0.1 * k, 0.1 * k, 0.0, "csi", pos, 0.01)
+        for k, pos in enumerate([2, 2, 3, 3, 2])
+    ]
+    health = diagnose(TrackingResult(estimates))
+    assert health.position_switches == 2
+
+
+def test_diagnose_empty_rejected():
+    with pytest.raises(ValueError):
+        diagnose(TrackingResult())
+
+
+def test_should_reprofile_healthy_is_false():
+    health = diagnose(result_with(["csi"] * 10))
+    assert not should_reprofile(health)
+
+
+def test_custom_thresholds():
+    strict = DiagnosticThresholds(min_csi_fraction_healthy=0.99)
+    health = diagnose(result_with(["csi"] * 9 + ["held"]), thresholds=strict)
+    assert health.verdict == "degraded"
+
+
+# ------------------------------------------------------------- quality
+def synthetic_position(label, coverage_deg=160.0, sensitivity=0.012, noise=0.002,
+                       phi0=0.0):
+    n = 1000
+    rng = np.random.default_rng(int(label * 100) + 1)
+    orientations = np.deg2rad(coverage_deg / 2) * np.sin(np.linspace(0, 12, n))
+    phases = sensitivity * np.rad2deg(orientations) + rng.normal(0, noise, n)
+    return PositionProfile(label, 200.0, phases + phi0, orientations, phi0)
+
+
+def test_quality_good_profile():
+    profile = CsiProfile()
+    for k in range(4):
+        profile.add(synthetic_position(float(k), phi0=0.2 * k))
+    quality = assess_profile(profile)
+    assert quality.verdict == "good"
+    assert quality.min_coverage_deg > 120.0
+    assert quality.median_snr > 3.0
+
+
+def test_quality_flags_poor_coverage():
+    profile = CsiProfile()
+    profile.add(synthetic_position(0.0, coverage_deg=40.0))
+    quality = assess_profile(profile)
+    assert quality.verdict == "poor"
+
+
+def test_quality_flags_low_snr():
+    profile = CsiProfile()
+    profile.add(synthetic_position(0.0, sensitivity=0.0005, noise=0.05))
+    quality = assess_profile(profile)
+    assert quality.verdict == "poor"
+
+
+def test_quality_marginal_on_colliding_fingerprints():
+    profile = CsiProfile()
+    for k in range(4):
+        profile.add(synthetic_position(float(k), phi0=0.0005 * k))
+    quality = assess_profile(profile)
+    assert quality.verdict in ("marginal", "poor")
+    assert quality.fingerprint_separation < 2.0
+
+
+def test_quality_of_real_profile(small_profile):
+    quality = assess_profile(small_profile)
+    assert quality.verdict in ("good", "marginal")
+    assert quality.min_coverage_deg > 100.0
+    assert str(quality)
+
+
+def test_quality_empty_rejected():
+    with pytest.raises(ValueError):
+        assess_profile(CsiProfile())

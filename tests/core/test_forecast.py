@@ -1,0 +1,89 @@
+"""Forecasting tests (Sec. 3.4.6, Eq. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.forecast import forecast_orientation
+from repro.core.matching import MatchResult
+from repro.core.profile import CsiProfile, PositionProfile
+
+
+RATE = 100.0
+
+
+@pytest.fixture()
+def profile():
+    n = 500
+    orientations = np.linspace(-1.0, 1.0, n)  # steadily turning
+    phases = 0.5 * np.sin(orientations)
+    p = CsiProfile()
+    p.add(PositionProfile(0.0, RATE, phases, orientations, phi0=0.0))
+    return p
+
+
+def match_at(end_index, length=20, speed_ratio=1.0):
+    return MatchResult(
+        orientation=0.0,
+        distance=0.0,
+        position_index=0,
+        start_index=end_index - length + 1,
+        length=length,
+        speed_ratio=speed_ratio,
+    )
+
+
+def test_zero_horizon_is_tracking(profile):
+    match = match_at(200)
+    predicted = forecast_orientation(profile, match, 0.0)
+    assert predicted == pytest.approx(profile[0].orientations[200])
+
+
+def test_forecast_steps_forward_in_profile(profile):
+    match = match_at(200, speed_ratio=1.0)
+    # 0.5 s at 100 Hz -> 50 samples ahead.
+    predicted = forecast_orientation(profile, match, 0.5)
+    assert predicted == pytest.approx(profile[0].orientations[250])
+
+
+def test_speed_ratio_scales_step(profile):
+    # Run time turning 2x faster than profiling: speed_ratio = Lm/W = 2,
+    # so 0.2 s of run time covers 0.4 s of profile time.
+    match = match_at(100, speed_ratio=2.0)
+    predicted = forecast_orientation(profile, match, 0.2)
+    assert predicted == pytest.approx(profile[0].orientations[140])
+
+
+def test_forecast_clamps_at_profile_end(profile):
+    match = match_at(490)
+    predicted = forecast_orientation(profile, match, 10.0)
+    assert predicted == pytest.approx(profile[0].orientations[-1])
+
+
+def test_negative_horizon_rejected(profile):
+    with pytest.raises(ValueError):
+        forecast_orientation(profile, match_at(10), -0.1)
+
+
+def test_forecast_error_grows_with_horizon():
+    """Fig. 10's shape: when run time diverges from the profile's future,
+
+    longer horizons predict worse."""
+    n = 600
+    # Profile turns right steadily...
+    orientations = np.linspace(-1.0, 1.0, n)
+    profile = CsiProfile()
+    profile.add(
+        PositionProfile(0.0, RATE, 0.5 * np.sin(orientations), orientations, 0.0)
+    )
+    # ...but at run time the driver reverses direction at the match point.
+    match = match_at(300)
+    truth_now = orientations[300]
+
+    def runtime_truth(horizon):
+        return truth_now - horizon * 0.33  # turning the *other* way
+
+    errors = []
+    for horizon in (0.0, 0.2, 0.4):
+        predicted = forecast_orientation(profile, match, horizon)
+        errors.append(abs(predicted - runtime_truth(horizon)))
+    assert errors[0] < errors[1] < errors[2]

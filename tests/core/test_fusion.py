@@ -1,0 +1,64 @@
+"""Sensor-fusion tracker tests (Sec. 7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ViHOTConfig
+from repro.core.fusion import FusedTracker, FusionConfig
+from repro.sensors.camera import CameraTracker
+
+
+def test_fusion_config_validation():
+    with pytest.raises(ValueError):
+        FusionConfig(camera_duty_cycle=1.5)
+    with pytest.raises(ValueError):
+        FusionConfig(camera_std_rad=0.0)
+    with pytest.raises(ValueError):
+        FusionConfig(max_frame_age_s=0.0)
+
+
+def test_zero_duty_cycle_is_pure_vihot(small_profile, runtime_stream):
+    stream, scene = runtime_stream
+    camera = CameraTracker(scene, rng=np.random.default_rng(0))
+    fused = FusedTracker(
+        small_profile, camera, ViHOTConfig(),
+        FusionConfig(camera_duty_cycle=0.0),
+        rng=np.random.default_rng(1),
+    )
+    result = fused.process(stream, estimate_stride_s=0.2)
+    assert "fused" not in result.modes
+
+
+def test_full_duty_cycle_fuses_often(small_profile, runtime_stream):
+    stream, scene = runtime_stream
+    camera = CameraTracker(scene, rng=np.random.default_rng(0))
+    fused = FusedTracker(
+        small_profile, camera, ViHOTConfig(),
+        FusionConfig(camera_duty_cycle=1.0),
+        rng=np.random.default_rng(1),
+    )
+    result = fused.process(stream, estimate_stride_s=0.2)
+    assert result.mode_fraction("fused") > 0.3
+
+
+def test_fusion_accuracy_in_band(small_profile, runtime_stream, small_scenario):
+    stream, scene = runtime_stream
+    camera = CameraTracker(scene, rng=np.random.default_rng(0))
+    fused = FusedTracker(
+        small_profile, camera, rng=np.random.default_rng(1)
+    )
+    result = fused.process(stream, estimate_stride_s=0.1)
+    truth = scene.driver_yaw(result.target_times)
+    err = np.abs(np.rad2deg(result.orientations - truth))
+    active = result.target_times > 2.5
+    assert np.median(err[active]) < 10.0
+
+
+def test_frames_used_scales_with_duty(small_profile, runtime_stream):
+    stream, scene = runtime_stream
+    camera = CameraTracker(scene, rng=np.random.default_rng(0))
+    low = FusedTracker(small_profile, camera,
+                       fusion_config=FusionConfig(camera_duty_cycle=0.1))
+    high = FusedTracker(small_profile, camera,
+                        fusion_config=FusionConfig(camera_duty_cycle=0.9))
+    assert low.camera_frames_used(10.0) < high.camera_frames_used(10.0)

@@ -1,0 +1,124 @@
+"""Series matcher tests (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ViHOTConfig
+from repro.core.matching import MatchResult, SeriesMatcher
+from repro.core.profile import CsiProfile, PositionProfile
+
+
+RATE = 200.0
+
+
+def synthetic_position(label=0.0, duration_s=8.0, phase_offset=0.0):
+    """A smooth, mostly-monotone phase curve with known orientations."""
+    n = int(duration_s * RATE)
+    t = np.linspace(0, duration_s, n)
+    # Orientation sweeps back and forth; phase is a monotone-ish function
+    # of orientation plus a mild ripple (like the cabin's real curve).
+    orientation = 1.2 * np.sin(2 * np.pi * t / duration_s * 1.5)
+    phases = 0.9 * np.sin(orientation) + 0.05 * np.sin(3 * orientation) + phase_offset
+    return PositionProfile(label, RATE, phases, orientation, phi0=phase_offset)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    p = CsiProfile()
+    p.add(synthetic_position(label=0.0))
+    p.add(synthetic_position(label=1.0, phase_offset=0.4))
+    return p
+
+
+@pytest.fixture(scope="module")
+def matcher(profile):
+    return SeriesMatcher(profile, ViHOTConfig(profile_stride=2))
+
+
+def query_from_profile(position, end_index, length):
+    return position.phases[end_index - length + 1 : end_index + 1].copy()
+
+
+def test_exact_segment_recovered(matcher, profile):
+    pos = profile[0]
+    end = 700
+    query = query_from_profile(pos, end, 20)
+    result = matcher.match(query, 0)
+    assert result.distance < 0.01
+    assert result.orientation == pytest.approx(pos.orientations[end], abs=0.06)
+
+
+def test_match_result_indices_consistent(matcher, profile):
+    query = query_from_profile(profile[0], 500, 20)
+    r = matcher.match(query, 0)
+    assert r.end_index == r.start_index + r.length - 1
+    assert 0 <= r.start_index < len(profile[0])
+    assert r.speed_ratio == pytest.approx(r.length / len(query))
+
+
+def test_speed_mismatch_resolved_by_length_search(profile):
+    """A query recorded 2x faster matches a 2x longer profile segment."""
+    matcher = SeriesMatcher(profile, ViHOTConfig(profile_stride=2))
+    pos = profile[0]
+    end = 700
+    segment = pos.phases[end - 40 + 1 : end + 1]
+    fast_query = segment[::2]  # the head moved twice as fast at run time
+    result = matcher.match(fast_query, 0)
+    assert result.orientation == pytest.approx(pos.orientations[end], abs=0.1)
+    assert result.length > len(fast_query) * 1.4
+
+
+def test_continuity_constraint_selects_near_branch(profile):
+    matcher = SeriesMatcher(profile, ViHOTConfig(profile_stride=2, escape_ratio=0.01))
+    pos = profile[0]
+    # This curve passes through similar phase values on rising/falling
+    # branches; anchor near a known branch and check we stay there.
+    end = 700
+    query = query_from_profile(pos, end, 20)
+    anchor = float(pos.orientations[end])
+    result = matcher.match(query, 0, center_orientation=anchor, tolerance_rad=0.2)
+    assert abs(result.orientation - anchor) <= 0.2 + 1e-9
+
+
+def test_continuity_falls_back_when_infeasible(profile):
+    matcher = SeriesMatcher(profile, ViHOTConfig(profile_stride=2))
+    query = query_from_profile(profile[0], 700, 20)
+    # No profile sample is within 1e-6 rad of orientation 5.0: fall back
+    # to the unconstrained match rather than failing.
+    result = matcher.match(query, 0, center_orientation=5.0, tolerance_rad=1e-6)
+    assert isinstance(result, MatchResult)
+
+
+def test_escape_hatch_overrides_bad_anchor(profile):
+    """A clearly better global match escapes a wrong continuity window."""
+    matcher = SeriesMatcher(profile, ViHOTConfig(profile_stride=2, escape_ratio=0.9))
+    pos = profile[0]
+    end = 700
+    query = query_from_profile(pos, end, 20)
+    true_orientation = float(pos.orientations[end])
+    # Anchor far from the truth, with a window that contains profile
+    # samples (so feasible candidates exist) but not the true branch.
+    wrong_anchor = -true_orientation
+    result = matcher.match(
+        query, 0, center_orientation=wrong_anchor, tolerance_rad=0.15
+    )
+    assert abs(result.orientation - true_orientation) < 0.15
+
+
+def test_neighbor_positions_searched(profile):
+    config = ViHOTConfig(profile_stride=2, neighbor_positions=1)
+    matcher = SeriesMatcher(profile, config)
+    # Query drawn from position 1; searching around position 0 with one
+    # neighbour must find it in position 1.
+    query = query_from_profile(profile[1], 600, 20)
+    result = matcher.match(query, 0)
+    assert result.position_index == 1
+
+
+def test_validation(profile, matcher):
+    with pytest.raises(ValueError):
+        matcher.match(np.zeros(1), 0)
+    with pytest.raises(ValueError):
+        matcher.match(np.zeros(20), 5)
+    with pytest.raises(ValueError):
+        SeriesMatcher(CsiProfile())

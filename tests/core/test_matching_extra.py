@@ -1,0 +1,81 @@
+"""Additional matcher tests: bands, decimation, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ViHOTConfig
+from repro.core.matching import SeriesMatcher
+from repro.core.profile import CsiProfile, PositionProfile
+
+
+RATE = 200.0
+
+
+def make_profile(duration_s=8.0):
+    n = int(duration_s * RATE)
+    t = np.linspace(0, duration_s, n)
+    orientation = 1.2 * np.sin(2 * np.pi * t / duration_s * 1.5)
+    phases = 0.9 * np.sin(orientation) + 0.05 * np.sin(3 * orientation)
+    profile = CsiProfile()
+    profile.add(PositionProfile(0.0, RATE, phases, orientation, 0.0))
+    return profile
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return make_profile()
+
+
+def query_at(profile, end, length=20):
+    return profile[0].phases[end - length + 1 : end + 1].copy()
+
+
+def test_matching_deterministic(profile):
+    matcher = SeriesMatcher(profile, ViHOTConfig())
+    q = query_at(profile, 600)
+    a = matcher.match(q, 0)
+    b = matcher.match(q, 0)
+    assert a == b
+
+
+def test_dtw_band_still_finds_match(profile):
+    banded = SeriesMatcher(profile, ViHOTConfig(dtw_band=10))
+    free = SeriesMatcher(profile, ViHOTConfig())
+    q = query_at(profile, 600)
+    rb = banded.match(q, 0)
+    rf = free.match(q, 0)
+    assert abs(rb.orientation - rf.orientation) < 0.15
+
+
+def test_decimation_changes_little(profile):
+    fine = SeriesMatcher(profile, ViHOTConfig(max_query_samples=100))
+    coarse = SeriesMatcher(profile, ViHOTConfig(max_query_samples=8))
+    q = query_at(profile, 700, length=40)
+    rf = fine.match(q, 0)
+    rc = coarse.match(q, 0)
+    assert abs(rf.orientation - rc.orientation) < 0.2
+
+
+def test_stride_one_at_least_as_good(profile):
+    exact = SeriesMatcher(profile, ViHOTConfig(profile_stride=1))
+    strided = SeriesMatcher(profile, ViHOTConfig(profile_stride=8))
+    q = query_at(profile, 650)
+    assert exact.match(q, 0).distance <= strided.match(q, 0).distance + 1e-12
+
+
+def test_noisy_query_still_matches(profile):
+    matcher = SeriesMatcher(profile, ViHOTConfig())
+    rng = np.random.default_rng(0)
+    end = 600
+    q = query_at(profile, end) + rng.normal(0, 0.02, 20)
+    result = matcher.match(q, 0)
+    truth = profile[0].orientations[end]
+    assert abs(result.orientation - truth) < 0.25
+
+
+def test_length_candidates_all_usable_on_short_profile():
+    short = make_profile(duration_s=0.5)  # 100 samples
+    matcher = SeriesMatcher(short, ViHOTConfig())
+    q = query_at(short, 60)
+    result = matcher.match(q, 0)
+    assert result.length <= 100

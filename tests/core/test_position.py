@@ -1,0 +1,102 @@
+"""Position estimator tests (Sec. 3.4.1, Eq. 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.position import PositionEstimator, detect_stable_phase
+from repro.core.profile import CsiProfile, PositionProfile
+from repro.dsp.series import TimeSeries
+
+
+def make_profile(phi0s):
+    profile = CsiProfile()
+    for k, phi0 in enumerate(phi0s):
+        profile.add(
+            PositionProfile(
+                label=float(k),
+                rate_hz=100.0,
+                phases=np.sin(np.linspace(0, 3, 50)),
+                orientations=np.linspace(-1, 1, 50),
+                phi0=phi0,
+            )
+        )
+    return profile
+
+
+def flat_series(level, duration=2.0, rate=200.0, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    times = np.arange(0, duration, 1.0 / rate)
+    values = level + rng.normal(0, noise, len(times))
+    return TimeSeries(times, values)
+
+
+def test_detect_stable_on_flat_phase():
+    series = flat_series(0.4, noise=0.01)
+    level = detect_stable_phase(series, t=2.0, window_s=0.5, std_threshold_rad=0.06)
+    assert level == pytest.approx(0.4, abs=0.01)
+
+
+def test_detect_stable_rejects_moving_phase():
+    times = np.arange(0, 2, 0.005)
+    series = TimeSeries(times, np.sin(2 * np.pi * times))
+    assert detect_stable_phase(series, 2.0, 0.5, 0.06) is None
+
+
+def test_detect_stable_needs_samples():
+    series = flat_series(0.0, duration=0.01)
+    assert detect_stable_phase(series, 2.0, 0.5, 0.06) is None
+
+
+def test_detect_stable_validation():
+    series = flat_series(0.0)
+    with pytest.raises(ValueError):
+        detect_stable_phase(series, 1.0, -0.5, 0.06)
+
+
+def test_eq4_picks_nearest_fingerprint():
+    estimator = PositionEstimator(make_profile([-0.4, -0.1, 0.2, 0.5]))
+    assert estimator.estimate_from_phi0(0.18) == 2
+    assert estimator.estimate_from_phi0(-0.35) == 0
+
+
+def test_eq4_circular_distance():
+    estimator = PositionEstimator(make_profile([np.pi - 0.05, 0.0]))
+    # -pi + 0.05 is 0.1 rad from pi - 0.05 on the circle, far from 0.
+    assert estimator.estimate_from_phi0(-np.pi + 0.05) == 0
+
+
+def test_tie_breaking_prefers_current_position():
+    # Fingerprints of positions 0 and 3 nearly collide; once anchored at
+    # 3, a phi0 between them must stay at 3 (heads drift, not teleport).
+    estimator = PositionEstimator(
+        make_profile([0.30, 0.10, -0.10, 0.31]), tie_margin_rad=0.04
+    )
+    estimator._current = 3
+    assert estimator.estimate_from_phi0(0.305) == 3
+    estimator._current = 0
+    assert estimator.estimate_from_phi0(0.305) == 0
+
+
+def test_update_holds_position_while_turning():
+    estimator = PositionEstimator(make_profile([-0.2, 0.2]), window_s=0.5)
+    stable = flat_series(0.19, duration=2.0)
+    assert estimator.update(stable, 2.0) == 1
+    assert estimator.last_fix_time == 2.0
+    # Now the phase moves: the estimate holds, the fix time does not advance.
+    times = np.arange(2.0, 3.0, 0.005)
+    moving = TimeSeries(times, np.sin(20 * times))
+    combined = stable.concat(moving)
+    assert estimator.update(combined, 3.0) == 1
+    assert estimator.last_fix_time == 2.0
+
+
+def test_update_before_any_fix_returns_none():
+    estimator = PositionEstimator(make_profile([0.0, 0.5]))
+    times = np.arange(0, 1, 0.005)
+    moving = TimeSeries(times, np.sin(30 * times))
+    assert estimator.update(moving, 1.0) is None
+
+
+def test_empty_profile_rejected():
+    with pytest.raises(ValueError):
+        PositionEstimator(CsiProfile())

@@ -1,0 +1,90 @@
+"""Profile data-structure and persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.profile import CsiProfile, PositionProfile
+
+
+def make_position(label=0.0, n=100, rate=200.0, phi0=0.3):
+    phases = np.sin(np.linspace(0, 4, n))
+    orientations = np.linspace(-1.0, 1.0, n)
+    return PositionProfile(label, rate, phases, orientations, phi0)
+
+
+def test_position_profile_wraps_inputs():
+    p = PositionProfile(0.0, 100.0, np.array([4.0, -4.0]), np.zeros(2), 7.0)
+    assert np.all(p.phases <= np.pi)
+    assert np.all(p.phases > -np.pi)
+    assert -np.pi < p.phi0 <= np.pi
+
+
+def test_position_profile_validation():
+    with pytest.raises(ValueError):
+        PositionProfile(0.0, 100.0, np.zeros(1), np.zeros(1), 0.0)
+    with pytest.raises(ValueError):
+        PositionProfile(0.0, 0.0, np.zeros(5), np.zeros(5), 0.0)
+    with pytest.raises(ValueError):
+        PositionProfile(0.0, 100.0, np.zeros(5), np.zeros(4), 0.0)
+
+
+def test_position_profile_properties():
+    p = make_position(n=201, rate=100.0)
+    assert p.duration_s == pytest.approx(2.0)
+    lo, hi = p.orientation_range
+    assert lo == pytest.approx(-1.0)
+    assert hi == pytest.approx(1.0)
+    assert len(p) == 201
+
+
+def test_profile_add_and_iterate():
+    profile = CsiProfile(driver="X")
+    profile.add(make_position(label=-0.01))
+    profile.add(make_position(label=0.01))
+    assert len(profile) == 2
+    assert [p.label for p in profile] == [-0.01, 0.01]
+    assert profile[1].label == 0.01
+    assert profile.rate_hz == 200.0
+
+
+def test_profile_rejects_rate_mismatch():
+    profile = CsiProfile()
+    profile.add(make_position(rate=200.0))
+    with pytest.raises(ValueError):
+        profile.add(make_position(rate=100.0))
+
+
+def test_profile_fingerprints():
+    profile = CsiProfile()
+    profile.add(make_position(phi0=0.1))
+    profile.add(make_position(phi0=-0.2))
+    np.testing.assert_allclose(profile.phi0_fingerprints(), [0.1, -0.2])
+
+
+def test_empty_profile_errors():
+    profile = CsiProfile()
+    with pytest.raises(ValueError):
+        _ = profile.rate_hz
+
+
+def test_save_load_roundtrip(tmp_path):
+    profile = CsiProfile(driver="roundtrip")
+    for k, label in enumerate((-0.02, 0.0, 0.02)):
+        profile.add(make_position(label=label, phi0=0.1 * k))
+    path = tmp_path / "driver.npz"
+    profile.save(path)
+
+    loaded = CsiProfile.load(path)
+    assert loaded.driver == "roundtrip"
+    assert len(loaded) == 3
+    for orig, back in zip(profile, loaded):
+        assert back.label == orig.label
+        assert back.rate_hz == orig.rate_hz
+        assert back.phi0 == pytest.approx(orig.phi0)
+        np.testing.assert_allclose(back.phases, orig.phases)
+        np.testing.assert_allclose(back.orientations, orig.orientations)
+
+
+def test_load_missing_file(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        CsiProfile.load(tmp_path / "nope.npz")

@@ -1,0 +1,79 @@
+"""Profiling-stage tests (Sec. 3.3) against the simulated link."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiling import ProfileBuilder, build_position_profile
+from repro.dsp.series import TimeSeries
+
+
+def test_build_position_profile(small_scenario):
+    config = small_scenario.config
+    scene = small_scenario.profiling_scene(0)
+    link = small_scenario._link(scene, 99)
+    total = config.profile_front_hold_s + config.profile_seconds
+    stream = link.capture(0.0, total, with_imu=False)
+    truth = TimeSeries(stream.times, scene.driver_yaw(stream.times))
+    position = build_position_profile(
+        stream, truth, label=-0.01, front_hold_s=config.profile_front_hold_s
+    )
+    assert position.label == -0.01
+    assert len(position) > 500
+    # The profiled orientations cover the scan amplitude.
+    lo, hi = position.orientation_range
+    assert lo < -np.deg2rad(50)
+    assert hi > np.deg2rad(50)
+    # phi0 is the wrapped facing-front phase.
+    assert -np.pi < position.phi0 <= np.pi
+
+
+def test_profile_phase_orientation_consistency(small_profile):
+    """Within one position, nearby orientations must have nearby phases
+
+    (on the same sweep branch) — the relation of Fig. 3 is a curve, not
+    a scatter."""
+    position = small_profile[0]
+    # Take rising-sweep samples only (positive orientation derivative).
+    rising = np.diff(position.orientations) > 0.001
+    phases = position.phases[:-1][rising]
+    orientations = position.orientations[:-1][rising]
+    order = np.argsort(orientations)
+    phase_sorted = phases[order]
+    # A curve: total variation is a small multiple of the range.
+    total_variation = np.abs(np.diff(phase_sorted)).sum()
+    value_range = np.ptp(phase_sorted)
+    assert total_variation < 6 * value_range
+
+
+def test_fingerprints_distinct_across_positions(small_profile):
+    phi0s = small_profile.phi0_fingerprints()
+    assert len(np.unique(np.round(phi0s, 3))) > 1
+
+
+def test_builder_collects_positions(small_scenario):
+    builder = ProfileBuilder(driver="T", rate_hz=200.0)
+    config = small_scenario.config
+    total = config.profile_front_hold_s + config.profile_seconds
+    for k in range(2):
+        scene = small_scenario.profiling_scene(k)
+        link = small_scenario._link(scene, 98, extra=k)
+        stream = link.capture(0.0, total, with_imu=False)
+        truth = TimeSeries(stream.times, scene.driver_yaw(stream.times))
+        builder.add_position(
+            stream, truth, label=float(k), front_hold_s=config.profile_front_hold_s
+        )
+    profile = builder.build()
+    assert len(profile) == 2
+    assert profile.driver == "T"
+
+
+def test_builder_empty_rejected():
+    with pytest.raises(ValueError):
+        ProfileBuilder().build()
+
+
+def test_profiling_duration_within_paper_budget(small_scenario):
+    """10 positions x (hold + scan) must fit the paper's ~100 s claim."""
+    config = small_scenario.config
+    per_position = config.profile_front_hold_s + config.profile_seconds
+    assert 10 * per_position <= 100.0

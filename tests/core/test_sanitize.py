@@ -1,0 +1,96 @@
+"""Sanitiser tests — the CFO/SFO cancellation of Sec. 3.2."""
+
+import numpy as np
+import pytest
+
+from repro.core.sanitize import antenna_phase_difference, sanitize_stream
+from repro.rf.impairments import HardwareImpairments, ImpairmentConfig
+from repro.rf.spectrum import Spectrum
+
+
+def make_clean_csi(phase_diff_rad, num_packets=40, spectrum=None):
+    """CSI where antenna 0 leads antenna 1 by a known phase."""
+    spectrum = spectrum or Spectrum()
+    base = np.exp(1j * np.linspace(0, 1, spectrum.num_subcarriers))
+    csi = np.empty((num_packets, 2, spectrum.num_subcarriers), dtype=complex)
+    csi[:, 1, :] = base
+    csi[:, 0, :] = base * np.exp(1j * phase_diff_rad)
+    return csi
+
+
+def test_recovers_known_difference():
+    csi = make_clean_csi(0.7)
+    phases = antenna_phase_difference(csi)
+    np.testing.assert_allclose(phases, 0.7, atol=1e-9)
+
+
+def test_difference_sign_convention():
+    csi = make_clean_csi(-0.4)
+    phases = antenna_phase_difference(csi)
+    np.testing.assert_allclose(phases, -0.4, atol=1e-9)
+
+
+def test_cancels_cfo_and_sfo():
+    """The headline property: impairments common to both antennas vanish."""
+    spectrum = Spectrum()
+    csi = make_clean_csi(0.5, num_packets=200, spectrum=spectrum)
+    imp = HardwareImpairments(
+        spectrum,
+        ImpairmentConfig(snr_db=200.0),  # isolate CFO/SFO
+        rng=np.random.default_rng(0),
+    )
+    noisy = imp.apply(csi, np.linspace(0, 2, 200))
+    # Raw per-antenna phase is garbage...
+    raw = np.angle(noisy[:, 0, 0])
+    assert np.std(np.diff(raw)) > 0.1
+    # ...but the antenna difference is still exactly 0.5.
+    phases = antenna_phase_difference(noisy)
+    np.testing.assert_allclose(phases, 0.5, atol=1e-3)
+
+
+def test_subcarrier_averaging_reduces_thermal_noise():
+    spectrum = Spectrum()
+    csi = make_clean_csi(0.3, num_packets=500, spectrum=spectrum)
+    imp = HardwareImpairments(
+        spectrum,
+        ImpairmentConfig(cfo_step_rad=0, cfo_jitter_rad=0, sfo_delay_std_s=0, snr_db=20.0),
+        rng=np.random.default_rng(1),
+    )
+    noisy = imp.apply(csi, np.linspace(0, 2, 500))
+    averaged = antenna_phase_difference(noisy)
+    single = np.angle(noisy[:, 0, 0] * np.conj(noisy[:, 1, 0]))
+    assert np.std(averaged) < 0.5 * np.std(single)
+
+
+def test_antenna_selection():
+    csi = make_clean_csi(0.2)
+    swapped = antenna_phase_difference(csi, rx_a=1, rx_b=0)
+    np.testing.assert_allclose(swapped, -0.2, atol=1e-9)
+    with pytest.raises(ValueError):
+        antenna_phase_difference(csi, rx_a=0, rx_b=0)
+    with pytest.raises(ValueError):
+        antenna_phase_difference(csi, rx_a=0, rx_b=5)
+
+
+def test_sanitize_stream_unwraps():
+    # A phase ramping past pi must come out continuous.
+    num = 100
+    spectrum = Spectrum()
+    ramp = np.linspace(0, 3 * np.pi, num)
+    base = np.exp(1j * np.linspace(0, 1, spectrum.num_subcarriers))
+    csi = np.empty((num, 2, spectrum.num_subcarriers), dtype=complex)
+    csi[:, 1, :] = base
+    csi[:, 0, :] = base * np.exp(1j * ramp)[:, None]
+    series = sanitize_stream(np.linspace(0, 1, num), csi)
+    np.testing.assert_allclose(np.asarray(series.values), ramp, atol=1e-6)
+
+
+def test_sanitize_stream_length_mismatch():
+    csi = make_clean_csi(0.1, num_packets=5)
+    with pytest.raises(ValueError):
+        sanitize_stream(np.zeros(4), csi)
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        antenna_phase_difference(np.zeros((3, 30), dtype=complex))

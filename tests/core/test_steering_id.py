@@ -1,0 +1,65 @@
+"""Steering identifier tests (Sec. 3.6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.steering_id import SteeringIdentifier
+from repro.dsp.series import TimeSeries
+
+
+def imu_series(rates, rate_hz=100.0):
+    times = np.arange(len(rates)) / rate_hz
+    return TimeSeries(times, np.asarray(rates, dtype=float))
+
+
+def test_straight_driving_not_steering():
+    rng = np.random.default_rng(0)
+    imu = imu_series(rng.normal(0, 0.01, 500))
+    identifier = SteeringIdentifier(rate_threshold=0.06)
+    assert not identifier.is_steering(imu, 3.0)
+
+
+def test_turn_detected():
+    rates = np.concatenate([np.zeros(200), np.full(200, 0.3), np.zeros(100)])
+    imu = imu_series(rates)
+    identifier = SteeringIdentifier(rate_threshold=0.06)
+    assert identifier.is_steering(imu, 3.0)  # mid-turn
+    assert not identifier.is_steering(imu, 1.5)  # before the turn
+
+
+def test_holdoff_extends_detection():
+    rates = np.concatenate([np.full(200, 0.3), np.zeros(300)])
+    imu = imu_series(rates)
+    with_holdoff = SteeringIdentifier(rate_threshold=0.06, holdoff_s=0.5)
+    without = SteeringIdentifier(rate_threshold=0.06, holdoff_s=0.0)
+    t_after = 2.0 + 0.4  # 0.4 s after the yaw rate decayed
+    assert with_holdoff.is_steering(imu, t_after)
+    assert not without.is_steering(imu, t_after)
+
+
+def test_vibration_jitter_below_threshold():
+    rng = np.random.default_rng(1)
+    imu = imu_series(rng.normal(0, 0.02, 1000))
+    identifier = SteeringIdentifier(rate_threshold=0.06, smooth_window_s=0.25)
+    mask = identifier.steering_mask(imu, np.linspace(1.0, 9.0, 50))
+    assert mask.sum() == 0
+
+
+def test_no_imu_data_defaults_to_not_steering():
+    identifier = SteeringIdentifier()
+    empty = TimeSeries.empty()
+    assert not identifier.is_steering(empty, 1.0)
+    assert identifier.smoothed_rate(empty, 1.0) == 0.0
+
+
+def test_negative_rates_detected_by_magnitude():
+    imu = imu_series(np.full(300, -0.3))
+    identifier = SteeringIdentifier(rate_threshold=0.06)
+    assert identifier.is_steering(imu, 2.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SteeringIdentifier(rate_threshold=0.0)
+    with pytest.raises(ValueError):
+        SteeringIdentifier(holdoff_s=-1.0)

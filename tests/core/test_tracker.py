@@ -1,0 +1,90 @@
+"""ViHOT tracker pipeline tests on the simulated cabin."""
+
+import numpy as np
+import pytest
+
+from repro.core import ViHOTConfig, ViHOTTracker
+from repro.core.tracker import Estimate, TrackingResult
+from repro.net.link import CsiStream
+
+
+@pytest.fixture(scope="module")
+def tracked(small_scenario, small_profile, runtime_stream):
+    stream, scene = runtime_stream
+    tracker = ViHOTTracker(small_profile, ViHOTConfig())
+    result = tracker.process(stream, estimate_stride_s=0.1)
+    return result, scene
+
+
+def test_produces_estimates(tracked):
+    result, _scene = tracked
+    assert len(result) > 30
+
+
+def test_tracks_head_orientation(tracked):
+    result, scene = tracked
+    truth = scene.driver_yaw(result.target_times)
+    errors = np.abs(np.rad2deg(result.orientations - truth))
+    active = result.target_times > 2.5
+    assert np.median(errors[active]) < 10.0  # the paper's headline band
+
+
+def test_facing_front_is_pinned(tracked):
+    result, scene = tracked
+    truth = np.abs(np.rad2deg(scene.driver_yaw(result.target_times)))
+    est = np.abs(np.rad2deg(result.orientations))
+    front = truth < 1.0
+    assert np.median(est[front]) < 3.0
+
+
+def test_modes_are_known(tracked):
+    result, _scene = tracked
+    assert set(result.modes) <= {"csi", "stationary", "held", "fallback", "init"}
+    assert result.mode_fraction("csi") > 0.3
+
+
+def test_estimates_time_ordered(tracked):
+    result, _scene = tracked
+    assert np.all(np.diff(result.times) > 0)
+    np.testing.assert_allclose(result.target_times, result.times)  # horizon 0
+
+
+def test_forecast_shifts_target_times(small_profile, runtime_stream):
+    stream, _scene = runtime_stream
+    tracker = ViHOTTracker(small_profile, ViHOTConfig(horizon_s=0.2))
+    result = tracker.process(stream, estimate_stride_s=0.25)
+    np.testing.assert_allclose(result.target_times - result.times, 0.2)
+
+
+def test_jump_filter_bounds_rate(tracked):
+    result, _scene = tracked
+    rates = np.abs(np.diff(result.orientations) / np.diff(result.times))
+    assert rates.max() <= np.deg2rad(400.0) * 1.05
+
+
+def test_tracking_result_helpers():
+    result = TrackingResult(
+        [
+            Estimate(0.0, 0.0, 0.1, "csi"),
+            Estimate(0.1, 0.1, 0.2, "held"),
+        ]
+    )
+    assert result.mode_fraction("csi") == pytest.approx(0.5)
+    series = result.series()
+    assert len(series) == 2
+    assert TrackingResult().mode_fraction("csi") == 0.0
+
+
+def test_invalid_stride(small_profile, runtime_stream):
+    stream, _scene = runtime_stream
+    tracker = ViHOTTracker(small_profile)
+    with pytest.raises(ValueError):
+        tracker.process(stream, estimate_stride_s=0.0)
+
+
+def test_no_imu_means_no_fallback(small_profile, runtime_stream):
+    stream, _scene = runtime_stream
+    bare = CsiStream(stream.times, stream.csi, stream.seqs, imu=None)
+    tracker = ViHOTTracker(small_profile)
+    result = tracker.process(bare, estimate_stride_s=0.2)
+    assert "fallback" not in result.modes

@@ -1,0 +1,111 @@
+"""DTW tests: metric properties, warping behaviour, batched equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.dtw import batched_dtw_distance, dtw_distance, dtw_path
+
+series = st.lists(
+    st.floats(min_value=-5, max_value=5, allow_nan=False), min_size=2, max_size=15
+)
+
+
+def test_identical_series_zero_distance():
+    x = np.sin(np.linspace(0, 3, 30))
+    assert dtw_distance(x, x) == pytest.approx(0.0, abs=1e-12)
+
+
+@given(series, series)
+@settings(max_examples=50, deadline=None)
+def test_symmetry(a, b):
+    a, b = np.array(a), np.array(b)
+    assert dtw_distance(a, b) == pytest.approx(dtw_distance(b, a), rel=1e-9)
+
+
+@given(series)
+@settings(max_examples=50, deadline=None)
+def test_nonnegative_and_self_zero(a):
+    a = np.array(a)
+    assert dtw_distance(a, a) == pytest.approx(0.0, abs=1e-12)
+    assert dtw_distance(a, a + 1.0) > 0.0
+
+
+def test_time_warp_invariance():
+    # A stretched copy of the same shape matches much better than a
+    # different shape of the same length.
+    t = np.linspace(0, 1, 40)
+    shape = np.sin(2 * np.pi * t)
+    stretched = np.sin(2 * np.pi * np.linspace(0, 1, 80))
+    other = np.cos(2 * np.pi * np.linspace(0, 1, 80))
+    assert dtw_distance(shape, stretched) < 0.25 * dtw_distance(shape, other)
+
+
+def test_band_constraint_inf_when_infeasible():
+    a = np.zeros(10)
+    b = np.concatenate([np.zeros(50), np.ones(50)])
+    unconstrained = dtw_distance(a, b)
+    assert np.isfinite(unconstrained)
+    assert dtw_distance(a, b, band=0) >= unconstrained
+
+
+def test_band_negative_rejected():
+    with pytest.raises(ValueError):
+        dtw_distance(np.zeros(3), np.zeros(3), band=-1)
+
+
+def test_metric_circular_seam():
+    # Two series on opposite sides of the +-pi seam are close circularly.
+    a = np.full(10, np.pi - 0.05)
+    b = np.full(10, -np.pi + 0.05)
+    # 10 aligned pairs, each |wrap(a-b)| = 0.1, normalised by m+n = 20.
+    assert dtw_distance(a, b, metric="circular") == pytest.approx(0.05, abs=1e-9)
+    assert dtw_distance(a, b, metric="abs") > 2.0
+
+
+def test_unknown_metric_rejected():
+    with pytest.raises(ValueError):
+        dtw_distance(np.zeros(3), np.zeros(3), metric="euclid")
+
+
+def test_empty_series_rejected():
+    with pytest.raises(ValueError):
+        dtw_distance(np.array([]), np.zeros(3))
+
+
+def test_path_endpoints_and_monotonicity():
+    a = np.sin(np.linspace(0, 2, 20))
+    b = np.sin(np.linspace(0, 2, 33))
+    dist, path = dtw_path(a, b)
+    assert path[0] == (0, 0)
+    assert path[-1] == (len(a) - 1, len(b) - 1)
+    steps = np.diff(np.array(path), axis=0)
+    assert np.all(steps >= 0) and np.all(steps <= 1)
+    assert dist == pytest.approx(dtw_distance(a, b), rel=1e-9)
+
+
+@given(series, st.lists(series, min_size=1, max_size=4))
+@settings(max_examples=30, deadline=None)
+def test_batched_matches_single(query, candidate_lists):
+    query = np.array(query)
+    length = min(len(c) for c in candidate_lists)
+    candidates = np.array([c[:length] for c in candidate_lists])
+    batched = batched_dtw_distance(query, candidates)
+    singles = np.array([dtw_distance(query, c) for c in candidates])
+    np.testing.assert_allclose(batched, singles, rtol=1e-9, atol=1e-12)
+
+
+def test_batched_circular_matches_single():
+    rng = np.random.default_rng(3)
+    query = rng.uniform(-np.pi, np.pi, 12)
+    candidates = rng.uniform(-np.pi, np.pi, (5, 20))
+    batched = batched_dtw_distance(query, candidates, metric="circular")
+    singles = [dtw_distance(query, c, metric="circular") for c in candidates]
+    np.testing.assert_allclose(batched, singles, rtol=1e-9)
+
+
+def test_batched_shape_validation():
+    with pytest.raises(ValueError):
+        batched_dtw_distance(np.zeros(3), np.zeros((2, 0)))
+    assert len(batched_dtw_distance(np.zeros(3), np.zeros((0, 5)))) == 0

@@ -1,0 +1,83 @@
+"""Filter tests: moving average, median, Hampel outlier rejection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.filters import hampel_filter, median_filter, moving_average
+
+signal = st.lists(
+    st.floats(min_value=-100, max_value=100, allow_nan=False), min_size=1, max_size=50
+)
+
+
+def test_moving_average_constant_invariant():
+    x = np.full(20, 3.5)
+    np.testing.assert_allclose(moving_average(x, 5), x)
+
+
+def test_moving_average_output_length():
+    x = np.arange(10.0)
+    assert len(moving_average(x, 4)) == 10
+
+
+def test_moving_average_window_one_identity():
+    x = np.random.default_rng(0).normal(size=10)
+    np.testing.assert_allclose(moving_average(x, 1), x)
+
+
+def test_moving_average_smooths():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=500)
+    assert np.std(moving_average(x, 9)) < 0.6 * np.std(x)
+
+
+@given(signal)
+@settings(max_examples=40, deadline=None)
+def test_moving_average_bounded_by_extremes(values):
+    x = np.array(values)
+    y = moving_average(x, 5)
+    assert np.all(y >= x.min() - 1e-9)
+    assert np.all(y <= x.max() + 1e-9)
+
+
+def test_median_filter_removes_spike():
+    x = np.zeros(21)
+    x[10] = 100.0
+    y = median_filter(x, 5)
+    assert y[10] == 0.0
+
+
+def test_median_filter_validation():
+    with pytest.raises(ValueError):
+        median_filter(np.zeros(5), 0)
+
+
+def test_hampel_replaces_outlier():
+    rng = np.random.default_rng(1)
+    x = rng.normal(0, 0.1, 50)
+    x[25] = 10.0
+    y = hampel_filter(x, window=7, n_sigmas=3.0)
+    assert abs(y[25]) < 1.0
+    # Inliers untouched
+    assert np.sum(y != x) <= 3
+
+
+def test_hampel_constant_window_flattens_deviation():
+    x = np.zeros(20)
+    x[10] = 0.5
+    y = hampel_filter(x, window=5)
+    assert y[10] == 0.0
+
+
+def test_hampel_validation():
+    with pytest.raises(ValueError):
+        hampel_filter(np.zeros(5), window=2)
+    with pytest.raises(ValueError):
+        hampel_filter(np.zeros(5), n_sigmas=0.0)
+
+
+def test_filters_reject_2d():
+    with pytest.raises(ValueError):
+        moving_average(np.zeros((2, 2)), 3)

@@ -1,0 +1,90 @@
+"""Circular phase arithmetic tests (with hypothesis invariants)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dsp.phase import (
+    circular_mean,
+    phase_difference,
+    phase_std,
+    unwrap_phase,
+    wrap_phase,
+)
+
+angles = st.floats(min_value=-50.0, max_value=50.0, allow_nan=False)
+
+
+@given(angles)
+def test_wrap_phase_in_range(a):
+    w = wrap_phase(a)
+    assert -np.pi < w <= np.pi
+
+
+@given(angles, st.integers(min_value=-5, max_value=5))
+def test_wrap_phase_2pi_periodic(a, k):
+    assert wrap_phase(a) == pytest.approx(wrap_phase(a + 2 * np.pi * k), abs=1e-9)
+
+
+def test_circular_mean_simple():
+    assert circular_mean(np.array([0.1, -0.1])) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_circular_mean_across_seam():
+    # Naive mean of [pi-0.1, -pi+0.1] is 0; circular mean is pi.
+    m = circular_mean(np.array([np.pi - 0.1, -np.pi + 0.1]))
+    assert abs(wrap_phase(m - np.pi)) < 1e-9
+
+
+def test_circular_mean_axis():
+    phases = np.array([[0.0, 0.2], [np.pi, np.pi - 0.2]])
+    m = circular_mean(phases, axis=1)
+    assert m[0] == pytest.approx(0.1)
+    assert abs(wrap_phase(m[1] - (np.pi - 0.1))) < 1e-9
+
+
+@given(st.lists(angles, min_size=1, max_size=20), angles)
+def test_circular_mean_rotation_equivariant(values, shift):
+    values = np.array(values)
+    m0 = circular_mean(values)
+    m1 = circular_mean(values + shift)
+    assert abs(wrap_phase(m1 - m0 - shift)) < 1e-6
+
+
+def test_phase_difference_wraps():
+    d = phase_difference(np.pi - 0.05, -np.pi + 0.05)
+    assert d == pytest.approx(-0.1, abs=1e-9)
+
+
+def test_unwrap_phase_linear_track():
+    track = np.linspace(0, 6 * np.pi, 200)
+    recovered = unwrap_phase(wrap_phase(track))
+    np.testing.assert_allclose(np.diff(recovered), np.diff(track), atol=1e-9)
+
+
+def test_unwrap_rejects_2d():
+    with pytest.raises(ValueError):
+        unwrap_phase(np.zeros((2, 2)))
+
+
+def test_phase_std_constant_zero():
+    assert phase_std(np.full(10, 1.3)) == pytest.approx(0.0, abs=1e-6)
+
+
+def test_phase_std_grows_with_spread():
+    rng = np.random.default_rng(0)
+    narrow = phase_std(rng.normal(0, 0.05, 500))
+    wide = phase_std(rng.normal(0, 0.5, 500))
+    assert narrow < wide
+    assert narrow == pytest.approx(0.05, rel=0.2)
+
+
+def test_phase_std_uniform_is_large():
+    uniform = np.linspace(-np.pi, np.pi, 1000, endpoint=False)
+    assert phase_std(uniform) > 2.0
+
+
+def test_phase_std_empty_raises():
+    with pytest.raises(ValueError):
+        phase_std(np.array([]))

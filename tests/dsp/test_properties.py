@@ -1,0 +1,83 @@
+"""Cross-cutting property-based tests on the DSP substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsp.dtw import dtw_distance
+from repro.dsp.phase import wrap_phase
+from repro.dsp.resample import resample_uniform
+from repro.dsp.series import TimeSeries
+
+
+@st.composite
+def irregular_series(draw, min_len=4, max_len=60):
+    n = draw(st.integers(min_value=min_len, max_value=max_len))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=1e-3, max_value=0.5, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    times = np.cumsum(gaps)
+    values = draw(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return TimeSeries(times, np.array(values))
+
+
+@given(irregular_series())
+@settings(max_examples=40, deadline=None)
+def test_resample_stays_within_value_bounds(series):
+    resampled = resample_uniform(series, rate_hz=37.0)
+    values = np.asarray(series.values)
+    assert np.all(np.asarray(resampled.values) >= values.min() - 1e-9)
+    assert np.all(np.asarray(resampled.values) <= values.max() + 1e-9)
+
+
+@given(irregular_series())
+@settings(max_examples=40, deadline=None)
+def test_resample_grid_covers_span(series):
+    resampled = resample_uniform(series, rate_hz=50.0)
+    assert resampled.start >= series.start - 1e-9
+    assert resampled.end <= series.end + 1e-9
+    diffs = np.diff(resampled.times)
+    if len(diffs):
+        np.testing.assert_allclose(diffs, 1.0 / 50.0, atol=1e-9)
+
+
+@given(irregular_series(), st.floats(min_value=0.0, max_value=5.0, allow_nan=False))
+@settings(max_examples=40, deadline=None)
+def test_slice_then_slice_idempotent(series, t0):
+    t1 = t0 + 1.0
+    once = series.slice(t0, t1)
+    twice = once.slice(t0, t1)
+    assert len(once) == len(twice)
+
+
+@given(
+    st.lists(st.floats(min_value=-3, max_value=3, allow_nan=False), min_size=3, max_size=20),
+    st.floats(min_value=-3, max_value=3, allow_nan=False),
+)
+@settings(max_examples=40, deadline=None)
+def test_dtw_circular_rotation_invariant(values, shift):
+    """Rotating both series by the same angle preserves circular DTW."""
+    a = wrap_phase(np.array(values))
+    b = wrap_phase(np.array(values[::-1]))
+    d0 = dtw_distance(a, b, metric="circular")
+    d1 = dtw_distance(wrap_phase(a + shift), wrap_phase(b + shift), metric="circular")
+    assert abs(d0 - d1) < 1e-6
+
+
+@given(st.lists(st.floats(min_value=-3, max_value=3, allow_nan=False), min_size=3, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_dtw_insensitive_to_repeats(values):
+    """Repeating samples (time warping) keeps DTW distance near zero."""
+    a = np.array(values)
+    stretched = np.repeat(a, 2)
+    assert dtw_distance(a, stretched) < 1e-9

@@ -1,0 +1,57 @@
+"""Resampling tests."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.resample import largest_gap, mean_rate, resample_uniform
+from repro.dsp.series import TimeSeries
+
+
+def irregular_series(rng, duration=2.0, rate=300.0):
+    gaps = rng.exponential(1.0 / rate, int(duration * rate * 2))
+    times = np.cumsum(gaps)
+    times = times[times < duration]
+    return TimeSeries(times, np.sin(2 * np.pi * times))
+
+
+def test_uniform_grid_spacing(rng):
+    s = irregular_series(rng)
+    u = resample_uniform(s, 100.0)
+    np.testing.assert_allclose(np.diff(u.times), 0.01, atol=1e-12)
+
+
+def test_resample_preserves_signal(rng):
+    s = irregular_series(rng)
+    u = resample_uniform(s, 200.0)
+    np.testing.assert_allclose(
+        np.asarray(u.values), np.sin(2 * np.pi * u.times), atol=0.01
+    )
+
+
+def test_resample_explicit_span():
+    s = TimeSeries(np.array([0.0, 1.0, 2.0]), np.array([0.0, 1.0, 2.0]))
+    u = resample_uniform(s, 10.0, t_start=0.5, t_end=1.5)
+    assert u.start == pytest.approx(0.5)
+    assert u.end == pytest.approx(1.5)
+
+
+def test_resample_validation():
+    s = TimeSeries(np.array([0.0, 1.0]), np.array([0.0, 1.0]))
+    with pytest.raises(ValueError):
+        resample_uniform(s, -1.0)
+    with pytest.raises(ValueError):
+        resample_uniform(s, 10.0, t_start=1.0, t_end=0.5)
+    with pytest.raises(ValueError):
+        resample_uniform(TimeSeries(np.array([0.0]), np.array([0.0])), 10.0)
+
+
+def test_largest_gap():
+    s = TimeSeries(np.array([0.0, 0.1, 0.5, 0.6]), np.zeros(4))
+    assert largest_gap(s) == pytest.approx(0.4)
+    assert largest_gap(TimeSeries.empty()) == 0.0
+
+
+def test_mean_rate():
+    s = TimeSeries(np.linspace(0, 1, 101), np.zeros(101))
+    assert mean_rate(s) == pytest.approx(100.0)
+    assert mean_rate(TimeSeries.empty()) == 0.0

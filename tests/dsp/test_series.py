@@ -1,0 +1,108 @@
+"""TimeSeries container tests."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.series import TimeSeries
+
+
+def make(times, values=None):
+    times = np.asarray(times, dtype=float)
+    if values is None:
+        values = np.arange(len(times), dtype=float)
+    return TimeSeries(times, values)
+
+
+def test_validation_length_mismatch():
+    with pytest.raises(ValueError):
+        TimeSeries(np.array([0.0, 1.0]), np.array([1.0]))
+
+
+def test_validation_monotonic():
+    with pytest.raises(ValueError):
+        TimeSeries(np.array([0.0, 0.0]), np.array([1.0, 2.0]))
+    with pytest.raises(ValueError):
+        TimeSeries(np.array([1.0, 0.5]), np.array([1.0, 2.0]))
+
+
+def test_duration_and_bounds():
+    s = make([1.0, 2.0, 4.0])
+    assert s.duration == pytest.approx(3.0)
+    assert s.start == 1.0
+    assert s.end == 4.0
+    assert len(s) == 3
+
+
+def test_empty_series_properties():
+    s = TimeSeries.empty()
+    assert len(s) == 0
+    assert s.duration == 0.0
+    with pytest.raises(ValueError):
+        _ = s.start
+
+
+def test_slice_inclusive():
+    s = make([0.0, 1.0, 2.0, 3.0])
+    sliced = s.slice(1.0, 2.0)
+    np.testing.assert_allclose(sliced.times, [1.0, 2.0])
+
+
+def test_slice_empty_range():
+    s = make([0.0, 1.0, 2.0])
+    assert len(s.slice(0.4, 0.6)) == 0
+    with pytest.raises(ValueError):
+        s.slice(2.0, 1.0)
+
+
+def test_before_strict():
+    s = make([0.0, 1.0, 2.0])
+    assert len(s.before(1.0)) == 1
+    assert len(s.before(1.5)) == 2
+
+
+def test_interp_scalar_values():
+    s = TimeSeries(np.array([0.0, 1.0]), np.array([0.0, 10.0]))
+    np.testing.assert_allclose(s.interp(np.array([0.5])), [5.0])
+    assert s.value_at(0.25) == pytest.approx(2.5)
+
+
+def test_interp_vector_values():
+    s = TimeSeries(np.array([0.0, 1.0]), np.array([[0.0, 0.0], [2.0, 4.0]]))
+    np.testing.assert_allclose(s.interp(np.array([0.5])), [[1.0, 2.0]])
+
+
+def test_interp_clamps_at_ends():
+    s = TimeSeries(np.array([0.0, 1.0]), np.array([1.0, 2.0]))
+    assert s.value_at(-1.0) == pytest.approx(1.0)
+    assert s.value_at(5.0) == pytest.approx(2.0)
+
+
+def test_interp_empty_raises():
+    with pytest.raises(ValueError):
+        TimeSeries.empty().interp(np.array([0.0]))
+
+
+def test_map_keeps_times():
+    s = make([0.0, 1.0])
+    doubled = s.map(lambda v: v * 2)
+    np.testing.assert_allclose(doubled.times, s.times)
+    np.testing.assert_allclose(doubled.values, [0.0, 2.0])
+
+
+def test_shift():
+    s = make([0.0, 1.0])
+    np.testing.assert_allclose(s.shift(2.5).times, [2.5, 3.5])
+
+
+def test_concat_order_enforced():
+    a = make([0.0, 1.0])
+    b = make([2.0, 3.0])
+    joined = a.concat(b)
+    assert len(joined) == 4
+    with pytest.raises(ValueError):
+        b.concat(a)
+
+
+def test_concat_with_empty():
+    a = make([0.0, 1.0])
+    assert a.concat(TimeSeries.empty()) is a

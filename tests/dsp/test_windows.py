@@ -1,0 +1,61 @@
+"""Sliding-window helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.windows import iter_estimate_times, sliding_windows, window_slice
+
+
+def test_sliding_windows_contents():
+    x = np.arange(6.0)
+    w = sliding_windows(x, 3, stride=1)
+    assert w.shape == (4, 3)
+    np.testing.assert_allclose(w[0], [0, 1, 2])
+    np.testing.assert_allclose(w[-1], [3, 4, 5])
+
+
+def test_sliding_windows_stride():
+    x = np.arange(10.0)
+    w = sliding_windows(x, 4, stride=3)
+    assert w.shape == (3, 4)
+    np.testing.assert_allclose(w[:, 0], [0, 3, 6])
+
+
+def test_sliding_windows_is_view():
+    x = np.arange(5.0)
+    w = sliding_windows(x, 2)
+    assert not w.flags.writeable
+    assert w.base is not None
+
+
+def test_sliding_windows_validation():
+    with pytest.raises(ValueError):
+        sliding_windows(np.arange(3.0), 5)
+    with pytest.raises(ValueError):
+        sliding_windows(np.arange(3.0), 0)
+    with pytest.raises(ValueError):
+        sliding_windows(np.zeros((2, 2)), 1)
+
+
+def test_window_slice_covers_span():
+    times = np.linspace(0, 1, 11)
+    lo, hi = window_slice(times, t_end=0.5, window_s=0.2)
+    np.testing.assert_allclose(times[lo:hi], [0.3, 0.4, 0.5])
+
+
+def test_window_slice_empty():
+    times = np.array([0.0, 10.0])
+    lo, hi = window_slice(times, t_end=5.0, window_s=1.0)
+    assert lo == hi
+
+
+def test_window_slice_validation():
+    with pytest.raises(ValueError):
+        window_slice(np.zeros(3), 1.0, -0.1)
+
+
+def test_iter_estimate_times():
+    ts = list(iter_estimate_times(0.0, 1.0, 0.25))
+    np.testing.assert_allclose(ts, [0.0, 0.25, 0.5, 0.75, 1.0])
+    with pytest.raises(ValueError):
+        list(iter_estimate_times(0.0, 1.0, 0.0))

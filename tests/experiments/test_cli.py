@@ -1,0 +1,86 @@
+"""CLI tests: every subcommand, end to end on temporary files."""
+
+import numpy as np
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_figure_registry_covers_all_paper_figures():
+    expected = {
+        "fig02", "fig03", "fig08", "fig10", "fig11", "fig12",
+        "fig13a", "fig13b", "fig13c", "fig13d", "fig14", "fig15",
+        "fig16", "fig17a", "fig17b", "fig17c", "fig17d", "sampling-rate",
+    }
+    assert expected <= set(FIGURES)
+
+
+def test_simulate_profile_track_roundtrip(tmp_path, capsys):
+    profile_path = tmp_path / "p.npz"
+    capture_path = tmp_path / "c.npz"
+    csv_path = tmp_path / "est.csv"
+
+    assert main([
+        "profile", "--seed", "5", "--duration", "6", "--preset", "parked",
+        "-o", str(profile_path),
+    ]) == 0
+    assert profile_path.exists()
+
+    assert main([
+        "simulate-capture", "--seed", "5", "--duration", "6",
+        "--preset", "parked", "-o", str(capture_path),
+    ]) == 0
+    assert capture_path.exists()
+
+    assert main([
+        "track", str(profile_path), str(capture_path), "-o", str(csv_path),
+        "--stride", "100",
+    ]) == 0
+    lines = csv_path.read_text().splitlines()
+    assert lines[0] == "time_s,target_time_s,orientation_deg,mode"
+    assert len(lines) > 10
+    out = capsys.readouterr().out
+    assert "estimates" in out
+
+
+def test_track_respects_horizon(tmp_path):
+    profile_path = tmp_path / "p.npz"
+    capture_path = tmp_path / "c.npz"
+    csv_path = tmp_path / "est.csv"
+    main(["profile", "--seed", "6", "--duration", "5", "--preset", "parked",
+          "-o", str(profile_path)])
+    main(["simulate-capture", "--seed", "6", "--duration", "5",
+          "--preset", "parked", "-o", str(capture_path)])
+    main(["track", str(profile_path), str(capture_path),
+          "-o", str(csv_path), "--horizon", "200", "--stride", "200"])
+    rows = [l.split(",") for l in csv_path.read_text().splitlines()[1:]]
+    for row in rows:
+        assert float(row[1]) == pytest.approx(float(row[0]) + 0.2, abs=1e-6)
+
+
+def test_figure_command_fast(capsys):
+    assert main(["figure", "sampling-rate"]) == 0
+    out = capsys.readouterr().out
+    assert "csi_rate_hz_clean" in out
+
+
+def test_figure_command_series(capsys):
+    assert main(["figure", "fig15"]) == 0
+    out = capsys.readouterr().out
+    assert "fig15" in out
+
+
+def test_report_subset(tmp_path, capsys):
+    report_path = tmp_path / "report.txt"
+    assert main([
+        "report", "--only", "sampling-rate", "ablation-sanitize",
+        "-o", str(report_path),
+    ]) == 0
+    text = report_path.read_text()
+    assert "sampling-rate" in text
+    assert "ablation-sanitize" in text

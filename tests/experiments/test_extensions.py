@@ -1,0 +1,26 @@
+"""Extension experiment tests (fast smoke versions)."""
+
+import numpy as np
+import pytest
+
+from repro.rf.spectrum import Spectrum
+
+
+def test_5ghz_spectrum_factory():
+    s5 = Spectrum.wifi_5ghz()
+    s24 = Spectrum.wifi_2_4ghz()
+    assert s5.carrier_hz > 2 * s24.carrier_hz
+    assert s5.carrier_wavelength_m < 0.06
+    assert s5.num_subcarriers == s24.num_subcarriers
+
+
+def test_5ghz_phase_more_sensitive():
+    """Shorter wavelength -> more phase change per path-length change."""
+    from repro.rf.multipath import synthesize_csi
+
+    lengths = np.array([[1.0], [1.01]])  # 1 cm of extra path
+    amps = np.ones((2, 1))
+    for spectrum, expected in ((Spectrum.wifi_2_4ghz(), 0.51), (Spectrum.wifi_5ghz(), 1.08)):
+        csi = synthesize_csi(lengths, amps, spectrum.wavelengths_m[:1])
+        dphi = abs(np.angle(csi[1, 0] * np.conj(csi[0, 0])))
+        assert dphi == pytest.approx(expected, abs=0.06)

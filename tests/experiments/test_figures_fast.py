@@ -1,0 +1,107 @@
+"""Fast figure-function tests (series-producing figures only).
+
+The campaign-level figures are exercised by the benchmarks and the
+integration tests; here we check the cheap figures' qualitative shape.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import figures
+
+
+def test_fig02_head_turns_in_yaw_plane():
+    data = figures.fig02_head_plane(duration_s=10.0, seed=1)
+    assert np.abs(data["yaw_deg"]).max() > 40.0
+    # Pitch and roll projections stay small (Fig. 2's observation).
+    assert np.abs(data["pitch_deg"]).max() < 0.3 * np.abs(data["yaw_deg"]).max()
+    assert np.abs(data["roll_deg"]).max() < 0.3 * np.abs(data["yaw_deg"]).max()
+
+
+def test_fig03_parallel_curves():
+    data = figures.fig03_phase_curves(leans_m=(-0.02, 0.02), profile_seconds=5.0)
+    assert set(data) == {-0.02, 0.02}
+    # Phase at facing-front differs between positions: the curves are
+    # parallel, not identical (the head-position sensitivity of Sec. 2.3).
+    fronts = {}
+    for lean, curves in data.items():
+        mask = np.abs(curves["orientation_deg"]) < 3.0
+        fronts[lean] = np.median(curves["phase_rad"][mask])
+    assert abs(fronts[-0.02] - fronts[0.02]) > 0.02
+
+
+def test_fig08_steering_moves_phase_without_head():
+    data = figures.fig08_steering_phase(segment_s=4.0)
+    boundary = data["segment_boundary_s"]
+    head_segment = data["time_s"] < boundary
+    wheel_segment = ~head_segment
+    # During the wheel segment the head is still...
+    assert np.ptp(data["head_yaw_deg"][wheel_segment]) < 2.0
+    # ...but the phase still swings visibly (Fig. 8).
+    wheel_phase_swing = np.ptp(data["phase_rad"][wheel_segment])
+    assert wheel_phase_swing > 0.1
+    assert np.abs(data["wheel_angle_deg"][wheel_segment]).max() > 90.0
+
+
+def test_fig14_speed_compresses_curve():
+    data = figures.fig14_speed_curves(speeds_deg_s=(60.0, 120.0), duration_s=5.0)
+    # Faster turning -> more sweeps in the same time -> the smoothed
+    # phase oscillates more often (noise is filtered out first).
+    from repro.dsp.filters import moving_average
+
+    def crossings(series):
+        smooth = moving_average(np.asarray(series), 101)
+        centered = smooth - np.median(smooth)
+        return int(np.sum(np.diff(np.sign(centered)) != 0))
+
+    slow = crossings(data[60.0]["phase_rad"])
+    fast = crossings(data[120.0]["phase_rad"])
+    assert fast > slow
+    # Both speeds traverse the same curve: similar phase ranges.
+    assert np.ptp(data[120.0]["phase_rad"]) == pytest.approx(
+        np.ptp(data[60.0]["phase_rad"]), rel=0.6
+    )
+
+
+def test_fig15_micromotions_much_smaller_than_turning():
+    data = figures.fig15_micromotions(duration_s=4.0)
+    turning = data["head turning"]["phase_std_rad"]
+    for label in ("breathing+blinking", "intense eye motion", "music vibration"):
+        assert data[label]["phase_std_rad"] < 0.15 * turning
+
+
+def test_fig16_vibration_adds_noise_keeps_shape():
+    data = figures.fig16_vibration_phase(duration_s=4.0)
+    rigid = data["rigid"]["phase_rad"]
+    vibrating = data["vibrating"]["phase_rad"]
+    # Same macroscopic range (parallel curves in Fig. 16)...
+    assert np.ptp(vibrating) == pytest.approx(np.ptp(rigid), rel=0.5)
+    # ...but noisier sample-to-sample.
+    assert np.std(np.diff(vibrating)) > np.std(np.diff(rigid))
+
+
+def test_fig11_layouts_have_different_curves():
+    data = figures.fig11_layout_curves(profile_seconds=4.0)
+    a = data["behind-driver"]
+    b = data["center-console"]
+    # Interpolate both phases onto a common orientation grid and compare.
+    grid = np.linspace(-60, 60, 50)
+    pa = np.interp(grid, a["orientation_deg"], a["phase_rad"])
+    pb = np.interp(grid, b["orientation_deg"], b["phase_rad"])
+    assert np.abs(pa - pb).max() > 0.1
+    # Layout 1 has far more head-orientation dynamic range.
+    assert np.ptp(pa) > 2.0 * np.ptp(pb)
+
+
+def test_sampling_rate_claims():
+    rates = figures.sampling_rate(duration_s=6.0)
+    assert rates["csi_rate_hz_clean"] == pytest.approx(500.0, rel=0.15)
+    assert rates["csi_rate_hz_interfered"] == pytest.approx(400.0, rel=0.2)
+    assert rates["csi_rate_hz_interfered"] < rates["csi_rate_hz_clean"]
+    assert rates["max_gap_ms_interfered"] > rates["max_gap_ms_clean"]
+    assert rates["speedup_clean"] > 10.0  # the paper's ">10x camera" claim
+
+
+def test_ablation_sanitization_shows_cancellation():
+    data = figures.ablation_sanitization(duration_s=4.0)
+    assert data["raw_phase_std_rad"] > 10.0 * data["sanitized_phase_std_rad"]

@@ -1,0 +1,82 @@
+"""Metric tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tracker import Estimate, TrackingResult
+from repro.experiments.metrics import (
+    angular_errors_deg,
+    error_cdf,
+    summarize_errors,
+)
+
+errors_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=180.0, allow_nan=False),
+    min_size=1,
+    max_size=100,
+)
+
+
+def make_result(orientations):
+    estimates = [
+        Estimate(float(k) * 0.1, float(k) * 0.1, float(o), "csi")
+        for k, o in enumerate(orientations)
+    ]
+    return TrackingResult(estimates)
+
+
+def test_angular_errors_absolute_degrees():
+    result = make_result([0.0, np.deg2rad(10.0)])
+    truth = np.array([0.0, 0.0])
+    err = angular_errors_deg(result, truth)
+    np.testing.assert_allclose(err, [0.0, 10.0], atol=1e-9)
+
+
+def test_angular_errors_shape_check():
+    result = make_result([0.0, 0.1])
+    with pytest.raises(ValueError):
+        angular_errors_deg(result, np.zeros(3))
+
+
+def test_cdf_monotone_and_normalised():
+    errors = np.array([1.0, 5.0, 10.0, 30.0])
+    grid, frac = error_cdf(errors)
+    assert frac[0] == 0.0 or frac[0] >= 0.0
+    assert np.all(np.diff(frac) >= 0)
+    assert frac[-1] == pytest.approx(1.0)
+
+
+def test_cdf_median_crossing():
+    errors = np.linspace(0, 20, 100)
+    grid, frac = error_cdf(errors)
+    k = int(np.searchsorted(grid, 10.0))
+    assert frac[k] == pytest.approx(0.5, abs=0.06)
+
+
+def test_cdf_empty_rejected():
+    with pytest.raises(ValueError):
+        error_cdf(np.array([]))
+
+
+@given(errors_strategy)
+@settings(max_examples=40, deadline=None)
+def test_summary_invariants(errors):
+    errors = np.array(errors)
+    s = summarize_errors(errors)
+    assert 0.0 <= s.median_deg <= s.max_deg
+    assert s.median_deg <= s.p90_deg + 1e-9 <= s.max_deg + 1e-9
+    assert s.count == len(errors)
+    assert s.mean_deg <= s.max_deg * (1 + 1e-12) + 1e-12
+
+
+def test_summary_str_readable():
+    s = summarize_errors(np.array([1.0, 2.0, 3.0]))
+    text = str(s)
+    assert "median" in text and "n=3" in text
+
+
+def test_summary_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize_errors(np.array([]))

@@ -1,0 +1,85 @@
+"""Preset and terminal-plot tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.plots import ascii_cdfs, ascii_series, sparkline
+from repro.experiments.presets import PRESETS, preset_config, preset_scenario
+
+
+def test_all_presets_build():
+    for name in PRESETS:
+        scenario = preset_scenario(name, seed=1, runtime_duration_s=5.0)
+        assert scenario.config.runtime_duration_s == 5.0
+
+
+def test_preset_unknown():
+    with pytest.raises(ValueError):
+        preset_config("moon")
+
+
+def test_preset_overrides_win():
+    config = preset_config("city", csma="clean")
+    assert config.csma == "clean"
+    assert config.steering == "turns"  # preset value kept
+
+
+def test_presets_differ_meaningfully():
+    campus = preset_config("campus")
+    highway = preset_config("highway")
+    parked = preset_config("parked")
+    assert highway.vehicle_speed_mps > campus.vehicle_speed_mps
+    assert parked.vibration_amplitude_m == 0.0
+    assert campus.vibration_amplitude_m > 0.0
+
+
+def test_parked_preset_is_still_car():
+    scenario = preset_scenario("parked", seed=2, runtime_duration_s=5.0)
+    scene = scenario.runtime_scene(0)
+    np.testing.assert_allclose(scene.car_yaw_rate(np.linspace(0, 5, 20)), 0.0)
+
+
+# ------------------------------------------------------------------ plots
+def test_ascii_series_renders():
+    x = np.linspace(0, 10, 100)
+    chart = ascii_series(x, np.sin(x), title="sine")
+    assert "sine" in chart
+    assert chart.count("\n") >= 12
+    assert "*" in chart
+
+
+def test_ascii_series_constant_y():
+    chart = ascii_series(np.arange(5.0), np.ones(5))
+    assert "*" in chart
+
+
+def test_ascii_series_validation():
+    with pytest.raises(ValueError):
+        ascii_series(np.arange(3.0), np.arange(4.0))
+    with pytest.raises(ValueError):
+        ascii_series(np.arange(3.0), np.arange(3.0), width=2)
+
+
+def test_ascii_cdfs_renders():
+    grid = np.arange(0.0, 61.0)
+    curves = {
+        "fast": (grid, np.clip(grid / 10.0, 0, 1)),
+        "slow": (grid, np.clip(grid / 50.0, 0, 1)),
+    }
+    chart = ascii_cdfs(curves, title="cdf demo")
+    assert "fast" in chart and "slow" in chart
+    # The faster-concentrating arm saturates earlier: more dense fill.
+    fast_line = [l for l in chart.splitlines() if "fast" in l][0]
+    slow_line = [l for l in chart.splitlines() if "slow" in l][0]
+    assert fast_line.count("@") > slow_line.count("@")
+
+
+def test_sparkline_length_and_range():
+    line = sparkline(np.sin(np.linspace(0, 6, 200)), width=30)
+    assert len(line) == 30
+    assert "█" in line and "▁" in line
+
+
+def test_sparkline_validation():
+    with pytest.raises(ValueError):
+        sparkline([1.0])

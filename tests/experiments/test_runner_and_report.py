@@ -1,0 +1,83 @@
+"""Runner and report tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import ViHOTConfig
+from repro.experiments.metrics import summarize_errors
+from repro.experiments.report import format_cdf_rows, format_summary_table
+from repro.experiments.runner import (
+    CampaignResult,
+    run_campaign,
+    run_tracking_session,
+)
+
+
+@pytest.fixture(scope="module")
+def session(small_scenario, small_profile):
+    return run_tracking_session(
+        small_scenario, small_profile, ViHOTConfig(), session=0, estimate_stride_s=0.1
+    )
+
+
+def test_session_result_consistent(session):
+    assert len(session.errors_deg) == len(session.tracking)
+    assert session.active_mask.dtype == bool
+    assert session.active_mask.sum() > 0
+    assert np.all(session.active_errors_deg >= 0)
+
+
+def test_session_accuracy_in_paper_band(session):
+    assert session.summary().median_deg < 10.0
+
+
+def test_truth_is_headset_not_perfect(session, small_scenario):
+    """Errors are measured against the *headset* (noisy) ground truth."""
+    _stream, scene = small_scenario.runtime_capture(0)
+    perfect = scene.driver_yaw(session.tracking.target_times)
+    assert not np.allclose(session.truth_yaw, perfect)
+    # But headset noise is small: within a few degrees almost always.
+    assert np.percentile(np.abs(np.rad2deg(session.truth_yaw - perfect)), 90) < 5.0
+
+
+def test_campaign_pools_sessions(small_scenario, small_profile):
+    campaign = run_campaign(
+        small_scenario,
+        ViHOTConfig(),
+        num_sessions=2,
+        profile=small_profile,
+        estimate_stride_s=0.2,
+    )
+    assert len(campaign.sessions) == 2
+    total = sum(len(s.active_errors_deg) for s in campaign.sessions)
+    assert len(campaign.errors_deg) == total
+    assert campaign.summary().count == total
+
+
+def test_campaign_validation(small_scenario, small_profile):
+    with pytest.raises(ValueError):
+        run_campaign(small_scenario, num_sessions=0, profile=small_profile)
+
+
+def test_empty_campaign_errors():
+    campaign = CampaignResult()
+    assert len(campaign.errors_deg) == 0
+
+
+def test_format_cdf_rows():
+    grid = np.arange(0.0, 61.0)
+    frac = np.clip(grid / 30.0, 0, 1)
+    line = format_cdf_rows("test arm", grid, frac)
+    assert "test arm" in line
+    assert "P(err<=30deg)=1.00" in line
+
+
+def test_format_summary_table():
+    rows = {
+        "a": summarize_errors(np.array([1.0, 2.0])),
+        "b": summarize_errors(np.array([5.0, 10.0])),
+    }
+    table = format_summary_table(rows, title="demo")
+    assert "demo" in table
+    assert "median" in table
+    assert table.count("\n") >= 4

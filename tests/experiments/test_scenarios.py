@@ -1,0 +1,105 @@
+"""Scenario builder tests."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.scenarios import (
+    DRIVERS,
+    Scenario,
+    ScenarioConfig,
+    build_scenario,
+)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ScenarioConfig(driver="Z")
+    with pytest.raises(ValueError):
+        ScenarioConfig(runtime_motion="jumping")
+    with pytest.raises(ValueError):
+        ScenarioConfig(csma="noisy")
+    with pytest.raises(ValueError):
+        ScenarioConfig(steering="drifting")
+    with pytest.raises(ValueError):
+        ScenarioConfig(micromotions=("yawning",))
+    with pytest.raises(ValueError):
+        ScenarioConfig(num_positions=0)
+
+
+def test_with_override():
+    config = ScenarioConfig().with_(runtime_duration_s=5.0)
+    assert config.runtime_duration_s == 5.0
+    assert config.driver == "A"
+
+
+def test_lean_grid_spans_range():
+    scenario = build_scenario(num_positions=10, lean_span_m=0.07)
+    grid = scenario.lean_grid()
+    assert len(grid) == 10
+    assert grid[0] == pytest.approx(-0.035)
+    assert grid[-1] == pytest.approx(0.035)
+    assert np.all(np.diff(grid) > 0)
+
+
+def test_lean_grid_single_position():
+    scenario = build_scenario(num_positions=1)
+    np.testing.assert_allclose(scenario.lean_grid(), [0.0])
+
+
+def test_profiling_scene_starts_facing_front(small_scenario):
+    scene = small_scenario.profiling_scene(0)
+    hold = small_scenario.config.profile_front_hold_s
+    yaw = scene.driver_yaw(np.linspace(0, hold * 0.9, 10))
+    np.testing.assert_allclose(yaw, 0.0, atol=1e-6)
+
+
+def test_runtime_sessions_differ(small_scenario):
+    a = small_scenario.runtime_scene(0)
+    b = small_scenario.runtime_scene(1)
+    t = np.linspace(3.0, 7.0, 50)
+    assert not np.allclose(a.driver_yaw(t), b.driver_yaw(t))
+
+
+def test_scenarios_reproducible():
+    t = np.linspace(3.0, 7.0, 50)
+    a = build_scenario(seed=42, runtime_duration_s=8.0).runtime_scene(0)
+    b = build_scenario(seed=42, runtime_duration_s=8.0).runtime_scene(0)
+    np.testing.assert_allclose(a.driver_yaw(t), b.driver_yaw(t))
+
+
+def test_steering_scenario_has_imu_and_turns():
+    scenario = build_scenario(
+        seed=1, steering="turns", runtime_duration_s=10.0, runtime_motion="glance"
+    )
+    stream, scene = scenario.runtime_capture(0)
+    assert stream.imu is not None
+    assert np.abs(scene.car_yaw_rate(np.linspace(0, 10, 200))).max() > 0.05
+
+
+def test_still_scenario_is_still():
+    scenario = build_scenario(seed=2, runtime_motion="still", runtime_duration_s=5.0)
+    scene = scenario.runtime_scene(0)
+    np.testing.assert_allclose(scene.driver_yaw(np.linspace(0, 5, 20)), 0.0, atol=1e-9)
+
+
+def test_drivers_have_distinct_physiques():
+    radii = {d.head_radius_m for d in DRIVERS.values()}
+    speeds = {d.turn_speed_rad_s for d in DRIVERS.values()}
+    assert len(radii) == 3
+    assert len(speeds) == 3
+
+
+def test_reseat_height_shifts_runtime_head():
+    base = build_scenario(seed=3, runtime_duration_s=5.0)
+    shifted = build_scenario(seed=3, runtime_duration_s=5.0, reseat_height_m=0.02)
+    t = np.array([1.0])
+    dz = shifted.runtime_scene(0).driver_head_centers(t)[0, 2] - base.runtime_scene(
+        0
+    ).driver_head_centers(t)[0, 2]
+    assert dz == pytest.approx(0.02, abs=1e-6)
+
+
+def test_passenger_only_at_runtime():
+    scenario = build_scenario(seed=4, with_passenger=True, runtime_duration_s=5.0)
+    assert scenario.runtime_scene(0).passenger is not None
+    assert scenario.profiling_scene(0).passenger is None

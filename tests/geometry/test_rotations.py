@@ -1,0 +1,80 @@
+"""Rotation and angle-convention tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.rotations import (
+    euler_zyx,
+    rotx,
+    roty,
+    rotz,
+    unwrap_angles,
+    wrap_angle,
+    yaw_of,
+)
+
+angles = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+def test_rotz_rotates_x_to_y():
+    r = rotz(np.pi / 2)
+    np.testing.assert_allclose(r @ [1, 0, 0], [0, 1, 0], atol=1e-12)
+
+
+def test_roty_rotates_z_to_x():
+    r = roty(np.pi / 2)
+    np.testing.assert_allclose(r @ [0, 0, 1], [1, 0, 0], atol=1e-12)
+
+
+def test_rotx_rotates_y_to_z():
+    r = rotx(np.pi / 2)
+    np.testing.assert_allclose(r @ [0, 1, 0], [0, 0, 1], atol=1e-12)
+
+
+@given(angles)
+def test_rotation_matrices_orthonormal(a):
+    for r in (rotz(a), roty(a), rotx(a)):
+        np.testing.assert_allclose(r @ r.T, np.eye(3), atol=1e-9)
+        assert np.linalg.det(r) == pytest.approx(1.0)
+
+
+@given(angles, angles, angles)
+def test_yaw_roundtrip(yaw, pitch, roll):
+    # yaw extraction is exact when |pitch| < pi/2 (no gimbal ambiguity)
+    pitch = np.clip(pitch, -1.4, 1.4)
+    r = euler_zyx(yaw, pitch, roll)
+    recovered = yaw_of(r)
+    expected = wrap_angle(yaw)
+    assert abs(wrap_angle(recovered - expected)) < 1e-9
+
+
+def test_wrap_angle_range():
+    assert wrap_angle(3 * np.pi) == pytest.approx(np.pi)
+    assert wrap_angle(-3 * np.pi) == pytest.approx(np.pi)
+    assert wrap_angle(0.5) == pytest.approx(0.5)
+
+
+@given(angles)
+def test_wrap_angle_idempotent(a):
+    w = wrap_angle(a)
+    assert -np.pi < w <= np.pi + 1e-12
+    assert wrap_angle(w) == pytest.approx(w)
+
+
+def test_unwrap_angles_continuous():
+    track = np.linspace(0, 4 * np.pi, 100)
+    wrapped = wrap_angle(track)
+    unwrapped = unwrap_angles(wrapped)
+    np.testing.assert_allclose(np.diff(unwrapped), np.diff(track), atol=1e-9)
+
+
+def test_unwrap_rejects_2d():
+    with pytest.raises(ValueError):
+        unwrap_angles(np.zeros((3, 3)))
+
+
+def test_yaw_of_rejects_bad_shape():
+    with pytest.raises(ValueError):
+        yaw_of(np.eye(4))

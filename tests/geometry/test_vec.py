@@ -1,0 +1,78 @@
+"""Vector helper tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.vec import (
+    angle_between,
+    distance,
+    norm,
+    normalize,
+    project_onto,
+    vec3,
+)
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+def test_vec3_builds_float64():
+    v = vec3(1, 2, 3)
+    assert v.dtype == np.float64
+    assert v.shape == (3,)
+
+
+def test_norm_scalar_and_batch():
+    assert norm(vec3(3, 4, 0)) == pytest.approx(5.0)
+    batch = np.array([[1.0, 0, 0], [0, 2.0, 0]])
+    np.testing.assert_allclose(norm(batch), [1.0, 2.0])
+
+
+def test_normalize_unit_length():
+    u = normalize(vec3(3, 4, 0))
+    assert np.linalg.norm(u) == pytest.approx(1.0)
+    np.testing.assert_allclose(u, [0.6, 0.8, 0.0])
+
+
+def test_normalize_rejects_zero():
+    with pytest.raises(ValueError):
+        normalize(vec3(0, 0, 0))
+
+
+def test_distance_symmetric():
+    a, b = vec3(1, 2, 3), vec3(4, 6, 3)
+    assert distance(a, b) == pytest.approx(5.0)
+    assert distance(b, a) == pytest.approx(distance(a, b))
+
+
+def test_angle_between_orthogonal_and_parallel():
+    assert angle_between(vec3(1, 0, 0), vec3(0, 1, 0)) == pytest.approx(np.pi / 2)
+    assert angle_between(vec3(1, 0, 0), vec3(2, 0, 0)) == pytest.approx(0.0)
+    assert angle_between(vec3(1, 0, 0), vec3(-1, 0, 0)) == pytest.approx(np.pi)
+
+
+def test_project_onto_recovers_component():
+    v = vec3(3, 4, 5)
+    p = project_onto(v, vec3(1, 0, 0))
+    np.testing.assert_allclose(p, [3.0, 0.0, 0.0])
+
+
+def test_bad_shape_rejected():
+    with pytest.raises(ValueError):
+        norm(np.array([1.0, 2.0]))
+
+
+@given(finite, finite, finite)
+def test_normalize_idempotent(x, y, z):
+    v = vec3(x, y, z)
+    if np.linalg.norm(v) < 1e-6:
+        return
+    u = normalize(v)
+    np.testing.assert_allclose(normalize(u), u, atol=1e-12)
+
+
+@given(finite, finite, finite, finite, finite, finite)
+def test_triangle_inequality(ax, ay, az, bx, by, bz):
+    a, b = vec3(ax, ay, az), vec3(bx, by, bz)
+    assert distance(a, b) <= norm(a) + norm(b) + 1e-6

@@ -1,0 +1,75 @@
+"""Cross-condition integration tests: presets, bands, fused systems."""
+
+import numpy as np
+import pytest
+
+from repro.core import ViHOTConfig, ViHOTTracker, diagnose
+from repro.experiments.presets import preset_scenario
+from repro.experiments.runner import run_profiling, run_tracking_session
+
+
+SMALL = dict(num_positions=4, profile_seconds=5.0, runtime_duration_s=8.0)
+
+
+@pytest.mark.parametrize("preset", ["campus", "city", "parked"])
+def test_presets_track_in_band(preset):
+    scenario = preset_scenario(preset, seed=31, **SMALL)
+    profile = run_profiling(scenario)
+    session = run_tracking_session(
+        scenario, profile, ViHOTConfig(), estimate_stride_s=0.1,
+        with_camera_fallback=True,
+    )
+    # City (turns + interference) is the hardest; still bounded.
+    limit = 20.0 if preset == "city" else 12.0
+    assert session.summary().median_deg < limit
+
+
+def test_5ghz_scenario_tracks():
+    from repro.experiments.scenarios import build_scenario
+
+    scenario = build_scenario(seed=32, band="5GHz", **SMALL)
+    profile = run_profiling(scenario)
+    session = run_tracking_session(scenario, profile, estimate_stride_s=0.1)
+    assert session.summary().median_deg < 12.0
+
+
+def test_highway_imu_not_confused_by_speed():
+    """At 30 m/s with lane keeping only, the car yaw rate stays small
+
+    enough that the steering identifier rarely fires."""
+    scenario = preset_scenario("highway", seed=33, **SMALL)
+    profile = run_profiling(scenario)
+    session = run_tracking_session(
+        scenario, profile, ViHOTConfig(), estimate_stride_s=0.1
+    )
+    held = session.tracking.mode_fraction("held") + session.tracking.mode_fraction(
+        "fallback"
+    )
+    assert held < 0.6
+
+
+def test_diagnostics_on_mismatched_profile():
+    """Tracking a different driver's cabin with my profile must show up
+
+    in the self-diagnostics (higher DTW residual / fewer confident
+    matches), even without ground truth."""
+    mine = preset_scenario("parked", seed=34, **SMALL)
+    profile = run_profiling(mine)
+
+    other = preset_scenario("parked", seed=34, driver="B", **SMALL)
+    stream, _scene = other.runtime_capture(0)
+    result = ViHOTTracker(profile, ViHOTConfig()).process(
+        stream, estimate_stride_s=0.1
+    )
+    health_mismatch = diagnose(result, stream)
+
+    own_stream, _ = mine.runtime_capture(0)
+    own_result = ViHOTTracker(profile, ViHOTConfig()).process(
+        own_stream, estimate_stride_s=0.1
+    )
+    health_own = diagnose(own_result, own_stream)
+
+    assert (
+        health_mismatch.median_dtw_distance
+        > health_own.median_dtw_distance
+    )

@@ -1,0 +1,115 @@
+"""End-to-end integration tests: profile -> track -> evaluate."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CsiProfile,
+    ViHOTConfig,
+    ViHOTTracker,
+    build_scenario,
+    run_campaign,
+    run_profiling,
+    run_tracking_session,
+)
+
+
+def test_full_pipeline_headline_accuracy(small_scenario, small_profile):
+    """The paper's headline: 4-10 degree median angular error."""
+    session = run_tracking_session(
+        small_scenario, small_profile, ViHOTConfig(), estimate_stride_s=0.1
+    )
+    assert session.summary().median_deg < 10.0
+
+
+def test_profile_persistence_roundtrip_tracks_identically(
+    tmp_path, small_scenario, small_profile, runtime_stream
+):
+    """A saved+reloaded profile must drive the tracker to identical output."""
+    path = tmp_path / "driver_a.npz"
+    small_profile.save(path)
+    reloaded = CsiProfile.load(path)
+
+    stream, _scene = runtime_stream
+    a = ViHOTTracker(small_profile).process(stream, estimate_stride_s=0.25)
+    b = ViHOTTracker(reloaded).process(stream, estimate_stride_s=0.25)
+    np.testing.assert_allclose(a.orientations, b.orientations, atol=1e-9)
+    assert a.modes == b.modes
+
+
+def test_tracking_deterministic(small_profile, runtime_stream):
+    stream, _scene = runtime_stream
+    a = ViHOTTracker(small_profile).process(stream, estimate_stride_s=0.25)
+    b = ViHOTTracker(small_profile).process(stream, estimate_stride_s=0.25)
+    np.testing.assert_allclose(a.orientations, b.orientations)
+
+
+def test_interference_degrades_but_does_not_break():
+    clean = build_scenario(seed=11, runtime_duration_s=8.0, num_positions=4,
+                           profile_seconds=5.0)
+    profile = run_profiling(clean)
+    busy = build_scenario(seed=11, runtime_duration_s=8.0, num_positions=4,
+                          profile_seconds=5.0, csma="interfered")
+    clean_result = run_campaign(clean, num_sessions=1, profile=profile,
+                                estimate_stride_s=0.1)
+    busy_result = run_campaign(busy, num_sessions=1, profile=profile,
+                               estimate_stride_s=0.1)
+    # Still within the paper's band under interference (Fig. 17d: ~10 deg).
+    assert busy_result.summary().median_deg < 15.0
+    assert clean_result.summary().median_deg < 10.0
+
+
+def test_vibration_degrades_but_stays_in_band():
+    base = build_scenario(seed=12, runtime_duration_s=8.0, num_positions=4,
+                          profile_seconds=5.0)
+    profile = run_profiling(base)
+    shaky = build_scenario(seed=12, runtime_duration_s=8.0, num_positions=4,
+                           profile_seconds=5.0, vibration_amplitude_m=0.003)
+    result = run_campaign(shaky, num_sessions=1, profile=profile,
+                          estimate_stride_s=0.1)
+    # Fig. 17a: median ~6 degrees under worst-case vibration.
+    assert result.summary().median_deg < 15.0
+
+
+def test_passenger_presence_tolerated():
+    base = build_scenario(seed=13, runtime_duration_s=8.0, num_positions=4,
+                          profile_seconds=5.0)
+    profile = run_profiling(base)
+    crowded = build_scenario(seed=13, runtime_duration_s=8.0, num_positions=4,
+                             profile_seconds=5.0, with_passenger=True)
+    result = run_campaign(crowded, num_sessions=1, profile=profile,
+                          estimate_stride_s=0.1)
+    assert result.summary().median_deg < 12.0
+
+
+def test_forecasting_monotone_degradation(small_scenario, small_profile):
+    """Fig. 10a's shape: error grows with the prediction horizon."""
+    medians = []
+    for horizon in (0.0, 0.4):
+        session = run_tracking_session(
+            small_scenario,
+            small_profile,
+            ViHOTConfig(horizon_s=horizon),
+            estimate_stride_s=0.15,
+        )
+        medians.append(session.summary().mean_deg)
+    assert medians[1] > medians[0]
+
+
+def test_steering_identifier_prevents_corruption():
+    scenario = build_scenario(
+        seed=14,
+        runtime_duration_s=10.0,
+        num_positions=4,
+        profile_seconds=5.0,
+        runtime_motion="glance",
+        steering="turns",
+    )
+    profile = run_profiling(scenario)
+    session = run_tracking_session(
+        scenario, profile, ViHOTConfig(), estimate_stride_s=0.1,
+        with_camera_fallback=True,
+    )
+    # With the identifier + camera fallback, turns do not blow up tracking.
+    assert session.summary().median_deg < 12.0
+    assert "fallback" in session.tracking.modes

@@ -1,0 +1,112 @@
+"""Failure injection and robustness tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import ViHOTConfig, ViHOTTracker
+from repro.core.profile import CsiProfile
+from repro.core.profiling import build_position_profile
+from repro.dsp.series import TimeSeries
+from repro.net.link import CsiStream
+
+
+def test_tracker_survives_packet_gaps(small_profile, runtime_stream):
+    """Drop 30% of packets in bursts: the tracker must keep producing
+
+    estimates (Sec. 5.3.5's resampling-across-gaps situation)."""
+    stream, scene = runtime_stream
+    rng = np.random.default_rng(0)
+    keep = np.ones(len(stream), dtype=bool)
+    # Burst losses: knock out 25 consecutive packets at random spots.
+    for _ in range(int(len(stream) * 0.3 / 25)):
+        start = rng.integers(0, len(stream) - 25)
+        keep[start : start + 25] = False
+    lossy = CsiStream(
+        stream.times[keep], stream.csi[keep], stream.seqs[keep], stream.imu
+    )
+    result = ViHOTTracker(small_profile).process(lossy, estimate_stride_s=0.1)
+    assert len(result) > 20
+    truth = scene.driver_yaw(result.target_times)
+    err = np.abs(np.rad2deg(result.orientations - truth))
+    assert np.median(err[result.target_times > 2.5]) < 15.0
+
+
+def test_tracker_rejects_too_short_capture(small_profile, runtime_stream):
+    stream, _scene = runtime_stream
+    tiny = stream.slice(0.0, 0.05)
+    tracker = ViHOTTracker(small_profile)
+    result = tracker.process(tiny, estimate_stride_s=0.05)
+    # Nothing to track: no estimates rather than garbage.
+    assert len(result) == 0
+
+
+def test_single_position_profile_still_tracks(small_scenario):
+    """With one profiled position the system degrades but functions."""
+    config = small_scenario.config
+    scene = small_scenario.profiling_scene(config.num_positions // 2)
+    link = small_scenario._link(scene, 97)
+    total = config.profile_front_hold_s + config.profile_seconds
+    stream = link.capture(0.0, total, with_imu=False)
+    truth = TimeSeries(stream.times, scene.driver_yaw(stream.times))
+    profile = CsiProfile()
+    profile.add(
+        build_position_profile(
+            stream, truth, label=0.0, front_hold_s=config.profile_front_hold_s
+        )
+    )
+    runtime, rt_scene = small_scenario.runtime_capture(0)
+    result = ViHOTTracker(profile).process(runtime, estimate_stride_s=0.1)
+    assert len(result) > 20
+
+
+def test_stationary_scenario_stays_at_zero(small_profile):
+    from repro.experiments.scenarios import build_scenario
+
+    scenario = build_scenario(
+        seed=77,
+        num_positions=4,
+        profile_seconds=5.0,
+        runtime_motion="still",
+        runtime_duration_s=6.0,
+    )
+    profile = scenario.build_profile()
+    stream, _scene = scenario.runtime_capture(0)
+    result = ViHOTTracker(profile).process(stream, estimate_stride_s=0.2)
+    est_deg = np.abs(np.rad2deg(result.orientations))
+    assert np.median(est_deg) < 3.0
+
+
+def test_tracker_handles_imu_clock_offset(small_profile, runtime_stream):
+    """A few-ms NTP offset on IMU timestamps must not break tracking."""
+    stream, scene = runtime_stream
+    if stream.imu is None:
+        shifted_imu = None
+    else:
+        shifted_imu = TimeSeries(stream.imu.times + 0.008, stream.imu.values)
+    shifted = CsiStream(stream.times, stream.csi, stream.seqs, shifted_imu)
+    result = ViHOTTracker(small_profile).process(shifted, estimate_stride_s=0.1)
+    truth = scene.driver_yaw(result.target_times)
+    err = np.abs(np.rad2deg(result.orientations - truth))
+    assert np.median(err[result.target_times > 2.5]) < 12.0
+
+
+def test_profile_with_narrow_coverage_clamps(small_scenario):
+    """A profile that never saw beyond +-30 deg cannot output +-80, but
+
+    must not crash when the runtime head goes there."""
+    config = small_scenario.config
+    from repro.experiments.scenarios import build_scenario
+
+    narrow = build_scenario(
+        seed=88,
+        num_positions=3,
+        profile_seconds=5.0,
+        profile_scan_amplitude=np.deg2rad(30.0),
+        runtime_duration_s=6.0,
+    )
+    profile = narrow.build_profile()
+    stream, _scene = narrow.runtime_capture(0)
+    result = ViHOTTracker(profile).process(stream, estimate_stride_s=0.2)
+    assert len(result) > 5
+    # All outputs stay within the profiled range (plus slack for noise).
+    assert np.abs(np.rad2deg(result.orientations)).max() < 45.0

@@ -1,0 +1,69 @@
+"""CSMA packet-timing tests — the paper's measured rates must hold."""
+
+import numpy as np
+import pytest
+
+from repro.net.csma import CsmaConfig, PacketTimeline
+
+
+def achieved_rate(config, duration=20.0, seed=0):
+    timeline = PacketTimeline(config, rng=np.random.default_rng(seed))
+    times = timeline.sample(0.0, duration)
+    return (len(times) - 1) / (times[-1] - times[0]), np.max(np.diff(times))
+
+
+def test_clean_rate_near_500hz():
+    rate, max_gap = achieved_rate(CsmaConfig.clean())
+    assert rate == pytest.approx(500.0, rel=0.1)
+    assert max_gap <= CsmaConfig.clean().max_gap_s + 1e-12
+
+
+def test_interfered_rate_near_400hz():
+    rate, max_gap = achieved_rate(CsmaConfig.interfered())
+    assert rate == pytest.approx(400.0, rel=0.15)
+    assert max_gap <= 0.049 + 1e-12
+
+
+def test_interference_slows_sampling_and_stretches_gaps():
+    clean_rate, clean_gap = achieved_rate(CsmaConfig.clean())
+    bad_rate, bad_gap = achieved_rate(CsmaConfig.interfered())
+    assert bad_rate < clean_rate
+    assert bad_gap > clean_gap
+
+
+def test_times_strictly_increasing():
+    timeline = PacketTimeline(rng=np.random.default_rng(1))
+    times = timeline.sample(0.0, 5.0)
+    assert np.all(np.diff(times) > 0)
+    assert times[0] >= 0.0
+    assert times[-1] < 5.0
+
+
+def test_min_interval_respected():
+    config = CsmaConfig(min_interval_s=0.001)
+    timeline = PacketTimeline(config, rng=np.random.default_rng(2))
+    times = timeline.sample(0.0, 5.0)
+    assert np.min(np.diff(times)) >= 0.001
+
+
+def test_deterministic_with_seed():
+    a = PacketTimeline(rng=np.random.default_rng(7)).sample(0.0, 2.0)
+    b = PacketTimeline(rng=np.random.default_rng(7)).sample(0.0, 2.0)
+    np.testing.assert_allclose(a, b)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CsmaConfig(rate_hz=0.0)
+    with pytest.raises(ValueError):
+        CsmaConfig(min_interval_s=0.01, rate_hz=500.0)  # >= mean interval
+    with pytest.raises(ValueError):
+        CsmaConfig(busy_fraction=1.0)
+    with pytest.raises(ValueError):
+        CsmaConfig(max_gap_s=0.0001)
+
+
+def test_empty_span_rejected():
+    timeline = PacketTimeline()
+    with pytest.raises(ValueError):
+        timeline.sample(1.0, 1.0)

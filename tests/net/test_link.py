@@ -1,0 +1,104 @@
+"""WiFi link end-to-end tests."""
+
+import numpy as np
+import pytest
+
+from repro.cabin.scene import CabinScene
+from repro.net.csma import CsmaConfig
+from repro.net.link import CsiStream, WifiLink
+from repro.rf.channel import ChannelSimulator
+from repro.rf.impairments import HardwareImpairments
+from repro.rf.spectrum import Spectrum
+
+
+@pytest.fixture(scope="module")
+def link():
+    spectrum = Spectrum()
+    scene = CabinScene()
+    channel = ChannelSimulator(
+        scene, spectrum, HardwareImpairments(spectrum, rng=np.random.default_rng(0))
+    )
+    return WifiLink(channel, rng=np.random.default_rng(1))
+
+
+def test_capture_shapes(link):
+    stream = link.capture(0.0, 2.0)
+    assert stream.csi.shape == (len(stream), 2, 30)
+    assert len(stream.seqs) == len(stream)
+    assert np.all(np.diff(stream.times) > 0)
+
+
+def test_capture_rate_near_500(link):
+    stream = link.capture(0.0, 4.0)
+    rate = (len(stream) - 1) / (stream.times[-1] - stream.times[0])
+    assert rate == pytest.approx(500.0, rel=0.1)
+
+
+def test_capture_includes_imu_by_default(link):
+    stream = link.capture(0.0, 1.0)
+    assert stream.imu is not None
+    assert len(stream.imu) > 50
+
+
+def test_capture_without_imu(link):
+    stream = link.capture(0.0, 1.0, with_imu=False)
+    assert stream.imu is None
+
+
+def test_capture_empty_span(link):
+    with pytest.raises(ValueError):
+        link.capture(1.0, 1.0)
+
+
+def test_stream_slice(link):
+    stream = link.capture(0.0, 2.0)
+    part = stream.slice(0.5, 1.0)
+    assert part.times[0] >= 0.5
+    assert part.times[-1] <= 1.0
+    assert part.csi.shape[0] == len(part)
+    assert part.imu is not None
+
+
+def test_stream_validation():
+    with pytest.raises(ValueError):
+        CsiStream(np.zeros(3), np.zeros((2, 2, 30), dtype=complex), np.zeros(3))
+
+
+def test_interfered_link_slower():
+    spectrum = Spectrum()
+    channel = ChannelSimulator(CabinScene(), spectrum)
+    clean = WifiLink(channel, rng=np.random.default_rng(2))
+    busy = WifiLink(channel, csma=CsmaConfig.interfered(), rng=np.random.default_rng(2))
+    n_clean = len(clean.capture(0.0, 4.0, with_imu=False))
+    n_busy = len(busy.capture(0.0, 4.0, with_imu=False))
+    assert n_busy < n_clean
+
+
+def test_stream_save_load_roundtrip(tmp_path, link):
+    stream = link.capture(0.0, 1.0)
+    path = tmp_path / "capture.npz"
+    stream.save(path)
+    from repro.net.link import CsiStream
+
+    back = CsiStream.load(path)
+    np.testing.assert_allclose(back.times, stream.times)
+    np.testing.assert_allclose(back.csi, stream.csi)
+    np.testing.assert_allclose(back.seqs, stream.seqs)
+    assert back.imu is not None
+    np.testing.assert_allclose(back.imu.times, stream.imu.times)
+
+
+def test_stream_save_load_without_imu(tmp_path, link):
+    stream = link.capture(0.0, 1.0, with_imu=False)
+    path = tmp_path / "capture.npz"
+    stream.save(path)
+    from repro.net.link import CsiStream
+
+    assert CsiStream.load(path).imu is None
+
+
+def test_stream_load_missing_file(tmp_path):
+    from repro.net.link import CsiStream
+
+    with pytest.raises(FileNotFoundError):
+        CsiStream.load(tmp_path / "nope.npz")

@@ -1,0 +1,131 @@
+"""Iperf traffic, CSI tool quantisation and clock model tests."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.series import TimeSeries
+from repro.net.clock import ClockModel
+from repro.net.csi_tool import CsiTool, CsiToolConfig
+from repro.net.csma import PacketTimeline
+from repro.net.traffic import IperfClient
+from repro.rf.spectrum import Spectrum
+
+
+def test_iperf_sequence_numbers_monotone():
+    client = IperfClient(PacketTimeline(rng=np.random.default_rng(0)))
+    packets = client.stream(0.0, 1.0)
+    seqs = [p.seq for p in packets]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+
+
+def test_iperf_loss_burns_sequence_numbers():
+    client = IperfClient(
+        PacketTimeline(rng=np.random.default_rng(1)),
+        loss_rate=0.3,
+        rng=np.random.default_rng(2),
+    )
+    packets = client.stream(0.0, 2.0)
+    seqs = [p.seq for p in packets]
+    # Holes exist: max seq exceeds the received count.
+    assert seqs[-1] >= len(packets)
+
+
+def test_iperf_piggybacks_latest_imu():
+    imu = TimeSeries(np.array([0.0, 0.5, 1.0]), np.array([0.1, 0.2, 0.3]))
+    client = IperfClient(PacketTimeline(rng=np.random.default_rng(3)))
+    packets = client.stream(0.0, 1.2, imu_stream=imu)
+    for p in packets:
+        if p.time >= 1.0:
+            assert p.imu_yaw_rate == pytest.approx(0.3)
+        elif 0.5 <= p.time < 1.0:
+            assert p.imu_yaw_rate == pytest.approx(0.2)
+
+
+def test_iperf_validation():
+    with pytest.raises(ValueError):
+        IperfClient(PacketTimeline(), payload_bytes=0)
+    with pytest.raises(ValueError):
+        IperfClient(PacketTimeline(), loss_rate=1.0)
+
+
+# ---------------------------------------------------------------- CSI tool
+def test_quantize_small_relative_error():
+    rng = np.random.default_rng(4)
+    csi = rng.normal(size=(10, 2, 30)) + 1j * rng.normal(size=(10, 2, 30))
+    tool = CsiTool(Spectrum())
+    q = tool.quantize(csi)
+    rel = np.abs(q - csi) / np.abs(csi).max()
+    assert rel.max() < 0.02  # 8-bit with AGC headroom
+
+
+def test_requantization_adds_little_error():
+    # Per-packet AGC means quantisation is not exactly idempotent, but a
+    # second pass must stay within one quantisation step of the first.
+    rng = np.random.default_rng(5)
+    csi = rng.normal(size=(4, 2, 30)) + 1j * rng.normal(size=(4, 2, 30))
+    tool = CsiTool(Spectrum())
+    q1 = tool.quantize(csi)
+    q2 = tool.quantize(q1)
+    step = np.abs(csi).max() / (0.9 * 127)
+    assert np.abs(q2 - q1).max() < 2 * step
+
+
+def test_quantize_handles_zero_packet():
+    csi = np.zeros((2, 2, 30), dtype=complex)
+    tool = CsiTool(Spectrum())
+    np.testing.assert_allclose(tool.quantize(csi), 0.0)
+
+
+def test_quantize_more_bits_less_error():
+    rng = np.random.default_rng(6)
+    csi = rng.normal(size=(10, 2, 30)) + 1j * rng.normal(size=(10, 2, 30))
+    coarse = CsiTool(Spectrum(), CsiToolConfig(bits=4)).quantize(csi)
+    fine = CsiTool(Spectrum(), CsiToolConfig(bits=12)).quantize(csi)
+    assert np.abs(fine - csi).mean() < np.abs(coarse - csi).mean()
+
+
+def test_records_shapes_and_rssi():
+    rng = np.random.default_rng(7)
+    csi = rng.normal(size=(3, 2, 30)) + 1j * rng.normal(size=(3, 2, 30))
+    tool = CsiTool(Spectrum())
+    records = tool.records(np.array([0.0, 0.1, 0.2]), np.arange(3), csi)
+    assert len(records) == 3
+    assert records[0].csi.shape == (2, 30)
+    assert np.isfinite(records[0].rssi_dbm)
+
+
+def test_records_length_mismatch():
+    tool = CsiTool(Spectrum())
+    with pytest.raises(ValueError):
+        tool.records(np.zeros(2), np.zeros(3), np.zeros((2, 2, 30), dtype=complex))
+
+
+def test_tool_config_validation():
+    with pytest.raises(ValueError):
+        CsiToolConfig(bits=1)
+    with pytest.raises(ValueError):
+        CsiToolConfig(agc_headroom=0.0)
+
+
+# ---------------------------------------------------------------- clocks
+def test_clock_roundtrip():
+    clock = ClockModel(offset_s=0.004, drift_ppm=12.0)
+    t = np.linspace(0, 100, 11)
+    np.testing.assert_allclose(clock.to_true(clock.to_device(t)), t, atol=1e-9)
+
+
+def test_clock_offset_applied():
+    clock = ClockModel(offset_s=0.01)
+    assert clock.to_device(1.0) == pytest.approx(1.01)
+
+
+def test_clock_drift_grows_with_time():
+    clock = ClockModel(drift_ppm=10.0)
+    assert clock.to_device(1000.0) - 1000.0 == pytest.approx(0.01)
+
+
+def test_ntp_synced_draw_small():
+    clock = ClockModel.ntp_synced(np.random.default_rng(8))
+    assert abs(clock.offset_s) < 0.05
+    assert abs(clock.drift_ppm) < 100.0

@@ -1,0 +1,76 @@
+"""Antenna and radiation-pattern tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.vec import vec3
+from repro.rf.antenna import Antenna, DipolePattern, IsotropicPattern
+
+coords = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False)
+
+
+def test_isotropic_unit_gain():
+    p = IsotropicPattern()
+    dirs = np.array([[1.0, 0, 0], [0, 1.0, 0], [0.3, -0.4, 0.5]])
+    np.testing.assert_allclose(p.gain(dirs), 1.0)
+
+
+def test_dipole_null_along_axis():
+    p = DipolePattern(axis=vec3(0, 1, 0), floor=0.05)
+    assert p.gain(vec3(0, 1, 0)) == pytest.approx(0.05)
+    assert p.gain(vec3(0, -5, 0)) == pytest.approx(0.05)
+
+
+def test_dipole_max_broadside():
+    p = DipolePattern(axis=vec3(0, 1, 0))
+    assert p.gain(vec3(1, 0, 0)) == pytest.approx(1.0)
+    assert p.gain(vec3(0, 0, 3)) == pytest.approx(1.0)
+
+
+def test_dipole_gain_between_floor_and_one():
+    p = DipolePattern(axis=vec3(1, 1, 0), floor=0.1)
+    rng = np.random.default_rng(0)
+    dirs = rng.normal(size=(100, 3))
+    g = p.gain(dirs)
+    assert np.all((0.1 <= g) & (g <= 1.0))
+
+
+@given(coords, coords, coords)
+def test_dipole_symmetric_under_negation(x, y, z):
+    if abs(x) + abs(y) + abs(z) < 1e-6:
+        return
+    p = DipolePattern(axis=vec3(0, 0, 1))
+    d = vec3(x, y, z)
+    assert p.gain(d) == pytest.approx(p.gain(-d), rel=1e-9)
+
+
+def test_dipole_rejects_zero_direction():
+    p = DipolePattern()
+    with pytest.raises(ValueError):
+        p.gain(vec3(0, 0, 0))
+
+
+def test_dipole_validation():
+    with pytest.raises(ValueError):
+        DipolePattern(floor=1.0)
+    with pytest.raises(ValueError):
+        DipolePattern(axis=vec3(0, 0, 0))
+
+
+def test_antenna_gain_toward():
+    a = Antenna(vec3(0, 0, 0), DipolePattern(axis=vec3(0, 1, 0), floor=0.02))
+    # Point along the axis: floor.  Broadside: full gain.
+    assert a.gain_toward(vec3(0, 2, 0)) == pytest.approx(0.02)
+    assert a.gain_toward(vec3(5, 0, 0)) == pytest.approx(1.0)
+
+
+def test_antenna_position_validation():
+    with pytest.raises(ValueError):
+        Antenna(np.zeros(2))
+
+
+def test_antenna_default_isotropic():
+    a = Antenna(vec3(1, 2, 3))
+    assert a.gain_toward(vec3(0, 0, 0)) == pytest.approx(1.0)

@@ -1,0 +1,121 @@
+"""Channel simulator tests against hand-built scenes."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.vec import vec3
+from repro.rf.antenna import Antenna
+from repro.rf.channel import ChannelSimulator
+from repro.rf.multipath import BlockerTrack, ScattererTrack
+from repro.rf.spectrum import Spectrum
+
+
+class ToyScene:
+    """Minimal scene: one TX, two RX, optional scatterer/blocker."""
+
+    def __init__(self, scatterers=(), blockers=()):
+        self.tx_antenna = Antenna(vec3(0, 0, 0), name="tx")
+        self.rx_antennas = (
+            Antenna(vec3(1.0, 0, 0), name="rx1"),
+            Antenna(vec3(1.0, 0.5, 0), name="rx2"),
+        )
+        self._scatterers = list(scatterers)
+        self._blockers = list(blockers)
+
+    def rx_offsets(self, times):
+        return np.zeros((2, len(times), 3))
+
+    def scatterer_tracks(self, times):
+        return self._scatterers
+
+    def blocker_tracks(self, times):
+        return self._blockers
+
+
+def test_los_only_phase_matches_distance():
+    scene = ToyScene()
+    spectrum = Spectrum(subcarrier_indices=np.array([0]))
+    sim = ChannelSimulator(scene, spectrum)
+    csi = sim.clean_csi(np.array([0.0]))
+    lam = spectrum.carrier_wavelength_m
+    assert np.angle(csi[0, 0, 0]) == pytest.approx(
+        np.angle(np.exp(2j * np.pi * 1.0 / lam)), abs=1e-9
+    )
+
+
+def test_amplitude_falls_with_distance():
+    scene = ToyScene()
+    sim = ChannelSimulator(scene, Spectrum())
+    csi = sim.clean_csi(np.array([0.0]))
+    # rx2 is further (sqrt(1.25)) than rx1 (1.0).
+    assert np.abs(csi[0, 0]).mean() > np.abs(csi[0, 1]).mean()
+
+
+def test_blocked_los_attenuated_and_lengthened():
+    times = np.array([0.0])
+    blocker = BlockerTrack(
+        "head", np.array([[0.5, 0.0, 0.0]]), 0.1, transmission=0.2
+    )
+    spectrum = Spectrum(subcarrier_indices=np.array([0]))
+    clear = ChannelSimulator(ToyScene(), spectrum).clean_csi(times)
+    blocked = ChannelSimulator(ToyScene(blockers=[blocker]), spectrum).clean_csi(times)
+    # rx1's LOS passes through the sphere: attenuated.
+    assert np.abs(blocked[0, 0, 0]) == pytest.approx(0.2 * np.abs(clear[0, 0, 0]), rel=1e-6)
+    # And the creeping detour shifts its phase.
+    assert np.angle(blocked[0, 0, 0]) != pytest.approx(np.angle(clear[0, 0, 0]), abs=1e-3)
+    # rx2's LOS clears the sphere: untouched.
+    np.testing.assert_allclose(blocked[0, 1], clear[0, 1], rtol=1e-9)
+
+
+def test_blocker_extra_path_shifts_phase():
+    times = np.array([0.0])
+    spectrum = Spectrum(subcarrier_indices=np.array([0]))
+    lam = spectrum.carrier_wavelength_m
+    base = BlockerTrack("head", np.array([[0.5, 0.0, 0.0]]), 0.1)
+    shifted = BlockerTrack(
+        "head", np.array([[0.5, 0.0, 0.0]]), 0.1, extra_path_m=np.array([lam / 4])
+    )
+    csi_a = ChannelSimulator(ToyScene(blockers=[base]), spectrum).clean_csi(times)
+    csi_b = ChannelSimulator(ToyScene(blockers=[shifted]), spectrum).clean_csi(times)
+    dphi = np.angle(csi_b[0, 0, 0] * np.conj(csi_a[0, 0, 0]))
+    assert dphi == pytest.approx(np.pi / 2, abs=1e-6)
+
+
+def test_scatterer_adds_path():
+    times = np.array([0.0])
+    scat = ScattererTrack("ball", np.array([[0.5, 0.3, 0.0]]), 0.05)
+    spectrum = Spectrum()
+    plain = ChannelSimulator(ToyScene(), spectrum).clean_csi(times)
+    with_scat = ChannelSimulator(ToyScene(scatterers=[scat]), spectrum).clean_csi(times)
+    assert not np.allclose(plain, with_scat)
+
+
+def test_moving_scatterer_modulates_phase():
+    times = np.linspace(0, 1, 50)
+    positions = np.stack(
+        [np.full(50, 0.5), 0.3 + 0.02 * np.sin(2 * np.pi * times), np.zeros(50)],
+        axis=1,
+    )
+    scat = ScattererTrack("mover", positions, 0.05)
+    sim = ChannelSimulator(ToyScene(scatterers=[scat]), Spectrum())
+    csi = sim.clean_csi(times)
+    phases = np.angle(csi[:, 0, 0])
+    assert np.std(phases) > 1e-4
+
+
+def test_track_length_mismatch_rejected():
+    scat = ScattererTrack("x", np.zeros((3, 3)) + [0.5, 0.3, 0.0], 0.05)
+    sim = ChannelSimulator(ToyScene(scatterers=[scat]), Spectrum())
+    with pytest.raises(ValueError):
+        sim.clean_csi(np.linspace(0, 1, 5))
+
+
+def test_measure_without_impairments_is_clean():
+    sim = ChannelSimulator(ToyScene(), Spectrum())
+    times = np.linspace(0, 1, 10)
+    np.testing.assert_allclose(sim.measure(times), sim.clean_csi(times))
+
+
+def test_invalid_blocked_attenuation():
+    with pytest.raises(ValueError):
+        ChannelSimulator(ToyScene(), Spectrum(), blocked_los_attenuation=1.5)

@@ -1,0 +1,98 @@
+"""Hardware impairment tests — the properties the sanitiser relies on."""
+
+import numpy as np
+import pytest
+
+from repro.rf.impairments import HardwareImpairments, ImpairmentConfig
+from repro.rf.spectrum import Spectrum
+
+
+@pytest.fixture()
+def spectrum():
+    return Spectrum()
+
+
+def clean_csi(num_packets=50, n_rx=2, spectrum=None):
+    spectrum = spectrum or Spectrum()
+    rng = np.random.default_rng(0)
+    csi = rng.normal(size=(num_packets, n_rx, spectrum.num_subcarriers)) + 1j * rng.normal(
+        size=(num_packets, n_rx, spectrum.num_subcarriers)
+    )
+    return csi
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ImpairmentConfig(cfo_step_rad=-1.0)
+    with pytest.raises(ValueError):
+        ImpairmentConfig(sfo_drift_tau_s=0.0)
+
+
+def test_cfo_common_across_antennas(spectrum):
+    """The distortion applied to both RX chains must be identical —
+
+    that is the physical fact (shared oscillator) Eq. (3) exploits."""
+    imp = HardwareImpairments(
+        spectrum,
+        ImpairmentConfig(snr_db=200.0),  # disable thermal noise
+        rng=np.random.default_rng(1),
+    )
+    csi = clean_csi(spectrum=spectrum)
+    noisy = imp.apply(csi, np.linspace(0, 1, len(csi)))
+    distortion = noisy / csi
+    # Same multiplicative distortion on antenna 0 and 1.
+    np.testing.assert_allclose(distortion[:, 0, :], distortion[:, 1, :], atol=1e-6)
+
+
+def test_cfo_varies_packet_to_packet(spectrum):
+    imp = HardwareImpairments(spectrum, rng=np.random.default_rng(2))
+    beta = imp.cfo_phases(np.linspace(0, 1, 100))
+    assert np.std(np.diff(beta)) > 0.1
+
+
+def test_sfo_linear_in_subcarrier_index(spectrum):
+    imp = HardwareImpairments(
+        spectrum,
+        ImpairmentConfig(cfo_step_rad=0.0, cfo_jitter_rad=0.0, snr_db=200.0),
+        rng=np.random.default_rng(3),
+    )
+    csi = np.ones((5, 1, spectrum.num_subcarriers), dtype=complex)
+    noisy = imp.apply(csi, np.linspace(0, 1, 5))
+    phases = np.unwrap(np.angle(noisy[0, 0]))
+    k = spectrum.subcarrier_indices.astype(float)
+    # Phase error grows linearly with the signed subcarrier index.
+    fit = np.polyfit(k, phases, 1)
+    residual = phases - np.polyval(fit, k)
+    assert np.max(np.abs(residual)) < 1e-6
+
+
+def test_sfo_delays_correlated(spectrum):
+    imp = HardwareImpairments(spectrum, rng=np.random.default_rng(4))
+    times = np.linspace(0, 1, 200)  # 5 ms spacing << 1 s drift tau
+    delays = imp.sfo_delays(times)
+    step = np.std(np.diff(delays))
+    assert step < 0.2 * np.std(delays)
+
+
+def test_thermal_noise_scales_with_snr(spectrum):
+    csi = clean_csi(spectrum=spectrum)
+    times = np.linspace(0, 1, len(csi))
+    errors = {}
+    for snr in (10.0, 30.0):
+        imp = HardwareImpairments(
+            spectrum,
+            ImpairmentConfig(cfo_step_rad=0.0, cfo_jitter_rad=0.0, sfo_delay_std_s=0.0, snr_db=snr),
+            rng=np.random.default_rng(5),
+        )
+        noisy = imp.apply(csi, times)
+        errors[snr] = np.mean(np.abs(noisy - csi) ** 2)
+    # 20 dB SNR difference => 100x noise power difference.
+    assert errors[10.0] / errors[30.0] == pytest.approx(100.0, rel=0.2)
+
+
+def test_apply_shape_validation(spectrum):
+    imp = HardwareImpairments(spectrum)
+    with pytest.raises(ValueError):
+        imp.apply(np.ones((3, 2)), np.zeros(3))
+    with pytest.raises(ValueError):
+        imp.apply(np.ones((3, 2, 30)), np.zeros(4))

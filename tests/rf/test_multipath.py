@@ -1,0 +1,107 @@
+"""Multipath synthesis and track-container tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rf.multipath import BlockerTrack, ScattererTrack, synthesize_csi
+
+
+def test_scatterer_track_scalar_rcs_broadcast():
+    track = ScattererTrack("x", np.zeros((5, 3)), 0.1)
+    assert track.rcs_m2.shape == (5,)
+    assert len(track) == 5
+
+
+def test_scatterer_track_validation():
+    with pytest.raises(ValueError):
+        ScattererTrack("x", np.zeros((5, 2)), 0.1)
+    with pytest.raises(ValueError):
+        ScattererTrack("x", np.zeros((5, 3)), np.zeros(3))
+    with pytest.raises(ValueError):
+        ScattererTrack("x", np.zeros((5, 3)), -1.0)
+
+
+def test_blocker_blocks_vectorised():
+    centers = np.array([[0.0, 0.0, 0.0], [0.0, 0.0, 5.0]])
+    b = BlockerTrack("head", centers, 0.2)
+    a = np.array([-1.0, 0.0, 0.0])
+    c = np.array([1.0, 0.0, 0.0])
+    mask = b.blocks(a, c)
+    assert mask.tolist() == [True, False]
+
+
+def test_blocker_extra_path_validation():
+    with pytest.raises(ValueError):
+        BlockerTrack("h", np.zeros((3, 3)), 0.1, extra_path_m=np.zeros(2))
+    with pytest.raises(ValueError):
+        BlockerTrack("h", np.zeros((3, 3)), 0.1, transmission=1.5)
+
+
+def test_blocker_creeping_excess_only_when_blocked():
+    centers = np.array([[0.0, 0.0, 0.0], [0.0, 0.0, 5.0]])
+    b = BlockerTrack("head", centers, 0.2)
+    excess = b.creeping_excess(np.array([-1.0, 0, 0]), np.array([1.0, 0, 0]))
+    assert excess[0] > 0.0
+    assert excess[1] == 0.0
+
+
+def test_blocker_creeping_matches_scalar_helper():
+    from repro.geometry.shapes import Sphere, creeping_excess
+
+    center = np.array([0.05, 0.02, 0.01])
+    b = BlockerTrack("head", center[None, :], 0.2)
+    vec = b.creeping_excess(np.array([-1.0, 0, 0]), np.array([1.0, 0, 0]))
+    scalar = creeping_excess(
+        np.array([-1.0, 0, 0]), np.array([1.0, 0, 0]), Sphere(center, 0.2)
+    )
+    assert vec[0] == pytest.approx(scalar, rel=1e-9)
+
+
+def test_synthesize_single_path_phase():
+    lengths = np.array([[0.123], [0.123 * 1.5]])
+    amps = np.ones((2, 1))
+    wavelengths = np.array([0.123])
+    csi = synthesize_csi(lengths, amps, wavelengths)
+    # One wavelength -> phase 2pi (i.e. 0); 1.5 wavelengths -> pi.
+    assert np.angle(csi[0, 0]) == pytest.approx(0.0, abs=1e-9)
+    assert abs(np.angle(csi[1, 0])) == pytest.approx(np.pi, abs=1e-9)
+
+
+def test_synthesize_superposition():
+    wavelengths = np.array([0.1, 0.12])
+    lengths = np.array([[1.0, 2.0]])
+    amps = np.array([[0.5, 0.25]])
+    combined = synthesize_csi(lengths, amps, wavelengths)
+    one = synthesize_csi(lengths[:, :1], amps[:, :1], wavelengths)
+    two = synthesize_csi(lengths[:, 1:], amps[:, 1:], wavelengths)
+    np.testing.assert_allclose(combined, one + two)
+
+
+def test_synthesize_amplitude_bound():
+    rng = np.random.default_rng(0)
+    lengths = rng.uniform(0.5, 3.0, (10, 4))
+    amps = rng.uniform(0.0, 1.0, (10, 4))
+    csi = synthesize_csi(lengths, amps, np.array([0.123]))
+    assert np.all(np.abs(csi[:, 0]) <= amps.sum(axis=1) + 1e-12)
+
+
+def test_synthesize_validation():
+    with pytest.raises(ValueError):
+        synthesize_csi(np.zeros((2, 3)), np.zeros((2, 2)), np.array([0.1]))
+    with pytest.raises(ValueError):
+        synthesize_csi(np.zeros((2, 3)), np.zeros((2, 3)), np.array([-0.1]))
+
+
+@given(
+    st.floats(min_value=0.1, max_value=5.0, allow_nan=False),
+    st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+)
+@settings(max_examples=30, deadline=None)
+def test_synthesize_frequency_selectivity(length, amp):
+    # The same path produces different phases on different subcarriers.
+    wavelengths = np.array([0.122, 0.124])
+    csi = synthesize_csi(np.array([[length]]), np.array([[amp]]), wavelengths)
+    expected = amp * np.exp(2j * np.pi * length / wavelengths)
+    np.testing.assert_allclose(csi[0], expected, rtol=1e-9)

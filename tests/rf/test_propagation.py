@@ -1,0 +1,69 @@
+"""Propagation amplitude tests."""
+
+import numpy as np
+import pytest
+
+from repro.rf.propagation import (
+    BLOCKED_LOS_ATTENUATION,
+    los_amplitude,
+    reflection_amplitude,
+)
+
+
+def test_los_inverse_distance():
+    a1 = los_amplitude(1.0, 0.123)
+    a2 = los_amplitude(2.0, 0.123)
+    assert a1 == pytest.approx(2.0 * a2)
+
+
+def test_los_scales_with_wavelength():
+    assert los_amplitude(1.0, 0.2) > los_amplitude(1.0, 0.1)
+
+
+def test_los_vectorised():
+    d = np.array([0.5, 1.0, 2.0])
+    a = los_amplitude(d, 0.123)
+    assert a.shape == (3,)
+    assert np.all(np.diff(a) < 0)
+
+
+def test_los_validation():
+    with pytest.raises(ValueError):
+        los_amplitude(0.0, 0.123)
+    with pytest.raises(ValueError):
+        los_amplitude(1.0, -0.1)
+
+
+def test_reflection_bistatic_product():
+    # Amplitude falls as 1/(d1*d2).
+    a = reflection_amplitude(1.0, 1.0, 0.123, 0.1)
+    b = reflection_amplitude(2.0, 1.0, 0.123, 0.1)
+    assert a == pytest.approx(2.0 * b)
+
+
+def test_reflection_sqrt_rcs():
+    a = reflection_amplitude(1.0, 1.0, 0.123, 0.04)
+    b = reflection_amplitude(1.0, 1.0, 0.123, 0.01)
+    assert a == pytest.approx(2.0 * b)
+
+
+def test_reflection_zero_rcs_zero_amplitude():
+    assert reflection_amplitude(1.0, 1.0, 0.123, 0.0) == 0.0
+
+
+def test_reflection_validation():
+    with pytest.raises(ValueError):
+        reflection_amplitude(0.0, 1.0, 0.123, 0.1)
+    with pytest.raises(ValueError):
+        reflection_amplitude(1.0, 1.0, 0.123, -0.1)
+
+
+def test_reflection_much_weaker_than_los():
+    # A head-sized scatterer at cabin distances is well below the LOS.
+    los = los_amplitude(1.0, 0.123)
+    refl = reflection_amplitude(0.5, 0.5, 0.123, 0.1)
+    assert refl < los
+
+
+def test_blocked_attenuation_sane():
+    assert 0.0 < BLOCKED_LOS_ATTENUATION < 1.0

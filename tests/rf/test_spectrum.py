@@ -1,0 +1,53 @@
+"""Spectrum tests."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.rf.spectrum import Spectrum
+
+
+def test_default_matches_intel5300():
+    s = Spectrum()
+    assert s.num_subcarriers == 30
+    assert s.carrier_hz == pytest.approx(2.437e9)
+    assert s.fft_size == 64
+
+
+def test_frequencies_centered_on_carrier():
+    s = Spectrum()
+    freqs = s.frequencies_hz
+    assert freqs.min() < s.carrier_hz < freqs.max()
+    # Index spacing is the 312.5 kHz subcarrier spacing.
+    k = s.subcarrier_indices
+    expected = s.carrier_hz + k * constants.SUBCARRIER_SPACING_HZ
+    np.testing.assert_allclose(freqs, expected)
+
+
+def test_wavelengths_about_12cm():
+    s = Spectrum()
+    assert np.all((0.120 < s.wavelengths_m) & (s.wavelengths_m < 0.126))
+    assert s.carrier_wavelength_m == pytest.approx(0.123, abs=0.001)
+
+
+def test_wavelength_decreases_with_frequency():
+    s = Spectrum()
+    order = np.argsort(s.frequencies_hz)
+    assert np.all(np.diff(s.wavelengths_m[order]) < 0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Spectrum(carrier_hz=-1.0)
+    with pytest.raises(ValueError):
+        Spectrum(subcarrier_indices=np.array([]))
+    with pytest.raises(ValueError):
+        Spectrum(subcarrier_indices=np.array([100]), fft_size=64)
+    with pytest.raises(ValueError):
+        Spectrum(fft_size=1)
+
+
+def test_custom_grid():
+    s = Spectrum(subcarrier_indices=np.array([-1, 0, 1]))
+    assert s.num_subcarriers == 3
+    assert s.frequencies_hz[1] == pytest.approx(s.carrier_hz)

@@ -1,0 +1,90 @@
+"""Image-method surface reflection tests."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.vec import vec3
+from repro.rf.surfaces import (
+    ReflectingPlane,
+    default_cabin_surfaces,
+    surface_paths,
+)
+
+
+def floor_plane(gamma=0.5):
+    return ReflectingPlane("floor", vec3(0, 0, 1), 0.0, gamma)
+
+
+def test_plane_validation():
+    with pytest.raises(ValueError):
+        ReflectingPlane("x", vec3(0, 0, 1), 0.0, gamma=1.5)
+    with pytest.raises(ValueError):
+        ReflectingPlane("x", vec3(0, 0, 0), 0.0, gamma=0.5)
+
+
+def test_mirror_involution():
+    plane = ReflectingPlane("tilt", vec3(1, 2, 3), 0.7, 0.5)
+    rng = np.random.default_rng(0)
+    points = rng.normal(size=(10, 3))
+    np.testing.assert_allclose(plane.mirror(plane.mirror(points)), points, atol=1e-12)
+
+
+def test_mirror_preserves_plane_points():
+    plane = floor_plane()
+    on_plane = vec3(3.0, -2.0, 0.0)
+    np.testing.assert_allclose(plane.mirror(on_plane), on_plane, atol=1e-12)
+
+
+def test_reflection_path_textbook_case():
+    # TX and RX both 1 m above the floor, 2 m apart: bounce length is
+    # the classic sqrt((2h)^2 + d^2).
+    plane = floor_plane()
+    length, gamma = plane.reflection_path(vec3(0, 0, 1), vec3(2, 0, 1))
+    assert length == pytest.approx(np.sqrt(4.0 + 4.0))
+    assert gamma == 0.5
+
+
+def test_reflection_longer_than_direct():
+    plane = floor_plane()
+    tx, rx = vec3(0, 0, 0.5), vec3(1.5, 0.3, 0.8)
+    length, _ = plane.reflection_path(tx, rx)
+    assert length > np.linalg.norm(rx - tx)
+
+
+def test_straddling_endpoints_rejected():
+    plane = floor_plane()
+    with pytest.raises(ValueError):
+        plane.reflection_path(vec3(0, 0, 1), vec3(1, 0, -1))
+
+
+def test_surface_paths_skips_unusable():
+    planes = [floor_plane(), ReflectingPlane("wall", vec3(1, 0, 0), 5.0, 0.3)]
+    # Both endpoints above the floor and left of the wall: both usable.
+    paths = surface_paths(vec3(0, 0, 1), vec3(1, 0, 1), planes)
+    assert len(paths) == 2
+    # RX beyond the wall: the wall path is skipped.
+    paths = surface_paths(vec3(0, 0, 1), vec3(6, 0, 1), planes)
+    assert [p[0] for p in paths] == ["floor"]
+
+
+def test_surface_paths_departure_is_mirror():
+    plane = floor_plane()
+    paths = surface_paths(vec3(0, 0, 1), vec3(2, 0, 1), [plane])
+    _name, _length, _gamma, departure = paths[0]
+    np.testing.assert_allclose(departure, [2, 0, -1], atol=1e-12)
+
+
+def test_default_cabin_surfaces_sane():
+    surfaces = default_cabin_surfaces()
+    names = {s.name for s in surfaces}
+    assert {"windshield", "roof", "driver-window", "passenger-window"} <= names
+    # All four give usable paths between the phone and the Layout-1 RX.
+    paths = surface_paths(
+        np.zeros(3), np.array([1.05, 0.0, 0.33]), surfaces
+    )
+    assert len(paths) == 4
+    # They are weak relative to a blocked LOS (dominance budget).
+    from repro.rf.propagation import los_amplitude
+
+    total = sum((g * los_amplitude(L, 0.123)) ** 2 for _n, L, g, _d in paths)
+    assert np.sqrt(total) < 0.6 * 0.65 * los_amplitude(1.1, 0.123)

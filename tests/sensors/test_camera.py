@@ -1,0 +1,84 @@
+"""Camera tracker tests: frame rate, blur, lighting, drops."""
+
+import numpy as np
+import pytest
+
+from repro.cabin.driver import scan_trajectory
+from repro.cabin.scene import CabinScene
+from repro.sensors.camera import CameraConfig, CameraTracker
+
+
+def scanning_scene(speed_deg=110.0):
+    return CabinScene(
+        driver_yaw_trajectory=scan_trajectory(
+            20.0, speed_rad_s=np.deg2rad(speed_deg)
+        )
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CameraConfig(frame_rate_hz=0.0)
+    with pytest.raises(ValueError):
+        CameraConfig(drop_probability=1.5)
+    with pytest.raises(ValueError):
+        CameraConfig(light_level=0.0)
+
+
+def test_frame_rate_30fps():
+    tracker = CameraTracker(CabinScene(), rng=np.random.default_rng(0))
+    stream = tracker.yaw_stream(0.0, 10.0)
+    assert len(stream) == pytest.approx(300, abs=2)
+
+
+def test_daylight_still_head_accuracy():
+    tracker = CameraTracker(CabinScene(), rng=np.random.default_rng(1))
+    stream = tracker.yaw_stream(0.0, 10.0)
+    err = np.rad2deg(np.abs(np.asarray(stream.values)))
+    assert np.median(err) < 3.0
+
+
+def test_blur_grows_error_with_speed():
+    slow_scene = scanning_scene(40.0)
+    fast_scene = scanning_scene(160.0)
+    cfg = CameraConfig(drop_probability=0.0)
+    errs = {}
+    for name, scene in (("slow", slow_scene), ("fast", fast_scene)):
+        tracker = CameraTracker(scene, cfg, rng=np.random.default_rng(2))
+        stream = tracker.yaw_stream(0.0, 20.0)
+        truth = scene.driver_yaw(stream.times)
+        errs[name] = np.median(np.abs(np.asarray(stream.values) - truth))
+    assert errs["fast"] > errs["slow"]
+
+
+def test_night_worse_than_day():
+    scene = scanning_scene()
+    day = CameraTracker(scene, CameraConfig(light_level=1.0), rng=np.random.default_rng(3))
+    night = CameraTracker(scene, CameraConfig(light_level=0.2), rng=np.random.default_rng(3))
+    t = np.linspace(0, 20, 10)
+    day_err = np.abs(np.asarray(day.yaw_stream(0, 20).values) - scene.driver_yaw(day.yaw_stream(0, 20).times))
+    night_stream = night.yaw_stream(0, 20)
+    night_err = np.abs(np.asarray(night_stream.values) - scene.driver_yaw(night_stream.times))
+    assert np.median(night_err) > np.median(day_err)
+
+
+def test_fast_turns_drop_frames():
+    scene = scanning_scene(200.0)
+    config = CameraConfig(drop_speed_rad_s=np.deg2rad(160.0), drop_probability=0.9)
+    tracker = CameraTracker(scene, config, rng=np.random.default_rng(4))
+    stream = tracker.yaw_stream(0.0, 20.0)
+    nominal = 20.0 * config.frame_rate_hz
+    assert len(stream) < 0.9 * nominal
+
+
+def test_estimate_at_uses_latest_frame():
+    scene = CabinScene()
+    tracker = CameraTracker(scene, rng=np.random.default_rng(5))
+    estimate = tracker.estimate_at(1.0)
+    assert abs(np.rad2deg(estimate)) < 10.0
+
+
+def test_empty_span_rejected():
+    tracker = CameraTracker(CabinScene())
+    with pytest.raises(ValueError):
+        tracker.yaw_stream(1.0, 0.5)

@@ -1,0 +1,66 @@
+"""Ground-truth headset tests."""
+
+import numpy as np
+import pytest
+
+from repro.cabin.driver import scan_trajectory
+from repro.cabin.scene import CabinScene
+from repro.sensors.headset import HeadsetConfig, HeadsetTracker
+
+
+def scanning_scene():
+    return CabinScene(driver_yaw_trajectory=scan_trajectory(20.0))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        HeadsetConfig(rate_hz=0.0)
+    with pytest.raises(ValueError):
+        HeadsetConfig(slip_duration_s=0.0)
+
+
+def test_tracks_truth_closely_without_slip():
+    scene = scanning_scene()
+    tracker = HeadsetTracker(
+        scene, HeadsetConfig(slip_rate_per_min=0.0), rng=np.random.default_rng(0)
+    )
+    stream = tracker.yaw_stream(0.0, 20.0)
+    truth = scene.driver_yaw(stream.times)
+    err = np.rad2deg(np.abs(np.asarray(stream.values) - truth))
+    assert np.median(err) < 1.5
+    assert err.max() < 5.0
+
+
+def test_noise_magnitude_matches_config():
+    scene = CabinScene()  # still head
+    config = HeadsetConfig(noise_std_rad=np.deg2rad(2.0), slip_rate_per_min=0.0)
+    tracker = HeadsetTracker(scene, config, rng=np.random.default_rng(1))
+    stream = tracker.yaw_stream(0.0, 30.0)
+    assert np.std(np.asarray(stream.values)) == pytest.approx(
+        config.noise_std_rad, rel=0.15
+    )
+
+
+def test_slips_create_rare_outliers_not_bias():
+    scene = scanning_scene()
+    config = HeadsetConfig(slip_rate_per_min=6.0, noise_std_rad=np.deg2rad(0.5))
+    tracker = HeadsetTracker(scene, config, rng=np.random.default_rng(2))
+    stream = tracker.yaw_stream(0.0, 20.0)
+    truth = scene.driver_yaw(stream.times)
+    err = np.rad2deg(np.abs(np.asarray(stream.values) - truth))
+    # Outliers exist but the bulk is clean.
+    assert err.max() > 5.0
+    assert np.median(err) < 2.0
+    assert np.mean(err > 5.0) < 0.3
+
+
+def test_sampling_rate():
+    tracker = HeadsetTracker(CabinScene(), rng=np.random.default_rng(3))
+    stream = tracker.yaw_stream(0.0, 1.0)
+    assert len(stream) == pytest.approx(120, abs=2)
+
+
+def test_empty_span_rejected():
+    tracker = HeadsetTracker(CabinScene())
+    with pytest.raises(ValueError):
+        tracker.yaw_stream(2.0, 2.0)

@@ -1,0 +1,60 @@
+"""Phone IMU tests."""
+
+import numpy as np
+import pytest
+
+from repro.cabin.scene import CabinScene
+from repro.cabin.steering import turning_trajectory
+from repro.sensors.imu import ImuConfig, PhoneImu
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ImuConfig(rate_hz=0.0)
+    with pytest.raises(ValueError):
+        ImuConfig(gyro_noise_std=-1.0)
+
+
+def test_stream_rate_and_span():
+    scene = CabinScene()
+    imu = PhoneImu(scene, ImuConfig(rate_hz=100.0), rng=np.random.default_rng(0))
+    stream = imu.yaw_rate_stream(0.0, 2.0)
+    assert len(stream) == 200
+    assert stream.start == pytest.approx(0.0)
+
+
+def test_straight_driving_reads_near_zero():
+    scene = CabinScene()  # no steering trajectory -> car goes straight
+    imu = PhoneImu(scene, rng=np.random.default_rng(1))
+    stream = imu.yaw_rate_stream(0.0, 5.0)
+    assert abs(np.mean(np.asarray(stream.values))) < 0.02
+    assert np.std(np.asarray(stream.values)) < 0.05
+
+
+def test_turns_visible_above_noise():
+    scene = CabinScene(
+        steering_trajectory=turning_trajectory(
+            20.0, np.random.default_rng(2), turns_per_minute=12.0
+        )
+    )
+    imu = PhoneImu(scene, rng=np.random.default_rng(3))
+    stream = imu.yaw_rate_stream(0.0, 20.0)
+    true_rate = scene.car_yaw_rate(stream.times)
+    assert np.abs(true_rate).max() > 0.1
+    # Readings track the true rate well above the noise floor.
+    corr = np.corrcoef(np.asarray(stream.values), true_rate)[0, 1]
+    assert corr > 0.9
+
+
+def test_bias_constant_per_instance():
+    scene = CabinScene()
+    imu = PhoneImu(scene, ImuConfig(gyro_bias_std=0.01), rng=np.random.default_rng(4))
+    assert imu.bias == imu.bias
+    other = PhoneImu(scene, ImuConfig(gyro_bias_std=0.01), rng=np.random.default_rng(5))
+    assert imu.bias != other.bias
+
+
+def test_empty_span_rejected():
+    imu = PhoneImu(CabinScene())
+    with pytest.raises(ValueError):
+        imu.yaw_rate_stream(1.0, 1.0)

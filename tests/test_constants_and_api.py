@@ -1,0 +1,63 @@
+"""Constants sanity and public-API surface tests."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import constants
+
+
+def test_wavelength_at_2_4ghz():
+    assert constants.wavelength(2.437e9) == pytest.approx(0.123, abs=0.001)
+
+
+def test_wavelength_validation():
+    with pytest.raises(ValueError):
+        constants.wavelength(0.0)
+
+
+def test_subcarrier_frequencies_span_20mhz():
+    freqs = constants.subcarrier_frequencies()
+    assert freqs.max() - freqs.min() == pytest.approx(
+        56 * constants.SUBCARRIER_SPACING_HZ
+    )
+    assert len(freqs) == 30
+
+
+def test_intel5300_grid_properties():
+    idx = constants.INTEL5300_SUBCARRIER_INDICES
+    assert len(idx) == 30
+    assert idx.min() == -28 and idx.max() == 28
+    assert len(np.unique(idx)) == 30
+
+
+def test_paper_rates_recorded():
+    assert constants.CLEAN_CSI_RATE_HZ == 500.0
+    assert constants.INTERFERED_CSI_RATE_HZ == 400.0
+    assert constants.CLEAN_MAX_GAP_S == pytest.approx(0.034)
+    assert constants.INTERFERED_MAX_GAP_S == pytest.approx(0.049)
+    assert constants.CLEAN_CSI_RATE_HZ / constants.CAMERA_FRAME_RATE_HZ > 10
+
+
+def test_public_api_exports():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.{name} missing"
+
+
+def test_version_string():
+    major = int(repro.__version__.split(".")[0])
+    assert major >= 1
+
+
+def test_quickstart_snippet_runs():
+    """The README quickstart must stay runnable."""
+    from repro import ViHOTConfig, build_scenario, run_profiling, run_tracking_session
+
+    scenario = build_scenario(
+        seed=0, num_positions=3, profile_seconds=4.0, runtime_duration_s=5.0
+    )
+    profile = run_profiling(scenario)
+    session = run_tracking_session(
+        scenario, profile, ViHOTConfig(), estimate_stride_s=0.25
+    )
+    assert session.summary().count > 5
