@@ -8,10 +8,23 @@ from repro.core.position import PositionEstimator, detect_stable_phase
 from repro.core.matching import MatchResult, SeriesMatcher
 from repro.core.forecast import forecast_orientation
 from repro.core.steering_id import SteeringIdentifier
-from repro.core.tracker import ViHOTTracker, TrackingResult, Estimate
-from repro.core.online import OnlineTracker
+from repro.core.stages import (
+    Estimate,
+    EstimationContext,
+    EstimationTrace,
+    StageTrace,
+)
+from repro.core.engine import EstimationEngine, SessionState
+from repro.core.tracker import ViHOTTracker, TrackingResult
+from repro.core.online import OnlineTracker, SampleRing
 from repro.core.fusion import FusedTracker, FusionConfig
-from repro.core.diagnostics import TrackingHealth, diagnose, should_reprofile
+from repro.core.diagnostics import (
+    StageStats,
+    TrackingHealth,
+    aggregate_stage_traces,
+    diagnose,
+    should_reprofile,
+)
 from repro.core.quality import ProfileQuality, assess_profile
 
 __all__ = [
@@ -28,13 +41,21 @@ __all__ = [
     "SeriesMatcher",
     "forecast_orientation",
     "SteeringIdentifier",
+    "Estimate",
+    "EstimationContext",
+    "EstimationTrace",
+    "StageTrace",
+    "EstimationEngine",
+    "SessionState",
     "ViHOTTracker",
     "TrackingResult",
-    "Estimate",
     "OnlineTracker",
+    "SampleRing",
     "FusedTracker",
     "FusionConfig",
+    "StageStats",
     "TrackingHealth",
+    "aggregate_stage_traces",
     "diagnose",
     "should_reprofile",
     "ProfileQuality",

@@ -7,12 +7,19 @@ how fresh the head-position fix is, and how healthy the CSI sampling
 was.  ``diagnose`` condenses a session into those signals plus a coarse
 verdict, so a head unit can decide to suggest re-profiling (Sec. 3.3's
 "update after each trip") or fall back to the camera permanently.
+
+Estimates produced by the stage-based engine additionally carry an
+:class:`~repro.core.stages.EstimationTrace`; ``diagnose`` aggregates
+those into per-stage :class:`StageStats` (fire counts, terminal counts,
+p50/p90 latencies) so the report says *why* a session degraded — e.g.
+"the jump filter fired on a third of the estimates and every hold came
+from the steering stage" — not just that it did.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -23,6 +30,76 @@ from repro.net.link import CsiStream
 
 #: Verdict levels in increasing severity.
 VERDICTS = ("healthy", "degraded", "unusable")
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Aggregated behaviour of one engine stage over a session.
+
+    Attributes:
+        stage: the stage's name.
+        evaluated: how many estimates ran this stage.
+        fired: how many times the stage's condition triggered.
+        terminal: how many estimates this stage produced (was the
+            terminal stage for).
+        p50_ms: median per-run wall time.
+        p90_ms: 90th-percentile per-run wall time.
+    """
+
+    stage: str
+    evaluated: int
+    fired: int
+    terminal: int
+    p50_ms: float
+    p90_ms: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.stage}: ran {self.evaluated}, fired {self.fired}, "
+            f"terminal {self.terminal}, p50 {self.p50_ms:.3f} ms "
+            f"(p90 {self.p90_ms:.3f} ms)"
+        )
+
+
+def aggregate_stage_traces(result: TrackingResult) -> Tuple[StageStats, ...]:
+    """Fold every estimate's stage trace into per-stage counters/timings.
+
+    Stages appear in first-execution order; estimates without a trace
+    (built outside the engine) are skipped.  Returns an empty tuple when
+    no estimate carries a trace.
+    """
+    order: List[str] = []
+    evaluated: Dict[str, int] = {}
+    fired: Dict[str, int] = {}
+    terminal: Dict[str, int] = {}
+    timings: Dict[str, List[float]] = {}
+    for estimate in result.estimates:
+        if estimate.trace is None:
+            continue
+        for trace in estimate.trace.stages:
+            if trace.stage not in evaluated:
+                order.append(trace.stage)
+                evaluated[trace.stage] = 0
+                fired[trace.stage] = 0
+                terminal[trace.stage] = 0
+                timings[trace.stage] = []
+            evaluated[trace.stage] += 1
+            fired[trace.stage] += int(trace.fired)
+            timings[trace.stage].append(trace.elapsed_ms)
+        terminal[estimate.trace.terminal] = (
+            terminal.get(estimate.trace.terminal, 0) + 1
+        )
+    return tuple(
+        StageStats(
+            stage=name,
+            evaluated=evaluated[name],
+            fired=fired[name],
+            terminal=terminal[name],
+            p50_ms=float(np.percentile(timings[name], 50)),
+            p90_ms=float(np.percentile(timings[name], 90)),
+        )
+        for name in order
+    )
 
 
 @dataclass(frozen=True)
@@ -41,6 +118,8 @@ class TrackingHealth:
         sampling_rate_hz: achieved CSI packet rate.
         max_gap_ms: worst packet gap.
         verdict: "healthy" | "degraded" | "unusable".
+        stage_stats: per-engine-stage fire counts and latency
+            percentiles (empty when the estimates carry no traces).
     """
 
     csi_fraction: float
@@ -52,6 +131,18 @@ class TrackingHealth:
     sampling_rate_hz: float
     max_gap_ms: float
     verdict: str
+    stage_stats: Tuple[StageStats, ...] = field(default=())
+
+    def stage(self, name: str) -> Optional[StageStats]:
+        """The aggregated stats of stage ``name`` (``None`` if absent)."""
+        for stats in self.stage_stats:
+            if stats.stage == name:
+                return stats
+        return None
+
+    def stage_report(self) -> str:
+        """Multi-line per-stage breakdown (empty string without traces)."""
+        return "\n".join(str(stats) for stats in self.stage_stats)
 
     def __str__(self) -> str:
         return (
@@ -129,6 +220,7 @@ def diagnose(
         sampling_rate_hz=rate,
         max_gap_ms=gap_ms,
         verdict=verdict,
+        stage_stats=aggregate_stage_traces(result),
     )
 
 

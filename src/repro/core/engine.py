@@ -1,0 +1,263 @@
+"""The shared estimation engine under every ViHOT frontend.
+
+``EstimationEngine`` owns the per-estimate decision chain (Fig. 4, right
+half) as the ordered stages of :mod:`repro.core.stages`:
+
+    position -> steering -> stability_fix -> stationary -> match
+             -> forecast -> jump_filter -> emit        (+ hold off-chain)
+
+The engine itself is stateless across estimates — everything mutable
+lives in a :class:`SessionState` — so one engine (profile + matcher +
+config) can serve many concurrent sessions of the same driver.  The
+frontends differ only in how they feed the context:
+
+* ``ViHOTTracker`` walks a whole logged capture (``track_stream``),
+* ``OnlineTracker`` views its ring buffers and calls ``estimate_at``,
+* ``FusedTracker`` runs ``track_stream`` and fuses camera frames on top.
+
+Every estimate the engine produces carries an
+:class:`~repro.core.stages.EstimationTrace`: which stages ran, which
+fired, how long each took, and the key quantities they saw.
+``repro.core.diagnostics`` aggregates those traces into per-stage
+counters and latency percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from time import perf_counter
+from typing import List, Optional, Tuple
+
+from repro.core.config import ViHOTConfig
+from repro.core.matching import SeriesMatcher
+from repro.core.position import PositionEstimator
+from repro.core.profile import CsiProfile
+from repro.core.sanitize import sanitize_stream
+from repro.core.stages import (
+    CONFIDENT_MODES,
+    EMIT,
+    HOLD,
+    PASS,
+    RESOLVE,
+    EmitStage,
+    Estimate,
+    EstimationContext,
+    EstimationTrace,
+    ForecastStage,
+    HoldStage,
+    JumpFilterStage,
+    MatchStage,
+    PositionStage,
+    StabilityFixStage,
+    Stage,
+    StageTrace,
+    StationaryStage,
+    SteeringStage,
+)
+from repro.core.steering_id import SteeringIdentifier
+from repro.dsp.series import TimeSeries
+from repro.net.link import CsiStream
+
+
+@dataclass
+class SessionState:
+    """One tracking session's mutable state.
+
+    Attributes:
+        position: the session's head-position estimator.
+        previous: the last estimate issued (any mode).
+        last_confident_time: when the last *confident* estimate (a CSI
+            match or a camera fallback) was issued; the continuity
+            window grows with the time since.
+    """
+
+    position: PositionEstimator
+    previous: Optional[Estimate] = None
+    last_confident_time: Optional[float] = None
+
+    def observe(self, estimate: Estimate) -> None:
+        """Fold a newly issued estimate into the session state."""
+        self.previous = estimate
+        if estimate.mode in CONFIDENT_MODES:
+            self.last_confident_time = estimate.time
+
+
+class EstimationEngine:
+    """The stage-based per-estimate decision chain (Secs. 3.4-3.6)."""
+
+    def __init__(
+        self,
+        profile: CsiProfile,
+        config: ViHOTConfig = ViHOTConfig(),
+        camera=None,
+    ) -> None:
+        """Args:
+            profile: the driver's CSI profile from the profiling stage.
+            config: run-time parameters.
+            camera: optional object with ``estimate_at(t) -> float`` used
+                as the steering fallback (Sec. 3.6.2); without one the
+                engine holds the previous estimate through steering
+                events.
+        """
+        self._profile = profile
+        self._config = config
+        self._camera = camera
+        self._matcher = SeriesMatcher(profile, config)
+        self._steering = SteeringIdentifier(
+            rate_threshold=config.steering_rate_threshold
+        )
+        self._default_position = len(profile) // 2
+        self._stages: Tuple[Stage, ...] = (
+            PositionStage(),
+            SteeringStage(self._steering, camera, config),
+            StabilityFixStage(),
+            StationaryStage(config),
+            MatchStage(self._matcher, config),
+            ForecastStage(profile, config),
+            JumpFilterStage(config),
+            EmitStage(config),
+        )
+        self._hold = HoldStage(config)
+
+    @property
+    def config(self) -> ViHOTConfig:
+        return self._config
+
+    @property
+    def profile(self) -> CsiProfile:
+        return self._profile
+
+    @property
+    def stage_names(self) -> Tuple[str, ...]:
+        """The chain's stage names in execution order (``hold`` is the
+        off-chain terminal every divert routes to)."""
+        return tuple(stage.name for stage in self._stages)
+
+    @property
+    def hold_stage_name(self) -> str:
+        return self._hold.name
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def new_session(self) -> SessionState:
+        """Fresh per-session state (position estimator + continuity)."""
+        return SessionState(
+            position=PositionEstimator(
+                self._profile,
+                window_s=self._config.stable_window_s,
+                std_threshold_rad=self._config.stable_std_rad,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # One estimate
+    # ------------------------------------------------------------------
+    def estimate_at(
+        self,
+        phase: TimeSeries,
+        imu: Optional[TimeSeries],
+        t: float,
+        state: SessionState,
+    ) -> Optional[Estimate]:
+        """Run the chain once at time ``t`` and update ``state``.
+
+        Args:
+            phase: the sanitized phase history covering at least the
+                stability and match windows ending at ``t``.
+            imu: the phone gyro yaw-rate history (``None`` when IMU
+                streaming is off).
+            t: estimate time.
+            state: the session's state; updated in place when an
+                estimate is produced.
+
+        Returns:
+            The estimate (with its trace attached), or ``None`` when no
+            estimate can be formed at ``t``.
+        """
+        ctx = EstimationContext(
+            phase=phase,
+            imu=imu,
+            t=float(t),
+            position=state.position,
+            default_position=self._default_position,
+            previous=state.previous,
+            last_confident_time=state.last_confident_time,
+        )
+        estimate = self._run_chain(ctx)
+        if estimate is not None:
+            state.observe(estimate)
+        return estimate
+
+    def _run_chain(self, ctx: EstimationContext) -> Optional[Estimate]:
+        traces: List[StageTrace] = []
+
+        def timed(stage: Stage):
+            start = perf_counter()
+            decision = stage.run(ctx)
+            elapsed_ms = (perf_counter() - start) * 1e3
+            traces.append(
+                StageTrace(stage.name, decision.fired, elapsed_ms, decision.detail)
+            )
+            return decision
+
+        estimate: Optional[Estimate] = None
+        terminal = ""
+        emit_index = len(self._stages) - 1
+        index = 0
+        while index < len(self._stages):
+            stage = self._stages[index]
+            decision = timed(stage)
+            if decision.action == PASS:
+                index += 1
+                continue
+            if decision.action == RESOLVE:
+                index = emit_index
+                continue
+            if decision.action == HOLD:
+                ctx.hold_reason = stage.name
+                hold_decision = timed(self._hold)
+                estimate = hold_decision.estimate
+                terminal = self._hold.name
+                break
+            assert decision.action == EMIT
+            estimate = decision.estimate
+            terminal = stage.name
+            break
+        if estimate is None:
+            return None
+        return replace(estimate, trace=EstimationTrace(tuple(traces), terminal))
+
+    # ------------------------------------------------------------------
+    # Whole-capture sessions (the batch frontends)
+    # ------------------------------------------------------------------
+    def track_stream(
+        self,
+        stream: CsiStream,
+        estimate_stride_s: float = 0.05,
+        t_start: Optional[float] = None,
+    ) -> List[Estimate]:
+        """Track a whole capture session through a fresh session state.
+
+        Args:
+            stream: the CSI capture (with its IMU side-channel, if any).
+            estimate_stride_s: spacing between tracker outputs.
+            t_start: first estimate time; defaults to one window plus one
+                stability window after the capture start (Alg. 1 line 1's
+                setup time).
+        """
+        if estimate_stride_s <= 0:
+            raise ValueError("estimate_stride_s must be positive")
+        config = self._config
+        phase = sanitize_stream(stream.times, stream.csi)
+        state = self.new_session()
+        if t_start is None:
+            t_start = phase.start + max(config.window_s, config.stable_window_s)
+        estimates: List[Estimate] = []
+        t = float(t_start)
+        while t <= phase.end + 1e-9:
+            estimate = self.estimate_at(phase, stream.imu, t, state)
+            if estimate is not None:
+                estimates.append(estimate)
+            t += estimate_stride_s
+        return estimates

@@ -11,20 +11,24 @@ that sketch:
   estimates are fused with inverse-variance weights;
 * between frames, ViHOT's 400-500 Hz CSI estimates carry the track alone.
 
-The fusion weights come from each sensor's error model: the camera's
-per-frame std (light/blur dependent) and a fixed CSI tracking std.
+``FusedTracker`` is the third frontend over the shared
+:class:`repro.core.engine.EstimationEngine` (with the camera wired in as
+the steering fallback); the fusion weights come from each sensor's error
+model: the camera's per-frame std (light/blur dependent) and a fixed CSI
+tracking std.  Fused estimates keep their engine stage trace.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 import numpy as np
 
 from repro.core.config import ViHOTConfig
+from repro.core.engine import EstimationEngine
 from repro.core.profile import CsiProfile
-from repro.core.tracker import Estimate, TrackingResult, ViHOTTracker
+from repro.core.tracker import TrackingResult
 from repro.net.link import CsiStream
 from repro.sensors.camera import CameraTracker
 
@@ -68,7 +72,7 @@ class FusedTracker:
         fusion_config: FusionConfig = FusionConfig(),
         rng: Optional[np.random.Generator] = None,
     ) -> None:
-        self._vihot = ViHOTTracker(profile, vihot_config, camera=camera)
+        self._engine = EstimationEngine(profile, vihot_config, camera=camera)
         self._camera = camera
         self._config = fusion_config
         self._rng = rng if rng is not None else np.random.default_rng(0)
@@ -77,13 +81,20 @@ class FusedTracker:
     def config(self) -> FusionConfig:
         return self._config
 
+    @property
+    def engine(self) -> EstimationEngine:
+        """The shared stage-based estimation engine."""
+        return self._engine
+
     def process(
         self,
         stream: CsiStream,
         estimate_stride_s: float = 0.05,
     ) -> TrackingResult:
         """Track a session, fusing duty-cycled camera frames into CSI."""
-        csi_result = self._vihot.process(stream, estimate_stride_s=estimate_stride_s)
+        csi_result = TrackingResult(
+            self._engine.track_stream(stream, estimate_stride_s=estimate_stride_s)
+        )
         if len(csi_result) == 0:
             return csi_result
 
@@ -101,23 +112,14 @@ class FusedTracker:
         fused = TrackingResult()
         for estimate in csi_result.estimates:
             k = int(np.searchsorted(frame_times, estimate.time, side="right")) - 1
-            orientation = estimate.orientation
-            mode = estimate.mode
             if k >= 0 and estimate.time - frame_times[k] <= self._config.max_frame_age_s:
                 orientation = (
                     weight_csi * estimate.orientation + weight_cam * frame_values[k]
                 ) / (weight_csi + weight_cam)
-                mode = "fused"
-            fused.estimates.append(
-                Estimate(
-                    time=estimate.time,
-                    target_time=estimate.target_time,
-                    orientation=float(orientation),
-                    mode=mode,
-                    position_index=estimate.position_index,
-                    dtw_distance=estimate.dtw_distance,
+                estimate = replace(
+                    estimate, orientation=float(orientation), mode="fused"
                 )
-            )
+            fused.estimates.append(estimate)
         return fused
 
     def camera_frames_used(self, duration_s: float) -> float:

@@ -11,26 +11,113 @@ interface:
         ...
     estimate = tracker.estimate()           # whenever the HUD needs one
 
-State is identical to the batch tracker's (same position estimator, same
-matcher, same stationary/continuity logic); the difference is purely that
-samples arrive incrementally and old ones are evicted from a bounded
-ring buffer.  ``tests/core/test_online.py`` pins the equivalence against
-the batch tracker.
+It drives the same :class:`repro.core.engine.EstimationEngine` as the
+batch tracker (same stages, same session state); the difference is purely
+that samples arrive incrementally into preallocated numpy ring buffers
+and old ones are evicted past the retention horizon.  ``estimate()``
+hands the engine zero-copy views of the live region, so its cost depends
+on the buffer span, never on how long the session has been running.
+``tests/core/test_online.py`` pins the equivalence against the batch
+tracker.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 
 from repro.core.config import ViHOTConfig
+from repro.core.engine import EstimationEngine, SessionState
 from repro.core.profile import CsiProfile
 from repro.core.sanitize import antenna_phase_difference
-from repro.core.tracker import Estimate, ViHOTTracker
-from repro.dsp.phase import wrap_phase
+from repro.core.stages import Estimate
 from repro.dsp.series import TimeSeries
 from repro.net.link import CsiStream
+
+
+class SampleRing:
+    """A preallocated, time-ordered ring of ``(time, value)`` samples.
+
+    The live region is kept *contiguous*: appends write at the tail,
+    eviction advances the head, and when the tail hits the capacity the
+    live region is compacted to the front (or the arrays doubled if the
+    region still fills more than half the capacity).  Both operations
+    are amortised O(1) per sample, and :meth:`times` / :meth:`values`
+    are zero-copy views — no per-read array rebuild, which is what keeps
+    ``OnlineTracker.estimate()`` flat in session length.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 2:
+            raise ValueError(f"capacity must be >= 2, got {capacity}")
+        self._times = np.empty(capacity, dtype=np.float64)
+        self._values = np.empty(capacity, dtype=np.float64)
+        self._head = 0
+        self._tail = 0
+
+    def __len__(self) -> int:
+        return self._tail - self._head
+
+    @property
+    def capacity(self) -> int:
+        return len(self._times)
+
+    @property
+    def first_time(self) -> float:
+        if len(self) == 0:
+            raise ValueError("empty ring has no first time")
+        return float(self._times[self._head])
+
+    @property
+    def last_time(self) -> float:
+        if len(self) == 0:
+            raise ValueError("empty ring has no last time")
+        return float(self._times[self._tail - 1])
+
+    def times(self) -> np.ndarray:
+        """Zero-copy view of the live timestamps."""
+        return self._times[self._head : self._tail]
+
+    def values(self) -> np.ndarray:
+        """Zero-copy view of the live values."""
+        return self._values[self._head : self._tail]
+
+    def series(self) -> TimeSeries:
+        """The live region as a :class:`TimeSeries` (views, no copy)."""
+        return TimeSeries(self.times(), self.values())
+
+    def append(self, time: float, value: float) -> None:
+        """Append one sample; ``time`` must exceed the last timestamp."""
+        if self._tail == self.capacity:
+            self._make_room()
+        self._times[self._tail] = time
+        self._values[self._tail] = value
+        self._tail += 1
+
+    def evict_before(self, horizon: float) -> int:
+        """Drop samples with ``time < horizon``; returns how many."""
+        live = self.times()
+        drop = int(np.searchsorted(live, horizon, side="left"))
+        self._head += drop
+        return drop
+
+    def _make_room(self) -> None:
+        live = len(self)
+        if live > self.capacity // 2:
+            # Still mostly full after eviction: double the capacity.
+            grown_times = np.empty(2 * self.capacity, dtype=np.float64)
+            grown_values = np.empty(2 * self.capacity, dtype=np.float64)
+            grown_times[:live] = self.times()
+            grown_values[:live] = self.values()
+            self._times = grown_times
+            self._values = grown_values
+        else:
+            # Compact the (evicted-down) live region to the front.
+            self._times[:live] = self.times()
+            self._values[:live] = self.values()
+        self._head = 0
+        self._tail = live
 
 
 class OnlineTracker:
@@ -58,31 +145,41 @@ class OnlineTracker:
                 f"buffer_s={buffer_s} too small; need >= {needed:.1f}s for "
                 "the configured stability/match windows"
             )
-        self._batch = ViHOTTracker(profile, config, camera=camera)
+        self._engine = EstimationEngine(profile, config, camera=camera)
         self._config = config
         self._buffer_s = buffer_s
 
-        self._phase_times: List[float] = []
-        self._phase_values: List[float] = []
+        self._phase = SampleRing()
         self._last_wrapped: Optional[float] = None
         self._unwrap_offset = 0.0
 
-        self._imu_times: List[float] = []
-        self._imu_values: List[float] = []
+        self._imu = SampleRing()
 
-        self._position = None  # created lazily on first estimate
-        self._previous: Optional[Estimate] = None
-        self._last_confident: Optional[float] = None
+        self._state: SessionState = self._engine.new_session()
 
     @property
     def config(self) -> ViHOTConfig:
         return self._config
 
     @property
+    def engine(self) -> EstimationEngine:
+        """The shared stage-based estimation engine."""
+        return self._engine
+
+    @property
+    def buffered_samples(self) -> int:
+        """How many CSI phase samples are currently retained."""
+        return len(self._phase)
+
+    @property
     def buffered_seconds(self) -> float:
-        if len(self._phase_times) < 2:
+        if len(self._phase) < 2:
             return 0.0
-        return self._phase_times[-1] - self._phase_times[0]
+        return self._phase.last_time - self._phase.first_time
+
+    def phase_series(self) -> TimeSeries:
+        """The buffered (unwrapped) phase track as a zero-copy view."""
+        return self._phase.series()
 
     # ------------------------------------------------------------------
     # Ingest
@@ -92,7 +189,7 @@ class OnlineTracker:
         csi = np.asarray(csi)
         if csi.ndim != 2:
             raise ValueError(f"per-packet CSI must be (n_rx, F), got {csi.shape}")
-        if self._phase_times and time <= self._phase_times[-1]:
+        if len(self._phase) and time <= self._phase.last_time:
             # Reordered/duplicate packet: the NIC timestamps are our
             # clock, so a non-increasing arrival is dropped.
             return
@@ -105,31 +202,19 @@ class OnlineTracker:
             elif delta < -np.pi:
                 self._unwrap_offset += 2.0 * np.pi
         self._last_wrapped = wrapped
-        self._phase_times.append(float(time))
-        self._phase_values.append(wrapped + self._unwrap_offset)
+        self._phase.append(float(time), wrapped + self._unwrap_offset)
         self._evict(time)
 
     def push_imu(self, time: float, yaw_rate: float) -> None:
         """Ingest one phone gyro reading."""
-        if self._imu_times and time <= self._imu_times[-1]:
+        if len(self._imu) and time <= self._imu.last_time:
             return
-        self._imu_times.append(float(time))
-        self._imu_values.append(float(yaw_rate))
+        self._imu.append(float(time), float(yaw_rate))
 
     def _evict(self, now: float) -> None:
         horizon = now - self._buffer_s
-        drop = 0
-        while drop < len(self._phase_times) and self._phase_times[drop] < horizon:
-            drop += 1
-        if drop:
-            del self._phase_times[:drop]
-            del self._phase_values[:drop]
-        drop = 0
-        while drop < len(self._imu_times) and self._imu_times[drop] < horizon:
-            drop += 1
-        if drop:
-            del self._imu_times[:drop]
-            del self._imu_values[:drop]
+        self._phase.evict_before(horizon)
+        self._imu.evict_before(horizon)
 
     # ------------------------------------------------------------------
     # Estimate
@@ -145,44 +230,16 @@ class OnlineTracker:
         Returns ``None`` until :meth:`ready` (Alg. 1's setup time) or if
         no estimate can be formed at ``t``.
         """
-        if not self._phase_times:
+        if len(self._phase) == 0:
             return None
         if t is None:
-            t = self._phase_times[-1]
+            t = self._phase.last_time
         if not self.ready():
             return None
-
-        from repro.core.position import PositionEstimator
-
-        if self._position is None:
-            self._position = PositionEstimator(
-                self._batch.profile,
-                window_s=self._config.stable_window_s,
-                std_threshold_rad=self._config.stable_std_rad,
-            )
-
-        phase = TimeSeries(
-            np.asarray(self._phase_times), np.asarray(self._phase_values)
+        imu = self._imu.series() if len(self._imu) else None
+        return self._engine.estimate_at(
+            self._phase.series(), imu, float(t), self._state
         )
-        imu = None
-        if self._imu_times:
-            imu = TimeSeries(np.asarray(self._imu_times), np.asarray(self._imu_values))
-        stream = _StreamView(imu)
-
-        estimate = self._batch._estimate_once(
-            phase,
-            stream,
-            self._position,
-            float(t),
-            len(self._batch.profile) // 2,
-            self._previous,
-            self._last_confident,
-        )
-        if estimate is not None:
-            self._previous = estimate
-            if estimate.mode in ("csi", "fallback"):
-                self._last_confident = estimate.time
-        return estimate
 
     # ------------------------------------------------------------------
     # Convenience
@@ -215,10 +272,3 @@ class OnlineTracker:
                 next_estimate += estimate_stride_s
                 if estimate is not None:
                     yield estimate
-
-
-class _StreamView:
-    """Duck-typed stand-in for CsiStream inside _estimate_once."""
-
-    def __init__(self, imu: Optional[TimeSeries]) -> None:
-        self.imu = imu

@@ -11,8 +11,6 @@ driver's ``CsiProfile``.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro import constants

@@ -1,18 +1,25 @@
-"""The ViHOT run-time pipeline (Fig. 4, right half).
+"""The ViHOT batch frontend (Fig. 4, right half).
 
-``ViHOTTracker`` wires the pieces together.  Per estimate time ``t``:
+``ViHOTTracker`` is the whole-capture frontend over the shared
+:class:`repro.core.engine.EstimationEngine`: it sanitises a logged
+session once and walks the engine's decision chain at a fixed stride.
+Per estimate time ``t`` the engine runs (see :mod:`repro.core.stages`):
 
-1. **Sanitise** the capture into the phase track ``phi(t)`` (Sec. 3.2).
-2. **Position** — keep the head-position estimate ``i*`` fresh from
+1. **Position** — keep the head-position estimate ``i*`` fresh from
    stable facing-front intervals (Sec. 3.4.1).
-3. **Steering check** — if the phone IMU says the car is turning, the CSI
+2. **Steering check** — if the phone IMU says the car is turning, the CSI
    is steering-polluted: fall back to the camera (when available) or hold
    the last estimate (Sec. 3.6.2).
+3. **Stability fix / stationary rule** — facing-front and flat-window
+   short circuits.
 4. **Match** the windowed phase series in ``C_{i*}`` with DTW (Alg. 1)
    and read the orientation — or, with a nonzero horizon, **forecast**
    via Eq. (6).
 5. **Jump filter** — reject estimates implying an impossible head speed
    (bursty lane-keeping corrections, Sec. 3.6).
+
+The streaming (``OnlineTracker``) and fused (``FusedTracker``) frontends
+drive the very same engine; they differ only in how the context is fed.
 """
 
 from __future__ import annotations
@@ -23,44 +30,19 @@ from typing import List, Optional
 import numpy as np
 
 from repro.core.config import ViHOTConfig
-from repro.core.forecast import forecast_orientation
-from repro.core.matching import SeriesMatcher
-from repro.core.position import PositionEstimator
+from repro.core.engine import EstimationEngine
 from repro.core.profile import CsiProfile
-from repro.core.sanitize import sanitize_stream
-from repro.core.steering_id import SteeringIdentifier
-from repro.dsp.phase import phase_std, wrap_phase
-from repro.dsp.resample import resample_uniform
+from repro.core.stages import Estimate, EstimationTrace, StageTrace
 from repro.dsp.series import TimeSeries
 from repro.net.link import CsiStream
 
-
-@dataclass(frozen=True)
-class Estimate:
-    """One tracker output.
-
-    Attributes:
-        time: when the estimate was produced [s].
-        target_time: the instant the orientation refers to (``time`` for
-            tracking, ``time + horizon`` for forecasting).
-        orientation: estimated head yaw [rad].
-        mode: ``"csi"`` (DTW match or a facing-front stability fix),
-            ``"stationary"`` (flat window — head not moving, previous
-            estimate re-issued), ``"fallback"`` (camera), ``"held"``
-            (jump-filtered or no data) or ``"init"`` (before the first
-            position fix; matched against the default position).
-        position_index: head-position index used for the match (-1 when
-            not applicable).
-        dtw_distance: winning DTW distance (NaN unless mode involves a
-            match).
-    """
-
-    time: float
-    target_time: float
-    orientation: float
-    mode: str
-    position_index: int = -1
-    dtw_distance: float = float("nan")
+__all__ = [
+    "Estimate",
+    "EstimationTrace",
+    "StageTrace",
+    "TrackingResult",
+    "ViHOTTracker",
+]
 
 
 @dataclass
@@ -115,50 +97,20 @@ class ViHOTTracker:
                 as the steering fallback (Sec. 3.6.2); without one the
                 tracker holds its last estimate through steering events.
         """
-        self._profile = profile
-        self._config = config
-        self._camera = camera
-        self._matcher = SeriesMatcher(profile, config)
-        self._steering = SteeringIdentifier(
-            rate_threshold=config.steering_rate_threshold
-        )
+        self._engine = EstimationEngine(profile, config, camera=camera)
 
     @property
     def config(self) -> ViHOTConfig:
-        return self._config
+        return self._engine.config
 
     @property
     def profile(self) -> CsiProfile:
-        return self._profile
+        return self._engine.profile
 
-    def _match_window(
-        self,
-        phase: TimeSeries,
-        t: float,
-        position_index: int,
-        previous: Optional["Estimate"],
-        last_confident_time: Optional[float],
-    ):
-        """Resample the window ending at ``t`` and run Alg. 1."""
-        config = self._config
-        window = phase.slice(t - config.window_s, t)
-        if len(window) < 2 or window.duration < 0.5 * config.window_s:
-            return None
-        uniform = resample_uniform(window, config.resample_rate_hz)
-        query = wrap_phase(np.asarray(uniform.values))
-        if len(query) < 2:
-            return None
-        center = None
-        tolerance = float("inf")
-        if previous is not None and previous.mode != "init":
-            # The continuity window grows with the time since the last
-            # *confident* estimate: stationary/held estimates re-issue an
-            # old value, and meanwhile the head may have kept moving.
-            since = last_confident_time if last_confident_time is not None else previous.time
-            dt = max(t - since, 0.0)
-            center = previous.orientation
-            tolerance = config.max_head_rate * dt + config.continuity_margin
-        return self._matcher.match(query, position_index, center, tolerance)
+    @property
+    def engine(self) -> EstimationEngine:
+        """The shared stage-based estimation engine."""
+        return self._engine
 
     def process(
         self,
@@ -175,122 +127,8 @@ class ViHOTTracker:
                 stability window after the capture start (Alg. 1 line 1's
                 setup time).
         """
-        if estimate_stride_s <= 0:
-            raise ValueError("estimate_stride_s must be positive")
-        config = self._config
-        phase = sanitize_stream(stream.times, stream.csi)
-        position = PositionEstimator(
-            self._profile,
-            window_s=config.stable_window_s,
-            std_threshold_rad=config.stable_std_rad,
-        )
-
-        if t_start is None:
-            t_start = phase.start + max(config.window_s, config.stable_window_s)
-        default_position = len(self._profile) // 2
-
-        result = TrackingResult()
-        previous: Optional[Estimate] = None
-        last_confident: Optional[float] = None
-        t = float(t_start)
-        while t <= phase.end + 1e-9:
-            estimate = self._estimate_once(
-                phase, stream, position, t, default_position, previous, last_confident
+        return TrackingResult(
+            self._engine.track_stream(
+                stream, estimate_stride_s=estimate_stride_s, t_start=t_start
             )
-            if estimate is not None:
-                result.estimates.append(estimate)
-                previous = estimate
-                if estimate.mode in ("csi", "fallback"):
-                    last_confident = estimate.time
-            t += estimate_stride_s
-        return result
-
-    def _estimate_once(
-        self,
-        phase: TimeSeries,
-        stream: CsiStream,
-        position: PositionEstimator,
-        t: float,
-        default_position: int,
-        previous: Optional[Estimate],
-        last_confident_time: Optional[float] = None,
-    ) -> Optional[Estimate]:
-        config = self._config
-        position_index = position.update(phase, t)
-        mode_prefix = "csi"
-        if position_index is None:
-            position_index = default_position
-            mode_prefix = "init"
-
-        # Steering check: distrust CSI while the car is turning.
-        if stream.imu is not None and self._steering.is_steering(stream.imu, t):
-            if self._camera is not None:
-                yaw = float(self._camera.estimate_at(t))
-                return Estimate(t, t + config.horizon_s, yaw, "fallback")
-            if previous is not None:
-                return Estimate(
-                    t, t + config.horizon_s, previous.orientation, "held"
-                )
-            return None
-
-        # A *current* stability fix pins the orientation to 0 degrees
-        # (Sec. 3.4.1: stable phase <=> driver facing front).
-        if position.last_fix_time is not None and position.last_fix_time == t:
-            return Estimate(
-                t, t + config.horizon_s, 0.0, "csi", position_index
-            )
-
-        # Flat-but-short window: the head is not moving, so the previous
-        # estimate still holds; a shape-less window would make DTW pick an
-        # arbitrary equal-phase profile sample (see ViHOTConfig).
-        window = phase.slice(t - config.window_s, t)
-        if previous is not None and len(window) >= 5:
-            flatness = phase_std(wrap_phase(np.asarray(window.values)))
-            if flatness < config.stationary_std_rad:
-                return Estimate(
-                    t,
-                    t + config.horizon_s,
-                    previous.orientation,
-                    "stationary",
-                    position_index,
-                )
-
-        match = self._match_window(
-            phase, t, position_index, previous, last_confident_time
-        )
-        if match is None:
-            if previous is None:
-                return None
-            return Estimate(t, t + config.horizon_s, previous.orientation, "held")
-
-        if config.horizon_s > 0:
-            orientation = forecast_orientation(self._profile, match, config.horizon_s)
-        else:
-            orientation = match.orientation
-
-        # Jump filter: heads cannot teleport (Sec. 3.6).
-        if (
-            config.horizon_s == 0
-            and previous is not None
-            and previous.mode in ("csi", "held", "fallback")
-        ):
-            dt = t - previous.time
-            if dt > 0:
-                implied_rate = abs(orientation - previous.orientation) / dt
-                if implied_rate > config.max_head_rate:
-                    return Estimate(
-                        t,
-                        t + config.horizon_s,
-                        previous.orientation,
-                        "held",
-                        match.position_index,
-                        match.distance,
-                    )
-        return Estimate(
-            t,
-            t + config.horizon_s,
-            orientation,
-            mode_prefix,
-            match.position_index,
-            match.distance,
         )

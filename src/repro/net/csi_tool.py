@@ -10,7 +10,7 @@ same dynamic-range limits as the hardware's.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 import numpy as np

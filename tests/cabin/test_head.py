@@ -15,9 +15,9 @@ def test_facing_convention():
 
 def test_lateral_orthogonal_to_facing():
     for yaw in np.linspace(-np.pi, np.pi, 9):
-        f = facing_direction(yaw)
-        l = lateral_direction(yaw)
-        assert abs(np.dot(f, l)) < 1e-12
+        facing = facing_direction(yaw)
+        lateral = lateral_direction(yaw)
+        assert abs(np.dot(facing, lateral)) < 1e-12
 
 
 def test_depth_profile_nose_forward():

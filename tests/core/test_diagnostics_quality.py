@@ -3,10 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.core import ViHOTConfig, ViHOTTracker
+from repro.core import ViHOTTracker
 from repro.core.diagnostics import (
     DiagnosticThresholds,
-    TrackingHealth,
     diagnose,
     should_reprofile,
 )

@@ -1,0 +1,172 @@
+"""Estimation-engine tests: stage order, traces, terminal-stage mapping."""
+
+import numpy as np
+import pytest
+
+from repro.core import ViHOTConfig, ViHOTTracker, diagnose
+from repro.core.engine import EstimationEngine
+
+#: The decision chain's canonical order (Secs. 3.4-3.6).
+CHAIN = (
+    "position",
+    "steering",
+    "stability_fix",
+    "stationary",
+    "match",
+    "forecast",
+    "jump_filter",
+    "emit",
+)
+
+#: Every mode maps to exactly one terminal stage.
+MODE_TERMINAL = {
+    "csi": "emit",
+    "init": "emit",
+    "stationary": "stationary",
+    "fallback": "steering",
+    "held": "hold",
+}
+
+
+@pytest.fixture(scope="module")
+def tracked(small_profile, runtime_stream):
+    stream, scene = runtime_stream
+    result = ViHOTTracker(small_profile, ViHOTConfig()).process(
+        stream, estimate_stride_s=0.1
+    )
+    assert len(result) > 30
+    return result, stream
+
+
+def test_stage_order_is_pinned(small_profile):
+    engine = EstimationEngine(small_profile)
+    assert engine.stage_names == CHAIN
+    assert engine.hold_stage_name == "hold"
+
+
+def test_every_estimate_carries_a_trace(tracked):
+    result, _stream = tracked
+    for estimate in result.estimates:
+        assert estimate.trace is not None
+        assert len(estimate.trace.stages) >= 1
+        assert all(t.elapsed_ms >= 0.0 for t in estimate.trace.stages)
+
+
+def test_traces_follow_chain_order(tracked):
+    """Each trace's stage sequence is an in-order subsequence of the chain
+    (plus the off-chain hold terminal), starting at the position stage."""
+    result, _stream = tracked
+    order = {name: k for k, name in enumerate(CHAIN)}
+    for estimate in result.estimates:
+        names = estimate.trace.stage_names
+        assert names[0] == "position"
+        on_chain = [n for n in names if n != "hold"]
+        indices = [order[n] for n in on_chain]
+        assert indices == sorted(indices)
+        if "hold" in names:
+            assert names[-1] == "hold"
+
+
+def test_mode_maps_to_exactly_one_terminal_stage(tracked):
+    result, _stream = tracked
+    for estimate in result.estimates:
+        assert estimate.trace.terminal == MODE_TERMINAL[estimate.mode]
+        # The terminal stage is the last one that ran.
+        assert estimate.trace.stage_names[-1] == estimate.trace.terminal
+
+
+def test_emitted_mode_is_the_position_stage_regime(tracked):
+    """The init/csi regime decided by the position stage propagates to the
+    output mode for every emit-terminal estimate — including stability
+    fixes, which used to hardcode "csi"."""
+    result, _stream = tracked
+    for estimate in result.estimates:
+        if estimate.trace.terminal != "emit":
+            continue
+        position = estimate.trace.stage("position")
+        assert estimate.mode == position.detail["regime"]
+
+
+def test_stability_fix_resolves_through_emit(tracked):
+    result, _stream = tracked
+    fixed = [e for e in result.estimates if e.trace.fired("stability_fix")]
+    assert fixed, "session never hit a facing-front stability fix"
+    for estimate in fixed:
+        assert estimate.trace.terminal == "emit"
+        assert estimate.orientation == 0.0
+        # The fix skips the stationary/match stages entirely.
+        assert estimate.trace.stage("match") is None
+
+
+def test_match_detail_records_key_quantities(tracked):
+    result, _stream = tracked
+    matched = [
+        e
+        for e in result.estimates
+        if e.trace.stage("match") is not None and e.trace.fired("match")
+    ]
+    assert matched
+    for estimate in matched:
+        detail = estimate.trace.stage("match").detail
+        assert np.isfinite(detail["distance"])
+        assert detail["tolerance_rad"] > 0.0
+    # Emit-terminal matches surface the winning distance on the estimate.
+    for estimate in matched:
+        if estimate.trace.terminal == "emit":
+            assert estimate.dtw_distance == estimate.trace.stage("match").detail["distance"]
+
+
+def test_batch_tracker_is_engine_track_stream(small_profile, runtime_stream):
+    """ViHOTTracker.process is a thin wrapper — outputs are bit-identical."""
+    stream, _scene = runtime_stream
+    via_tracker = ViHOTTracker(small_profile).process(stream, estimate_stride_s=0.1)
+    via_engine = EstimationEngine(small_profile).track_stream(
+        stream, estimate_stride_s=0.1
+    )
+    assert len(via_tracker) == len(via_engine)
+    np.testing.assert_array_equal(
+        via_tracker.orientations, np.array([e.orientation for e in via_engine])
+    )
+    assert via_tracker.modes == [e.mode for e in via_engine]
+
+
+def test_forecast_stage_fires_only_with_horizon(small_profile, runtime_stream):
+    stream, _scene = runtime_stream
+    result = ViHOTTracker(small_profile, ViHOTConfig(horizon_s=0.2)).process(
+        stream, estimate_stride_s=0.25
+    )
+    forecasted = [e for e in result.estimates if e.trace.stage("forecast") is not None]
+    assert forecasted
+    assert all(e.trace.fired("forecast") for e in forecasted)
+    # With a horizon, the jump filter never fires (it only guards tracking).
+    assert not any(e.trace.fired("jump_filter") for e in result.estimates)
+
+
+def test_diagnose_reports_stage_stats(tracked):
+    result, stream = tracked
+    health = diagnose(result, stream)
+    names = [stats.stage for stats in health.stage_stats]
+    assert names[0] == "position"
+    assert set(names) <= set(CHAIN) | {"hold"}
+
+    position = health.stage("position")
+    assert position.evaluated == len(result)
+    assert position.terminal == 0
+    for stats in health.stage_stats:
+        assert stats.p50_ms <= stats.p90_ms
+        assert stats.fired <= stats.evaluated
+        assert str(stats)
+
+    # Terminal counts partition the session's estimates.
+    assert sum(s.terminal for s in health.stage_stats) == len(result)
+    assert health.stage_report()
+
+
+def test_manual_estimates_have_no_stage_stats():
+    from repro.core.tracker import Estimate, TrackingResult
+
+    result = TrackingResult([Estimate(0.0, 0.0, 0.1, "csi")])
+    health = diagnose(result)
+    assert health.stage_stats == ()
+    assert health.stage("position") is None
+    assert health.stage_report() == ""

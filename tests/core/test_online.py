@@ -4,7 +4,11 @@ import numpy as np
 import pytest
 
 from repro.core import ViHOTConfig, ViHOTTracker
-from repro.core.online import OnlineTracker
+from repro.core.online import OnlineTracker, SampleRing
+from repro.experiments.scenarios import Scenario
+from repro.sensors.camera import CameraTracker
+
+from tests.conftest import SMALL
 
 
 def test_buffer_too_small_rejected(small_profile):
@@ -27,7 +31,7 @@ def test_reordered_packets_dropped(small_profile, runtime_stream):
     online.push_csi(1.0, stream.csi[0])
     online.push_csi(0.5, stream.csi[1])  # late packet: dropped
     online.push_csi(1.5, stream.csi[2])
-    assert len(online._phase_times) == 2
+    assert online.buffered_samples == 2
 
 
 def test_buffer_eviction(small_profile, runtime_stream):
@@ -50,8 +54,14 @@ def test_streaming_tracks_accurately(small_profile, runtime_stream):
     assert np.median(err[times > 2.5]) < 10.0
 
 
+def _median_err(scene, times, values):
+    truth = scene.driver_yaw(times)
+    err = np.abs(np.rad2deg(values - truth))
+    return float(np.median(err[times > 2.5]))
+
+
 def test_streaming_close_to_batch(small_profile, runtime_stream):
-    """Online and batch trackers share logic; their error levels match.
+    """Online and batch trackers share the engine; error levels match.
 
     (Exact estimate-by-estimate equality is not required — estimate
     timestamps differ because the online path aligns them to packet
@@ -61,17 +71,69 @@ def test_streaming_close_to_batch(small_profile, runtime_stream):
     online = OnlineTracker(small_profile)
     streamed = list(online.feed(stream, estimate_stride_s=0.1))
 
-    def median_err(times, values):
-        truth = scene.driver_yaw(times)
-        err = np.abs(np.rad2deg(values - truth))
-        return float(np.median(err[times > 2.5]))
-
-    batch_err = median_err(batch.target_times, batch.orientations)
-    online_err = median_err(
+    batch_err = _median_err(scene, batch.target_times, batch.orientations)
+    online_err = _median_err(
+        scene,
         np.array([e.target_time for e in streamed]),
         np.array([e.orientation for e in streamed]),
     )
     assert abs(batch_err - online_err) < 3.0
+
+
+@pytest.fixture(scope="module")
+def steering_capture(small_profile):
+    """A run-time session with intersection turns (IMU side-channel on).
+
+    Reuses the session-scoped profile — profiling scenes never steer, so
+    the profile is the same world as the plain SMALL scenario's.
+    """
+    scenario = Scenario(SMALL.with_(steering="turns"))
+    stream, scene = scenario.runtime_capture(0)
+    assert stream.imu is not None
+    return stream, scene
+
+
+def test_streaming_close_to_batch_with_steering_and_camera(
+    small_profile, steering_capture
+):
+    """Batch/online equivalence through steering events with a camera.
+
+    Both frontends must route steering-polluted instants to the camera
+    fallback (Sec. 3.6.2) and agree on overall error.  Separate camera
+    instances with identical seeds keep the two runs' frame noise
+    streams independent of each other's call pattern.
+    """
+    stream, scene = steering_capture
+    batch_camera = CameraTracker(scene, rng=np.random.default_rng(42))
+    online_camera = CameraTracker(scene, rng=np.random.default_rng(42))
+
+    batch = ViHOTTracker(small_profile, camera=batch_camera).process(
+        stream, estimate_stride_s=0.1
+    )
+    online = OnlineTracker(small_profile, camera=online_camera)
+    streamed = list(online.feed(stream, estimate_stride_s=0.1))
+
+    assert "fallback" in batch.modes
+    assert "fallback" in [e.mode for e in streamed]
+
+    batch_err = _median_err(scene, batch.target_times, batch.orientations)
+    online_err = _median_err(
+        scene,
+        np.array([e.target_time for e in streamed]),
+        np.array([e.orientation for e in streamed]),
+    )
+    assert batch_err < 12.0
+    assert abs(batch_err - online_err) < 3.0
+
+
+def test_steering_holds_without_camera(small_profile, steering_capture):
+    """Without a camera, steering instants hold the previous estimate."""
+    stream, _scene = steering_capture
+    online = OnlineTracker(small_profile)
+    streamed = list(online.feed(stream, estimate_stride_s=0.1))
+    modes = {e.mode for e in streamed}
+    assert "fallback" not in modes
+    assert "held" in modes
 
 
 def test_incremental_unwrap_matches_numpy(small_profile, runtime_stream):
@@ -83,7 +145,7 @@ def test_incremental_unwrap_matches_numpy(small_profile, runtime_stream):
     from repro.core.sanitize import sanitize_stream
 
     reference = sanitize_stream(stream.times[:n], stream.csi[:n])
-    ours = np.asarray(online._phase_values)
+    ours = np.asarray(online.phase_series().values)
     # Same shape up to a constant 2*pi multiple.
     delta = ours - np.asarray(reference.values)
     np.testing.assert_allclose(delta, delta[0], atol=1e-9)
@@ -93,3 +155,35 @@ def test_push_csi_shape_validation(small_profile):
     online = OnlineTracker(small_profile)
     with pytest.raises(ValueError):
         online.push_csi(0.0, np.zeros(30))
+
+
+# ----------------------------------------------------------------- ring
+def test_ring_grows_and_stays_ordered():
+    ring = SampleRing(capacity=4)
+    for k in range(100):
+        ring.append(0.01 * k, float(k))
+    assert len(ring) == 100
+    np.testing.assert_allclose(np.diff(ring.times()), 0.01, atol=1e-12)
+    np.testing.assert_allclose(ring.values(), np.arange(100.0))
+
+
+def test_ring_eviction_then_compaction_reuses_capacity():
+    ring = SampleRing(capacity=64)
+    for k in range(10_000):
+        ring.append(0.01 * k, float(k))
+        ring.evict_before(0.01 * k - 0.3)  # keep ~30 live samples
+    assert len(ring) <= 32
+    # Amortised reuse: the buffer never needed to grow for a bounded span.
+    assert ring.capacity == 64
+    assert ring.first_time >= 0.01 * 9_999 - 0.3 - 1e-9
+    assert ring.last_time == pytest.approx(0.01 * 9_999)
+
+
+def test_ring_views_are_zero_copy():
+    ring = SampleRing(capacity=16)
+    for k in range(8):
+        ring.append(float(k), float(k))
+    times = ring.times()
+    assert times.base is not None  # a view, not a fresh array
+    series = ring.series()
+    assert np.shares_memory(series.values, ring.values())

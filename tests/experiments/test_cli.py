@@ -1,6 +1,5 @@
 """CLI tests: every subcommand, end to end on temporary files."""
 
-import numpy as np
 import pytest
 
 from repro.cli import FIGURES, build_parser, main

@@ -5,7 +5,6 @@ import pytest
 
 from repro.experiments.scenarios import (
     DRIVERS,
-    Scenario,
     ScenarioConfig,
     build_scenario,
 )

@@ -1,6 +1,5 @@
 """Cross-condition integration tests: presets, bands, fused systems."""
 
-import numpy as np
 import pytest
 
 from repro.core import ViHOTConfig, ViHOTTracker, diagnose

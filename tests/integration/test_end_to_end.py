@@ -1,7 +1,6 @@
 """End-to-end integration tests: profile -> track -> evaluate."""
 
 import numpy as np
-import pytest
 
 from repro import (
     CsiProfile,

@@ -1,9 +1,8 @@
 """Failure injection and robustness tests."""
 
 import numpy as np
-import pytest
 
-from repro.core import ViHOTConfig, ViHOTTracker
+from repro.core import ViHOTTracker
 from repro.core.profile import CsiProfile
 from repro.core.profiling import build_position_profile
 from repro.dsp.series import TimeSeries
@@ -94,7 +93,6 @@ def test_profile_with_narrow_coverage_clamps(small_scenario):
     """A profile that never saw beyond +-30 deg cannot output +-80, but
 
     must not crash when the runtime head goes there."""
-    config = small_scenario.config
     from repro.experiments.scenarios import build_scenario
 
     narrow = build_scenario(

@@ -55,7 +55,6 @@ def test_night_worse_than_day():
     scene = scanning_scene()
     day = CameraTracker(scene, CameraConfig(light_level=1.0), rng=np.random.default_rng(3))
     night = CameraTracker(scene, CameraConfig(light_level=0.2), rng=np.random.default_rng(3))
-    t = np.linspace(0, 20, 10)
     day_err = np.abs(np.asarray(day.yaw_stream(0, 20).values) - scene.driver_yaw(day.yaw_stream(0, 20).times))
     night_stream = night.yaw_stream(0, 20)
     night_err = np.abs(np.asarray(night_stream.values) - scene.driver_yaw(night_stream.times))
