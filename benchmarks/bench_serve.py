@@ -1,0 +1,90 @@
+"""Serving-layer throughput: sessions x packets/s through the manager.
+
+Drives a fleet of synthetic cabins through ``repro.serve`` (batched
+ingestion -> budgeted round-robin scheduling -> metrics) and reports the
+aggregate packet throughput and estimate latency percentiles.  The run
+also verifies the layer's core contract end-to-end: estimates served
+through the manager are bit-identical to a standalone ``OnlineTracker``
+fed the same packets, and the default queue depth sheds nothing at the
+acceptance fleet size (50 concurrent sessions).
+
+Run as a script for the JSON perf artefact CI accumulates::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke --json BENCH_serve.json
+
+or under pytest (the smoke-scale assertions)::
+
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_serve.py
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Smoke scale: CI-fast but still at the 50-session acceptance floor.
+SMOKE = dict(num_sessions=50, duration_s=3.0, rate_hz=100.0, verify_sessions=2)
+#: Full scale: what the README quotes.
+FULL = dict(num_sessions=100, duration_s=8.0, rate_hz=200.0, verify_sessions=3)
+
+
+def run(scale: dict, seed: int = 0):
+    from repro.serve import run_load
+
+    return run_load(seed=seed, **scale)
+
+
+def test_serve_smoke(capsys):
+    """50 concurrent sessions: zero drops, bit-identical to standalone."""
+    result = run(SMOKE)
+    with capsys.disabled():
+        print()
+        print("serve-bench (smoke scale)")
+        print(f"  {result.summary()}")
+    assert result.sessions >= 50
+    assert result.drops == 0
+    assert result.bit_identical
+    assert result.estimates > 0
+    # The metrics line must carry the acceptance signals.
+    for needle in ("sessions_live=", "packets_ingested=", "packets_dropped=",
+                   "estimate_latency_ms{p50="):
+        assert needle in result.metrics_line
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI-fast scale")
+    parser.add_argument("--sessions", type=int, default=None)
+    parser.add_argument("--duration", type=float, default=None)
+    parser.add_argument("--rate", type=float, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", default=None, help="write the result as JSON")
+    args = parser.parse_args(argv)
+
+    scale = dict(SMOKE if args.smoke else FULL)
+    if args.sessions is not None:
+        scale["num_sessions"] = args.sessions
+    if args.duration is not None:
+        scale["duration_s"] = args.duration
+    if args.rate is not None:
+        scale["rate_hz"] = args.rate
+
+    result = run(scale, seed=args.seed)
+    print(result.summary())
+    print(result.metrics_line)
+    if args.json:
+        payload = {"scale": "smoke" if args.smoke else "full", **result.as_dict()}
+        Path(args.json).write_text(json.dumps(payload, indent=2))
+        print(f"wrote {args.json}")
+    if not result.bit_identical:
+        print("FAIL: served estimates differ from standalone replay", file=sys.stderr)
+        return 1
+    if result.drops > 0:
+        print(f"FAIL: {result.drops} packets shed at default queue depth",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

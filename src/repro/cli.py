@@ -12,6 +12,9 @@ The workflows a user actually runs, end to end:
   rows (the same output as the corresponding benchmark).
 * ``vihot report`` — regenerate every figure at a chosen scale and write
   a combined text report.
+* ``vihot serve-bench`` — drive a fleet of simulated cabins through the
+  ``repro.serve`` session manager and report serving throughput,
+  scheduler behaviour and the bit-identical-to-standalone check.
 
 Everything is deterministic given ``--seed``.
 """
@@ -19,6 +22,7 @@ Everything is deterministic given ``--seed``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
@@ -218,6 +222,33 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_serve_bench(args) -> int:
+    from repro.serve import run_load
+
+    result = run_load(
+        num_sessions=args.sessions,
+        duration_s=args.duration,
+        rate_hz=args.rate,
+        tick_interval_s=args.tick / 1000.0,
+        stride_s=args.stride / 1000.0,
+        budget_s=args.budget / 1000.0,
+        queue_depth=args.queue_depth,
+        verify_sessions=args.verify,
+        seed=args.seed,
+    )
+    print(result.summary())
+    print(result.metrics_line)
+    if args.json:
+        Path(args.json).write_text(json.dumps(result.as_dict(), indent=2))
+        print(f"wrote {args.json}")
+    if not result.bit_identical:
+        print("FAIL: served estimates differ from standalone replay", file=sys.stderr)
+        return 1
+    if result.drops > 0:
+        print(f"WARN: {result.drops} packets shed by backpressure", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="vihot",
@@ -251,6 +282,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sessions", type=int, default=2)
     p.add_argument("--duration", type=float, default=12.0)
     p.set_defaults(func=cmd_figure)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="drive M simulated cabins through the serving layer",
+    )
+    p.add_argument("--sessions", type=int, default=50, help="concurrent cabins")
+    p.add_argument("--duration", type=float, default=4.0, help="stream seconds per cabin")
+    p.add_argument("--rate", type=float, default=200.0, help="per-cabin packet rate [Hz]")
+    p.add_argument("--tick", type=float, default=50.0, help="manager tick interval [ms]")
+    p.add_argument("--stride", type=float, default=250.0, help="estimate period [ms]")
+    p.add_argument("--budget", type=float, default=1000.0, help="scheduler budget per tick [ms]")
+    p.add_argument("--queue-depth", type=int, default=4096, help="ingest ring capacity")
+    p.add_argument("--verify", type=int, default=2,
+                   help="cabins replayed standalone for the bit-identical check")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", default=None, help="write the result dict as JSON")
+    p.set_defaults(func=cmd_serve_bench)
 
     p = sub.add_parser("report", help="regenerate all figures into a text report")
     p.add_argument("--seed", type=int, default=0)

@@ -19,10 +19,11 @@ from the steering stage" — not just that it did.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.stages import Estimate
 from repro.core.tracker import TrackingResult
 from repro.dsp.resample import largest_gap, mean_rate
 from repro.dsp.series import TimeSeries
@@ -61,19 +62,26 @@ class StageStats:
         )
 
 
-def aggregate_stage_traces(result: TrackingResult) -> Tuple[StageStats, ...]:
+def aggregate_stage_traces(
+    estimates: Union[TrackingResult, Iterable[Estimate]],
+) -> Tuple[StageStats, ...]:
     """Fold every estimate's stage trace into per-stage counters/timings.
 
-    Stages appear in first-execution order; estimates without a trace
-    (built outside the engine) are skipped.  Returns an empty tuple when
-    no estimate carries a trace.
+    Accepts a whole :class:`TrackingResult` or any iterable of
+    :class:`Estimate` (e.g. a served session's rolling history — the
+    export hook ``repro.serve`` metrics are built on).  Stages appear in
+    first-execution order; estimates without a trace (built outside the
+    engine) are skipped.  Returns an empty tuple when no estimate
+    carries a trace.
     """
+    if isinstance(estimates, TrackingResult):
+        estimates = estimates.estimates
     order: List[str] = []
     evaluated: Dict[str, int] = {}
     fired: Dict[str, int] = {}
     terminal: Dict[str, int] = {}
     timings: Dict[str, List[float]] = {}
-    for estimate in result.estimates:
+    for estimate in estimates:
         if estimate.trace is None:
             continue
         for trace in estimate.trace.stages:

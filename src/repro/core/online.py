@@ -186,6 +186,9 @@ class OnlineTracker:
     # ------------------------------------------------------------------
     def push_csi(self, time: float, csi: np.ndarray) -> None:
         """Ingest one packet's CSI matrix, shape ``(n_rx, F)``."""
+        time = float(time)
+        if not np.isfinite(time):
+            raise ValueError(f"packet timestamp must be finite, got {time}")
         csi = np.asarray(csi)
         if csi.ndim != 2:
             raise ValueError(f"per-packet CSI must be (n_rx, F), got {csi.shape}")
@@ -207,9 +210,15 @@ class OnlineTracker:
 
     def push_imu(self, time: float, yaw_rate: float) -> None:
         """Ingest one phone gyro reading."""
+        time = float(time)
+        yaw_rate = float(yaw_rate)
+        if not np.isfinite(time):
+            raise ValueError(f"IMU timestamp must be finite, got {time}")
+        if not np.isfinite(yaw_rate):
+            raise ValueError(f"IMU yaw rate must be finite, got {yaw_rate}")
         if len(self._imu) and time <= self._imu.last_time:
             return
-        self._imu.append(float(time), float(yaw_rate))
+        self._imu.append(time, yaw_rate)
 
     def _evict(self, now: float) -> None:
         horizon = now - self._buffer_s
@@ -254,14 +263,14 @@ class OnlineTracker:
             raise ValueError("estimate_stride_s must be positive")
         imu_iter = 0
         imu = stream.imu
+        imu_values = np.asarray(imu.values) if imu is not None else None
         next_estimate = None
         for k in range(len(stream)):
             t = float(stream.times[k])
             if imu is not None:
                 while imu_iter < len(imu) and imu.times[imu_iter] <= t:
                     self.push_imu(
-                        float(imu.times[imu_iter]),
-                        float(np.asarray(imu.values)[imu_iter]),
+                        float(imu.times[imu_iter]), float(imu_values[imu_iter])
                     )
                     imu_iter += 1
             self.push_csi(t, stream.csi[k])

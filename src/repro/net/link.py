@@ -60,6 +60,10 @@ class CsiStream:
 
     def slice(self, t_start: float, t_end: float) -> "CsiStream":
         """Sub-stream with ``t_start <= time <= t_end``."""
+        if t_start > t_end:
+            raise ValueError(
+                f"inverted slice interval: t_start={t_start} > t_end={t_end}"
+            )
         lo = int(np.searchsorted(self.times, t_start, side="left"))
         hi = int(np.searchsorted(self.times, t_end, side="right"))
         imu = self.imu.slice(t_start, t_end) if self.imu is not None else None

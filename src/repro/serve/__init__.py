@@ -1,0 +1,71 @@
+"""The multi-session tracking service layer.
+
+Everything below :mod:`repro.core` tracks *one* driver; this package is
+the layer a fleet backend (every vehicle its own WiFi cell) or a
+multi-headset bridge actually deploys: a
+:class:`~repro.serve.manager.SessionManager` multiplexing many
+:class:`~repro.core.online.OnlineTracker` sessions behind one batched
+ingestion queue, one budgeted round-robin estimate scheduler, and one
+metrics registry.
+
+    manager = SessionManager()
+    manager.open_session("car-17", fingerprint=fp, build_profile=build)
+    for packet in nic:
+        manager.ingest("car-17", packet.time, packet.csi)
+    manager.tick()                        # drain -> schedule -> evict
+    print(manager.estimates()["car-17"])  # latest Estimate
+    print(manager.render_metrics())       # one-line fleet health
+
+The serving layer adds routing, scheduling and observability — never
+tracking behaviour: a session's estimates are bit-identical to a
+standalone ``OnlineTracker`` fed the same packets.
+"""
+
+from repro.serve.ingest import IngestBatch, IngestQueue, IngestRecord
+from repro.serve.loadgen import LoadResult, SyntheticCabin, run_load
+from repro.serve.manager import (
+    ManagerTickReport,
+    ProfileCache,
+    SessionManager,
+    scenario_fingerprint,
+)
+from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.serve.scheduler import RoundRobinScheduler, ServedEstimate, TickReport
+from repro.serve.session import (
+    CREATED,
+    EVICTED,
+    IDLE,
+    LIFECYCLE,
+    LIVE,
+    PROFILED,
+    SessionStateError,
+    TrackedSession,
+)
+
+__all__ = [
+    "SessionManager",
+    "ManagerTickReport",
+    "ProfileCache",
+    "scenario_fingerprint",
+    "TrackedSession",
+    "SessionStateError",
+    "LIFECYCLE",
+    "CREATED",
+    "PROFILED",
+    "LIVE",
+    "IDLE",
+    "EVICTED",
+    "IngestQueue",
+    "IngestBatch",
+    "IngestRecord",
+    "RoundRobinScheduler",
+    "TickReport",
+    "ServedEstimate",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "run_load",
+    "LoadResult",
+    "SyntheticCabin",
+]

@@ -1,0 +1,133 @@
+"""Batched multi-session ingestion with bounded backpressure.
+
+The serving hot path is "N cabins × hundreds of CSI packets per second
+each".  Pushing every packet straight into its session's tracker from
+the network thread would interleave O(N) Python attribute lookups and
+state transitions with packet arrival; instead, arrivals land in one
+flat :class:`IngestQueue` — a preallocated ring of ``(session_id, time,
+csi)`` tuples, O(1) per packet, no dicts touched — and the manager
+drains them in :class:`IngestBatch` units once per scheduling tick.
+
+Backpressure is **drop-oldest**: when the ring is full the oldest
+queued packet is shed (and counted, per session and in total) so the
+freshest data always gets in.  For a tracker that is the right policy —
+a stale CSI packet that missed its scheduling window is worth strictly
+less than the one that just arrived — and it bounds memory at
+``depth`` records no matter how far ingest outruns scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+
+class IngestRecord(NamedTuple):
+    """One CSI packet addressed to one session."""
+
+    session_id: str
+    time: float
+    csi: np.ndarray
+
+
+class IngestBatch:
+    """An arrival-ordered batch drained from the queue."""
+
+    __slots__ = ("records",)
+
+    def __init__(self, records: Tuple[IngestRecord, ...]) -> None:
+        self.records = records
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def by_session(self) -> Dict[str, List[IngestRecord]]:
+        """Group the batch per session, preserving arrival order."""
+        groups: Dict[str, List[IngestRecord]] = {}
+        for record in self.records:
+            groups.setdefault(record.session_id, []).append(record)
+        return groups
+
+
+class IngestQueue:
+    """Bounded drop-oldest ring of :class:`IngestRecord`.
+
+    Args:
+        depth: maximum queued records.  At the default, one 50-session
+            fleet at 500 Hz can fall a full scheduling tick (~160 ms)
+            behind before anything is shed.
+    """
+
+    def __init__(self, depth: int = 4096) -> None:
+        if depth < 1:
+            raise ValueError(f"queue depth must be >= 1, got {depth}")
+        self._slots: List[Optional[IngestRecord]] = [None] * depth
+        self._head = 0
+        self._count = 0
+        self._pushed = 0
+        self._dropped = 0
+        self._dropped_by_session: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def depth(self) -> int:
+        return len(self._slots)
+
+    @property
+    def pushed_total(self) -> int:
+        """Packets ever offered to the queue (accepted or shed)."""
+        return self._pushed
+
+    @property
+    def dropped_total(self) -> int:
+        return self._dropped
+
+    @property
+    def dropped_by_session(self) -> Dict[str, int]:
+        """Per-session shed counts (only sessions that lost packets)."""
+        return dict(self._dropped_by_session)
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+    def push(self, session_id: str, time: float, csi: np.ndarray) -> bool:
+        """Enqueue one packet.  Returns ``False`` iff an old one was shed."""
+        self._pushed += 1
+        accepted = True
+        depth = len(self._slots)
+        if self._count == depth:
+            oldest = self._slots[self._head]
+            self._dropped += 1
+            self._dropped_by_session[oldest.session_id] = (
+                self._dropped_by_session.get(oldest.session_id, 0) + 1
+            )
+            self._head = (self._head + 1) % depth
+            self._count -= 1
+            accepted = False
+        self._slots[(self._head + self._count) % depth] = IngestRecord(
+            session_id, time, csi
+        )
+        self._count += 1
+        return accepted
+
+    def drain(self, max_records: Optional[int] = None) -> IngestBatch:
+        """Pop up to ``max_records`` (default: everything) in order."""
+        n = self._count if max_records is None else min(max_records, self._count)
+        depth = len(self._slots)
+        records = []
+        for k in range(n):
+            index = (self._head + k) % depth
+            records.append(self._slots[index])
+            self._slots[index] = None  # release the CSI matrix reference
+        self._head = (self._head + n) % depth
+        self._count -= n
+        return IngestBatch(tuple(records))

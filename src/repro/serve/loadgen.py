@@ -1,0 +1,294 @@
+"""Synthetic fleet load for the serving layer (no RF simulation).
+
+The full cabin simulator costs seconds of CPU per simulated second of
+driving — fine for accuracy experiments, hopeless for exercising a
+*serving* layer whose point is thousands of packets per wall second.
+This module generates the same shape of traffic the real pipeline
+produces (per-packet ``(n_rx, F)`` CSI whose antenna phase difference
+sweeps like a turning head) directly, so a laptop can drive 50+
+concurrent sessions through the :class:`~repro.serve.manager.SessionManager`
+at far beyond real time.
+
+Every cabin is deterministic in ``(seed, cabin index)``: the same fleet
+replays bit-identically, which is what lets :func:`run_load` verify the
+acceptance property end-to-end — estimates served through the manager
+must equal a standalone :class:`~repro.core.online.OnlineTracker` fed
+the same packets and polled at the same instants.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import ViHOTConfig
+from repro.core.online import OnlineTracker
+from repro.core.profile import CsiProfile, PositionProfile
+from repro.core.stages import Estimate
+from repro.serve.manager import SessionManager
+
+#: Intel-5300-shaped packets.
+N_RX = 2
+N_SUBCARRIERS = 30
+
+#: The fingerprint all synthetic cabins share — one profiling pass
+#: serves the whole fleet through the manager's profile cache.
+SYNTHETIC_FINGERPRINT = "synthetic-cabin-v1"
+
+
+def synthetic_profile(num_positions: int = 4, seed: int = 100) -> CsiProfile:
+    """A plausible scan-shaped profile, cheap to build (no RF sim)."""
+    profile = CsiProfile(driver="loadgen")
+    n = 1200
+    for k in range(num_positions):
+        rng = np.random.default_rng(seed + k)
+        orientations = np.deg2rad(70.0) * np.sin(np.linspace(0, 14, n))
+        phases = 0.012 * np.rad2deg(orientations) + rng.normal(0, 0.002, n)
+        profile.add(
+            PositionProfile(float(k), 200.0, phases + 0.2 * k, orientations, 0.2 * k)
+        )
+    return profile
+
+
+@dataclass
+class SyntheticCabin:
+    """One cabin's deterministic packet stream.
+
+    The head sweeps sinusoidally at a per-cabin frequency/amplitude, so
+    different cabins are genuinely different workloads (different match
+    windows, different stationary spells) while staying reproducible.
+    """
+
+    cabin_id: str
+    seed: int
+    duration_s: float
+    rate_hz: float = 200.0
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        self.times = np.arange(0.0, self.duration_s, 1.0 / self.rate_hz)
+        freq = 0.30 + 0.15 * rng.random()
+        amplitude = 0.6 + 0.4 * rng.random()
+        self._sweep = amplitude * np.sin(
+            2.0 * np.pi * freq * self.times
+        ) + rng.normal(0, 0.01, len(self.times))
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def csi_at(self, k: int) -> np.ndarray:
+        """Packet ``k``'s CSI matrix, built on demand (no fleet-sized
+        complex arrays held in memory)."""
+        csi = np.empty((N_RX, N_SUBCARRIERS), dtype=np.complex128)
+        csi[0, :] = np.exp(1j * self._sweep[k])
+        csi[1, :] = 1.0
+        return csi
+
+
+@dataclass(frozen=True)
+class LoadResult:
+    """What one :func:`run_load` run measured."""
+
+    sessions: int
+    packets: int
+    estimates: int
+    drops: int
+    deferrals: int
+    deadline_misses: int
+    wall_s: float
+    packets_per_s: float  # per-session packet rate actually sustained
+    session_packets_per_s: float  # sessions x packets/s, the headline
+    latency_p50_ms: float
+    latency_p90_ms: float
+    verified_sessions: int
+    bit_identical: bool
+    metrics_line: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "sessions": self.sessions,
+            "packets": self.packets,
+            "estimates": self.estimates,
+            "drops": self.drops,
+            "deferrals": self.deferrals,
+            "deadline_misses": self.deadline_misses,
+            "wall_s": self.wall_s,
+            "packets_per_s": self.packets_per_s,
+            "session_packets_per_s": self.session_packets_per_s,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p90_ms": self.latency_p90_ms,
+            "verified_sessions": self.verified_sessions,
+            "bit_identical": self.bit_identical,
+            "metrics": self.metrics_line,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.sessions} sessions x {self.packets // max(self.sessions, 1)} "
+            f"packets in {self.wall_s:.2f}s wall = "
+            f"{self.session_packets_per_s:,.0f} session-packets/s, "
+            f"{self.estimates} estimates "
+            f"(p50 {self.latency_p50_ms:.2f} ms, p90 {self.latency_p90_ms:.2f} ms), "
+            f"{self.drops} drops, {self.deferrals} deferrals, "
+            f"verify[{self.verified_sessions}]="
+            f"{'bit-identical' if self.bit_identical else 'MISMATCH'}"
+        )
+
+
+def estimates_identical(a: Optional[Estimate], b: Optional[Estimate]) -> bool:
+    """Bit-identical payload comparison, NaN-aware.
+
+    Dataclass equality treats ``dtw_distance=NaN`` (any non-matching
+    mode) as unequal to itself, so exact-replay verification needs this
+    instead of ``==``.  Traces are metadata and excluded, like in
+    ``Estimate.__eq__``.
+    """
+    if a is None or b is None:
+        return a is b
+    same_dtw = (
+        a.dtw_distance == b.dtw_distance
+        or (np.isnan(a.dtw_distance) and np.isnan(b.dtw_distance))
+    )
+    return (
+        a.time == b.time
+        and a.target_time == b.target_time
+        and a.orientation == b.orientation
+        and a.mode == b.mode
+        and a.position_index == b.position_index
+        and same_dtw
+    )
+
+
+def _replay_standalone(
+    cabin: SyntheticCabin,
+    profile: CsiProfile,
+    config: ViHOTConfig,
+    buffer_s: float,
+    estimate_times: List[float],
+) -> List[Optional[Estimate]]:
+    """Feed a fresh standalone tracker the cabin's packets, polling at
+    exactly the instants the manager's scheduler polled."""
+    tracker = OnlineTracker(profile, config, buffer_s=buffer_s)
+    produced: List[Optional[Estimate]] = []
+    poll = 0
+    for k in range(len(cabin)):
+        t = float(cabin.times[k])
+        tracker.push_csi(t, cabin.csi_at(k))
+        while poll < len(estimate_times) and estimate_times[poll] <= t + 1e-12:
+            produced.append(tracker.estimate(estimate_times[poll]))
+            poll += 1
+    return produced
+
+
+def run_load(
+    num_sessions: int = 50,
+    duration_s: float = 4.0,
+    rate_hz: float = 200.0,
+    tick_interval_s: float = 0.05,
+    stride_s: float = 0.25,
+    budget_s: float = 1.0,
+    queue_depth: int = 4096,
+    verify_sessions: int = 2,
+    config: Optional[ViHOTConfig] = None,
+    buffer_s: float = 6.0,
+    seed: int = 0,
+) -> LoadResult:
+    """Drive ``num_sessions`` synthetic cabins through one manager.
+
+    The fleet shares one cached profile (every cabin is the same car
+    model), streams in lockstep at ``rate_hz``, and the manager ticks
+    every ``tick_interval_s`` of stream time.  The first
+    ``verify_sessions`` cabins are replayed through standalone trackers
+    afterwards and compared estimate-for-estimate.
+    """
+    if num_sessions < 1:
+        raise ValueError("num_sessions must be >= 1")
+    if config is None:
+        # The fast search configuration the online benches use.
+        config = ViHOTConfig(profile_stride=8, num_length_candidates=3)
+
+    profile = synthetic_profile()
+    manager = SessionManager(
+        config,
+        queue_depth=queue_depth,
+        budget_s=budget_s,
+        stride_s=stride_s,
+        idle_timeout_s=10 * duration_s + 60.0,  # no idling mid-run
+        buffer_s=buffer_s,
+    )
+    cabins = [
+        SyntheticCabin(f"cabin-{k:04d}", seed=seed * 10_000 + k, duration_s=duration_s,
+                       rate_hz=rate_hz)
+        for k in range(num_sessions)
+    ]
+    for cabin in cabins:
+        manager.open_session(
+            cabin.cabin_id,
+            fingerprint=SYNTHETIC_FINGERPRINT,
+            build_profile=lambda: profile,
+        )
+
+    # Per-verified-session poll log: the stream times the scheduler
+    # actually polled at (estimates or declines both advance the clock).
+    num_steps = len(cabins[0].times)
+    servings: Dict[str, List[Tuple[float, Optional[Estimate]]]] = {
+        cabin.cabin_id: [] for cabin in cabins[:verify_sessions]
+    }
+
+    start = time.perf_counter()
+    next_tick = tick_interval_s
+
+    def record(report) -> None:
+        for served in report.scheduler.served:
+            if served.session_id in servings:
+                servings[served.session_id].append(
+                    (served.polled_t, served.estimate)
+                )
+
+    for k in range(num_steps):
+        t = float(cabins[0].times[k])
+        for cabin in cabins:
+            manager.ingest(cabin.cabin_id, t, cabin.csi_at(k))
+        if t >= next_tick:
+            record(manager.tick())
+            next_tick += tick_interval_s
+    record(manager.tick())
+    wall_s = time.perf_counter() - start
+
+    # Verification: replay the probe cabins standalone.
+    bit_identical = True
+    for cabin in cabins[:verify_sessions]:
+        log = servings[cabin.cabin_id]
+        standalone = _replay_standalone(
+            cabin, profile, config, buffer_s, [t for t, _ in log]
+        )
+        served_estimates = [e for _, e in log]
+        if len(standalone) != len(served_estimates) or not all(
+            estimates_identical(a, b)
+            for a, b in zip(standalone, served_estimates)
+        ):
+            bit_identical = False
+
+    counters = manager.metrics_snapshot()["counters"]
+    latency = manager.metrics.histogram("estimate_latency_ms")
+    packets = int(counters["packets_ingested"])
+    aggregate_rate = packets / wall_s if wall_s > 0 else float("inf")
+    return LoadResult(
+        sessions=num_sessions,
+        packets=packets,
+        estimates=int(counters["estimates_served"]),
+        drops=int(counters["packets_dropped"]),
+        deferrals=int(counters["scheduler_deferrals"]),
+        deadline_misses=int(counters["deadline_misses"]),
+        wall_s=wall_s,
+        packets_per_s=aggregate_rate / num_sessions,
+        session_packets_per_s=aggregate_rate,
+        latency_p50_ms=latency.percentile(50),
+        latency_p90_ms=latency.percentile(90),
+        verified_sessions=min(verify_sessions, num_sessions),
+        bit_identical=bit_identical,
+        metrics_line=manager.render_metrics(),
+    )

@@ -1,0 +1,240 @@
+"""The serving layer's observability surface.
+
+A deployment running thousands of :class:`~repro.serve.session.TrackedSession`s
+needs one place that answers "how is the fleet doing?" without touching
+any session: how many sessions are live, how many packets arrived, how
+many the ingestion queue shed under backpressure, and how long estimates
+take.  ``MetricsRegistry`` is that place — a small Prometheus-shaped
+registry of counters, gauges and histograms that every serve component
+writes into and that renders as a dict (for JSON export) or a one-line
+text report (for logs).
+
+Histograms keep a bounded reservoir of recent observations (drop-oldest,
+like the ingest queue) so percentiles reflect current behaviour and
+memory stays flat however long the service runs.  Per-session tracking
+quality lives with the sessions themselves (`diagnose()` stage stats);
+:meth:`MetricsRegistry.fold_stage_stats` merges those into the same
+snapshot so one scrape shows both serving health and tracking health.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.diagnostics import StageStats
+
+
+class Counter:
+    """A monotonically increasing count (packets, drops, evictions)."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {n})")
+        self._value += n
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self._value})"
+
+
+class Gauge:
+    """A point-in-time level (sessions live, queue depth)."""
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, n: float = 1.0) -> None:
+        self._value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self._value -= n
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self._value})"
+
+
+class Histogram:
+    """A bounded reservoir of observations with percentile queries.
+
+    The reservoir is a preallocated numpy ring: ``observe`` is O(1) with
+    no allocation, and once ``capacity`` samples have been seen the
+    oldest are overwritten — percentiles describe the *recent* window,
+    which is what an operator watching estimate latency wants.
+    """
+
+    def __init__(self, name: str, help: str = "", capacity: int = 2048) -> None:
+        if capacity < 2:
+            raise ValueError(f"histogram capacity must be >= 2, got {capacity}")
+        self.name = name
+        self.help = help
+        self._samples = np.empty(capacity, dtype=np.float64)
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Total observations ever made (not just the retained window)."""
+        return self._count
+
+    @property
+    def capacity(self) -> int:
+        return len(self._samples)
+
+    def observe(self, value: float) -> None:
+        self._samples[self._count % len(self._samples)] = value
+        self._count += 1
+
+    def _window(self) -> np.ndarray:
+        return self._samples[: min(self._count, len(self._samples))]
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile of the retained window (NaN if empty)."""
+        window = self._window()
+        if window.size == 0:
+            return float("nan")
+        return float(np.percentile(window, q))
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self._count,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self._count})"
+
+
+class MetricsRegistry:
+    """Get-or-create registry of the serve layer's metrics.
+
+    Components never construct metric objects directly; they ask the
+    registry (``registry.counter("packets_ingested")``) so every metric
+    has exactly one owner-independent instance and one snapshot shows
+    them all.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._stage_stats: Tuple[StageStats, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Get-or-create accessors
+    # ------------------------------------------------------------------
+    def counter(self, name: str, help: str = "") -> Counter:
+        if name not in self._counters:
+            self._check_fresh(name)
+            self._counters[name] = Counter(name, help)
+        return self._counters[name]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        if name not in self._gauges:
+            self._check_fresh(name)
+            self._gauges[name] = Gauge(name, help)
+        return self._gauges[name]
+
+    def histogram(self, name: str, help: str = "", capacity: int = 2048) -> Histogram:
+        if name not in self._histograms:
+            self._check_fresh(name)
+            self._histograms[name] = Histogram(name, help, capacity)
+        return self._histograms[name]
+
+    def _check_fresh(self, name: str) -> None:
+        for kind in (self._counters, self._gauges, self._histograms):
+            if name in kind:
+                raise ValueError(f"metric name {name!r} already registered as another type")
+
+    # ------------------------------------------------------------------
+    # Tracking-health fold-in
+    # ------------------------------------------------------------------
+    def fold_stage_stats(self, stage_stats: Iterable[StageStats]) -> None:
+        """Attach the fleet's aggregated engine-stage stats to snapshots.
+
+        The serving layer computes these from every live session's
+        estimate traces (`aggregate_stage_traces`); the registry only
+        carries the latest aggregate so scrapes are self-contained.
+        """
+        self._stage_stats = tuple(stage_stats)
+
+    @property
+    def stage_stats(self) -> Tuple[StageStats, ...]:
+        return self._stage_stats
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        """The full registry as plain types (JSON-serialisable)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+            "stages": [
+                {
+                    "stage": s.stage,
+                    "evaluated": s.evaluated,
+                    "fired": s.fired,
+                    "terminal": s.terminal,
+                    "p50_ms": s.p50_ms,
+                    "p90_ms": s.p90_ms,
+                }
+                for s in self._stage_stats
+            ],
+        }
+
+    def render(self) -> str:
+        """One-line text report, log-grep friendly.
+
+        Example::
+
+            sessions_live=50 packets_ingested=64000 packets_dropped=0
+            estimate_latency_ms{p50=2.1,p90=3.4,n=1200}
+        """
+        parts: List[str] = []
+        for name, gauge in sorted(self._gauges.items()):
+            value = gauge.value
+            text = f"{value:g}" if value != int(value) else f"{int(value)}"
+            parts.append(f"{name}={text}")
+        for name, counter in sorted(self._counters.items()):
+            parts.append(f"{name}={counter.value}")
+        for name, hist in sorted(self._histograms.items()):
+            summary = hist.summary()
+            parts.append(
+                f"{name}{{p50={summary['p50']:.2f},p90={summary['p90']:.2f},"
+                f"n={summary['count']}}}"
+            )
+        if self._stage_stats:
+            terminal = {s.stage: s.terminal for s in self._stage_stats if s.terminal}
+            stages = ",".join(f"{k}={v}" for k, v in terminal.items())
+            parts.append(f"stage_terminals{{{stages}}}")
+        return " ".join(parts)
+
+    def get(self, name: str) -> Optional[object]:
+        """Look up a metric of any type by name (``None`` if absent)."""
+        return (
+            self._counters.get(name)
+            or self._gauges.get(name)
+            or self._histograms.get(name)
+        )

@@ -1,0 +1,138 @@
+"""Round-robin estimate scheduling under a per-tick wall-time budget.
+
+Estimates are the expensive half of serving (a DTW match costs
+milliseconds; a packet push costs microseconds), so they are rationed:
+each manager tick gives the scheduler a wall-time budget, and sessions
+whose estimate is due are served in round-robin order until the budget
+runs out.  Two properties matter and are both explicit here:
+
+* **Deferral, never silent skips.**  A session that doesn't fit this
+  tick's budget is *deferred*: counted, reported in the tick's
+  :class:`TickReport`, and placed first in line next tick (the
+  round-robin cursor parks on it).  Nothing is dropped — a deferred
+  session's estimate happens later, at a later stream time, exactly as
+  it would for a standalone tracker polled late.
+* **Deadline accounting.**  Every session carries a ``stride_s`` —
+  its estimate period.  When a session is finally served, its lateness
+  (how far past its due time the served estimate landed) is recorded;
+  lateness beyond one full period counts as a deadline miss.  Operators
+  watching ``deadline_misses`` vs ``deferrals`` can tell "the budget is
+  a little tight" from "the fleet is overloaded".
+
+Wall time and stream time deliberately coexist: the *budget* is wall
+time (what the CPU actually spends), while *deadlines* are stream time
+(what the cabins actually experience) — in a real deployment the two
+clocks advance together; in simulation stream time may run much faster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.stages import Estimate
+from repro.serve.session import TrackedSession
+
+
+@dataclass(frozen=True)
+class ServedEstimate:
+    """One scheduling outcome: a session that got its turn this tick."""
+
+    session_id: str
+    estimate: Optional[Estimate]  # None when the tracker declined
+    polled_t: float  # stream time the estimate was polled at
+    elapsed_s: float  # wall time the poll took
+    lateness_s: float  # stream-time distance past the session's due time
+
+
+@dataclass(frozen=True)
+class TickReport:
+    """What one scheduler tick did with its budget."""
+
+    served: Tuple[ServedEstimate, ...] = ()
+    deferred: Tuple[str, ...] = ()  # session ids pushed to next tick
+    budget_s: float = 0.0
+    elapsed_s: float = 0.0
+    deadline_misses: int = 0
+
+    @property
+    def estimates(self) -> Tuple[Estimate, ...]:
+        return tuple(s.estimate for s in self.served if s.estimate is not None)
+
+
+@dataclass
+class RoundRobinScheduler:
+    """Serve pending sessions fairly within a per-tick budget.
+
+    Args:
+        budget_s: wall-time budget per tick.  At least one session is
+            always served per tick (otherwise a tiny budget could
+            starve the fleet forever).
+        wall_clock: injectable wall clock (tests use a fake).
+    """
+
+    budget_s: float = 0.050
+    wall_clock: Callable[[], float] = perf_counter
+    _cursor: Optional[str] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.budget_s <= 0:
+            raise ValueError(f"budget_s must be positive, got {self.budget_s}")
+
+    def tick(self, sessions: Sequence[TrackedSession]) -> TickReport:
+        """Serve due sessions round-robin until the budget is exhausted."""
+        pending = [s for s in sessions if s.pending()]
+        if not pending:
+            return TickReport(budget_s=self.budget_s)
+        pending = self._rotate(pending)
+
+        start = self.wall_clock()
+        served: List[ServedEstimate] = []
+        deferred: List[str] = []
+        misses = 0
+        for index, session in enumerate(pending):
+            spent = self.wall_clock() - start
+            if spent >= self.budget_s and served:
+                deferred = [s.session_id for s in pending[index:]]
+                # Park the cursor on the first deferred session so it is
+                # first in line next tick.
+                self._cursor = deferred[0]
+                break
+            newest = session.newest_time
+            due = session.due_time
+            lateness = 0.0
+            if due is not None and newest is not None and newest > due:
+                lateness = newest - due
+            if lateness > session.stride_s:
+                misses += 1
+            poll_start = self.wall_clock()
+            estimate = session.poll_estimate()
+            served.append(
+                ServedEstimate(
+                    session_id=session.session_id,
+                    estimate=estimate,
+                    polled_t=float("nan") if newest is None else newest,
+                    elapsed_s=self.wall_clock() - poll_start,
+                    lateness_s=lateness,
+                )
+            )
+        else:
+            # Everyone fit: resume after the last served session.
+            self._cursor = None
+        return TickReport(
+            served=tuple(served),
+            deferred=tuple(deferred),
+            budget_s=self.budget_s,
+            elapsed_s=self.wall_clock() - start,
+            deadline_misses=misses,
+        )
+
+    def _rotate(self, pending: List[TrackedSession]) -> List[TrackedSession]:
+        """Start from the parked cursor session, if it is still pending."""
+        if self._cursor is None:
+            return pending
+        for index, session in enumerate(pending):
+            if session.session_id == self._cursor:
+                return pending[index:] + pending[:index]
+        return pending

@@ -1,0 +1,242 @@
+"""One served tracking session: an ``OnlineTracker`` plus lifecycle.
+
+The serving layer never talks to an :class:`~repro.core.online.OnlineTracker`
+directly — it talks to a :class:`TrackedSession`, which adds the three
+things a fleet needs that a single tracker doesn't have:
+
+* a **lifecycle** (``created → profiled → live → idle → evicted``) so
+  the manager can admit sessions before their profile exists, park
+  inactive ones, and reclaim their ring buffers;
+* an **activity clock** (stamped by the manager's wall clock on every
+  ingest) driving idle detection and eviction;
+* a **snapshot** of the latest :class:`~repro.core.stages.Estimate` and
+  a bounded history of recent ones, so reads (`estimates`, metrics,
+  stage stats) never touch the tracker's hot path.
+
+The session adds routing and bookkeeping only: every estimate it serves
+is produced by the wrapped tracker from exactly the packets routed to
+it, so a session's output is bit-identical to a standalone tracker fed
+the same packets (pinned by ``tests/serve/test_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import ViHOTConfig
+from repro.core.diagnostics import StageStats, aggregate_stage_traces
+from repro.core.online import OnlineTracker
+from repro.core.profile import CsiProfile
+from repro.core.stages import Estimate
+
+#: Lifecycle states, in nominal order.
+CREATED = "created"
+PROFILED = "profiled"
+LIVE = "live"
+IDLE = "idle"
+EVICTED = "evicted"
+LIFECYCLE = (CREATED, PROFILED, LIVE, IDLE, EVICTED)
+
+#: Legal transitions.  ``idle -> live`` is the wake-up on fresh packets;
+#: anything may be evicted; nothing leaves ``evicted``.
+_TRANSITIONS = {
+    CREATED: (PROFILED, EVICTED),
+    PROFILED: (LIVE, IDLE, EVICTED),
+    LIVE: (IDLE, EVICTED),
+    IDLE: (LIVE, EVICTED),
+    EVICTED: (),
+}
+
+
+class SessionStateError(RuntimeError):
+    """An operation illegal for the session's current lifecycle state."""
+
+
+class TrackedSession:
+    """One car's tracking session under the serving layer.
+
+    Args:
+        session_id: the fleet-unique id packets are addressed with.
+        config: tracker parameters (shared with the standalone paths).
+        camera: optional steering-fallback camera for this cabin.
+        buffer_s: tracker retention horizon.
+        stride_s: target spacing between served estimates; with the
+            scheduler, this is the session's estimate deadline period.
+        max_history: how many recent estimates to retain for stage
+            stats and reads.
+    """
+
+    def __init__(
+        self,
+        session_id: str,
+        config: ViHOTConfig = ViHOTConfig(),
+        camera=None,
+        buffer_s: float = 10.0,
+        stride_s: float = 0.05,
+        max_history: int = 256,
+    ) -> None:
+        if stride_s <= 0:
+            raise ValueError(f"stride_s must be positive, got {stride_s}")
+        self.session_id = session_id
+        self._config = config
+        self._camera = camera
+        self._buffer_s = buffer_s
+        self.stride_s = stride_s
+
+        self._state = CREATED
+        self._tracker: Optional[OnlineTracker] = None
+        self._fingerprint: Optional[str] = None
+
+        self.last_activity: float = float("-inf")  # manager wall clock
+        self.latest: Optional[Estimate] = None
+        self.history: Deque[Estimate] = deque(maxlen=max_history)
+        self._last_estimate_t: Optional[float] = None
+
+        self.packets = 0
+        self.imu_packets = 0
+        self.estimates_produced = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def fingerprint(self) -> Optional[str]:
+        """The scenario fingerprint whose cached profile this session uses."""
+        return self._fingerprint
+
+    @property
+    def tracker(self) -> Optional[OnlineTracker]:
+        return self._tracker
+
+    def _transition(self, target: str) -> None:
+        if target not in _TRANSITIONS[self._state]:
+            raise SessionStateError(
+                f"session {self.session_id!r}: illegal transition "
+                f"{self._state!r} -> {target!r}"
+            )
+        self._state = target
+
+    def attach_profile(
+        self, profile: CsiProfile, fingerprint: Optional[str] = None
+    ) -> None:
+        """Provide the driver's profile; builds the tracker (`-> profiled`)."""
+        if self._state != CREATED:
+            raise SessionStateError(
+                f"session {self.session_id!r}: profile already attached "
+                f"(state {self._state!r})"
+            )
+        self._tracker = OnlineTracker(
+            profile, self._config, camera=self._camera, buffer_s=self._buffer_s
+        )
+        self._fingerprint = fingerprint
+        self._transition(PROFILED)
+
+    def mark_idle(self) -> None:
+        """Park the session (`live/profiled -> idle`); buffers retained."""
+        if self._state in (LIVE, PROFILED):
+            self._transition(IDLE)
+
+    def evict(self) -> None:
+        """Terminal state: drop the tracker (ring buffers freed); the
+        latest-estimate snapshot and counters stay readable."""
+        if self._state == EVICTED:
+            return
+        self._state = EVICTED
+        self._tracker = None
+
+    # ------------------------------------------------------------------
+    # Ingest (called by the manager, on drained batches)
+    # ------------------------------------------------------------------
+    def push_csi(self, time: float, csi: np.ndarray) -> None:
+        if self._state == EVICTED:
+            raise SessionStateError(f"session {self.session_id!r} is evicted")
+        if self._tracker is None:
+            raise SessionStateError(
+                f"session {self.session_id!r} has no profile yet (state "
+                f"{self._state!r}); attach_profile first"
+            )
+        if self._state in (PROFILED, IDLE):
+            self._transition(LIVE)
+        self._tracker.push_csi(time, csi)
+        self.packets += 1
+
+    def push_imu(self, time: float, yaw_rate: float) -> None:
+        if self._state == EVICTED:
+            raise SessionStateError(f"session {self.session_id!r} is evicted")
+        if self._tracker is None:
+            raise SessionStateError(
+                f"session {self.session_id!r} has no profile yet (state "
+                f"{self._state!r}); attach_profile first"
+            )
+        self._tracker.push_imu(time, yaw_rate)
+        self.imu_packets += 1
+
+    # ------------------------------------------------------------------
+    # Estimation (called by the scheduler)
+    # ------------------------------------------------------------------
+    @property
+    def newest_time(self) -> Optional[float]:
+        """Stream time of the newest buffered packet (``None`` if none)."""
+        if self._tracker is None or self._tracker.buffered_samples == 0:
+            return None
+        return self._tracker.phase_series().end
+
+    @property
+    def due_time(self) -> Optional[float]:
+        """Stream time the next estimate is due (``None`` before the first)."""
+        if self._last_estimate_t is None:
+            return None
+        return self._last_estimate_t + self.stride_s
+
+    def pending(self) -> bool:
+        """Whether the scheduler should serve this session an estimate."""
+        if self._state != LIVE or self._tracker is None:
+            return False
+        if not self._tracker.ready():
+            return False
+        newest = self.newest_time
+        if newest is None:
+            return False
+        if self._last_estimate_t is None:
+            return True
+        return newest >= self._last_estimate_t + self.stride_s
+
+    def poll_estimate(self) -> Optional[Estimate]:
+        """Produce an estimate at the newest buffered time, snapshot it.
+
+        Returns ``None`` when the tracker declines (not warmed up, or no
+        estimate possible at that instant); the poll clock still
+        advances so a declining session is not re-polled every tick.
+        """
+        if self._tracker is None:
+            return None
+        newest = self.newest_time
+        if newest is None:
+            return None
+        estimate = self._tracker.estimate(newest)
+        self._last_estimate_t = newest
+        if estimate is not None:
+            self.latest = estimate
+            self.history.append(estimate)
+            self.estimates_produced += 1
+        return estimate
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def stage_stats(self) -> Tuple[StageStats, ...]:
+        """Engine-stage aggregates over this session's retained history."""
+        return aggregate_stage_traces(self.history)
+
+    def __repr__(self) -> str:
+        return (
+            f"TrackedSession({self.session_id!r}, state={self._state}, "
+            f"packets={self.packets}, estimates={self.estimates_produced})"
+        )

@@ -157,6 +157,24 @@ def test_push_csi_shape_validation(small_profile):
         online.push_csi(0.0, np.zeros(30))
 
 
+def test_push_csi_nonfinite_time_rejected(small_profile, runtime_stream):
+    stream, _scene = runtime_stream
+    online = OnlineTracker(small_profile)
+    for bad in (float("nan"), float("inf"), -float("inf")):
+        with pytest.raises(ValueError, match="finite"):
+            online.push_csi(bad, stream.csi[0])
+    assert online.buffered_samples == 0
+
+
+def test_push_imu_nonfinite_rejected(small_profile):
+    online = OnlineTracker(small_profile)
+    with pytest.raises(ValueError, match="finite"):
+        online.push_imu(float("nan"), 0.1)
+    with pytest.raises(ValueError, match="finite"):
+        online.push_imu(0.0, float("inf"))
+    online.push_imu(0.0, 0.1)  # finite reading still accepted
+
+
 # ----------------------------------------------------------------- ring
 def test_ring_grows_and_stays_ordered():
     ring = SampleRing(capacity=4)

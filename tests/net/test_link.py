@@ -59,6 +59,14 @@ def test_stream_slice(link):
     assert part.imu is not None
 
 
+def test_stream_slice_inverted_interval_raises(link):
+    stream = link.capture(0.0, 2.0)
+    with pytest.raises(ValueError, match="inverted"):
+        stream.slice(1.5, 0.5)
+    # A degenerate (empty but not inverted) interval is still fine.
+    assert len(stream.slice(1.0, 1.0)) <= 1
+
+
 def test_stream_validation():
     with pytest.raises(ValueError):
         CsiStream(np.zeros(3), np.zeros((2, 2, 30), dtype=complex), np.zeros(3))
@@ -81,11 +89,37 @@ def test_stream_save_load_roundtrip(tmp_path, link):
     from repro.net.link import CsiStream
 
     back = CsiStream.load(path)
-    np.testing.assert_allclose(back.times, stream.times)
-    np.testing.assert_allclose(back.csi, stream.csi)
-    np.testing.assert_allclose(back.seqs, stream.seqs)
+    np.testing.assert_array_equal(back.times, stream.times)
+    np.testing.assert_array_equal(back.csi, stream.csi)
+    np.testing.assert_array_equal(back.seqs, stream.seqs)
+    assert back.csi.dtype == stream.csi.dtype
     assert back.imu is not None
-    np.testing.assert_allclose(back.imu.times, stream.imu.times)
+    np.testing.assert_array_equal(back.imu.times, stream.imu.times)
+    np.testing.assert_array_equal(
+        np.asarray(back.imu.values), np.asarray(stream.imu.values)
+    )
+
+
+def test_stream_roundtrip_preserves_slices(tmp_path, link):
+    """A loaded capture behaves identically to the original."""
+    stream = link.capture(0.0, 2.0)
+    path = tmp_path / "capture.npz"
+    stream.save(path)
+    back = CsiStream.load(path)
+    original = stream.slice(0.5, 1.5)
+    loaded = back.slice(0.5, 1.5)
+    assert len(original) == len(loaded)
+    np.testing.assert_array_equal(original.csi, loaded.csi)
+
+
+def test_stream_load_rejects_foreign_npz(tmp_path):
+    path = tmp_path / "foreign.npz"
+    np.savez_compressed(
+        path,
+        meta_json=np.frombuffer(b'{"format": "something-else"}', dtype=np.uint8),
+    )
+    with pytest.raises(ValueError, match="unrecognised"):
+        CsiStream.load(path)
 
 
 def test_stream_save_load_without_imu(tmp_path, link):

@@ -1,0 +1,110 @@
+"""The serving layer's core contract: routing never changes tracking.
+
+An estimate produced through ``SessionManager`` must be bit-identical
+to the same packets pushed into a standalone ``OnlineTracker`` and
+polled at the same instants — for the real simulated-cabin pipeline
+(the session fixtures of ``tests/conftest.py``), not just synthetic
+load.  Three concurrent sessions ingest interleaved copies of the same
+capture so cross-session interference (shared queue, shared scheduler,
+shared engine config) would be caught.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineTracker
+from repro.serve import SessionManager
+from repro.serve.loadgen import estimates_identical
+
+
+@pytest.fixture(scope="module")
+def served_and_standalone(small_profile, runtime_stream):
+    stream, _scene = runtime_stream
+    ids = ("car-a", "car-b", "car-c")
+    manager = SessionManager(
+        budget_s=30.0,  # everything fits: scheduling must not perturb output
+        stride_s=0.1,
+        buffer_s=10.0,
+    )
+    for session_id in ids:
+        manager.open_session(session_id, small_profile, fingerprint="same-cabin")
+
+    polled = {session_id: [] for session_id in ids}
+    for k in range(len(stream)):
+        t = float(stream.times[k])
+        for session_id in ids:
+            manager.ingest(session_id, t, stream.csi[k])
+        if k % 10 == 9:
+            report = manager.tick()
+            for served in report.scheduler.served:
+                polled[served.session_id].append((served.polled_t, served.estimate))
+    report = manager.tick()
+    for served in report.scheduler.served:
+        polled[served.session_id].append((served.polled_t, served.estimate))
+
+    # Standalone replay: same packets, polls at the same instants.
+    standalone = {}
+    for session_id in ids:
+        tracker = OnlineTracker(small_profile, manager.session(session_id).tracker.config)
+        produced = []
+        poll = 0
+        times = [t for t, _ in polled[session_id]]
+        for k in range(len(stream)):
+            t = float(stream.times[k])
+            tracker.push_csi(t, stream.csi[k])
+            while poll < len(times) and times[poll] <= t + 1e-12:
+                produced.append(tracker.estimate(times[poll]))
+                poll += 1
+        standalone[session_id] = produced
+    return ids, polled, standalone
+
+
+def test_sessions_produced_estimates(served_and_standalone):
+    ids, polled, _standalone = served_and_standalone
+    for session_id in ids:
+        estimates = [e for _, e in polled[session_id] if e is not None]
+        assert len(estimates) > 10, f"{session_id} produced too few estimates"
+
+
+def test_served_estimates_bit_identical_to_standalone(served_and_standalone):
+    ids, polled, standalone = served_and_standalone
+    for session_id in ids:
+        served = [e for _, e in polled[session_id]]
+        replayed = standalone[session_id]
+        assert len(served) == len(replayed)
+        for a, b in zip(replayed, served):
+            assert estimates_identical(a, b), (
+                f"{session_id}: served {b} != standalone {a}"
+            )
+
+
+def test_concurrent_sessions_identical_to_each_other(served_and_standalone):
+    """Same packets, same profile, same config => same outputs, despite
+    sharing one queue and one scheduler."""
+    ids, polled, _standalone = served_and_standalone
+    reference = polled[ids[0]]
+    for session_id in ids[1:]:
+        assert len(polled[session_id]) == len(reference)
+        for (ta, ea), (tb, eb) in zip(reference, polled[session_id]):
+            assert ta == tb
+            assert estimates_identical(ea, eb)
+
+
+def test_modes_cover_real_tracking(served_and_standalone):
+    ids, polled, _standalone = served_and_standalone
+    modes = {e.mode for _, e in polled[ids[0]] if e is not None}
+    assert "csi" in modes or "init" in modes
+
+
+def test_estimates_accurate_against_truth(small_profile, runtime_stream,
+                                          served_and_standalone):
+    """The served estimates still track the actual head (sanity against
+    the scene ground truth, like the online-tracker tests)."""
+    _stream, scene = runtime_stream
+    ids, polled, _standalone = served_and_standalone
+    estimates = [e for _, e in polled[ids[0]] if e is not None]
+    times = np.array([e.target_time for e in estimates])
+    values = np.array([e.orientation for e in estimates])
+    truth = scene.driver_yaw(times)
+    err = np.abs(np.rad2deg(values - truth))
+    assert np.median(err[times > 2.5]) < 10.0

@@ -1,0 +1,72 @@
+"""Ingest queue: ordering, bounded depth, drop-oldest backpressure."""
+
+import numpy as np
+import pytest
+
+from repro.serve.ingest import IngestQueue
+
+
+def csi(tag: float) -> np.ndarray:
+    return np.full((2, 30), tag, dtype=np.complex128)
+
+
+def test_push_drain_preserves_arrival_order():
+    queue = IngestQueue(depth=16)
+    for k in range(10):
+        queue.push(f"s{k % 3}", 0.01 * k, csi(k))
+    batch = queue.drain()
+    assert len(batch) == 10
+    assert [r.time for r in batch] == pytest.approx([0.01 * k for k in range(10)])
+    assert len(queue) == 0
+
+
+def test_by_session_groups_in_order():
+    queue = IngestQueue(depth=16)
+    for k in range(9):
+        queue.push(f"s{k % 3}", 0.01 * k, csi(k))
+    groups = queue.drain().by_session()
+    assert set(groups) == {"s0", "s1", "s2"}
+    for records in groups.values():
+        times = [r.time for r in records]
+        assert times == sorted(times)
+
+
+def test_drop_oldest_backpressure():
+    queue = IngestQueue(depth=4)
+    assert all(queue.push("a", float(k), csi(k)) for k in range(4))
+    # Fifth packet sheds the oldest (t=0), not the newcomer.
+    assert not queue.push("b", 4.0, csi(4))
+    assert queue.dropped_total == 1
+    assert queue.dropped_by_session == {"a": 1}
+    batch = queue.drain()
+    assert [r.time for r in batch] == [1.0, 2.0, 3.0, 4.0]
+    assert queue.pushed_total == 5
+
+
+def test_drain_partial_keeps_remainder():
+    queue = IngestQueue(depth=8)
+    for k in range(6):
+        queue.push("a", float(k), csi(k))
+    first = queue.drain(max_records=4)
+    assert [r.time for r in first] == [0.0, 1.0, 2.0, 3.0]
+    assert len(queue) == 2
+    rest = queue.drain()
+    assert [r.time for r in rest] == [4.0, 5.0]
+
+
+def test_ring_wraps_across_many_cycles():
+    queue = IngestQueue(depth=3)
+    drained = []
+    for k in range(50):
+        queue.push("a", float(k), csi(k))
+        if k % 2:
+            drained.extend(r.time for r in queue.drain(max_records=1))
+    # No drops: 25 drains of 1 + final depth-3 backlog never exceeded 3.
+    times = drained + [r.time for r in queue.drain()]
+    assert times == sorted(times)
+    assert queue.dropped_total + len(times) == 50
+
+
+def test_depth_validation():
+    with pytest.raises(ValueError):
+        IngestQueue(depth=0)

@@ -1,0 +1,202 @@
+"""SessionManager: fleet lifecycle, profile cache, idle policy, metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ViHOTConfig
+from repro.serve import SessionManager, scenario_fingerprint
+from repro.serve.loadgen import SyntheticCabin, synthetic_profile
+from repro.serve.session import EVICTED, IDLE, LIVE
+
+FAST = ViHOTConfig(profile_stride=8, num_length_candidates=3)
+
+
+class ManualClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+    def __call__(self) -> float:
+        return self.now
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return synthetic_profile()
+
+
+def make_manager(profile=None, **kwargs):
+    kwargs.setdefault("budget_s", 10.0)
+    kwargs.setdefault("stride_s", 0.25)
+    kwargs.setdefault("buffer_s", 6.0)
+    return SessionManager(FAST, **kwargs)
+
+
+def stream_cabin(manager, cabin, tick_every=20):
+    """Ingest a whole cabin, ticking periodically; returns tick reports."""
+    reports = []
+    for k in range(len(cabin)):
+        manager.ingest(cabin.cabin_id, float(cabin.times[k]), cabin.csi_at(k))
+        if (k + 1) % tick_every == 0:
+            reports.append(manager.tick())
+    reports.append(manager.tick())
+    return reports
+
+
+def test_open_ingest_estimate_close(profile):
+    manager = make_manager()
+    cabin = SyntheticCabin("car-1", seed=1, duration_s=3.0, rate_hz=100.0)
+    manager.open_session("car-1", profile)
+    stream_cabin(manager, cabin)
+
+    assert manager.session("car-1").state == LIVE
+    latest = manager.estimates()["car-1"]
+    assert latest is not None
+    history = manager.estimates("car-1")
+    assert history and history[-1] == latest
+
+    final = manager.close_session("car-1")
+    assert final == latest
+    assert manager.session("car-1").state == EVICTED
+    assert len(manager) == 0
+
+
+def test_duplicate_open_rejected(profile):
+    manager = make_manager()
+    manager.open_session("car-1", profile)
+    with pytest.raises(ValueError):
+        manager.open_session("car-1", profile)
+    # After eviction the id may be reused.
+    manager.close_session("car-1")
+    manager.open_session("car-1", profile)
+
+
+def test_profile_cache_shares_across_fleet(profile):
+    manager = make_manager()
+    builds = []
+
+    def build():
+        builds.append(1)
+        return profile
+
+    for k in range(5):
+        manager.open_session(f"car-{k}", fingerprint="cabin-type-A",
+                             build_profile=build)
+    assert len(builds) == 1, "identical cabins must share one profiling pass"
+    assert manager.profile_cache.hits == 4
+    trackers = {id(manager.session(f"car-{k}").tracker.engine.profile)
+                for k in range(5)}
+    assert len(trackers) == 1
+    counters = manager.metrics_snapshot()["counters"]
+    assert counters["profile_cache_hits"] == 4
+    assert counters["profile_cache_misses"] == 1
+
+
+def test_explicit_profile_populates_cache(profile):
+    manager = make_manager()
+    manager.open_session("car-0", profile, fingerprint="type-B")
+    # Next session hits the cache without a builder.
+    manager.open_session("car-1", fingerprint="type-B")
+    assert manager.session("car-1").tracker is not None
+
+
+def test_missing_profile_leaves_session_created(profile):
+    manager = make_manager()
+    session = manager.open_session("car-0", fingerprint="never-built")
+    assert session.state == "created"
+    assert session.tracker is None
+
+
+def test_scenario_fingerprint_keys_profiling_knobs():
+    from repro.experiments.scenarios import ScenarioConfig
+
+    base = ScenarioConfig(seed=3)
+    same_runtime_diff = ScenarioConfig(seed=3, runtime_motion="glance")
+    diff_driver = ScenarioConfig(seed=3, driver="B")
+    assert scenario_fingerprint(base) == scenario_fingerprint(same_runtime_diff)
+    assert scenario_fingerprint(base) != scenario_fingerprint(diff_driver)
+
+
+def test_orphaned_packets_counted(profile):
+    manager = make_manager()
+    manager.ingest("ghost", 0.0, np.ones((2, 30), dtype=np.complex128))
+    report = manager.tick()
+    assert report.orphaned == 1
+    assert report.ingested == 0
+    counters = manager.metrics_snapshot()["counters"]
+    assert counters["packets_orphaned"] == 1
+
+
+def test_backpressure_drops_counted(profile):
+    manager = make_manager(queue_depth=8)
+    manager.open_session("car-0", profile)
+    for k in range(20):
+        manager.ingest("car-0", 0.01 * k, np.ones((2, 30), dtype=np.complex128))
+    counters = manager.metrics_snapshot()["counters"]
+    assert counters["packets_dropped"] == 12
+    manager.tick()
+    # Only the surviving ring contents reach the session.
+    assert manager.session("car-0").packets == 8
+
+
+def test_idle_then_eviction_policy(profile):
+    clock = ManualClock()
+    manager = make_manager(idle_timeout_s=10.0, evict_after_s=20.0, clock=clock)
+    cabin = SyntheticCabin("car-0", seed=2, duration_s=2.0, rate_hz=100.0)
+    manager.open_session("car-0", profile)
+    stream_cabin(manager, cabin)
+    assert manager.session("car-0").state == LIVE
+
+    clock.advance(11.0)
+    report = manager.tick()
+    assert report.idled == ("car-0",)
+    assert manager.session("car-0").state == IDLE
+
+    clock.advance(21.0)
+    report = manager.tick()
+    assert report.evicted == ("car-0",)
+    assert manager.session("car-0").state == EVICTED
+    assert len(manager) == 0
+    # Late packets for the evicted session are orphaned, not an error.
+    manager.ingest("car-0", 99.0, np.ones((2, 30), dtype=np.complex128))
+    assert manager.tick().orphaned == 1
+
+
+def test_idle_session_wakes_on_packets(profile):
+    clock = ManualClock()
+    manager = make_manager(idle_timeout_s=10.0, evict_after_s=None, clock=clock)
+    cabin = SyntheticCabin("car-0", seed=2, duration_s=2.0, rate_hz=100.0)
+    manager.open_session("car-0", profile)
+    stream_cabin(manager, cabin)
+
+    clock.advance(11.0)
+    manager.tick()
+    assert manager.session("car-0").state == IDLE
+
+    manager.ingest("car-0", float(cabin.times[-1]) + 0.01,
+                   cabin.csi_at(len(cabin) - 1))
+    manager.tick()
+    assert manager.session("car-0").state == LIVE
+
+
+def test_metrics_snapshot_includes_stage_stats(profile):
+    manager = make_manager()
+    cabin = SyntheticCabin("car-0", seed=4, duration_s=3.0, rate_hz=100.0)
+    manager.open_session("car-0", profile)
+    stream_cabin(manager, cabin)
+    snapshot = manager.metrics_snapshot()
+    assert snapshot["counters"]["estimates_served"] > 0
+    assert snapshot["stages"], "fleet stage stats must fold into the snapshot"
+    line = manager.render_metrics()
+    assert "sessions_live=1" in line
+    assert "estimate_latency_ms{p50=" in line
+
+
+def test_unknown_session_lookup_raises(profile):
+    manager = make_manager()
+    with pytest.raises(KeyError):
+        manager.session("nope")
+    with pytest.raises(KeyError):
+        manager.ingest_imu("nope", 0.0, 0.0)

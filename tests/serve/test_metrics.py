@@ -1,0 +1,83 @@
+"""Metrics registry: counters/gauges/histograms and the rendered line."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import StageStats
+from repro.serve.metrics import Histogram, MetricsRegistry
+
+
+def test_counter_monotone():
+    registry = MetricsRegistry()
+    counter = registry.counter("packets")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+    # Get-or-create returns the same instance.
+    assert registry.counter("packets") is counter
+
+
+def test_gauge_set_inc_dec():
+    gauge = MetricsRegistry().gauge("live")
+    gauge.set(10)
+    gauge.inc()
+    gauge.dec(3)
+    assert gauge.value == 8
+
+
+def test_histogram_percentiles():
+    hist = Histogram("latency")
+    for v in range(1, 101):
+        hist.observe(float(v))
+    assert hist.count == 100
+    assert hist.percentile(50) == pytest.approx(50.5)
+    assert hist.percentile(90) == pytest.approx(90.1)
+
+
+def test_histogram_bounded_window():
+    hist = Histogram("latency", capacity=8)
+    for v in range(1000):
+        hist.observe(float(v))
+    assert hist.count == 1000
+    # Percentiles reflect only the newest `capacity` observations.
+    assert hist.percentile(50) >= 992
+    assert np.isnan(Histogram("empty").percentile(50))
+
+
+def test_name_collision_across_types_rejected():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(ValueError):
+        registry.gauge("x")
+
+
+def test_as_dict_and_render():
+    registry = MetricsRegistry()
+    registry.gauge("sessions_live").set(3)
+    registry.counter("packets_ingested").inc(120)
+    registry.counter("packets_dropped")
+    hist = registry.histogram("estimate_latency_ms")
+    for v in (1.0, 2.0, 3.0):
+        hist.observe(v)
+    registry.fold_stage_stats(
+        [StageStats("match", evaluated=10, fired=8, terminal=0,
+                    p50_ms=5.0, p90_ms=9.0),
+         StageStats("emit", evaluated=8, fired=8, terminal=8,
+                    p50_ms=0.1, p90_ms=0.2)]
+    )
+
+    snapshot = registry.as_dict()
+    assert snapshot["gauges"]["sessions_live"] == 3
+    assert snapshot["counters"]["packets_ingested"] == 120
+    assert snapshot["histograms"]["estimate_latency_ms"]["p50"] == pytest.approx(2.0)
+    assert snapshot["stages"][0]["stage"] == "match"
+
+    line = registry.render()
+    assert "sessions_live=3" in line
+    assert "packets_ingested=120" in line
+    assert "packets_dropped=0" in line
+    assert "estimate_latency_ms{p50=2.00,p90=" in line
+    assert "stage_terminals{emit=8}" in line
+    assert "\n" not in line

@@ -1,0 +1,140 @@
+"""TrackedSession lifecycle and snapshot behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ViHOTConfig
+from repro.serve.loadgen import SyntheticCabin, synthetic_profile
+from repro.serve.session import (
+    CREATED,
+    EVICTED,
+    LIVE,
+    PROFILED,
+    SessionStateError,
+    TrackedSession,
+)
+
+FAST = ViHOTConfig(profile_stride=8, num_length_candidates=3)
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return synthetic_profile()
+
+
+@pytest.fixture()
+def cabin():
+    return SyntheticCabin("car", seed=3, duration_s=3.0, rate_hz=100.0)
+
+
+def make_session(profile, **kwargs):
+    session = TrackedSession("car", FAST, buffer_s=6.0, **kwargs)
+    session.attach_profile(profile, fingerprint="fp")
+    return session
+
+
+def test_lifecycle_created_to_live(profile, cabin):
+    session = TrackedSession("car", FAST, buffer_s=6.0)
+    assert session.state == CREATED
+    with pytest.raises(SessionStateError):
+        session.push_csi(0.0, cabin.csi_at(0))
+    session.attach_profile(profile, fingerprint="fp")
+    assert session.state == PROFILED
+    assert session.fingerprint == "fp"
+    session.push_csi(float(cabin.times[0]), cabin.csi_at(0))
+    assert session.state == LIVE
+    assert session.packets == 1
+
+
+def test_double_profile_rejected(profile):
+    session = make_session(profile)
+    with pytest.raises(SessionStateError):
+        session.attach_profile(profile)
+
+
+def test_idle_wakes_on_ingest(profile, cabin):
+    session = make_session(profile)
+    session.push_csi(float(cabin.times[0]), cabin.csi_at(0))
+    session.mark_idle()
+    assert session.state == "idle"
+    session.push_csi(float(cabin.times[1]), cabin.csi_at(1))
+    assert session.state == LIVE
+
+
+def test_evicted_is_terminal(profile, cabin):
+    session = make_session(profile)
+    session.push_csi(float(cabin.times[0]), cabin.csi_at(0))
+    session.evict()
+    assert session.state == EVICTED
+    assert session.tracker is None  # ring buffers reclaimed
+    with pytest.raises(SessionStateError):
+        session.push_csi(float(cabin.times[1]), cabin.csi_at(1))
+    session.evict()  # idempotent
+    assert session.state == EVICTED
+
+
+def test_pending_respects_warmup_and_stride(profile, cabin):
+    session = make_session(profile, stride_s=0.25)
+    assert not session.pending()  # no data at all
+    for k in range(len(cabin)):
+        session.push_csi(float(cabin.times[k]), cabin.csi_at(k))
+    assert session.pending()  # warmed up, never estimated
+    estimate = session.poll_estimate()
+    assert estimate is not None
+    assert session.latest is estimate
+    assert list(session.history) == [estimate]
+    # Nothing new arrived: the stride gate holds it back.
+    assert not session.pending()
+
+
+def test_poll_matches_standalone_tracker(profile, cabin):
+    from repro.core.online import OnlineTracker
+    from repro.serve.loadgen import estimates_identical
+
+    session = make_session(profile, stride_s=0.25)
+    tracker = OnlineTracker(profile, FAST, buffer_s=6.0)
+    for k in range(len(cabin)):
+        t = float(cabin.times[k])
+        session.push_csi(t, cabin.csi_at(k))
+        tracker.push_csi(t, cabin.csi_at(k))
+    served = session.poll_estimate()
+    standalone = tracker.estimate(float(cabin.times[-1]))
+    assert estimates_identical(served, standalone)
+
+
+def test_history_is_bounded(profile, cabin):
+    session = make_session(profile, stride_s=0.01, max_history=4)
+    warm = 0
+    for k in range(len(cabin)):
+        session.push_csi(float(cabin.times[k]), cabin.csi_at(k))
+        if session.pending() and session.poll_estimate() is not None:
+            warm += 1
+    assert warm > 4
+    assert len(session.history) == 4
+    assert session.estimates_produced == warm
+
+
+def test_stage_stats_from_history(profile, cabin):
+    session = make_session(profile, stride_s=0.25)
+    for k in range(len(cabin)):
+        session.push_csi(float(cabin.times[k]), cabin.csi_at(k))
+        if session.pending():
+            session.poll_estimate()
+    stats = session.stage_stats()
+    assert stats, "served estimates must carry traces"
+    assert {s.stage for s in stats} >= {"position"}
+    assert sum(s.terminal for s in stats) == session.estimates_produced
+
+
+def test_invalid_stride_rejected():
+    with pytest.raises(ValueError):
+        TrackedSession("car", FAST, stride_s=0.0)
+
+
+def test_newest_time_tracks_pushes(profile, cabin):
+    session = make_session(profile)
+    assert session.newest_time is None
+    session.push_csi(float(cabin.times[0]), cabin.csi_at(0))
+    assert session.newest_time == pytest.approx(float(cabin.times[0]))
+    assert session.due_time is None  # never estimated yet
+    assert np.isfinite(session.newest_time)
