@@ -1,0 +1,61 @@
+"""Project-specific static analysis: the determinism and contract lint.
+
+ViHOT's serving layer re-verifies on every run that served estimates are
+bit-identical to a standalone replay (``repro.serve.loadgen``).  That
+property only holds because nothing in the estimation path reads global
+entropy or a clock.  This package makes the contract machine-checked:
+an AST-based rule engine (:mod:`repro.analysis.engine`) walks the
+source tree and reports any construct that could silently break replay
+determinism (:mod:`repro.analysis.determinism`) or the package's typing
+/ API contracts (:mod:`repro.analysis.contracts`).
+
+Run it as ``vihot lint``; CI runs it as a blocking job.  See
+``docs/static-analysis.md`` for the rule catalogue and the suppression
+mechanism (``# vihot: noqa[RULE]`` plus the reviewed allowlist in
+:mod:`repro.analysis.config`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.analysis.config import DEFAULT_ALLOWLIST, default_rules
+from repro.analysis.engine import (
+    Allowlist,
+    AllowlistEntry,
+    Analyzer,
+    Finding,
+    ModuleContext,
+    Rule,
+    Severity,
+)
+
+__all__ = [
+    "Allowlist",
+    "AllowlistEntry",
+    "Analyzer",
+    "DEFAULT_ALLOWLIST",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "default_rules",
+    "run_analysis",
+]
+
+
+def run_analysis(
+    paths: Sequence[str | Path] | None = None,
+    use_default_allowlist: bool = True,
+) -> list[Finding]:
+    """Lint ``paths`` (default: the installed ``repro`` tree) and return findings.
+
+    Thin convenience wrapper over :class:`Analyzer` used by the CLI and
+    the test suite.
+    """
+    if paths is None:
+        paths = [Path(__file__).resolve().parent.parent]
+    allowlist = DEFAULT_ALLOWLIST if use_default_allowlist else Allowlist()
+    analyzer = Analyzer(default_rules(), allowlist=allowlist)
+    return analyzer.run([Path(p) for p in paths])

@@ -1,0 +1,88 @@
+"""Default rule set and the reviewed suppression allowlist.
+
+The allowlist is the *only* place whole files are exempted from a rule,
+and every entry carries the reason a reviewer accepted it.  Inline
+``# vihot: noqa[RULE]`` stays for single-line false positives; anything
+broader belongs here where the next PR can see (and challenge) it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.contracts import (
+    BareExceptRule,
+    EmptyWithoutDtypeRule,
+    MissingAnnotationRule,
+    MutableDefaultRule,
+)
+from repro.analysis.determinism import (
+    ClockReadRule,
+    GlobalNumpyRandomRule,
+    SeedlessSeedParamRule,
+    StdlibRandomRule,
+    UnseededGeneratorRule,
+)
+from repro.analysis.engine import Allowlist, AllowlistEntry, Rule
+
+__all__ = ["DEFAULT_ALLOWLIST", "default_rules"]
+
+
+def default_rules() -> list[Rule]:
+    """Fresh instances of every rule ``vihot lint`` runs by default."""
+    return [
+        GlobalNumpyRandomRule(),
+        StdlibRandomRule(),
+        ClockReadRule(),
+        UnseededGeneratorRule(),
+        SeedlessSeedParamRule(),
+        MutableDefaultRule(),
+        MissingAnnotationRule(),
+        BareExceptRule(),
+        EmptyWithoutDtypeRule(),
+    ]
+
+
+#: Reviewed exemptions.  Keep this list short: every entry is a place
+#: where replay determinism is deliberately *not* the contract.
+DEFAULT_ALLOWLIST = Allowlist(
+    [
+        AllowlistEntry(
+            suffix="repro/cli.py",
+            rule="VH103",
+            reason=(
+                "CLI progress timing: `time.perf_counter()` spans around "
+                "subcommand bodies feed human-readable '[fig02 in 3s]' "
+                "prints only; no estimate depends on them."
+            ),
+        ),
+        AllowlistEntry(
+            suffix="repro/serve/loadgen.py",
+            rule="VH103",
+            reason=(
+                "Load-generator throughput measurement: wall seconds are "
+                "the *measurand* (session-packets/s). The estimates the "
+                "bit-identity check compares are keyed by stream time."
+            ),
+        ),
+        AllowlistEntry(
+            suffix="repro/serve/scheduler.py",
+            rule="VH103",
+            reason=(
+                "Budget enforcement reads `perf_counter` through the "
+                "injectable `wall_clock` hook; tests replace it with a "
+                "virtual clock, production measures real elapsed budget. "
+                "Which estimates are produced (not their values) may "
+                "depend on it by design — that is what deadline "
+                "accounting is."
+            ),
+        ),
+        AllowlistEntry(
+            suffix="repro/serve/manager.py",
+            rule="VH103",
+            reason=(
+                "Idle-eviction uses the injectable `clock` hook "
+                "(`time.monotonic` default) for wall-idle timeouts; "
+                "estimate values never read it."
+            ),
+        ),
+    ]
+)

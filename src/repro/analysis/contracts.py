@@ -1,0 +1,198 @@
+"""Contract rules (VH2xx): API and buffer hygiene the type checker misses.
+
+These complement mypy rather than duplicate it: mutable defaults and
+bare ``except:`` are legal Python that mypy accepts, ``np.empty`` dtype
+inference is invisible to static typing, and the annotation rule keeps
+``py.typed`` honest for the packages whose public surface downstream
+code actually types against (``repro.core``, ``repro.dsp``).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+
+__all__ = [
+    "MutableDefaultRule",
+    "MissingAnnotationRule",
+    "BareExceptRule",
+    "EmptyWithoutDtypeRule",
+]
+
+#: Builtin constructors whose results are mutable — calling them in a
+#: default argument shares one instance across every call.
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set", "bytearray", "collections.deque"}
+
+
+def _defaulted_args(node: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[
+    tuple[ast.arg, ast.expr]
+]:
+    args = node.args
+    positional = args.posonlyargs + args.args
+    for arg, default in zip(positional[len(positional) - len(args.defaults):], args.defaults):
+        yield arg, default
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            yield arg, default
+
+
+def _iter_functions(
+    module: ModuleContext,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+class MutableDefaultRule(Rule):
+    """Forbid mutable default argument values."""
+
+    id = "VH201"
+    name = "mutable-default"
+    description = "mutable default argument (literal or `list()`/`dict()`/`set()`)"
+    rationale = (
+        "A mutable default is evaluated once at definition time and shared "
+        "by every call; state leaks between sessions, which is exactly the "
+        "cross-request contamination the serving layer must never have. "
+        "Use `None` and construct inside the function."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for fn in _iter_functions(module):
+            for arg, default in _defaulted_args(fn):
+                bad = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                    isinstance(default, ast.Call)
+                    and module.call_name(default) in _MUTABLE_CONSTRUCTORS
+                )
+                if bad:
+                    yield self.finding(
+                        module,
+                        default,
+                        f"`{fn.name}` defaults `{arg.arg}` to a mutable value "
+                        "shared across calls; default to None and construct "
+                        "inside the function",
+                    )
+
+
+class MissingAnnotationRule(Rule):
+    """Public functions in typed packages must be fully annotated."""
+
+    id = "VH202"
+    name = "missing-annotations"
+    description = "public function missing parameter or return annotations"
+    rationale = (
+        "The distribution ships `py.typed`, so downstream type checkers "
+        "trust our public surface. An unannotated public function in "
+        "`repro.core` / `repro.dsp` degrades every caller to `Any`."
+    )
+
+    #: Path fragments this rule applies to (the packages whose public
+    #: API the paper-reproduction and serving layers type against).
+    covered = ("repro/core/", "repro/dsp/")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        normalized = module.rel_path.replace("\\", "/")
+        if not any(fragment in normalized for fragment in self.covered):
+            return
+        for fn, owner in self._public_functions(module.tree):
+            label = f"{owner}.{fn.name}" if owner else fn.name
+            missing = [
+                arg.arg
+                for arg in self._annotatable_args(fn)
+                if arg.annotation is None
+            ]
+            if missing:
+                yield self.finding(
+                    module,
+                    fn,
+                    f"public `{label}` is missing parameter annotations: "
+                    f"{', '.join(missing)}",
+                )
+            if fn.returns is None and fn.name != "__init__":
+                yield self.finding(
+                    module, fn, f"public `{label}` is missing a return annotation"
+                )
+
+    @staticmethod
+    def _annotatable_args(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> list[ast.arg]:
+        args = fn.args
+        collected = [
+            arg
+            for arg in args.posonlyargs + args.args + args.kwonlyargs
+            if arg.arg not in ("self", "cls")
+        ]
+        collected.extend(arg for arg in (args.vararg, args.kwarg) if arg is not None)
+        return collected
+
+    @staticmethod
+    def _public_functions(
+        tree: ast.Module,
+    ) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str | None]]:
+        def visible(name: str) -> bool:
+            return not name.startswith("_") or name == "__init__"
+
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and visible(
+                node.name
+            ):
+                yield node, None
+            elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ) and visible(item.name):
+                        yield item, node.name
+
+
+class BareExceptRule(Rule):
+    """Forbid bare ``except:`` handlers."""
+
+    id = "VH203"
+    name = "bare-except"
+    description = "bare `except:` handler"
+    rationale = (
+        "Bare except swallows KeyboardInterrupt, SystemExit and — worse "
+        "here — the ValueError guards the trackers raise on non-finite "
+        "input, turning loud data corruption into silent drift."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare `except:` catches everything including "
+                    "KeyboardInterrupt; name the exceptions",
+                )
+
+
+class EmptyWithoutDtypeRule(Rule):
+    """``np.empty`` in buffer code must pin its dtype."""
+
+    id = "VH204"
+    name = "empty-without-dtype"
+    description = "`np.empty(...)` without an explicit dtype"
+    rationale = (
+        "`np.empty` returns uninitialised memory whose default dtype is a "
+        "platform-dependent float; ring buffers and CSI matrices that feed "
+        "the bit-identity check must pin dtype explicitly so a refactor "
+        "can't change numeric width silently."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = module.call_name(node)
+            if name == "numpy.empty" and not any(
+                keyword.arg == "dtype" for keyword in node.keywords
+            ) and len(node.args) < 2:
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{name}` without an explicit dtype; buffer dtypes must "
+                    "be pinned (np.float64 / np.complex128)",
+                )

@@ -1,0 +1,232 @@
+"""Determinism rules (VH1xx): no hidden entropy, no hidden clocks.
+
+The serving layer's acceptance property — estimates served through the
+:class:`~repro.serve.manager.SessionManager` are *bit-identical* to a
+standalone replay — is only provable because every random draw in the
+estimation path flows from an explicit seed and no estimate depends on
+when it was computed.  These rules reject the constructs that erode
+that property one innocent-looking line at a time.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+
+__all__ = [
+    "GlobalNumpyRandomRule",
+    "StdlibRandomRule",
+    "ClockReadRule",
+    "UnseededGeneratorRule",
+    "SeedlessSeedParamRule",
+]
+
+#: ``numpy.random`` attributes that are *not* draws from the legacy
+#: global state: constructors, seeding plumbing and submodule types.
+_NUMPY_RANDOM_SAFE = {
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+    "default_rng",
+    "RandomState",  # covered separately by VH104
+}
+
+#: Clock reads.  Monotonic clocks are listed too: an estimate that
+#: depends on *any* clock read cannot be replayed bit-identically, so
+#: even ``perf_counter`` needs an allowlist entry (CLI progress timing,
+#: loadgen throughput measurement) to appear in a covered module.
+_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Callables that construct an RNG and fall back to OS entropy when the
+#: seed argument is missing or ``None``.
+_RNG_CONSTRUCTORS = {
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.SeedSequence",
+    "random.Random",
+}
+
+
+def _iter_calls(module: ModuleContext) -> Iterator[tuple[ast.Call, str]]:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call):
+            name = module.call_name(node)
+            if name is not None:
+                yield node, name
+
+
+class GlobalNumpyRandomRule(Rule):
+    """Forbid draws from numpy's hidden global RandomState."""
+
+    id = "VH101"
+    name = "global-numpy-rng"
+    description = "call into the global `np.random.*` state"
+    rationale = (
+        "Draws from numpy's module-level RandomState depend on every draw "
+        "any other code made before them; replaying a session can never be "
+        "bit-identical. Thread an explicit `np.random.Generator` instead."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node, name in _iter_calls(module):
+            parts = name.split(".")
+            if (
+                len(parts) == 3
+                and parts[:2] == ["numpy", "random"]
+                and parts[2] not in _NUMPY_RANDOM_SAFE
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{name}` draws from numpy's global RNG state; "
+                    "thread a seeded `np.random.Generator` instead",
+                )
+
+
+class StdlibRandomRule(Rule):
+    """Forbid draws from the stdlib `random` module's global instance."""
+
+    id = "VH102"
+    name = "stdlib-random"
+    description = "call into the stdlib `random` module's global RNG"
+    rationale = (
+        "`random.random()` and friends share one process-global Mersenne "
+        "Twister; any library call can perturb the stream. Estimation code "
+        "must draw from an explicitly seeded generator."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.imports_module("random"):
+            return
+        for node, name in _iter_calls(module):
+            parts = name.split(".")
+            if len(parts) == 2 and parts[0] == "random" and parts[1] != "Random":
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{name}` uses the process-global stdlib RNG; "
+                    "use a seeded `random.Random` or `np.random.Generator`",
+                )
+
+
+class ClockReadRule(Rule):
+    """Forbid clock reads (wall or monotonic) in estimation modules."""
+
+    id = "VH103"
+    name = "clock-read"
+    description = "clock read (`time.time`, `datetime.now`, `perf_counter`, ...)"
+    rationale = (
+        "An estimate that depends on a clock read cannot be replayed "
+        "bit-identically, and `time.time()` is not even monotonic (NTP "
+        "steps it backwards). Estimation code must be a pure function of "
+        "packets and stream timestamps; measurement harnesses that "
+        "legitimately time wall progress (CLI, loadgen) carry reviewed "
+        "allowlist entries."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node, name in _iter_calls(module):
+            if name in _CLOCK_CALLS and module.imports_module(name.split(".")[0]):
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{name}()` reads a clock; estimation paths must depend "
+                    "only on stream timestamps (allowlist measurement code "
+                    "explicitly in repro.analysis.config)",
+                )
+
+
+class UnseededGeneratorRule(Rule):
+    """Forbid RNG construction that falls back to OS entropy."""
+
+    id = "VH104"
+    name = "unseeded-rng"
+    description = "RNG constructed without an explicit seed"
+    rationale = (
+        "`np.random.default_rng()` with no (or None) seed pulls OS entropy, "
+        "so two runs of the same session diverge. Every generator in this "
+        "codebase is constructed from an explicit seed or SeedSequence."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node, name in _iter_calls(module):
+            if name not in _RNG_CONSTRUCTORS:
+                continue
+            seed_args = [a for a in node.args if not isinstance(a, ast.Starred)]
+            seed_kwarg = next((k.value for k in node.keywords if k.arg == "seed"), None)
+            has_star = any(isinstance(a, ast.Starred) for a in node.args) or any(
+                k.arg is None for k in node.keywords
+            )
+            seed = seed_kwarg if seed_kwarg is not None else (seed_args[0] if seed_args else None)
+            explicit_none = isinstance(seed, ast.Constant) and seed.value is None
+            if (seed is None and not has_star) or explicit_none:
+                yield self.finding(
+                    module,
+                    node,
+                    f"`{name}` without an explicit seed draws OS entropy; "
+                    "pass a seed (or an rng threaded from one)",
+                )
+
+
+class SeedlessSeedParamRule(Rule):
+    """Public constructors/functions must not default ``seed`` to None."""
+
+    id = "VH105"
+    name = "seedless-seed-param"
+    description = "public `seed` parameter defaulting to None"
+    rationale = (
+        "A `seed=None` default makes the undeterministic path the default "
+        "path: callers who forget the argument silently lose replayability. "
+        "Default to a concrete integer seed instead."
+    )
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_") and node.name != "__init__":
+                continue
+            args = node.args
+            positional = args.posonlyargs + args.args
+            pairs = list(
+                zip(positional[len(positional) - len(args.defaults):], args.defaults)
+            ) + [
+                (arg, default)
+                for arg, default in zip(args.kwonlyargs, args.kw_defaults)
+                if default is not None
+            ]
+            for arg, default in pairs:
+                if (
+                    arg.arg == "seed"
+                    and isinstance(default, ast.Constant)
+                    and default.value is None
+                ):
+                    yield self.finding(
+                        module,
+                        default,
+                        f"`{node.name}` defaults `seed=None` (OS entropy); "
+                        "default to a concrete integer seed",
+                    )

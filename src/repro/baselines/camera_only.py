@@ -8,6 +8,7 @@ and night-time degradation (set ``CameraConfig.light_level`` low).
 
 from __future__ import annotations
 
+
 import numpy as np
 
 from repro.core.tracker import Estimate, TrackingResult
@@ -20,8 +21,8 @@ class CameraOnlyTracker:
     def __init__(
         self,
         scene,
-        config: CameraConfig = CameraConfig(),
-        rng: np.random.Generator = None,
+        config: CameraConfig | None = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         self._camera = CameraTracker(scene, config, rng=rng)
 

@@ -9,7 +9,6 @@ whenever the run-time head speed differs from the profiling speed
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -27,11 +26,13 @@ from repro.net.link import CsiStream
 class NearestFingerprintTracker:
     """Fixed-length window matching under a plain circular-L1 distance."""
 
-    def __init__(self, profile: CsiProfile, config: ViHOTConfig = ViHOTConfig()) -> None:
+    def __init__(
+        self, profile: CsiProfile, config: ViHOTConfig | None = None
+    ) -> None:
         if len(profile) == 0:
             raise ValueError("cannot track against an empty profile")
         self._profile = profile
-        self._config = config
+        self._config = config if config is not None else ViHOTConfig()
 
     def _match(self, query: np.ndarray, index: int):
         pos = self._profile[index]
@@ -51,7 +52,7 @@ class NearestFingerprintTracker:
         self,
         stream: CsiStream,
         estimate_stride_s: float = 0.05,
-        t_start: Optional[float] = None,
+        t_start: float | None = None,
     ) -> TrackingResult:
         """Track a session with rigid window matching."""
         if estimate_stride_s <= 0:

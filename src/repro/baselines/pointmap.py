@@ -9,7 +9,6 @@ quantify exactly how much the DTW series matching buys.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -29,17 +28,19 @@ class PointMappingTracker:
     isolates the series-matching stage.
     """
 
-    def __init__(self, profile: CsiProfile, config: ViHOTConfig = ViHOTConfig()) -> None:
+    def __init__(
+        self, profile: CsiProfile, config: ViHOTConfig | None = None
+    ) -> None:
         if len(profile) == 0:
             raise ValueError("cannot track against an empty profile")
         self._profile = profile
-        self._config = config
+        self._config = config if config is not None else ViHOTConfig()
 
     def process(
         self,
         stream: CsiStream,
         estimate_stride_s: float = 0.05,
-        t_start: Optional[float] = None,
+        t_start: float | None = None,
     ) -> TrackingResult:
         """Track a session with per-sample inverse mapping."""
         if estimate_stride_s <= 0:

@@ -18,7 +18,6 @@ Ornstein-Uhlenbeck sway models natural postural drift within a trip.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 import numpy as np
 
@@ -37,12 +36,22 @@ def constant_trajectory(
     return PiecewiseTrajectory.constant(yaw_rad, t_start, t_start + duration_s)
 
 
+#: Profiling-scan defaults (Sec. 3.3): sweep extent and speed.
+_SCAN_AMPLITUDE_RAD = float(np.deg2rad(80.0))
+_SCAN_SPEED_RAD_S = float(np.deg2rad(60.0))
+
+#: Run-time glance defaults (Sec. 5.1): quick mirror checks.
+_GLANCE_SPEED_RAD_S = float(np.deg2rad(110.0))
+_GLANCE_MAX_RAD = float(np.deg2rad(85.0))
+_GLANCE_MIN_RAD = float(np.deg2rad(25.0))
+
+
 def scan_trajectory(
     duration_s: float,
-    amplitude_rad: float = np.deg2rad(80.0),
-    speed_rad_s: float = np.deg2rad(60.0),
+    amplitude_rad: float = _SCAN_AMPLITUDE_RAD,
+    speed_rad_s: float = _SCAN_SPEED_RAD_S,
     t_start: float = 0.0,
-    rng: Optional[np.random.Generator] = None,
+    rng: np.random.Generator | None = None,
     amplitude_jitter: float = 0.06,
 ) -> YawTrajectory:
     """Continuous left-right head sweeps for profiling (Sec. 3.3).
@@ -82,10 +91,10 @@ def scan_trajectory(
 def glance_trajectory(
     duration_s: float,
     rng: np.random.Generator,
-    speed_rad_s: float = np.deg2rad(110.0),
+    speed_rad_s: float = _GLANCE_SPEED_RAD_S,
     glances_per_minute: float = 14.0,
-    max_glance_rad: float = np.deg2rad(85.0),
-    min_glance_rad: float = np.deg2rad(25.0),
+    max_glance_rad: float = _GLANCE_MAX_RAD,
+    min_glance_rad: float = _GLANCE_MIN_RAD,
     dwell_range_s: tuple = (0.25, 0.9),
     t_start: float = 0.0,
 ) -> YawTrajectory:
@@ -169,7 +178,7 @@ class HeadPositionModel:
             dt = 1.0 / self._GRID_HZ
             rho = np.exp(-dt / self.sway_tau_s)
             innovation = self.sway_std_m * np.sqrt(1.0 - rho**2)
-            path = np.empty((n, 3))
+            path = np.empty((n, 3), dtype=np.float64)
             path[0] = rng.normal(0.0, self.sway_std_m, 3)
             noise = rng.normal(0.0, innovation, (n - 1, 3))
             for k in range(1, n):
@@ -193,7 +202,12 @@ class HeadPositionModel:
         )
         return base[None, :] + sway
 
-    def with_lean(self, lean_m: float, seed: Optional[int] = None) -> "HeadPositionModel":
+    def with_lean(
+        self,
+        lean_m: float,
+        # None inherits self.seed — deterministic, never OS entropy.
+        seed: int | None = None,  # vihot: noqa[VH105]
+    ) -> HeadPositionModel:
         """Copy with a different lean (a new profiled head position)."""
         return HeadPositionModel(
             base_center=self.base_center,

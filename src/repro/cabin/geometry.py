@@ -21,7 +21,6 @@ Five RX-antenna layouts mirror Sec. 5.2.2:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -47,7 +46,7 @@ STEERING_WHEEL_RADIUS = 0.19
 #: Cabin bounding box for static clutter, (min, max) corners [m].
 CABIN_BOUNDS = (vec3(0.05, -0.55, -0.45), vec3(1.85, 0.90, 0.65))
 
-_RX_LAYOUTS: Dict[str, Tuple[Tuple[float, float, float], ...]] = {
+_RX_LAYOUTS: dict[str, tuple[tuple[float, float, float], ...]] = {
     "behind-driver": ((1.05, 0.00, 0.33), (0.25, 0.25, 0.35)),
     "center-console": ((0.45, 0.35, -0.15), (0.50, 0.42, -0.15)),
     "rear-shelf": ((1.75, -0.25, 0.30), (1.75, 0.30, 0.30)),
@@ -56,10 +55,10 @@ _RX_LAYOUTS: Dict[str, Tuple[Tuple[float, float, float], ...]] = {
 }
 
 #: Layout names in the paper's "Layout 1..5" order.
-RX_LAYOUT_NAMES: Tuple[str, ...] = tuple(_RX_LAYOUTS.keys())
+RX_LAYOUT_NAMES: tuple[str, ...] = tuple(_RX_LAYOUTS.keys())
 
 
-def rx_layout(name_or_index) -> List[Antenna]:
+def rx_layout(name_or_index) -> list[Antenna]:
     """Build the RX antenna pair for a named (or 1-based indexed) layout."""
     if isinstance(name_or_index, int):
         if not 1 <= name_or_index <= len(RX_LAYOUT_NAMES):
@@ -102,12 +101,12 @@ class CabinLayout:
             name="phone",
         )
     )
-    rx_antennas: Tuple[Antenna, ...] = field(
+    rx_antennas: tuple[Antenna, ...] = field(
         default_factory=lambda: tuple(rx_layout("behind-driver"))
     )
     num_clutter: int = 6
     clutter_seed: int = 2018
-    surfaces: Tuple[ReflectingPlane, ...] = field(
+    surfaces: tuple[ReflectingPlane, ...] = field(
         default_factory=lambda: tuple(default_cabin_surfaces())
     )
 
@@ -117,7 +116,7 @@ class CabinLayout:
         object.__setattr__(self, "rx_antennas", tuple(self.rx_antennas))
         object.__setattr__(self, "surfaces", tuple(self.surfaces))
 
-    def static_clutter(self) -> List[Tuple[np.ndarray, float]]:
+    def static_clutter(self) -> list[tuple[np.ndarray, float]]:
         """Deterministic ``(position, rcs)`` list for the cabin's clutter.
 
         Metal interior objects can be strong reflectors (footnote 2 of the
@@ -130,7 +129,7 @@ class CabinLayout:
         rcs = rng.uniform(0.002, 0.015, size=self.num_clutter)
         return [(positions[k], float(rcs[k])) for k in range(self.num_clutter)]
 
-    def with_rx_layout(self, name_or_index) -> "CabinLayout":
+    def with_rx_layout(self, name_or_index) -> CabinLayout:
         """Copy of this layout with a different RX antenna placement."""
         return CabinLayout(
             tx_antenna=self.tx_antenna,

@@ -28,7 +28,6 @@ toward the phone); positive theta turns toward the passenger (+y).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -89,11 +88,11 @@ class HeadModel:
 
     radius: float = 0.095
     rcs_m2: float = 0.030
-    depth_coeffs: Tuple[float, float, float] = (0.016, 0.009, 0.005)
+    depth_coeffs: tuple[float, float, float] = (0.016, 0.009, 0.005)
     lateral_swing_m: float = 0.025
     back_rcs_m2: float = 0.006
     rcs_aspect_gain: float = 0.25
-    creeping_coeffs: Tuple[float, float, float] = (0.006, 0.004, 0.030)
+    creeping_coeffs: tuple[float, float, float] = (0.006, 0.004, 0.030)
     ripple_amp_m: float = 0.0015
     ripple_cycles: float = 3.0
     ripple_phase_rad: float = 0.7
@@ -149,7 +148,7 @@ class HeadModel:
         centers: np.ndarray,
         yaw_rad: np.ndarray,
         toward: np.ndarray,
-    ) -> List[ScattererTrack]:
+    ) -> list[ScattererTrack]:
         """Scattering-centre tracks for the RF channel.
 
         Args:
@@ -199,7 +198,7 @@ class HeadModel:
         return tracks
 
     def blocker_track(
-        self, centers: np.ndarray, yaw_rad: Optional[np.ndarray] = None
+        self, centers: np.ndarray, yaw_rad: np.ndarray | None = None
     ) -> BlockerTrack:
         """The head sphere as an LOS blocker.
 

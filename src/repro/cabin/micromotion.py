@@ -16,7 +16,6 @@ same world).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
 
 import numpy as np
 
@@ -40,7 +39,7 @@ class BreathingMotion:
     phase_rad: float = 0.0
     name: str = "breathing-chest"
 
-    def tracks(self, times: np.ndarray) -> List[ScattererTrack]:
+    def tracks(self, times: np.ndarray) -> list[ScattererTrack]:
         times = np.atleast_1d(np.asarray(times, dtype=np.float64))
         displacement = self.amplitude_m * np.sin(
             2.0 * np.pi * self.rate_hz * times + self.phase_rad
@@ -66,7 +65,7 @@ class EyeBlinkMotion:
     seed: int = 11
     name: str = "eye-motion"
 
-    def tracks(self, times: np.ndarray) -> List[ScattererTrack]:
+    def tracks(self, times: np.ndarray) -> list[ScattererTrack]:
         times = np.atleast_1d(np.asarray(times, dtype=np.float64))
         rng = np.random.default_rng(self.seed)
         # Random saccade phase jumps on a coarse grid, interpolated.
@@ -94,7 +93,7 @@ class MusicVibrationMotion:
     axis: np.ndarray = field(default_factory=lambda: vec3(0.0, 0.0, 1.0))
     name: str = "music-panel"
 
-    def tracks(self, times: np.ndarray) -> List[ScattererTrack]:
+    def tracks(self, times: np.ndarray) -> list[ScattererTrack]:
         times = np.atleast_1d(np.asarray(times, dtype=np.float64))
         displacement = self.amplitude_m * np.sin(2.0 * np.pi * self.rate_hz * times)
         positions = np.asarray(self.position) + displacement[:, None] * np.asarray(

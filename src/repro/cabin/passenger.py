@@ -11,7 +11,6 @@ at roadside scenes").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
 
 import numpy as np
 
@@ -58,14 +57,14 @@ class PassengerModel:
             base_center=PASSENGER_HEAD_CENTER.copy(), seed=23
         )
     )
-    yaw: Optional[YawTrajectory] = None
+    yaw: YawTrajectory | None = None
 
     def _yaw_at(self, times: np.ndarray) -> np.ndarray:
         if self.yaw is None:
             return np.zeros(len(times))
         return self.yaw.value(times)
 
-    def scatterer_tracks(self, times: np.ndarray) -> List[ScattererTrack]:
+    def scatterer_tracks(self, times: np.ndarray) -> list[ScattererTrack]:
         """Passenger head scatterers at ``times``."""
         times = np.atleast_1d(np.asarray(times, dtype=np.float64))
         centers = self.positions.centers(times)
@@ -73,7 +72,7 @@ class PassengerModel:
             centers, self._yaw_at(times), toward=PHONE_POSITION
         )
 
-    def blocker_tracks(self, times: np.ndarray) -> List[BlockerTrack]:
+    def blocker_tracks(self, times: np.ndarray) -> list[BlockerTrack]:
         """Passenger head as an LOS blocker."""
         times = np.atleast_1d(np.asarray(times, dtype=np.float64))
         return [self.head.blocker_track(self.positions.centers(times))]

@@ -15,7 +15,7 @@ synthesis, the IMU streams and the ground truth all agree on one world.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -58,12 +58,12 @@ class CabinScene:
     driver_yaw_trajectory: YawTrajectory = field(
         default_factory=lambda: PiecewiseTrajectory.constant(0.0, 0.0, 60.0)
     )
-    steering: Optional[SteeringModel] = field(default_factory=SteeringModel)
-    steering_trajectory: Optional[SteeringTrajectory] = None
+    steering: SteeringModel | None = field(default_factory=SteeringModel)
+    steering_trajectory: SteeringTrajectory | None = None
     vehicle: VehicleKinematics = field(default_factory=VehicleKinematics)
-    passenger: Optional[PassengerModel] = None
+    passenger: PassengerModel | None = None
     micromotions: Sequence = field(default_factory=lambda: [BreathingMotion()])
-    vibration: Optional[VibrationModel] = None
+    vibration: VibrationModel | None = None
 
     # ------------------------------------------------------------------
     # Scene interface for ChannelSimulator
@@ -89,10 +89,10 @@ class CabinScene:
             return np.zeros((n_rx, len(times), 3))
         return self.vibration.offsets(times, n_rx)
 
-    def scatterer_tracks(self, times: np.ndarray) -> List[ScattererTrack]:
+    def scatterer_tracks(self, times: np.ndarray) -> list[ScattererTrack]:
         """Every reflector in the cabin, sampled at ``times``."""
         times = np.atleast_1d(np.asarray(times, dtype=np.float64))
-        tracks: List[ScattererTrack] = []
+        tracks: list[ScattererTrack] = []
 
         centers = self.driver_positions.centers(times)
         yaw = self.driver_yaw_trajectory.value(times)
@@ -118,7 +118,7 @@ class CabinScene:
             tracks.append(ScattererTrack("static-clutter", constant, rcs))
         return tracks
 
-    def blocker_tracks(self, times: np.ndarray) -> List[BlockerTrack]:
+    def blocker_tracks(self, times: np.ndarray) -> list[BlockerTrack]:
         """LOS-blocking spheres (driver head, passenger head)."""
         times = np.atleast_1d(np.asarray(times, dtype=np.float64))
         centers = self.driver_positions.centers(times)

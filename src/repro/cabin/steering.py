@@ -11,7 +11,6 @@ signal the steering identifier (Sec. 3.6.2) keys on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -22,10 +21,16 @@ from repro.rf.multipath import ScattererTrack
 SteeringTrajectory = PiecewiseTrajectory
 
 
+#: Steering defaults (Sec. 3.6): lane-keeping jitter and turn dynamics.
+_LANE_JITTER_RAD = float(np.deg2rad(3.0))
+_TURN_ANGLE_RANGE_RAD = (float(np.deg2rad(120.0)), float(np.deg2rad(360.0)))
+_WHEEL_RATE_RAD_S = float(np.deg2rad(180.0))
+
+
 def lane_keeping_trajectory(
     duration_s: float,
     rng: np.random.Generator,
-    jitter_rad: float = np.deg2rad(3.0),
+    jitter_rad: float = _LANE_JITTER_RAD,
     correction_rate_hz: float = 0.4,
     t_start: float = 0.0,
 ) -> SteeringTrajectory:
@@ -56,8 +61,8 @@ def turning_trajectory(
     duration_s: float,
     rng: np.random.Generator,
     turns_per_minute: float = 2.0,
-    turn_angle_range_rad: Tuple[float, float] = (np.deg2rad(120.0), np.deg2rad(360.0)),
-    wheel_rate_rad_s: float = np.deg2rad(180.0),
+    turn_angle_range_rad: tuple[float, float] = _TURN_ANGLE_RANGE_RAD,
+    wheel_rate_rad_s: float = _WHEEL_RATE_RAD_S,
     t_start: float = 0.0,
 ) -> SteeringTrajectory:
     """Lane keeping plus occasional large intersection turns.
@@ -99,7 +104,7 @@ class SteeringModel:
 
     center: np.ndarray = field(default_factory=lambda: STEERING_WHEEL_CENTER.copy())
     radius: float = STEERING_WHEEL_RADIUS
-    hand_angles_rad: Tuple[float, float] = (-np.deg2rad(50.0), np.deg2rad(50.0))
+    hand_angles_rad: tuple[float, float] = (-np.deg2rad(50.0), np.deg2rad(50.0))
     hand_rcs_m2: float = 0.008
 
     def __post_init__(self) -> None:
@@ -128,8 +133,8 @@ class SteeringModel:
     def scatterer_tracks(
         self,
         times: np.ndarray,
-        wheel_angle: Optional[SteeringTrajectory],
-    ) -> List[ScattererTrack]:
+        wheel_angle: SteeringTrajectory | None,
+    ) -> list[ScattererTrack]:
         """Hand scatterer tracks for the channel (empty if no steering)."""
         times = np.asarray(times, dtype=np.float64)
         if wheel_angle is None:

@@ -81,20 +81,20 @@ class PiecewiseTrajectory:
         out = (self.value(times + dt / 2) - self.value(times - dt / 2)) / dt
         return float(out[0]) if scalar else out
 
-    def shift(self, dt: float) -> "PiecewiseTrajectory":
+    def shift(self, dt: float) -> PiecewiseTrajectory:
         """Copy with knots moved ``dt`` later."""
         return PiecewiseTrajectory(
             self.knot_times + dt, self.knot_values, self.smoothing_s
         )
 
-    def scaled(self, factor: float) -> "PiecewiseTrajectory":
+    def scaled(self, factor: float) -> PiecewiseTrajectory:
         """Copy with values multiplied by ``factor``."""
         return PiecewiseTrajectory(
             self.knot_times, self.knot_values * factor, self.smoothing_s
         )
 
     @staticmethod
-    def constant(value: float, t_start: float = 0.0, t_end: float = 1.0) -> "PiecewiseTrajectory":
+    def constant(value: float, t_start: float = 0.0, t_end: float = 1.0) -> PiecewiseTrajectory:
         """A trajectory pinned to ``value`` over ``[t_start, t_end]``."""
         if t_end <= t_start:
             raise ValueError(f"need t_end > t_start, got [{t_start}, {t_end}]")
@@ -120,7 +120,7 @@ class TrajectoryBuilder:
         """Current (latest) knot value."""
         return self._values[-1]
 
-    def hold(self, duration: float) -> "TrajectoryBuilder":
+    def hold(self, duration: float) -> TrajectoryBuilder:
         """Stay at the current value for ``duration`` seconds."""
         if duration < 0:
             raise ValueError(f"duration must be >= 0, got {duration}")
@@ -129,7 +129,7 @@ class TrajectoryBuilder:
             self._values.append(self.value)
         return self
 
-    def ramp_to(self, target: float, rate: float) -> "TrajectoryBuilder":
+    def ramp_to(self, target: float, rate: float) -> TrajectoryBuilder:
         """Move linearly to ``target`` at ``abs(rate)`` units per second."""
         if rate <= 0:
             raise ValueError(f"rate must be positive, got {rate}")

@@ -11,7 +11,6 @@ is negligible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -42,7 +41,7 @@ class VehicleKinematics:
     def yaw_rate(
         self,
         times: np.ndarray,
-        wheel_angle: Optional[PiecewiseTrajectory],
+        wheel_angle: PiecewiseTrajectory | None,
     ) -> np.ndarray:
         """Car yaw rate [rad/s] from the steering-wheel angle trajectory."""
         times = np.atleast_1d(np.asarray(times, dtype=np.float64))
@@ -54,7 +53,7 @@ class VehicleKinematics:
     def lateral_accel(
         self,
         times: np.ndarray,
-        wheel_angle: Optional[PiecewiseTrajectory],
+        wheel_angle: PiecewiseTrajectory | None,
     ) -> np.ndarray:
         """Lateral acceleration [m/s^2]: ``v * yaw_rate``."""
         return self.speed_mps * self.yaw_rate(times, wheel_angle)

@@ -71,7 +71,7 @@ class VibrationModel:
             raise ValueError(
                 f"times outside the realised horizon [0, {self.horizon_s}]"
             )
-        out = np.empty((num_antennas, len(times), 3))
+        out = np.empty((num_antennas, len(times), 3), dtype=np.float64)
         for a in range(num_antennas):
             grid, path = self._path(a)
             for d in range(3):

@@ -113,10 +113,10 @@ def cmd_profile(args) -> int:
     from repro.core.quality import assess_profile
 
     scenario = _scenario_from_args(args)
-    start = time.time()
+    start = time.perf_counter()
     profile = scenario.build_profile()
     profile.save(args.output)
-    print(f"profiled {len(profile)} head positions in {time.time() - start:.1f}s "
+    print(f"profiled {len(profile)} head positions in {time.perf_counter() - start:.1f}s "
           f"-> {args.output}")
     print(f"phi0 fingerprints: {np.round(profile.phi0_fingerprints(), 3)}")
     quality = assess_profile(profile)
@@ -131,9 +131,9 @@ def cmd_track(args) -> int:
         window_s=args.window / 1000.0, horizon_s=args.horizon / 1000.0
     )
     tracker = ViHOTTracker(profile, config)
-    start = time.time()
+    start = time.perf_counter()
     result = tracker.process(stream, estimate_stride_s=args.stride / 1000.0)
-    elapsed = time.time() - start
+    elapsed = time.perf_counter() - start
     if len(result) == 0:
         print("no estimates produced (capture too short?)", file=sys.stderr)
         return 1
@@ -171,9 +171,9 @@ def cmd_figure(args) -> int:
         kwargs.update(
             num_sessions=args.sessions, runtime_duration_s=args.duration
         )
-    start = time.time()
+    start = time.perf_counter()
     result = fn(**kwargs)
-    print(f"[{args.name} in {time.time() - start:.0f}s]")
+    print(f"[{args.name} in {time.perf_counter() - start:.0f}s]")
     _print_figure(args.name, result)
     return 0
 
@@ -203,9 +203,9 @@ def cmd_report(args) -> int:
             kwargs.update(
                 num_sessions=args.sessions, runtime_duration_s=args.duration
             )
-        start = time.time()
+        start = time.perf_counter()
         result = fn(**kwargs)
-        stamp = f"[{name}: {time.time() - start:.0f}s]"
+        stamp = f"[{name}: {time.perf_counter() - start:.0f}s]"
         print(stamp)
         lines.append(stamp)
         import io
@@ -219,6 +219,36 @@ def cmd_report(args) -> int:
     if args.output:
         Path(args.output).write_text("\n".join(lines))
         print(f"\nwrote report to {args.output}")
+    return 0
+
+
+def cmd_lint(args) -> int:
+    from repro.analysis import default_rules, run_analysis
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.id} {rule.name} [{rule.severity}]")
+            print(f"    {rule.description}")
+            print(f"    why: {rule.rationale}")
+        return 0
+    findings = run_analysis(
+        paths=args.paths or None,
+        use_default_allowlist=not args.no_default_allowlist,
+    )
+    if args.format == "json":
+        print(json.dumps([f.as_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+    if findings:
+        print(
+            f"vihot lint: {len(findings)} finding(s) — see docs/static-analysis.md "
+            "for rationale and suppression",
+            file=sys.stderr,
+        )
+        return 1
+    if args.format != "json":
+        print("vihot lint: clean")
     return 0
 
 
@@ -299,6 +329,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", default=None, help="write the result dict as JSON")
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the determinism/contract static-analysis suite",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories (default: the installed repro package)",
+    )
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--list-rules", action="store_true", help="print the rule catalogue")
+    p.add_argument(
+        "--no-default-allowlist",
+        action="store_true",
+        help="ignore the reviewed allowlist (audit mode)",
+    )
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("report", help="regenerate all figures into a text report")
     p.add_argument("--seed", type=int, default=0)

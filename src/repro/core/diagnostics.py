@@ -19,7 +19,7 @@ from the steering stage" — not just that it did.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple, Union
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -63,8 +63,8 @@ class StageStats:
 
 
 def aggregate_stage_traces(
-    estimates: Union[TrackingResult, Iterable[Estimate]],
-) -> Tuple[StageStats, ...]:
+    estimates: TrackingResult | Iterable[Estimate],
+) -> tuple[StageStats, ...]:
     """Fold every estimate's stage trace into per-stage counters/timings.
 
     Accepts a whole :class:`TrackingResult` or any iterable of
@@ -76,11 +76,11 @@ def aggregate_stage_traces(
     """
     if isinstance(estimates, TrackingResult):
         estimates = estimates.estimates
-    order: List[str] = []
-    evaluated: Dict[str, int] = {}
-    fired: Dict[str, int] = {}
-    terminal: Dict[str, int] = {}
-    timings: Dict[str, List[float]] = {}
+    order: list[str] = []
+    evaluated: dict[str, int] = {}
+    fired: dict[str, int] = {}
+    terminal: dict[str, int] = {}
+    timings: dict[str, list[float]] = {}
     for estimate in estimates:
         if estimate.trace is None:
             continue
@@ -139,9 +139,9 @@ class TrackingHealth:
     sampling_rate_hz: float
     max_gap_ms: float
     verdict: str
-    stage_stats: Tuple[StageStats, ...] = field(default=())
+    stage_stats: tuple[StageStats, ...] = field(default=())
 
-    def stage(self, name: str) -> Optional[StageStats]:
+    def stage(self, name: str) -> StageStats | None:
         """The aggregated stats of stage ``name`` (``None`` if absent)."""
         for stats in self.stage_stats:
             if stats.stage == name:
@@ -176,10 +176,11 @@ class DiagnosticThresholds:
 
 def diagnose(
     result: TrackingResult,
-    stream: Optional[CsiStream] = None,
-    thresholds: DiagnosticThresholds = DiagnosticThresholds(),
+    stream: CsiStream | None = None,
+    thresholds: DiagnosticThresholds | None = None,
 ) -> TrackingHealth:
     """Condense a session into a :class:`TrackingHealth` report."""
+    thresholds = thresholds if thresholds is not None else DiagnosticThresholds()
     if len(result) == 0:
         raise ValueError("cannot diagnose an empty tracking result")
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from time import perf_counter
-from typing import List, Optional, Tuple
+from collections.abc import Callable
 
 from repro.core.config import ViHOTConfig
 from repro.core.matching import SeriesMatcher
@@ -39,6 +39,7 @@ from repro.core.stages import (
     HOLD,
     PASS,
     RESOLVE,
+    CameraLike,
     EmitStage,
     Estimate,
     EstimationContext,
@@ -50,6 +51,7 @@ from repro.core.stages import (
     PositionStage,
     StabilityFixStage,
     Stage,
+    StageDecision,
     StageTrace,
     StationaryStage,
     SteeringStage,
@@ -72,8 +74,8 @@ class SessionState:
     """
 
     position: PositionEstimator
-    previous: Optional[Estimate] = None
-    last_confident_time: Optional[float] = None
+    previous: Estimate | None = None
+    last_confident_time: float | None = None
 
     def observe(self, estimate: Estimate) -> None:
         """Fold a newly issued estimate into the session state."""
@@ -88,8 +90,9 @@ class EstimationEngine:
     def __init__(
         self,
         profile: CsiProfile,
-        config: ViHOTConfig = ViHOTConfig(),
-        camera=None,
+        config: ViHOTConfig | None = None,
+        camera: CameraLike | None = None,
+        wall_clock: Callable[[], float] = perf_counter,
     ) -> None:
         """Args:
             profile: the driver's CSI profile from the profiling stage.
@@ -98,16 +101,21 @@ class EstimationEngine:
                 as the steering fallback (Sec. 3.6.2); without one the
                 engine holds the previous estimate through steering
                 events.
+            wall_clock: the clock behind the per-stage ``elapsed_ms``
+                trace timing — injectable so estimate *values* stay a
+                pure function of the stream (``vihot lint`` VH103).
         """
+        config = config if config is not None else ViHOTConfig()
         self._profile = profile
         self._config = config
+        self._wall_clock = wall_clock
         self._camera = camera
         self._matcher = SeriesMatcher(profile, config)
         self._steering = SteeringIdentifier(
             rate_threshold=config.steering_rate_threshold
         )
         self._default_position = len(profile) // 2
-        self._stages: Tuple[Stage, ...] = (
+        self._stages: tuple[Stage, ...] = (
             PositionStage(),
             SteeringStage(self._steering, camera, config),
             StabilityFixStage(),
@@ -128,7 +136,7 @@ class EstimationEngine:
         return self._profile
 
     @property
-    def stage_names(self) -> Tuple[str, ...]:
+    def stage_names(self) -> tuple[str, ...]:
         """The chain's stage names in execution order (``hold`` is the
         off-chain terminal every divert routes to)."""
         return tuple(stage.name for stage in self._stages)
@@ -156,10 +164,10 @@ class EstimationEngine:
     def estimate_at(
         self,
         phase: TimeSeries,
-        imu: Optional[TimeSeries],
+        imu: TimeSeries | None,
         t: float,
         state: SessionState,
-    ) -> Optional[Estimate]:
+    ) -> Estimate | None:
         """Run the chain once at time ``t`` and update ``state``.
 
         Args:
@@ -189,19 +197,19 @@ class EstimationEngine:
             state.observe(estimate)
         return estimate
 
-    def _run_chain(self, ctx: EstimationContext) -> Optional[Estimate]:
-        traces: List[StageTrace] = []
+    def _run_chain(self, ctx: EstimationContext) -> Estimate | None:
+        traces: list[StageTrace] = []
 
-        def timed(stage: Stage):
-            start = perf_counter()
+        def timed(stage: Stage) -> StageDecision:
+            start = self._wall_clock()
             decision = stage.run(ctx)
-            elapsed_ms = (perf_counter() - start) * 1e3
+            elapsed_ms = (self._wall_clock() - start) * 1e3
             traces.append(
                 StageTrace(stage.name, decision.fired, elapsed_ms, decision.detail)
             )
             return decision
 
-        estimate: Optional[Estimate] = None
+        estimate: Estimate | None = None
         terminal = ""
         emit_index = len(self._stages) - 1
         index = 0
@@ -235,8 +243,8 @@ class EstimationEngine:
         self,
         stream: CsiStream,
         estimate_stride_s: float = 0.05,
-        t_start: Optional[float] = None,
-    ) -> List[Estimate]:
+        t_start: float | None = None,
+    ) -> list[Estimate]:
         """Track a whole capture session through a fresh session state.
 
         Args:
@@ -253,7 +261,7 @@ class EstimationEngine:
         state = self.new_session()
         if t_start is None:
             t_start = phase.start + max(config.window_s, config.stable_window_s)
-        estimates: List[Estimate] = []
+        estimates: list[Estimate] = []
         t = float(t_start)
         while t <= phase.end + 1e-9:
             estimate = self.estimate_at(phase, stream.imu, t, state)

@@ -21,7 +21,6 @@ tracking std.  Fused estimates keep their engine stage trace.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
 
 import numpy as np
 
@@ -68,13 +67,13 @@ class FusedTracker:
         self,
         profile: CsiProfile,
         camera: CameraTracker,
-        vihot_config: ViHOTConfig = ViHOTConfig(),
-        fusion_config: FusionConfig = FusionConfig(),
-        rng: Optional[np.random.Generator] = None,
+        vihot_config: ViHOTConfig | None = None,
+        fusion_config: FusionConfig | None = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         self._engine = EstimationEngine(profile, vihot_config, camera=camera)
         self._camera = camera
-        self._config = fusion_config
+        self._config = fusion_config if fusion_config is not None else FusionConfig()
         self._rng = rng if rng is not None else np.random.default_rng(0)
 
     @property

@@ -17,7 +17,7 @@ is non-injective), so ViHOT matches the whole windowed phase series
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+import math
 
 import numpy as np
 
@@ -57,11 +57,13 @@ class MatchResult:
 class SeriesMatcher:
     """Matches CSI input windows against a driver's profile."""
 
-    def __init__(self, profile: CsiProfile, config: ViHOTConfig = ViHOTConfig()) -> None:
+    def __init__(
+        self, profile: CsiProfile, config: ViHOTConfig | None = None
+    ) -> None:
         if len(profile) == 0:
             raise ValueError("cannot match against an empty profile")
         self._profile = profile
-        self._config = config
+        self._config = config if config is not None else ViHOTConfig()
 
     @property
     def config(self) -> ViHOTConfig:
@@ -72,7 +74,7 @@ class SeriesMatcher:
         query: np.ndarray,
         position: PositionProfile,
         position_index: int,
-        center_orientation: Optional[float],
+        center_orientation: float | None,
         tolerance_rad: float,
     ):
         """Best matches of ``query`` within one position's profile series.
@@ -133,8 +135,8 @@ class SeriesMatcher:
         self,
         query: np.ndarray,
         position_index: int,
-        center_orientation: Optional[float] = None,
-        tolerance_rad: float = float("inf"),
+        center_orientation: float | None = None,
+        tolerance_rad: float = math.inf,
     ) -> MatchResult:
         """Match a resampled, wrapped phase window (Alg. 1).
 

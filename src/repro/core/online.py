@@ -23,7 +23,7 @@ tracker.
 
 from __future__ import annotations
 
-from typing import Optional
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -31,7 +31,7 @@ from repro.core.config import ViHOTConfig
 from repro.core.engine import EstimationEngine, SessionState
 from repro.core.profile import CsiProfile
 from repro.core.sanitize import antenna_phase_difference
-from repro.core.stages import Estimate
+from repro.core.stages import CameraLike, Estimate
 from repro.dsp.series import TimeSeries
 from repro.net.link import CsiStream
 
@@ -135,10 +135,11 @@ class OnlineTracker:
     def __init__(
         self,
         profile: CsiProfile,
-        config: ViHOTConfig = ViHOTConfig(),
-        camera=None,
+        config: ViHOTConfig | None = None,
+        camera: CameraLike | None = None,
         buffer_s: float = 10.0,
     ) -> None:
+        config = config if config is not None else ViHOTConfig()
         needed = max(config.stable_window_s, config.window_s) + 1.0
         if buffer_s < needed:
             raise ValueError(
@@ -150,7 +151,7 @@ class OnlineTracker:
         self._buffer_s = buffer_s
 
         self._phase = SampleRing()
-        self._last_wrapped: Optional[float] = None
+        self._last_wrapped: float | None = None
         self._unwrap_offset = 0.0
 
         self._imu = SampleRing()
@@ -233,7 +234,7 @@ class OnlineTracker:
         warmup = max(self._config.window_s, self._config.stable_window_s)
         return self.buffered_seconds >= warmup
 
-    def estimate(self, t: Optional[float] = None) -> Optional[Estimate]:
+    def estimate(self, t: float | None = None) -> Estimate | None:
         """Estimate the head orientation at ``t`` (default: latest sample).
 
         Returns ``None`` until :meth:`ready` (Alg. 1's setup time) or if
@@ -253,7 +254,9 @@ class OnlineTracker:
     # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
-    def feed(self, stream: CsiStream, estimate_stride_s: float = 0.05):
+    def feed(
+        self, stream: CsiStream, estimate_stride_s: float = 0.05
+    ) -> Iterator[Estimate]:
         """Replay a logged capture through the online path.
 
         Yields estimates as they become available — the streaming

@@ -13,7 +13,6 @@ with the distance measured on the circle.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -27,7 +26,7 @@ def detect_stable_phase(
     t: float,
     window_s: float,
     std_threshold_rad: float,
-) -> Optional[float]:
+) -> float | None:
     """If the phase was flat over ``[t - window_s, t]``, return its level.
 
     Returns the wrapped circular-mean phase of the window when its
@@ -65,22 +64,22 @@ class PositionEstimator:
         if len(self.profile) == 0:
             raise ValueError("cannot estimate positions against an empty profile")
         self._fingerprints = self.profile.phi0_fingerprints()
-        self._current: Optional[int] = None
-        self._last_phi0: Optional[float] = None
-        self._last_fix_time: Optional[float] = None
+        self._current: int | None = None
+        self._last_phi0: float | None = None
+        self._last_fix_time: float | None = None
 
     @property
-    def current_index(self) -> Optional[int]:
+    def current_index(self) -> int | None:
         """Most recent position estimate (``None`` before the first one)."""
         return self._current
 
     @property
-    def last_phi0(self) -> Optional[float]:
+    def last_phi0(self) -> float | None:
         """The stable phase that produced the current estimate."""
         return self._last_phi0
 
     @property
-    def last_fix_time(self) -> Optional[float]:
+    def last_fix_time(self) -> float | None:
         """When the most recent stable interval was observed.
 
         While a fix is *current* (the phase is stable right now), the
@@ -106,7 +105,7 @@ class PositionEstimator:
         ties = np.flatnonzero(distances <= distances[best] + self.tie_margin_rad)
         return int(min(ties, key=lambda i: abs(int(i) - self._current)))
 
-    def update(self, phase: TimeSeries, t: float) -> Optional[int]:
+    def update(self, phase: TimeSeries, t: float) -> int | None:
         """Ingest the phase history up to time ``t``.
 
         Returns the (possibly unchanged) current position index, or

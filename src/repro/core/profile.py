@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -76,13 +76,13 @@ class PositionProfile:
 class CsiProfile:
     """A driver's complete profile ``P`` over all head positions."""
 
-    positions: List[PositionProfile] = field(default_factory=list)
+    positions: list[PositionProfile] = field(default_factory=list)
     driver: str = "unknown"
 
     def __len__(self) -> int:
         return len(self.positions)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[PositionProfile]:
         return iter(self.positions)
 
     def __getitem__(self, index: int) -> PositionProfile:
@@ -110,10 +110,10 @@ class CsiProfile:
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, path) -> None:
+    def save(self, path: str | Path) -> None:
         """Serialise to a ``.npz`` archive at ``path``."""
         path = Path(path)
-        arrays = {}
+        arrays: dict[str, np.ndarray] = {}
         meta = {"driver": self.driver, "num_positions": len(self.positions)}
         labels, rates, phi0s = [], [], []
         for k, pos in enumerate(self.positions):
@@ -131,7 +131,7 @@ class CsiProfile:
         np.savez_compressed(path, **arrays)
 
     @staticmethod
-    def load(path) -> "CsiProfile":
+    def load(path: str | Path) -> CsiProfile:
         """Load a profile previously written by :meth:`save`."""
         path = Path(path)
         if not path.exists():

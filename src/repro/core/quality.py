@@ -18,7 +18,6 @@ and the profiling example surface it to the user.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 
@@ -52,7 +51,7 @@ class PositionQuality:
 class ProfileQuality:
     """Whole-profile assessment."""
 
-    positions: List[PositionQuality]
+    positions: list[PositionQuality]
     min_coverage_deg: float
     median_snr: float
     fingerprint_separation: float

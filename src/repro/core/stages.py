@@ -22,7 +22,8 @@ from __future__ import annotations
 import numpy as np
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from collections.abc import Mapping
+from typing import Protocol
 
 from repro.core.config import ViHOTConfig
 from repro.core.forecast import forecast_orientation
@@ -36,6 +37,18 @@ from repro.dsp.series import TimeSeries
 
 #: Modes that count as "confident" — they refresh the continuity clock.
 CONFIDENT_MODES = ("csi", "fallback")
+
+
+class CameraLike(Protocol):
+    """What the steering fallback needs from a camera tracker.
+
+    Satisfied by :class:`repro.sensors.camera.CameraTracker` and by the
+    stub trackers the tests inject.
+    """
+
+    def estimate_at(self, t: float) -> float:
+        """Head yaw [rad] the camera believes at time ``t``."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -69,10 +82,10 @@ class EstimationTrace:
         terminal: name of the stage that produced the estimate.
     """
 
-    stages: Tuple[StageTrace, ...]
+    stages: tuple[StageTrace, ...]
     terminal: str
 
-    def stage(self, name: str) -> Optional[StageTrace]:
+    def stage(self, name: str) -> StageTrace | None:
         """The trace of stage ``name``, or ``None`` if it never ran."""
         for trace in self.stages:
             if trace.stage == name:
@@ -85,7 +98,7 @@ class EstimationTrace:
         return trace is not None and trace.fired
 
     @property
-    def stage_names(self) -> Tuple[str, ...]:
+    def stage_names(self) -> tuple[str, ...]:
         return tuple(trace.stage for trace in self.stages)
 
 
@@ -118,7 +131,7 @@ class Estimate:
     mode: str
     position_index: int = -1
     dtw_distance: float = float("nan")
-    trace: Optional[EstimationTrace] = field(
+    trace: EstimationTrace | None = field(
         default=None, repr=False, compare=False
     )
 
@@ -134,17 +147,17 @@ class EstimationContext:
     """
 
     phase: TimeSeries
-    imu: Optional[TimeSeries]
+    imu: TimeSeries | None
     t: float
     position: PositionEstimator
     default_position: int
-    previous: Optional[Estimate] = None
-    last_confident_time: Optional[float] = None
+    previous: Estimate | None = None
+    last_confident_time: float | None = None
 
     # Filled in by the stages.
     position_index: int = -1
     regime: str = "csi"  # "csi" once a position fix exists, else "init"
-    match: Optional[MatchResult] = None
+    match: MatchResult | None = None
     orientation: float = float("nan")
     hold_reason: str = ""
 
@@ -161,24 +174,26 @@ class StageDecision:
     """What one stage decided, plus its observability payload."""
 
     action: str
-    estimate: Optional[Estimate] = None
+    estimate: Estimate | None = None
     fired: bool = False
-    detail: Dict[str, object] = field(default_factory=dict)
+    detail: dict[str, object] = field(default_factory=dict)
 
     @staticmethod
-    def passthrough(fired: bool = False, **detail) -> "StageDecision":
+    def passthrough(fired: bool = False, **detail: object) -> StageDecision:
         return StageDecision(PASS, fired=fired, detail=detail)
 
     @staticmethod
-    def emit(estimate: Optional[Estimate], fired: bool = True, **detail) -> "StageDecision":
+    def emit(
+        estimate: Estimate | None, fired: bool = True, **detail: object
+    ) -> StageDecision:
         return StageDecision(EMIT, estimate=estimate, fired=fired, detail=detail)
 
     @staticmethod
-    def hold(fired: bool = True, **detail) -> "StageDecision":
+    def hold(fired: bool = True, **detail: object) -> StageDecision:
         return StageDecision(HOLD, fired=fired, detail=detail)
 
     @staticmethod
-    def resolve(fired: bool = True, **detail) -> "StageDecision":
+    def resolve(fired: bool = True, **detail: object) -> StageDecision:
         return StageDecision(RESOLVE, fired=fired, detail=detail)
 
 
@@ -236,7 +251,7 @@ class SteeringStage(Stage):
     def __init__(
         self,
         identifier: SteeringIdentifier,
-        camera,
+        camera: CameraLike | None,
         config: ViHOTConfig,
     ) -> None:
         self._identifier = identifier

@@ -25,14 +25,13 @@ drive the very same engine; they differ only in how the context is fed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
 
 import numpy as np
 
 from repro.core.config import ViHOTConfig
 from repro.core.engine import EstimationEngine
 from repro.core.profile import CsiProfile
-from repro.core.stages import Estimate, EstimationTrace, StageTrace
+from repro.core.stages import CameraLike, Estimate, EstimationTrace, StageTrace
 from repro.dsp.series import TimeSeries
 from repro.net.link import CsiStream
 
@@ -49,7 +48,7 @@ __all__ = [
 class TrackingResult:
     """A session's worth of estimates, with array accessors."""
 
-    estimates: List[Estimate] = field(default_factory=list)
+    estimates: list[Estimate] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.estimates)
@@ -67,7 +66,7 @@ class TrackingResult:
         return np.array([e.orientation for e in self.estimates])
 
     @property
-    def modes(self) -> List[str]:
+    def modes(self) -> list[str]:
         return [e.mode for e in self.estimates]
 
     def series(self) -> TimeSeries:
@@ -87,8 +86,8 @@ class ViHOTTracker:
     def __init__(
         self,
         profile: CsiProfile,
-        config: ViHOTConfig = ViHOTConfig(),
-        camera=None,
+        config: ViHOTConfig | None = None,
+        camera: CameraLike | None = None,
     ) -> None:
         """Args:
             profile: the driver's CSI profile from the profiling stage.
@@ -116,7 +115,7 @@ class ViHOTTracker:
         self,
         stream: CsiStream,
         estimate_stride_s: float = 0.05,
-        t_start: Optional[float] = None,
+        t_start: float | None = None,
     ) -> TrackingResult:
         """Track a whole capture session.
 

@@ -29,7 +29,6 @@ when a series crosses the +-pi seam.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -58,7 +57,7 @@ def _pointwise_cost(a: np.ndarray, b: np.ndarray, metric: str) -> np.ndarray:
 def dtw_distance(
     a: np.ndarray,
     b: np.ndarray,
-    band: Optional[int] = None,
+    band: int | None = None,
     metric: str = "abs",
 ) -> float:
     """Normalised DTW distance between two 1-D series.
@@ -102,7 +101,7 @@ def dtw_distance(
 
 def dtw_path(
     a: np.ndarray, b: np.ndarray, metric: str = "abs"
-) -> Tuple[float, List[Tuple[int, int]]]:
+) -> tuple[float, list[tuple[int, int]]]:
     """DTW distance and optimal alignment path as ``[(i, j), ...]``.
 
     The path starts at ``(0, 0)`` and ends at ``(len(a)-1, len(b)-1)``.
@@ -118,7 +117,7 @@ def dtw_path(
             best = min(dp[i - 1, j], dp[i, j - 1], dp[i - 1, j - 1])
             dp[i, j] = cost[i - 1, j - 1] + best
 
-    path: List[Tuple[int, int]] = []
+    path: list[tuple[int, int]] = []
     i, j = m, n
     while i > 0 and j > 0:
         path.append((i - 1, j - 1))
@@ -135,7 +134,7 @@ def dtw_path(
 def batched_dtw_distance(
     query: np.ndarray,
     candidates: np.ndarray,
-    band: Optional[int] = None,
+    band: int | None = None,
     metric: str = "abs",
 ) -> np.ndarray:
     """Normalised DTW distance from ``query`` to each row of ``candidates``.

@@ -9,9 +9,10 @@ as a circular mean of unit phasors, which is exact and seam-free.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 
-def wrap_phase(phase):
+def wrap_phase(phase: ArrayLike) -> np.ndarray | float:
     """Wrap phase values to ``(-pi, pi]`` (vectorised)."""
     wrapped = np.mod(np.asarray(phase, dtype=np.float64) + np.pi, 2.0 * np.pi) - np.pi
     wrapped = np.where(wrapped == -np.pi, np.pi, wrapped)
@@ -20,7 +21,7 @@ def wrap_phase(phase):
     return wrapped
 
 
-def circular_mean(phases: np.ndarray, axis: int = -1) -> np.ndarray:
+def circular_mean(phases: ArrayLike, axis: int = -1) -> np.ndarray | float:
     """Mean direction of angles along ``axis`` (result in ``(-pi, pi]``)."""
     phases = np.asarray(phases, dtype=np.float64)
     mean_vector = np.exp(1j * phases).mean(axis=axis)
@@ -30,7 +31,7 @@ def circular_mean(phases: np.ndarray, axis: int = -1) -> np.ndarray:
     return result
 
 
-def phase_difference(a: np.ndarray, b: np.ndarray):
+def phase_difference(a: ArrayLike, b: ArrayLike) -> np.ndarray | float:
     """Wrapped difference ``a - b`` on the circle."""
     return wrap_phase(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64))
 

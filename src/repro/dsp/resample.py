@@ -9,6 +9,7 @@ resampler reports gap statistics instead of hiding them.
 
 from __future__ import annotations
 
+
 import numpy as np
 
 from repro.dsp.series import TimeSeries
@@ -17,8 +18,8 @@ from repro.dsp.series import TimeSeries
 def resample_uniform(
     series: TimeSeries,
     rate_hz: float,
-    t_start: float = None,
-    t_end: float = None,
+    t_start: float | None = None,
+    t_end: float | None = None,
 ) -> TimeSeries:
     """Linearly resample ``series`` onto a uniform grid at ``rate_hz``.
 

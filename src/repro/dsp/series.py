@@ -10,7 +10,7 @@ timestamps instead of assuming a uniform grid.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from collections.abc import Callable
 
 import numpy as np
 
@@ -62,7 +62,7 @@ class TimeSeries:
             raise ValueError("empty series has no end time")
         return float(self.times[-1])
 
-    def slice(self, t_start: float, t_end: float) -> "TimeSeries":
+    def slice(self, t_start: float, t_end: float) -> TimeSeries:
         """Samples with ``t_start <= t <= t_end`` (inclusive both ends)."""
         if t_end < t_start:
             raise ValueError(f"t_end ({t_end}) < t_start ({t_start})")
@@ -70,7 +70,7 @@ class TimeSeries:
         hi = int(np.searchsorted(self.times, t_end, side="right"))
         return TimeSeries(self.times[lo:hi], self.values[lo:hi])
 
-    def before(self, t: float) -> "TimeSeries":
+    def before(self, t: float) -> TimeSeries:
         """Samples with time strictly less than ``t``."""
         hi = int(np.searchsorted(self.times, t, side="left"))
         return TimeSeries(self.times[:hi], self.values[:hi])
@@ -89,21 +89,21 @@ class TimeSeries:
         ]
         return np.stack(columns, axis=-1)
 
-    def value_at(self, t: float):
+    def value_at(self, t: float) -> np.ndarray | float:
         """Interpolated value at a single time ``t``."""
         result = self.interp(np.array([t]))
         return result[0]
 
-    def map(self, fn: Callable[[np.ndarray], np.ndarray]) -> "TimeSeries":
+    def map(self, fn: Callable[[np.ndarray], np.ndarray]) -> TimeSeries:
         """Apply ``fn`` to the value array, keeping timestamps."""
         mapped = fn(self.values)
         return TimeSeries(self.times, mapped)
 
-    def shift(self, dt: float) -> "TimeSeries":
+    def shift(self, dt: float) -> TimeSeries:
         """Return a copy with all timestamps shifted by ``dt``."""
         return TimeSeries(self.times + dt, self.values)
 
-    def concat(self, other: "TimeSeries") -> "TimeSeries":
+    def concat(self, other: TimeSeries) -> TimeSeries:
         """Append ``other`` (which must start after this series ends)."""
         if len(self) == 0:
             return other
@@ -120,7 +120,7 @@ class TimeSeries:
         )
 
     @staticmethod
-    def empty(value_dims: Optional[int] = None) -> "TimeSeries":
+    def empty(value_dims: int | None = None) -> TimeSeries:
         """An empty series (optionally with a vector value dimension)."""
         shape = (0,) if value_dims is None else (0, value_dims)
         return TimeSeries(np.zeros(0), np.zeros(shape))

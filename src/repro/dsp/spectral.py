@@ -19,7 +19,6 @@ point.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 
@@ -33,7 +32,7 @@ def doppler_spectrum(
     rate_hz: float = 200.0,
     rx: int = 0,
     subcarrier: int = 0,
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray]:
     """Power spectral density of one CSI tap's complex time series.
 
     The irregularly-sampled tap is resampled to ``rate_hz`` (I and Q

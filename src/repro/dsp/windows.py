@@ -7,7 +7,7 @@ tricks (read-only views, no copying).
 
 from __future__ import annotations
 
-from typing import Iterator, Tuple
+from collections.abc import Iterator
 
 import numpy as np
 
@@ -37,7 +37,7 @@ def sliding_windows(x: np.ndarray, length: int, stride: int = 1) -> np.ndarray:
 
 def window_slice(
     times: np.ndarray, t_end: float, window_s: float
-) -> Tuple[int, int]:
+) -> tuple[int, int]:
     """Index range ``(lo, hi)`` covering ``[t_end - window_s, t_end]``.
 
     ``times`` must be sorted ascending.  The range is half-open and may be

@@ -13,7 +13,7 @@ authors sketch:
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -25,16 +25,16 @@ from repro.experiments.scenarios import build_scenario
 from repro.sensors.camera import CameraTracker
 
 
-def _cdf_dict(errors: np.ndarray) -> Dict[str, np.ndarray]:
+def _cdf_dict(errors: np.ndarray) -> dict[str, np.ndarray]:
     grid, frac = error_cdf(errors)
     return {"grid_deg": grid, "cdf": frac}
 
 
 def extension_5ghz(
     seed: int = 0, num_sessions: int = 2, runtime_duration_s: float = 12.0
-) -> Dict[str, Dict]:
+) -> dict[str, dict]:
     """Default accuracy experiment on 2.4 GHz vs 5 GHz."""
-    out: Dict[str, Dict] = {}
+    out: dict[str, dict] = {}
     for band in ("2.4GHz", "5GHz"):
         scenario = build_scenario(
             seed=seed, band=band, runtime_duration_s=runtime_duration_s
@@ -50,7 +50,7 @@ def extension_fusion(
     seed: int = 0,
     num_sessions: int = 2,
     runtime_duration_s: float = 12.0,
-) -> Dict[str, Dict]:
+) -> dict[str, dict]:
     """Camera+CSI fusion accuracy vs the camera's duty cycle.
 
     ``0.0`` is pure ViHOT; ``1.0`` is an always-on camera fused in at
@@ -61,7 +61,7 @@ def extension_fusion(
         seed=seed, runtime_duration_s=runtime_duration_s, runtime_motion="glance"
     )
     profile = run_profiling(scenario)
-    out: Dict[str, Dict] = {}
+    out: dict[str, dict] = {}
     for duty in duty_cycles:
         errors = []
         for session in range(num_sessions):

@@ -13,7 +13,7 @@ fig17d, sampling_rate, plus the ablations called out in DESIGN.md.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -42,7 +42,7 @@ from repro.net.link import CsiStream
 from repro.sensors.camera import CameraTracker
 
 
-def _cdf_dict(errors: np.ndarray) -> Dict[str, np.ndarray]:
+def _cdf_dict(errors: np.ndarray) -> dict[str, np.ndarray]:
     grid, frac = error_cdf(errors)
     return {"grid_deg": grid, "cdf": frac}
 
@@ -50,7 +50,7 @@ def _cdf_dict(errors: np.ndarray) -> Dict[str, np.ndarray]:
 # ----------------------------------------------------------------------
 # Motivation figures
 # ----------------------------------------------------------------------
-def fig02_head_plane(duration_s: float = 16.0, seed: int = 0) -> Dict[str, np.ndarray]:
+def fig02_head_plane(duration_s: float = 16.0, seed: int = 0) -> dict[str, np.ndarray]:
     """Fig. 2: the driver's head turns almost entirely in the yaw plane.
 
     The headset logs yaw/pitch/roll while the driver checks both
@@ -76,13 +76,13 @@ def fig03_phase_curves(
     leans_m: Sequence[float] = (-0.02, 0.0, 0.02),
     seed: int = 0,
     profile_seconds: float = 8.0,
-) -> Dict[float, Dict[str, np.ndarray]]:
+) -> dict[float, dict[str, np.ndarray]]:
     """Fig. 3: CSI phase vs head orientation — parallel curves per position.
 
     Returns, per lean, the (orientation, phase) point cloud of one
     profiling-style sweep.
     """
-    out: Dict[float, Dict[str, np.ndarray]] = {}
+    out: dict[float, dict[str, np.ndarray]] = {}
     for k, lean in enumerate(leans_m):
         scenario = build_scenario(
             seed=seed + k,
@@ -105,7 +105,7 @@ def fig03_phase_curves(
     return out
 
 
-def fig08_steering_phase(segment_s: float = 6.0, seed: int = 0) -> Dict[str, np.ndarray]:
+def fig08_steering_phase(segment_s: float = 6.0, seed: int = 0) -> dict[str, np.ndarray]:
     """Fig. 8: wheel turning moves the CSI phase without any head motion."""
     from repro.cabin.trajectory import PiecewiseTrajectory, TrajectoryBuilder
 
@@ -157,11 +157,11 @@ def fig10_prediction(
     seed: int = 0,
     num_sessions: int = 2,
     runtime_duration_s: float = 12.0,
-) -> Dict[float, Dict]:
+) -> dict[float, dict]:
     """Fig. 10: tracking/forecast error vs prediction horizon."""
     scenario = build_scenario(seed=seed, runtime_duration_s=runtime_duration_s)
     profile = run_profiling(scenario)
-    out: Dict[float, Dict] = {}
+    out: dict[float, dict] = {}
     for horizon in horizons_s:
         campaign = run_campaign(
             scenario,
@@ -178,9 +178,9 @@ def fig11_layout_curves(
     layouts: Sequence[str] = ("behind-driver", "center-console"),
     seed: int = 0,
     profile_seconds: float = 6.0,
-) -> Dict[str, Dict[str, np.ndarray]]:
+) -> dict[str, dict[str, np.ndarray]]:
     """Fig. 11: the CSI-orientation curve depends on antenna placement."""
-    out: Dict[str, Dict[str, np.ndarray]] = {}
+    out: dict[str, dict[str, np.ndarray]] = {}
     for layout in layouts:
         scenario = build_scenario(
             seed=seed, rx_layout=layout, profile_seconds=profile_seconds
@@ -209,9 +209,9 @@ def fig12_antenna_layouts(
     seed: int = 0,
     num_sessions: int = 2,
     runtime_duration_s: float = 12.0,
-) -> Dict[str, Dict]:
+) -> dict[str, dict]:
     """Fig. 12: tracking-error CDF per RX antenna placement."""
-    out: Dict[str, Dict] = {}
+    out: dict[str, dict] = {}
     for layout in layouts:
         scenario = build_scenario(
             seed=seed, rx_layout=layout, runtime_duration_s=runtime_duration_s
@@ -227,7 +227,7 @@ def fig13a_profile_interval(
     seed: int = 0,
     num_sessions: int = 2,
     runtime_duration_s: float = 12.0,
-) -> Dict[str, Dict]:
+) -> dict[str, dict]:
     """Fig. 13a: profiling-to-runtime interval.
 
     Sec. 5.2.4 attributes the degradation entirely to the driver leaving
@@ -244,7 +244,7 @@ def fig13a_profile_interval(
         "1 day": (0.016, 0.0045),
         "1 week": (0.017, 0.005),
     }
-    out: Dict[str, Dict] = {}
+    out: dict[str, dict] = {}
     scenario0 = build_scenario(seed=seed, runtime_duration_s=runtime_duration_s)
     profile = run_profiling(scenario0)
     for interval in intervals:
@@ -268,11 +268,11 @@ def fig13b_window_size(
     seed: int = 0,
     num_sessions: int = 2,
     runtime_duration_s: float = 12.0,
-) -> Dict[float, Dict]:
+) -> dict[float, dict]:
     """Fig. 13b: CSI input window size sweep."""
     scenario = build_scenario(seed=seed, runtime_duration_s=runtime_duration_s)
     profile = run_profiling(scenario)
-    out: Dict[float, Dict] = {}
+    out: dict[float, dict] = {}
     for window in windows_s:
         campaign = run_campaign(
             scenario,
@@ -291,9 +291,9 @@ def fig13c_turn_speed(
     num_sessions: int = 2,
     runtime_duration_s: float = 12.0,
     window_s: float = 0.3,
-) -> Dict[float, Dict]:
+) -> dict[float, dict]:
     """Fig. 13c: head-turning speed sweep (300 ms window, as in the paper)."""
-    out: Dict[float, Dict] = {}
+    out: dict[float, dict] = {}
     profile = None
     for speed in speeds_deg_s:
         scenario = build_scenario(
@@ -319,9 +319,9 @@ def fig13d_drivers(
     seed: int = 0,
     num_sessions: int = 2,
     runtime_duration_s: float = 12.0,
-) -> Dict[str, Dict]:
+) -> dict[str, dict]:
     """Fig. 13d: per-driver accuracy, each against their own profile."""
-    out: Dict[str, Dict] = {}
+    out: dict[str, dict] = {}
     for k, driver in enumerate(drivers):
         if driver not in DRIVERS:
             raise ValueError(f"unknown driver {driver!r}")
@@ -338,9 +338,9 @@ def fig14_speed_curves(
     speeds_deg_s: Sequence[float] = (60.0, 120.0),
     seed: int = 0,
     duration_s: float = 6.0,
-) -> Dict[float, Dict[str, np.ndarray]]:
+) -> dict[float, dict[str, np.ndarray]]:
     """Fig. 14: rotation speed stretches/compresses the CSI curve in time."""
-    out: Dict[float, Dict[str, np.ndarray]] = {}
+    out: dict[float, dict[str, np.ndarray]] = {}
     for speed in speeds_deg_s:
         scenario = build_scenario(
             seed=seed,
@@ -363,7 +363,7 @@ def fig14_speed_curves(
 # ----------------------------------------------------------------------
 def fig15_micromotions(
     duration_s: float = 6.0, seed: int = 0
-) -> Dict[str, Dict[str, np.ndarray]]:
+) -> dict[str, dict[str, np.ndarray]]:
     """Fig. 15: micro-motions cause far smaller phase variation than turning."""
     arms = {
         "breathing+blinking": dict(
@@ -373,7 +373,7 @@ def fig15_micromotions(
         "music vibration": dict(runtime_motion="still", micromotions=("music",)),
         "head turning": dict(runtime_motion="scan", micromotions=("breathing",)),
     }
-    out: Dict[str, Dict[str, np.ndarray]] = {}
+    out: dict[str, dict[str, np.ndarray]] = {}
     for label, overrides in arms.items():
         scenario = build_scenario(
             seed=seed,
@@ -393,9 +393,9 @@ def fig15_micromotions(
 
 def fig16_vibration_phase(
     duration_s: float = 6.0, seed: int = 0
-) -> Dict[str, Dict[str, np.ndarray]]:
+) -> dict[str, dict[str, np.ndarray]]:
     """Fig. 16: antenna vibration adds a noisy but parallel phase track."""
-    out: Dict[str, Dict[str, np.ndarray]] = {}
+    out: dict[str, dict[str, np.ndarray]] = {}
     for label, amplitude in (("rigid", 0.0), ("vibrating", 0.003)):
         scenario = build_scenario(
             seed=seed,
@@ -415,18 +415,18 @@ def fig16_vibration_phase(
 
 def _onoff_cdf(
     base: ScenarioConfig,
-    off_overrides: Dict,
-    on_overrides: Dict,
+    off_overrides: dict,
+    on_overrides: dict,
     labels: Sequence[str],
     num_sessions: int,
-    config: ViHOTConfig = ViHOTConfig(),
-) -> Dict[str, Dict]:
+    config: ViHOTConfig | None = None,
+) -> dict[str, dict]:
     """Common scaffold for the Fig. 17 on/off comparisons.
 
     The profile is built once from the "off" arm (profiling happens in a
     parked, quiet car) and shared, as in the paper's protocol.
     """
-    out: Dict[str, Dict] = {}
+    out: dict[str, dict] = {}
     profile = None
     for label, overrides in zip(labels, (off_overrides, on_overrides)):
         scenario = Scenario(base.with_(**overrides))
@@ -442,7 +442,7 @@ def _onoff_cdf(
 
 def fig17a_vibration(
     seed: int = 0, num_sessions: int = 2, runtime_duration_s: float = 12.0
-) -> Dict[str, Dict]:
+) -> dict[str, dict]:
     """Fig. 17a: accuracy with/without (worst-case) antenna vibration."""
     base = ScenarioConfig(seed=seed, runtime_duration_s=runtime_duration_s)
     return _onoff_cdf(
@@ -456,7 +456,7 @@ def fig17a_vibration(
 
 def fig17b_steering_identifier(
     seed: int = 0, num_sessions: int = 2, runtime_duration_s: float = 14.0
-) -> Dict[str, Dict]:
+) -> dict[str, dict]:
     """Fig. 17b: the steering identifier on vs off during real turns.
 
     "Off" strips the IMU side-channel from the capture, so the tracker
@@ -471,7 +471,7 @@ def fig17b_steering_identifier(
     )
     scenario = Scenario(base)
     profile = run_profiling(scenario)
-    out: Dict[str, Dict] = {}
+    out: dict[str, dict] = {}
 
     for label, use_imu in (
         ("w/o steering identifier", False),
@@ -501,7 +501,7 @@ def fig17b_steering_identifier(
 
 def fig17c_passenger(
     seed: int = 0, num_sessions: int = 2, runtime_duration_s: float = 12.0
-) -> Dict[str, Dict]:
+) -> dict[str, dict]:
     """Fig. 17c: accuracy with/without a front passenger."""
     base = ScenarioConfig(seed=seed, runtime_duration_s=runtime_duration_s)
     return _onoff_cdf(
@@ -515,7 +515,7 @@ def fig17c_passenger(
 
 def fig17d_interference(
     seed: int = 0, num_sessions: int = 2, runtime_duration_s: float = 12.0
-) -> Dict[str, Dict]:
+) -> dict[str, dict]:
     """Fig. 17d: accuracy with/without interfering WiFi traffic."""
     base = ScenarioConfig(seed=seed, runtime_duration_s=runtime_duration_s)
     return _onoff_cdf(
@@ -527,13 +527,13 @@ def fig17d_interference(
     )
 
 
-def sampling_rate(duration_s: float = 10.0, seed: int = 0) -> Dict[str, float]:
+def sampling_rate(duration_s: float = 10.0, seed: int = 0) -> dict[str, float]:
     """The sampling-rate claims: ~500/400 Hz CSI vs ~30 Hz camera.
 
     Returns achieved CSI rates and worst gaps for the clean and
     interfered channels, plus the camera frame rate for the >10x claim.
     """
-    out: Dict[str, float] = {}
+    out: dict[str, float] = {}
     for label in ("clean", "interfered"):
         scenario = build_scenario(seed=seed, csma=label, runtime_duration_s=duration_s)
         stream, _scene = scenario.runtime_capture(0)
@@ -550,12 +550,12 @@ def sampling_rate(duration_s: float = 10.0, seed: int = 0) -> Dict[str, float]:
 # ----------------------------------------------------------------------
 def ablation_matching(
     seed: int = 0, num_sessions: int = 2, runtime_duration_s: float = 12.0
-) -> Dict[str, Dict]:
+) -> dict[str, dict]:
     """DTW series matching vs the Eq. (5) strawman and rigid matching."""
     scenario = build_scenario(seed=seed, runtime_duration_s=runtime_duration_s)
     profile = run_profiling(scenario)
     config = ViHOTConfig()
-    out: Dict[str, Dict] = {}
+    out: dict[str, dict] = {}
 
     trackers = {
         "vihot (dtw series)": None,
@@ -585,9 +585,9 @@ def ablation_matching(
 
 def ablation_position(
     seed: int = 0, num_sessions: int = 2, runtime_duration_s: float = 12.0
-) -> Dict[str, Dict]:
+) -> dict[str, dict]:
     """Joint position estimation vs a single-position profile."""
-    out: Dict[str, Dict] = {}
+    out: dict[str, dict] = {}
     for label, positions in (("10 positions", 10), ("1 position", 1)):
         scenario = build_scenario(
             seed=seed, num_positions=positions, runtime_duration_s=runtime_duration_s
@@ -600,7 +600,7 @@ def ablation_position(
 
 def ablation_length_search(
     seed: int = 0, num_sessions: int = 2, runtime_duration_s: float = 12.0
-) -> Dict[str, Dict]:
+) -> dict[str, dict]:
     """The [0.5W, 2W] length search vs fixed-length matching.
 
     The runtime turns ~2x faster than the profiling pass, so without the
@@ -613,7 +613,7 @@ def ablation_length_search(
         runtime_turn_speed=np.deg2rad(130.0),
     )
     profile = run_profiling(scenario)
-    out: Dict[str, Dict] = {}
+    out: dict[str, dict] = {}
     configs = {
         "length search [0.5W,2W]": ViHOTConfig(),
         "fixed length W": ViHOTConfig(num_length_candidates=1, length_range=(1.0, 1.0)),
@@ -627,7 +627,7 @@ def ablation_length_search(
     return out
 
 
-def ablation_sanitization(duration_s: float = 6.0, seed: int = 0) -> Dict[str, float]:
+def ablation_sanitization(duration_s: float = 6.0, seed: int = 0) -> dict[str, float]:
     """Antenna-difference sanitisation vs raw single-antenna phase.
 
     Returns the phase standard deviation of a *stationary* scene: the raw

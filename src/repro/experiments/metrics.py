@@ -9,7 +9,6 @@ head-turning events of a set of sessions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
 
@@ -36,8 +35,8 @@ def angular_errors_deg(
 
 def error_cdf(
     errors_deg: np.ndarray,
-    grid_deg: np.ndarray = None,
-) -> Tuple[np.ndarray, np.ndarray]:
+    grid_deg: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
     """Empirical CDF of angular errors on a degree grid.
 
     Returns ``(grid, fraction <= grid)`` — the curves of Figs. 10b, 12,

@@ -8,7 +8,7 @@ in a CI log.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -58,9 +58,9 @@ def ascii_series(
 
 
 def ascii_cdfs(
-    curves: Dict[str, Sequence],
+    curves: dict[str, Sequence],
     width: int = 60,
-    grid_max: Optional[float] = None,
+    grid_max: float | None = None,
     title: str = "",
 ) -> str:
     """Render labelled CDF curves as per-arm horizontal bars.

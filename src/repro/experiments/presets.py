@@ -13,12 +13,11 @@ road type; everything else stays overridable.
 
 from __future__ import annotations
 
-from typing import Dict
 
 from repro.experiments.scenarios import Scenario, ScenarioConfig
 
 #: Environmental knob bundles per road type.
-PRESETS: Dict[str, Dict] = {
+PRESETS: dict[str, dict] = {
     # The paper's evaluation condition: slow, smooth, little steering.
     "campus": dict(
         vehicle_speed_mps=6.0,

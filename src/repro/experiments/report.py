@@ -7,7 +7,7 @@ logs).
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -31,7 +31,7 @@ def format_cdf_rows(
     return f"{label:28s} " + "  ".join(parts)
 
 
-def format_summary_table(rows: Dict[str, ErrorSummary], title: str = "") -> str:
+def format_summary_table(rows: dict[str, ErrorSummary], title: str = "") -> str:
     """Multi-line table of per-arm error summaries."""
     lines = []
     if title:

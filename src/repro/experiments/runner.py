@@ -10,7 +10,6 @@ reproduce the full campaign.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
 
 import numpy as np
 
@@ -57,12 +56,13 @@ def run_profiling(scenario: Scenario) -> CsiProfile:
 def run_tracking_session(
     scenario: Scenario,
     profile: CsiProfile,
-    config: ViHOTConfig = ViHOTConfig(),
+    config: ViHOTConfig | None = None,
     session: int = 0,
     estimate_stride_s: float = 0.05,
     with_camera_fallback: bool = False,
 ) -> SessionResult:
     """Capture and track one run-time session against ``profile``."""
+    config = config if config is not None else ViHOTConfig()
     stream, scene = scenario.runtime_capture(session)
     camera = None
     if with_camera_fallback:
@@ -88,7 +88,7 @@ def run_tracking_session(
 class CampaignResult:
     """Errors pooled across repeated sessions (the paper runs 10)."""
 
-    sessions: List[SessionResult] = field(default_factory=list)
+    sessions: list[SessionResult] = field(default_factory=list)
 
     @property
     def errors_deg(self) -> np.ndarray:
@@ -102,10 +102,10 @@ class CampaignResult:
 
 def run_campaign(
     scenario: Scenario,
-    config: ViHOTConfig = ViHOTConfig(),
+    config: ViHOTConfig | None = None,
     num_sessions: int = 3,
     estimate_stride_s: float = 0.05,
-    profile: Optional[CsiProfile] = None,
+    profile: CsiProfile | None = None,
     with_camera_fallback: bool = False,
 ) -> CampaignResult:
     """Profile once, then track ``num_sessions`` independent sessions."""

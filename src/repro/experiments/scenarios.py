@@ -18,7 +18,6 @@ repeats each test 10 times) use different seeds.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -53,7 +52,7 @@ from repro.rf.spectrum import Spectrum
 from repro.sensors.headset import HeadsetConfig, HeadsetTracker
 
 #: The three test drivers of Sec. 5.2.5 (heights 170-182 cm).
-DRIVERS: Dict[str, DriverProfile] = {
+DRIVERS: dict[str, DriverProfile] = {
     "A": DriverProfile(name="A"),
     "B": DriverProfile(
         name="B",
@@ -96,7 +95,7 @@ class ScenarioConfig:
     # Run-time session
     runtime_duration_s: float = 20.0
     runtime_motion: str = "scan"  # "scan" | "glance" | "still"
-    runtime_turn_speed: Optional[float] = None  # None -> driver's habit
+    runtime_turn_speed: float | None = None  # None -> driver's habit
     runtime_lean_m: float = 0.012
     runtime_front_hold_s: float = 2.5
     reseat_offset_m: float = 0.0
@@ -108,7 +107,7 @@ class ScenarioConfig:
     with_passenger: bool = False
     vibration_amplitude_m: float = 0.0
     steering: str = "none"  # "none" | "lane" | "turns"
-    micromotions: Tuple[str, ...] = ("breathing",)
+    micromotions: tuple[str, ...] = ("breathing",)
     vehicle_speed_mps: float = 6.0
     headset_slip: bool = True
 
@@ -130,7 +129,7 @@ class ScenarioConfig:
         if unknown:
             raise ValueError(f"unknown micromotions {sorted(unknown)}; choose from {sorted(known)}")
 
-    def with_(self, **overrides) -> "ScenarioConfig":
+    def with_(self, **overrides) -> ScenarioConfig:
         """Functional update (``dataclasses.replace`` wrapper)."""
         return replace(self, **overrides)
 
@@ -155,7 +154,8 @@ class Scenario:
     _TAG_IMPAIR = 5
     _TAG_CLOCK = 6
 
-    def __init__(self, config: ScenarioConfig = ScenarioConfig()) -> None:
+    def __init__(self, config: ScenarioConfig | None = None) -> None:
+        config = config if config is not None else ScenarioConfig()
         self.config = config
         self.driver = DRIVERS[config.driver]
         self.spectrum = (
@@ -169,7 +169,7 @@ class Scenario:
     # ------------------------------------------------------------------
     # Scene construction
     # ------------------------------------------------------------------
-    def _micromotions(self) -> List:
+    def _micromotions(self) -> list:
         motions = []
         if "breathing" in self.config.micromotions:
             motions.append(BreathingMotion())
@@ -339,7 +339,7 @@ class Scenario:
             )
         return scene
 
-    def runtime_capture(self, session: int = 0) -> Tuple[CsiStream, CabinScene]:
+    def runtime_capture(self, session: int = 0) -> tuple[CsiStream, CabinScene]:
         """Capture one run-time session; returns the stream and its world."""
         config = self.config
         scene = self.runtime_scene(session)

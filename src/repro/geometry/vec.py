@@ -8,7 +8,8 @@ to unwrap.
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from collections.abc import Sequence
+from typing import Union
 
 import numpy as np
 
@@ -27,7 +28,7 @@ def _check_vec(v: np.ndarray) -> np.ndarray:
     return v
 
 
-def norm(v: ArrayLike) -> Union[float, np.ndarray]:
+def norm(v: ArrayLike) -> "float | np.ndarray":
     """Euclidean norm along the last axis.
 
     Returns a scalar for a single vector and an array for a batch.
@@ -50,7 +51,7 @@ def normalize(v: ArrayLike) -> np.ndarray:
     return v / length
 
 
-def distance(a: ArrayLike, b: ArrayLike) -> Union[float, np.ndarray]:
+def distance(a: ArrayLike, b: ArrayLike) -> "float | np.ndarray":
     """Euclidean distance between points (broadcasts over batches)."""
     return norm(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64))
 

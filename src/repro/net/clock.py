@@ -40,7 +40,7 @@ class ClockModel:
         return float(result) if result.ndim == 0 else result
 
     @staticmethod
-    def ntp_synced(rng: np.random.Generator) -> "ClockModel":
+    def ntp_synced(rng: np.random.Generator) -> ClockModel:
         """Draw a realistic post-NTP residual clock."""
         return ClockModel(
             offset_s=float(rng.normal(0.0, 0.004)),

@@ -11,7 +11,6 @@ same dynamic-range limits as the hardware's.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 
@@ -60,11 +59,11 @@ class CsiTool:
 
     def __init__(
         self,
-        spectrum: Spectrum = None,
-        config: CsiToolConfig = CsiToolConfig(),
+        spectrum: Spectrum | None = None,
+        config: CsiToolConfig | None = None,
     ) -> None:
         self._spectrum = spectrum if spectrum is not None else Spectrum()
-        self._config = config
+        self._config = config if config is not None else CsiToolConfig()
 
     @property
     def config(self) -> CsiToolConfig:
@@ -95,7 +94,7 @@ class CsiTool:
         times: np.ndarray,
         seqs: np.ndarray,
         csi: np.ndarray,
-    ) -> List[CsiRecord]:
+    ) -> list[CsiRecord]:
         """Package quantised CSI snapshots as per-packet records."""
         times = np.asarray(times, dtype=np.float64)
         seqs = np.asarray(seqs)

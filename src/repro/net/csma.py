@@ -59,12 +59,12 @@ class CsmaConfig:
             raise ValueError("busy_burst_s must be positive")
 
     @staticmethod
-    def clean() -> "CsmaConfig":
+    def clean() -> CsmaConfig:
         """The paper's interference-free channel (~500 Hz, 34 ms max gap)."""
         return CsmaConfig()
 
     @staticmethod
-    def interfered() -> "CsmaConfig":
+    def interfered() -> CsmaConfig:
         """The paper's roadside-video interference case (~400 Hz, 49 ms).
 
         The sender still *tries* to transmit at the clean rate; the
@@ -82,8 +82,12 @@ class CsmaConfig:
 class PacketTimeline:
     """Generates packet arrival times under the CSMA model."""
 
-    def __init__(self, config: CsmaConfig = CsmaConfig(), rng: np.random.Generator = None) -> None:
-        self._config = config
+    def __init__(
+        self,
+        config: CsmaConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self._config = config if config is not None else CsmaConfig()
         self._rng = rng if rng is not None else np.random.default_rng(0)
 
     @property

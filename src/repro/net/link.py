@@ -12,7 +12,6 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
 
 import numpy as np
 
@@ -40,7 +39,7 @@ class CsiStream:
     times: np.ndarray
     csi: np.ndarray
     seqs: np.ndarray
-    imu: Optional[TimeSeries] = None
+    imu: TimeSeries | None = None
 
     def __post_init__(self) -> None:
         times = np.asarray(self.times, dtype=np.float64)
@@ -58,7 +57,7 @@ class CsiStream:
     def __len__(self) -> int:
         return len(self.times)
 
-    def slice(self, t_start: float, t_end: float) -> "CsiStream":
+    def slice(self, t_start: float, t_end: float) -> CsiStream:
         """Sub-stream with ``t_start <= time <= t_end``."""
         if t_start > t_end:
             raise ValueError(
@@ -92,7 +91,7 @@ class CsiStream:
         np.savez_compressed(path, **arrays)
 
     @staticmethod
-    def load(path) -> "CsiStream":
+    def load(path) -> CsiStream:
         """Load a capture previously written by :meth:`save`."""
         path = Path(path)
         if not path.exists():
@@ -113,12 +112,14 @@ class WifiLink:
     def __init__(
         self,
         channel: ChannelSimulator,
-        csma: CsmaConfig = None,
-        csi_tool: CsiTool = None,
-        phone_clock: ClockModel = ClockModel(),
-        imu_config: ImuConfig = ImuConfig(),
-        rng: np.random.Generator = None,
+        csma: CsmaConfig | None = None,
+        csi_tool: CsiTool | None = None,
+        phone_clock: ClockModel | None = None,
+        imu_config: ImuConfig | None = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
+        phone_clock = phone_clock if phone_clock is not None else ClockModel()
+        imu_config = imu_config if imu_config is not None else ImuConfig()
         self._channel = channel
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._timeline = PacketTimeline(

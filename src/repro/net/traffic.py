@@ -11,7 +11,6 @@ packets").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
 
 import numpy as np
 
@@ -34,7 +33,7 @@ class Packet:
     time: float
     seq: int
     size_bytes: int
-    imu_yaw_rate: Optional[float] = None
+    imu_yaw_rate: float | None = None
 
 
 class IperfClient:
@@ -45,7 +44,7 @@ class IperfClient:
         timeline: PacketTimeline,
         payload_bytes: int = 64,
         loss_rate: float = 0.0,
-        rng: np.random.Generator = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         if payload_bytes <= 0:
             raise ValueError(f"payload_bytes must be positive, got {payload_bytes}")
@@ -60,8 +59,8 @@ class IperfClient:
         self,
         t_start: float,
         t_end: float,
-        imu_stream: Optional[TimeSeries] = None,
-    ) -> List[Packet]:
+        imu_stream: TimeSeries | None = None,
+    ) -> list[Packet]:
         """Packets received in ``[t_start, t_end)``.
 
         Lost packets burn a sequence number but never arrive, so the
@@ -73,7 +72,7 @@ class IperfClient:
         imu_index = None
         if imu_stream is not None and len(imu_stream) > 0:
             imu_index = np.searchsorted(imu_stream.times, times, side="right") - 1
-        packets: List[Packet] = []
+        packets: list[Packet] = []
         for seq, t in enumerate(times):
             if self._loss_rate > 0 and self._rng.random() < self._loss_rate:
                 continue

@@ -23,7 +23,6 @@ subcarrier grid.  Hardware impairments (Eq. 2) are applied on top when a
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
@@ -45,8 +44,8 @@ class ChannelSimulator:
     def __init__(
         self,
         scene,
-        spectrum: Optional[Spectrum] = None,
-        impairments: Optional[HardwareImpairments] = None,
+        spectrum: Spectrum | None = None,
+        impairments: HardwareImpairments | None = None,
         blocked_los_attenuation: float = BLOCKED_LOS_ATTENUATION,
     ) -> None:
         self._scene = scene

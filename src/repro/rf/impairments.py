@@ -64,11 +64,11 @@ class HardwareImpairments:
     def __init__(
         self,
         spectrum: Spectrum,
-        config: ImpairmentConfig = ImpairmentConfig(),
-        rng: np.random.Generator = None,
+        config: ImpairmentConfig | None = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         self._spectrum = spectrum
-        self._config = config
+        self._config = config if config is not None else ImpairmentConfig()
         self._rng = rng if rng is not None else np.random.default_rng(0)
 
     @property
@@ -93,7 +93,7 @@ class HardwareImpairments:
         if len(times) == 0:
             return np.zeros(0)
         config = self._config
-        delays = np.empty(len(times))
+        delays = np.empty(len(times), dtype=np.float64)
         delays[0] = self._rng.normal(0.0, config.sfo_delay_std_s)
         for k in range(1, len(times)):
             gap = max(times[k] - times[k - 1], 0.0)

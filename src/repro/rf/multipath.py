@@ -14,7 +14,6 @@ RF channel (which only cares about positions and cross-sections).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
@@ -82,8 +81,8 @@ class BlockerTrack:
     name: str
     centers: np.ndarray
     radius: float
-    extra_path_m: Optional[np.ndarray] = None
-    transmission: Optional[float] = None
+    extra_path_m: np.ndarray | None = None
+    transmission: float | None = None
 
     def __post_init__(self) -> None:
         centers = np.asarray(self.centers, dtype=np.float64)

@@ -66,12 +66,12 @@ class Spectrum:
         return constants.wavelength(self.carrier_hz)
 
     @staticmethod
-    def wifi_2_4ghz() -> "Spectrum":
+    def wifi_2_4ghz() -> Spectrum:
         """The prototype's band: 2.4 GHz channel 6 (Sec. 4)."""
         return Spectrum()
 
     @staticmethod
-    def wifi_5ghz() -> "Spectrum":
+    def wifi_5ghz() -> Spectrum:
         """5 GHz channel 36 — the Sec. 7 extension.
 
         The paper expects *better* performance at 5 GHz: the shorter

@@ -17,7 +17,6 @@ layouts.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
 
 import numpy as np
 
@@ -61,7 +60,7 @@ class ReflectingPlane:
 
     def reflection_path(
         self, tx: np.ndarray, rx: np.ndarray
-    ) -> Tuple[float, float]:
+    ) -> tuple[float, float]:
         """``(path_length, amplitude_factor)`` of the specular bounce.
 
         The path length is ``|image(tx) - rx|``; the amplitude factor is
@@ -81,7 +80,7 @@ class ReflectingPlane:
         return float(np.linalg.norm(image - rx)), self.gamma
 
 
-def default_cabin_surfaces() -> List[ReflectingPlane]:
+def default_cabin_surfaces() -> list[ReflectingPlane]:
     """The dominant glass/metal planes of a sedan cabin (car frame).
 
     Offsets follow DESIGN.md's frame: origin at the phone on the dash,
@@ -109,8 +108,8 @@ def default_cabin_surfaces() -> List[ReflectingPlane]:
 def surface_paths(
     tx: np.ndarray,
     rx: np.ndarray,
-    surfaces: List[ReflectingPlane],
-) -> List[Tuple[str, float, float, np.ndarray]]:
+    surfaces: list[ReflectingPlane],
+) -> list[tuple[str, float, float, np.ndarray]]:
     """All first-order surface bounces between two antennas.
 
     Returns ``(name, path_length, gamma, departure_target)`` per usable

@@ -75,11 +75,11 @@ class CameraTracker:
     def __init__(
         self,
         scene,
-        config: CameraConfig = CameraConfig(),
-        rng: np.random.Generator = None,
+        config: CameraConfig | None = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         self._scene = scene
-        self._config = config
+        self._config = config if config is not None else CameraConfig()
         self._rng = rng if rng is not None else np.random.default_rng(0)
 
     @property

@@ -54,11 +54,11 @@ class HeadsetTracker:
     def __init__(
         self,
         scene,
-        config: HeadsetConfig = HeadsetConfig(),
-        rng: np.random.Generator = None,
+        config: HeadsetConfig | None = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
         self._scene = scene
-        self._config = config
+        self._config = config if config is not None else HeadsetConfig()
         self._rng = rng if rng is not None else np.random.default_rng(0)
 
     @property

@@ -54,9 +54,10 @@ class PhoneImu:
     def __init__(
         self,
         scene,
-        config: ImuConfig = ImuConfig(),
-        rng: np.random.Generator = None,
+        config: ImuConfig | None = None,
+        rng: np.random.Generator | None = None,
     ) -> None:
+        config = config if config is not None else ImuConfig()
         self._scene = scene
         self._config = config
         self._rng = rng if rng is not None else np.random.default_rng(0)

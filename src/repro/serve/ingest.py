@@ -18,7 +18,8 @@ less than the one that just arrived — and it bounds memory at
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Optional, Tuple
+from collections.abc import Iterator
+from typing import NamedTuple
 
 import numpy as np
 
@@ -36,18 +37,18 @@ class IngestBatch:
 
     __slots__ = ("records",)
 
-    def __init__(self, records: Tuple[IngestRecord, ...]) -> None:
+    def __init__(self, records: tuple[IngestRecord, ...]) -> None:
         self.records = records
 
     def __len__(self) -> int:
         return len(self.records)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[IngestRecord]:
         return iter(self.records)
 
-    def by_session(self) -> Dict[str, List[IngestRecord]]:
+    def by_session(self) -> dict[str, list[IngestRecord]]:
         """Group the batch per session, preserving arrival order."""
-        groups: Dict[str, List[IngestRecord]] = {}
+        groups: dict[str, list[IngestRecord]] = {}
         for record in self.records:
             groups.setdefault(record.session_id, []).append(record)
         return groups
@@ -65,12 +66,12 @@ class IngestQueue:
     def __init__(self, depth: int = 4096) -> None:
         if depth < 1:
             raise ValueError(f"queue depth must be >= 1, got {depth}")
-        self._slots: List[Optional[IngestRecord]] = [None] * depth
+        self._slots: list[IngestRecord | None] = [None] * depth
         self._head = 0
         self._count = 0
         self._pushed = 0
         self._dropped = 0
-        self._dropped_by_session: Dict[str, int] = {}
+        self._dropped_by_session: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # State
@@ -92,7 +93,7 @@ class IngestQueue:
         return self._dropped
 
     @property
-    def dropped_by_session(self) -> Dict[str, int]:
+    def dropped_by_session(self) -> dict[str, int]:
         """Per-session shed counts (only sessions that lost packets)."""
         return dict(self._dropped_by_session)
 
@@ -119,7 +120,7 @@ class IngestQueue:
         self._count += 1
         return accepted
 
-    def drain(self, max_records: Optional[int] = None) -> IngestBatch:
+    def drain(self, max_records: int | None = None) -> IngestBatch:
         """Pop up to ``max_records`` (default: everything) in order."""
         n = self._count if max_records is None else min(max_records, self._count)
         depth = len(self._slots)

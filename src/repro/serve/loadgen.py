@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,7 +27,7 @@ from repro.core.config import ViHOTConfig
 from repro.core.online import OnlineTracker
 from repro.core.profile import CsiProfile, PositionProfile
 from repro.core.stages import Estimate
-from repro.serve.manager import SessionManager
+from repro.serve.manager import ManagerTickReport, SessionManager
 
 #: Intel-5300-shaped packets.
 N_RX = 2
@@ -107,7 +106,7 @@ class LoadResult:
     bit_identical: bool
     metrics_line: str
 
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         return {
             "sessions": self.sessions,
             "packets": self.packets,
@@ -138,7 +137,7 @@ class LoadResult:
         )
 
 
-def estimates_identical(a: Optional[Estimate], b: Optional[Estimate]) -> bool:
+def estimates_identical(a: Estimate | None, b: Estimate | None) -> bool:
     """Bit-identical payload comparison, NaN-aware.
 
     Dataclass equality treats ``dtw_distance=NaN`` (any non-matching
@@ -167,12 +166,12 @@ def _replay_standalone(
     profile: CsiProfile,
     config: ViHOTConfig,
     buffer_s: float,
-    estimate_times: List[float],
-) -> List[Optional[Estimate]]:
+    estimate_times: list[float],
+) -> list[Estimate | None]:
     """Feed a fresh standalone tracker the cabin's packets, polling at
     exactly the instants the manager's scheduler polled."""
     tracker = OnlineTracker(profile, config, buffer_s=buffer_s)
-    produced: List[Optional[Estimate]] = []
+    produced: list[Estimate | None] = []
     poll = 0
     for k in range(len(cabin)):
         t = float(cabin.times[k])
@@ -192,7 +191,7 @@ def run_load(
     budget_s: float = 1.0,
     queue_depth: int = 4096,
     verify_sessions: int = 2,
-    config: Optional[ViHOTConfig] = None,
+    config: ViHOTConfig | None = None,
     buffer_s: float = 6.0,
     seed: int = 0,
 ) -> LoadResult:
@@ -234,14 +233,14 @@ def run_load(
     # Per-verified-session poll log: the stream times the scheduler
     # actually polled at (estimates or declines both advance the clock).
     num_steps = len(cabins[0].times)
-    servings: Dict[str, List[Tuple[float, Optional[Estimate]]]] = {
+    servings: dict[str, list[tuple[float, Estimate | None]]] = {
         cabin.cabin_id: [] for cabin in cabins[:verify_sessions]
     }
 
     start = time.perf_counter()
     next_tick = tick_interval_s
 
-    def record(report) -> None:
+    def record(report: ManagerTickReport) -> None:
         for served in report.scheduler.served:
             if served.session_id in servings:
                 servings[served.session_id].append(

@@ -31,21 +31,21 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from collections.abc import Callable, Iterator
 
 import numpy as np
 
 from repro.core.config import ViHOTConfig
 from repro.core.diagnostics import StageStats, aggregate_stage_traces
 from repro.core.profile import CsiProfile
-from repro.core.stages import Estimate
+from repro.core.stages import CameraLike, Estimate
 from repro.serve.ingest import IngestQueue
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.scheduler import RoundRobinScheduler, TickReport
 from repro.serve.session import EVICTED, IDLE, LIVE, SessionStateError, TrackedSession
 
 
-def scenario_fingerprint(config) -> str:
+def scenario_fingerprint(config: object) -> str:
     """A cache key over the profiling-relevant knobs of a scenario.
 
     Two :class:`~repro.experiments.scenarios.ScenarioConfig` with equal
@@ -73,7 +73,7 @@ class ProfileCache:
     """Fingerprint-keyed cache of built :class:`CsiProfile`."""
 
     def __init__(self) -> None:
-        self._profiles: Dict[str, CsiProfile] = {}
+        self._profiles: dict[str, CsiProfile] = {}
         self.hits = 0
         self.misses = 0
 
@@ -108,8 +108,8 @@ class ManagerTickReport:
     ingested: int  # packets routed into sessions
     orphaned: int  # packets for unknown/evicted sessions, shed
     scheduler: TickReport
-    idled: Tuple[str, ...] = ()
-    evicted: Tuple[str, ...] = ()
+    idled: tuple[str, ...] = ()
+    evicted: tuple[str, ...] = ()
 
 
 class SessionManager:
@@ -137,7 +137,7 @@ class SessionManager:
         budget_s: float = 0.050,
         stride_s: float = 0.05,
         idle_timeout_s: float = 30.0,
-        evict_after_s: Optional[float] = 60.0,
+        evict_after_s: float | None = 60.0,
         buffer_s: float = 10.0,
         max_history: int = 256,
         clock: Callable[[], float] = time.monotonic,
@@ -150,12 +150,12 @@ class SessionManager:
         self._evict_after_s = evict_after_s
         self._clock = clock
 
-        self._sessions: Dict[str, TrackedSession] = {}
+        self._sessions: dict[str, TrackedSession] = {}
         self._queue = IngestQueue(queue_depth)
         self._scheduler = RoundRobinScheduler(budget_s=budget_s)
         self._metrics = MetricsRegistry()
         self._profiles = ProfileCache()
-        self._idle_since: Dict[str, float] = {}
+        self._idle_since: dict[str, float] = {}
 
         m = self._metrics
         self._g_live = m.gauge("sessions_live", "sessions not evicted")
@@ -201,7 +201,7 @@ class SessionManager:
             raise KeyError(f"unknown session {session_id!r}")
         return self._sessions[session_id]
 
-    def session_ids(self, state: Optional[str] = None) -> Tuple[str, ...]:
+    def session_ids(self, state: str | None = None) -> tuple[str, ...]:
         """Ids of sessions, optionally filtered by lifecycle state."""
         return tuple(
             sid
@@ -212,11 +212,11 @@ class SessionManager:
     def open_session(
         self,
         session_id: str,
-        profile: Optional[CsiProfile] = None,
+        profile: CsiProfile | None = None,
         *,
-        fingerprint: Optional[str] = None,
-        build_profile: Optional[Callable[[], CsiProfile]] = None,
-        camera=None,
+        fingerprint: str | None = None,
+        build_profile: Callable[[], CsiProfile] | None = None,
+        camera: CameraLike | None = None,
     ) -> TrackedSession:
         """Admit one session, resolving its profile.
 
@@ -259,7 +259,7 @@ class SessionManager:
         self._g_live.set(len(self))
         return session
 
-    def close_session(self, session_id: str) -> Optional[Estimate]:
+    def close_session(self, session_id: str) -> Estimate | None:
         """Evict a session; returns its final estimate snapshot."""
         session = self.session(session_id)
         if session.state != EVICTED:
@@ -287,7 +287,7 @@ class SessionManager:
     # ------------------------------------------------------------------
     # The tick: drain -> schedule -> idle policy
     # ------------------------------------------------------------------
-    def tick(self, max_records: Optional[int] = None) -> ManagerTickReport:
+    def tick(self, max_records: int | None = None) -> ManagerTickReport:
         now = self._clock()
 
         # 1. Drain the queue into the sessions.
@@ -319,8 +319,8 @@ class SessionManager:
         self._c_misses.inc(report.deadline_misses)
 
         # 3. Idle / eviction policy.
-        idled: List[str] = []
-        evicted: List[str] = []
+        idled: list[str] = []
+        evicted: list[str] = []
         for session_id, session in self._sessions.items():
             if session.state == LIVE and (
                 now - session.last_activity > self._idle_timeout_s
@@ -350,8 +350,8 @@ class SessionManager:
     # Reads
     # ------------------------------------------------------------------
     def estimates(
-        self, session_id: Optional[str] = None
-    ) -> "Dict[str, Optional[Estimate]] | Tuple[Estimate, ...]":
+        self, session_id: str | None = None
+    ) -> dict[str, Estimate | None] | tuple[Estimate, ...]:
         """Latest snapshot per session, or one session's history.
 
         With no argument: ``{session_id: latest estimate or None}`` over
@@ -366,15 +366,15 @@ class SessionManager:
             if s.state != EVICTED
         }
 
-    def stage_stats(self) -> Tuple[StageStats, ...]:
+    def stage_stats(self) -> tuple[StageStats, ...]:
         """Fleet-wide engine-stage aggregates over retained histories."""
-        def all_estimates():
+        def all_estimates() -> Iterator[Estimate]:
             for session in self._sessions.values():
                 yield from session.history
 
         return aggregate_stage_traces(all_estimates())
 
-    def metrics_snapshot(self) -> Dict[str, object]:
+    def metrics_snapshot(self) -> dict[str, object]:
         """One scrape: serving metrics + fleet tracking stage stats."""
         self._metrics.fold_stage_stats(self.stage_stats())
         return self._metrics.as_dict()

@@ -19,7 +19,7 @@ snapshot so one scrape shows both serving health and tracking health.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from collections.abc import Iterable
 
 import numpy as np
 
@@ -112,7 +112,7 @@ class Histogram:
             return float("nan")
         return float(np.percentile(window, q))
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         return {
             "count": self._count,
             "p50": self.percentile(50),
@@ -133,10 +133,10 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._counters: Dict[str, Counter] = {}
-        self._gauges: Dict[str, Gauge] = {}
-        self._histograms: Dict[str, Histogram] = {}
-        self._stage_stats: Tuple[StageStats, ...] = ()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._stage_stats: tuple[StageStats, ...] = ()
 
     # ------------------------------------------------------------------
     # Get-or-create accessors
@@ -177,13 +177,13 @@ class MetricsRegistry:
         self._stage_stats = tuple(stage_stats)
 
     @property
-    def stage_stats(self) -> Tuple[StageStats, ...]:
+    def stage_stats(self) -> tuple[StageStats, ...]:
         return self._stage_stats
 
     # ------------------------------------------------------------------
     # Snapshots
     # ------------------------------------------------------------------
-    def as_dict(self) -> Dict[str, object]:
+    def as_dict(self) -> dict[str, object]:
         """The full registry as plain types (JSON-serialisable)."""
         return {
             "counters": {n: c.value for n, c in sorted(self._counters.items())},
@@ -212,7 +212,7 @@ class MetricsRegistry:
             sessions_live=50 packets_ingested=64000 packets_dropped=0
             estimate_latency_ms{p50=2.1,p90=3.4,n=1200}
         """
-        parts: List[str] = []
+        parts: list[str] = []
         for name, gauge in sorted(self._gauges.items()):
             value = gauge.value
             text = f"{value:g}" if value != int(value) else f"{int(value)}"
@@ -231,7 +231,7 @@ class MetricsRegistry:
             parts.append(f"stage_terminals{{{stages}}}")
         return " ".join(parts)
 
-    def get(self, name: str) -> Optional[object]:
+    def get(self, name: str) -> object | None:
         """Look up a metric of any type by name (``None`` if absent)."""
         return (
             self._counters.get(name)

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, List, Optional, Sequence, Tuple
+from collections.abc import Callable, Sequence
 
 from repro.core.stages import Estimate
 from repro.serve.session import TrackedSession
@@ -40,7 +40,7 @@ class ServedEstimate:
     """One scheduling outcome: a session that got its turn this tick."""
 
     session_id: str
-    estimate: Optional[Estimate]  # None when the tracker declined
+    estimate: Estimate | None  # None when the tracker declined
     polled_t: float  # stream time the estimate was polled at
     elapsed_s: float  # wall time the poll took
     lateness_s: float  # stream-time distance past the session's due time
@@ -50,14 +50,14 @@ class ServedEstimate:
 class TickReport:
     """What one scheduler tick did with its budget."""
 
-    served: Tuple[ServedEstimate, ...] = ()
-    deferred: Tuple[str, ...] = ()  # session ids pushed to next tick
+    served: tuple[ServedEstimate, ...] = ()
+    deferred: tuple[str, ...] = ()  # session ids pushed to next tick
     budget_s: float = 0.0
     elapsed_s: float = 0.0
     deadline_misses: int = 0
 
     @property
-    def estimates(self) -> Tuple[Estimate, ...]:
+    def estimates(self) -> tuple[Estimate, ...]:
         return tuple(s.estimate for s in self.served if s.estimate is not None)
 
 
@@ -74,7 +74,7 @@ class RoundRobinScheduler:
 
     budget_s: float = 0.050
     wall_clock: Callable[[], float] = perf_counter
-    _cursor: Optional[str] = field(default=None, repr=False)
+    _cursor: str | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.budget_s <= 0:
@@ -88,8 +88,8 @@ class RoundRobinScheduler:
         pending = self._rotate(pending)
 
         start = self.wall_clock()
-        served: List[ServedEstimate] = []
-        deferred: List[str] = []
+        served: list[ServedEstimate] = []
+        deferred: list[str] = []
         misses = 0
         for index, session in enumerate(pending):
             spent = self.wall_clock() - start
@@ -128,7 +128,7 @@ class RoundRobinScheduler:
             deadline_misses=misses,
         )
 
-    def _rotate(self, pending: List[TrackedSession]) -> List[TrackedSession]:
+    def _rotate(self, pending: list[TrackedSession]) -> list[TrackedSession]:
         """Start from the parked cursor session, if it is still pending."""
         if self._cursor is None:
             return pending

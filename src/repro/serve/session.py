@@ -22,7 +22,6 @@ the same packets (pinned by ``tests/serve/test_equivalence.py``).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
 
 import numpy as np
 
@@ -30,7 +29,7 @@ from repro.core.config import ViHOTConfig
 from repro.core.diagnostics import StageStats, aggregate_stage_traces
 from repro.core.online import OnlineTracker
 from repro.core.profile import CsiProfile
-from repro.core.stages import Estimate
+from repro.core.stages import CameraLike, Estimate
 
 #: Lifecycle states, in nominal order.
 CREATED = "created"
@@ -72,12 +71,13 @@ class TrackedSession:
     def __init__(
         self,
         session_id: str,
-        config: ViHOTConfig = ViHOTConfig(),
-        camera=None,
+        config: ViHOTConfig | None = None,
+        camera: CameraLike | None = None,
         buffer_s: float = 10.0,
         stride_s: float = 0.05,
         max_history: int = 256,
     ) -> None:
+        config = config if config is not None else ViHOTConfig()
         if stride_s <= 0:
             raise ValueError(f"stride_s must be positive, got {stride_s}")
         self.session_id = session_id
@@ -87,13 +87,13 @@ class TrackedSession:
         self.stride_s = stride_s
 
         self._state = CREATED
-        self._tracker: Optional[OnlineTracker] = None
-        self._fingerprint: Optional[str] = None
+        self._tracker: OnlineTracker | None = None
+        self._fingerprint: str | None = None
 
         self.last_activity: float = float("-inf")  # manager wall clock
-        self.latest: Optional[Estimate] = None
-        self.history: Deque[Estimate] = deque(maxlen=max_history)
-        self._last_estimate_t: Optional[float] = None
+        self.latest: Estimate | None = None
+        self.history: deque[Estimate] = deque(maxlen=max_history)
+        self._last_estimate_t: float | None = None
 
         self.packets = 0
         self.imu_packets = 0
@@ -107,12 +107,12 @@ class TrackedSession:
         return self._state
 
     @property
-    def fingerprint(self) -> Optional[str]:
+    def fingerprint(self) -> str | None:
         """The scenario fingerprint whose cached profile this session uses."""
         return self._fingerprint
 
     @property
-    def tracker(self) -> Optional[OnlineTracker]:
+    def tracker(self) -> OnlineTracker | None:
         return self._tracker
 
     def _transition(self, target: str) -> None:
@@ -124,7 +124,7 @@ class TrackedSession:
         self._state = target
 
     def attach_profile(
-        self, profile: CsiProfile, fingerprint: Optional[str] = None
+        self, profile: CsiProfile, fingerprint: str | None = None
     ) -> None:
         """Provide the driver's profile; builds the tracker (`-> profiled`)."""
         if self._state != CREATED:
@@ -182,14 +182,14 @@ class TrackedSession:
     # Estimation (called by the scheduler)
     # ------------------------------------------------------------------
     @property
-    def newest_time(self) -> Optional[float]:
+    def newest_time(self) -> float | None:
         """Stream time of the newest buffered packet (``None`` if none)."""
         if self._tracker is None or self._tracker.buffered_samples == 0:
             return None
         return self._tracker.phase_series().end
 
     @property
-    def due_time(self) -> Optional[float]:
+    def due_time(self) -> float | None:
         """Stream time the next estimate is due (``None`` before the first)."""
         if self._last_estimate_t is None:
             return None
@@ -208,7 +208,7 @@ class TrackedSession:
             return True
         return newest >= self._last_estimate_t + self.stride_s
 
-    def poll_estimate(self) -> Optional[Estimate]:
+    def poll_estimate(self) -> Estimate | None:
         """Produce an estimate at the newest buffered time, snapshot it.
 
         Returns ``None`` when the tracker declines (not warmed up, or no
@@ -231,7 +231,7 @@ class TrackedSession:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
-    def stage_stats(self) -> Tuple[StageStats, ...]:
+    def stage_stats(self) -> tuple[StageStats, ...]:
         """Engine-stage aggregates over this session's retained history."""
         return aggregate_stage_traces(self.history)
 

@@ -1,0 +1,4 @@
+"""A real VH101 violation suppressed by the inline mechanism."""
+import numpy as np
+
+legacy = np.random.normal(0.0, 1.0, 4)  # vihot: noqa[VH101]

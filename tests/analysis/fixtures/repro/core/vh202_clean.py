@@ -1,0 +1,5 @@
+"""Clean twin of vh202: fully annotated public surface."""
+
+
+def estimate(phase: float, t: float) -> float:
+    return phase + t

@@ -1,0 +1,5 @@
+"""Triggers VH202: unannotated public function in a typed package."""
+
+
+def estimate(phase, t):
+    return phase + t

@@ -1,0 +1,6 @@
+"""Triggers VH101: draw from numpy's global RNG state."""
+import numpy as np
+
+
+def jitter(n):
+    return np.random.normal(0.0, 1.0, n)

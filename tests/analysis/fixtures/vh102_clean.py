@@ -1,0 +1,6 @@
+"""Clean twin of vh102: an explicitly seeded random.Random instance."""
+import random
+
+
+def pick(items, seed: int = 7):
+    return random.Random(seed).choice(items)

@@ -1,0 +1,6 @@
+"""Triggers VH102: draw from the stdlib global Mersenne Twister."""
+import random
+
+
+def pick(items):
+    return random.choice(items)

@@ -1,0 +1,6 @@
+"""Clean twin of vh103: the clock is injectable (referenced, never read)."""
+from time import perf_counter
+
+
+def stamp(clock=perf_counter):
+    return clock()

@@ -1,0 +1,6 @@
+"""Triggers VH103: clock read inside estimation-path code."""
+import time
+
+
+def stamp():
+    return time.time()

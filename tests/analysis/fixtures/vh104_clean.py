@@ -1,0 +1,4 @@
+"""Clean twin of vh104: RNG constructed from an explicit seed."""
+import numpy as np
+
+rng = np.random.default_rng(1234)

@@ -1,0 +1,4 @@
+"""Triggers VH104: RNG constructed from OS entropy."""
+import numpy as np
+
+rng = np.random.default_rng()

@@ -1,0 +1,5 @@
+"""Clean twin of vh105: a concrete integer seed default."""
+
+
+def make_scene(seed: int = 7) -> int:
+    return seed

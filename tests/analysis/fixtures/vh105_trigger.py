@@ -1,0 +1,5 @@
+"""Triggers VH105: public seed parameter defaulting to None."""
+
+
+def make_scene(seed=None):
+    return seed

@@ -1,0 +1,7 @@
+"""Clean twin of vh201: None default, constructed inside the call."""
+
+
+def collect(values=None):
+    values = values if values is not None else []
+    values.append(1)
+    return values

@@ -1,0 +1,6 @@
+"""Triggers VH201: mutable default argument."""
+
+
+def collect(values=[]):
+    values.append(1)
+    return values

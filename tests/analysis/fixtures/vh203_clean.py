@@ -1,0 +1,8 @@
+"""Clean twin of vh203: the expected exception is named."""
+
+
+def guarded(fn):
+    try:
+        return fn()
+    except ValueError:
+        return None

@@ -1,0 +1,8 @@
+"""Triggers VH203: bare except handler."""
+
+
+def guarded(fn):
+    try:
+        return fn()
+    except:
+        return None

@@ -1,0 +1,4 @@
+"""Clean twin of vh204: buffer dtype pinned explicitly."""
+import numpy as np
+
+buf = np.empty(16, dtype=np.float64)

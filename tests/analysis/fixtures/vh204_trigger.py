@@ -1,0 +1,4 @@
+"""Triggers VH204: np.empty buffer with an unpinned dtype."""
+import numpy as np
+
+buf = np.empty(16)

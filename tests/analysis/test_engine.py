@@ -1,0 +1,111 @@
+"""Engine-level behaviour: findings, suppression, alias resolution."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Allowlist,
+    AllowlistEntry,
+    Analyzer,
+    Severity,
+    default_rules,
+)
+from repro.analysis.determinism import GlobalNumpyRandomRule, UnseededGeneratorRule
+
+
+def analyze(source, path=None, allowlist=None):
+    analyzer = Analyzer(default_rules(), allowlist=allowlist)
+    return analyzer.check_source(source, path=path)
+
+
+def test_finding_has_location_rule_and_severity():
+    findings = analyze("import numpy as np\nx = np.random.rand(3)\n")
+    assert len(findings) == 1
+    f = findings[0]
+    assert f.rule == "VH101"
+    assert f.line == 2
+    assert f.severity is Severity.ERROR
+    assert "<string>:2:" in f.format()
+    assert f.as_dict()["rule"] == "VH101"
+
+
+def test_syntax_error_becomes_vh000():
+    findings = analyze("def broken(:\n")
+    assert [f.rule for f in findings] == ["VH000"]
+    assert "syntax error" in findings[0].message
+
+
+def test_alias_resolution_through_import_from():
+    source = "from numpy.random import default_rng as mk\nrng = mk()\n"
+    assert [f.rule for f in analyze(source)] == ["VH104"]
+
+
+def test_alias_resolution_through_module_alias():
+    source = "import numpy.random as nr\nx = nr.shuffle([1, 2])\n"
+    assert [f.rule for f in analyze(source)] == ["VH101"]
+
+
+def test_local_variable_named_time_is_not_a_clock():
+    # No `import time` in the module: `time()` can only be a local.
+    source = "def run(time):\n    return time.time()\n"
+    assert analyze(source) == []
+
+
+def test_inline_noqa_with_matching_rule_suppresses():
+    source = "import numpy as np\nx = np.random.rand(3)  # vihot: noqa[VH101]\n"
+    assert analyze(source) == []
+
+
+def test_inline_noqa_bare_suppresses_everything():
+    source = "import numpy as np\nx = np.random.rand(3)  # vihot: noqa\n"
+    assert analyze(source) == []
+
+
+def test_inline_noqa_with_other_rule_does_not_suppress():
+    source = "import numpy as np\nx = np.random.rand(3)  # vihot: noqa[VH104]\n"
+    assert [f.rule for f in analyze(source)] == ["VH101"]
+
+
+def test_allowlist_suffix_match_suppresses_only_that_rule():
+    allowlist = Allowlist(
+        [AllowlistEntry(suffix="repro/cli.py", rule="VH103", reason="timing")]
+    )
+    source = "import time\nimport numpy as np\nt = time.time()\nx = np.random.rand(2)\n"
+    findings = analyze(source, path=Path("src/repro/cli.py"), allowlist=allowlist)
+    assert [f.rule for f in findings] == ["VH101"]
+
+
+def test_allowlist_does_not_match_other_files():
+    allowlist = Allowlist(
+        [AllowlistEntry(suffix="repro/cli.py", rule="VH103", reason="timing")]
+    )
+    source = "import time\nt = time.time()\n"
+    findings = analyze(source, path=Path("src/repro/core/engine.py"), allowlist=allowlist)
+    assert [f.rule for f in findings] == ["VH103"]
+
+
+def test_duplicate_rule_ids_rejected():
+    with pytest.raises(ValueError, match="duplicate rule ids"):
+        Analyzer([GlobalNumpyRandomRule(), GlobalNumpyRandomRule()])
+
+
+def test_relativize_strips_down_to_package_root():
+    analyzer = Analyzer([UnseededGeneratorRule()])
+    findings = analyzer.check_source(
+        "import numpy as np\nr = np.random.default_rng()\n",
+        path=Path("/somewhere/site-packages/repro/core/engine.py"),
+    )
+    assert findings[0].path == "repro/core/engine.py"
+
+
+def test_iter_files_skips_pycache(tmp_path):
+    good = tmp_path / "mod.py"
+    good.write_text("import numpy as np\nr = np.random.default_rng()\n")
+    cached = tmp_path / "__pycache__" / "mod.py"
+    cached.parent.mkdir()
+    cached.write_text("import numpy as np\nr = np.random.default_rng()\n")
+    analyzer = Analyzer(default_rules())
+    findings = analyzer.run([tmp_path])
+    assert len(findings) == 1
+    assert "__pycache__" not in findings[0].path

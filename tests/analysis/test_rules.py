@@ -1,0 +1,66 @@
+"""Golden fixture tests: every rule has a trigger file and a clean twin.
+
+The trigger fixture must produce at least one finding *for its rule* and
+nothing else; the clean twin must produce no findings at all.  Keeping
+the snippets as real files (``tests/analysis/fixtures/``) documents the
+exact shape each rule fires on — they double as the rule catalogue's
+examples.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer, default_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule id -> fixture stem (VH202 lives under repro/core/ because the
+#: annotation rule only covers the typed packages).
+RULE_FIXTURES = {
+    "VH101": FIXTURES / "vh101",
+    "VH102": FIXTURES / "vh102",
+    "VH103": FIXTURES / "vh103",
+    "VH104": FIXTURES / "vh104",
+    "VH105": FIXTURES / "vh105",
+    "VH201": FIXTURES / "vh201",
+    "VH202": FIXTURES / "repro" / "core" / "vh202",
+    "VH203": FIXTURES / "vh203",
+    "VH204": FIXTURES / "vh204",
+}
+
+
+def analyze_file(path):
+    return Analyzer(default_rules()).check_file(path)
+
+
+def test_every_default_rule_has_a_fixture_pair():
+    assert {r.id for r in default_rules()} == set(RULE_FIXTURES)
+    for stem in RULE_FIXTURES.values():
+        assert stem.with_name(stem.name + "_trigger.py").exists()
+        assert stem.with_name(stem.name + "_clean.py").exists()
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+def test_trigger_fixture_fires_exactly_its_rule(rule_id):
+    stem = RULE_FIXTURES[rule_id]
+    findings = analyze_file(stem.with_name(stem.name + "_trigger.py"))
+    assert findings, f"{rule_id} trigger fixture produced no findings"
+    assert {f.rule for f in findings} == {rule_id}
+
+
+@pytest.mark.parametrize("rule_id", sorted(RULE_FIXTURES))
+def test_clean_fixture_is_silent(rule_id):
+    stem = RULE_FIXTURES[rule_id]
+    findings = analyze_file(stem.with_name(stem.name + "_clean.py"))
+    assert findings == []
+
+
+def test_inline_noqa_fixture_is_silent():
+    assert analyze_file(FIXTURES / "noqa_inline.py") == []
+
+
+def test_findings_are_sorted_and_carry_real_lines():
+    findings = Analyzer(default_rules()).run([FIXTURES])
+    assert findings == sorted(findings)
+    assert all(f.line >= 1 for f in findings)
