@@ -26,12 +26,20 @@ from pathlib import Path
 SMOKE = dict(num_sessions=50, duration_s=3.0, rate_hz=100.0, verify_sessions=2)
 #: Full scale: what the README quotes.
 FULL = dict(num_sessions=100, duration_s=8.0, rate_hz=200.0, verify_sessions=3)
+#: Chaos scale: the 50-session acceptance fleet under every injector.
+CHAOS = dict(num_sessions=50, duration_s=3.0, rate_hz=100.0)
 
 
 def run(scale: dict, seed: int = 0):
     from repro.serve import run_load
 
     return run_load(seed=seed, **scale)
+
+
+def run_chaos_scale(scale: dict, seed: int = 0):
+    from repro.serve import run_chaos
+
+    return run_chaos(seed=seed, **scale)
 
 
 def test_serve_smoke(capsys):
@@ -51,15 +59,57 @@ def test_serve_smoke(capsys):
         assert needle in result.metrics_line
 
 
+def test_serve_chaos_smoke(capsys):
+    """50 sessions under every injector: contained, degraded, recovered."""
+    result = run_chaos_scale(CHAOS)
+    with capsys.disabled():
+        print()
+        print("serve-bench (chaos scale)")
+        print(f"  {result.summary()}")
+    assert result.unhandled == 0
+    assert result.rejected > 0  # NaN storms and corrupt stamps were refused
+    assert result.quarantines > 0  # the faults actually bit
+    assert result.all_healthy  # ...and the fleet healed itself
+    assert result.estimates > 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="CI-fast scale")
+    parser.add_argument("--chaos", action="store_true",
+                        help="fault-injection chaos scenario (fails unless the "
+                        "fleet recovers with zero unhandled exceptions)")
     parser.add_argument("--sessions", type=int, default=None)
     parser.add_argument("--duration", type=float, default=None)
     parser.add_argument("--rate", type=float, default=None)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", default=None, help="write the result as JSON")
     args = parser.parse_args(argv)
+
+    if args.chaos:
+        scale = dict(CHAOS)
+        if args.sessions is not None:
+            scale["num_sessions"] = args.sessions
+        if args.duration is not None:
+            scale["duration_s"] = args.duration
+        if args.rate is not None:
+            scale["rate_hz"] = args.rate
+        chaos = run_chaos_scale(scale, seed=args.seed)
+        print(chaos.summary())
+        print(chaos.metrics_line)
+        if args.json:
+            payload = {"scale": "chaos", **chaos.as_dict()}
+            Path(args.json).write_text(json.dumps(payload, indent=2))
+            print(f"wrote {args.json}")
+        if chaos.unhandled > 0:
+            print(f"FAIL: {chaos.unhandled} exception(s) escaped the serving layer",
+                  file=sys.stderr)
+            return 1
+        if not chaos.all_healthy:
+            print(f"FAIL: fleet did not recover: {chaos.final_health}",
+                  file=sys.stderr)
+            return 1
+        return 0
 
     scale = dict(SMOKE if args.smoke else FULL)
     if args.sessions is not None:

@@ -253,7 +253,38 @@ def cmd_lint(args) -> int:
 
 
 def cmd_serve_bench(args) -> int:
-    from repro.serve import run_load
+    from repro.serve import run_chaos, run_load
+
+    if args.chaos:
+        chaos = run_chaos(
+            num_sessions=args.sessions,
+            duration_s=args.duration,
+            rate_hz=args.rate,
+            tick_interval_s=args.tick / 1000.0,
+            stride_s=args.stride / 1000.0,
+            budget_s=args.budget / 1000.0,
+            queue_depth=args.queue_depth,
+            seed=args.seed,
+        )
+        print(chaos.summary())
+        print(chaos.metrics_line)
+        if args.json:
+            Path(args.json).write_text(json.dumps(chaos.as_dict(), indent=2))
+            print(f"wrote {args.json}")
+        if chaos.unhandled > 0:
+            print(
+                f"FAIL: {chaos.unhandled} exception(s) escaped the serving layer",
+                file=sys.stderr,
+            )
+            return 1
+        if not chaos.all_healthy:
+            print(
+                f"FAIL: fleet did not recover after faults cleared: "
+                f"{chaos.final_health}",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
 
     result = run_load(
         num_sessions=args.sessions,
@@ -328,6 +359,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="cabins replayed standalone for the bit-identical check")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--json", default=None, help="write the result dict as JSON")
+    p.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the fault-injection chaos scenario instead of the "
+        "clean-load bench (fails unless the fleet recovers)",
+    )
     p.set_defaults(func=cmd_serve_bench)
 
     p = sub.add_parser(

@@ -12,10 +12,22 @@ import numpy as np
 from numpy.typing import ArrayLike
 
 
+#: Seam tolerance for :func:`wrap_phase`: anything within a few float64
+#: ulps of -pi is the seam point, not a value infinitesimally inside the
+#: interval.  ``np.mod`` rounding can land there for inputs near odd
+#: multiples of pi, so an exact ``== -np.pi`` test misses them.
+_SEAM_TOL = 4.0 * np.spacing(np.pi)
+
+
 def wrap_phase(phase: ArrayLike) -> np.ndarray | float:
-    """Wrap phase values to ``(-pi, pi]`` (vectorised)."""
+    """Wrap phase values to ``(-pi, pi]`` (vectorised).
+
+    The -pi seam check is ulp-tolerant: results within ``_SEAM_TOL`` of
+    ``-pi`` map to ``+pi`` (the documented side of the half-open
+    interval) rather than only the exact bit pattern of ``-np.pi``.
+    """
     wrapped = np.mod(np.asarray(phase, dtype=np.float64) + np.pi, 2.0 * np.pi) - np.pi
-    wrapped = np.where(wrapped == -np.pi, np.pi, wrapped)
+    wrapped = np.where(np.abs(wrapped + np.pi) <= _SEAM_TOL, np.pi, wrapped)
     if np.ndim(phase) == 0:
         return float(wrapped)
     return wrapped

@@ -1,0 +1,49 @@
+"""Deterministic fault injection for the serving stack.
+
+A :class:`FaultPlan` composes seedable, windowed injectors —
+packet-loss bursts, CSI dropout/NaN storms, subcarrier corruption,
+clock skew/jitter, amplitude fades, queue-overload surges — as a
+wrapper over any packet source: the synthetic fleet in
+``repro.serve.loadgen``, the chaos runner in ``repro.serve.chaos``, or
+a logged :class:`~repro.net.link.CsiStream` via :func:`inject_stream`.
+
+All injectors are off by default (the empty plan is the identity), and
+every fault decision is a pure function of ``(seed, stream id)`` — the
+same chaos run replays bit-identically.
+"""
+
+from repro.faults.injectors import (
+    AmplitudeFade,
+    BoundInjector,
+    ClockSkew,
+    CsiDropout,
+    FaultInjector,
+    FaultPlan,
+    FaultWindow,
+    Packet,
+    PacketLossBurst,
+    QueueSurge,
+    StreamFaults,
+    SubcarrierCorruption,
+    chaos_plan,
+    stream_rng,
+)
+from repro.faults.replay import inject_stream
+
+__all__ = [
+    "FaultPlan",
+    "FaultWindow",
+    "FaultInjector",
+    "BoundInjector",
+    "StreamFaults",
+    "Packet",
+    "PacketLossBurst",
+    "CsiDropout",
+    "SubcarrierCorruption",
+    "ClockSkew",
+    "AmplitudeFade",
+    "QueueSurge",
+    "chaos_plan",
+    "stream_rng",
+    "inject_stream",
+]

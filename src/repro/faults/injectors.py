@@ -1,0 +1,439 @@
+"""Deterministic, seedable fault injectors for packet sources.
+
+ViHOT's own design degrades gracefully (steering interference falls back
+to the camera, Sec. 3.5), but the serving layer above it has to survive
+the *transport* faults real in-vehicle CSI links throw at it: bursty
+packet loss, NaN storms from a wedged NIC, corrupted subcarriers, clock
+skew and jitter, deep amplitude fades, and queue-overload surges.  This
+module is the catalogue of those faults as composable injectors.
+
+Design rules, all load-bearing:
+
+* **Off by default.**  A :class:`FaultPlan` with no injectors is the
+  identity — wrappers built from it never draw randomness, never copy a
+  matrix, and fault-free runs stay bit-identical to unwrapped ones.
+* **Deterministic.**  Every decision derives from ``(plan.seed,
+  stream_id, injector index)`` through a :class:`numpy.random.Generator`;
+  replaying the same plan over the same stream reproduces the same
+  faults bit-for-bit, so chaos runs are debuggable and CI-stable.
+* **Composable.**  Injectors transform one packet into zero or more
+  packets and chain in plan order, so one plan can drop, corrupt and
+  duplicate simultaneously.
+* **Windowed.**  Each injector is active inside a :class:`FaultWindow`
+  of stream time and passes packets through untouched outside it, which
+  is what lets a chaos scenario assert *recovery after faults clear*.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Packet",
+    "FaultWindow",
+    "FaultInjector",
+    "BoundInjector",
+    "PacketLossBurst",
+    "CsiDropout",
+    "SubcarrierCorruption",
+    "ClockSkew",
+    "AmplitudeFade",
+    "QueueSurge",
+    "StreamFaults",
+    "FaultPlan",
+    "chaos_plan",
+    "stream_rng",
+]
+
+#: One packet: ``(stream time, csi matrix)``.
+Packet = tuple[float, np.ndarray]
+
+
+def stream_rng(seed: int, stream_id: str, salt: int = 0) -> np.random.Generator:
+    """An independent generator for ``(seed, stream, injector slot)``.
+
+    The stream id participates through a stable CRC (not ``hash()``,
+    which is salted per process), so fault sequences are reproducible
+    across runs and independent across sessions.
+    """
+    entropy = [seed & 0xFFFFFFFF, zlib.crc32(stream_id.encode("utf-8")), salt]
+    return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+@dataclass(frozen=True)
+class FaultWindow:
+    """Stream-time interval ``[start_s, stop_s)`` an injector is active in."""
+
+    start_s: float = 0.0
+    stop_s: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if not self.start_s <= self.stop_s:
+            raise ValueError(
+                f"inverted fault window [{self.start_s}, {self.stop_s})"
+            )
+
+    def covers(self, time: float) -> bool:
+        # NaN times (already-corrupted stamps) compare False on purpose.
+        return self.start_s <= time < self.stop_s
+
+
+class BoundInjector:
+    """One injector's per-stream state: packets in, packets out.
+
+    Specs (:class:`FaultInjector` subclasses) are immutable configuration;
+    ``bind()`` produces one of these per stream, owning the stream's RNG
+    and burst state so concurrent sessions never share entropy.
+    """
+
+    def __init__(self, name: str, window: FaultWindow) -> None:
+        self.name = name
+        self.window = window
+        self.seen = 0  # packets offered while the window was active
+        self.touched = 0  # packets dropped, altered or duplicated
+
+    def process(self, time: float, csi: np.ndarray) -> list[Packet]:
+        if not self.window.covers(time):
+            return [(time, csi)]
+        self.seen += 1
+        return self._apply(time, csi)
+
+    def _apply(self, time: float, csi: np.ndarray) -> list[Packet]:
+        raise NotImplementedError
+
+
+class FaultInjector:
+    """Base class for injector configuration.  Subclasses are frozen
+    dataclasses; ``bind(rng)`` returns the per-stream stateful form."""
+
+    name = "fault"
+
+    def bind(self, rng: np.random.Generator) -> BoundInjector:
+        raise NotImplementedError
+
+
+class _Burst:
+    """Shared burst machine: enter a burst with per-packet probability
+    ``enter_rate``, stay in it for a geometric ``mean_len`` packets."""
+
+    def __init__(
+        self, rng: np.random.Generator, enter_rate: float, mean_len: float
+    ) -> None:
+        self._rng = rng
+        self._enter = min(1.0, max(0.0, enter_rate))
+        self._mean = max(1.0, mean_len)
+        self._left = 0
+
+    def step(self) -> bool:
+        """Advance one packet; True while inside a burst."""
+        if self._left > 0:
+            self._left -= 1
+            return True
+        if self._rng.random() < self._enter:
+            # The geometric draw is >= 1; this packet consumes the first.
+            self._left = int(self._rng.geometric(1.0 / self._mean)) - 1
+            return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# Packet loss
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PacketLossBurst(FaultInjector):
+    """Bursty packet drops (CSMA collisions, door/engine transients).
+
+    ``drop_rate`` is the target long-run fraction of packets lost inside
+    the window; losses arrive in geometric bursts of mean ``burst_mean``
+    packets rather than independently, matching reported in-vehicle
+    dropout behaviour.
+    """
+
+    name = "packet_loss"
+    drop_rate: float = 0.05
+    burst_mean: float = 5.0
+    window: FaultWindow = FaultWindow()
+
+    def bind(self, rng: np.random.Generator) -> BoundInjector:
+        return _BoundPacketLoss(self, rng)
+
+
+class _BoundPacketLoss(BoundInjector):
+    def __init__(self, spec: PacketLossBurst, rng: np.random.Generator) -> None:
+        super().__init__(spec.name, spec.window)
+        self._burst = _Burst(rng, spec.drop_rate / spec.burst_mean, spec.burst_mean)
+
+    def _apply(self, time: float, csi: np.ndarray) -> list[Packet]:
+        if self._burst.step():
+            self.touched += 1
+            return []
+        return [(time, csi)]
+
+
+# ----------------------------------------------------------------------
+# CSI dropout / NaN storms
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CsiDropout(FaultInjector):
+    """Storms of useless CSI: the packet arrives but its matrix is
+    garbage (NaN fill for a wedged extractor, zero fill for a squelched
+    front end).  These are exactly the packets ingest must *reject* —
+    one NaN reaching the tracker poisons its incremental unwrap."""
+
+    name = "csi_dropout"
+    storm_rate: float = 0.05
+    storm_mean: float = 20.0
+    fill: float = float("nan")
+    window: FaultWindow = FaultWindow()
+
+    def bind(self, rng: np.random.Generator) -> BoundInjector:
+        return _BoundCsiDropout(self, rng)
+
+
+class _BoundCsiDropout(BoundInjector):
+    def __init__(self, spec: CsiDropout, rng: np.random.Generator) -> None:
+        super().__init__(spec.name, spec.window)
+        self._fill = spec.fill
+        self._burst = _Burst(rng, spec.storm_rate / spec.storm_mean, spec.storm_mean)
+
+    def _apply(self, time: float, csi: np.ndarray) -> list[Packet]:
+        if not self._burst.step():
+            return [(time, csi)]
+        self.touched += 1
+        value: complex = complex(self._fill, self._fill)
+        if not np.issubdtype(np.asarray(csi).dtype, np.complexfloating):
+            value = self._fill
+        return [(time, np.full(csi.shape, value, dtype=csi.dtype))]
+
+
+# ----------------------------------------------------------------------
+# Subcarrier corruption
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SubcarrierCorruption(FaultInjector):
+    """Randomise the phase of a few subcarriers per hit packet —
+    narrowband interference that survives the CSI tool's CRC because
+    the payload decoded fine."""
+
+    name = "subcarrier_corruption"
+    rate: float = 0.2
+    num_subcarriers: int = 6
+    window: FaultWindow = FaultWindow()
+
+    def bind(self, rng: np.random.Generator) -> BoundInjector:
+        return _BoundSubcarrier(self, rng)
+
+
+class _BoundSubcarrier(BoundInjector):
+    def __init__(self, spec: SubcarrierCorruption, rng: np.random.Generator) -> None:
+        super().__init__(spec.name, spec.window)
+        self._rng = rng
+        self._rate = spec.rate
+        self._num = spec.num_subcarriers
+
+    def _apply(self, time: float, csi: np.ndarray) -> list[Packet]:
+        if self._rng.random() >= self._rate:
+            return [(time, csi)]
+        self.touched += 1
+        out = np.asarray(csi).astype(np.complex128, copy=True)
+        n_sub = out.shape[-1]
+        hit = self._rng.choice(n_sub, size=min(self._num, n_sub), replace=False)
+        spins = self._rng.uniform(-np.pi, np.pi, size=(out.shape[0], len(hit)))
+        out[:, hit] = out[:, hit] * np.exp(1j * spins)
+        return [(time, out)]
+
+
+# ----------------------------------------------------------------------
+# Clock skew / jitter
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ClockSkew(FaultInjector):
+    """Timestamp faults: a rate error accumulating over the window
+    (``skew``), white jitter (``jitter_s``) that can reorder packets,
+    and occasional non-finite stamps (``corrupt_rate``) from a stepped
+    NTP clock — the stamps ingest-side validation must refuse."""
+
+    name = "clock_skew"
+    skew: float = 0.0
+    jitter_s: float = 0.0
+    corrupt_rate: float = 0.0
+    window: FaultWindow = FaultWindow()
+
+    def bind(self, rng: np.random.Generator) -> BoundInjector:
+        return _BoundClockSkew(self, rng)
+
+
+class _BoundClockSkew(BoundInjector):
+    def __init__(self, spec: ClockSkew, rng: np.random.Generator) -> None:
+        super().__init__(spec.name, spec.window)
+        self._rng = rng
+        self._spec = spec
+
+    def _apply(self, time: float, csi: np.ndarray) -> list[Packet]:
+        spec = self._spec
+        if spec.corrupt_rate > 0.0 and self._rng.random() < spec.corrupt_rate:
+            self.touched += 1
+            return [(float("nan"), csi)]
+        stamped = time
+        if spec.skew != 0.0:
+            stamped = stamped + spec.skew * (time - self.window.start_s)
+        if spec.jitter_s > 0.0:
+            stamped = stamped + float(self._rng.normal(0.0, spec.jitter_s))
+        if stamped != time:
+            self.touched += 1
+        return [(stamped, csi)]
+
+
+# ----------------------------------------------------------------------
+# Amplitude fades
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AmplitudeFade(FaultInjector):
+    """Deep fades: the signal drops toward the noise floor for a spell,
+    so the measured phase difference is dominated by additive noise."""
+
+    name = "amplitude_fade"
+    fade_rate: float = 0.05
+    fade_mean: float = 30.0
+    floor: float = 1e-3
+    noise: float = 0.05
+    window: FaultWindow = FaultWindow()
+
+    def bind(self, rng: np.random.Generator) -> BoundInjector:
+        return _BoundAmplitudeFade(self, rng)
+
+
+class _BoundAmplitudeFade(BoundInjector):
+    def __init__(self, spec: AmplitudeFade, rng: np.random.Generator) -> None:
+        super().__init__(spec.name, spec.window)
+        self._rng = rng
+        self._spec = spec
+        self._burst = _Burst(rng, spec.fade_rate / spec.fade_mean, spec.fade_mean)
+
+    def _apply(self, time: float, csi: np.ndarray) -> list[Packet]:
+        if not self._burst.step():
+            return [(time, csi)]
+        self.touched += 1
+        spec = self._spec
+        out = np.asarray(csi).astype(np.complex128, copy=False) * spec.floor
+        noise = self._rng.standard_normal(out.shape) + 1j * self._rng.standard_normal(
+            out.shape
+        )
+        return [(time, out + spec.noise * noise)]
+
+
+# ----------------------------------------------------------------------
+# Queue-overload surges
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QueueSurge(FaultInjector):
+    """Duplicate packets in bursts — a retransmit storm or a stuck
+    producer — to pressure the bounded ingest ring into shedding."""
+
+    name = "queue_surge"
+    surge_rate: float = 0.02
+    surge_mean: float = 20.0
+    amplification: int = 4
+    spacing_s: float = 1e-5
+    window: FaultWindow = FaultWindow()
+
+    def bind(self, rng: np.random.Generator) -> BoundInjector:
+        return _BoundQueueSurge(self, rng)
+
+
+class _BoundQueueSurge(BoundInjector):
+    def __init__(self, spec: QueueSurge, rng: np.random.Generator) -> None:
+        super().__init__(spec.name, spec.window)
+        self._spec = spec
+        self._burst = _Burst(rng, spec.surge_rate / spec.surge_mean, spec.surge_mean)
+
+    def _apply(self, time: float, csi: np.ndarray) -> list[Packet]:
+        if not self._burst.step():
+            return [(time, csi)]
+        self.touched += 1
+        spec = self._spec
+        return [
+            (time + j * spec.spacing_s, csi) for j in range(max(1, spec.amplification))
+        ]
+
+
+# ----------------------------------------------------------------------
+# Composition
+# ----------------------------------------------------------------------
+class StreamFaults:
+    """A plan's injectors bound to one stream, applied in plan order."""
+
+    def __init__(self, bound: tuple[BoundInjector, ...]) -> None:
+        self._bound = bound
+
+    @property
+    def injectors(self) -> tuple[BoundInjector, ...]:
+        return self._bound
+
+    def process(self, time: float, csi: np.ndarray) -> list[Packet]:
+        """Run one packet through the chain; 0..n packets out."""
+        packets: list[Packet] = [(time, csi)]
+        for injector in self._bound:
+            produced: list[Packet] = []
+            for t, c in packets:
+                produced.extend(injector.process(t, c))
+            packets = produced
+            if not packets:
+                break
+        return packets
+
+    def touched_counts(self) -> dict[str, int]:
+        """Per-injector count of packets dropped/altered/duplicated."""
+        return {b.name: b.touched for b in self._bound}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded composition of injectors over a packet source.
+
+    The empty plan (the default) is the identity: ``enabled`` is False,
+    callers skip binding entirely, and no RNG is ever constructed — the
+    property that keeps fault-free runs bit-identical.
+    """
+
+    injectors: tuple[FaultInjector, ...] = ()
+    seed: int = 0
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.injectors)
+
+    def bind(self, stream_id: str) -> StreamFaults:
+        """Fresh per-stream state for every injector in the plan."""
+        return StreamFaults(
+            tuple(
+                spec.bind(stream_rng(self.seed, stream_id, salt=k))
+                for k, spec in enumerate(self.injectors)
+            )
+        )
+
+
+def chaos_plan(
+    seed: int = 0, start_s: float = 1.0, stop_s: float = 1.8
+) -> FaultPlan:
+    """One of every injector class, all active in ``[start_s, stop_s)``.
+
+    Rates are deliberately brutal — the point of the chaos scenario is
+    to push sessions through degradation and quarantine, then prove
+    they all return to healthy once the window closes.
+    """
+    window = FaultWindow(start_s, stop_s)
+    return FaultPlan(
+        injectors=(
+            PacketLossBurst(drop_rate=0.15, burst_mean=4.0, window=window),
+            CsiDropout(storm_rate=0.5, storm_mean=30.0, window=window),
+            SubcarrierCorruption(rate=0.3, num_subcarriers=8, window=window),
+            ClockSkew(skew=2e-4, jitter_s=2e-4, corrupt_rate=0.05, window=window),
+            AmplitudeFade(fade_rate=0.1, fade_mean=20.0, window=window),
+            QueueSurge(surge_rate=0.05, surge_mean=10.0, amplification=3, window=window),
+        ),
+        seed=seed,
+    )

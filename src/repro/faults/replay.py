@@ -1,0 +1,49 @@
+"""Fault injection over logged captures (:class:`~repro.net.link.CsiStream`).
+
+The serving layer injects faults packet-by-packet as traffic flows
+(`repro.serve.loadgen` / `repro.serve.chaos`); this module is the batch
+counterpart for replay workflows — corrupt a logged capture once, then
+run ``vihot track`` or any offline pipeline over the damaged copy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.faults.injectors import FaultPlan
+from repro.net.link import CsiStream
+
+__all__ = ["inject_stream"]
+
+
+def inject_stream(
+    stream: CsiStream, plan: FaultPlan, stream_id: str = "replay"
+) -> CsiStream:
+    """Apply ``plan`` to a logged capture, returning the faulted copy.
+
+    With an empty (disabled) plan the input stream object is returned
+    unchanged — no copy, no RNG — so fault-free replays stay
+    bit-identical.  Dropped packets shrink the stream, duplicated ones
+    extend it, and sequence numbers are renumbered to stay contiguous;
+    the IMU side-channel is carried across untouched (RF faults do not
+    corrupt the phone's gyro).
+    """
+    if not plan.enabled:
+        return stream
+    faults = plan.bind(stream_id)
+    times: list[float] = []
+    matrices: list[np.ndarray] = []
+    for k in range(len(stream)):
+        for t, csi in faults.process(float(stream.times[k]), stream.csi[k]):
+            times.append(t)
+            matrices.append(np.asarray(csi))
+    if matrices:
+        csi_out = np.stack(matrices).astype(stream.csi.dtype, copy=False)
+    else:
+        csi_out = np.empty((0,) + stream.csi.shape[1:], dtype=stream.csi.dtype)
+    return CsiStream(
+        np.asarray(times, dtype=np.float64),
+        csi_out,
+        np.arange(len(times)),
+        stream.imu,
+    )

@@ -21,6 +21,7 @@ tracking behaviour: a session's estimates are bit-identical to a
 standalone ``OnlineTracker`` fed the same packets.
 """
 
+from repro.serve.chaos import ChaosResult, run_chaos
 from repro.serve.ingest import IngestBatch, IngestQueue, IngestRecord
 from repro.serve.loadgen import LoadResult, SyntheticCabin, run_load
 from repro.serve.manager import (
@@ -33,11 +34,17 @@ from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.serve.scheduler import RoundRobinScheduler, ServedEstimate, TickReport
 from repro.serve.session import (
     CREATED,
+    DEGRADED,
     EVICTED,
+    HEALTH_STATES,
+    HEALTHY,
     IDLE,
     LIFECYCLE,
     LIVE,
     PROFILED,
+    QUARANTINED,
+    HealthPolicy,
+    SessionHealth,
     SessionStateError,
     TrackedSession,
 )
@@ -68,4 +75,12 @@ __all__ = [
     "run_load",
     "LoadResult",
     "SyntheticCabin",
+    "run_chaos",
+    "ChaosResult",
+    "HealthPolicy",
+    "SessionHealth",
+    "HEALTH_STATES",
+    "HEALTHY",
+    "DEGRADED",
+    "QUARANTINED",
 ]

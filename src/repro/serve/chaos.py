@@ -1,0 +1,211 @@
+"""The chaos scenario: a fleet under every injector at once.
+
+This is the serving layer's graceful-degradation acceptance test as a
+runnable artefact: drive a 50-session synthetic fleet through a
+:func:`~repro.faults.chaos_plan` (bursty loss, NaN storms, corrupted
+subcarriers, clock faults, deep fades and duplicate surges, all inside
+one stream-time window), and measure three things:
+
+1. **Containment** — zero unhandled exceptions reach the driver loop;
+   every fault is absorbed by ingest rejection, scheduler containment
+   or the health machine.
+2. **Degradation** — the faults actually bite: packets are rejected,
+   sessions degrade and quarantine, and the metrics registry reports
+   all of it.
+3. **Recovery** — once the fault window closes, every session returns
+   to ``healthy`` with no operator intervention.
+
+Wired into CI as ``benchmarks/bench_serve.py --chaos`` (fixed seed) and
+asserted at the same scale by ``tests/serve/test_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.config import ViHOTConfig
+from repro.faults import FaultPlan, StreamFaults, chaos_plan
+from repro.serve.loadgen import SYNTHETIC_FINGERPRINT, SyntheticCabin, synthetic_profile
+from repro.serve.manager import SessionManager
+from repro.serve.session import HEALTH_STATES, HEALTHY
+
+
+@dataclass(frozen=True)
+class ChaosResult:
+    """What one :func:`run_chaos` run observed."""
+
+    sessions: int
+    packets_offered: int  # packets emitted by the fault chains
+    ingested: int  # packets accepted into trackers
+    rejected: int  # non-finite packets refused at ingest
+    drops: int  # packets shed by queue backpressure
+    estimates: int
+    poll_failures: int  # tracker exceptions contained by the scheduler
+    quarantines: int
+    releases: int
+    recoveries: int
+    unhandled: int  # exceptions that escaped to the driver loop
+    injector_touches: dict[str, int]  # per-injector packets affected
+    final_health: dict[str, int]  # health-state occupancy at the end
+    all_healthy: bool
+    wall_s: float
+    metrics_line: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "sessions": self.sessions,
+            "packets_offered": self.packets_offered,
+            "ingested": self.ingested,
+            "rejected": self.rejected,
+            "drops": self.drops,
+            "estimates": self.estimates,
+            "poll_failures": self.poll_failures,
+            "quarantines": self.quarantines,
+            "releases": self.releases,
+            "recoveries": self.recoveries,
+            "unhandled": self.unhandled,
+            "injector_touches": dict(self.injector_touches),
+            "final_health": dict(self.final_health),
+            "all_healthy": self.all_healthy,
+            "wall_s": self.wall_s,
+            "metrics": self.metrics_line,
+        }
+
+    def summary(self) -> str:
+        touches = ",".join(
+            f"{name}={count}" for name, count in sorted(self.injector_touches.items())
+        )
+        return (
+            f"{self.sessions} sessions under chaos: "
+            f"{self.packets_offered} packets offered, {self.ingested} ingested, "
+            f"{self.rejected} rejected, {self.drops} shed, "
+            f"{self.estimates} estimates, "
+            f"{self.quarantines} quarantines / {self.releases} releases / "
+            f"{self.recoveries} recoveries, "
+            f"{self.unhandled} unhandled, "
+            f"final={'all-healthy' if self.all_healthy else self.final_health}, "
+            f"touches[{touches}] in {self.wall_s:.2f}s wall"
+        )
+
+
+def run_chaos(
+    num_sessions: int = 50,
+    duration_s: float = 3.0,
+    rate_hz: float = 100.0,
+    tick_interval_s: float = 0.05,
+    stride_s: float = 0.25,
+    budget_s: float = 1.0,
+    queue_depth: int = 4096,
+    config: ViHOTConfig | None = None,
+    buffer_s: float = 6.0,
+    seed: int = 0,
+    plan: FaultPlan | None = None,
+) -> ChaosResult:
+    """Drive a synthetic fleet through a fault storm, then let it heal.
+
+    The default ``plan`` opens every injector class over the middle
+    third of the run (``[duration_s/3, 0.6 * duration_s)``), leaving the
+    final stretch fault-free — long enough for every quarantine backoff
+    (capped at ``HealthPolicy.backoff_max_ticks``) to expire and every
+    session to produce the clean poll that declares it recovered.
+
+    Every ``ingest`` and ``tick`` call is wrapped: anything that escapes
+    the serving layer's own containment is counted in ``unhandled``
+    (the chaos assertion is that the count stays zero).
+    """
+    if num_sessions < 1:
+        raise ValueError("num_sessions must be >= 1")
+    if config is None:
+        config = ViHOTConfig(profile_stride=8, num_length_candidates=3)
+    if plan is None:
+        plan = chaos_plan(
+            seed=seed, start_s=duration_s / 3.0, stop_s=0.6 * duration_s
+        )
+
+    profile = synthetic_profile()
+    manager = SessionManager(
+        config,
+        queue_depth=queue_depth,
+        budget_s=budget_s,
+        stride_s=stride_s,
+        idle_timeout_s=10 * duration_s + 60.0,  # no idling mid-run
+        buffer_s=buffer_s,
+    )
+    cabins = [
+        SyntheticCabin(f"cabin-{k:04d}", seed=seed * 10_000 + k, duration_s=duration_s,
+                       rate_hz=rate_hz)
+        for k in range(num_sessions)
+    ]
+    for cabin in cabins:
+        manager.open_session(
+            cabin.cabin_id,
+            fingerprint=SYNTHETIC_FINGERPRINT,
+            build_profile=lambda: profile,
+        )
+    faults: dict[str, StreamFaults] = {
+        cabin.cabin_id: plan.bind(cabin.cabin_id) for cabin in cabins
+    }
+
+    offered = 0
+    unhandled = 0
+    start = time.perf_counter()
+    next_tick = tick_interval_s
+    for k in range(len(cabins[0])):
+        t = float(cabins[0].times[k])
+        for cabin in cabins:
+            for ft, fcsi in faults[cabin.cabin_id].process(t, cabin.csi_at(k)):
+                offered += 1
+                try:
+                    manager.ingest(cabin.cabin_id, ft, fcsi)
+                except Exception:
+                    unhandled += 1
+        if t >= next_tick:
+            try:
+                manager.tick()
+            except Exception:
+                unhandled += 1
+            next_tick += tick_interval_s
+    # Drain ticks: the stream is over but quarantine cooldowns may still
+    # be counting down; keep ticking until they expire and the released
+    # sessions get their recovery poll.
+    for _ in range(64):
+        try:
+            report = manager.tick()
+        except Exception:
+            unhandled += 1
+            continue
+        states = manager.health_states()
+        if all(state == HEALTHY for state in states.values()) and not report.released:
+            break
+    wall_s = time.perf_counter() - start
+
+    touches: dict[str, int] = {}
+    for chain in faults.values():
+        for name, count in chain.touched_counts().items():
+            touches[name] = touches.get(name, 0) + count
+    states = manager.health_states()
+    final_health = {
+        state: sum(1 for s in states.values() if s == state)
+        for state in HEALTH_STATES
+    }
+    counters = manager.metrics_snapshot()["counters"]
+    assert isinstance(counters, dict)
+    return ChaosResult(
+        sessions=num_sessions,
+        packets_offered=offered,
+        ingested=int(counters["packets_ingested"]),
+        rejected=int(counters["packets_rejected"]),
+        drops=int(counters["packets_dropped"]),
+        estimates=int(counters["estimates_served"]),
+        poll_failures=int(counters["poll_failures"]),
+        quarantines=int(counters["quarantines_total"]),
+        releases=int(counters["quarantine_releases"]),
+        recoveries=int(counters["recoveries_total"]),
+        unhandled=unhandled,
+        injector_touches=touches,
+        final_health=final_health,
+        all_healthy=all(state == HEALTHY for state in states.values()),
+        wall_s=wall_s,
+        metrics_line=manager.render_metrics(),
+    )

@@ -120,6 +120,17 @@ class IngestQueue:
         self._count += 1
         return accepted
 
+    def forget_session(self, session_id: str) -> None:
+        """Drop a session's shed-count bookkeeping.
+
+        The manager calls this when a session is evicted; without it the
+        per-session drop map grows monotonically with every session id
+        the fleet has ever seen — an unbounded leak under long
+        multi-tenant runs.  Aggregate counts (``dropped_total``,
+        ``pushed_total``) are unaffected.
+        """
+        self._dropped_by_session.pop(session_id, None)
+
     def drain(self, max_records: int | None = None) -> IngestBatch:
         """Pop up to ``max_records`` (default: everything) in order."""
         n = self._count if max_records is None else min(max_records, self._count)

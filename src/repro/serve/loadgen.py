@@ -27,6 +27,7 @@ from repro.core.config import ViHOTConfig
 from repro.core.online import OnlineTracker
 from repro.core.profile import CsiProfile, PositionProfile
 from repro.core.stages import Estimate
+from repro.faults import FaultPlan, StreamFaults
 from repro.serve.manager import ManagerTickReport, SessionManager
 
 #: Intel-5300-shaped packets.
@@ -194,6 +195,7 @@ def run_load(
     config: ViHOTConfig | None = None,
     buffer_s: float = 6.0,
     seed: int = 0,
+    plan: FaultPlan | None = None,
 ) -> LoadResult:
     """Drive ``num_sessions`` synthetic cabins through one manager.
 
@@ -202,6 +204,13 @@ def run_load(
     every ``tick_interval_s`` of stream time.  The first
     ``verify_sessions`` cabins are replayed through standalone trackers
     afterwards and compared estimate-for-estimate.
+
+    ``plan`` optionally wraps every cabin's packet stream in fault
+    injectors (see :mod:`repro.faults`).  With faults active the
+    standalone-replay check is skipped — injected streams diverge from
+    the pristine cabins by construction; with ``plan`` empty or ``None``
+    the code path is identical to before the parameter existed, so
+    fault-free runs stay bit-identical.
     """
     if num_sessions < 1:
         raise ValueError("num_sessions must be >= 1")
@@ -230,6 +239,11 @@ def run_load(
             build_profile=lambda: profile,
         )
 
+    faults: dict[str, StreamFaults] = {}
+    if plan is not None and plan.enabled:
+        faults = {cabin.cabin_id: plan.bind(cabin.cabin_id) for cabin in cabins}
+        verify_sessions = 0  # injected streams diverge from pristine cabins
+
     # Per-verified-session poll log: the stream times the scheduler
     # actually polled at (estimates or declines both advance the clock).
     num_steps = len(cabins[0].times)
@@ -250,7 +264,11 @@ def run_load(
     for k in range(num_steps):
         t = float(cabins[0].times[k])
         for cabin in cabins:
-            manager.ingest(cabin.cabin_id, t, cabin.csi_at(k))
+            if faults:
+                for ft, fcsi in faults[cabin.cabin_id].process(t, cabin.csi_at(k)):
+                    manager.ingest(cabin.cabin_id, ft, fcsi)
+            else:
+                manager.ingest(cabin.cabin_id, t, cabin.csi_at(k))
         if t >= next_tick:
             record(manager.tick())
             next_tick += tick_interval_s

@@ -42,7 +42,29 @@ from repro.core.stages import CameraLike, Estimate
 from repro.serve.ingest import IngestQueue
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.scheduler import RoundRobinScheduler, TickReport
-from repro.serve.session import EVICTED, IDLE, LIVE, SessionStateError, TrackedSession
+from repro.serve.session import (
+    DEGRADED,
+    EVICTED,
+    HEALTHY,
+    IDLE,
+    LIVE,
+    QUARANTINED,
+    HealthPolicy,
+    SessionStateError,
+    TrackedSession,
+)
+
+
+def _finite_packet(time: float, csi: np.ndarray) -> bool:
+    """Whether one CSI record is safe to hand a tracker.
+
+    A single NaN (or infinite) CSI entry poisons the tracker's
+    incremental phase unwrap for the rest of the session, and a
+    non-finite timestamp raises deep inside ``push_csi`` — both are
+    rejected at the ingest boundary instead, counted per session, and
+    fed to the health machine.
+    """
+    return bool(np.isfinite(time)) and bool(np.all(np.isfinite(csi)))
 
 
 def scenario_fingerprint(config: object) -> str:
@@ -110,6 +132,11 @@ class ManagerTickReport:
     scheduler: TickReport
     idled: tuple[str, ...] = ()
     evicted: tuple[str, ...] = ()
+    rejected: int = 0  # non-finite packets refused at ingest
+    poll_failures: tuple[str, ...] = ()  # sessions whose poll raised (contained)
+    quarantined: tuple[str, ...] = ()  # sessions entering quarantine this tick
+    released: tuple[str, ...] = ()  # quarantine backoffs expiring (retry)
+    recovered: tuple[str, ...] = ()  # sessions restored to healthy
 
 
 class SessionManager:
@@ -127,6 +154,8 @@ class SessionManager:
         buffer_s: per-tracker retention horizon.
         max_history: retained estimates per session.
         clock: injectable wall clock for activity stamps (tests fake it).
+        health_policy: fault-containment thresholds applied to every
+            session (degrade/quarantine/backoff/probation).
     """
 
     def __init__(
@@ -141,6 +170,7 @@ class SessionManager:
         buffer_s: float = 10.0,
         max_history: int = 256,
         clock: Callable[[], float] = time.monotonic,
+        health_policy: HealthPolicy | None = None,
     ) -> None:
         self._config = config
         self._stride_s = stride_s
@@ -149,6 +179,7 @@ class SessionManager:
         self._idle_timeout_s = idle_timeout_s
         self._evict_after_s = evict_after_s
         self._clock = clock
+        self._health_policy = health_policy if health_policy is not None else HealthPolicy()
 
         self._sessions: dict[str, TrackedSession] = {}
         self._queue = IngestQueue(queue_depth)
@@ -175,6 +206,27 @@ class SessionManager:
         self._h_latency = m.histogram("estimate_latency_ms", "per-estimate wall time")
         self._h_lateness = m.histogram(
             "estimate_lateness_ms", "stream-time distance past the due time"
+        )
+        self._c_rejected = m.counter(
+            "packets_rejected", "non-finite packets refused at ingest"
+        )
+        self._c_poll_failures = m.counter(
+            "poll_failures", "tracker exceptions contained during polls"
+        )
+        self._c_quarantines = m.counter(
+            "quarantines_total", "health transitions into quarantine"
+        )
+        self._c_releases = m.counter(
+            "quarantine_releases", "backoff expiries returning a session to probation"
+        )
+        self._c_recoveries = m.counter(
+            "recoveries_total", "sessions restored to healthy after degradation"
+        )
+        self._g_degraded = m.gauge(
+            "health_degraded", "sessions currently degraded (fault-mode occupancy)"
+        )
+        self._g_quarantined = m.gauge(
+            "health_quarantined", "sessions currently quarantined"
         )
 
     # ------------------------------------------------------------------
@@ -237,6 +289,7 @@ class SessionManager:
             buffer_s=self._buffer_s,
             stride_s=self._stride_s,
             max_history=self._max_history,
+            health_policy=self._health_policy,
         )
         if profile is None and fingerprint is not None:
             if fingerprint in self._profiles or build_profile is not None:
@@ -266,6 +319,7 @@ class SessionManager:
             session.evict()
             self._c_evicted.inc()
         self._idle_since.pop(session_id, None)
+        self._queue.forget_session(session_id)
         self._g_live.set(len(self))
         return session.latest
 
@@ -290,27 +344,70 @@ class SessionManager:
     def tick(self, max_records: int | None = None) -> ManagerTickReport:
         now = self._clock()
 
-        # 1. Drain the queue into the sessions.
+        # 1. Drain the queue into the sessions.  Poisoned packets
+        # (non-finite CSI or stamps) and push-time errors are rejected
+        # here — counted, fed to the session's health machine — so one
+        # corrupted cabin stream can never kill the tick or poison a
+        # tracker's unwrap chain.
         batch = self._queue.drain(max_records)
         ingested = 0
         orphaned = 0
+        rejected = 0
+        quarantined: list[str] = []
         for session_id, records in batch.by_session().items():
             session = self._sessions.get(session_id)
             if session is None or session.state == EVICTED or session.tracker is None:
                 orphaned += len(records)
                 continue
+            accepted = 0
+            bad = 0
             for record in records:
-                session.push_csi(record.time, record.csi)
-            ingested += len(records)
+                if not _finite_packet(record.time, record.csi):
+                    bad += 1
+                    continue
+                try:
+                    session.push_csi(record.time, record.csi)
+                except (ValueError, SessionStateError):
+                    bad += 1
+                    continue
+                accepted += 1
+            ingested += accepted
+            rejected += bad
+            if bad:
+                session.rejected_packets += bad
+                if self._record_faults(session, bad):
+                    quarantined.append(session_id)
+            # Any arrival — even a rejected one — proves the cabin is
+            # alive, so the idle clock resets either way.
             session.last_activity = now
             self._idle_since.pop(session_id, None)
         self._c_ingested.inc(ingested)
         self._c_orphaned.inc(orphaned)
+        self._c_rejected.inc(rejected)
 
-        # 2. Serve due estimates within the budget.
+        # 2. Serve due estimates within the budget.  Contained poll
+        # exceptions surface as serving records with an ``error``; they
+        # count as health faults, clean polls as successes.
         live = [s for s in self._sessions.values() if s.state == LIVE]
         report = self._scheduler.tick(live)
+        poll_failures: list[str] = []
+        recovered: list[str] = []
         for served in report.served:
+            session = self._sessions.get(served.session_id)
+            if served.error is not None:
+                poll_failures.append(served.session_id)
+                self._c_poll_failures.inc()
+                if session is not None:
+                    session.poll_failures += 1
+                    if self._record_faults(session, 1):
+                        quarantined.append(served.session_id)
+                continue
+            if session is not None:
+                before = session.health.state
+                session.health.record_success()
+                if before != HEALTHY and session.health.state == HEALTHY:
+                    recovered.append(served.session_id)
+                    self._c_recoveries.inc()
             if served.estimate is not None:
                 self._c_estimates.inc()
                 self._h_latency.observe(served.elapsed_s * 1e3)
@@ -318,7 +415,18 @@ class SessionManager:
         self._c_deferrals.inc(len(report.deferred))
         self._c_misses.inc(report.deadline_misses)
 
-        # 3. Idle / eviction policy.
+        # 3. Quarantine backoff: this tick counts toward every cooldown;
+        # expiries release the session to degraded probation (a bounded
+        # retry — the next faults re-quarantine it for longer).
+        released: list[str] = []
+        for session_id, session in self._sessions.items():
+            if session.state == EVICTED:
+                continue
+            if session.health.tick():
+                released.append(session_id)
+                self._c_releases.inc()
+
+        # 4. Idle / eviction policy.
         idled: list[str] = []
         evicted: list[str] = []
         for session_id, session in self._sessions.items():
@@ -333,8 +441,22 @@ class SessionManager:
             ):
                 session.evict()
                 self._idle_since.pop(session_id, None)
+                self._queue.forget_session(session_id)
                 self._c_evicted.inc()
                 evicted.append(session_id)
+
+        # 5. Health occupancy gauges (fault-mode occupancy of the fleet).
+        degraded_now = 0
+        quarantined_now = 0
+        for session in self._sessions.values():
+            if session.state == EVICTED:
+                continue
+            if session.health.state == DEGRADED:
+                degraded_now += 1
+            elif session.health.state == QUARANTINED:
+                quarantined_now += 1
+        self._g_degraded.set(degraded_now)
+        self._g_quarantined.set(quarantined_now)
 
         self._g_live.set(len(self))
         self._g_queue.set(len(self._queue))
@@ -344,7 +466,22 @@ class SessionManager:
             scheduler=report,
             idled=tuple(idled),
             evicted=tuple(evicted),
+            rejected=rejected,
+            poll_failures=tuple(poll_failures),
+            quarantined=tuple(quarantined),
+            released=tuple(released),
+            recovered=tuple(recovered),
         )
+
+    def _record_faults(self, session: TrackedSession, n: int) -> bool:
+        """Feed faults to a session's health machine; True on a fresh
+        quarantine transition (also counted in the registry)."""
+        before = session.health.state
+        session.health.record_faults(n)
+        if session.health.state == QUARANTINED and before != QUARANTINED:
+            self._c_quarantines.inc()
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # Reads
@@ -362,6 +499,14 @@ class SessionManager:
             return tuple(self.session(session_id).history)
         return {
             sid: s.latest
+            for sid, s in self._sessions.items()
+            if s.state != EVICTED
+        }
+
+    def health_states(self) -> dict[str, str]:
+        """``{session_id: health state}`` over non-evicted sessions."""
+        return {
+            sid: s.health.state
             for sid, s in self._sessions.items()
             if s.state != EVICTED
         }

@@ -88,6 +88,7 @@ class Histogram:
         self.help = help
         self._samples = np.empty(capacity, dtype=np.float64)
         self._count = 0
+        self._rejected = 0
 
     @property
     def count(self) -> int:
@@ -98,7 +99,21 @@ class Histogram:
     def capacity(self) -> int:
         return len(self._samples)
 
+    @property
+    def rejected(self) -> int:
+        """Non-finite observations refused (kept out of percentiles)."""
+        return self._rejected
+
     def observe(self, value: float) -> None:
+        """Record one observation.
+
+        Non-finite values are refused (and counted in :attr:`rejected`)
+        rather than folded: one NaN in the reservoir would turn every
+        percentile an operator alerts on into NaN.
+        """
+        if not np.isfinite(value):
+            self._rejected += 1
+            return
         self._samples[self._count % len(self._samples)] = value
         self._count += 1
 

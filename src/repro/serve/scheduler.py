@@ -40,10 +40,11 @@ class ServedEstimate:
     """One scheduling outcome: a session that got its turn this tick."""
 
     session_id: str
-    estimate: Estimate | None  # None when the tracker declined
+    estimate: Estimate | None  # None when the tracker declined or failed
     polled_t: float  # stream time the estimate was polled at
     elapsed_s: float  # wall time the poll took
     lateness_s: float  # stream-time distance past the session's due time
+    error: str | None = None  # contained poll exception, if any
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,11 @@ class TickReport:
     @property
     def estimates(self) -> tuple[Estimate, ...]:
         return tuple(s.estimate for s in self.served if s.estimate is not None)
+
+    @property
+    def failures(self) -> tuple[ServedEstimate, ...]:
+        """Serving records whose poll raised (exception contained)."""
+        return tuple(s for s in self.served if s.error is not None)
 
 
 @dataclass
@@ -100,21 +106,35 @@ class RoundRobinScheduler:
                 self._cursor = deferred[0]
                 break
             newest = session.newest_time
+            if newest is None:
+                # The session stopped being pollable between the
+                # pending() snapshot and its turn (no buffered packets):
+                # skip it rather than emit a NaN-stamped serving record
+                # that would leak into downstream metrics and replays.
+                continue
             due = session.due_time
             lateness = 0.0
-            if due is not None and newest is not None and newest > due:
+            if due is not None and newest > due:
                 lateness = newest - due
             if lateness > session.stride_s:
                 misses += 1
             poll_start = self.wall_clock()
-            estimate = session.poll_estimate()
+            error: str | None = None
+            estimate: Estimate | None = None
+            try:
+                estimate = session.poll_estimate()
+            except Exception as exc:  # contained: one bad tracker must
+                # not poison the tick; the manager turns this into a
+                # health-machine fault and (eventually) a quarantine.
+                error = f"{type(exc).__name__}: {exc}"
             served.append(
                 ServedEstimate(
                     session_id=session.session_id,
                     estimate=estimate,
-                    polled_t=float("nan") if newest is None else newest,
+                    polled_t=float(newest),
                     elapsed_s=self.wall_clock() - poll_start,
                     lateness_s=lateness,
+                    error=error,
                 )
             )
         else:
@@ -135,4 +155,8 @@ class RoundRobinScheduler:
         for index, session in enumerate(pending):
             if session.session_id == self._cursor:
                 return pending[index:] + pending[:index]
+        # The parked session is gone (evicted, quarantined, or simply no
+        # longer pending): drop the cursor so rotation restarts cleanly
+        # instead of silently pinning a stale id forever.
+        self._cursor = None
         return pending

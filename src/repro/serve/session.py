@@ -22,6 +22,7 @@ the same packets (pinned by ``tests/serve/test_equivalence.py``).
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -38,6 +39,137 @@ LIVE = "live"
 IDLE = "idle"
 EVICTED = "evicted"
 LIFECYCLE = (CREATED, PROFILED, LIVE, IDLE, EVICTED)
+
+#: Health states — orthogonal to the lifecycle.  The lifecycle says
+#: whether a session *exists and has data*; health says whether the
+#: serving layer currently trusts its data and polls.
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+QUARANTINED = "quarantined"
+HEALTH_STATES = (HEALTHY, DEGRADED, QUARANTINED)
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """Thresholds for the per-session fault containment machine.
+
+    Args:
+        degrade_after: consecutive fault events before a healthy
+            session is marked degraded.
+        quarantine_after: consecutive fault events before a degraded
+            session is quarantined (polls suspended).
+        backoff_ticks: quarantine duration (manager ticks) for the
+            first quarantine; doubles per repeat up to the cap, the
+            bounded retry/backoff on persistent faults.
+        backoff_factor: growth factor per repeated quarantine.
+        backoff_max_ticks: backoff cap.
+        probation_successes: clean polls a degraded session needs to
+            be declared healthy (recovered) again.
+    """
+
+    degrade_after: int = 1
+    quarantine_after: int = 3
+    backoff_ticks: int = 2
+    backoff_factor: float = 2.0
+    backoff_max_ticks: int = 8
+    probation_successes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.degrade_after < 1 or self.quarantine_after < 1:
+            raise ValueError("health thresholds must be >= 1")
+        if self.backoff_ticks < 1 or self.backoff_max_ticks < 1:
+            raise ValueError("backoff tick counts must be >= 1")
+        if self.probation_successes < 1:
+            raise ValueError("probation_successes must be >= 1")
+
+
+class SessionHealth:
+    """``healthy -> degraded -> quarantined -> (backoff) -> degraded ->
+    healthy`` — the graceful-degradation machine one session carries.
+
+    Fault events are rejected packets (non-finite CSI/stamps) and
+    contained poll exceptions; successes are clean polls.  Quarantine
+    suspends polling (the session stays open and keeps ingesting), and
+    each release from quarantine is a *bounded retry*: the cooldown
+    grows exponentially while faults persist, so a permanently broken
+    session costs the scheduler almost nothing.
+    """
+
+    def __init__(self, policy: HealthPolicy | None = None) -> None:
+        self.policy = policy if policy is not None else HealthPolicy()
+        self._state = HEALTHY
+        self._cooldown = 0
+        self._probation = 0
+        self.consecutive_faults = 0
+        self.fault_events = 0
+        self.quarantines = 0
+        self.releases = 0
+        self.recoveries = 0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def quarantined(self) -> bool:
+        return self._state == QUARANTINED
+
+    @property
+    def cooldown_ticks(self) -> int:
+        """Manager ticks left before a quarantined session is retried."""
+        return self._cooldown
+
+    def record_faults(self, n: int = 1) -> None:
+        """Count ``n`` fault events, transitioning as thresholds pass."""
+        if n <= 0:
+            return
+        self.fault_events += n
+        self._probation = 0
+        if self._state == QUARANTINED:
+            return  # already contained; the cooldown decides the retry
+        self.consecutive_faults += n
+        policy = self.policy
+        if self._state == HEALTHY and self.consecutive_faults >= policy.degrade_after:
+            self._state = DEGRADED
+        if self._state == DEGRADED and self.consecutive_faults >= policy.quarantine_after:
+            self._state = QUARANTINED
+            self.quarantines += 1
+            scale = policy.backoff_factor ** (self.quarantines - 1)
+            self._cooldown = max(
+                1, min(int(policy.backoff_ticks * scale), policy.backoff_max_ticks)
+            )
+            self.consecutive_faults = 0
+
+    def record_success(self) -> None:
+        """Count one clean poll; enough of them restore ``healthy``."""
+        self.consecutive_faults = 0
+        if self._state != DEGRADED:
+            return
+        self._probation += 1
+        if self._probation >= self.policy.probation_successes:
+            self._state = HEALTHY
+            self._probation = 0
+            self.recoveries += 1
+
+    def tick(self) -> bool:
+        """Advance quarantine backoff one tick; True when released to
+        probation (degraded, pollable again)."""
+        if self._state != QUARANTINED:
+            return False
+        self._cooldown -= 1
+        if self._cooldown > 0:
+            return False
+        self._cooldown = 0
+        self._state = DEGRADED
+        self._probation = 0
+        self.releases += 1
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionHealth({self._state}, faults={self.fault_events}, "
+            f"quarantines={self.quarantines}, recoveries={self.recoveries})"
+        )
 
 #: Legal transitions.  ``idle -> live`` is the wake-up on fresh packets;
 #: anything may be evicted; nothing leaves ``evicted``.
@@ -66,6 +198,8 @@ class TrackedSession:
             scheduler, this is the session's estimate deadline period.
         max_history: how many recent estimates to retain for stage
             stats and reads.
+        health_policy: thresholds for the fault containment machine
+            (defaults are the fleet-wide :class:`HealthPolicy`).
     """
 
     def __init__(
@@ -76,6 +210,7 @@ class TrackedSession:
         buffer_s: float = 10.0,
         stride_s: float = 0.05,
         max_history: int = 256,
+        health_policy: HealthPolicy | None = None,
     ) -> None:
         config = config if config is not None else ViHOTConfig()
         if stride_s <= 0:
@@ -98,6 +233,10 @@ class TrackedSession:
         self.packets = 0
         self.imu_packets = 0
         self.estimates_produced = 0
+
+        self.health = SessionHealth(health_policy)
+        self.rejected_packets = 0  # non-finite packets refused at ingest
+        self.poll_failures = 0  # tracker exceptions contained by the scheduler
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -199,6 +338,8 @@ class TrackedSession:
         """Whether the scheduler should serve this session an estimate."""
         if self._state != LIVE or self._tracker is None:
             return False
+        if self.health.quarantined:
+            return False  # polls suspended until the backoff releases
         if not self._tracker.ready():
             return False
         newest = self.newest_time

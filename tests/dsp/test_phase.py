@@ -27,6 +27,46 @@ def test_wrap_phase_2pi_periodic(a, k):
     assert wrap_phase(a) == pytest.approx(wrap_phase(a + 2 * np.pi * k), abs=1e-9)
 
 
+def test_wrap_phase_seam_maps_to_positive_pi():
+    # The seam itself belongs to the +pi side of (-pi, pi].
+    assert wrap_phase(-np.pi) == np.pi
+    assert wrap_phase(np.pi) == np.pi
+    assert wrap_phase(3 * np.pi) == np.pi
+    assert wrap_phase(-3 * np.pi) == np.pi
+
+
+def test_wrap_phase_seam_is_ulp_tolerant():
+    # Values a few ulps from -pi (np.mod rounding near odd multiples of
+    # pi lands there) must also map to +pi, not leak out as ~-pi.
+    for bad in (
+        -np.pi + np.spacing(np.pi),
+        -np.pi + 2 * np.spacing(np.pi),
+        np.nextafter(-np.pi, 0.0),
+    ):
+        w = wrap_phase(bad)
+        assert w == np.pi, f"wrap_phase({bad!r}) -> {w!r}"
+    # Odd multiples of pi stress the mod rounding directly.
+    for k in (3, 5, 9, 101, -7, -101):
+        w = wrap_phase(k * np.pi)
+        assert -np.pi < w <= np.pi
+        assert abs(w) == pytest.approx(np.pi, abs=1e-9)
+
+
+def test_wrap_phase_just_inside_seam_unchanged():
+    # A value clearly inside the interval (many ulps from the seam) must
+    # NOT be snapped to +pi.
+    inside = -np.pi + 1e-9
+    assert wrap_phase(inside) == pytest.approx(inside)
+    assert wrap_phase(inside) != np.pi
+
+
+def test_wrap_phase_vectorised_seam():
+    values = np.array([-np.pi, np.pi, 0.0, np.nextafter(-np.pi, 0.0)])
+    wrapped = wrap_phase(values)
+    np.testing.assert_array_equal(wrapped[[0, 1, 3]], np.pi)
+    assert wrapped[2] == 0.0
+
+
 def test_circular_mean_simple():
     assert circular_mean(np.array([0.1, -0.1])) == pytest.approx(0.0, abs=1e-12)
 

@@ -1,0 +1,229 @@
+"""The fault-injection catalogue: identity, determinism, windowing,
+and per-injector behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    AmplitudeFade,
+    ClockSkew,
+    CsiDropout,
+    FaultPlan,
+    FaultWindow,
+    PacketLossBurst,
+    QueueSurge,
+    SubcarrierCorruption,
+    chaos_plan,
+    inject_stream,
+    stream_rng,
+)
+from repro.net.link import CsiStream
+
+
+def make_packets(n=400, rate_hz=200.0, n_rx=2, n_sub=30, seed=7):
+    rng = np.random.default_rng(seed)
+    times = np.arange(n) / rate_hz
+    csi = np.exp(1j * rng.uniform(-np.pi, np.pi, (n, n_rx, n_sub)))
+    return times, csi.astype(np.complex128)
+
+
+def run_plan(plan, stream_id="s0", **kwargs):
+    times, csi = make_packets(**kwargs)
+    chain = plan.bind(stream_id)
+    out = []
+    for t, c in zip(times, csi):
+        out.extend(chain.process(float(t), c))
+    return out, chain
+
+
+# ----------------------------------------------------------------------
+# The load-bearing properties
+# ----------------------------------------------------------------------
+def test_empty_plan_is_identity():
+    plan = FaultPlan()
+    assert not plan.enabled
+    times, csi = make_packets(n=50)
+    chain = plan.bind("s0")
+    for t, c in zip(times, csi):
+        out = chain.process(float(t), c)
+        assert len(out) == 1
+        assert out[0][0] == t
+        assert out[0][1] is c  # not even a copy
+
+
+def test_same_seed_same_stream_replays_bit_identically():
+    plan = chaos_plan(seed=3, start_s=0.0, stop_s=10.0)
+    a, _ = run_plan(plan)
+    b, _ = run_plan(plan)
+    assert len(a) == len(b)
+    for (ta, ca), (tb, cb) in zip(a, b):
+        assert ta == tb or (np.isnan(ta) and np.isnan(tb))
+        np.testing.assert_array_equal(ca, cb)
+
+
+def test_streams_are_independent():
+    plan = chaos_plan(seed=3, start_s=0.0, stop_s=10.0)
+    a, _ = run_plan(plan, stream_id="s0")
+    b, _ = run_plan(plan, stream_id="s1")
+    # Different streams see different fault sequences (overwhelmingly).
+    if len(a) == len(b):
+        assert any(
+            not np.array_equal(ca, cb, equal_nan=True)
+            for (_, ca), (_, cb) in zip(a, b)
+        )
+
+
+def test_stream_rng_is_stable_and_distinct():
+    a = stream_rng(1, "cabin-0001").random(8)
+    b = stream_rng(1, "cabin-0001").random(8)
+    c = stream_rng(1, "cabin-0002").random(8)
+    np.testing.assert_array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_faults_confined_to_window():
+    window = FaultWindow(0.5, 1.0)
+    plan = FaultPlan(
+        injectors=(
+            PacketLossBurst(drop_rate=0.5, burst_mean=2.0, window=window),
+            CsiDropout(storm_rate=0.9, storm_mean=5.0, window=window),
+        ),
+        seed=0,
+    )
+    times, csi = make_packets(n=400, rate_hz=200.0)
+    chain = plan.bind("s0")
+    for t, c in zip(times, csi):
+        out = chain.process(float(t), c)
+        if not (0.5 <= t < 1.0):
+            assert len(out) == 1 and out[0][1] is c
+    assert all(b.touched > 0 for b in chain.injectors)
+
+
+def test_window_validation_and_nan_safety():
+    with pytest.raises(ValueError):
+        FaultWindow(2.0, 1.0)
+    assert not FaultWindow(0.0, 1.0).covers(float("nan"))
+
+
+# ----------------------------------------------------------------------
+# Per-injector behaviour
+# ----------------------------------------------------------------------
+def test_packet_loss_drops_roughly_at_rate():
+    plan = FaultPlan(injectors=(PacketLossBurst(drop_rate=0.2, burst_mean=4.0),), seed=0)
+    out, chain = run_plan(plan, n=4000)
+    lost = 4000 - len(out)
+    assert lost == chain.injectors[0].touched
+    assert 0.10 < lost / 4000 < 0.35  # long-run rate near the target
+
+
+def test_csi_dropout_emits_nan_matrices():
+    plan = FaultPlan(injectors=(CsiDropout(storm_rate=0.5, storm_mean=10.0),), seed=0)
+    out, chain = run_plan(plan)
+    assert chain.injectors[0].touched > 0
+    nan_packets = [c for _, c in out if np.all(np.isnan(c.real))]
+    assert len(nan_packets) == chain.injectors[0].touched
+    assert all(c.shape == out[0][1].shape for c in nan_packets)
+
+
+def test_subcarrier_corruption_preserves_amplitude():
+    plan = FaultPlan(
+        injectors=(SubcarrierCorruption(rate=1.0, num_subcarriers=6),), seed=0
+    )
+    times, csi = make_packets(n=20)
+    chain = plan.bind("s0")
+    for t, c in zip(times, csi):
+        (_, out), = chain.process(float(t), c)
+        assert out is not c  # original never mutated
+        np.testing.assert_allclose(np.abs(out), np.abs(c), rtol=1e-12)
+        # Exactly 6 subcarriers have their phase spun.
+        changed = np.any(~np.isclose(out, c), axis=0)
+        assert changed.sum() == 6
+
+
+def test_clock_skew_accumulates_and_corrupts():
+    window = FaultWindow(0.0, 10.0)
+    plan = FaultPlan(
+        injectors=(ClockSkew(skew=1e-3, window=window),), seed=0
+    )
+    out, _ = run_plan(plan, n=200, rate_hz=100.0)
+    # Skew grows linearly from the window start: last stamp is ~2ms late.
+    t_true = 199 / 100.0
+    assert out[-1][0] == pytest.approx(t_true * (1 + 1e-3))
+
+    plan = FaultPlan(injectors=(ClockSkew(corrupt_rate=0.3, window=window),), seed=0)
+    out, chain = run_plan(plan, n=500)
+    bad = [t for t, _ in out if not np.isfinite(t)]
+    assert len(bad) == chain.injectors[0].touched > 0
+
+
+def test_amplitude_fade_crushes_magnitude():
+    plan = FaultPlan(
+        injectors=(AmplitudeFade(fade_rate=0.5, fade_mean=5.0, floor=1e-3, noise=0.0),),
+        seed=0,
+    )
+    out, chain = run_plan(plan, n=500)
+    # Inputs are unit-modulus phasors, so faded packets sit exactly at
+    # the floor and untouched ones at 1.
+    mags = np.array([np.abs(c).max() for _, c in out])
+    faded = mags < 1e-2
+    assert faded.sum() == chain.injectors[0].touched > 0
+    np.testing.assert_allclose(mags[faded], 1e-3, rtol=1e-9)
+    np.testing.assert_allclose(mags[~faded], 1.0, rtol=1e-9)
+
+
+def test_queue_surge_duplicates():
+    plan = FaultPlan(
+        injectors=(QueueSurge(surge_rate=0.5, surge_mean=5.0, amplification=4),),
+        seed=0,
+    )
+    out, chain = run_plan(plan, n=200)
+    assert chain.injectors[0].touched > 0
+    assert len(out) == 200 + 3 * chain.injectors[0].touched
+
+
+def test_chain_composes_in_order():
+    # Loss first means the dropout never sees the dropped packets.
+    window = FaultWindow(0.0, 10.0)
+    plan = FaultPlan(
+        injectors=(
+            PacketLossBurst(drop_rate=0.3, burst_mean=3.0, window=window),
+            CsiDropout(storm_rate=0.2, storm_mean=5.0, window=window),
+        ),
+        seed=1,
+    )
+    out, chain = run_plan(plan, n=1000)
+    loss, dropout = chain.injectors
+    assert dropout.seen == 1000 - loss.touched
+    assert chain.touched_counts() == {
+        "packet_loss": loss.touched,
+        "csi_dropout": dropout.touched,
+    }
+
+
+# ----------------------------------------------------------------------
+# CsiStream replay wrapper
+# ----------------------------------------------------------------------
+def make_stream(n=300, rate_hz=200.0):
+    times, csi = make_packets(n=n, rate_hz=rate_hz)
+    return CsiStream(times, csi, np.arange(n))
+
+
+def test_inject_stream_disabled_returns_same_object():
+    stream = make_stream()
+    assert inject_stream(stream, FaultPlan()) is stream
+
+
+def test_inject_stream_applies_plan():
+    stream = make_stream(n=600)
+    plan = FaultPlan(
+        injectors=(PacketLossBurst(drop_rate=0.3, burst_mean=4.0),), seed=5
+    )
+    out = inject_stream(stream, plan)
+    assert out is not stream
+    assert 0 < len(out) < len(stream)
+    assert out.csi.dtype == stream.csi.dtype
+    np.testing.assert_array_equal(out.seqs, np.arange(len(out)))
+    # Determinism: same plan, same stream id, same result.
+    again = inject_stream(stream, plan)
+    np.testing.assert_array_equal(out.times, again.times)
+    np.testing.assert_array_equal(out.csi, again.csi)

@@ -70,3 +70,22 @@ def test_ring_wraps_across_many_cycles():
 def test_depth_validation():
     with pytest.raises(ValueError):
         IngestQueue(depth=0)
+
+
+def test_forget_session_prunes_shed_bookkeeping():
+    queue = IngestQueue(depth=2)
+    for k in range(5):
+        queue.push("a", float(k), csi(k))
+    for k in range(4):
+        queue.push("b", float(k), csi(k))
+    assert set(queue.dropped_by_session) == {"a", "b"}
+    total_before = queue.dropped_total
+
+    queue.forget_session("a")
+    assert "a" not in queue.dropped_by_session
+    assert "b" in queue.dropped_by_session
+    # Aggregates are history, not per-session state: unaffected.
+    assert queue.dropped_total == total_before
+    assert queue.pushed_total == 9
+    # Forgetting an unknown session is a no-op, not an error.
+    queue.forget_session("never-seen")

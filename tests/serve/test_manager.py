@@ -200,3 +200,33 @@ def test_unknown_session_lookup_raises(profile):
         manager.session("nope")
     with pytest.raises(KeyError):
         manager.ingest_imu("nope", 0.0, 0.0)
+
+
+def test_eviction_prunes_queue_shed_map(profile):
+    # Fill the tiny ring so the session accrues per-session shed counts,
+    # then evict it both ways and check the bookkeeping is pruned.
+    manager = make_manager(queue_depth=4)
+    manager.open_session("car-0", profile)
+    for k in range(10):
+        manager.ingest("car-0", 0.01 * k, np.ones((2, 30), dtype=np.complex128))
+    assert "car-0" in manager.queue.dropped_by_session
+
+    manager.close_session("car-0")
+    assert "car-0" not in manager.queue.dropped_by_session
+
+    # The idle->evict path prunes too.
+    clock = ManualClock()
+    manager = make_manager(queue_depth=4, idle_timeout_s=1.0, evict_after_s=1.0,
+                           clock=clock)
+    cabin = SyntheticCabin("car-1", seed=5, duration_s=1.0, rate_hz=100.0)
+    manager.open_session("car-1", profile)
+    for k in range(len(cabin)):
+        manager.ingest(cabin.cabin_id, float(cabin.times[k]), cabin.csi_at(k))
+    manager.tick()
+    assert "car-1" in manager.queue.dropped_by_session
+    clock.advance(2.0)
+    manager.tick()  # -> idle
+    clock.advance(2.0)
+    report = manager.tick()  # -> evicted
+    assert report.evicted == ("car-1",)
+    assert "car-1" not in manager.queue.dropped_by_session

@@ -117,3 +117,93 @@ def test_empty_and_non_pending_sessions():
 def test_budget_validation():
     with pytest.raises(ValueError):
         RoundRobinScheduler(budget_s=0.0)
+
+
+def test_stale_cursor_cleared_when_session_disappears():
+    # Park the cursor on a deferred session...
+    scheduler = RoundRobinScheduler(budget_s=1e-9, wall_clock=FakeClock(1.0))
+    a, b = StubSession("a"), StubSession("b")
+    first = scheduler.tick([a, b])
+    assert first.deferred == ("b",)
+    assert scheduler._cursor == "b"
+
+    # ...then tick without it (evicted/quarantined/no longer pending),
+    # with budget to serve everyone: rotation must restart cleanly AND
+    # drop the stale cursor.
+    scheduler.budget_s = 100.0
+    scheduler.wall_clock = FakeClock(0.001)
+    others = [StubSession("c"), StubSession("d")]
+    second = scheduler.tick(others)
+    assert [s.session_id for s in second.served] == ["c", "d"]
+    assert scheduler._cursor is None, "stale cursor must not pin forever"
+
+    # A later reappearance of 'b' gets no spurious priority (with the
+    # stale cursor retained it would be rotated to the front).
+    third = scheduler.tick([StubSession("c"), StubSession("d"), StubSession("b")])
+    assert third.served[0].session_id == "c"
+
+
+def test_unpollable_session_skipped_without_nan_record():
+    scheduler = RoundRobinScheduler(budget_s=100.0, wall_clock=FakeClock(0.001))
+
+    class Vanished(StubSession):
+        @property
+        def newest_time(self):
+            return None
+
+    gone = Vanished("gone")
+    alive = StubSession("alive")
+    report = scheduler.tick([gone, alive])
+    # No serving record for the unpollable session — in particular no
+    # NaN-stamped one leaking into metrics folds.
+    assert [s.session_id for s in report.served] == ["alive"]
+    assert all(s.polled_t == s.polled_t for s in report.served)  # no NaN
+    assert gone.polls == 0
+
+
+def test_poll_exception_contained_in_serving_record():
+    scheduler = RoundRobinScheduler(budget_s=100.0, wall_clock=FakeClock(0.001))
+
+    class Exploding(StubSession):
+        def poll_estimate(self):
+            raise RuntimeError("tracker wedged")
+
+    bad = Exploding("bad")
+    good = StubSession("good")
+    report = scheduler.tick([bad, good])  # must not raise
+    by_id = {s.session_id: s for s in report.served}
+    assert by_id["bad"].error == "RuntimeError: tracker wedged"
+    assert by_id["bad"].estimate is None
+    assert by_id["good"].error is None
+    assert report.failures == (by_id["bad"],)
+    assert good.polls == 1, "the bad session must not poison the tick"
+
+
+class DeadlineStub(StubSession):
+    """A stub whose due time advances on poll, like a real session."""
+
+    def poll_estimate(self):
+        self.polls += 1
+        self._due = self._newest + self.stride_s
+        return None
+
+
+def test_deferred_session_misses_counted_exactly_once():
+    # The clock burns the whole budget on the first poll: each tick
+    # serves exactly one session and defers the rest.
+    scheduler = RoundRobinScheduler(budget_s=1e-9, wall_clock=FakeClock(1.0))
+    a = DeadlineStub("a", newest=1.5, due=1.0, stride_s=0.1)
+    b = DeadlineStub("b", newest=1.5, due=1.0, stride_s=0.1)
+
+    first = scheduler.tick([a, b])
+    assert [s.session_id for s in first.served] == ["a"]
+    assert first.deferred == ("b",)
+    assert first.deadline_misses == 1  # only the served session's miss
+
+    # The deferred session is served FIRST next tick, and its miss is
+    # counted now — once, not re-counted for 'a' whose deadline moved.
+    second = scheduler.tick([a, b])
+    assert second.served[0].session_id == "b"
+    assert second.deadline_misses == 1
+    assert first.deadline_misses + second.deadline_misses == 2
+    assert a.polls == b.polls == 1 or (a.polls, b.polls) == (2, 1)
