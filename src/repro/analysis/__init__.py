@@ -20,13 +20,14 @@ from __future__ import annotations
 from collections.abc import Sequence
 from pathlib import Path
 
-from repro.analysis.config import DEFAULT_ALLOWLIST, default_rules
+from repro.analysis.config import DEFAULT_ALLOWLIST, dataflow_rules, default_rules
 from repro.analysis.engine import (
     Allowlist,
     AllowlistEntry,
     Analyzer,
     Finding,
     ModuleContext,
+    ProjectRule,
     Rule,
     Severity,
 )
@@ -38,8 +39,10 @@ __all__ = [
     "DEFAULT_ALLOWLIST",
     "Finding",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
     "Severity",
+    "dataflow_rules",
     "default_rules",
     "run_analysis",
 ]
@@ -48,14 +51,19 @@ __all__ = [
 def run_analysis(
     paths: Sequence[str | Path] | None = None,
     use_default_allowlist: bool = True,
+    dataflow: bool = False,
+    cache_dir: str | Path | None = None,
 ) -> list[Finding]:
     """Lint ``paths`` (default: the installed ``repro`` tree) and return findings.
 
     Thin convenience wrapper over :class:`Analyzer` used by the CLI and
-    the test suite.
+    the test suite.  ``dataflow=True`` adds the inter-procedural VH3xx /
+    VH4xx rules (phase-domain tracking, numpy aliasing); ``cache_dir``
+    persists their call-graph summaries between runs.
     """
     if paths is None:
         paths = [Path(__file__).resolve().parent.parent]
     allowlist = DEFAULT_ALLOWLIST if use_default_allowlist else Allowlist()
-    analyzer = Analyzer(default_rules(), allowlist=allowlist)
+    rules = default_rules() + (dataflow_rules() if dataflow else [])
+    analyzer = Analyzer(rules, allowlist=allowlist, cache_dir=cache_dir)
     return analyzer.run([Path(p) for p in paths])

@@ -1,0 +1,406 @@
+"""Numpy aliasing rules (VH4xx): in-place mutation of borrowed arrays.
+
+Numpy makes sharing cheap and mutation silent: ``b = a[::2]`` is a view,
+``a += x`` writes through whatever ``a`` aliases, and ``np.add(x, y,
+out=a)`` clobbers ``a`` without a single assignment statement.  Inside a
+function, any array *parameter* — and any view derived from one — is a
+buffer the **caller** owns; mutating it is a side effect the signature
+does not advertise, and it is exactly the bug class that made the fused
+tracker's forecast cache go stale once.
+
+The pass tracks a borrowed-set per function:
+
+* every parameter starts *borrowed*;
+* view-producing expressions keep borrowed-ness (``x[...]``, ``x.T``,
+  ``x.reshape(...)``, ``np.asarray(x)``, plain ``y = x`` rebinding);
+* copying expressions transfer ownership (``x.copy()``, ``np.array(x)``,
+  arithmetic results, ``np.sort(x)``) — mutating those is fine.
+
+Flagged sinks: subscript stores (``x[i] = ...``, ``x[i] += ...``),
+augmented assignment to an array-annotated name (``x += ...``), the
+``out=`` keyword, and the mutating ndarray methods (``sort``, ``fill``,
+``put``, ``partition``, ``resize``).  Direct parameters report as VH401,
+views of parameters as VH402.
+
+To keep scalar counters (``count += 1``) out of the findings, the bare
+``name += ...`` form only fires when the parameter's annotation is
+array-like (``np.ndarray`` / ``NDArray`` / ``ArrayLike``, possibly under
+``Annotated``); subscript stores and ``out=`` fire on any borrowed name
+because those spellings already imply an array.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis.engine import Finding, ProjectRule, Severity
+
+if TYPE_CHECKING:
+    from repro.analysis.callgraph import FunctionInfo, ProjectContext
+
+__all__ = ["ParamMutationRule", "ViewMutationRule"]
+
+_MEMO_KEY = "aliasing.events"
+
+#: ndarray methods that mutate the receiver in place.
+_MUTATING_METHODS = frozenset(
+    {"sort", "fill", "put", "partition", "resize", "setflags", "byteswap"}
+)
+
+#: Annotation names that mark a parameter as an array (walked through
+#: ``Annotated``/``Optional`` wrappers syntactically).
+_ARRAY_ANNOTATION_NAMES = frozenset({"ndarray", "NDArray", "ArrayLike"})
+
+#: Calls that return a *view* (or the argument itself): borrowed-ness
+#: propagates through them.
+_VIEW_CALLS = frozenset(
+    {
+        "numpy.asarray",
+        "numpy.atleast_1d",
+        "numpy.atleast_2d",
+        "numpy.ravel",
+        "numpy.reshape",
+        "numpy.squeeze",
+        "numpy.broadcast_to",
+        "numpy.swapaxes",
+        "numpy.moveaxis",
+        "numpy.transpose",
+    }
+)
+
+#: ndarray methods returning views of the receiver.  ``astype`` copies
+#: by default and is handled separately: only ``astype(..., copy=False)``
+#: may alias the receiver.
+_VIEW_METHODS = frozenset(
+    {"reshape", "ravel", "squeeze", "view", "transpose", "swapaxes"}
+)
+
+#: Attributes of an ndarray that alias its buffer.
+_VIEW_ATTRS = frozenset({"T", "real", "imag", "flat"})
+
+
+@dataclass(frozen=True)
+class _Borrow:
+    """Why a local name aliases caller-owned memory."""
+
+    param: str  # the parameter at the root of the alias chain
+    direct: bool  # True: the parameter itself; False: a view of it
+    origin: str  # trace step describing how the alias arose
+
+
+@dataclass(frozen=True)
+class _Event:
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    trace: tuple[str, ...]
+
+
+def _annotation_is_array(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Attribute) and node.attr in _ARRAY_ANNOTATION_NAMES:
+            return True
+        if isinstance(node, ast.Name) and node.id in _ARRAY_ANNOTATION_NAMES:
+            return True
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # String annotations: "np.ndarray" etc.
+            if any(name in node.value for name in _ARRAY_ANNOTATION_NAMES):
+                return True
+    return False
+
+
+class _AliasPass:
+    """One function body: track borrowed names, flag mutations."""
+
+    def __init__(self, info: "FunctionInfo", project: "ProjectContext") -> None:
+        self.info = info
+        self.project = project
+        self.module = project.module_of(info)
+        self.events: list[_Event] = []
+        self.borrowed: dict[str, _Borrow] = {}
+        self.array_params: frozenset[str] = self._array_params()
+        where = f"{self.module.rel_path}:{info.node.lineno}"
+        for name in (*info.positional, *info.kwonly):
+            self.borrowed[name] = _Borrow(
+                param=name,
+                direct=True,
+                origin=f"{where}: `{name}` is a parameter of `{info.qualname}`",
+            )
+
+    def _array_params(self) -> frozenset[str]:
+        args = self.info.node.args
+        return frozenset(
+            arg.arg
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+            if _annotation_is_array(arg.annotation)
+        )
+
+    # ------------------------------------------------------------ plumbing
+
+    def _where(self, node: ast.AST) -> str:
+        return f"{self.module.rel_path}:{getattr(node, 'lineno', self.info.node.lineno)}"
+
+    def _emit(self, node: ast.AST, borrow: _Borrow, sink: str) -> None:
+        rule = "VH401" if borrow.direct else "VH402"
+        subject = (
+            f"parameter `{borrow.param}`"
+            if borrow.direct
+            else f"view of parameter `{borrow.param}`"
+        )
+        self.events.append(
+            _Event(
+                rule=rule,
+                path=self.module.rel_path,
+                line=getattr(node, "lineno", self.info.node.lineno),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=(
+                    f"in-place mutation of {subject} via {sink}: the caller "
+                    "owns this buffer and the signature does not advertise "
+                    "the write; copy first (`np.array(x)` / `x.copy()`) or "
+                    "document the contract"
+                ),
+                trace=(borrow.origin, f"{self._where(node)}: mutated via {sink}"),
+            )
+        )
+
+    # --------------------------------------------------- borrow propagation
+
+    def _borrow_of(self, node: ast.expr) -> _Borrow | None:
+        """Borrow record for the buffer ``node`` evaluates to, if any."""
+        if isinstance(node, ast.Name):
+            return self.borrowed.get(node.id)
+        if isinstance(node, ast.Subscript):
+            root = self._borrow_of(node.value)
+            return self._as_view(root, node) if root is not None else None
+        if isinstance(node, ast.Attribute):
+            if node.attr in _VIEW_ATTRS:
+                root = self._borrow_of(node.value)
+                return self._as_view(root, node) if root is not None else None
+            return None
+        if isinstance(node, ast.Call):
+            name = self.module.call_name(node)
+            canonical = (
+                self.project.canonical_call(name, module=self.info.module)
+                if name is not None
+                else None
+            )
+            if canonical in _VIEW_CALLS and node.args:
+                root = self._borrow_of(node.args[0])
+                return self._as_view(root, node) if root is not None else None
+            func = node.func
+            if isinstance(func, ast.Attribute) and (
+                func.attr in _VIEW_METHODS
+                or (func.attr == "astype" and _astype_may_alias(node))
+            ):
+                root = self._borrow_of(func.value)
+                return self._as_view(root, node) if root is not None else None
+            return None
+        if isinstance(node, ast.IfExp):
+            return self._borrow_of(node.body) or self._borrow_of(node.orelse)
+        return None
+
+    def _as_view(self, root: _Borrow, node: ast.AST) -> _Borrow:
+        return _Borrow(
+            param=root.param,
+            direct=False,
+            origin=f"{self._where(node)}: view of `{root.param}` "
+            f"({ast.unparse(node) if hasattr(ast, 'unparse') else 'expr'})",
+        )
+
+    # ---------------------------------------------------------- statements
+
+    def run(self) -> None:
+        self._run_body(self.info.node.body)
+
+    def _run_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._run_stmt(stmt)
+
+    def _run_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._check_out_kw(stmt.value)
+            for target in stmt.targets:
+                self._check_store(target, sink="subscript assignment")
+                if isinstance(target, ast.Name):
+                    self._rebind(target.id, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._check_out_kw(stmt.value)
+                if isinstance(stmt.target, ast.Name):
+                    self._rebind(stmt.target.id, stmt.value)
+            self._check_store(stmt.target, sink="subscript assignment")
+        elif isinstance(stmt, ast.AugAssign):
+            self._check_out_kw(stmt.value)
+            target = stmt.target
+            if isinstance(target, ast.Name):
+                borrow = self.borrowed.get(target.id)
+                if borrow is not None and (
+                    not borrow.direct or borrow.param in self.array_params
+                ):
+                    self._emit(stmt, borrow, sink=f"`{target.id} {_op(stmt.op)}= ...`")
+            else:
+                self._check_store(target, sink=f"`{_op(stmt.op)}=` through a subscript")
+        elif isinstance(stmt, ast.Expr):
+            self._check_call_effects(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._check_out_kw(stmt.value)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._run_body(stmt.body)
+            self._run_body(stmt.orelse)
+        elif isinstance(stmt, ast.For):
+            if isinstance(stmt.target, ast.Name):
+                # Iterating rows of a borrowed 2-D array yields views.
+                root = self._borrow_of(stmt.iter)
+                if root is not None:
+                    self.borrowed[stmt.target.id] = self._as_view(root, stmt)
+                else:
+                    self.borrowed.pop(stmt.target.id, None)
+            self._run_body(stmt.body)
+            self._run_body(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            self._run_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._run_body(stmt.body)
+            for handler in stmt.handlers:
+                self._run_body(handler.body)
+            self._run_body(stmt.orelse)
+            self._run_body(stmt.finalbody)
+
+    def _rebind(self, name: str, value: ast.expr) -> None:
+        borrow = self._borrow_of(value)
+        if borrow is not None:
+            # ``y = x`` / ``y = x[...]`` alias the caller buffer under a
+            # new name; anything else (copy, arithmetic) owns its result.
+            self.borrowed[name] = borrow
+        else:
+            self.borrowed.pop(name, None)
+
+    def _check_store(self, target: ast.expr, sink: str) -> None:
+        if isinstance(target, ast.Subscript):
+            borrow = self._borrow_of(target.value)
+            if borrow is not None:
+                self._emit(target, borrow, sink=sink)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_store(element, sink=sink)
+
+    def _check_out_kw(self, node: ast.expr) -> None:
+        for child in ast.walk(node):
+            if not isinstance(child, ast.Call):
+                continue
+            for kw in child.keywords:
+                if kw.arg != "out":
+                    continue
+                targets = (
+                    kw.value.elts
+                    if isinstance(kw.value, (ast.Tuple, ast.List))
+                    else [kw.value]
+                )
+                for target in targets:
+                    borrow = self._borrow_of(target)
+                    if borrow is not None:
+                        self._emit(child, borrow, sink="`out=` keyword")
+
+    def _check_call_effects(self, node: ast.expr) -> None:
+        self._check_out_kw(node)
+        if not isinstance(node, ast.Call):
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATING_METHODS:
+            borrow = self._borrow_of(func.value)
+            if borrow is not None:
+                self._emit(node, borrow, sink=f"`.{func.attr}()`")
+
+
+def _astype_may_alias(node: ast.Call) -> bool:
+    for kw in node.keywords:
+        if kw.arg == "copy" and isinstance(kw.value, ast.Constant):
+            return kw.value.value is False
+    return False
+
+
+def _op(op: ast.operator) -> str:
+    return {
+        ast.Add: "+",
+        ast.Sub: "-",
+        ast.Mult: "*",
+        ast.Div: "/",
+        ast.FloorDiv: "//",
+        ast.Mod: "%",
+        ast.Pow: "**",
+        ast.MatMult: "@",
+        ast.BitAnd: "&",
+        ast.BitOr: "|",
+        ast.BitXor: "^",
+        ast.LShift: "<<",
+        ast.RShift: ">>",
+    }.get(type(op), "?")
+
+
+def _alias_events(project: "ProjectContext") -> list[_Event]:
+    cached = project.memo.get(_MEMO_KEY)
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    events: list[_Event] = []
+    seen: set[tuple[str, int, int, str, str]] = set()
+    for info in project.functions.values():
+        pass_ = _AliasPass(info, project)
+        pass_.run()
+        for event in pass_.events:
+            key = (event.path, event.line, event.col, event.rule, event.message)
+            if key not in seen:
+                seen.add(key)
+                events.append(event)
+    events.sort(key=lambda e: (e.path, e.line, e.col, e.rule))
+    project.memo[_MEMO_KEY] = events
+    return events
+
+
+class _AliasRuleBase(ProjectRule):
+    severity = Severity.ERROR
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        for event in _alias_events(project):
+            if event.rule == self.id:
+                yield Finding(
+                    path=event.path,
+                    line=event.line,
+                    col=event.col,
+                    rule=self.id,
+                    severity=self.severity,
+                    message=event.message,
+                    trace=event.trace,
+                )
+
+
+class ParamMutationRule(_AliasRuleBase):
+    id = "VH401"
+    name = "param-inplace-mutation"
+    description = "in-place mutation of an array the caller passed in"
+    rationale = (
+        "A function that writes through its parameter (`x[i] = ...`, "
+        "`x += ...`, `np.add(a, b, out=x)`, `x.sort()`) mutates a buffer "
+        "the caller owns — a hidden side effect that corrupts shared CSI "
+        "windows and cached forecasts. Copy on entry or make the write "
+        "part of the documented contract (then suppress with a reason)."
+    )
+
+
+class ViewMutationRule(_AliasRuleBase):
+    id = "VH402"
+    name = "view-inplace-mutation"
+    description = "in-place mutation of a view over a caller-owned array"
+    rationale = (
+        "`b = a[::2]`, `a.T`, `a.reshape(...)` and `np.asarray(a)` are "
+        "views: writing to them writes to the caller's buffer through an "
+        "alias the reviewer can no longer see at the mutation site. The "
+        "alias chain is reported in the finding's trace."
+    )

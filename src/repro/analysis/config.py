@@ -8,11 +8,18 @@ broader belongs here where the next PR can see (and challenge) it.
 
 from __future__ import annotations
 
+from repro.analysis.aliasing import ParamMutationRule, ViewMutationRule
 from repro.analysis.contracts import (
     BareExceptRule,
     EmptyWithoutDtypeRule,
     MissingAnnotationRule,
     MutableDefaultRule,
+)
+from repro.analysis.dataflow import (
+    CrossCallDomainLeakRule,
+    DegRadFlowRule,
+    FreqAngularRateFlowRule,
+    WrappedUnwrappedFlowRule,
 )
 from repro.analysis.determinism import (
     ClockReadRule,
@@ -23,7 +30,7 @@ from repro.analysis.determinism import (
 )
 from repro.analysis.engine import Allowlist, AllowlistEntry, Rule
 
-__all__ = ["DEFAULT_ALLOWLIST", "default_rules"]
+__all__ = ["DEFAULT_ALLOWLIST", "dataflow_rules", "default_rules"]
 
 
 def default_rules() -> list[Rule]:
@@ -38,6 +45,23 @@ def default_rules() -> list[Rule]:
         MissingAnnotationRule(),
         BareExceptRule(),
         EmptyWithoutDtypeRule(),
+    ]
+
+
+def dataflow_rules() -> list[Rule]:
+    """The inter-procedural rule set behind ``vihot lint --dataflow``.
+
+    Separate from :func:`default_rules` because these need the
+    project-wide build (call graph + return-domain summaries) and cost
+    a whole-tree parse even when a single file is linted.
+    """
+    return [
+        DegRadFlowRule(),
+        WrappedUnwrappedFlowRule(),
+        FreqAngularRateFlowRule(),
+        CrossCallDomainLeakRule(),
+        ParamMutationRule(),
+        ViewMutationRule(),
     ]
 
 

@@ -1,0 +1,671 @@
+"""Phase-domain dataflow rules (VH3xx): units tracked across the project.
+
+The analyzer abstract-interprets every function with a tiny domain
+lattice (:mod:`repro.analysis.domains`): values acquire a unit domain
+from declared sources (``Annotated[float, Domain("wrapped_rad")]``
+params, ``:domain return: ...`` docstring markers, known numpy
+callables like ``np.angle`` / ``np.deg2rad`` / ``np.unwrap``) and the
+domain is propagated through assignments, arithmetic, ``for`` targets
+and call boundaries — including *inter-procedural* flow via the return
+summaries the :mod:`repro.analysis.callgraph` build infers to a fixed
+point.  Any flow that crosses domains is a finding:
+
+* VH301 — degrees mixed into a radian context (or vice versa), the
+  ``np.sin(headings_deg)`` class of bug;
+* VH302 — wrapped phase consumed by linear arithmetic: ``a - b`` on
+  wrapped values outside a ``wrap_phase(...)`` call, ``np.diff`` /
+  ``np.mean`` over wrapped phases, an unwrapped track re-unwrapped;
+* VH303 — plain frequency [Hz] confused with angular rate [rad/s]
+  (the missing ``2*pi``);
+* VH304 — a cross-module call whose argument domain contradicts the
+  callee's declared parameter domain (the leak only an inter-procedural
+  view can see).
+
+The pass is deliberately flow-insensitive inside branches and gives up
+(domain ``None``) rather than guess: silence is cheap, a false alarm in
+CI is not.  Every finding carries a ``trace`` recording where each
+operand acquired its domain.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
+from repro.analysis.domains import (
+    PASSTHROUGH_CALLS,
+    PASSTHROUGH_METHODS,
+    WRAP_HOSTILE_CALLS,
+    WRAP_HOSTILE_METHODS,
+    WRAP_SAFE_CALLS,
+    classify_mismatch,
+    domain_from_annotation,
+    domains_compatible,
+)
+from repro.analysis.engine import Finding, ModuleContext, ProjectRule, Severity
+from repro.units import DEG, HZ, RAD, RAD_PER_S, UNWRAPPED_RAD, WRAPPED_RAD
+
+if TYPE_CHECKING:
+    from repro.analysis.callgraph import FunctionInfo, ProjectContext
+
+__all__ = [
+    "DegRadFlowRule",
+    "WrappedUnwrappedFlowRule",
+    "FreqAngularRateFlowRule",
+    "CrossCallDomainLeakRule",
+    "infer_return_domain",
+]
+
+_MEMO_KEY = "dataflow.domain_events"
+
+#: Result domain of ``a - b`` / ``a + b`` when both sides share a domain.
+#: Wrapped differences leave the wrapped interval, so they degrade to
+#: generic radians (the flag for the unsafe case is separate).
+_SUB_RESULT = {
+    WRAPPED_RAD: RAD,
+    UNWRAPPED_RAD: UNWRAPPED_RAD,
+    RAD: RAD,
+    DEG: DEG,
+    HZ: HZ,
+    RAD_PER_S: RAD_PER_S,
+}
+
+
+@dataclass(frozen=True)
+class _Binding:
+    domain: str
+    origin: str  # "path:line: name <- source [domain]"
+
+
+@dataclass(frozen=True)
+class _Event:
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    trace: tuple[str, ...]
+
+
+def _contains_pi(node: ast.AST, module: ModuleContext) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, (ast.Attribute, ast.Name)):
+            if module.qualified_name(child) in ("numpy.pi", "math.pi", "math.tau"):
+                return True
+    return False
+
+
+class _DomainPass:
+    """One function body, one forward pass, domains in, events out."""
+
+    def __init__(
+        self,
+        info: "FunctionInfo",
+        project: "ProjectContext",
+        collect_events: bool = True,
+    ) -> None:
+        self.info = info
+        self.project = project
+        self.module = project.module_of(info)
+        self.collect = collect_events
+        self.events: list[_Event] = []
+        self.return_domains: list[str | None] = []
+        self.env: dict[str, _Binding] = {}
+        for name, domain in info.declared_params.items():
+            self.env[name] = _Binding(
+                domain,
+                f"{self.module.rel_path}:{info.node.lineno}: parameter "
+                f"`{name}` declared [{domain}]",
+            )
+
+    # ------------------------------------------------------------ plumbing
+
+    def _where(self, node: ast.AST) -> str:
+        return f"{self.module.rel_path}:{getattr(node, 'lineno', self.info.node.lineno)}"
+
+    def _emit(
+        self, rule: str, node: ast.AST, message: str, trace: tuple[str, ...]
+    ) -> None:
+        if not self.collect:
+            return
+        self.events.append(
+            _Event(
+                rule=rule,
+                path=self.module.rel_path,
+                line=getattr(node, "lineno", self.info.node.lineno),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+                trace=trace[:4],
+            )
+        )
+
+    def _bind(self, name: str, domain: str | None, node: ast.AST, source: str) -> None:
+        if domain is None:
+            self.env.pop(name, None)
+            return
+        self.env[name] = _Binding(
+            domain, f"{self._where(node)}: `{name}` <- {source} [{domain}]"
+        )
+
+    def _trace_of(self, node: ast.expr) -> tuple[str, ...]:
+        """Provenance steps for the names appearing in ``node``."""
+        steps: list[str] = []
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name) and child.id in self.env:
+                origin = self.env[child.id].origin
+                if origin not in steps:
+                    steps.append(origin)
+        return tuple(steps[:3])
+
+    # ---------------------------------------------------------- statements
+
+    def run(self) -> None:
+        self._run_body(self.info.node.body)
+
+    def _run_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._run_stmt(stmt)
+
+    def _run_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            domain = self._eval(stmt.value)
+            for target in stmt.targets:
+                self._assign_target(target, domain, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            declared = domain_from_annotation(stmt.annotation)
+            domain = self._eval(stmt.value) if stmt.value is not None else None
+            if (
+                declared is not None
+                and domain is not None
+                and not domains_compatible(domain, declared)
+            ):
+                self._mismatch(stmt.value, domain, declared, context="annotated assignment")
+            if isinstance(stmt.target, ast.Name):
+                chosen = declared if declared is not None else domain
+                self._bind(
+                    stmt.target.id,
+                    chosen,
+                    stmt,
+                    "declared annotation" if declared is not None else _describe(stmt.value),
+                )
+        elif isinstance(stmt, ast.AugAssign):
+            value_domain = self._eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                current = self.env.get(stmt.target.id)
+                combined = self._binop_domain(
+                    stmt,
+                    stmt.op,
+                    current.domain if current else None,
+                    value_domain,
+                    stmt.target,
+                    stmt.value,
+                )
+                self._bind(stmt.target.id, combined, stmt, "augmented assignment")
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                domain = self._eval(stmt.value)
+                self.return_domains.append(domain)
+                declared = self.info.declared_return
+                if (
+                    declared is not None
+                    and domain is not None
+                    and not domains_compatible(domain, declared)
+                ):
+                    self._mismatch(
+                        stmt.value,
+                        domain,
+                        declared,
+                        context=f"return from `{self.info.qualname}`",
+                    )
+        elif isinstance(stmt, ast.Expr):
+            self._eval(stmt.value)
+        elif isinstance(stmt, ast.If):
+            self._eval(stmt.test)
+            self._run_body(stmt.body)
+            self._run_body(stmt.orelse)
+        elif isinstance(stmt, (ast.While,)):
+            self._eval(stmt.test)
+            self._run_body(stmt.body)
+            self._run_body(stmt.orelse)
+        elif isinstance(stmt, ast.For):
+            iter_domain = self._eval(stmt.iter)
+            if isinstance(stmt.target, ast.Name):
+                self._bind(stmt.target.id, iter_domain, stmt, _describe(stmt.iter))
+            self._run_body(stmt.body)
+            self._run_body(stmt.orelse)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                self._eval(item.context_expr)
+            self._run_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._run_body(stmt.body)
+            for handler in stmt.handlers:
+                self._run_body(handler.body)
+            self._run_body(stmt.orelse)
+            self._run_body(stmt.finalbody)
+        elif isinstance(stmt, (ast.Assert, ast.Raise)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._eval(child)
+        # Nested defs/classes are indexed and analyzed as their own
+        # functions by the project build; don't descend here.
+
+    def _assign_target(
+        self, target: ast.expr, domain: str | None, value: ast.expr
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self._bind(target.id, domain, target, _describe(value))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                if isinstance(element, ast.Name):
+                    self.env.pop(element.id, None)
+
+    # --------------------------------------------------------- expressions
+
+    def _eval(self, node: ast.expr, wrap_safe: bool = False) -> str | None:
+        if isinstance(node, ast.Name):
+            binding = self.env.get(node.id)
+            return binding.domain if binding else None
+        if isinstance(node, ast.Call):
+            return self._eval_call(node)
+        if isinstance(node, ast.BinOp):
+            left = self._eval(node.left, wrap_safe)
+            right = self._eval(node.right, wrap_safe)
+            return self._binop_domain(
+                node, node.op, left, right, node.left, node.right, wrap_safe
+            )
+        if isinstance(node, ast.UnaryOp):
+            return self._eval(node.operand, wrap_safe)
+        if isinstance(node, ast.Subscript):
+            self._eval(node.slice if isinstance(node.slice, ast.expr) else node.value)
+            return self._eval(node.value)
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test)
+            body = self._eval(node.body)
+            orelse = self._eval(node.orelse)
+            return body if body == orelse else None
+        if isinstance(node, ast.Compare):
+            self._eval(node.left)
+            for comparator in node.comparators:
+                self._eval(comparator)
+            return None
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self._eval(value)
+            return None
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            domains = {self._eval(element) for element in node.elts}
+            return domains.pop() if len(domains) == 1 else None
+        if isinstance(node, ast.Starred):
+            return self._eval(node.value)
+        if isinstance(node, ast.Attribute):
+            # ``x.real`` / ``x.T`` of a domained name keeps the domain.
+            if isinstance(node.value, ast.Name) and node.attr in ("real", "T", "flat"):
+                return self._eval(node.value)
+            return None
+        return None
+
+    def _eval_call(self, node: ast.Call) -> str | None:
+        name = self.module.call_name(node)
+        canonical = (
+            self.project.canonical_call(name, module=self.info.module)
+            if name is not None
+            else None
+        )
+        wrap_safe = canonical in WRAP_SAFE_CALLS
+
+        arg_domains = [self._eval(arg, wrap_safe=wrap_safe) for arg in node.args]
+        kw_domains = {
+            kw.arg: self._eval(kw.value, wrap_safe=wrap_safe)
+            for kw in node.keywords
+            if kw.arg is not None
+        }
+
+        # Method calls on a tracked name: ``phases.mean()`` etc.
+        if name is None and isinstance(node.func, ast.Attribute):
+            return self._eval_method_call(node)
+
+        if canonical is None:
+            return None
+
+        if canonical in WRAP_HOSTILE_CALLS:
+            target = arg_domains[0] if arg_domains else None
+            if target == WRAPPED_RAD and node.args:
+                self._emit(
+                    "VH302",
+                    node,
+                    f"`{name}` applied to wrapped phase: linear arithmetic "
+                    "jumps by 2*pi at the seam; unwrap first "
+                    "(`unwrap_phase`) or use `circular_mean`",
+                    self._trace_of(node.args[0])
+                    + (f"{self._where(node)}: consumed by `{name}(...)`",),
+                )
+                return None
+            return target
+
+        if canonical == "numpy.interp" and len(node.args) >= 3:
+            return arg_domains[2]
+        if canonical == "numpy.where" and len(node.args) >= 3:
+            return (
+                arg_domains[1]
+                if arg_domains[1] == arg_domains[2]
+                else None
+            )
+        if canonical in PASSTHROUGH_CALLS:
+            return arg_domains[0] if arg_domains else None
+
+        signature = self.project.signature_for(canonical)
+        if signature is None:
+            return None
+
+        info = self.project.functions.get(canonical)
+        for index, domain in enumerate(arg_domains):
+            expected = (
+                signature.params[index] if index < len(signature.params) else None
+            )
+            if expected is None or domain is None:
+                continue
+            if not domains_compatible(domain, expected):
+                self._call_mismatch(
+                    node, node.args[index], name, canonical, info, domain, expected,
+                    signature.param_names[index]
+                    if index < len(signature.param_names)
+                    else f"arg {index}",
+                )
+        for keyword, domain in kw_domains.items():
+            expected = signature.domain_for_keyword(keyword)
+            if expected is None or domain is None:
+                continue
+            if not domains_compatible(domain, expected):
+                kw_node = next(
+                    (kw.value for kw in node.keywords if kw.arg == keyword), node
+                )
+                self._call_mismatch(
+                    node, kw_node, name, canonical, info, domain, expected, keyword
+                )
+        return signature.returns
+
+    def _eval_method_call(self, node: ast.Call) -> str | None:
+        func = node.func
+        assert isinstance(func, ast.Attribute)
+        receiver = self._eval(func.value)
+        for arg in node.args:
+            self._eval(arg)
+        for kw in node.keywords:
+            if kw.value is not None:
+                self._eval(kw.value)
+        if func.attr in WRAP_HOSTILE_METHODS and receiver == WRAPPED_RAD:
+            self._emit(
+                "VH302",
+                node,
+                f"`.{func.attr}()` on wrapped phase: linear arithmetic jumps "
+                "by 2*pi at the seam; unwrap first or use `circular_mean`",
+                self._trace_of(func.value)
+                + (f"{self._where(node)}: consumed by `.{func.attr}()`",),
+            )
+            return None
+        if func.attr in PASSTHROUGH_METHODS:
+            return receiver
+        return None
+
+    def _binop_domain(
+        self,
+        node: ast.AST,
+        op: ast.operator,
+        left: str | None,
+        right: str | None,
+        left_node: ast.expr,
+        right_node: ast.expr,
+        wrap_safe: bool = False,
+    ) -> str | None:
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if left is not None and right is not None:
+                if not domains_compatible(left, right):
+                    self._mismatch_binop(node, left, right, left_node, right_node)
+                    return None
+                if (
+                    isinstance(op, ast.Sub)
+                    and left == WRAPPED_RAD
+                    and right == WRAPPED_RAD
+                    and not wrap_safe
+                ):
+                    self._emit(
+                        "VH302",
+                        node,
+                        "subtraction of wrapped phases without re-wrapping: "
+                        "the difference jumps by 2*pi at the +-pi seam; use "
+                        "`phase_difference` or wrap the result (`wrap_phase`)",
+                        self._trace_of(left_node) + self._trace_of(right_node),
+                    )
+                    return None
+                merged = left if left == right else RAD
+                return _SUB_RESULT.get(merged, merged) if isinstance(op, ast.Sub) else merged
+            return left if left is not None else right
+        if isinstance(op, (ast.Mult, ast.Div)):
+            pi_left = _contains_pi(left_node, self.module)
+            pi_right = _contains_pi(right_node, self.module)
+            if isinstance(op, ast.Mult):
+                if left == HZ and pi_right or right == HZ and pi_left:
+                    return RAD_PER_S
+                known, other_node = (
+                    (left, right_node) if left is not None else (right, left_node)
+                )
+                if known is not None and _is_dimensionless(other_node):
+                    return known
+            else:
+                if left == RAD_PER_S and pi_right:
+                    return HZ
+                # Division only preserves the unit when the *numerator*
+                # carries it (``f / 2``); ``1 / f`` inverts the unit.
+                if left is not None and _is_dimensionless(right_node):
+                    return left
+            return None
+        return None
+
+    # ------------------------------------------------------------- events
+
+    def _mismatch(
+        self, node: ast.expr, found: str, expected: str, context: str
+    ) -> None:
+        rule = classify_mismatch(found, expected)
+        self._emit(
+            rule,
+            node,
+            f"{context}: value of domain [{found}] flows where [{expected}] "
+            f"is expected{_hint(found, expected)}",
+            self._trace_of(node),
+        )
+
+    def _mismatch_binop(
+        self,
+        node: ast.AST,
+        left: str,
+        right: str,
+        left_node: ast.expr,
+        right_node: ast.expr,
+    ) -> None:
+        rule = classify_mismatch(left, right)
+        self._emit(
+            rule,
+            node,
+            f"arithmetic mixes [{left}] with [{right}]"
+            f"{_hint(left, right)}",
+            self._trace_of(left_node) + self._trace_of(right_node),
+        )
+
+    def _call_mismatch(
+        self,
+        call: ast.Call,
+        arg_node: ast.expr,
+        spelled: str | None,
+        canonical: str,
+        info: "FunctionInfo | None",
+        found: str,
+        expected: str,
+        param: str,
+    ) -> None:
+        cross_module = info is not None and info.module != _caller_module(self)
+        rule = (
+            "VH304" if cross_module else classify_mismatch(found, expected)
+        )
+        label = spelled or canonical
+        message = (
+            f"call leaks [{found}] into `{label}({param}: [{expected}])`"
+            f"{_hint(found, expected)}"
+        )
+        if cross_module:
+            assert info is not None
+            message = (
+                f"cross-module domain leak: [{found}] passed to "
+                f"`{info.qualname}` parameter `{param}` declared [{expected}]"
+                f"{_hint(found, expected)}"
+            )
+        self._emit(
+            rule,
+            arg_node if hasattr(arg_node, "lineno") else call,
+            message,
+            self._trace_of(arg_node)
+            + (f"{self._where(call)}: passed to `{label}` (`{param}`: [{expected}])",),
+        )
+
+
+def _caller_module(pass_: _DomainPass) -> str:
+    return pass_.info.module
+
+
+def _is_dimensionless(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, (int, float, complex))
+    if isinstance(node, ast.UnaryOp):
+        return _is_dimensionless(node.operand)
+    return False
+
+
+def _describe(node: ast.expr | None) -> str:
+    if node is None:
+        return "assignment"
+    if isinstance(node, ast.Call):
+        return f"{ast.unparse(node.func)}(...)" if hasattr(ast, "unparse") else "call"
+    if isinstance(node, ast.Name):
+        return f"`{node.id}`"
+    return type(node).__name__.lower()
+
+
+def _hint(a: str, b: str) -> str:
+    pair = {a, b}
+    if pair == {DEG, RAD} or pair == {DEG, WRAPPED_RAD} or pair == {DEG, UNWRAPPED_RAD}:
+        return "; convert with `np.deg2rad`/`np.rad2deg`"
+    if pair == {HZ, RAD_PER_S}:
+        return "; convert with `omega = 2 * np.pi * f`"
+    if pair == {WRAPPED_RAD, UNWRAPPED_RAD}:
+        return "; `unwrap_phase` produces a continuous track, `wrap_phase` folds back"
+    return ""
+
+
+def infer_return_domain(info: "FunctionInfo", project: "ProjectContext") -> str | None:
+    """Return domain of ``info`` inferred from its return expressions.
+
+    Used by the callgraph summary pass; events are suppressed.  Returns
+    a domain only when every ``return`` with a known domain agrees.
+    """
+    pass_ = _DomainPass(info, project, collect_events=False)
+    pass_.run()
+    known = {domain for domain in pass_.return_domains if domain is not None}
+    if len(known) == 1 and None not in pass_.return_domains:
+        return known.pop()
+    if len(known) == 1:
+        # Mixed known/unknown: still usable as a summary — the unknown
+        # paths cannot be checked anyway, and a partial summary catches
+        # more than no summary.
+        return known.pop()
+    return None
+
+
+def _domain_events(project: "ProjectContext") -> list[_Event]:
+    cached = project.memo.get(_MEMO_KEY)
+    if cached is not None:
+        return cached  # type: ignore[return-value]
+    events: list[_Event] = []
+    seen: set[tuple[str, int, int, str, str]] = set()
+    for info in project.functions.values():
+        pass_ = _DomainPass(info, project)
+        pass_.run()
+        for event in pass_.events:
+            key = (event.path, event.line, event.col, event.rule, event.message)
+            if key not in seen:
+                seen.add(key)
+                events.append(event)
+    events.sort(key=lambda e: (e.path, e.line, e.col, e.rule))
+    project.memo[_MEMO_KEY] = events
+    return events
+
+
+class _DomainFlowRule(ProjectRule):
+    """Shared scaffolding: each concrete rule reports its slice of the
+    one dataflow pass (memoised on the project context)."""
+
+    severity = Severity.ERROR
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        for event in _domain_events(project):
+            if event.rule == self.id:
+                yield Finding(
+                    path=event.path,
+                    line=event.line,
+                    col=event.col,
+                    rule=self.id,
+                    severity=self.severity,
+                    message=event.message,
+                    trace=event.trace,
+                )
+
+
+class DegRadFlowRule(_DomainFlowRule):
+    id = "VH301"
+    name = "deg-rad-flow"
+    description = "degrees mixed into a radian context (or vice versa)"
+    rationale = (
+        "Every numeric path in this codebase runs in radians; degrees exist "
+        "only at the presentation edge. A [deg] value reaching `np.sin`, "
+        "`wrap_phase` or any radian-declared parameter is wrong by a factor "
+        "of ~57 and no test that only checks shapes will notice."
+    )
+
+
+class WrappedUnwrappedFlowRule(_DomainFlowRule):
+    id = "VH302"
+    name = "wrapped-unwrapped-flow"
+    description = "wrapped phase consumed by linear arithmetic, or wrapping-state mix-up"
+    rationale = (
+        "Wrapped phase lives on the circle: subtraction, `np.diff` and "
+        "arithmetic means jump by 2*pi at the +-pi seam (Eq. 1 / Fig. 3 are "
+        "meaningful only because the sanitizer re-wraps). Difference on the "
+        "circle via `phase_difference`, average via `circular_mean`, and "
+        "unwrap exactly once before DTW."
+    )
+
+
+class FreqAngularRateFlowRule(_DomainFlowRule):
+    id = "VH303"
+    name = "hz-radps-flow"
+    description = "frequency [Hz] confused with angular rate [rad/s]"
+    rationale = (
+        "A frequency in Hz and an angular rate in rad/s differ by 2*pi — "
+        "small enough to look plausible in a plot, large enough to wreck "
+        "Doppler matching and gyro thresholds. The conversion must be "
+        "explicit: `omega = 2 * np.pi * f`."
+    )
+
+
+class CrossCallDomainLeakRule(_DomainFlowRule):
+    id = "VH304"
+    name = "cross-call-domain-leak"
+    description = "cross-module call whose argument contradicts the declared parameter domain"
+    rationale = (
+        "Per-module lint survives a refactor only until a value crosses a "
+        "module boundary; this rule checks every project-internal call site "
+        "against the callee's declared domains, so moving code between "
+        "modules cannot silently change a value's meaning."
+    )

@@ -25,12 +25,17 @@ import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from collections.abc import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.analysis.callgraph import ProjectContext
 
 __all__ = [
     "Allowlist",
     "Analyzer",
     "Finding",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
     "Severity",
 ]
@@ -48,7 +53,12 @@ class Severity(enum.Enum):
 
 @dataclass(frozen=True, order=True)
 class Finding:
-    """One rule violation, pinned to a source location."""
+    """One rule violation, pinned to a source location.
+
+    ``trace`` carries the dataflow provenance for project-scope rules
+    (how the offending value reached its domain), empty for the
+    per-module pattern rules.
+    """
 
     path: str
     line: int
@@ -56,9 +66,13 @@ class Finding:
     rule: str
     severity: Severity = field(compare=False)
     message: str = field(compare=False)
+    trace: tuple[str, ...] = field(default=(), compare=False)
 
     def format(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+        head = f"{self.path}:{self.line}:{self.col}: {self.rule} [{self.severity}] {self.message}"
+        if not self.trace:
+            return head
+        return "\n".join([head, *(f"    trace: {step}" for step in self.trace)])
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -68,6 +82,7 @@ class Finding:
             "rule": self.rule,
             "severity": str(self.severity),
             "message": self.message,
+            "trace": list(self.trace),
         }
 
 
@@ -92,6 +107,11 @@ class ModuleContext:
         self.tree = tree
         self.lines = source.splitlines()
         self._aliases = self._collect_aliases(tree)
+
+    @property
+    def aliases(self) -> dict[str, str]:
+        """Local name -> canonical dotted target, from this module's imports."""
+        return dict(self._aliases)
 
     @staticmethod
     def _collect_aliases(tree: ast.Module) -> dict[str, str]:
@@ -172,7 +192,13 @@ class Rule:
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         raise NotImplementedError
 
-    def finding(self, module: ModuleContext, node: ast.AST, message: str) -> Finding:
+    def finding(
+        self,
+        module: ModuleContext,
+        node: ast.AST,
+        message: str,
+        trace: Sequence[str] = (),
+    ) -> Finding:
         return Finding(
             path=module.rel_path,
             line=getattr(node, "lineno", 1),
@@ -180,7 +206,24 @@ class Rule:
             rule=self.id,
             severity=self.severity,
             message=message,
+            trace=tuple(trace),
         )
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole-project view (call graph, summaries).
+
+    Subclasses implement :meth:`check_project` against a
+    :class:`repro.analysis.callgraph.ProjectContext`; the per-module
+    :meth:`check` hook is a no-op so a ``ProjectRule`` can sit in the
+    same registry without firing twice.
+    """
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        raise NotImplementedError
 
 
 @dataclass(frozen=True)
@@ -211,20 +254,45 @@ class Allowlist:
 
 
 class Analyzer:
-    """Walk files, run every rule, apply suppression, return findings."""
+    """Walk files, run every rule, apply suppression, return findings.
 
-    def __init__(self, rules: Sequence[Rule], allowlist: Allowlist | None = None) -> None:
+    Rules come in two scopes: plain :class:`Rule` subclasses see one
+    :class:`ModuleContext` at a time; :class:`ProjectRule` subclasses
+    see a :class:`~repro.analysis.callgraph.ProjectContext` built once
+    per run from every parsed module (the call-graph / import-resolution
+    layer).  ``cache_dir`` lets the project build memoise its
+    inter-procedural summaries keyed on a source-tree hash.
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        allowlist: Allowlist | None = None,
+        cache_dir: Path | str | None = None,
+    ) -> None:
         ids = [rule.id for rule in rules]
         duplicates = {i for i in ids if ids.count(i) > 1}
         if duplicates:
             raise ValueError(f"duplicate rule ids: {sorted(duplicates)}")
         self.rules: tuple[Rule, ...] = tuple(rules)
         self.allowlist = allowlist if allowlist is not None else Allowlist()
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+
+    @property
+    def project_rules(self) -> tuple[Rule, ...]:
+        return tuple(r for r in self.rules if isinstance(r, ProjectRule))
 
     def run(self, paths: Iterable[Path]) -> list[Finding]:
         findings: list[Finding] = []
+        modules: list[ModuleContext] = []
         for path in self._iter_files(paths):
-            findings.extend(self.check_file(path))
+            parsed = self._parse_file(path)
+            if isinstance(parsed, Finding):
+                findings.append(parsed)
+                continue
+            modules.append(parsed)
+            findings.extend(self._check_module(parsed))
+        findings.extend(self._check_project(modules))
         return sorted(findings)
 
     def check_file(self, path: Path) -> list[Finding]:
@@ -232,32 +300,69 @@ class Analyzer:
         return self.check_source(source, path=path)
 
     def check_source(self, source: str, path: Path | None = None) -> list[Finding]:
-        path = path if path is not None else Path("<string>")
+        parsed = self._parse_source(source, path if path is not None else Path("<string>"))
+        if isinstance(parsed, Finding):
+            return [parsed]
+        findings = self._check_module(parsed)
+        findings.extend(self._check_project([parsed]))
+        return findings
+
+    def _parse_file(self, path: Path) -> "ModuleContext | Finding":
+        return self._parse_source(path.read_text(encoding="utf-8"), path)
+
+    def _parse_source(self, source: str, path: Path) -> "ModuleContext | Finding":
         rel_path = self._relativize(path)
         try:
             tree = ast.parse(source)
         except SyntaxError as exc:
-            return [
-                Finding(
-                    path=rel_path,
-                    line=exc.lineno or 1,
-                    col=(exc.offset or 0) + 1,
-                    rule="VH000",
-                    severity=Severity.ERROR,
-                    message=f"syntax error: {exc.msg}",
-                )
-            ]
-        module = ModuleContext(path, rel_path, source, tree)
+            return Finding(
+                path=rel_path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                rule="VH000",
+                severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
+            )
+        return ModuleContext(path, rel_path, source, tree)
+
+    def _check_module(self, module: ModuleContext) -> list[Finding]:
         findings: list[Finding] = []
         for rule in self.rules:
-            for finding in rule.check(module):
-                if self.allowlist.allows(module.rel_path, finding.rule):
-                    continue
-                suppressed = module.noqa_rules(finding.line)
-                if suppressed is not None and (not suppressed or finding.rule in suppressed):
-                    continue
-                findings.append(finding)
+            if isinstance(rule, ProjectRule):
+                continue
+            findings.extend(self._filtered(rule.check(module), module))
         return findings
+
+    def _check_project(self, modules: Sequence[ModuleContext]) -> list[Finding]:
+        project_rules = self.project_rules
+        if not project_rules or not modules:
+            return []
+        from repro.analysis.callgraph import ProjectContext
+
+        project = ProjectContext.build(modules, cache_dir=self.cache_dir)
+        by_path = {module.rel_path: module for module in modules}
+        findings: list[Finding] = []
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                module = by_path.get(finding.path)
+                if module is None:
+                    findings.append(finding)
+                    continue
+                findings.extend(self._filtered([finding], module))
+        return findings
+
+    def _filtered(
+        self, candidates: Iterable[Finding], module: ModuleContext
+    ) -> list[Finding]:
+        kept: list[Finding] = []
+        for finding in candidates:
+            if self.allowlist.allows(module.rel_path, finding.rule):
+                continue
+            suppressed = module.noqa_rules(finding.line)
+            if suppressed is not None and (not suppressed or finding.rule in suppressed):
+                continue
+            kept.append(finding)
+        return kept
 
     @staticmethod
     def _iter_files(paths: Iterable[Path]) -> Iterator[Path]:

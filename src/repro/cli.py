@@ -223,18 +223,23 @@ def cmd_report(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from repro.analysis import default_rules, run_analysis
+    from repro.analysis import dataflow_rules, default_rules, run_analysis
 
+    rules = default_rules() + (dataflow_rules() if args.dataflow else [])
     if args.list_rules:
-        for rule in default_rules():
+        for rule in rules:
             print(f"{rule.id} {rule.name} [{rule.severity}]")
             print(f"    {rule.description}")
             print(f"    why: {rule.rationale}")
         return 0
+    start = time.perf_counter()
     findings = run_analysis(
         paths=args.paths or None,
         use_default_allowlist=not args.no_default_allowlist,
+        dataflow=args.dataflow,
+        cache_dir=args.cache_dir,
     )
+    elapsed = time.perf_counter() - start
     if args.format == "json":
         print(json.dumps([f.as_dict() for f in findings], indent=2))
     else:
@@ -247,9 +252,43 @@ def cmd_lint(args) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.budget_file is not None and not _lint_budget_ok(
+        Path(args.budget_file), elapsed
+    ):
+        return 1
     if args.format != "json":
         print("vihot lint: clean")
     return 0
+
+
+def _lint_budget_ok(budget_path: Path, elapsed_s: float) -> bool:
+    """Enforce (or record) the lint-runtime budget.
+
+    The budget file pins a recorded baseline; the run fails when it took
+    more than ``max_ratio`` times that long, so a perf regression in the
+    analyzer itself cannot creep into CI unnoticed.  A missing file is
+    recorded rather than failed, which is how the baseline is (re)set.
+    """
+    if not budget_path.exists():
+        budget_path.parent.mkdir(parents=True, exist_ok=True)
+        budget_path.write_text(
+            json.dumps({"baseline_s": round(elapsed_s, 3), "max_ratio": 2.0}, indent=2)
+            + "\n"
+        )
+        print(f"vihot lint: recorded runtime baseline {elapsed_s:.2f}s to {budget_path}")
+        return True
+    budget = json.loads(budget_path.read_text())
+    baseline = float(budget["baseline_s"])
+    max_ratio = float(budget.get("max_ratio", 2.0))
+    if elapsed_s > max_ratio * baseline:
+        print(
+            f"FAIL: lint took {elapsed_s:.2f}s, over {max_ratio:g}x the recorded "
+            f"{baseline:.2f}s baseline ({budget_path}); investigate the "
+            "regression or re-record the baseline by deleting the file",
+            file=sys.stderr,
+        )
+        return False
+    return True
 
 
 def cmd_serve_bench(args) -> int:
@@ -383,6 +422,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-default-allowlist",
         action="store_true",
         help="ignore the reviewed allowlist (audit mode)",
+    )
+    p.add_argument(
+        "--dataflow",
+        action="store_true",
+        help="also run the inter-procedural VH3xx/VH4xx rules "
+        "(phase-domain tracking, numpy aliasing)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for the call-graph summary cache (keyed on a "
+        "source hash; safe to persist between runs)",
+    )
+    p.add_argument(
+        "--budget-file",
+        default=None,
+        help="JSON runtime budget: fail if the lint run exceeds "
+        "max_ratio x the recorded baseline; records the baseline when "
+        "the file does not exist",
     )
     p.set_defaults(func=cmd_lint)
 

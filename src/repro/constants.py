@@ -66,7 +66,10 @@ DEFAULT_RESAMPLE_RATE_HZ = 200.0
 
 
 def wavelength(frequency_hz: float) -> float:
-    """Return the free-space wavelength [m] for ``frequency_hz``."""
+    """Return the free-space wavelength [m] for ``frequency_hz``.
+
+    :domain frequency_hz: hz
+    """
     if frequency_hz <= 0:
         raise ValueError(f"frequency must be positive, got {frequency_hz}")
     return SPEED_OF_LIGHT / frequency_hz
@@ -80,5 +83,8 @@ def subcarrier_frequencies(
 
     Subcarrier ``k`` sits at ``carrier + k * spacing`` for the signed
     index grid used by the Intel 5300 report format.
+
+    :domain carrier_hz: hz
+    :domain return: hz
     """
     return carrier_hz + np.asarray(indices, dtype=np.float64) * SUBCARRIER_SPACING_HZ

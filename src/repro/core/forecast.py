@@ -29,6 +29,8 @@ def forecast_orientation(
     (the match end's orientation).  Horizons that run past the end of the
     profiled series clamp to its last sample — the profile has no further
     future to offer.
+
+    :domain return: rad
     """
     if horizon_s < 0:
         raise ValueError(f"horizon_s must be non-negative, got {horizon_s}")

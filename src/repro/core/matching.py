@@ -82,6 +82,10 @@ class SeriesMatcher:
         Returns ``(best_global, best_feasible)`` where ``best_feasible``
         honours the continuity constraint (``None`` when nothing is
         feasible) and ``best_global`` is the unconstrained winner.
+
+        :domain query: wrapped_rad
+        :domain center_orientation: rad
+        :domain tolerance_rad: rad
         """
         config = self._config
         phases = position.phases
@@ -156,6 +160,10 @@ class SeriesMatcher:
                 wrong branch forever, the unconstrained global best wins
                 whenever its distance beats the best feasible candidate
                 by more than ``config.escape_ratio``.
+
+        :domain query: rad
+        :domain center_orientation: rad
+        :domain tolerance_rad: rad
         """
         query = wrap_phase(np.asarray(query, dtype=np.float64))
         if query.ndim != 1 or len(query) < 2:

@@ -32,6 +32,9 @@ def detect_stable_phase(
     Returns the wrapped circular-mean phase of the window when its
     circular standard deviation is below ``std_threshold_rad``; ``None``
     when the window is too sparse or not flat (head moving).
+
+    :domain std_threshold_rad: rad
+    :domain return: wrapped_rad
     """
     if window_s <= 0 or std_threshold_rad <= 0:
         raise ValueError("window_s and std_threshold_rad must be positive")
@@ -97,6 +100,8 @@ class PositionEstimator:
         toward the current position index: a head position drifts slowly
         ("the driver's head position typically does not vary much during
         a trip", Sec. 2.3), it does not teleport across the seat.
+
+        :domain phi0_r: wrapped_rad
         """
         distances = np.abs(phase_difference(self._fingerprints, phi0_r))
         best = int(np.argmin(distances))

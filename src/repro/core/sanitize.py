@@ -33,6 +33,8 @@ def antenna_phase_difference(
 
     Returns:
         Wrapped phases in ``(-pi, pi]``, shape ``(T,)``.
+
+    :domain return: wrapped_rad
     """
     csi = np.asarray(csi)
     if csi.ndim != 3:

@@ -45,7 +45,10 @@ class SteeringIdentifier:
             raise ValueError("invalid smoothing/holdoff configuration")
 
     def smoothed_rate(self, imu: TimeSeries, t: float) -> float:
-        """Mean |yaw rate| over the smoothing window ending at ``t``."""
+        """Mean |yaw rate| over the smoothing window ending at ``t``.
+
+        :domain return: rad_per_s
+        """
         window = imu.slice(t - self.smooth_window_s, t)
         if len(window) == 0:
             # No IMU data yet: report zero so the tracker trusts CSI, the

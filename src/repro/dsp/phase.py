@@ -25,6 +25,9 @@ def wrap_phase(phase: ArrayLike) -> np.ndarray | float:
     The -pi seam check is ulp-tolerant: results within ``_SEAM_TOL`` of
     ``-pi`` map to ``+pi`` (the documented side of the half-open
     interval) rather than only the exact bit pattern of ``-np.pi``.
+
+    :domain phase: rad
+    :domain return: wrapped_rad
     """
     wrapped = np.mod(np.asarray(phase, dtype=np.float64) + np.pi, 2.0 * np.pi) - np.pi
     wrapped = np.where(np.abs(wrapped + np.pi) <= _SEAM_TOL, np.pi, wrapped)
@@ -34,7 +37,11 @@ def wrap_phase(phase: ArrayLike) -> np.ndarray | float:
 
 
 def circular_mean(phases: ArrayLike, axis: int = -1) -> np.ndarray | float:
-    """Mean direction of angles along ``axis`` (result in ``(-pi, pi]``)."""
+    """Mean direction of angles along ``axis`` (result in ``(-pi, pi]``).
+
+    :domain phases: rad
+    :domain return: wrapped_rad
+    """
     phases = np.asarray(phases, dtype=np.float64)
     mean_vector = np.exp(1j * phases).mean(axis=axis)
     result = np.angle(mean_vector)
@@ -44,12 +51,21 @@ def circular_mean(phases: ArrayLike, axis: int = -1) -> np.ndarray | float:
 
 
 def phase_difference(a: ArrayLike, b: ArrayLike) -> np.ndarray | float:
-    """Wrapped difference ``a - b`` on the circle."""
+    """Wrapped difference ``a - b`` on the circle.
+
+    :domain a: rad
+    :domain b: rad
+    :domain return: wrapped_rad
+    """
     return wrap_phase(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64))
 
 
 def unwrap_phase(phases: np.ndarray) -> np.ndarray:
-    """Unwrap a 1-D wrapped phase sequence into a continuous track."""
+    """Unwrap a 1-D wrapped phase sequence into a continuous track.
+
+    :domain phases: wrapped_rad
+    :domain return: unwrapped_rad
+    """
     phases = np.asarray(phases, dtype=np.float64)
     if phases.ndim != 1:
         raise ValueError("unwrap_phase expects a 1-D array")
@@ -62,6 +78,8 @@ def phase_std(phases: np.ndarray) -> float:
     Uses the standard ``sqrt(-2 ln R)`` definition where ``R`` is the mean
     resultant length; 0 for perfectly aligned phases, growing without bound
     as the distribution spreads around the circle.
+
+    :domain phases: rad
     """
     phases = np.asarray(phases, dtype=np.float64)
     if phases.size == 0:

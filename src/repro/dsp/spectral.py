@@ -38,6 +38,8 @@ def doppler_spectrum(
     The irregularly-sampled tap is resampled to ``rate_hz`` (I and Q
     separately), windowed, and Fourier transformed.  Returns
     ``(frequencies_hz, power)`` with the spectrum centred on DC.
+
+    :domain rate_hz: hz
     """
     times = np.asarray(times, dtype=np.float64)
     csi = np.asarray(csi)
@@ -61,7 +63,11 @@ def doppler_spectrum(
 
 
 def doppler_spread(freqs: np.ndarray, power: np.ndarray) -> float:
-    """RMS Doppler bandwidth [Hz] of a normalised spectrum."""
+    """RMS Doppler bandwidth [Hz] of a normalised spectrum.
+
+    :domain freqs: hz
+    :domain return: hz
+    """
     freqs = np.asarray(freqs, dtype=np.float64)
     power = np.asarray(power, dtype=np.float64)
     if freqs.shape != power.shape or freqs.ndim != 1:
@@ -84,6 +90,9 @@ def expected_head_doppler(
     The scattering centre rides at ``lever_arm_m`` from the rotation
     axis, so its speed is ``omega * r`` and the (bistatic, worst-case)
     Doppler is ``2 v / lambda``.
+
+    :domain turn_speed_rad_s: rad_per_s
+    :domain return: hz
     """
     if turn_speed_rad_s < 0 or lever_arm_m < 0:
         raise ValueError("speed and lever arm must be non-negative")

@@ -4,47 +4,69 @@ The car frame has +x toward the rear, +y toward the passenger side and +z
 up (see DESIGN.md).  Head yaw is a rotation about +z; 0 rad faces the front
 of the car (the -x direction from the driver's seat), positive yaw turns
 toward the passenger side.
+
+Angle parameters carry unit-domain markers (:mod:`repro.units`) checked
+by ``vihot lint --dataflow``: scalar signatures use
+``Annotated[float, Domain(...)]``, array signatures use the
+``:domain name: ...`` docstring convention.
 """
 
 from __future__ import annotations
 
+from typing import Annotated
+
 import numpy as np
+from numpy.typing import ArrayLike
+
+from repro.units import Domain
 
 
-def deg2rad(deg) -> np.ndarray:
-    """Degrees to radians (vectorised)."""
+def deg2rad(deg: ArrayLike) -> np.ndarray:
+    """Degrees to radians (vectorised).
+
+    :domain deg: deg
+    :domain return: rad
+    """
     return np.deg2rad(deg)
 
 
-def rad2deg(rad) -> np.ndarray:
-    """Radians to degrees (vectorised)."""
+def rad2deg(rad: ArrayLike) -> np.ndarray:
+    """Radians to degrees (vectorised).
+
+    :domain rad: rad
+    :domain return: deg
+    """
     return np.rad2deg(rad)
 
 
-def rotz(angle_rad: float) -> np.ndarray:
+def rotz(angle_rad: Annotated[float, Domain("rad")]) -> np.ndarray:
     """Rotation matrix about the +z (up) axis — head yaw."""
     c, s = np.cos(angle_rad), np.sin(angle_rad)
     return np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
 
 
-def roty(angle_rad: float) -> np.ndarray:
+def roty(angle_rad: Annotated[float, Domain("rad")]) -> np.ndarray:
     """Rotation matrix about the +y axis — head pitch."""
     c, s = np.cos(angle_rad), np.sin(angle_rad)
     return np.array([[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]])
 
 
-def rotx(angle_rad: float) -> np.ndarray:
+def rotx(angle_rad: Annotated[float, Domain("rad")]) -> np.ndarray:
     """Rotation matrix about the +x axis — head roll."""
     c, s = np.cos(angle_rad), np.sin(angle_rad)
     return np.array([[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]])
 
 
-def euler_zyx(yaw: float, pitch: float, roll: float) -> np.ndarray:
+def euler_zyx(
+    yaw: Annotated[float, Domain("rad")],
+    pitch: Annotated[float, Domain("rad")],
+    roll: Annotated[float, Domain("rad")],
+) -> np.ndarray:
     """Compose a rotation from intrinsic yaw (z), pitch (y), roll (x)."""
     return rotz(yaw) @ roty(pitch) @ rotx(roll)
 
 
-def yaw_of(rotation: np.ndarray) -> float:
+def yaw_of(rotation: np.ndarray) -> Annotated[float, Domain("wrapped_rad")]:
     """Extract the yaw angle [rad] from a z-y-x rotation matrix."""
     rotation = np.asarray(rotation, dtype=np.float64)
     if rotation.shape != (3, 3):
@@ -52,8 +74,12 @@ def yaw_of(rotation: np.ndarray) -> float:
     return float(np.arctan2(rotation[1, 0], rotation[0, 0]))
 
 
-def wrap_angle(angle_rad):
-    """Wrap angles to ``(-pi, pi]`` (vectorised)."""
+def wrap_angle(angle_rad: ArrayLike) -> np.ndarray | float:
+    """Wrap angles to ``(-pi, pi]`` (vectorised).
+
+    :domain angle_rad: rad
+    :domain return: wrapped_rad
+    """
     wrapped = np.mod(np.asarray(angle_rad, dtype=np.float64) + np.pi, 2.0 * np.pi) - np.pi
     # np.mod maps exact -pi to -pi; move it to +pi for a half-open interval.
     wrapped = np.where(wrapped == -np.pi, np.pi, wrapped)
@@ -63,7 +89,11 @@ def wrap_angle(angle_rad):
 
 
 def unwrap_angles(angles_rad: np.ndarray) -> np.ndarray:
-    """Unwrap a 1-D sequence of wrapped angles into a continuous track."""
+    """Unwrap a 1-D sequence of wrapped angles into a continuous track.
+
+    :domain angles_rad: wrapped_rad
+    :domain return: unwrapped_rad
+    """
     angles_rad = np.asarray(angles_rad, dtype=np.float64)
     if angles_rad.ndim != 1:
         raise ValueError("unwrap_angles expects a 1-D array")

@@ -14,11 +14,30 @@ lists:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol
 
 import numpy as np
 
 from repro import constants
 from repro.dsp.series import TimeSeries
+
+
+class DriverYawScene(Protocol):
+    """What :class:`CameraTracker` needs from a cabin scene."""
+
+    def driver_yaw(self, times: np.ndarray) -> np.ndarray:
+        """True head yaw [rad] at ``times``.
+
+        :domain return: rad
+        """
+        ...
+
+    def driver_yaw_rate(self, times: np.ndarray) -> np.ndarray:
+        """True head yaw rate [rad/s] at ``times``.
+
+        :domain return: rad_per_s
+        """
+        ...
 
 
 @dataclass(frozen=True)
@@ -74,7 +93,7 @@ class CameraTracker:
 
     def __init__(
         self,
-        scene,
+        scene: DriverYawScene,
         config: CameraConfig | None = None,
         rng: np.random.Generator | None = None,
     ) -> None:
@@ -87,6 +106,11 @@ class CameraTracker:
         return self._config
 
     def _noise_std(self, yaw_rates: np.ndarray, yaws: np.ndarray) -> np.ndarray:
+        """Per-frame angular error std for the given motion state.
+
+        :domain yaw_rates: rad_per_s
+        :domain yaws: rad
+        """
         config = self._config
         light = max(config.light_level, config.min_light)
         blur = config.blur_gain * np.abs(yaw_rates) * config.exposure_s
@@ -122,7 +146,10 @@ class CameraTracker:
         return TimeSeries(times[keep], estimates[keep])
 
     def estimate_at(self, t: float) -> float:
-        """Single-shot estimate at ``t`` using the most recent frame."""
+        """Single-shot estimate at ``t`` using the most recent frame.
+
+        :domain return: rad
+        """
         frame_interval = 1.0 / self._config.frame_rate_hz
         stream = self.yaw_stream(max(0.0, t - 5 * frame_interval), t + frame_interval)
         past = stream.before(t + 1e-9)

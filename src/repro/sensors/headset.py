@@ -12,10 +12,22 @@ can assert that slips create outliers rather than bias.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol
 
 import numpy as np
 
 from repro.dsp.series import TimeSeries
+
+
+class TrueYawScene(Protocol):
+    """What :class:`HeadsetTracker` needs from a cabin scene."""
+
+    def driver_yaw(self, times: np.ndarray) -> np.ndarray:
+        """True head yaw [rad] at ``times``.
+
+        :domain return: rad
+        """
+        ...
 
 
 @dataclass(frozen=True)
@@ -53,7 +65,7 @@ class HeadsetTracker:
 
     def __init__(
         self,
-        scene,
+        scene: TrueYawScene,
         config: HeadsetConfig | None = None,
         rng: np.random.Generator | None = None,
     ) -> None:

@@ -10,10 +10,26 @@ vibration, which the identifier must not mistake for a turn.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol
 
 import numpy as np
 
 from repro.dsp.series import TimeSeries
+
+
+class YawRateScene(Protocol):
+    """What :class:`PhoneImu` needs from a cabin scene.
+
+    Structural: :class:`repro.cabin.scene.CabinScene` satisfies it, and
+    tests can substitute anything with a ``car_yaw_rate``.
+    """
+
+    def car_yaw_rate(self, times: np.ndarray) -> np.ndarray:
+        """Car body yaw rate [rad/s] at ``times``.
+
+        :domain return: rad_per_s
+        """
+        ...
 
 
 @dataclass(frozen=True)
@@ -53,7 +69,7 @@ class PhoneImu:
 
     def __init__(
         self,
-        scene,
+        scene: YawRateScene,
         config: ImuConfig | None = None,
         rng: np.random.Generator | None = None,
     ) -> None:
@@ -69,7 +85,10 @@ class PhoneImu:
 
     @property
     def bias(self) -> float:
-        """This power-cycle's constant gyro bias [rad/s]."""
+        """This power-cycle's constant gyro bias [rad/s].
+
+        :domain return: rad_per_s
+        """
         return self._bias
 
     def yaw_rate_stream(self, t_start: float, t_end: float) -> TimeSeries:

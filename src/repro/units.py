@@ -1,0 +1,88 @@
+"""Unit-domain vocabulary for the phase signal chain.
+
+ViHOT's entire pipeline is phase arithmetic, and the most dangerous bug
+class in the repo is a value silently crossing unit domains: a wrapped
+phase consumed by code that assumes a continuous track, degrees fed
+where radians are expected, a plain frequency [Hz] mixed with an angular
+rate [rad/s].  This module gives those domains names so they can be
+
+* **declared** in signatures — ``Annotated[float, Domain("wrapped_rad")]``
+  (or in a docstring, ``:domain phase: wrapped_rad`` /
+  ``:domain return: unwrapped_rad`` when ``Annotated`` would be noisy), and
+* **checked** statically — the ``vihot lint --dataflow`` analyzer
+  (:mod:`repro.analysis.dataflow`) propagates these domains through
+  assignments, arithmetic and call boundaries and flags cross-domain
+  flows (rules VH301-VH304).
+
+The markers are deliberately runtime-inert: ``Domain`` carries a name
+and nothing else, so annotating a hot-path signature costs nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DEG",
+    "DOMAIN_NAMES",
+    "Domain",
+    "HZ",
+    "RAD",
+    "RAD_PER_S",
+    "UNWRAPPED_RAD",
+    "WRAPPED_RAD",
+]
+
+#: Phase wrapped to ``(-pi, pi]`` — what ``wrap_phase`` / ``np.angle``
+#: produce.  Plain subtraction and arithmetic means are wrong near the
+#: seam; use ``phase_difference`` / ``circular_mean``.
+WRAPPED_RAD = "wrapped_rad"
+
+#: Continuous (unwrapped) phase track — what ``np.unwrap`` produces.
+#: Safe to difference, interpolate and resample.
+UNWRAPPED_RAD = "unwrapped_rad"
+
+#: Radians with unspecified wrapping: plain geometric angles, or places
+#: where either wrapped or unwrapped phase is acceptable.
+RAD = "rad"
+
+#: Degrees.  Presentation-layer only; everything numeric runs in radians.
+DEG = "deg"
+
+#: Ordinary frequency [Hz] (cycles per second).
+HZ = "hz"
+
+#: Angular rate [rad/s] — ``2 * pi`` times the Hz value.
+RAD_PER_S = "rad_per_s"
+
+#: Every domain the dataflow lint knows how to track.
+DOMAIN_NAMES = frozenset(
+    {WRAPPED_RAD, UNWRAPPED_RAD, RAD, DEG, HZ, RAD_PER_S}
+)
+
+
+@dataclass(frozen=True)
+class Domain:
+    """``Annotated`` metadata declaring the unit domain of a value.
+
+    Usage::
+
+        def wrap_phase(phase: Annotated[float, Domain("rad")]
+                       ) -> Annotated[float, Domain("wrapped_rad")]: ...
+
+    The dataflow analyzer reads these markers syntactically (it never
+    imports the annotated module), but constructing one at runtime still
+    validates the name so a typo'd domain cannot silently disable
+    checking.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in DOMAIN_NAMES:
+            raise ValueError(
+                f"unknown unit domain {self.name!r}; known: {sorted(DOMAIN_NAMES)}"
+            )
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,11 @@
+"""Two-module fixture package for the cross-module dataflow tests.
+
+``consumer`` imports ``store_phase`` through this package re-export, so
+resolving its call site exercises the full alias chain:
+``dfpkg.consumer.store_phase`` -> ``dfpkg.store_phase`` ->
+``dfpkg.phasebank.store_phase``.
+"""
+
+from dfpkg.phasebank import store_phase
+
+__all__ = ["store_phase"]

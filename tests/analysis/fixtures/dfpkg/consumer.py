@@ -1,0 +1,14 @@
+"""Consumer half: leaks a *wrapped* phase across the module boundary.
+
+``store_phase`` is imported through the package re-export, so only the
+project-wide alias resolution can see that the wrapped value reaches a
+parameter declared ``unwrapped_rad`` in another module (VH304).
+"""
+import numpy as np
+
+from dfpkg import store_phase
+
+
+def ingest(csi):
+    wrapped = np.angle(csi)
+    return store_phase(wrapped)

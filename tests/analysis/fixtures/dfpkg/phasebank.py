@@ -1,0 +1,11 @@
+"""Producer half of the cross-module fixture: declares its contract."""
+import numpy as np
+
+
+def store_phase(track):
+    """Normalise a continuous phase track for storage.
+
+    :domain track: unwrapped_rad
+    :domain return: unwrapped_rad
+    """
+    return np.asarray(track, dtype=np.float64)

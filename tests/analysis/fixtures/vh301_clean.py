@@ -1,0 +1,10 @@
+"""Clean twin of vh301: the heading is converted before the sine."""
+import numpy as np
+
+
+def heading_component(heading_deg):
+    """Project a compass heading onto the x axis.
+
+    :domain heading_deg: deg
+    """
+    return np.sin(np.deg2rad(heading_deg))

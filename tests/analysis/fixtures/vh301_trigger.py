@@ -1,0 +1,10 @@
+"""Trigger: a degree-valued heading flows into ``np.sin`` (radians)."""
+import numpy as np
+
+
+def heading_component(heading_deg):
+    """Project a compass heading onto the x axis.
+
+    :domain heading_deg: deg
+    """
+    return np.sin(heading_deg)

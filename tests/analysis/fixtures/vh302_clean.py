@@ -1,0 +1,10 @@
+"""Clean twin of vh302: the difference is immediately re-wrapped."""
+import numpy as np
+
+from repro.dsp.phase import wrap_phase
+
+
+def phase_step(csi_a, csi_b):
+    a = np.angle(csi_a)
+    b = np.angle(csi_b)
+    return wrap_phase(a - b)

@@ -1,0 +1,12 @@
+"""Trigger: naive subtraction of two wrapped phases.
+
+The difference jumps by 2*pi whenever either operand crosses the +-pi
+seam — the canonical CSI phase bug.
+"""
+import numpy as np
+
+
+def phase_step(csi_a, csi_b):
+    a = np.angle(csi_a)
+    b = np.angle(csi_b)
+    return a - b

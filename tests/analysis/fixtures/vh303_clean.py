@@ -1,0 +1,18 @@
+"""Clean twin of vh303: the 2*pi conversion is explicit."""
+import numpy as np
+
+
+def doppler_bin(omega):
+    """Quantise an angular rate.
+
+    :domain omega: rad_per_s
+    """
+    return omega
+
+
+def lookup(freq_hz):
+    """Look up the Doppler bin of a tone.
+
+    :domain freq_hz: hz
+    """
+    return doppler_bin(2.0 * np.pi * freq_hz)

@@ -1,0 +1,17 @@
+"""Trigger: a plain frequency [Hz] passed where rad/s is declared."""
+
+
+def doppler_bin(omega):
+    """Quantise an angular rate.
+
+    :domain omega: rad_per_s
+    """
+    return omega
+
+
+def lookup(freq_hz):
+    """Look up the Doppler bin of a tone.
+
+    :domain freq_hz: hz
+    """
+    return doppler_bin(freq_hz)

@@ -1,0 +1,8 @@
+"""Clean twin of vh401: copy first, then mutate the owned copy."""
+import numpy as np
+
+
+def normalize(window: np.ndarray) -> np.ndarray:
+    window = np.array(window, dtype=np.float64)
+    window -= window.mean()
+    return window

@@ -1,0 +1,8 @@
+"""Trigger: writing through a slice view mutates the caller's buffer."""
+import numpy as np
+
+
+def zero_dc(spectrum: np.ndarray) -> np.ndarray:
+    low = spectrum[:4]
+    low[:] = 0.0
+    return spectrum

@@ -1,0 +1,138 @@
+"""Behaviour tests for the VH4xx numpy aliasing rules."""
+
+from repro.analysis import Analyzer, dataflow_rules
+
+
+def analyze(src):
+    return Analyzer(dataflow_rules()).check_source(src)
+
+
+def test_out_keyword_on_parameter_flags():
+    src = """\
+import numpy as np
+
+
+def accumulate(total: np.ndarray, delta: np.ndarray) -> np.ndarray:
+    np.add(total, delta, out=total)
+    return total
+"""
+    findings = analyze(src)
+    assert [f.rule for f in findings] == ["VH401"]
+    assert "out=" in findings[0].message
+
+
+def test_subscript_store_on_parameter_flags_even_untyped():
+    src = """\
+def clamp_first(values):
+    values[0] = 0.0
+    return values
+"""
+    assert [f.rule for f in analyze(src)] == ["VH401"]
+
+
+def test_mutating_method_on_parameter_flags():
+    src = """\
+import numpy as np
+
+
+def order(values: np.ndarray) -> np.ndarray:
+    values.sort()
+    return values
+"""
+    assert [f.rule for f in analyze(src)] == ["VH401"]
+
+
+def test_scalar_augassign_does_not_flag():
+    src = """\
+def count_evens(limit: int) -> int:
+    count = 0
+    for i in range(limit):
+        if i % 2 == 0:
+            count += 1
+    return count
+
+
+def scale(factor: float) -> float:
+    factor *= 2.0
+    return factor
+"""
+    assert analyze(src) == []
+
+
+def test_view_chain_through_reshape_flags_vh402():
+    src = """\
+import numpy as np
+
+
+def flatten_and_zero(grid: np.ndarray) -> np.ndarray:
+    flat = grid.reshape(-1)
+    flat[0] = 0.0
+    return grid
+"""
+    findings = analyze(src)
+    assert [f.rule for f in findings] == ["VH402"]
+    assert any("grid" in step for step in findings[0].trace)
+
+
+def test_copy_breaks_the_alias_chain():
+    src = """\
+import numpy as np
+
+
+def flatten_and_zero(grid: np.ndarray) -> np.ndarray:
+    flat = grid.reshape(-1).copy()
+    flat[0] = 0.0
+    return flat
+"""
+    assert analyze(src) == []
+
+
+def test_astype_copy_false_is_still_a_view():
+    src = """\
+import numpy as np
+
+
+def cast(values: np.ndarray) -> np.ndarray:
+    alias = values.astype(np.float64, copy=False)
+    alias[0] = 0.0
+    return alias
+"""
+    assert [f.rule for f in analyze(src)] == ["VH402"]
+
+
+def test_astype_default_copies():
+    src = """\
+import numpy as np
+
+
+def cast(values: np.ndarray) -> np.ndarray:
+    owned = values.astype(np.float64)
+    owned[0] = 0.0
+    return owned
+"""
+    assert analyze(src) == []
+
+
+def test_rebinding_to_owned_expression_clears_borrow():
+    src = """\
+import numpy as np
+
+
+def shift(values: np.ndarray) -> np.ndarray:
+    values = values + 1.0
+    values[0] = 0.0
+    return values
+"""
+    assert analyze(src) == []
+
+
+def test_inline_noqa_suppresses_aliasing_finding():
+    src = """\
+import numpy as np
+
+
+def normalize(window: np.ndarray) -> np.ndarray:
+    window -= window.mean()  # vihot: noqa[VH401]
+    return window
+"""
+    assert analyze(src) == []

@@ -1,0 +1,102 @@
+"""Tests for the project-wide call-graph / import-resolution layer."""
+
+from pathlib import Path
+
+from repro.analysis.callgraph import ProjectContext, build_project
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def build_dfpkg(cache_dir=None):
+    return build_project([FIXTURES / "dfpkg"], cache_dir=cache_dir)
+
+
+def test_module_qualnames_follow_packages():
+    project = build_dfpkg()
+    assert set(project.modules) == {"dfpkg", "dfpkg.phasebank", "dfpkg.consumer"}
+
+
+def test_reexport_resolves_through_package_init():
+    project = build_dfpkg()
+    # consumer spells the call `store_phase`, imported from the package
+    # __init__, which re-exports it from phasebank.
+    assert (
+        project.canonicalize("dfpkg.consumer.store_phase")
+        == "dfpkg.phasebank.store_phase"
+    )
+    info = project.resolve_function("store_phase", module="dfpkg.consumer")
+    assert info is not None
+    assert info.qualname == "dfpkg.phasebank.store_phase"
+
+
+def test_call_graph_records_cross_module_edge():
+    project = build_dfpkg()
+    assert "dfpkg.phasebank.store_phase" in project.callees_of("dfpkg.consumer.ingest")
+    assert "dfpkg.consumer.ingest" in project.callers_of("dfpkg.phasebank.store_phase")
+
+
+def test_declared_domains_are_indexed():
+    project = build_dfpkg()
+    info = project.functions["dfpkg.phasebank.store_phase"]
+    assert info.declared_params == {"track": "unwrapped_rad"}
+    assert info.return_domain == "unwrapped_rad"
+
+
+def test_return_domain_inference_reaches_fixpoint(tmp_path):
+    pkg = tmp_path / "chainpkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "a.py").write_text(
+        "import numpy as np\n\n\ndef source(csi):\n    return np.angle(csi)\n",
+        encoding="utf-8",
+    )
+    (pkg / "b.py").write_text(
+        "from chainpkg.a import source\n\n\ndef relay(csi):\n    return source(csi)\n",
+        encoding="utf-8",
+    )
+    project = build_project([pkg])
+    # Neither function declares a domain: source is inferred from
+    # np.angle, relay transitively through the fixed-point iteration.
+    assert project.functions["chainpkg.a.source"].return_domain == "wrapped_rad"
+    assert project.functions["chainpkg.b.relay"].return_domain == "wrapped_rad"
+
+
+def test_summary_cache_round_trip(tmp_path):
+    cache = tmp_path / "vihot-cache"
+    first = build_dfpkg(cache_dir=cache)
+    assert first.cache_hit is False
+    assert list(cache.glob("summaries-v*.json")), "cache file should be written"
+
+    second = build_dfpkg(cache_dir=cache)
+    assert second.cache_hit is True
+    for qualname, info in first.functions.items():
+        assert second.functions[qualname].return_domain == info.return_domain
+
+
+def test_cache_invalidates_on_source_change(tmp_path):
+    pkg = tmp_path / "mutpkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    mod = pkg / "m.py"
+    mod.write_text(
+        "import numpy as np\n\n\ndef f(csi):\n    return np.angle(csi)\n",
+        encoding="utf-8",
+    )
+    cache = tmp_path / "cache"
+    first = build_project([pkg], cache_dir=cache)
+    assert first.functions["mutpkg.m.f"].return_domain == "wrapped_rad"
+
+    mod.write_text(
+        "import numpy as np\n\n\ndef f(csi):\n    return np.unwrap(np.angle(csi))\n",
+        encoding="utf-8",
+    )
+    second = build_project([pkg], cache_dir=cache)
+    assert second.cache_hit is False
+    assert second.functions["mutpkg.m.f"].return_domain == "unwrapped_rad"
+
+
+def test_project_context_build_is_reusable_scratch():
+    project = build_dfpkg()
+    assert isinstance(project, ProjectContext)
+    project.memo["k"] = 1
+    assert project.memo["k"] == 1

@@ -1,0 +1,162 @@
+"""Golden-fixture and behaviour tests for the VH3xx domain-flow rules."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Allowlist, AllowlistEntry, Analyzer, dataflow_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: rule id -> fixture stem, mirroring test_rules.RULE_FIXTURES for the
+#: dataflow series.  VH304 needs two modules and is tested separately
+#: against the ``dfpkg`` fixture package.
+DATAFLOW_FIXTURES = {
+    "VH301": FIXTURES / "vh301",
+    "VH302": FIXTURES / "vh302",
+    "VH303": FIXTURES / "vh303",
+    "VH401": FIXTURES / "vh401",
+    "VH402": FIXTURES / "vh402",
+}
+
+
+def analyze_file(path):
+    return Analyzer(dataflow_rules()).check_file(path)
+
+
+def test_every_dataflow_rule_has_a_fixture():
+    covered = set(DATAFLOW_FIXTURES) | {"VH304"}
+    assert {r.id for r in dataflow_rules()} == covered
+    for stem in DATAFLOW_FIXTURES.values():
+        assert stem.with_name(stem.name + "_trigger.py").exists()
+        assert stem.with_name(stem.name + "_clean.py").exists()
+
+
+@pytest.mark.parametrize("rule_id", sorted(DATAFLOW_FIXTURES))
+def test_trigger_fixture_fires_exactly_its_rule(rule_id):
+    stem = DATAFLOW_FIXTURES[rule_id]
+    findings = analyze_file(stem.with_name(stem.name + "_trigger.py"))
+    assert findings, f"{rule_id} trigger fixture produced no findings"
+    assert {f.rule for f in findings} == {rule_id}
+
+
+@pytest.mark.parametrize("rule_id", sorted(DATAFLOW_FIXTURES))
+def test_clean_fixture_is_silent(rule_id):
+    stem = DATAFLOW_FIXTURES[rule_id]
+    findings = analyze_file(stem.with_name(stem.name + "_clean.py"))
+    assert findings == []
+
+
+def test_cross_module_leak_is_vh304():
+    findings = Analyzer(dataflow_rules()).run([FIXTURES / "dfpkg"])
+    assert [f.rule for f in findings] == ["VH304"]
+    (finding,) = findings
+    assert finding.path.endswith("consumer.py")
+    assert "store_phase" in finding.message
+    assert "wrapped_rad" in finding.message
+    assert finding.trace, "cross-module findings must carry a domain trace"
+
+
+def test_findings_carry_domain_trace():
+    stem = DATAFLOW_FIXTURES["VH301"]
+    (finding,) = analyze_file(stem.with_name(stem.name + "_trigger.py"))
+    assert finding.trace
+    assert any("heading_deg" in step for step in finding.trace)
+    assert finding.as_dict()["trace"] == list(finding.trace)
+
+
+WRAPPED_DIFF_SRC = """\
+import numpy as np
+
+
+def latest_phase(csi):
+    return np.angle(csi)
+
+
+def drift(csi):
+    return np.diff(latest_phase(csi))
+"""
+
+
+def test_inferred_return_domain_propagates_across_calls():
+    # latest_phase has no declared domain; its wrapped_rad return is
+    # inferred and the np.diff consumption in drift() still flags.
+    findings = Analyzer(dataflow_rules()).check_source(WRAPPED_DIFF_SRC)
+    assert [f.rule for f in findings] == ["VH302"]
+    assert "np.diff" in findings[0].message or "numpy.diff" in findings[0].message
+
+
+def test_inline_noqa_suppresses_dataflow_finding():
+    src = WRAPPED_DIFF_SRC.replace(
+        "return np.diff(latest_phase(csi))",
+        "return np.diff(latest_phase(csi))  # vihot: noqa[VH302]",
+    )
+    assert Analyzer(dataflow_rules()).check_source(src) == []
+
+
+def test_allowlist_suppresses_dataflow_finding(tmp_path):
+    path = tmp_path / "synthetic" / "mod.py"
+    path.parent.mkdir()
+    path.write_text(WRAPPED_DIFF_SRC, encoding="utf-8")
+    allowlist = Allowlist(
+        [AllowlistEntry(suffix="synthetic/mod.py", rule="VH302", reason="test")]
+    )
+    assert Analyzer(dataflow_rules(), allowlist=allowlist).run([path]) == []
+
+
+def test_wrapped_mean_flags_and_circular_mean_does_not():
+    bad = """\
+import numpy as np
+
+
+def avg(csi):
+    return np.mean(np.angle(csi))
+"""
+    good = """\
+import numpy as np
+
+from repro.dsp.phase import circular_mean
+
+
+def avg(csi):
+    return circular_mean(np.angle(csi))
+"""
+    assert [f.rule for f in Analyzer(dataflow_rules()).check_source(bad)] == ["VH302"]
+    assert Analyzer(dataflow_rules()).check_source(good) == []
+
+
+def test_annotated_marker_seeds_domains():
+    src = """\
+from typing import Annotated
+
+import numpy as np
+
+from repro.units import Domain
+
+
+def tilt(angle: Annotated[float, Domain("deg")]) -> float:
+    return float(np.cos(angle))
+"""
+    findings = Analyzer(dataflow_rules()).check_source(src)
+    assert [f.rule for f in findings] == ["VH301"]
+
+
+def test_hz_times_two_pi_converts_domain():
+    src = """\
+import numpy as np
+
+
+def advance(omega):
+    '''
+    :domain omega: rad_per_s
+    '''
+    return omega
+
+
+def from_freq(f_hz):
+    '''
+    :domain f_hz: hz
+    '''
+    return advance(2.0 * np.pi * f_hz)
+"""
+    assert Analyzer(dataflow_rules()).check_source(src) == []

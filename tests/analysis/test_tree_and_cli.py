@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.analysis import DEFAULT_ALLOWLIST, default_rules, run_analysis
+from repro.analysis import DEFAULT_ALLOWLIST, dataflow_rules, default_rules, run_analysis
 from repro.cli import main
 from tests.analysis.test_rules import FIXTURES
 
@@ -12,6 +12,12 @@ from tests.analysis.test_rules import FIXTURES
 def test_shipped_tree_is_clean():
     """The acceptance gate CI enforces: zero findings on the repro package."""
     findings = run_analysis()
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_shipped_tree_is_dataflow_clean():
+    """The --dataflow gate: domain-flow and aliasing rules included."""
+    findings = run_analysis(dataflow=True)
     assert findings == [], "\n".join(f.format() for f in findings)
 
 
@@ -58,6 +64,68 @@ def test_cli_list_rules_prints_catalogue(capsys):
     for rule in default_rules():
         assert rule.id in out
         assert rule.name in out
+    assert "VH301" not in out  # dataflow rules are opt-in
+
+
+def test_cli_list_rules_with_dataflow_includes_vh3xx(capsys):
+    assert main(["lint", "--list-rules", "--dataflow"]) == 0
+    out = capsys.readouterr().out
+    for rule in dataflow_rules():
+        assert rule.id in out
+        assert rule.name in out
+
+
+def test_cli_dataflow_json_findings_carry_traces(capsys):
+    rc = main(
+        ["lint", "--dataflow", "--format", "json", str(FIXTURES / "vh301_trigger.py")]
+    )
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    flows = [f for f in payload if f["rule"] == "VH301"]
+    assert flows, "expected a VH301 finding on the trigger fixture"
+    assert all(isinstance(f["trace"], list) for f in flows)
+    assert any(f["trace"] for f in flows), "domain findings must carry a trace"
+
+
+def test_cli_dataflow_text_output_prints_trace_lines(capsys):
+    rc = main(["lint", "--dataflow", str(FIXTURES / "vh301_trigger.py")])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "VH301" in out
+    assert "    trace:" in out
+
+
+def test_cli_budget_file_records_then_enforces(tmp_path, capsys):
+    budget = tmp_path / "lint_baseline.json"
+    target = str(FIXTURES / "vh301_clean.py")
+
+    # First run: no budget file -> baseline is recorded, exit 0.
+    assert main(["lint", "--dataflow", "--budget-file", str(budget), target]) == 0
+    capsys.readouterr()
+    recorded = json.loads(budget.read_text())
+    assert recorded["baseline_s"] >= 0
+    assert recorded["max_ratio"] == 2.0
+
+    # Generous baseline -> within budget, exit 0.
+    budget.write_text(json.dumps({"baseline_s": 1e6, "max_ratio": 2.0}))
+    assert main(["lint", "--dataflow", "--budget-file", str(budget), target]) == 0
+    capsys.readouterr()
+
+    # Impossible baseline -> the regression gate trips, exit 1.
+    budget.write_text(json.dumps({"baseline_s": 1e-9, "max_ratio": 2.0}))
+    assert main(["lint", "--dataflow", "--budget-file", str(budget), target]) == 1
+    assert "over" in capsys.readouterr().err
+
+
+def test_cli_cache_dir_round_trip(tmp_path, capsys):
+    cache = tmp_path / "vihot-cache"
+    target = str(FIXTURES / "dfpkg")
+    assert main(["lint", "--dataflow", "--cache-dir", str(cache), target]) == 1
+    capsys.readouterr()
+    assert list(cache.glob("summaries-v*.json"))
+    # Second run consumes the cache and reports identically.
+    assert main(["lint", "--dataflow", "--cache-dir", str(cache), target]) == 1
+    assert "VH304" in capsys.readouterr().out
 
 
 def test_mypy_config_present_in_pyproject():
@@ -74,5 +142,5 @@ def test_mypy_config_present_in_pyproject():
     mypy = config["tool"]["mypy"]
     assert mypy["packages"] == ["repro"]
     strict = config["tool"]["mypy"]["overrides"][0]
-    assert "repro.core.*" in strict["module"]
+    assert {"repro.core.*", "repro.geometry.*", "repro.sensors.*"} <= set(strict["module"])
     assert strict["disallow_untyped_defs"] is True
