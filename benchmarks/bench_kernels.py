@@ -2,43 +2,243 @@
 
 These are the only benches measuring steady-state throughput rather than
 regenerating a figure: the batched DTW matcher (the run-time hot path,
-Alg. 1), CSI synthesis (Eq. 1) and the sanitiser (Sec. 3.2).
+Alg. 1), its stacked cross-session form, CSI synthesis (Eq. 1) and the
+sanitiser (Sec. 3.2) in both scalar and fleet-batched forms.
+
+Two entry points:
+
+* pytest (CI smoke, via pytest-benchmark)::
+
+      PYTHONPATH=src python -m pytest -q benchmarks/bench_kernels.py
+
+* script mode, emitting the schema'd JSON perf artefact the regression
+  gate compares against ``.github/bench_baseline.json``::
+
+      PYTHONPATH=src python benchmarks/bench_kernels.py --json BENCH_kernels.json
 """
 
-import numpy as np
-import pytest
+import argparse
+import json
+import sys
+from pathlib import Path
+from time import perf_counter
 
-from repro.core.sanitize import sanitize_stream
-from repro.dsp.dtw import batched_dtw_distance
+import numpy as np
+
+from repro.core.sanitize import sanitize_stream, sanitize_streams
+from repro.dsp.dtw import batched_dtw_distance, stacked_dtw_distance
 from repro.rf.multipath import synthesize_csi
 
+try:
+    import pytest
+except ImportError:  # script mode does not need pytest
+    pytest = None
 
-@pytest.fixture(scope="module")
-def dtw_inputs():
-    rng = np.random.default_rng(0)
+#: Bumped when the JSON layout changes; the regression gate checks it.
+SCHEMA = "vihot-bench-kernels/1"
+
+#: Stacked-form fleet width: how many sessions' queries ride one call.
+STACK = 16
+
+#: The stacked DP's two regimes, both reported: ``small`` keeps the
+#: (S, B, m, L) cost tensor cache-resident, where stacking amortises
+#: numpy dispatch (~2x); ``wide`` is the serving hot path's observed
+#: shape (8 sessions x ~150 candidates x length 40), where the tensor
+#: spills cache and stacking roughly breaks even — the end-to-end
+#: serving win at that shape comes from candidate-bank amortisation in
+#: ``SeriesMatcher.match_many`` and is measured by ``bench_serve.py``.
+STACKED_SMALL = (16, 40, 25)  # (stack, candidates, candidate length)
+STACKED_WIDE = (8, 150, 40)
+
+
+def _dtw_inputs(rng=None):
+    rng = rng or np.random.default_rng(0)
     query = rng.uniform(-np.pi, np.pi, 20)
     candidates = rng.uniform(-np.pi, np.pi, (400, 40))
     return query, candidates
 
 
-def test_batched_dtw_throughput(benchmark, dtw_inputs):
-    query, candidates = dtw_inputs
-    result = benchmark(batched_dtw_distance, query, candidates, None, "circular")
-    assert len(result) == 400
+def _stacked_inputs(shape=STACKED_SMALL):
+    stack, n_candidates, length = shape
+    rng = np.random.default_rng(0)
+    queries = rng.uniform(-np.pi, np.pi, (stack, 21))
+    candidates = rng.uniform(-np.pi, np.pi, (n_candidates, length))
+    return queries, candidates
 
 
-def test_csi_synthesis_throughput(benchmark):
+def _fleet_csi():
+    """Window-sized per-session chunks: what a tick actually sanitises."""
+    rng = np.random.default_rng(2)
+    csi = rng.normal(size=(STACK, 256, 2, 30)) + 1j * rng.normal(
+        size=(STACK, 256, 2, 30)
+    )
+    times = np.linspace(0, 256 / 200.0, 256)
+    return times, csi
+
+
+if pytest is not None:
+
+    @pytest.fixture(scope="module")
+    def dtw_inputs():
+        return _dtw_inputs()
+
+    def test_batched_dtw_throughput(benchmark, dtw_inputs):
+        query, candidates = dtw_inputs
+        result = benchmark(batched_dtw_distance, query, candidates, None, "circular")
+        assert len(result) == 400
+
+    def test_stacked_dtw_throughput(benchmark):
+        """The cross-session form: one DP over a (16, 40) batch."""
+        queries, candidates = _stacked_inputs(STACKED_SMALL)
+        result = benchmark(
+            stacked_dtw_distance, queries, candidates, None, "circular"
+        )
+        assert result.shape == (STACKED_SMALL[0], STACKED_SMALL[1])
+
+    def test_csi_synthesis_throughput(benchmark):
+        rng = np.random.default_rng(1)
+        lengths = rng.uniform(0.5, 3.0, (5000, 10))
+        amps = rng.uniform(0.0, 0.01, (5000, 10))
+        wavelengths = 0.123 + 0.0001 * np.arange(30)
+        csi = benchmark(synthesize_csi, lengths, amps, wavelengths)
+        assert csi.shape == (5000, 30)
+
+    def test_sanitizer_throughput(benchmark):
+        rng = np.random.default_rng(2)
+        csi = rng.normal(size=(5000, 2, 30)) + 1j * rng.normal(size=(5000, 2, 30))
+        times = np.linspace(0, 10, 5000)
+        series = benchmark(sanitize_stream, times, csi)
+        assert len(series) == 5000
+
+    def test_fleet_sanitizer_throughput(benchmark):
+        times, csi = _fleet_csi()
+        series = benchmark(sanitize_streams, times, csi)
+        assert len(series) == STACK
+
+
+# ----------------------------------------------------------------------
+# Script mode: the schema'd JSON artefact
+# ----------------------------------------------------------------------
+def _time(fn, reps: int) -> dict:
+    """Run ``fn`` ``reps`` times (after one warmup) and summarise."""
+    fn()  # warmup: first-touch allocations, branch caches
+    samples = []
+    for _ in range(reps):
+        start = perf_counter()
+        fn()
+        samples.append(perf_counter() - start)
+    ordered = sorted(samples)
+    return {
+        "reps": reps,
+        "best_s": ordered[0],
+        "mean_s": sum(samples) / len(samples),
+        "p50_s": ordered[len(ordered) // 2],
+        "p99_s": ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))],
+    }
+
+
+def collect(reps: int = 30) -> dict:
+    """Measure every kernel; returns the full JSON payload."""
+    kernels: dict[str, dict] = {}
+
+    query, candidates = _dtw_inputs()
+    kernels["batched_dtw"] = {
+        **_time(lambda: batched_dtw_distance(query, candidates, None, "circular"),
+                reps),
+        "candidates": int(candidates.shape[0]),
+    }
+    kernels["batched_dtw"]["candidates_per_s"] = (
+        candidates.shape[0] / kernels["batched_dtw"]["mean_s"]
+    )
+
+    # The stacked cross-session form vs the per-session loop it must be
+    # bit-identical to: the ratio is the batch efficiency the kernel
+    # itself buys, in both cache regimes (see STACKED_SMALL/WIDE).
+    for name, shape in (("stacked_dtw_small", STACKED_SMALL),
+                        ("stacked_dtw_wide", STACKED_WIDE)):
+        queries, candidates = _stacked_inputs(shape)
+        stack = shape[0]
+        stacked = _time(
+            lambda: stacked_dtw_distance(queries, candidates, None, "circular"),
+            reps,
+        )
+        loop = _time(
+            lambda: [
+                batched_dtw_distance(queries[s], candidates, None, "circular")
+                for s in range(stack)
+            ],
+            reps,
+        )
+        kernels[name] = {
+            **stacked,
+            "stack": stack,
+            "candidates": int(candidates.shape[0]),
+            "candidate_length": int(candidates.shape[1]),
+            "sequential_mean_s": loop["mean_s"],
+            "batch_speedup": loop["mean_s"] / stacked["mean_s"],
+        }
+
     rng = np.random.default_rng(1)
     lengths = rng.uniform(0.5, 3.0, (5000, 10))
     amps = rng.uniform(0.0, 0.01, (5000, 10))
     wavelengths = 0.123 + 0.0001 * np.arange(30)
-    csi = benchmark(synthesize_csi, lengths, amps, wavelengths)
-    assert csi.shape == (5000, 30)
+    kernels["csi_synthesis"] = {
+        **_time(lambda: synthesize_csi(lengths, amps, wavelengths), reps),
+        "packets": 5000,
+    }
+    kernels["csi_synthesis"]["packets_per_s"] = (
+        5000 / kernels["csi_synthesis"]["mean_s"]
+    )
 
-
-def test_sanitizer_throughput(benchmark):
     rng = np.random.default_rng(2)
     csi = rng.normal(size=(5000, 2, 30)) + 1j * rng.normal(size=(5000, 2, 30))
     times = np.linspace(0, 10, 5000)
-    series = benchmark(sanitize_stream, times, csi)
-    assert len(series) == 5000
+    kernels["sanitize_stream"] = {
+        **_time(lambda: sanitize_stream(times, csi), reps),
+        "packets": 5000,
+    }
+    kernels["sanitize_stream"]["packets_per_s"] = (
+        5000 / kernels["sanitize_stream"]["mean_s"]
+    )
+
+    fleet_times, fleet_csi = _fleet_csi()
+    batched = _time(lambda: sanitize_streams(fleet_times, fleet_csi), reps)
+    loop = _time(
+        lambda: [
+            sanitize_stream(fleet_times, fleet_csi[s]) for s in range(STACK)
+        ],
+        reps,
+    )
+    kernels["sanitize_streams"] = {
+        **batched,
+        "stack": STACK,
+        "packets": int(STACK * fleet_csi.shape[1]),
+        "sequential_mean_s": loop["mean_s"],
+        "batch_speedup": loop["mean_s"] / batched["mean_s"],
+    }
+
+    return {"schema": SCHEMA, "kernels": kernels}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=30,
+                        help="timing repetitions per kernel")
+    parser.add_argument("--json", default=None, help="write the result as JSON")
+    args = parser.parse_args(argv)
+
+    payload = collect(reps=args.reps)
+    for name, stats in payload["kernels"].items():
+        line = f"{name}: mean {stats['mean_s'] * 1e3:.3f} ms"
+        if "batch_speedup" in stats:
+            line += (f" (x{stats['stack']} stacked, "
+                     f"{stats['batch_speedup']:.2f}x vs loop)")
+        print(line)
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2))
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,9 @@ import json
 import sys
 from pathlib import Path
 
+#: Bumped when the JSON layout changes; the regression gate checks it.
+SCHEMA = "vihot-bench-serve/1"
+
 #: Smoke scale: CI-fast but still at the 50-session acceptance floor.
 SMOKE = dict(num_sessions=50, duration_s=3.0, rate_hz=100.0, verify_sessions=2)
 #: Full scale: what the README quotes.
@@ -30,10 +33,30 @@ FULL = dict(num_sessions=100, duration_s=8.0, rate_hz=200.0, verify_sessions=3)
 CHAOS = dict(num_sessions=50, duration_s=3.0, rate_hz=100.0)
 
 
-def run(scale: dict, seed: int = 0):
+def run(scale: dict, seed: int = 0, batching: bool = False):
     from repro.serve import run_load
 
-    return run_load(seed=seed, **scale)
+    return run_load(seed=seed, batching=batching, **scale)
+
+
+def run_comparison(scale: dict, seed: int = 0) -> dict:
+    """The batched-vs-sequential artefact: same fleet, both schedulers.
+
+    Returns the combined JSON payload — each run's full measurement,
+    plus the headline wall-clock speedup and the batched run's batch
+    efficiency (stacked sessions / serving records).
+    """
+    sequential = run(scale, seed=seed, batching=False)
+    batched = run(scale, seed=seed, batching=True)
+    served = batched.batched_sessions + batched.fallback_sessions
+    return {
+        "schema": SCHEMA,
+        "sequential": sequential.as_dict(),
+        "batched": batched.as_dict(),
+        "wall_speedup": sequential.wall_s / batched.wall_s
+        if batched.wall_s > 0 else float("inf"),
+        "batch_efficiency": batched.batched_sessions / served if served else 0.0,
+    }
 
 
 def run_chaos_scale(scale: dict, seed: int = 0):
@@ -59,6 +82,19 @@ def test_serve_smoke(capsys):
         assert needle in result.metrics_line
 
 
+def test_serve_batched_smoke(capsys):
+    """The batched scheduler at smoke scale: same guarantees, fewer
+    engine dispatches."""
+    result = run(SMOKE, batching=True)
+    with capsys.disabled():
+        print()
+        print("serve-bench (smoke scale, batched)")
+        print(f"  {result.summary()}")
+    assert result.drops == 0
+    assert result.bit_identical
+    assert result.batched_sessions > 0
+
+
 def test_serve_chaos_smoke(capsys):
     """50 sessions under every injector: contained, degraded, recovered."""
     result = run_chaos_scale(CHAOS)
@@ -79,6 +115,9 @@ def main(argv=None) -> int:
     parser.add_argument("--chaos", action="store_true",
                         help="fault-injection chaos scenario (fails unless the "
                         "fleet recovers with zero unhandled exceptions)")
+    parser.add_argument("--batched", action="store_true",
+                        help="serve with the fleet-batched scheduler; with "
+                        "--json the artefact always carries both runs")
     parser.add_argument("--sessions", type=int, default=None)
     parser.add_argument("--duration", type=float, default=None)
     parser.add_argument("--rate", type=float, default=None)
@@ -94,7 +133,7 @@ def main(argv=None) -> int:
             scale["duration_s"] = args.duration
         if args.rate is not None:
             scale["rate_hz"] = args.rate
-        chaos = run_chaos_scale(scale, seed=args.seed)
+        chaos = run_chaos_scale(dict(scale, batching=args.batched), seed=args.seed)
         print(chaos.summary())
         print(chaos.metrics_line)
         if args.json:
@@ -119,18 +158,35 @@ def main(argv=None) -> int:
     if args.rate is not None:
         scale["rate_hz"] = args.rate
 
-    result = run(scale, seed=args.seed)
-    print(result.summary())
-    print(result.metrics_line)
     if args.json:
-        payload = {"scale": "smoke" if args.smoke else "full", **result.as_dict()}
+        # The artefact is the comparison: same fleet, both schedulers,
+        # wall-clock speedup and batch efficiency on top.
+        payload = {"scale": "smoke" if args.smoke else "full",
+                   **run_comparison(scale, seed=args.seed)}
+        for label in ("sequential", "batched"):
+            part = payload[label]
+            print(f"{label}: {part['session_packets_per_s']:,.0f} "
+                  f"session-packets/s, p50 {part['latency_p50_ms']:.2f} ms, "
+                  f"p99 {part['latency_p99_ms']:.2f} ms")
+        print(f"wall speedup (batched vs sequential): "
+              f"{payload['wall_speedup']:.2f}x, "
+              f"batch efficiency {payload['batch_efficiency']:.2f}")
         Path(args.json).write_text(json.dumps(payload, indent=2))
         print(f"wrote {args.json}")
-    if not result.bit_identical:
+        ok = payload["sequential"]["bit_identical"] and payload["batched"][
+            "bit_identical"]
+        drops = payload["sequential"]["drops"] + payload["batched"]["drops"]
+    else:
+        result = run(scale, seed=args.seed, batching=args.batched)
+        print(result.summary())
+        print(result.metrics_line)
+        ok = result.bit_identical
+        drops = result.drops
+    if not ok:
         print("FAIL: served estimates differ from standalone replay", file=sys.stderr)
         return 1
-    if result.drops > 0:
-        print(f"FAIL: {result.drops} packets shed at default queue depth",
+    if drops > 0:
+        print(f"FAIL: {drops} packets shed at default queue depth",
               file=sys.stderr)
         return 1
     return 0

@@ -1,0 +1,96 @@
+"""Perf baseline gate: fail CI when a bench artefact regresses >2x.
+
+Mirrors the dataflow lint's budget gate (``.github/lint_baseline.json``):
+the repo commits known-good bench artefacts (``BENCH_kernels.json``,
+``BENCH_serve.json`` at the repo root), CI regenerates fresh ones on the
+runner, and this script compares the metrics named in
+``.github/bench_baseline.json`` — a fresh value more than ``max_ratio``
+worse than the committed baseline fails the build.  The generous ratio
+absorbs runner-to-runner noise while still catching order-of-magnitude
+regressions (an accidentally quadratic DP, a de-vectorised sanitiser).
+
+Usage::
+
+    python benchmarks/check_bench_regression.py \
+        --baseline BENCH_kernels.json \
+        --fresh bench-fresh/BENCH_kernels.json \
+        --config .github/bench_baseline.json
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def lookup(payload: dict, path: str) -> float:
+    """Resolve a dotted path (``kernels.batched_dtw.mean_s``) to a float."""
+    node = payload
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(f"metric path {path!r} missing at {part!r}")
+        node = node[part]
+    if not isinstance(node, (int, float)) or isinstance(node, bool):
+        raise TypeError(f"metric path {path!r} is not numeric: {node!r}")
+    return float(node)
+
+
+def check(baseline: dict, fresh: dict, config: dict) -> list[str]:
+    """Compare the configured metrics; returns violation messages."""
+    schema = baseline.get("schema")
+    if fresh.get("schema") != schema:
+        return [
+            f"schema mismatch: baseline {schema!r} vs fresh "
+            f"{fresh.get('schema')!r} — regenerate the committed artefact"
+        ]
+    max_ratio = float(config["max_ratio"])
+    metrics = config["metrics"].get(schema, [])
+    if not metrics:
+        return [f"no metrics configured for schema {schema!r}"]
+    violations = []
+    for metric in metrics:
+        path = metric["path"]
+        direction = metric.get("direction", "lower_is_better")
+        base = lookup(baseline, path)
+        new = lookup(fresh, path)
+        if base <= 0 or new <= 0:
+            continue  # degenerate timings: nothing meaningful to compare
+        if direction == "lower_is_better":
+            ratio = new / base
+        elif direction == "higher_is_better":
+            ratio = base / new
+        else:
+            raise ValueError(f"unknown direction {direction!r} for {path!r}")
+        marker = "FAIL" if ratio > max_ratio else "ok"
+        print(f"  [{marker}] {path}: baseline {base:.6g}, fresh {new:.6g} "
+              f"(x{ratio:.2f} worse-ratio, limit x{max_ratio:.1f})")
+        if ratio > max_ratio:
+            violations.append(
+                f"{path}: fresh {new:.6g} is x{ratio:.2f} worse than "
+                f"baseline {base:.6g} (limit x{max_ratio:.1f})"
+            )
+    return violations
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed bench artefact (known good)")
+    parser.add_argument("--fresh", required=True,
+                        help="artefact regenerated on this runner")
+    parser.add_argument("--config", default=".github/bench_baseline.json")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    fresh = json.loads(Path(args.fresh).read_text())
+    config = json.loads(Path(args.config).read_text())
+
+    print(f"bench regression gate: {args.fresh} vs {args.baseline}")
+    violations = check(baseline, fresh, config)
+    for violation in violations:
+        print(f"FAIL: {violation}", file=sys.stderr)
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.analysis.aliasing import ParamMutationRule, ViewMutationRule
 from repro.analysis.contracts import (
     BareExceptRule,
+    BatchPinRule,
     EmptyWithoutDtypeRule,
     MissingAnnotationRule,
     MutableDefaultRule,
@@ -45,6 +46,7 @@ def default_rules() -> list[Rule]:
         MissingAnnotationRule(),
         BareExceptRule(),
         EmptyWithoutDtypeRule(),
+        BatchPinRule(),
     ]
 
 

@@ -10,6 +10,8 @@ code actually types against (``repro.core``, ``repro.dsp``).
 from __future__ import annotations
 
 import ast
+import re
+from pathlib import Path
 from collections.abc import Iterator
 
 from repro.analysis.engine import Finding, ModuleContext, Rule
@@ -19,6 +21,7 @@ __all__ = [
     "MissingAnnotationRule",
     "BareExceptRule",
     "EmptyWithoutDtypeRule",
+    "BatchPinRule",
 ]
 
 #: Builtin constructors whose results are mutable — calling them in a
@@ -196,3 +199,88 @@ class EmptyWithoutDtypeRule(Rule):
                     f"`{name}` without an explicit dtype; buffer dtypes must "
                     "be pinned (np.float64 / np.complex128)",
                 )
+
+
+class BatchPinRule(Rule):
+    """Every ``run_batch`` implementation must be pinned to its scalar path."""
+
+    id = "VH205"
+    name = "unpinned-run-batch"
+    description = (
+        "`run_batch` implementation without a paired bit-identity test"
+    )
+    rationale = (
+        "The batched execution contract (repro.core.stages) says a stage's "
+        "`run_batch` must be bit-identical to looping `run` — a perf "
+        "overlay, never a second implementation of behaviour. That pin "
+        "only holds if a test asserts it, so any class implementing "
+        "`run_batch` must be named in a test file alongside a bit-identity "
+        "marker ('bit-identical'/'bit_identical'). Without the paired "
+        "test, a drifted batch kernel would silently serve different "
+        "values at fleet scale than sessions get standalone."
+    )
+
+    #: Substrings that mark a test as a bit-identity pin.
+    markers = ("bit-identical", "bit_identical")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        implementors = [
+            (cls, fn)
+            for cls in module.tree.body
+            if isinstance(cls, ast.ClassDef)
+            for fn in cls.body
+            if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and fn.name == "run_batch"
+        ]
+        if not implementors:
+            return
+        tests_root = self._tests_root(module.path)
+        if tests_root is None:
+            # Installed-tree / ad-hoc source: there is no test corpus to
+            # check against, and failing everywhere would make the rule
+            # unrunnable outside a checkout.
+            return
+        corpus = self._test_corpus(tests_root)
+        for cls, fn in implementors:
+            pattern = re.compile(rf"\b{re.escape(cls.name)}\b")
+            pinned = any(
+                pattern.search(text)
+                and any(marker in text for marker in self.markers)
+                for text in corpus
+            )
+            if not pinned:
+                yield self.finding(
+                    module,
+                    fn,
+                    f"`{cls.name}.run_batch` has no paired bit-identity "
+                    f"test: no file under {tests_root.name}/ names "
+                    f"`{cls.name}` together with a bit-identity marker "
+                    f"({' / '.join(self.markers)})",
+                )
+
+    @staticmethod
+    def _tests_root(path: Path) -> Path | None:
+        """The checkout's ``tests/`` directory, or None outside one."""
+        for parent in path.resolve().parents:
+            candidate = parent / "tests"
+            if candidate.is_dir():
+                return candidate
+        return None
+
+    @staticmethod
+    def _test_corpus(tests_root: Path) -> list[str]:
+        """Source text of every file in the test tree.
+
+        Test-tree helper stages may pin themselves (the asserting test
+        lives in the same file as the helper); source-tree stages are
+        outside ``tests/`` so they can only be pinned by a real test.
+        """
+        corpus = []
+        for test_path in sorted(tests_root.rglob("*.py")):
+            if "__pycache__" in test_path.parts:
+                continue
+            try:
+                corpus.append(test_path.read_text(encoding="utf-8"))
+            except OSError:
+                continue
+        return corpus

@@ -304,6 +304,7 @@ def cmd_serve_bench(args) -> int:
             budget_s=args.budget / 1000.0,
             queue_depth=args.queue_depth,
             seed=args.seed,
+            batching=args.batched,
         )
         print(chaos.summary())
         print(chaos.metrics_line)
@@ -335,6 +336,8 @@ def cmd_serve_bench(args) -> int:
         queue_depth=args.queue_depth,
         verify_sessions=args.verify,
         seed=args.seed,
+        batching=args.batched,
+        workload_mix=args.workload_mix,
     )
     print(result.summary())
     print(result.metrics_line)
@@ -403,6 +406,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run the fault-injection chaos scenario instead of the "
         "clean-load bench (fails unless the fleet recovers)",
+    )
+    p.add_argument(
+        "--batched",
+        action="store_true",
+        help="serve with the fleet-batched scheduler (stacked stage "
+        "execution; bit-identical to the sequential path)",
+    )
+    p.add_argument(
+        "--workload-mix",
+        action="store_true",
+        help="cycle cabins through the plain/forecast/camera/imu "
+        "workload kinds instead of a homogeneous fleet",
     )
     p.set_defaults(func=cmd_serve_bench)
 

@@ -1,7 +1,11 @@
 """ViHOT core: profiling, position-orientation joint tracking, forecasting."""
 
 from repro.core.config import ViHOTConfig
-from repro.core.sanitize import sanitize_stream, antenna_phase_difference
+from repro.core.sanitize import (
+    sanitize_stream,
+    sanitize_streams,
+    antenna_phase_difference,
+)
 from repro.core.profile import PositionProfile, CsiProfile
 from repro.core.profiling import build_position_profile, ProfileBuilder
 from repro.core.position import PositionEstimator, detect_stable_phase
@@ -14,7 +18,7 @@ from repro.core.stages import (
     EstimationTrace,
     StageTrace,
 )
-from repro.core.engine import EstimationEngine, SessionState
+from repro.core.engine import BatchItem, BatchResult, EstimationEngine, SessionState
 from repro.core.tracker import ViHOTTracker, TrackingResult
 from repro.core.online import OnlineTracker, SampleRing
 from repro.core.fusion import FusedTracker, FusionConfig
@@ -30,6 +34,7 @@ from repro.core.quality import ProfileQuality, assess_profile
 __all__ = [
     "ViHOTConfig",
     "sanitize_stream",
+    "sanitize_streams",
     "antenna_phase_difference",
     "PositionProfile",
     "CsiProfile",
@@ -45,6 +50,8 @@ __all__ = [
     "EstimationContext",
     "EstimationTrace",
     "StageTrace",
+    "BatchItem",
+    "BatchResult",
     "EstimationEngine",
     "SessionState",
     "ViHOTTracker",

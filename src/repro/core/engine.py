@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from time import perf_counter
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 
 from repro.core.config import ViHOTConfig
 from repro.core.matching import SeriesMatcher
@@ -59,6 +59,38 @@ from repro.core.stages import (
 from repro.core.steering_id import SteeringIdentifier
 from repro.dsp.series import TimeSeries
 from repro.net.link import CsiStream
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One session's inputs to :meth:`EstimationEngine.estimate_batch`.
+
+    Exactly what :meth:`EstimationEngine.estimate_at` takes, bundled so
+    a fleet of sessions can be handed to the engine in one call.
+    """
+
+    phase: TimeSeries
+    imu: TimeSeries | None
+    t: float
+    state: SessionState
+
+
+@dataclass
+class BatchResult:
+    """One session's outcome from :meth:`EstimationEngine.estimate_batch`.
+
+    Attributes:
+        estimate: the estimate produced (``None`` when the chain formed
+            none — same meaning as :meth:`estimate_at` returning None).
+        error: the contained exception when this item's chain raised;
+            mirrors what the sequential path would have raised out of
+            :meth:`estimate_at`, so callers apply the same fault
+            handling either way.  ``estimate`` is always ``None`` when
+            set, and the session state was not advanced.
+    """
+
+    estimate: Estimate | None = None
+    error: Exception | None = None
 
 
 @dataclass
@@ -134,6 +166,13 @@ class EstimationEngine:
     @property
     def profile(self) -> CsiProfile:
         return self._profile
+
+    @property
+    def camera(self) -> CameraLike | None:
+        """The steering-fallback camera, if any.  Engines with the same
+        profile object, equal config and no camera are interchangeable —
+        the batch planner's grouping precondition."""
+        return self._camera
 
     @property
     def stage_names(self) -> tuple[str, ...]:
@@ -235,6 +274,141 @@ class EstimationEngine:
         if estimate is None:
             return None
         return replace(estimate, trace=EstimationTrace(tuple(traces), terminal))
+
+    # ------------------------------------------------------------------
+    # Fleet-batched estimation
+    # ------------------------------------------------------------------
+    def estimate_batch(self, items: Sequence[BatchItem]) -> list[BatchResult]:
+        """Drive many sessions through the chain, one stage wave at a time.
+
+        All contexts currently at the same stage are dispatched together
+        through :meth:`Stage.run_batch`; batch-aware stages (the DTW
+        match) turn the wave into one stacked kernel call, the rest loop
+        per context.  Per-context decisions, stage order and state
+        updates are exactly the sequential path's, so the estimates are
+        bit-identical to calling :meth:`estimate_at` item by item (only
+        trace *timings* differ: a stacked stage's elapsed wall time is
+        split evenly across its wave, and timing is excluded from
+        estimate equality).
+
+        Error containment: a per-context stage exception becomes that
+        item's :attr:`BatchResult.error` without touching its session
+        state — the exception the sequential path would have raised.  A
+        stacked stage call failing maps its error to every context in
+        the wave; that failure is systematic, because a batch-aware
+        stage only ever sees contexts sharing profile, config and query
+        shape (grouping is the serve-layer planner's contract).
+        """
+        n = len(items)
+        results = [BatchResult() for _ in range(n)]
+        ctxs = [
+            EstimationContext(
+                phase=item.phase,
+                imu=item.imu,
+                t=float(item.t),
+                position=item.state.position,
+                default_position=self._default_position,
+                previous=item.state.previous,
+                last_confident_time=item.state.last_confident_time,
+            )
+            for item in items
+        ]
+        traces: list[list[StageTrace]] = [[] for _ in range(n)]
+        terminals = [""] * n
+        estimates: list[Estimate | None] = [None] * n
+        emit_index = len(self._stages) - 1
+        stage_index = [0] * n
+        done = [False] * n
+
+        def finish_hold(i: int) -> None:
+            # Mirror _run_chain's HOLD branch for one context.
+            start = self._wall_clock()
+            try:
+                hold_decision = self._hold.run(ctxs[i])
+            except Exception as exc:
+                results[i].error = exc
+                done[i] = True
+                return
+            elapsed_ms = (self._wall_clock() - start) * 1e3
+            traces[i].append(
+                StageTrace(
+                    self._hold.name,
+                    hold_decision.fired,
+                    elapsed_ms,
+                    hold_decision.detail,
+                )
+            )
+            estimates[i] = hold_decision.estimate
+            terminals[i] = self._hold.name
+            done[i] = True
+
+        def apply(i: int, stage: Stage, si: int, decision: StageDecision) -> None:
+            if decision.action == PASS:
+                stage_index[i] = si + 1
+            elif decision.action == RESOLVE:
+                stage_index[i] = emit_index
+            elif decision.action == HOLD:
+                ctxs[i].hold_reason = stage.name
+                finish_hold(i)
+            else:
+                assert decision.action == EMIT
+                estimates[i] = decision.estimate
+                terminals[i] = stage.name
+                done[i] = True
+
+        # Stage indices only ever move forward (PASS: +1, RESOLVE: jump
+        # to emit), so one sweep over the chain visits every context at
+        # every stage it would have reached sequentially.
+        for si, stage in enumerate(self._stages):
+            wave = [i for i in range(n) if not done[i] and stage_index[i] == si]
+            if not wave:
+                continue
+            if stage.batch_aware and len(wave) > 1:
+                start = self._wall_clock()
+                try:
+                    decisions = stage.run_batch([ctxs[i] for i in wave])
+                except Exception as exc:
+                    for i in wave:
+                        results[i].error = exc
+                        done[i] = True
+                    continue
+                elapsed_ms = (self._wall_clock() - start) * 1e3 / len(wave)
+                for i, decision in zip(wave, decisions):
+                    traces[i].append(
+                        StageTrace(
+                            stage.name, decision.fired, elapsed_ms, decision.detail
+                        )
+                    )
+                    apply(i, stage, si, decision)
+            else:
+                for i in wave:
+                    start = self._wall_clock()
+                    try:
+                        decision = stage.run(ctxs[i])
+                    except Exception as exc:
+                        results[i].error = exc
+                        done[i] = True
+                        continue
+                    elapsed_ms = (self._wall_clock() - start) * 1e3
+                    traces[i].append(
+                        StageTrace(
+                            stage.name, decision.fired, elapsed_ms, decision.detail
+                        )
+                    )
+                    apply(i, stage, si, decision)
+
+        for i, item in enumerate(items):
+            if results[i].error is not None:
+                continue
+            estimate = estimates[i]
+            if estimate is None:
+                continue
+            estimate = replace(
+                estimate, trace=EstimationTrace(tuple(traces[i]), terminals[i])
+            )
+            item.state.observe(estimate)
+            results[i].estimate = estimate
+        return results
 
     # ------------------------------------------------------------------
     # Whole-capture sessions (the batch frontends)

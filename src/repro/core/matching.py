@@ -17,13 +17,14 @@ is non-injective), so ViHOT matches the whole windowed phase series
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Sequence
 import math
 
 import numpy as np
 
 from repro.core.config import ViHOTConfig
 from repro.core.profile import CsiProfile, PositionProfile
-from repro.dsp.dtw import batched_dtw_distance
+from repro.dsp.dtw import batched_dtw_distance, stacked_dtw_distance
 from repro.dsp.phase import wrap_phase
 from repro.dsp.windows import sliding_windows
 
@@ -196,3 +197,179 @@ class SeriesMatcher:
         if best_global.distance < self._config.escape_ratio * best_feasible.distance:
             return best_global
         return best_feasible
+
+    # ------------------------------------------------------------------
+    # Fleet-batched matching
+    # ------------------------------------------------------------------
+    def _match_position_many(
+        self,
+        queries: np.ndarray,
+        position: PositionProfile,
+        position_index: int,
+        centers: list[float | None],
+        tolerances: list[float],
+    ) -> tuple[list[MatchResult | None], list[MatchResult | None]]:
+        """Stacked :meth:`_match_position`: ``S`` same-length queries
+        against one position's profile series in one DTW pass per
+        candidate length.
+
+        ``queries`` has shape ``(S, m)`` (wrapped phases).  Returns the
+        per-query ``(best_global, best_feasible)`` lists.  Bit-identical
+        to looping :meth:`_match_position` because
+        :func:`stacked_dtw_distance` row ``s`` is pinned identical to
+        the per-query :func:`batched_dtw_distance` call and the
+        argmin/feasibility logic is reproduced verbatim.
+        """
+        config = self._config
+        phases = position.phases
+        n_stack, m = queries.shape
+        decimation = max(1, -(-m // config.max_query_samples))
+        decimated = queries[:, ::decimation]
+        best_globals: list[MatchResult | None] = [None] * n_stack
+        best_feasibles: list[MatchResult | None] = [None] * n_stack
+        for length in config.candidate_lengths():
+            if length > len(phases):
+                continue
+            candidates = sliding_windows(phases, int(length), config.profile_stride)
+            ends = (
+                np.arange(len(candidates)) * config.profile_stride + int(length) - 1
+            )
+            distances = stacked_dtw_distance(
+                decimated,
+                candidates[:, ::decimation],
+                band=config.dtw_band,
+                metric="circular",
+            )
+            for s in range(n_stack):
+                row = distances[s]
+
+                def make_result(k: int) -> MatchResult:
+                    end = int(ends[k])
+                    return MatchResult(
+                        orientation=float(position.orientations[end]),
+                        distance=float(row[k]),
+                        position_index=position_index,
+                        start_index=end - int(length) + 1,
+                        length=int(length),
+                        speed_ratio=float(length) / m,
+                    )
+
+                k = int(np.argmin(row))
+                best_global = best_globals[s]
+                if best_global is None or row[k] < best_global.distance:
+                    best_globals[s] = make_result(k)
+                center = centers[s]
+                if center is not None:
+                    feasible = (
+                        np.abs(position.orientations[ends] - center)
+                        <= tolerances[s]
+                    )
+                    if np.any(feasible):
+                        masked = np.where(feasible, row, np.inf)
+                        k = int(np.argmin(masked))
+                        best_feasible = best_feasibles[s]
+                        if best_feasible is None or masked[k] < best_feasible.distance:
+                            best_feasibles[s] = make_result(k)
+        return best_globals, best_feasibles
+
+    def match_many(
+        self,
+        queries: Sequence[np.ndarray],
+        position_indices: Sequence[int],
+        centers: Sequence[float | None] | None = None,
+        tolerances: Sequence[float] | None = None,
+    ) -> list[MatchResult]:
+        """Batched :meth:`match` over many sessions' windows (Alg. 1 × S).
+
+        Queries are grouped by ``(length, position_index)``; each
+        group's DTW work runs as one stacked anti-diagonal DP per
+        candidate length (:func:`stacked_dtw_distance`), which is the
+        fleet-batching win — the selection logic stays per query, so
+        entry ``i`` is bit-identical to
+        ``match(queries[i], position_indices[i], centers[i],
+        tolerances[i])``.
+
+        Validation errors raise exactly as :meth:`match` would.  Within
+        a group an exception is systematic (all members share the
+        profile, config and query shape), so callers may attribute a
+        raised error to every query of the batch.
+
+        :domain queries: rad
+        :domain centers: rad
+        :domain tolerances: rad
+        """
+        n = len(queries)
+        if centers is None:
+            centers = [None] * n
+        if tolerances is None:
+            tolerances = [math.inf] * n
+        if not (len(position_indices) == len(centers) == len(tolerances) == n):
+            raise ValueError(
+                "queries, position_indices, centers and tolerances must "
+                "have equal lengths"
+            )
+        wrapped: list[np.ndarray] = []
+        for query in queries:
+            q = wrap_phase(np.asarray(query, dtype=np.float64))
+            if q.ndim != 1 or len(q) < 2:
+                raise ValueError("query must be a 1-D array with >= 2 samples")
+            wrapped.append(q)
+        for position_index in position_indices:
+            if not 0 <= position_index < len(self._profile):
+                raise ValueError(
+                    f"position_index {position_index} out of range "
+                    f"[0, {len(self._profile)})"
+                )
+        results: list[MatchResult | None] = [None] * n
+        groups: dict[tuple[int, int], list[int]] = {}
+        for i in range(n):
+            key = (len(wrapped[i]), int(position_indices[i]))
+            groups.setdefault(key, []).append(i)
+        for (_, position_index), members in groups.items():
+            stacked = np.stack([wrapped[i] for i in members])
+            lo = max(0, position_index - self._config.neighbor_positions)
+            hi = min(
+                len(self._profile),
+                position_index + self._config.neighbor_positions + 1,
+            )
+            group_centers = [centers[i] for i in members]
+            group_tolerances = [float(tolerances[i]) for i in members]
+            globals_per: list[list[MatchResult]] = [[] for _ in members]
+            feasibles_per: list[list[MatchResult]] = [[] for _ in members]
+            for pos in range(lo, hi):
+                bg, bf = self._match_position_many(
+                    stacked,
+                    self._profile[pos],
+                    pos,
+                    group_centers,
+                    group_tolerances,
+                )
+                for s in range(len(members)):
+                    if bg[s] is not None:
+                        globals_per[s].append(bg[s])
+                    if bf[s] is not None:
+                        feasibles_per[s].append(bf[s])
+            for s, i in enumerate(members):
+                if not globals_per[s]:
+                    raise ValueError(
+                        "every profiled position is shorter than every "
+                        "candidate match length"
+                    )
+                best_global = min(globals_per[s], key=lambda r: r.distance)
+                if not feasibles_per[s]:
+                    results[i] = best_global
+                    continue
+                best_feasible = min(feasibles_per[s], key=lambda r: r.distance)
+                if (
+                    best_global.distance
+                    < self._config.escape_ratio * best_feasible.distance
+                ):
+                    results[i] = best_global
+                else:
+                    results[i] = best_feasible
+        final: list[MatchResult] = []
+        for i, result in enumerate(results):
+            if result is None:  # pragma: no cover - every index is grouped
+                raise AssertionError(f"query {i} was never matched")
+            final.append(result)
+        return final

@@ -28,7 +28,7 @@ from collections.abc import Iterator
 import numpy as np
 
 from repro.core.config import ViHOTConfig
-from repro.core.engine import EstimationEngine, SessionState
+from repro.core.engine import BatchItem, EstimationEngine, SessionState
 from repro.core.profile import CsiProfile
 from repro.core.sanitize import antenna_phase_difference
 from repro.core.stages import CameraLike, Estimate
@@ -234,11 +234,15 @@ class OnlineTracker:
         warmup = max(self._config.window_s, self._config.stable_window_s)
         return self.buffered_seconds >= warmup
 
-    def estimate(self, t: float | None = None) -> Estimate | None:
-        """Estimate the head orientation at ``t`` (default: latest sample).
+    def estimation_inputs(self, t: float | None = None) -> BatchItem | None:
+        """The exact engine inputs :meth:`estimate` would use at ``t``.
 
-        Returns ``None`` until :meth:`ready` (Alg. 1's setup time) or if
-        no estimate can be formed at ``t``.
+        ``None`` under the same early-out conditions (no samples, not
+        warmed up).  The serving layer's batch planner collects these
+        from many trackers and hands them to one shared engine's
+        :meth:`~repro.core.engine.EstimationEngine.estimate_batch` —
+        the item carries this tracker's live session state, so the
+        batched call advances it exactly as :meth:`estimate` would.
         """
         if len(self._phase) == 0:
             return None
@@ -247,9 +251,18 @@ class OnlineTracker:
         if not self.ready():
             return None
         imu = self._imu.series() if len(self._imu) else None
-        return self._engine.estimate_at(
-            self._phase.series(), imu, float(t), self._state
-        )
+        return BatchItem(self._phase.series(), imu, float(t), self._state)
+
+    def estimate(self, t: float | None = None) -> Estimate | None:
+        """Estimate the head orientation at ``t`` (default: latest sample).
+
+        Returns ``None`` until :meth:`ready` (Alg. 1's setup time) or if
+        no estimate can be formed at ``t``.
+        """
+        item = self.estimation_inputs(t)
+        if item is None:
+            return None
+        return self._engine.estimate_at(item.phase, item.imu, item.t, item.state)
 
     # ------------------------------------------------------------------
     # Convenience

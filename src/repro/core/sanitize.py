@@ -73,3 +73,58 @@ def sanitize_stream(
     if unwrap and len(phases) > 1:
         phases = np.unwrap(phases)
     return TimeSeries(times, phases)
+
+
+def sanitize_streams(
+    times: np.ndarray,
+    csi: np.ndarray,
+    rx_a: int = 0,
+    rx_b: int = 1,
+    unwrap: bool = True,
+) -> list[TimeSeries]:
+    """Batched :func:`sanitize_stream` over a stack of sessions.
+
+    The fleet-serving hot path runs the same sanitisation on ``S``
+    near-identical captures; stacking them turns ``S`` python dispatches
+    into one numpy pass over a ``session x time x subcarrier`` tensor.
+
+    Args:
+        times: timestamps, shape ``(T,)`` (shared by every session) or
+            ``(S, T)`` (one clock per session).
+        csi: CSI matrices, shape ``(S, T, n_rx, F)``.
+
+    Returns:
+        One :class:`TimeSeries` per session, bit-identical to calling
+        :func:`sanitize_stream` on each session alone: the subcarrier
+        average reduces per packet row and the unwrap accumulates per
+        session row, so stacking changes neither reduction order.
+    """
+    csi = np.asarray(csi)
+    if csi.ndim != 4:
+        raise ValueError(f"csi must have shape (S, T, n_rx, F), got {csi.shape}")
+    n_sessions, n_packets = csi.shape[0], csi.shape[1]
+    times = np.asarray(times, dtype=np.float64)
+    if times.ndim == 1:
+        stamped = np.broadcast_to(times, (n_sessions, len(times)))
+    elif times.ndim == 2:
+        stamped = times
+    else:
+        raise ValueError(f"times must have shape (T,) or (S, T), got {times.shape}")
+    if stamped.shape != (n_sessions, n_packets):
+        raise ValueError(
+            f"got timestamps of shape {times.shape} for {n_sessions} sessions "
+            f"of {n_packets} CSI snapshots"
+        )
+    if n_sessions == 0:
+        return []
+    # One flattened (S*T, n_rx, F) pass: the subcarrier reduction is
+    # per-row, so this is the scalar kernel's arithmetic exactly.
+    flat = antenna_phase_difference(
+        csi.reshape(n_sessions * n_packets, csi.shape[2], csi.shape[3]), rx_a, rx_b
+    )
+    phases = flat.reshape(n_sessions, n_packets)
+    if unwrap and n_packets > 1:
+        phases = np.unwrap(phases, axis=1)
+    return [
+        TimeSeries(np.array(stamped[s]), phases[s]) for s in range(n_sessions)
+    ]

@@ -15,6 +15,14 @@ and returns a :class:`StageDecision` that either passes through to the
 next stage, emits a final estimate, diverts to the hold path (re-issue
 the previous estimate as ``"held"``), or resolves straight to the emit
 stage.  :class:`repro.core.engine.EstimationEngine` owns the ordering.
+
+Batch contract: :meth:`Stage.run_batch` consumes a list of contexts (one
+per serving session) and returns one decision per context.  The default
+is the per-context loop — bit-identical to sequential execution by
+construction.  A stage that can genuinely stack the work across sessions
+(the DTW match) overrides it and sets ``batch_aware = True``; any such
+override must stay bit-identical to looping :meth:`run`, pinned by a
+paired test (``vihot lint`` VH205).
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from dataclasses import dataclass, field
-from collections.abc import Mapping
+from collections.abc import Mapping, Sequence
 from typing import Protocol
 
 from repro.core.config import ViHOTConfig
@@ -202,8 +210,25 @@ class Stage:
 
     name = "stage"
 
+    #: True when :meth:`run_batch` is a genuinely stacked implementation
+    #: rather than the default per-context loop.  The engine uses this to
+    #: decide whether a batched dispatch buys anything (and how to
+    #: contain a batch-call failure).
+    batch_aware = False
+
     def run(self, ctx: EstimationContext) -> StageDecision:
         raise NotImplementedError
+
+    def run_batch(
+        self, contexts: Sequence[EstimationContext]
+    ) -> list[StageDecision]:
+        """Run the stage for many sessions' contexts in one call.
+
+        Default: the per-context loop, bit-identical to sequential
+        execution by construction.  Batch-aware overrides must preserve
+        that bit-identity (pinned by a paired test, VH205).
+        """
+        return [self.run(ctx) for ctx in contexts]
 
 
 class PositionStage(Stage):
@@ -345,12 +370,22 @@ class MatchStage(Stage):
     """
 
     name = "match"
+    batch_aware = True
 
     def __init__(self, matcher: SeriesMatcher, config: ViHOTConfig) -> None:
         self._matcher = matcher
         self._config = config
 
-    def run(self, ctx: EstimationContext) -> StageDecision:
+    def _prepare(
+        self, ctx: EstimationContext
+    ) -> StageDecision | tuple[np.ndarray, float | None, float]:
+        """The pre-match work: window, resample, continuity tolerance.
+
+        Returns an early hold decision when no usable window exists,
+        else the matcher inputs ``(query, center, tolerance)``.  Shared
+        verbatim by :meth:`run` and :meth:`run_batch` so the batched
+        path cannot drift from the sequential reference.
+        """
         config = self._config
         t = ctx.t
         window = ctx.phase.slice(t - config.window_s, t)
@@ -371,7 +406,14 @@ class MatchStage(Stage):
             dt = max(t - since, 0.0)
             center = ctx.previous.orientation
             tolerance = config.max_head_rate * dt + config.continuity_margin
-        match = self._matcher.match(query, ctx.position_index, center, tolerance)
+        return query, center, tolerance
+
+    def _decide(
+        self,
+        ctx: EstimationContext,
+        match: MatchResult | None,
+        tolerance: float,
+    ) -> StageDecision:
         if match is None:
             return StageDecision.hold(fired=False, tolerance_rad=tolerance)
         ctx.match = match
@@ -383,6 +425,50 @@ class MatchStage(Stage):
             length=match.length,
             speed_ratio=match.speed_ratio,
         )
+
+    def run(self, ctx: EstimationContext) -> StageDecision:
+        prepared = self._prepare(ctx)
+        if isinstance(prepared, StageDecision):
+            return prepared
+        query, center, tolerance = prepared
+        match = self._matcher.match(query, ctx.position_index, center, tolerance)
+        return self._decide(ctx, match, tolerance)
+
+    def run_batch(
+        self, contexts: Sequence[EstimationContext]
+    ) -> list[StageDecision]:
+        """All sessions' matches in one stacked DTW pass.
+
+        Contexts with no usable window hold exactly as in :meth:`run`;
+        the rest go through :meth:`SeriesMatcher.match_many`, which
+        stacks same-shape queries into one anti-diagonal DP per
+        candidate length.  Bit-identical to looping :meth:`run` (pinned
+        by ``tests/core/test_engine_batching.py``).
+        """
+        decisions: list[StageDecision | None] = [None] * len(contexts)
+        slots: list[int] = []
+        queries: list[np.ndarray] = []
+        positions: list[int] = []
+        centers: list[float | None] = []
+        tolerances: list[float] = []
+        for i, ctx in enumerate(contexts):
+            prepared = self._prepare(ctx)
+            if isinstance(prepared, StageDecision):
+                decisions[i] = prepared
+                continue
+            query, center, tolerance = prepared
+            slots.append(i)
+            queries.append(query)
+            positions.append(ctx.position_index)
+            centers.append(center)
+            tolerances.append(tolerance)
+        if slots:
+            matches = self._matcher.match_many(
+                queries, positions, centers, tolerances
+            )
+            for slot, match, tolerance in zip(slots, matches, tolerances):
+                decisions[slot] = self._decide(contexts[slot], match, tolerance)
+        return [d for d in decisions if d is not None]
 
 
 class ForecastStage(Stage):

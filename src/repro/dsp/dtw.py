@@ -18,6 +18,19 @@ candidate segment of the CSI profile, for a range of candidate lengths
     faithful Algorithm 1 (hundreds of candidate offsets per length)
     tractable in pure numpy.
 
+``stacked_dtw_distance``
+    The multi-query form: ``S`` queries, each against its own candidate
+    bank (or one bank shared by all queries), evaluated as a single
+    ``(S, B)`` anti-diagonal DP.  This is the fleet-batching kernel: when
+    ``S`` serving sessions run the same match stage on same-shape windows,
+    one stacked call replaces ``S`` python-level DP loops.  Bit-identical
+    to looping :func:`batched_dtw_distance` over the sessions (the DP is
+    elementwise over the stacked axes).
+
+The DP keeps only the two live anti-diagonals instead of the full
+``(B, m+1, L+1)`` table, so memory scales with the batch times the query
+length rather than their product with the candidate length.
+
 Distances are normalised by ``len(a) + len(b)`` so that candidates of
 different lengths compete fairly in the length search.
 
@@ -131,6 +144,55 @@ def dtw_path(
     return float(dp[m, n] / (m + n)), path
 
 
+def _band_mask_cost(cost: np.ndarray, m: int, length: int, band: int) -> np.ndarray:
+    """Apply the Sakoe-Chiba band to the last two ``(m, L)`` axes of ``cost``."""
+    if band < 0:
+        raise ValueError(f"band must be non-negative, got {band}")
+    i_idx = np.arange(m)[:, None]
+    j_idx = np.arange(length)[None, :]
+    # Rescale the diagonal for unequal lengths before applying the band.
+    off_diag = np.abs(i_idx * (length / m) - j_idx)
+    return np.where(off_diag <= band, cost, _INF)
+
+
+def _antidiagonal_dp(cost: np.ndarray) -> np.ndarray:
+    """Total alignment cost ``dp[m, L]`` over the last two axes of ``cost``.
+
+    ``cost`` has shape ``(..., m, L)``; leading axes are independent DP
+    problems evaluated elementwise.  Anti-diagonal ``k`` of the classic
+    ``(m+1, L+1)`` table depends only on diagonals ``k-1`` and ``k-2``, so
+    just the two live diagonals are kept (``(..., m+1)`` each) instead of
+    the full table; the python-level loop runs ``m + L - 1`` times and
+    every min/add is vectorised over all leading axes and the whole
+    diagonal at once.
+    """
+    m, length = cost.shape[-2], cost.shape[-1]
+    lead = cost.shape[:-2]
+    # Diagonal k stored indexed by i (j = k - i); cells off the diagonal
+    # or outside the table stay infeasible, exactly like the full table.
+    prev2 = np.full(lead + (m + 1,), _INF)  # diagonal k-2
+    prev = np.full(lead + (m + 1,), _INF)  # diagonal k-1
+    cur = np.full(lead + (m + 1,), _INF)  # diagonal k (reused)
+    prev2[..., 0] = 0.0  # dp[0, 0]
+    for k in range(2, m + length + 1):
+        cur.fill(_INF)
+        i_lo = max(1, k - length)
+        i_hi = min(m, k - 1)
+        if i_lo <= i_hi:
+            i_arr = np.arange(i_lo, i_hi + 1)
+            j_arr = k - i_arr
+            step_cost = cost[..., i_arr - 1, j_arr - 1]
+            # Same operand order as the full-table DP:
+            # min(dp[i-1, j], min(dp[i, j-1], dp[i-1, j-1])).
+            best = np.minimum(
+                prev[..., i_arr - 1],
+                np.minimum(prev[..., i_arr], prev2[..., i_arr - 1]),
+            )
+            cur[..., i_arr] = step_cost + best
+        prev2, prev, cur = prev, cur, prev2
+    return np.asarray(prev[..., m])
+
+
 def batched_dtw_distance(
     query: np.ndarray,
     candidates: np.ndarray,
@@ -141,9 +203,10 @@ def batched_dtw_distance(
 
     ``query`` has shape ``(m,)``; ``candidates`` has shape ``(B, L)``.
     Returns shape ``(B,)``.  The DP table is evaluated along anti-diagonals
-    so the per-cell min/add work is vectorised over all ``B`` candidates
-    and all cells of the diagonal at once; the python-level loop runs only
-    ``m + L - 1`` times.
+    (two live diagonals, see :func:`_antidiagonal_dp`) so the per-cell
+    min/add work is vectorised over all ``B`` candidates and all cells of
+    the diagonal at once; the python-level loop runs only ``m + L - 1``
+    times.
     """
     query = _as_1d(query, "query")
     candidates = np.asarray(candidates, dtype=np.float64)
@@ -158,26 +221,59 @@ def batched_dtw_distance(
 
     cost = _pointwise_cost(query[None, :, None], candidates[:, None, :], metric)
     if band is not None:
-        if band < 0:
-            raise ValueError(f"band must be non-negative, got {band}")
-        i_idx = np.arange(m)[:, None]
-        j_idx = np.arange(length)[None, :]
-        off_diag = np.abs(i_idx * (length / m) - j_idx)
-        cost = np.where(off_diag[None] <= band, cost, _INF)
+        cost = _band_mask_cost(cost, m, length, band)
+    return np.asarray(_antidiagonal_dp(cost) / (m + length))
 
-    dp = np.full((n_batch, m + 1, length + 1), _INF)
-    dp[:, 0, 0] = 0.0
-    for k in range(2, m + length + 1):
-        i_lo = max(1, k - length)
-        i_hi = min(m, k - 1)
-        if i_lo > i_hi:
-            continue
-        i_arr = np.arange(i_lo, i_hi + 1)
-        j_arr = k - i_arr
-        step_cost = cost[:, i_arr - 1, j_arr - 1]
-        best = np.minimum(
-            dp[:, i_arr - 1, j_arr],
-            np.minimum(dp[:, i_arr, j_arr - 1], dp[:, i_arr - 1, j_arr - 1]),
+
+def stacked_dtw_distance(
+    queries: np.ndarray,
+    candidates: np.ndarray,
+    band: int | None = None,
+    metric: str = "abs",
+) -> np.ndarray:
+    """Normalised DTW distances for a stack of queries in one DP.
+
+    The multi-query (fleet-batched) form of :func:`batched_dtw_distance`:
+    ``queries`` has shape ``(S, m)`` — one query per serving session —
+    and ``candidates`` either ``(S, B, L)`` (a candidate bank per query)
+    or ``(B, L)`` (one bank shared by every query, the common case when
+    the sessions match against the same cached profile).  Returns shape
+    ``(S, B)``: row ``s`` is bit-identical to
+    ``batched_dtw_distance(queries[s], candidates[s], band, metric)``
+    because the anti-diagonal DP is elementwise over the stacked axes.
+
+    The cost tensor is ``(S, B, m, L)`` floats; callers stacking very
+    large banks should chunk along ``S`` if memory is a concern.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    if queries.ndim != 2 or queries.shape[1] == 0:
+        raise ValueError(
+            f"queries must have shape (S, m) with m > 0, got {queries.shape}"
         )
-        dp[:, i_arr, j_arr] = step_cost + best
-    return dp[:, m, length] / (m + length)
+    candidates = np.asarray(candidates, dtype=np.float64)
+    n_stack, m = queries.shape
+    if candidates.ndim == 2:
+        banks = candidates[None, :, :]
+    elif candidates.ndim == 3:
+        if candidates.shape[0] != n_stack:
+            raise ValueError(
+                f"per-query banks need leading size {n_stack}, "
+                f"got {candidates.shape}"
+            )
+        banks = candidates
+    else:
+        raise ValueError(
+            f"candidates must have shape (B, L) or (S, B, L), got {candidates.shape}"
+        )
+    if banks.shape[-1] == 0:
+        raise ValueError(f"candidates must have L > 0, got {candidates.shape}")
+    n_batch, length = banks.shape[-2], banks.shape[-1]
+    if n_stack == 0 or n_batch == 0:
+        return np.zeros((n_stack, n_batch))
+
+    cost = _pointwise_cost(
+        queries[:, None, :, None], banks[:, :, None, :], metric
+    )
+    if band is not None:
+        cost = _band_mask_cost(cost, m, length, band)
+    return np.asarray(_antidiagonal_dp(cost) / (m + length))

@@ -21,9 +21,16 @@ tracking behaviour: a session's estimates are bit-identical to a
 standalone ``OnlineTracker`` fed the same packets.
 """
 
+from repro.serve.batch import BatchedScheduler, BatchGroup, BatchPlanner
 from repro.serve.chaos import ChaosResult, run_chaos
 from repro.serve.ingest import IngestBatch, IngestQueue, IngestRecord
-from repro.serve.loadgen import LoadResult, SyntheticCabin, run_load
+from repro.serve.loadgen import (
+    WORKLOAD_KINDS,
+    LoadResult,
+    SyntheticCabin,
+    SyntheticCamera,
+    run_load,
+)
 from repro.serve.manager import (
     ManagerTickReport,
     ProfileCache,
@@ -66,6 +73,9 @@ __all__ = [
     "IngestBatch",
     "IngestRecord",
     "RoundRobinScheduler",
+    "BatchedScheduler",
+    "BatchPlanner",
+    "BatchGroup",
     "TickReport",
     "ServedEstimate",
     "MetricsRegistry",
@@ -75,6 +85,8 @@ __all__ = [
     "run_load",
     "LoadResult",
     "SyntheticCabin",
+    "SyntheticCamera",
+    "WORKLOAD_KINDS",
     "run_chaos",
     "ChaosResult",
     "HealthPolicy",

@@ -101,6 +101,7 @@ def run_chaos(
     buffer_s: float = 6.0,
     seed: int = 0,
     plan: FaultPlan | None = None,
+    batching: bool = False,
 ) -> ChaosResult:
     """Drive a synthetic fleet through a fault storm, then let it heal.
 
@@ -113,6 +114,10 @@ def run_chaos(
     Every ``ingest`` and ``tick`` call is wrapped: anything that escapes
     the serving layer's own containment is counted in ``unhandled``
     (the chaos assertion is that the count stays zero).
+
+    ``batching`` runs the storm under the fleet-batched scheduler:
+    degraded sessions must drop to the sequential fallback path and the
+    containment guarantees must hold unchanged.
     """
     if num_sessions < 1:
         raise ValueError("num_sessions must be >= 1")
@@ -131,6 +136,7 @@ def run_chaos(
         stride_s=stride_s,
         idle_timeout_s=10 * duration_s + 60.0,  # no idling mid-run
         buffer_s=buffer_s,
+        batching=batching,
     )
     cabins = [
         SyntheticCabin(f"cabin-{k:04d}", seed=seed * 10_000 + k, duration_s=duration_s,

@@ -19,7 +19,7 @@ the same packets and polled at the same instants.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -37,6 +37,13 @@ N_SUBCARRIERS = 30
 #: The fingerprint all synthetic cabins share — one profiling pass
 #: serves the whole fleet through the manager's profile cache.
 SYNTHETIC_FINGERPRINT = "synthetic-cabin-v1"
+
+#: The mixed-fleet workload kinds, cycled per cabin index when
+#: ``run_load(workload_mix=True)``:
+#: ``plain`` (CSI only), ``forecast`` (nonzero horizon — its own config,
+#: so its own batch group), ``camera`` (IMU + camera steering fallback —
+#: excluded from batches), ``imu`` (IMU without camera — steering holds).
+WORKLOAD_KINDS = ("plain", "forecast", "camera", "imu")
 
 
 def synthetic_profile(num_positions: int = 4, seed: int = 100) -> CsiProfile:
@@ -66,6 +73,7 @@ class SyntheticCabin:
     seed: int
     duration_s: float
     rate_hz: float = 200.0
+    imu_rate_hz: float = 20.0
 
     def __post_init__(self) -> None:
         rng = np.random.default_rng(self.seed)
@@ -75,6 +83,17 @@ class SyntheticCabin:
         self._sweep = amplitude * np.sin(
             2.0 * np.pi * freq * self.times
         ) + rng.normal(0, 0.01, len(self.times))
+        # A deterministic gyro track: quiet, except one mid-run steering
+        # burst well above the 0.06 rad/s identification threshold so
+        # IMU-carrying workloads actually exercise the steering stage.
+        imu_rng = np.random.default_rng(self.seed + 1)
+        self.imu_times = np.arange(0.0, self.duration_s, 1.0 / self.imu_rate_hz)
+        burst_start = self.duration_s * (0.35 + 0.1 * imu_rng.random())
+        burst_stop = burst_start + 0.2 * self.duration_s
+        in_burst = (self.imu_times >= burst_start) & (self.imu_times < burst_stop)
+        self.imu_rates = np.where(in_burst, 0.3, 0.0) + imu_rng.normal(
+            0, 0.005, len(self.imu_times)
+        )
 
     def __len__(self) -> int:
         return len(self.times)
@@ -86,6 +105,18 @@ class SyntheticCabin:
         csi[0, :] = np.exp(1j * self._sweep[k])
         csi[1, :] = 1.0
         return csi
+
+
+@dataclass(frozen=True)
+class SyntheticCamera:
+    """Deterministic camera stub: head yaw as a pure function of time,
+    so a served session and its standalone replay see the same fallback
+    values."""
+
+    seed: int
+
+    def estimate_at(self, t: float) -> float:
+        return float(0.3 * np.sin(2.0 * np.pi * 0.25 * t + (self.seed % 7)))
 
 
 @dataclass(frozen=True)
@@ -103,9 +134,20 @@ class LoadResult:
     session_packets_per_s: float  # sessions x packets/s, the headline
     latency_p50_ms: float
     latency_p90_ms: float
+    latency_p99_ms: float
     verified_sessions: int
     bit_identical: bool
     metrics_line: str
+    batching: bool = False
+    batched_sessions: int = 0  # serving records produced by stacked calls
+    fallback_sessions: int = 0  # serving records on the sequential path
+    #: Per-captured-session poll log ``[(polled_t, estimate), ...]`` for
+    #: the first ``capture_sessions`` cabins — lets a caller compare two
+    #: runs (batched vs sequential) estimate-for-estimate.  Excluded
+    #: from :meth:`as_dict`: it is test plumbing, not a measurement.
+    captured: dict[str, list[tuple[float, Estimate | None]]] = field(
+        default_factory=dict
+    )
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -120,8 +162,12 @@ class LoadResult:
             "session_packets_per_s": self.session_packets_per_s,
             "latency_p50_ms": self.latency_p50_ms,
             "latency_p90_ms": self.latency_p90_ms,
+            "latency_p99_ms": self.latency_p99_ms,
             "verified_sessions": self.verified_sessions,
             "bit_identical": self.bit_identical,
+            "batching": self.batching,
+            "batched_sessions": self.batched_sessions,
+            "fallback_sessions": self.fallback_sessions,
             "metrics": self.metrics_line,
         }
 
@@ -162,20 +208,40 @@ def estimates_identical(a: Estimate | None, b: Estimate | None) -> bool:
     )
 
 
+def _cabin_kind(index: int, workload_mix: bool) -> str:
+    """The workload kind cabin ``index`` runs under."""
+    return WORKLOAD_KINDS[index % len(WORKLOAD_KINDS)] if workload_mix else "plain"
+
+
 def _replay_standalone(
     cabin: SyntheticCabin,
     profile: CsiProfile,
     config: ViHOTConfig,
     buffer_s: float,
     estimate_times: list[float],
+    camera: SyntheticCamera | None = None,
+    with_imu: bool = False,
 ) -> list[Estimate | None]:
     """Feed a fresh standalone tracker the cabin's packets, polling at
-    exactly the instants the manager's scheduler polled."""
-    tracker = OnlineTracker(profile, config, buffer_s=buffer_s)
+    exactly the instants the manager's scheduler polled.
+
+    IMU samples (when the cabin's workload carries them) are pushed
+    ahead of each CSI packet, mirroring :func:`run_load`'s loop: both
+    paths leave the tracker's IMU ring holding exactly the readings
+    stamped at or before the current stream time when a poll lands.
+    """
+    tracker = OnlineTracker(profile, config, camera=camera, buffer_s=buffer_s)
     produced: list[Estimate | None] = []
     poll = 0
+    imu_k = 0
     for k in range(len(cabin)):
         t = float(cabin.times[k])
+        if with_imu:
+            while imu_k < len(cabin.imu_times) and cabin.imu_times[imu_k] <= t:
+                tracker.push_imu(
+                    float(cabin.imu_times[imu_k]), float(cabin.imu_rates[imu_k])
+                )
+                imu_k += 1
         tracker.push_csi(t, cabin.csi_at(k))
         while poll < len(estimate_times) and estimate_times[poll] <= t + 1e-12:
             produced.append(tracker.estimate(estimate_times[poll]))
@@ -196,6 +262,9 @@ def run_load(
     buffer_s: float = 6.0,
     seed: int = 0,
     plan: FaultPlan | None = None,
+    batching: bool = False,
+    workload_mix: bool = False,
+    capture_sessions: int = 0,
 ) -> LoadResult:
     """Drive ``num_sessions`` synthetic cabins through one manager.
 
@@ -211,6 +280,15 @@ def run_load(
     the pristine cabins by construction; with ``plan`` empty or ``None``
     the code path is identical to before the parameter existed, so
     fault-free runs stay bit-identical.
+
+    ``batching`` switches the manager to the fleet-batched scheduler
+    (:class:`~repro.serve.batch.BatchedScheduler`) — a performance
+    toggle that must not change a single served value.
+    ``workload_mix`` cycles cabins through :data:`WORKLOAD_KINDS` so the
+    fleet exercises every batch-planner path at once.  The first
+    ``capture_sessions`` cabins get their full ``(polled_t, estimate)``
+    poll logs recorded in :attr:`LoadResult.captured` for cross-run
+    comparison.
     """
     if num_sessions < 1:
         raise ValueError("num_sessions must be >= 1")
@@ -226,17 +304,34 @@ def run_load(
         stride_s=stride_s,
         idle_timeout_s=10 * duration_s + 60.0,  # no idling mid-run
         buffer_s=buffer_s,
+        batching=batching,
     )
     cabins = [
         SyntheticCabin(f"cabin-{k:04d}", seed=seed * 10_000 + k, duration_s=duration_s,
                        rate_hz=rate_hz)
         for k in range(num_sessions)
     ]
-    for cabin in cabins:
+    kinds = {
+        cabin.cabin_id: _cabin_kind(k, workload_mix)
+        for k, cabin in enumerate(cabins)
+    }
+    cameras: dict[str, SyntheticCamera] = {}
+    configs: dict[str, ViHOTConfig] = {}
+    for k, cabin in enumerate(cabins):
+        kind = kinds[cabin.cabin_id]
+        session_config = (
+            replace(config, horizon_s=0.1) if kind == "forecast" else config
+        )
+        camera = SyntheticCamera(seed=seed * 10_000 + k) if kind == "camera" else None
+        configs[cabin.cabin_id] = session_config
+        if camera is not None:
+            cameras[cabin.cabin_id] = camera
         manager.open_session(
             cabin.cabin_id,
             fingerprint=SYNTHETIC_FINGERPRINT,
             build_profile=lambda: profile,
+            camera=camera,
+            config=session_config if kind == "forecast" else None,
         )
 
     faults: dict[str, StreamFaults] = {}
@@ -244,26 +339,44 @@ def run_load(
         faults = {cabin.cabin_id: plan.bind(cabin.cabin_id) for cabin in cabins}
         verify_sessions = 0  # injected streams diverge from pristine cabins
 
-    # Per-verified-session poll log: the stream times the scheduler
+    # Per-tracked-session poll log: the stream times the scheduler
     # actually polled at (estimates or declines both advance the clock).
+    # Tracked = the verification probes plus any capture requests.
     num_steps = len(cabins[0].times)
+    tracked = max(verify_sessions, capture_sessions)
     servings: dict[str, list[tuple[float, Estimate | None]]] = {
-        cabin.cabin_id: [] for cabin in cabins[:verify_sessions]
+        cabin.cabin_id: [] for cabin in cabins[:tracked]
     }
+    batched_total = 0
+    fallback_total = 0
 
     start = time.perf_counter()
     next_tick = tick_interval_s
 
     def record(report: ManagerTickReport) -> None:
+        nonlocal batched_total, fallback_total
+        batched_total += report.scheduler.batched_sessions
+        fallback_total += report.scheduler.fallback_sessions
         for served in report.scheduler.served:
             if served.session_id in servings:
                 servings[served.session_id].append(
                     (served.polled_t, served.estimate)
                 )
 
+    imu_cursors = {cabin.cabin_id: 0 for cabin in cabins}
     for k in range(num_steps):
         t = float(cabins[0].times[k])
         for cabin in cabins:
+            if kinds[cabin.cabin_id] in ("camera", "imu"):
+                cursor = imu_cursors[cabin.cabin_id]
+                while cursor < len(cabin.imu_times) and cabin.imu_times[cursor] <= t:
+                    manager.ingest_imu(
+                        cabin.cabin_id,
+                        float(cabin.imu_times[cursor]),
+                        float(cabin.imu_rates[cursor]),
+                    )
+                    cursor += 1
+                imu_cursors[cabin.cabin_id] = cursor
             if faults:
                 for ft, fcsi in faults[cabin.cabin_id].process(t, cabin.csi_at(k)):
                     manager.ingest(cabin.cabin_id, ft, fcsi)
@@ -279,8 +392,15 @@ def run_load(
     bit_identical = True
     for cabin in cabins[:verify_sessions]:
         log = servings[cabin.cabin_id]
+        kind = kinds[cabin.cabin_id]
         standalone = _replay_standalone(
-            cabin, profile, config, buffer_s, [t for t, _ in log]
+            cabin,
+            profile,
+            configs[cabin.cabin_id],
+            buffer_s,
+            [t for t, _ in log],
+            camera=cameras.get(cabin.cabin_id),
+            with_imu=kind in ("camera", "imu"),
         )
         served_estimates = [e for _, e in log]
         if len(standalone) != len(served_estimates) or not all(
@@ -305,7 +425,15 @@ def run_load(
         session_packets_per_s=aggregate_rate,
         latency_p50_ms=latency.percentile(50),
         latency_p90_ms=latency.percentile(90),
+        latency_p99_ms=latency.percentile(99),
         verified_sessions=min(verify_sessions, num_sessions),
         bit_identical=bit_identical,
         metrics_line=manager.render_metrics(),
+        batching=batching,
+        batched_sessions=batched_total,
+        fallback_sessions=fallback_total,
+        captured={
+            cabin.cabin_id: servings[cabin.cabin_id]
+            for cabin in cabins[:capture_sessions]
+        },
     )

@@ -39,6 +39,7 @@ from repro.core.config import ViHOTConfig
 from repro.core.diagnostics import StageStats, aggregate_stage_traces
 from repro.core.profile import CsiProfile
 from repro.core.stages import CameraLike, Estimate
+from repro.serve.batch import BatchedScheduler
 from repro.serve.ingest import IngestQueue
 from repro.serve.metrics import MetricsRegistry
 from repro.serve.scheduler import RoundRobinScheduler, TickReport
@@ -156,6 +157,12 @@ class SessionManager:
         clock: injectable wall clock for activity stamps (tests fake it).
         health_policy: fault-containment thresholds applied to every
             session (degrade/quarantine/backoff/probation).
+        batching: serve due estimates through the fleet-batched
+            scheduler (:class:`~repro.serve.batch.BatchedScheduler`) —
+            groups of interchangeable sessions run as one stacked
+            engine call.  Estimate values are bit-identical either way
+            (``tests/serve/test_batching.py``); only throughput and the
+            ``batch_*`` metrics change.
     """
 
     def __init__(
@@ -171,6 +178,7 @@ class SessionManager:
         max_history: int = 256,
         clock: Callable[[], float] = time.monotonic,
         health_policy: HealthPolicy | None = None,
+        batching: bool = False,
     ) -> None:
         self._config = config
         self._stride_s = stride_s
@@ -183,7 +191,12 @@ class SessionManager:
 
         self._sessions: dict[str, TrackedSession] = {}
         self._queue = IngestQueue(queue_depth)
-        self._scheduler = RoundRobinScheduler(budget_s=budget_s)
+        self._batching = batching
+        self._scheduler: RoundRobinScheduler = (
+            BatchedScheduler(budget_s=budget_s)
+            if batching
+            else RoundRobinScheduler(budget_s=budget_s)
+        )
         self._metrics = MetricsRegistry()
         self._profiles = ProfileCache()
         self._idle_since: dict[str, float] = {}
@@ -228,6 +241,18 @@ class SessionManager:
         self._g_quarantined = m.gauge(
             "health_quarantined", "sessions currently quarantined"
         )
+        self._c_batch_groups = m.counter(
+            "batch_groups", "stacked engine calls executed"
+        )
+        self._c_batched = m.counter(
+            "sessions_batched", "sessions served via a stacked engine call"
+        )
+        self._c_fallback = m.counter(
+            "sessions_fallback", "sessions served on the sequential path"
+        )
+        self._h_batch_size = m.histogram(
+            "batch_size", "sessions per stacked engine call"
+        )
 
     # ------------------------------------------------------------------
     # Fleet API
@@ -235,6 +260,11 @@ class SessionManager:
     @property
     def metrics(self) -> MetricsRegistry:
         return self._metrics
+
+    @property
+    def batching(self) -> bool:
+        """Whether estimates are served through the batched scheduler."""
+        return self._batching
 
     @property
     def profile_cache(self) -> ProfileCache:
@@ -269,6 +299,7 @@ class SessionManager:
         fingerprint: str | None = None,
         build_profile: Callable[[], CsiProfile] | None = None,
         camera: CameraLike | None = None,
+        config: ViHOTConfig | None = None,
     ) -> TrackedSession:
         """Admit one session, resolving its profile.
 
@@ -277,6 +308,11 @@ class SessionManager:
         cache hit; a cache miss served by calling ``build_profile``.
         With none of the three the session is admitted ``created`` and
         must get :meth:`TrackedSession.attach_profile` before packets.
+
+        ``config`` overrides the manager-wide tracker config for this
+        session (e.g. a forecasting cabin in a tracking fleet); the
+        batch planner only stacks sessions whose configs are equal, so
+        an override simply lands the session in its own batch group.
         """
         if session_id in self._sessions and (
             self._sessions[session_id].state != EVICTED
@@ -284,7 +320,7 @@ class SessionManager:
             raise ValueError(f"session {session_id!r} already open")
         session = TrackedSession(
             session_id,
-            self._config,
+            config if config is not None else self._config,
             camera=camera,
             buffer_s=self._buffer_s,
             stride_s=self._stride_s,
@@ -414,6 +450,11 @@ class SessionManager:
                 self._h_lateness.observe(served.lateness_s * 1e3)
         self._c_deferrals.inc(len(report.deferred))
         self._c_misses.inc(report.deadline_misses)
+        self._c_batch_groups.inc(report.batched_groups)
+        self._c_batched.inc(report.batched_sessions)
+        self._c_fallback.inc(report.fallback_sessions)
+        for size in report.batch_sizes:
+            self._h_batch_size.observe(float(size))
 
         # 3. Quarantine backoff: this tick counts toward every cooldown;
         # expiries release the session to degraded probation (a bounded

@@ -49,13 +49,22 @@ class ServedEstimate:
 
 @dataclass(frozen=True)
 class TickReport:
-    """What one scheduler tick did with its budget."""
+    """What one scheduler tick did with its budget.
+
+    The ``batched_*`` fields are populated by the fleet-batched
+    scheduler (:class:`repro.serve.batch.BatchedScheduler`); under the
+    sequential scheduler they stay at their zero defaults.
+    """
 
     served: tuple[ServedEstimate, ...] = ()
     deferred: tuple[str, ...] = ()  # session ids pushed to next tick
     budget_s: float = 0.0
     elapsed_s: float = 0.0
     deadline_misses: int = 0
+    batched_groups: int = 0  # stacked engine calls this tick
+    batched_sessions: int = 0  # sessions served via a stacked call
+    fallback_sessions: int = 0  # sessions served on the sequential path
+    batch_sizes: tuple[int, ...] = ()  # per stacked call, in serve order
 
     @property
     def estimates(self) -> tuple[Estimate, ...]:

@@ -1,0 +1,15 @@
+"""VH205 trigger: a `run_batch` implementation nothing pins.
+
+No test file names `DriftedBatchStage` next to a bit-identity marker,
+so the batched path could silently diverge from the scalar one.
+"""
+
+
+class DriftedBatchStage:
+    name = "drifted"
+
+    def run(self, ctx: object) -> object:
+        return ctx
+
+    def run_batch(self, contexts: list) -> list:
+        return [self.run(ctx) for ctx in reversed(contexts)]

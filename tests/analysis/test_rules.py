@@ -27,6 +27,7 @@ RULE_FIXTURES = {
     "VH202": FIXTURES / "repro" / "core" / "vh202",
     "VH203": FIXTURES / "vh203",
     "VH204": FIXTURES / "vh204",
+    "VH205": FIXTURES / "vh205",
 }
 
 

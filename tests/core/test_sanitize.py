@@ -3,7 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.core.sanitize import antenna_phase_difference, sanitize_stream
+from repro.core.sanitize import (
+    antenna_phase_difference,
+    sanitize_stream,
+    sanitize_streams,
+)
 from repro.rf.impairments import HardwareImpairments, ImpairmentConfig
 from repro.rf.spectrum import Spectrum
 
@@ -94,3 +98,67 @@ def test_sanitize_stream_length_mismatch():
 def test_shape_validation():
     with pytest.raises(ValueError):
         antenna_phase_difference(np.zeros((3, 30), dtype=complex))
+
+
+# ----------------------------------------------------------------------
+# Batched sanitiser: bit-identity to the scalar kernel
+# ----------------------------------------------------------------------
+def _random_fleet_csi(rng, n_sessions=7, num_packets=60, spectrum=None):
+    spectrum = spectrum or Spectrum()
+    shape = (n_sessions, num_packets, 3, spectrum.num_subcarriers)
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+
+@pytest.mark.parametrize("unwrap", [True, False])
+def test_sanitize_streams_bit_identical_to_loop(unwrap):
+    rng = np.random.default_rng(21)
+    csi = _random_fleet_csi(rng)
+    times = np.linspace(0.0, 1.5, csi.shape[1])
+    got = sanitize_streams(times, csi, rx_a=0, rx_b=2, unwrap=unwrap)
+    assert len(got) == csi.shape[0]
+    for s, series in enumerate(got):
+        want = sanitize_stream(times, csi[s], rx_a=0, rx_b=2, unwrap=unwrap)
+        np.testing.assert_array_equal(
+            np.asarray(series.values), np.asarray(want.values)
+        )
+        np.testing.assert_array_equal(
+            np.asarray(series.times), np.asarray(want.times)
+        )
+
+
+def test_sanitize_streams_per_session_clocks():
+    rng = np.random.default_rng(22)
+    csi = _random_fleet_csi(rng, n_sessions=4, num_packets=30)
+    clocks = np.cumsum(rng.uniform(0.01, 0.05, (4, 30)), axis=1)
+    got = sanitize_streams(clocks, csi)
+    for s, series in enumerate(got):
+        want = sanitize_stream(clocks[s], csi[s])
+        np.testing.assert_array_equal(
+            np.asarray(series.values), np.asarray(want.values)
+        )
+        np.testing.assert_array_equal(
+            np.asarray(series.times), np.asarray(want.times)
+        )
+
+
+def test_sanitize_streams_single_packet_no_unwrap():
+    rng = np.random.default_rng(23)
+    csi = _random_fleet_csi(rng, n_sessions=3, num_packets=1)
+    got = sanitize_streams(np.array([0.0]), csi)
+    for s, series in enumerate(got):
+        want = sanitize_stream(np.array([0.0]), csi[s])
+        np.testing.assert_array_equal(
+            np.asarray(series.values), np.asarray(want.values)
+        )
+
+
+def test_sanitize_streams_validation():
+    with pytest.raises(ValueError):
+        sanitize_streams(np.zeros(5), np.zeros((5, 2, 30), dtype=complex))
+    with pytest.raises(ValueError):
+        sanitize_streams(np.zeros(4), np.zeros((2, 5, 2, 30), dtype=complex))
+    with pytest.raises(ValueError):
+        sanitize_streams(
+            np.zeros((3, 5)), np.zeros((2, 5, 2, 30), dtype=complex)
+        )
+    assert sanitize_streams(np.zeros(5), np.zeros((0, 5, 2, 30), dtype=complex)) == []

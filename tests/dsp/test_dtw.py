@@ -5,7 +5,45 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.dsp.dtw import batched_dtw_distance, dtw_distance, dtw_path
+from repro.dsp.dtw import (
+    batched_dtw_distance,
+    dtw_distance,
+    dtw_path,
+    stacked_dtw_distance,
+)
+
+
+def _full_table_batched_reference(query, candidates, band=None, metric="abs"):
+    """The pre-refactor full-table DP, kept as the bit-identity reference
+    for the two-diagonal implementation."""
+    from repro.dsp.dtw import _pointwise_cost
+
+    query = np.asarray(query, dtype=np.float64)
+    candidates = np.asarray(candidates, dtype=np.float64)
+    m = len(query)
+    n_batch, length = candidates.shape
+    cost = _pointwise_cost(query[None, :, None], candidates[:, None, :], metric)
+    if band is not None:
+        i_idx = np.arange(m)[:, None]
+        j_idx = np.arange(length)[None, :]
+        off_diag = np.abs(i_idx * (length / m) - j_idx)
+        cost = np.where(off_diag[None] <= band, cost, np.inf)
+    dp = np.full((n_batch, m + 1, length + 1), np.inf)
+    dp[:, 0, 0] = 0.0
+    for k in range(2, m + length + 1):
+        i_lo = max(1, k - length)
+        i_hi = min(m, k - 1)
+        if i_lo > i_hi:
+            continue
+        i_arr = np.arange(i_lo, i_hi + 1)
+        j_arr = k - i_arr
+        step_cost = cost[:, i_arr - 1, j_arr - 1]
+        best = np.minimum(
+            dp[:, i_arr - 1, j_arr],
+            np.minimum(dp[:, i_arr, j_arr - 1], dp[:, i_arr - 1, j_arr - 1]),
+        )
+        dp[:, i_arr, j_arr] = step_cost + best
+    return dp[:, m, length] / (m + length)
 
 series = st.lists(
     st.floats(min_value=-5, max_value=5, allow_nan=False), min_size=2, max_size=15
@@ -109,3 +147,86 @@ def test_batched_shape_validation():
     with pytest.raises(ValueError):
         batched_dtw_distance(np.zeros(3), np.zeros((2, 0)))
     assert len(batched_dtw_distance(np.zeros(3), np.zeros((0, 5)))) == 0
+
+
+# ----------------------------------------------------------------------
+# Two-diagonal DP refactor: bit-identity against the full-table DP
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("band", [None, 0, 3, 10])
+@pytest.mark.parametrize("metric", ["abs", "circular"])
+def test_two_diagonal_dp_bit_identical_to_full_table(band, metric):
+    rng = np.random.default_rng(7)
+    query = rng.uniform(-np.pi, np.pi, 13)
+    candidates = rng.uniform(-np.pi, np.pi, (9, 21))
+    got = batched_dtw_distance(query, candidates, band=band, metric=metric)
+    want = _full_table_batched_reference(query, candidates, band=band, metric=metric)
+    np.testing.assert_array_equal(got, want)
+
+
+def test_two_diagonal_dp_degenerate_shapes():
+    # 1x1 and 1xL tables exercise the diagonal bookkeeping edges.
+    assert batched_dtw_distance(
+        np.array([1.0]), np.array([[3.0]])
+    ) == pytest.approx(1.0)
+    got = batched_dtw_distance(np.array([0.5]), np.array([[0.5, 1.5, 0.5]]))
+    want = _full_table_batched_reference(np.array([0.5]), np.array([[0.5, 1.5, 0.5]]))
+    np.testing.assert_array_equal(got, want)
+
+
+# ----------------------------------------------------------------------
+# Stacked multi-query kernel (the fleet-batching form)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("band", [None, 4])
+@pytest.mark.parametrize("metric", ["abs", "circular"])
+def test_stacked_bit_identical_to_batched_loop(band, metric):
+    rng = np.random.default_rng(11)
+    queries = rng.uniform(-np.pi, np.pi, (6, 12))
+    banks = rng.uniform(-np.pi, np.pi, (6, 17, 25))
+    got = stacked_dtw_distance(queries, banks, band=band, metric=metric)
+    want = np.stack(
+        [
+            batched_dtw_distance(queries[s], banks[s], band=band, metric=metric)
+            for s in range(len(queries))
+        ]
+    )
+    np.testing.assert_array_equal(got, want)
+
+
+def test_stacked_shared_bank_bit_identical():
+    # One (B, L) bank shared by every query — the cached-profile case.
+    rng = np.random.default_rng(12)
+    queries = rng.uniform(-np.pi, np.pi, (5, 10))
+    bank = rng.uniform(-np.pi, np.pi, (8, 14))
+    got = stacked_dtw_distance(queries, bank, metric="circular")
+    want = np.stack(
+        [
+            batched_dtw_distance(queries[s], bank, metric="circular")
+            for s in range(len(queries))
+        ]
+    )
+    np.testing.assert_array_equal(got, want)
+
+
+def test_stacked_single_query_matches_batched():
+    rng = np.random.default_rng(13)
+    query = rng.uniform(-1, 1, 9)
+    bank = rng.uniform(-1, 1, (4, 9))
+    np.testing.assert_array_equal(
+        stacked_dtw_distance(query[None, :], bank)[0],
+        batched_dtw_distance(query, bank),
+    )
+
+
+def test_stacked_shape_validation():
+    with pytest.raises(ValueError):
+        stacked_dtw_distance(np.zeros((2, 0)), np.zeros((3, 4)))
+    with pytest.raises(ValueError):
+        stacked_dtw_distance(np.zeros((2, 5)), np.zeros((3, 4, 6)))  # S mismatch
+    with pytest.raises(ValueError):
+        stacked_dtw_distance(np.zeros((2, 5)), np.zeros((3, 0)))
+    with pytest.raises(ValueError):
+        stacked_dtw_distance(np.zeros((2, 5)), np.zeros(7))
+    with pytest.raises(ValueError):
+        stacked_dtw_distance(np.zeros((2, 5)), np.zeros((2, 3, 4)), band=-1)
+    assert stacked_dtw_distance(np.zeros((0, 5)), np.zeros((3, 4))).shape == (0, 3)
+    assert stacked_dtw_distance(np.zeros((2, 5)), np.zeros((0, 4))).shape == (2, 0)
