@@ -291,8 +291,55 @@ def _lint_budget_ok(budget_path: Path, elapsed_s: float) -> bool:
     return True
 
 
+def _finish_chaos_result(chaos, json_path) -> int:
+    """Print a ChaosResult, optionally dump JSON, return the exit code."""
+    print(chaos.summary())
+    print(chaos.metrics_line)
+    if json_path:
+        Path(json_path).write_text(json.dumps(chaos.as_dict(), indent=2))
+        print(f"wrote {json_path}")
+    if chaos.unhandled > 0:
+        print(
+            f"FAIL: {chaos.unhandled} exception(s) escaped the serving layer",
+            file=sys.stderr,
+        )
+        return 1
+    if not chaos.all_healthy:
+        print(
+            f"FAIL: fleet did not recover after faults cleared: "
+            f"{chaos.final_health}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _finish_load_result(result, json_path) -> int:
+    """Print a LoadResult, optionally dump JSON, return the exit code."""
+    print(result.summary())
+    print(result.metrics_line)
+    if json_path:
+        Path(json_path).write_text(json.dumps(result.as_dict(), indent=2))
+        print(f"wrote {json_path}")
+    if not result.bit_identical:
+        print("FAIL: served estimates differ from standalone replay", file=sys.stderr)
+        return 1
+    if result.drops > 0:
+        print(f"WARN: {result.drops} packets shed by backpressure", file=sys.stderr)
+    return 0
+
+
 def cmd_serve_bench(args) -> int:
     from repro.serve import run_chaos, run_load
+
+    if args.scenario:
+        from repro.scenarios import resolve_scenario, run_scenario, run_scenario_chaos
+
+        spec = resolve_scenario(args.scenario)
+        print(f"scenario {spec.name} [{spec.tier}] id={spec.scenario_id}")
+        if args.chaos:
+            return _finish_chaos_result(run_scenario_chaos(spec), args.json)
+        return _finish_load_result(run_scenario(spec), args.json)
 
     if args.chaos:
         chaos = run_chaos(
@@ -306,25 +353,7 @@ def cmd_serve_bench(args) -> int:
             seed=args.seed,
             batching=args.batched,
         )
-        print(chaos.summary())
-        print(chaos.metrics_line)
-        if args.json:
-            Path(args.json).write_text(json.dumps(chaos.as_dict(), indent=2))
-            print(f"wrote {args.json}")
-        if chaos.unhandled > 0:
-            print(
-                f"FAIL: {chaos.unhandled} exception(s) escaped the serving layer",
-                file=sys.stderr,
-            )
-            return 1
-        if not chaos.all_healthy:
-            print(
-                f"FAIL: fleet did not recover after faults cleared: "
-                f"{chaos.final_health}",
-                file=sys.stderr,
-            )
-            return 1
-        return 0
+        return _finish_chaos_result(chaos, args.json)
 
     result = run_load(
         num_sessions=args.sessions,
@@ -339,17 +368,60 @@ def cmd_serve_bench(args) -> int:
         batching=args.batched,
         workload_mix=args.workload_mix,
     )
-    print(result.summary())
-    print(result.metrics_line)
-    if args.json:
-        Path(args.json).write_text(json.dumps(result.as_dict(), indent=2))
-        print(f"wrote {args.json}")
-    if not result.bit_identical:
-        print("FAIL: served estimates differ from standalone replay", file=sys.stderr)
-        return 1
-    if result.drops > 0:
-        print(f"WARN: {result.drops} packets shed by backpressure", file=sys.stderr)
-    return 0
+    return _finish_load_result(result, args.json)
+
+
+def cmd_scenarios(args) -> int:
+    from repro.scenarios import (
+        list_scenarios,
+        resolve_scenario,
+        run_scenario,
+        run_scenario_chaos,
+        validate_scenario,
+    )
+
+    if args.action == "list":
+        specs = list_scenarios(tier=args.tier)
+        for spec in specs:
+            faults = len(spec.fault_plan.injectors)
+            flags = []
+            if faults:
+                flags.append(f"{faults} injectors")
+            if spec.churn_fraction > 0:
+                flags.append(f"churn {spec.churn_fraction:g}")
+            if spec.batching:
+                flags.append("batched")
+            extra = f" ({', '.join(flags)})" if flags else ""
+            print(
+                f"{spec.tier}  {spec.name:26s} {spec.scenario_id}  "
+                f"{spec.num_sessions} sessions x {spec.duration_s:g}s  "
+                f"mix={','.join(spec.workload_mix)}{extra}"
+            )
+            if args.verbose:
+                print(f"    {spec.description}")
+        if not specs:
+            print("no scenarios registered")
+        return 0
+
+    if args.action == "validate":
+        failures = 0
+        for spec in list_scenarios(tier=args.tier):
+            problems = validate_scenario(spec)
+            if problems:
+                failures += 1
+                print(f"FAIL {spec.name} [{spec.tier}]", file=sys.stderr)
+                for problem in problems:
+                    print(f"  - {problem}", file=sys.stderr)
+            else:
+                print(f"ok   {spec.name} [{spec.tier}] id={spec.scenario_id}")
+        return 1 if failures else 0
+
+    # args.action == "run"
+    spec = resolve_scenario(args.name)
+    print(f"scenario {spec.name} [{spec.tier}] id={spec.scenario_id}")
+    if args.chaos:
+        return _finish_chaos_result(run_scenario_chaos(spec), args.json)
+    return _finish_load_result(run_scenario(spec), args.json)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -419,7 +491,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="cycle cabins through the plain/forecast/camera/imu "
         "workload kinds instead of a homogeneous fleet",
     )
+    p.add_argument(
+        "--scenario",
+        default=None,
+        metavar="NAME_OR_TIER",
+        help="run a registered scenario (e.g. t3-rush-hour-chaos) or a "
+        "tier's flagship (e.g. T2) instead of the ad-hoc knobs above; "
+        "combine with --chaos for the containment driver",
+    )
     p.set_defaults(func=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "scenarios",
+        help="list, validate or run the declared scenario packs",
+    )
+    scen_sub = p.add_subparsers(dest="action", required=True)
+
+    sp = scen_sub.add_parser("list", help="print the registered catalogue")
+    sp.add_argument("--tier", default=None, help="only this tier (T0..T3)")
+    sp.add_argument("-v", "--verbose", action="store_true",
+                    help="include scenario descriptions")
+    sp.set_defaults(func=cmd_scenarios)
+
+    sp = scen_sub.add_parser(
+        "validate", help="check every registered scenario against its tier contract"
+    )
+    sp.add_argument("--tier", default=None, help="only this tier (T0..T3)")
+    sp.set_defaults(func=cmd_scenarios)
+
+    sp = scen_sub.add_parser("run", help="run one scenario end to end")
+    sp.add_argument("name", help="scenario name or tier (tier runs its flagship)")
+    sp.add_argument("--chaos", action="store_true",
+                    help="use the containment driver instead of loadgen")
+    sp.add_argument("--json", default=None, help="write the result dict as JSON")
+    sp.set_defaults(func=cmd_scenarios)
 
     p = sub.add_parser(
         "lint",

@@ -16,9 +16,18 @@ from repro.core.stages import (
     Estimate,
     EstimationContext,
     EstimationTrace,
+    SanitizeStage,
     StageTrace,
 )
 from repro.core.engine import BatchItem, BatchResult, EstimationEngine, SessionState
+from repro.core.localize import OccupancyGateStage, SeatMatchStage, localization_stages
+from repro.core.breathing import BreathingStage, breathing_stages
+from repro.core.workloads import (
+    HEAD_WORKLOAD,
+    engine_for_workload,
+    register_workload,
+    workload_kinds,
+)
 from repro.core.tracker import ViHOTTracker, TrackingResult
 from repro.core.online import OnlineTracker, SampleRing
 from repro.core.fusion import FusedTracker, FusionConfig
@@ -49,7 +58,17 @@ __all__ = [
     "Estimate",
     "EstimationContext",
     "EstimationTrace",
+    "SanitizeStage",
     "StageTrace",
+    "OccupancyGateStage",
+    "SeatMatchStage",
+    "localization_stages",
+    "BreathingStage",
+    "breathing_stages",
+    "HEAD_WORKLOAD",
+    "engine_for_workload",
+    "register_workload",
+    "workload_kinds",
     "BatchItem",
     "BatchResult",
     "EstimationEngine",

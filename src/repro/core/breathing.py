@@ -1,0 +1,114 @@
+"""Breathing-rate micro-motion sensing from the cabin CSI link.
+
+V2iFi-style workload (see PAPERS.md): chest displacement during quiet
+breathing is a few millimetres — far below what the head tracker's DTW
+match resolves as orientation, but a clean periodicity in the antenna
+phase difference (:class:`repro.cabin.micromotion.BreathingMotion` is
+the simulator's ground-truth model of exactly this).  This stage
+estimates the dominant respiration frequency spectrally: resample the
+buffered phase onto the uniform grid, detrend, window, and take the
+tallest zero-padded FFT peak inside the physiological band.
+
+Single terminal stage behind the standard
+:class:`~repro.core.stages.Stage` interface so
+:class:`~repro.core.engine.EstimationEngine` runs it unmodified.
+
+Output convention: ``mode="breathing"`` with ``orientation`` carrying
+the estimated rate [Hz] — for non-head workloads the ``orientation``
+slot is the workload's scalar estimate (see
+:class:`~repro.core.stages.Estimate`).  ``dtw_distance`` carries the
+peak's share of in-band spectral energy as a confidence proxy.  No
+``run_batch`` override — the default per-context loop applies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ViHOTConfig
+from repro.core.stages import (
+    Estimate,
+    EstimationContext,
+    Stage,
+    StageDecision,
+)
+from repro.dsp.resample import resample_uniform
+
+__all__ = ["BreathingStage", "breathing_stages", "BREATHING_BAND_HZ"]
+
+#: Physiological respiration band [Hz]: 6 to 48 breaths per minute.
+BREATHING_BAND_HZ = (0.1, 0.8)
+
+
+class BreathingStage(Stage):
+    """Estimate the respiration rate from the buffered phase (terminal).
+
+    Holds until at least ``min_window_s`` of history is buffered (a
+    fraction of one breath cycle resolves poorly), then analyses up to
+    ``max_window_s`` of it.  The FFT is zero-padded ``pad_factor``-fold
+    so the peak bin resolves rates finer than ``1 / max_window_s``.
+    """
+
+    name = "breathing"
+
+    def __init__(
+        self,
+        config: ViHOTConfig,
+        min_window_s: float = 1.2,
+        max_window_s: float = 8.0,
+        band_hz: tuple[float, float] = BREATHING_BAND_HZ,
+        pad_factor: int = 8,
+    ) -> None:
+        if min_window_s <= 0 or max_window_s < min_window_s:
+            raise ValueError(
+                f"need 0 < min_window_s <= max_window_s, got "
+                f"{min_window_s}/{max_window_s}"
+            )
+        if not 0 < band_hz[0] < band_hz[1]:
+            raise ValueError(f"invalid breathing band {band_hz}")
+        self._config = config
+        self._min_window_s = float(min_window_s)
+        self._max_window_s = float(max_window_s)
+        self._band_hz = (float(band_hz[0]), float(band_hz[1]))
+        self._pad_factor = int(pad_factor)
+
+    def run(self, ctx: EstimationContext) -> StageDecision:
+        config = self._config
+        window = ctx.phase.slice(ctx.t - self._max_window_s, ctx.t)
+        if len(window) < 8 or window.duration < self._min_window_s:
+            return StageDecision.hold(
+                fired=False, samples=len(window), span_s=window.duration
+            )
+        uniform = resample_uniform(window, config.resample_rate_hz)
+        values = np.asarray(uniform.values, dtype=np.float64)
+        detrended = values - values.mean()
+        tapered = detrended * np.hanning(len(detrended))
+        n = self._pad_factor * len(tapered)
+        spectrum = np.abs(np.fft.rfft(tapered, n=n))
+        freqs = np.fft.rfftfreq(n, d=1.0 / config.resample_rate_hz)
+        in_band = (freqs >= self._band_hz[0]) & (freqs <= self._band_hz[1])
+        if not bool(np.any(in_band)):
+            return StageDecision.hold(fired=False, samples=len(values))
+        band_power = spectrum[in_band]
+        peak = int(np.argmax(band_power))
+        rate_hz = float(freqs[in_band][peak])
+        total = float(band_power.sum())
+        share = float(band_power[peak] / total) if total > 0 else 0.0
+        return StageDecision.emit(
+            Estimate(
+                ctx.t,
+                ctx.t + config.horizon_s,
+                rate_hz,
+                "breathing",
+                -1,
+                share,
+            ),
+            rate_hz=rate_hz,
+            peak_share=share,
+            samples=len(values),
+        )
+
+
+def breathing_stages(config: ViHOTConfig) -> tuple[Stage, ...]:
+    """The micro-motion sensing chain for an :class:`EstimationEngine`."""
+    return (BreathingStage(config),)

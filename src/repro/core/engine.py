@@ -32,7 +32,6 @@ from repro.core.config import ViHOTConfig
 from repro.core.matching import SeriesMatcher
 from repro.core.position import PositionEstimator
 from repro.core.profile import CsiProfile
-from repro.core.sanitize import sanitize_stream
 from repro.core.stages import (
     CONFIDENT_MODES,
     EMIT,
@@ -49,6 +48,7 @@ from repro.core.stages import (
     JumpFilterStage,
     MatchStage,
     PositionStage,
+    SanitizeStage,
     StabilityFixStage,
     Stage,
     StageDecision,
@@ -67,12 +67,20 @@ class BatchItem:
 
     Exactly what :meth:`EstimationEngine.estimate_at` takes, bundled so
     a fleet of sessions can be handed to the engine in one call.
+
+    ``engine`` names the engine whose stage chain serves this item —
+    sessions whose configs differ only in fields the batch-aware stages
+    never read (the forecast horizon) can then share one wave while
+    per-context stages still run with their own parameters.  ``None``
+    means "the engine :meth:`~EstimationEngine.estimate_batch` was
+    called on", which keeps direct construction backward compatible.
     """
 
     phase: TimeSeries
     imu: TimeSeries | None
     t: float
     state: SessionState
+    engine: EstimationEngine | None = None
 
 
 @dataclass
@@ -125,6 +133,7 @@ class EstimationEngine:
         config: ViHOTConfig | None = None,
         camera: CameraLike | None = None,
         wall_clock: Callable[[], float] = perf_counter,
+        stages: Sequence[Stage] | None = None,
     ) -> None:
         """Args:
             profile: the driver's CSI profile from the profiling stage.
@@ -136,6 +145,11 @@ class EstimationEngine:
             wall_clock: the clock behind the per-stage ``elapsed_ms``
                 trace timing — injectable so estimate *values* stay a
                 pure function of the stream (``vihot lint`` VH103).
+            stages: an alternative decision chain (last stage terminal).
+                ``None`` builds the paper's head-tracking chain; the
+                workload registry (:mod:`repro.core.workloads`) passes
+                localization / micro-motion chains here so every
+                frontend and the serve layer stay workload-agnostic.
         """
         config = config if config is not None else ViHOTConfig()
         self._profile = profile
@@ -147,17 +161,20 @@ class EstimationEngine:
             rate_threshold=config.steering_rate_threshold
         )
         self._default_position = len(profile) // 2
-        self._stages: tuple[Stage, ...] = (
-            PositionStage(),
-            SteeringStage(self._steering, camera, config),
-            StabilityFixStage(),
-            StationaryStage(config),
-            MatchStage(self._matcher, config),
-            ForecastStage(profile, config),
-            JumpFilterStage(config),
-            EmitStage(config),
-        )
+        if stages is None:
+            stages = (
+                PositionStage(),
+                SteeringStage(self._steering, camera, config),
+                StabilityFixStage(),
+                StationaryStage(config),
+                MatchStage(self._matcher, config),
+                ForecastStage(profile, config),
+                JumpFilterStage(config),
+                EmitStage(config),
+            )
+        self._stages: tuple[Stage, ...] = tuple(stages)
         self._hold = HoldStage(config)
+        self._sanitizer = SanitizeStage()
 
     @property
     def config(self) -> ViHOTConfig:
@@ -298,20 +315,33 @@ class EstimationEngine:
         the wave; that failure is systematic, because a batch-aware
         stage only ever sees contexts sharing profile, config and query
         shape (grouping is the serve-layer planner's contract).
+
+        Heterogeneous items: an item carrying its own
+        :attr:`BatchItem.engine` runs the per-context stages (and the
+        hold terminal) through *that* engine, so sessions whose configs
+        differ only in the forecast horizon share one wave without
+        losing their own horizon.  Member engines must expose the same
+        chain (equal :attr:`stage_names`) as this one, and batch-aware
+        waves still dispatch through this engine's stage — legal because
+        a batch-aware stage never reads the config fields grouping
+        allows to differ (the planner's contract).
         """
         n = len(items)
         results = [BatchResult() for _ in range(n)]
+        engines = [
+            item.engine if item.engine is not None else self for item in items
+        ]
         ctxs = [
             EstimationContext(
                 phase=item.phase,
                 imu=item.imu,
                 t=float(item.t),
                 position=item.state.position,
-                default_position=self._default_position,
+                default_position=engines[i]._default_position,
                 previous=item.state.previous,
                 last_confident_time=item.state.last_confident_time,
             )
-            for item in items
+            for i, item in enumerate(items)
         ]
         traces: list[list[StageTrace]] = [[] for _ in range(n)]
         terminals = [""] * n
@@ -321,10 +351,12 @@ class EstimationEngine:
         done = [False] * n
 
         def finish_hold(i: int) -> None:
-            # Mirror _run_chain's HOLD branch for one context.
+            # Mirror _run_chain's HOLD branch for one context, through
+            # the item's own engine (its hold carries its own horizon).
+            hold = engines[i]._hold
             start = self._wall_clock()
             try:
-                hold_decision = self._hold.run(ctxs[i])
+                hold_decision = hold.run(ctxs[i])
             except Exception as exc:
                 results[i].error = exc
                 done[i] = True
@@ -332,14 +364,14 @@ class EstimationEngine:
             elapsed_ms = (self._wall_clock() - start) * 1e3
             traces[i].append(
                 StageTrace(
-                    self._hold.name,
+                    hold.name,
                     hold_decision.fired,
                     elapsed_ms,
                     hold_decision.detail,
                 )
             )
             estimates[i] = hold_decision.estimate
-            terminals[i] = self._hold.name
+            terminals[i] = hold.name
             done[i] = True
 
         def apply(i: int, stage: Stage, si: int, decision: StageDecision) -> None:
@@ -382,9 +414,10 @@ class EstimationEngine:
                     apply(i, stage, si, decision)
             else:
                 for i in wave:
+                    own_stage = engines[i]._stages[si]
                     start = self._wall_clock()
                     try:
-                        decision = stage.run(ctxs[i])
+                        decision = own_stage.run(ctxs[i])
                     except Exception as exc:
                         results[i].error = exc
                         done[i] = True
@@ -392,10 +425,13 @@ class EstimationEngine:
                     elapsed_ms = (self._wall_clock() - start) * 1e3
                     traces[i].append(
                         StageTrace(
-                            stage.name, decision.fired, elapsed_ms, decision.detail
+                            own_stage.name,
+                            decision.fired,
+                            elapsed_ms,
+                            decision.detail,
                         )
                     )
-                    apply(i, stage, si, decision)
+                    apply(i, own_stage, si, decision)
 
         for i, item in enumerate(items):
             if results[i].error is not None:
@@ -413,6 +449,43 @@ class EstimationEngine:
     # ------------------------------------------------------------------
     # Whole-capture sessions (the batch frontends)
     # ------------------------------------------------------------------
+    def _capture_context(self, stream: CsiStream) -> EstimationContext:
+        """A context carrying a raw capture for the sanitize stage."""
+        return EstimationContext(
+            phase=TimeSeries.empty(),
+            imu=stream.imu,
+            t=0.0,
+            position=self.new_session().position,
+            default_position=self._default_position,
+            raw_times=stream.times,
+            raw_csi=stream.csi,
+        )
+
+    def _track_phase(
+        self,
+        phase: TimeSeries,
+        imu: TimeSeries | None,
+        estimate_stride_s: float,
+        t_start: float | None,
+    ) -> list[Estimate]:
+        """The estimate loop shared by :meth:`track_stream` and
+        :meth:`track_streams` (one code path, so the batched frontend
+        cannot drift from the scalar one)."""
+        if estimate_stride_s <= 0:
+            raise ValueError("estimate_stride_s must be positive")
+        config = self._config
+        state = self.new_session()
+        if t_start is None:
+            t_start = phase.start + max(config.window_s, config.stable_window_s)
+        estimates: list[Estimate] = []
+        t = float(t_start)
+        while t <= phase.end + 1e-9:
+            estimate = self.estimate_at(phase, imu, t, state)
+            if estimate is not None:
+                estimates.append(estimate)
+            t += estimate_stride_s
+        return estimates
+
     def track_stream(
         self,
         stream: CsiStream,
@@ -428,18 +501,27 @@ class EstimationEngine:
                 stability window after the capture start (Alg. 1 line 1's
                 setup time).
         """
-        if estimate_stride_s <= 0:
-            raise ValueError("estimate_stride_s must be positive")
-        config = self._config
-        phase = sanitize_stream(stream.times, stream.csi)
-        state = self.new_session()
-        if t_start is None:
-            t_start = phase.start + max(config.window_s, config.stable_window_s)
-        estimates: list[Estimate] = []
-        t = float(t_start)
-        while t <= phase.end + 1e-9:
-            estimate = self.estimate_at(phase, stream.imu, t, state)
-            if estimate is not None:
-                estimates.append(estimate)
-            t += estimate_stride_s
-        return estimates
+        ctx = self._capture_context(stream)
+        self._sanitizer.run(ctx)
+        return self._track_phase(ctx.phase, stream.imu, estimate_stride_s, t_start)
+
+    def track_streams(
+        self,
+        streams: Sequence[CsiStream],
+        estimate_stride_s: float = 0.05,
+        t_start: float | None = None,
+    ) -> list[list[Estimate]]:
+        """Track many captures, sanitizing them in stacked kernel calls.
+
+        Same-shape captures go through one
+        :meth:`~repro.core.stages.SanitizeStage.run_batch` pass (the
+        stacked ``sanitize_streams`` kernel); the per-capture estimate
+        loop then runs exactly as :meth:`track_stream`'s, so the result
+        is bit-identical to ``[self.track_stream(s) for s in streams]``.
+        """
+        ctxs = [self._capture_context(stream) for stream in streams]
+        self._sanitizer.run_batch(ctxs)
+        return [
+            self._track_phase(ctx.phase, stream.imu, estimate_stride_s, t_start)
+            for ctx, stream in zip(ctxs, streams)
+        ]

@@ -1,0 +1,133 @@
+"""Passenger / rear-seat occupant localization from the cabin CSI link.
+
+CarFi-style workload (see PAPERS.md): the same antenna-phase-difference
+stream the head tracker consumes also separates *where in the cabin* the
+occupant is.  Each profiled position's stable-front fingerprint
+``phi0_c(i)`` (:attr:`repro.core.profile.PositionProfile.phi0`) is a
+seat anchor — the phase level the link settles to when the occupant sits
+at that position — so localization is nearest-fingerprint matching of
+the current window's circular mean phase, with a flatness gate deciding
+whether anyone is there to localize at all.
+
+The chain is two stages behind the standard
+:class:`~repro.core.stages.Stage` interface, so
+:class:`~repro.core.engine.EstimationEngine` (and therefore the whole
+serve layer) runs it unmodified:
+
+    occupancy -> localize
+
+Output convention: ``mode="localized"`` with ``position_index`` the
+winning seat and ``orientation`` the window's circular mean phase [rad]
+(the raw evidence, useful for diagnostics); ``mode="vacant"`` when the
+flatness gate says the seat region is empty.  Neither stage implements
+``run_batch`` — the default per-context loop applies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import ViHOTConfig
+from repro.core.profile import CsiProfile
+from repro.core.stages import (
+    Estimate,
+    EstimationContext,
+    Stage,
+    StageDecision,
+)
+from repro.dsp.phase import circular_mean, phase_std, wrap_phase
+from repro.dsp.series import TimeSeries
+
+__all__ = [
+    "OccupancyGateStage",
+    "SeatMatchStage",
+    "localization_stages",
+    "VACANT_STD_RAD",
+]
+
+#: Below this wrapped-phase std the window is indistinguishable from an
+#: empty cabin: even a motionless occupant's breathing and posture sway
+#: modulate the path more than receiver noise does.
+VACANT_STD_RAD = 0.002
+
+
+def _window(ctx: EstimationContext, window_s: float) -> TimeSeries:
+    return ctx.phase.slice(ctx.t - window_s, ctx.t)
+
+
+class OccupancyGateStage(Stage):
+    """Decide whether anyone occupies the monitored seat region.
+
+    A near-noise-floor window means the reflected path is static at the
+    receiver's noise level — no occupant.  That is a terminal answer
+    (``mode="vacant"``), not a hold: downstream consumers distinguish
+    "nobody there" from "cannot tell right now".
+    """
+
+    name = "occupancy"
+
+    def __init__(self, config: ViHOTConfig) -> None:
+        self._config = config
+
+    def run(self, ctx: EstimationContext) -> StageDecision:
+        config = self._config
+        window = _window(ctx, config.window_s)
+        if len(window) < 5 or window.duration < 0.5 * config.window_s:
+            return StageDecision.hold(fired=False, samples=len(window))
+        flatness = phase_std(wrap_phase(np.asarray(window.values)))
+        if flatness < VACANT_STD_RAD:
+            return StageDecision.emit(
+                Estimate(ctx.t, ctx.t + config.horizon_s, float("nan"), "vacant"),
+                flatness=flatness,
+            )
+        return StageDecision.passthrough(fired=False, flatness=flatness)
+
+
+class SeatMatchStage(Stage):
+    """Locate the occupant as the nearest seat fingerprint (terminal).
+
+    The window's circular mean phase is compared against every profiled
+    position's ``phi0`` on the circle; the closest one wins.  The
+    residual distance [rad] rides in ``dtw_distance`` so callers can
+    threshold on localization confidence the way they threshold on match
+    distance for head tracking.
+    """
+
+    name = "localize"
+
+    def __init__(self, profile: CsiProfile, config: ViHOTConfig) -> None:
+        if len(profile) == 0:
+            raise ValueError("cannot localize against an empty profile")
+        self._fingerprints = np.asarray(
+            profile.phi0_fingerprints(), dtype=np.float64
+        )
+        self._config = config
+
+    def run(self, ctx: EstimationContext) -> StageDecision:
+        config = self._config
+        window = _window(ctx, config.window_s)
+        if len(window) < 5 or window.duration < 0.5 * config.window_s:
+            return StageDecision.hold(fired=False, samples=len(window))
+        centroid = float(circular_mean(np.asarray(window.values)))
+        residuals = np.abs(wrap_phase(centroid - self._fingerprints))
+        seat = int(np.argmin(residuals))
+        residual = float(residuals[seat])
+        return StageDecision.emit(
+            Estimate(
+                ctx.t,
+                ctx.t + config.horizon_s,
+                centroid,
+                "localized",
+                seat,
+                residual,
+            ),
+            seat=seat,
+            residual_rad=residual,
+        )
+
+
+def localization_stages(
+    profile: CsiProfile, config: ViHOTConfig
+) -> tuple[Stage, ...]:
+    """The occupant-localization chain for an :class:`EstimationEngine`."""
+    return (OccupancyGateStage(config), SeatMatchStage(profile, config))

@@ -130,6 +130,10 @@ class OnlineTracker:
         buffer_s: how much phase history to retain.  Must cover the
             stability window plus the largest match window; the default
             keeps a comfortable margin.
+        engine: a pre-built estimation engine to drive instead of the
+            default head-tracking one — the workload registry passes
+            localization / micro-motion engines here.  When given, its
+            config wins (``config`` must be None or equal to it).
     """
 
     def __init__(
@@ -138,7 +142,14 @@ class OnlineTracker:
         config: ViHOTConfig | None = None,
         camera: CameraLike | None = None,
         buffer_s: float = 10.0,
+        engine: EstimationEngine | None = None,
     ) -> None:
+        if engine is not None:
+            if config is not None and config != engine.config:
+                raise ValueError(
+                    "config conflicts with the provided engine's config"
+                )
+            config = engine.config
         config = config if config is not None else ViHOTConfig()
         needed = max(config.stable_window_s, config.window_s) + 1.0
         if buffer_s < needed:
@@ -146,7 +157,11 @@ class OnlineTracker:
                 f"buffer_s={buffer_s} too small; need >= {needed:.1f}s for "
                 "the configured stability/match windows"
             )
-        self._engine = EstimationEngine(profile, config, camera=camera)
+        self._engine = (
+            engine
+            if engine is not None
+            else EstimationEngine(profile, config, camera=camera)
+        )
         self._config = config
         self._buffer_s = buffer_s
 
@@ -251,7 +266,9 @@ class OnlineTracker:
         if not self.ready():
             return None
         imu = self._imu.series() if len(self._imu) else None
-        return BatchItem(self._phase.series(), imu, float(t), self._state)
+        return BatchItem(
+            self._phase.series(), imu, float(t), self._state, engine=self._engine
+        )
 
     def estimate(self, t: float | None = None) -> Estimate | None:
         """Estimate the head orientation at ``t`` (default: latest sample).

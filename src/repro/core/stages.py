@@ -38,6 +38,7 @@ from repro.core.forecast import forecast_orientation
 from repro.core.matching import MatchResult, SeriesMatcher
 from repro.core.position import PositionEstimator
 from repro.core.profile import CsiProfile
+from repro.core.sanitize import sanitize_stream, sanitize_streams
 from repro.core.steering_id import SteeringIdentifier
 from repro.dsp.phase import phase_std, wrap_phase
 from repro.dsp.resample import resample_uniform
@@ -169,6 +170,12 @@ class EstimationContext:
     orientation: float = float("nan")
     hold_reason: str = ""
 
+    # Optional raw CSI capture.  Whole-capture frontends attach the raw
+    # packet arrays here and let :class:`SanitizeStage` turn them into
+    # ``phase``; online frontends sanitize at ingest and leave these None.
+    raw_times: np.ndarray | None = None
+    raw_csi: np.ndarray | None = None
+
 
 #: StageDecision actions.
 PASS = "pass"  # continue with the next stage
@@ -229,6 +236,65 @@ class Stage:
         that bit-identity (pinned by a paired test, VH205).
         """
         return [self.run(ctx) for ctx in contexts]
+
+
+class SanitizeStage(Stage):
+    """Turn a raw CSI capture into the context's phase series (Sec. 3.2).
+
+    The online frontends sanitize incrementally at ingest, so their
+    contexts arrive with ``phase`` already filled and ``raw_times`` /
+    ``raw_csi`` unset — this stage passes them through untouched.
+    Whole-capture frontends attach the raw packet arrays instead, and
+    this stage runs the antenna-phase-difference sanitization
+    (:func:`repro.core.sanitize.sanitize_stream`) to produce ``phase``.
+
+    Batch-aware: captures sharing one shape are stacked through
+    :func:`repro.core.sanitize.sanitize_streams` — a single numpy pass
+    over the ``session x time x rx x subcarrier`` tensor — and ragged
+    shapes fall back to the per-context loop.  Bit-identical to looping
+    :meth:`run` (pinned by ``tests/core/test_sanitize_stage.py``,
+    ``vihot lint`` VH205).
+    """
+
+    name = "sanitize"
+    batch_aware = True
+
+    def run(self, ctx: EstimationContext) -> StageDecision:
+        if ctx.raw_times is None or ctx.raw_csi is None:
+            return StageDecision.passthrough(fired=False)
+        ctx.phase = sanitize_stream(ctx.raw_times, ctx.raw_csi)
+        return StageDecision.passthrough(fired=True, samples=len(ctx.phase))
+
+    def run_batch(
+        self, contexts: Sequence[EstimationContext]
+    ) -> list[StageDecision]:
+        """Sanitize many captures in stacked kernel calls.
+
+        Groups contexts by raw-capture shape (stacking needs rectangular
+        arrays); each same-shape group becomes one
+        :func:`sanitize_streams` call.  Singleton groups and contexts
+        with no raw capture take the scalar path verbatim.
+        """
+        decisions: list[StageDecision | None] = [None] * len(contexts)
+        groups: dict[tuple[int, ...], list[int]] = {}
+        for i, ctx in enumerate(contexts):
+            if ctx.raw_times is None or ctx.raw_csi is None:
+                decisions[i] = StageDecision.passthrough(fired=False)
+                continue
+            shape = tuple(np.shape(ctx.raw_times)) + tuple(np.shape(ctx.raw_csi))
+            groups.setdefault(shape, []).append(i)
+        for slots in groups.values():
+            if len(slots) == 1:
+                decisions[slots[0]] = self.run(contexts[slots[0]])
+                continue
+            times = np.stack([np.asarray(contexts[i].raw_times) for i in slots])
+            csi = np.stack([np.asarray(contexts[i].raw_csi) for i in slots])
+            for i, series in zip(slots, sanitize_streams(times, csi)):
+                contexts[i].phase = series
+                decisions[i] = StageDecision.passthrough(
+                    fired=True, samples=len(series)
+                )
+        return [d for d in decisions if d is not None]
 
 
 class PositionStage(Stage):

@@ -1,0 +1,106 @@
+"""The workload registry: which estimation chain a session kind runs.
+
+One CSI link, several things worth estimating from it.  The paper's
+head tracker is one workload; occupant localization
+(:mod:`repro.core.localize`, CarFi-style) and breathing-rate sensing
+(:mod:`repro.core.breathing`, V2iFi-style) ride the same profile, the
+same :class:`~repro.core.engine.EstimationEngine` and the same serve
+layer — they differ only in the stage chain the engine drives.  This
+module is the single place that mapping lives, so the serve layer can
+open a session of any kind by name
+(``SessionManager.open_session(..., workload="breathing")``) and the
+scenario registry (:mod:`repro.scenarios`) can declare mixed fleets.
+
+``"head"`` maps to the engine's default chain — constructed with
+``stages=None`` — so head-tracking sessions are byte-for-byte the
+pre-registry configuration.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.breathing import breathing_stages
+from repro.core.config import ViHOTConfig
+from repro.core.engine import EstimationEngine
+from repro.core.localize import localization_stages
+from repro.core.profile import CsiProfile
+from repro.core.stages import CameraLike
+
+__all__ = [
+    "HEAD_WORKLOAD",
+    "WorkloadFactory",
+    "engine_for_workload",
+    "register_workload",
+    "workload_kinds",
+]
+
+#: The default workload: the paper's head-orientation tracker.
+HEAD_WORKLOAD = "head"
+
+#: Builds the engine serving one session of the workload.
+WorkloadFactory = Callable[
+    [CsiProfile, ViHOTConfig, "CameraLike | None"], EstimationEngine
+]
+
+
+def _head_engine(
+    profile: CsiProfile, config: ViHOTConfig, camera: CameraLike | None
+) -> EstimationEngine:
+    return EstimationEngine(profile, config, camera=camera)
+
+
+def _localize_engine(
+    profile: CsiProfile, config: ViHOTConfig, camera: CameraLike | None
+) -> EstimationEngine:
+    # Localization has no steering fallback: the camera watches the
+    # driver, not the rear seats.
+    return EstimationEngine(
+        profile, config, stages=localization_stages(profile, config)
+    )
+
+
+def _breathing_engine(
+    profile: CsiProfile, config: ViHOTConfig, camera: CameraLike | None
+) -> EstimationEngine:
+    return EstimationEngine(profile, config, stages=breathing_stages(config))
+
+
+_WORKLOADS: dict[str, WorkloadFactory] = {}
+
+
+def register_workload(name: str, factory: WorkloadFactory) -> None:
+    """Register (or replace) a workload kind by name."""
+    if not name:
+        raise ValueError("workload name must be non-empty")
+    _WORKLOADS[name] = factory
+
+
+def workload_kinds() -> tuple[str, ...]:
+    """Every registered workload name, in registration order."""
+    return tuple(_WORKLOADS)
+
+
+def engine_for_workload(
+    workload: str,
+    profile: CsiProfile,
+    config: ViHOTConfig | None = None,
+    camera: CameraLike | None = None,
+) -> EstimationEngine:
+    """Build the engine serving one session of ``workload``.
+
+    Raises:
+        KeyError: for an unregistered workload name.
+    """
+    if workload not in _WORKLOADS:
+        raise KeyError(
+            f"unknown workload {workload!r}; registered: "
+            f"{sorted(_WORKLOADS)}"
+        )
+    resolved = config if config is not None else ViHOTConfig()
+    return _WORKLOADS[workload](profile, resolved, camera)
+
+
+register_workload(HEAD_WORKLOAD, _head_engine)
+register_workload("localize", _localize_engine)
+register_workload("breathing", _breathing_engine)

@@ -1,0 +1,41 @@
+"""``repro.scenarios``: declared, tiered, replayable fleet scenarios.
+
+A scenario is a :class:`~repro.scenarios.spec.ScenarioSpec` — cabin
+count, traffic shape, workload mix, fault plan, churn and seed — that
+fully determines a fleet run: same spec, same bits out.  Specs live in
+a validating registry addressable by name or tier (T0 calm commute
+through T3 rush-hour chaos), and the canonical packs in
+:mod:`~repro.scenarios.packs` register themselves on import, so
+``import repro.scenarios`` is enough to see the full catalogue.
+
+The CLI front end is ``vihot scenarios list|validate|run`` plus
+``vihot serve-bench --scenario <name-or-tier>``.
+"""
+
+from repro.scenarios.registry import (
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    resolve_scenario,
+)
+from repro.scenarios.runner import run_scenario, run_scenario_chaos
+from repro.scenarios.spec import TIERS, ScenarioSpec
+from repro.scenarios.validate import validate_scenario
+
+# Importing the packs registers the canonical catalogue; keep this after
+# the registry import so registration has something to register into.
+from repro.scenarios import packs as _packs  # noqa: E402
+
+__all__ = [
+    "TIERS",
+    "ScenarioSpec",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "resolve_scenario",
+    "run_scenario",
+    "run_scenario_chaos",
+    "validate_scenario",
+]
+
+del _packs

@@ -1,0 +1,115 @@
+"""The canonical scenario packs, two per tier.
+
+Each pack is sized for CI: small fleets, 2.5–3 s of 100 Hz stream time,
+so a full-tier sweep stays in seconds of wall clock while still
+exercising every serving-layer path the tier contract names.  The first
+pack registered under each tier is its flagship (what ``--scenario T2``
+resolves to), so ordering below is deliberate.
+
+Fault plans reuse :func:`repro.faults.chaos_plan` — every injector class
+opening over a mid-run window — with per-scenario seeds so no two packs
+share a corruption pattern.
+"""
+
+from __future__ import annotations
+
+from repro.faults import chaos_plan
+from repro.scenarios.registry import register_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+T0_CALM_COMMUTE = register_scenario(ScenarioSpec(
+    name="t0-calm-commute",
+    tier="T0",
+    description="Six head-tracking cabins on clean streams: the baseline "
+                "the registry's replay guarantee is anchored to.",
+    seed=11,
+    num_sessions=6,
+    duration_s=2.5,
+    workload_mix=("plain",),
+))
+
+T0_STEADY_BREATHING = register_scenario(ScenarioSpec(
+    name="t0-steady-breathing",
+    tier="T0",
+    description="Four parked cabins running breathing-rate micro-motion "
+                "sensing only — the V2iFi-style workload in isolation.",
+    seed=12,
+    num_sessions=4,
+    duration_s=3.0,
+    workload_mix=("breathing",),
+))
+
+T1_MORNING_MIX = register_scenario(ScenarioSpec(
+    name="t1-morning-mix",
+    tier="T1",
+    description="Head tracking across its serving variants — plain, "
+                "IMU-fused, camera fallback and forecasting — in one fleet.",
+    seed=21,
+    num_sessions=8,
+    duration_s=2.5,
+    workload_mix=("plain", "imu", "camera", "forecast"),
+))
+
+T1_REAR_SEAT_SHUTTLE = register_scenario(ScenarioSpec(
+    name="t1-rear-seat-shuttle",
+    tier="T1",
+    description="A shuttle fleet mixing head tracking with CarFi-style "
+                "rear-seat occupant localization, batched.",
+    seed=22,
+    num_sessions=6,
+    duration_s=2.5,
+    workload_mix=("plain", "localize"),
+    batching=True,
+))
+
+T2_DOWNTOWN_INTERFERENCE = register_scenario(ScenarioSpec(
+    name="t2-downtown-interference",
+    tier="T2",
+    description="Head-tracking variants under a mid-run fault storm: "
+                "bursty loss, NaN dropouts, clock skew and deep fades.",
+    seed=31,
+    num_sessions=8,
+    duration_s=2.5,
+    workload_mix=("plain", "imu", "forecast"),
+    fault_plan=chaos_plan(seed=31, start_s=0.8, stop_s=1.5),
+))
+
+T2_VITALS_UNDER_LOAD = register_scenario(ScenarioSpec(
+    name="t2-vitals-under-load",
+    tier="T2",
+    description="Breathing sensing sharing the tick loop with head "
+                "tracking while every injector class fires.",
+    seed=32,
+    num_sessions=6,
+    duration_s=3.0,
+    workload_mix=("breathing", "plain"),
+    fault_plan=chaos_plan(seed=32, start_s=1.0, stop_s=1.8),
+))
+
+T3_RUSH_HOUR_CHAOS = register_scenario(ScenarioSpec(
+    name="t3-rush-hour-chaos",
+    tier="T3",
+    description="The full stack at once: every cabin kind, heavy faults, "
+                "a fifth of the fleet churning mid-run, batched scheduling.",
+    seed=41,
+    num_sessions=12,
+    duration_s=3.0,
+    workload_mix=("plain", "imu", "camera", "forecast", "localize", "breathing"),
+    fault_plan=chaos_plan(seed=41, start_s=1.0, stop_s=1.8),
+    churn_fraction=0.2,
+    batching=True,
+))
+
+T3_STADIUM_EGRESS = register_scenario(ScenarioSpec(
+    name="t3-stadium-egress",
+    tier="T3",
+    description="Localization- and vitals-heavy fleet with aggressive "
+                "session churn under the fault storm: the admission and "
+                "teardown paths while degraded.",
+    seed=42,
+    num_sessions=10,
+    duration_s=3.0,
+    workload_mix=("plain", "localize", "breathing"),
+    fault_plan=chaos_plan(seed=42, start_s=0.9, stop_s=1.7),
+    churn_fraction=0.3,
+))

@@ -1,0 +1,76 @@
+"""The scenario registry: declared specs addressable by name or tier.
+
+Registration is validating (a spec that fails
+:func:`~repro.scenarios.validate.validate_scenario` is refused) and
+idempotent (re-registering a name with the same
+:attr:`~repro.scenarios.spec.ScenarioSpec.scenario_id` is a no-op, a
+different identity under a taken name raises).  Registration order is
+preserved: the first scenario registered under a tier is that tier's
+*flagship*, so CLI calls like ``serve-bench --scenario T2`` resolve to a
+canonical pack without spelling the full name.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.spec import TIERS, ScenarioSpec
+from repro.scenarios.validate import validate_scenario
+
+_REGISTRY: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Validate and register ``spec``; returns it for chaining.
+
+    Raises :class:`ValueError` if the spec violates the scenario
+    contract, or if its name is taken by a structurally different spec.
+    """
+    problems = validate_scenario(spec)
+    if problems:
+        detail = "; ".join(problems)
+        raise ValueError(f"scenario {spec.name!r} is invalid: {detail}")
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing.scenario_id != spec.scenario_id:
+        raise ValueError(
+            f"scenario name {spec.name!r} already registered with a "
+            f"different identity ({existing.scenario_id} != {spec.scenario_id})"
+        )
+    _REGISTRY.setdefault(spec.name, spec)
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a scenario by exact name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(f"unknown scenario {name!r}; registered: {known}") from None
+
+
+def list_scenarios(tier: str | None = None) -> tuple[ScenarioSpec, ...]:
+    """All registered scenarios in registration order, optionally one tier."""
+    if tier is not None and tier not in TIERS:
+        raise ValueError(f"tier {tier!r} is not one of {list(TIERS)}")
+    return tuple(
+        spec for spec in _REGISTRY.values() if tier is None or spec.tier == tier
+    )
+
+
+def resolve_scenario(name_or_tier: str) -> ScenarioSpec:
+    """Resolve a scenario name, or a tier to its flagship scenario.
+
+    A tier (``"T2"``) resolves to the first scenario registered under
+    it.  Anything else must be an exact scenario name.
+    """
+    if name_or_tier in _REGISTRY:
+        return _REGISTRY[name_or_tier]
+    if name_or_tier in TIERS:
+        for spec in _REGISTRY.values():
+            if spec.tier == name_or_tier:
+                return spec
+        raise KeyError(f"no scenarios registered under tier {name_or_tier!r}")
+    known = ", ".join(sorted(_REGISTRY)) or "<none>"
+    raise KeyError(
+        f"unknown scenario or tier {name_or_tier!r}; "
+        f"tiers: {', '.join(TIERS)}; registered: {known}"
+    )

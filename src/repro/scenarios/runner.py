@@ -1,0 +1,83 @@
+"""Run a declared scenario through the serving stack.
+
+Two entry points, matching the two fleet drivers:
+
+* :func:`run_scenario` — the loadgen path
+  (:func:`repro.serve.loadgen.run_load`): throughput/latency metrics,
+  optional stream capture and standalone-replay verification.
+* :func:`run_scenario_chaos` — the containment path
+  (:func:`repro.serve.chaos.run_chaos`): counts unhandled exceptions and
+  checks the fleet heals after the fault window.
+
+Both take every knob from the spec, so a scenario's
+:attr:`~repro.scenarios.spec.ScenarioSpec.scenario_id` fully determines
+what either driver replays.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.spec import ScenarioSpec
+from repro.serve.chaos import ChaosResult, run_chaos
+from repro.serve.loadgen import LoadResult, run_load
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    verify_sessions: int | None = None,
+    capture_sessions: int = 0,
+) -> LoadResult:
+    """Run ``spec`` through the loadgen driver.
+
+    ``verify_sessions`` defaults to two standalone-replay probes on
+    clean scenarios and zero on faulted or churning ones (a corrupted
+    or interrupted stream has no standalone twin to compare against).
+    ``capture_sessions`` captures that many estimate streams for replay
+    comparison; note churn takes the fleet tail, so capturing the whole
+    fleet on a churning scenario clamps the churn away.
+    """
+    if verify_sessions is None:
+        churned = spec.churn_sessions > 0
+        verify_sessions = (
+            0 if spec.fault_plan.enabled or churned
+            else min(2, spec.num_sessions)
+        )
+    return run_load(
+        num_sessions=spec.num_sessions,
+        duration_s=spec.duration_s,
+        rate_hz=spec.rate_hz,
+        tick_interval_s=spec.tick_interval_s,
+        stride_s=spec.stride_s,
+        budget_s=spec.budget_s,
+        queue_depth=spec.queue_depth,
+        verify_sessions=verify_sessions,
+        buffer_s=spec.buffer_s,
+        seed=spec.seed,
+        plan=spec.fault_plan if spec.fault_plan.enabled else None,
+        batching=spec.batching,
+        capture_sessions=capture_sessions,
+        workloads=spec.workload_mix,
+        churn_sessions=spec.churn_sessions,
+    )
+
+
+def run_scenario_chaos(spec: ScenarioSpec) -> ChaosResult:
+    """Run ``spec`` through the chaos containment driver.
+
+    Passes the spec's own fault plan verbatim — including an empty plan
+    for T0/T1 scenarios, so the default storm never leaks into a tier
+    that promised clean streams.
+    """
+    return run_chaos(
+        num_sessions=spec.num_sessions,
+        duration_s=spec.duration_s,
+        rate_hz=spec.rate_hz,
+        tick_interval_s=spec.tick_interval_s,
+        stride_s=spec.stride_s,
+        budget_s=spec.budget_s,
+        queue_depth=spec.queue_depth,
+        buffer_s=spec.buffer_s,
+        seed=spec.seed,
+        plan=spec.fault_plan,
+        batching=spec.batching,
+        workloads=spec.workload_mix,
+    )

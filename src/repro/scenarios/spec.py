@@ -1,0 +1,97 @@
+"""The declared-scenario contract.
+
+A :class:`ScenarioSpec` is a complete, self-contained description of one
+fleet run: cabin count, traffic shape, workload mix, fault plan, session
+churn and the seed that makes all of it deterministic.  Two runs of the
+same spec produce bit-identical estimate streams and identical serving
+counters — the replay guarantee the scenario tests pin.
+
+Identity is structural: :attr:`ScenarioSpec.scenario_id` hashes the
+sorted-key JSON encoding of every replay-relevant field, so renaming a
+scenario keeps its id while touching any knob changes it.  Fault
+injectors are serialized with their class name plus their dataclass
+fields, so two plans with the same numbers but different injector types
+hash differently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.faults import FaultPlan
+
+#: Canonical scenario tiers, calmest first.  T0 is a fault-free single
+#: workload commute; T3 is rush-hour chaos — heavy faults, mixed
+#: workloads and mid-run session churn.
+TIERS: tuple[str, ...] = ("T0", "T1", "T2", "T3")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declared fleet scenario, fully deterministic given ``seed``.
+
+    ``workload_mix`` is a cycle of loadgen cabin kinds (see
+    :data:`repro.serve.loadgen.ALL_WORKLOAD_KINDS`): cabin ``k`` gets
+    ``workload_mix[k % len(workload_mix)]``.  ``churn_fraction`` closes
+    that share of the fleet mid-run and reopens it later in the same
+    run, exercising session teardown and re-admission under load.
+    """
+
+    name: str
+    tier: str
+    description: str
+    seed: int = 0
+    num_sessions: int = 8
+    duration_s: float = 2.5
+    rate_hz: float = 100.0
+    tick_interval_s: float = 0.05
+    stride_s: float = 0.25
+    budget_s: float = 1.0
+    queue_depth: int = 4096
+    buffer_s: float = 6.0
+    workload_mix: tuple[str, ...] = ("plain",)
+    fault_plan: FaultPlan = field(default_factory=FaultPlan)
+    churn_fraction: float = 0.0
+    batching: bool = False
+
+    def identity(self) -> dict[str, object]:
+        """The replay-relevant fields as a JSON-encodable mapping.
+
+        ``description`` is deliberately excluded: prose edits must not
+        change a scenario's identity.  Injectors carry their class name
+        so plans that differ only in injector type hash differently.
+        """
+        return {
+            "name": self.name,
+            "tier": self.tier,
+            "seed": self.seed,
+            "num_sessions": self.num_sessions,
+            "duration_s": self.duration_s,
+            "rate_hz": self.rate_hz,
+            "tick_interval_s": self.tick_interval_s,
+            "stride_s": self.stride_s,
+            "budget_s": self.budget_s,
+            "queue_depth": self.queue_depth,
+            "buffer_s": self.buffer_s,
+            "workload_mix": list(self.workload_mix),
+            "fault_seed": self.fault_plan.seed,
+            "fault_injectors": [
+                {"type": type(inj).__name__, **asdict(inj)}
+                for inj in self.fault_plan.injectors
+            ],
+            "churn_fraction": self.churn_fraction,
+            "batching": self.batching,
+        }
+
+    @property
+    def scenario_id(self) -> str:
+        """A 12-hex-digit structural identity for this scenario."""
+        payload = json.dumps(self.identity(), sort_keys=True)
+        return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+    @property
+    def churn_sessions(self) -> int:
+        """How many sessions the churn fraction closes mid-run."""
+        return int(round(self.churn_fraction * self.num_sessions))

@@ -1,0 +1,110 @@
+"""Contract validation for declared scenarios.
+
+:func:`validate_scenario` returns a list of human-readable problems —
+empty means the spec honours both the general sanity contract (positive
+rates, known workload kinds, fault windows inside the run) and its
+tier's behavioural contract:
+
+* **T0** — calm commute: no faults, no churn.
+* **T1** — mixed traffic allowed, still fault-free and churn-free.
+* **T2** — interference: a fault plan is mandatory.
+* **T3** — rush-hour chaos: faults *and* session churn *and* at least
+  two distinct workload engines sharing the tick loop.
+
+Registration refuses invalid specs, and ``vihot scenarios validate``
+runs the same checks over every registered pack in CI.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from repro.scenarios.spec import TIERS, ScenarioSpec
+from repro.serve.loadgen import ALL_WORKLOAD_KINDS, kind_workload
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9-]*$")
+
+
+def validate_scenario(spec: ScenarioSpec) -> list[str]:
+    """Check ``spec`` against the scenario contract.
+
+    Returns a list of problems; an empty list means the spec is valid.
+    """
+    problems: list[str] = []
+
+    if not _NAME_RE.match(spec.name):
+        problems.append(
+            f"name {spec.name!r} must match [a-z0-9][a-z0-9-]* "
+            "(lowercase kebab-case)"
+        )
+    if spec.tier not in TIERS:
+        problems.append(f"tier {spec.tier!r} is not one of {list(TIERS)}")
+
+    if spec.num_sessions < 1:
+        problems.append(f"num_sessions must be >= 1, got {spec.num_sessions}")
+    for field_name in ("duration_s", "rate_hz", "tick_interval_s", "stride_s",
+                       "budget_s"):
+        value = float(getattr(spec, field_name))
+        if not value > 0:
+            problems.append(f"{field_name} must be > 0, got {value}")
+    if spec.queue_depth < 1:
+        problems.append(f"queue_depth must be >= 1, got {spec.queue_depth}")
+    if spec.buffer_s < 2.5:
+        # The engine needs window_s + stable_window_s of history before
+        # its first estimate; a shorter ring buffer silently starves it.
+        problems.append(f"buffer_s must be >= 2.5, got {spec.buffer_s}")
+
+    if not spec.workload_mix:
+        problems.append("workload_mix must name at least one cabin kind")
+    unknown = sorted(set(spec.workload_mix) - set(ALL_WORKLOAD_KINDS))
+    if unknown:
+        problems.append(
+            f"unknown workload kinds {unknown}; known: {list(ALL_WORKLOAD_KINDS)}"
+        )
+
+    if not 0.0 <= spec.churn_fraction <= 0.9:
+        problems.append(
+            f"churn_fraction must be in [0, 0.9], got {spec.churn_fraction}"
+        )
+
+    for inj in spec.fault_plan.injectors:
+        window = inj.window
+        label = type(inj).__name__
+        if not math.isfinite(window.stop_s):
+            problems.append(f"{label}: fault window must have a finite stop_s")
+        elif not 0.0 <= window.start_s < window.stop_s <= spec.duration_s:
+            problems.append(
+                f"{label}: fault window [{window.start_s}, {window.stop_s}) "
+                f"must satisfy 0 <= start < stop <= duration_s "
+                f"({spec.duration_s})"
+            )
+
+    problems.extend(_tier_problems(spec))
+    return problems
+
+
+def _tier_problems(spec: ScenarioSpec) -> list[str]:
+    problems: list[str] = []
+    faulted = spec.fault_plan.enabled
+    churning = spec.churn_fraction > 0
+    if spec.tier in ("T0", "T1"):
+        if faulted:
+            problems.append(f"{spec.tier} scenarios must not carry a fault plan")
+        if churning:
+            problems.append(f"{spec.tier} scenarios must not churn sessions")
+    elif spec.tier == "T2":
+        if not faulted:
+            problems.append("T2 scenarios must carry a fault plan")
+    elif spec.tier == "T3":
+        if not faulted:
+            problems.append("T3 scenarios must carry a fault plan")
+        if not churning:
+            problems.append("T3 scenarios must churn sessions (churn_fraction > 0)")
+        engines = {kind_workload(kind) for kind in spec.workload_mix}
+        if len(engines) < 2:
+            problems.append(
+                "T3 scenarios must mix at least two distinct workload "
+                f"engines, got {sorted(engines)}"
+            )
+    return problems

@@ -25,10 +25,13 @@ from repro.serve.batch import BatchedScheduler, BatchGroup, BatchPlanner
 from repro.serve.chaos import ChaosResult, run_chaos
 from repro.serve.ingest import IngestBatch, IngestQueue, IngestRecord
 from repro.serve.loadgen import (
+    ALL_WORKLOAD_KINDS,
     WORKLOAD_KINDS,
     LoadResult,
     SyntheticCabin,
     SyntheticCamera,
+    kind_uses_imu,
+    kind_workload,
     run_load,
 )
 from repro.serve.manager import (
@@ -87,6 +90,9 @@ __all__ = [
     "SyntheticCabin",
     "SyntheticCamera",
     "WORKLOAD_KINDS",
+    "ALL_WORKLOAD_KINDS",
+    "kind_workload",
+    "kind_uses_imu",
     "run_chaos",
     "ChaosResult",
     "HealthPolicy",

@@ -6,8 +6,11 @@ near-identical array shapes.  This module adds the batched alternative:
 
 * :class:`BatchPlanner` partitions the due sessions into groups whose
   engines are interchangeable — same profile *object* (the manager's
-  profile cache shares it fleet-wide), equal config, the same stage
-  chain and window shape, and no per-session camera.  Sessions that
+  profile cache shares it fleet-wide), equal config up to the forecast
+  horizon (every :class:`~repro.core.engine.BatchItem` carries its own
+  engine, so per-context stages run with their session's horizon while
+  the batch-aware match stacks across the group), the same stage chain
+  and window shape, and no per-session camera.  Sessions that
   don't qualify (camera-backed steering fallback, degraded health) are
   planned as singleton fallback groups and served on the sequential
   path.  Quarantined sessions never reach the planner — ``pending()``
@@ -34,7 +37,7 @@ contained per session exactly like sequential poll exceptions — same
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from collections.abc import Sequence
 
 from repro.core.engine import BatchItem, EstimationEngine
@@ -45,9 +48,12 @@ from repro.serve.scheduler import (
 )
 from repro.serve.session import HEALTHY, TrackedSession
 
-#: The planner's grouping key: (profile identity, config, stage chain,
-#: window shape).  Engines agreeing on all four are interchangeable for
-#: camera-less sessions.
+#: The planner's grouping key: (profile identity, horizon-normalized
+#: config, stage chain, window shape).  Engines agreeing on all four are
+#: stackable for camera-less sessions: the horizon is the one config
+#: field the batch-aware stages never read, so forecast sessions share
+#: their plain siblings' candidate banks while per-context stages still
+#: run through each item's own engine.
 GroupKey = tuple[int, object, tuple[str, ...], int]
 
 
@@ -96,6 +102,12 @@ class BatchPlanner:
         ``None`` when the session has no tracker, carries a camera, or
         is not currently healthy (degraded sessions are isolated on the
         sequential path until they recover).
+
+        The config is normalized to a zero horizon before keying:
+        sessions differing *only* in ``horizon_s`` (forecast vs plain)
+        are stackable because the batch items carry their own engines —
+        the forecast/jump-filter/emit stages read each session's real
+        horizon, and the stacked match never reads it at all.
         """
         tracker = session.tracker
         if tracker is None:
@@ -108,7 +120,7 @@ class BatchPlanner:
         config = engine.config
         return (
             id(engine.profile),
-            config,
+            replace(config, horizon_s=0.0),
             engine.stage_names,
             config.window_samples,
         )

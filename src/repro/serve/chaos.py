@@ -22,11 +22,21 @@ asserted at the same scale by ``tests/serve/test_chaos.py``.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from collections.abc import Sequence
 
 from repro.core.config import ViHOTConfig
 from repro.faults import FaultPlan, StreamFaults, chaos_plan
-from repro.serve.loadgen import SYNTHETIC_FINGERPRINT, SyntheticCabin, synthetic_profile
+from repro.serve.loadgen import (
+    ALL_WORKLOAD_KINDS,
+    SYNTHETIC_FINGERPRINT,
+    SyntheticCabin,
+    SyntheticCamera,
+    _cabin_kind,
+    kind_uses_imu,
+    kind_workload,
+    synthetic_profile,
+)
 from repro.serve.manager import SessionManager
 from repro.serve.session import HEALTH_STATES, HEALTHY
 
@@ -102,6 +112,7 @@ def run_chaos(
     seed: int = 0,
     plan: FaultPlan | None = None,
     batching: bool = False,
+    workloads: Sequence[str] | None = None,
 ) -> ChaosResult:
     """Drive a synthetic fleet through a fault storm, then let it heal.
 
@@ -118,9 +129,22 @@ def run_chaos(
     ``batching`` runs the storm under the fleet-batched scheduler:
     degraded sessions must drop to the sequential fallback path and the
     containment guarantees must hold unchanged.
+
+    ``workloads`` cycles cabins through an explicit kind list (from
+    :data:`~repro.serve.loadgen.ALL_WORKLOAD_KINDS`) so the storm can
+    hit a mixed fleet — head tracking, occupant localization and
+    breathing sensing in the same tick loop, the scenario registry's
+    T2/T3 containment check.  ``None`` keeps the all-plain fleet.
     """
     if num_sessions < 1:
         raise ValueError("num_sessions must be >= 1")
+    if workloads is not None:
+        unknown = sorted(set(workloads) - set(ALL_WORKLOAD_KINDS))
+        if unknown:
+            raise ValueError(
+                f"unknown workload kinds {unknown}; known: "
+                f"{list(ALL_WORKLOAD_KINDS)}"
+            )
     if config is None:
         config = ViHOTConfig(profile_stride=8, num_length_candidates=3)
     if plan is None:
@@ -138,16 +162,25 @@ def run_chaos(
         buffer_s=buffer_s,
         batching=batching,
     )
+    kinds = [
+        _cabin_kind(k, False, workloads) for k in range(num_sessions)
+    ]
     cabins = [
         SyntheticCabin(f"cabin-{k:04d}", seed=seed * 10_000 + k, duration_s=duration_s,
-                       rate_hz=rate_hz)
+                       rate_hz=rate_hz, workload=kind_workload(kinds[k]))
         for k in range(num_sessions)
     ]
-    for cabin in cabins:
+    for k, cabin in enumerate(cabins):
+        kind = kinds[k]
         manager.open_session(
             cabin.cabin_id,
             fingerprint=SYNTHETIC_FINGERPRINT,
             build_profile=lambda: profile,
+            camera=SyntheticCamera(seed=seed * 10_000 + k)
+            if kind == "camera"
+            else None,
+            config=replace(config, horizon_s=0.1) if kind == "forecast" else None,
+            workload=kind_workload(kind),
         )
     faults: dict[str, StreamFaults] = {
         cabin.cabin_id: plan.bind(cabin.cabin_id) for cabin in cabins
@@ -157,9 +190,23 @@ def run_chaos(
     unhandled = 0
     start = time.perf_counter()
     next_tick = tick_interval_s
+    imu_cursors = [0] * num_sessions
     for k in range(len(cabins[0])):
         t = float(cabins[0].times[k])
-        for cabin in cabins:
+        for c, cabin in enumerate(cabins):
+            if kind_uses_imu(kinds[c]):
+                cursor = imu_cursors[c]
+                while cursor < len(cabin.imu_times) and cabin.imu_times[cursor] <= t:
+                    try:
+                        manager.ingest_imu(
+                            cabin.cabin_id,
+                            float(cabin.imu_times[cursor]),
+                            float(cabin.imu_rates[cursor]),
+                        )
+                    except Exception:
+                        unhandled += 1
+                    cursor += 1
+                imu_cursors[c] = cursor
             for ft, fcsi in faults[cabin.cabin_id].process(t, cabin.csi_at(k)):
                 offered += 1
                 try:

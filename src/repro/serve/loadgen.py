@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field, replace
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -27,6 +28,7 @@ from repro.core.config import ViHOTConfig
 from repro.core.online import OnlineTracker
 from repro.core.profile import CsiProfile, PositionProfile
 from repro.core.stages import Estimate
+from repro.core.workloads import HEAD_WORKLOAD, engine_for_workload
 from repro.faults import FaultPlan, StreamFaults
 from repro.serve.manager import ManagerTickReport, SessionManager
 
@@ -40,10 +42,30 @@ SYNTHETIC_FINGERPRINT = "synthetic-cabin-v1"
 
 #: The mixed-fleet workload kinds, cycled per cabin index when
 #: ``run_load(workload_mix=True)``:
-#: ``plain`` (CSI only), ``forecast`` (nonzero horizon — its own config,
-#: so its own batch group), ``camera`` (IMU + camera steering fallback —
-#: excluded from batches), ``imu`` (IMU without camera — steering holds).
+#: ``plain`` (CSI only), ``forecast`` (nonzero horizon — shares its
+#: plain siblings' batch group, the items carry their own engines),
+#: ``camera`` (IMU + camera steering fallback — excluded from batches),
+#: ``imu`` (IMU without camera — steering holds).
 WORKLOAD_KINDS = ("plain", "forecast", "camera", "imu")
+
+#: Every kind a scenario's workload mix may name: the four head-tracking
+#: traffic shapes above plus the non-head estimation workloads
+#: (``localize`` — rear-seat occupant localization, ``breathing`` —
+#: respiration-rate micro-motion sensing).  Cycled per cabin index via
+#: ``run_load(workloads=...)``.
+ALL_WORKLOAD_KINDS = WORKLOAD_KINDS + ("localize", "breathing")
+
+
+def kind_workload(kind: str) -> str:
+    """The serve-layer session workload behind a loadgen kind: the four
+    head-tracking traffic shapes all run the ``"head"`` chain; the
+    estimation workloads run their own."""
+    return kind if kind in ("localize", "breathing") else HEAD_WORKLOAD
+
+
+def kind_uses_imu(kind: str) -> bool:
+    """Whether cabins of this kind stream the gyro side-channel."""
+    return kind in ("camera", "imu")
 
 
 def synthetic_profile(num_positions: int = 4, seed: int = 100) -> CsiProfile:
@@ -64,9 +86,18 @@ def synthetic_profile(num_positions: int = 4, seed: int = 100) -> CsiProfile:
 class SyntheticCabin:
     """One cabin's deterministic packet stream.
 
-    The head sweeps sinusoidally at a per-cabin frequency/amplitude, so
-    different cabins are genuinely different workloads (different match
-    windows, different stationary spells) while staying reproducible.
+    The phase track depends on the cabin's ``workload`` traffic shape:
+
+    * ``"head"`` (default): the head sweeps sinusoidally at a per-cabin
+      frequency/amplitude — the pre-registry stream, byte for byte.
+    * ``"localize"``: a rear-seat occupant parked near one profiled
+      seat's ``phi0`` fingerprint (recorded as :attr:`seat_index`), with
+      slow posture drift on top.
+    * ``"breathing"``: a small respiration sinusoid at a per-cabin rate
+      in the physiological band (recorded as :attr:`breathing_rate_hz`).
+
+    All shapes are deterministic in ``(seed, workload)``, so the same
+    fleet replays bit-identically.
     """
 
     cabin_id: str
@@ -74,15 +105,38 @@ class SyntheticCabin:
     duration_s: float
     rate_hz: float = 200.0
     imu_rate_hz: float = 20.0
+    workload: str = "head"
 
     def __post_init__(self) -> None:
         rng = np.random.default_rng(self.seed)
         self.times = np.arange(0.0, self.duration_s, 1.0 / self.rate_hz)
-        freq = 0.30 + 0.15 * rng.random()
-        amplitude = 0.6 + 0.4 * rng.random()
-        self._sweep = amplitude * np.sin(
-            2.0 * np.pi * freq * self.times
-        ) + rng.normal(0, 0.01, len(self.times))
+        if self.workload == "localize":
+            # Seat fingerprints in synthetic_profile() sit at 0.2 * k.
+            self.seat_index = int(rng.integers(4))
+            drift = 0.03 * np.sin(
+                2.0 * np.pi * 0.08 * self.times + 2.0 * np.pi * rng.random()
+            )
+            self._sweep = (
+                0.2 * self.seat_index
+                + drift
+                + rng.normal(0, 0.01, len(self.times))
+            )
+        elif self.workload == "breathing":
+            self.breathing_rate_hz = float(0.18 + 0.17 * rng.random())
+            chest = 0.05 * np.sin(
+                2.0 * np.pi * self.breathing_rate_hz * self.times
+                + 2.0 * np.pi * rng.random()
+            )
+            self._sweep = chest + rng.normal(0, 0.004, len(self.times))
+        else:
+            # The head-tracking shape.  Draw order is bit-identity
+            # critical: the serve-layer equivalence gates replay these
+            # exact streams.
+            freq = 0.30 + 0.15 * rng.random()
+            amplitude = 0.6 + 0.4 * rng.random()
+            self._sweep = amplitude * np.sin(
+                2.0 * np.pi * freq * self.times
+            ) + rng.normal(0, 0.01, len(self.times))
         # A deterministic gyro track: quiet, except one mid-run steering
         # burst well above the 0.06 rad/s identification threshold so
         # IMU-carrying workloads actually exercise the steering stage.
@@ -141,6 +195,7 @@ class LoadResult:
     batching: bool = False
     batched_sessions: int = 0  # serving records produced by stacked calls
     fallback_sessions: int = 0  # serving records on the sequential path
+    churned_sessions: int = 0  # sessions closed mid-run and reopened
     #: Per-captured-session poll log ``[(polled_t, estimate), ...]`` for
     #: the first ``capture_sessions`` cabins — lets a caller compare two
     #: runs (batched vs sequential) estimate-for-estimate.  Excluded
@@ -168,6 +223,7 @@ class LoadResult:
             "batching": self.batching,
             "batched_sessions": self.batched_sessions,
             "fallback_sessions": self.fallback_sessions,
+            "churned_sessions": self.churned_sessions,
             "metrics": self.metrics_line,
         }
 
@@ -208,8 +264,17 @@ def estimates_identical(a: Estimate | None, b: Estimate | None) -> bool:
     )
 
 
-def _cabin_kind(index: int, workload_mix: bool) -> str:
-    """The workload kind cabin ``index`` runs under."""
+def _cabin_kind(
+    index: int, workload_mix: bool, workloads: Sequence[str] | None = None
+) -> str:
+    """The workload kind cabin ``index`` runs under.
+
+    An explicit ``workloads`` cycle (the scenario registry's mix) wins;
+    otherwise ``workload_mix`` cycles the head-tracking kinds and the
+    default is a plain fleet.
+    """
+    if workloads:
+        return workloads[index % len(workloads)]
     return WORKLOAD_KINDS[index % len(WORKLOAD_KINDS)] if workload_mix else "plain"
 
 
@@ -221,6 +286,7 @@ def _replay_standalone(
     estimate_times: list[float],
     camera: SyntheticCamera | None = None,
     with_imu: bool = False,
+    workload: str = HEAD_WORKLOAD,
 ) -> list[Estimate | None]:
     """Feed a fresh standalone tracker the cabin's packets, polling at
     exactly the instants the manager's scheduler polled.
@@ -230,7 +296,15 @@ def _replay_standalone(
     paths leave the tracker's IMU ring holding exactly the readings
     stamped at or before the current stream time when a poll lands.
     """
-    tracker = OnlineTracker(profile, config, camera=camera, buffer_s=buffer_s)
+    if workload == HEAD_WORKLOAD:
+        tracker = OnlineTracker(profile, config, camera=camera, buffer_s=buffer_s)
+    else:
+        tracker = OnlineTracker(
+            profile,
+            camera=camera,
+            buffer_s=buffer_s,
+            engine=engine_for_workload(workload, profile, config, camera=camera),
+        )
     produced: list[Estimate | None] = []
     poll = 0
     imu_k = 0
@@ -265,6 +339,8 @@ def run_load(
     batching: bool = False,
     workload_mix: bool = False,
     capture_sessions: int = 0,
+    workloads: Sequence[str] | None = None,
+    churn_sessions: int = 0,
 ) -> LoadResult:
     """Drive ``num_sessions`` synthetic cabins through one manager.
 
@@ -285,13 +361,33 @@ def run_load(
     (:class:`~repro.serve.batch.BatchedScheduler`) — a performance
     toggle that must not change a single served value.
     ``workload_mix`` cycles cabins through :data:`WORKLOAD_KINDS` so the
-    fleet exercises every batch-planner path at once.  The first
-    ``capture_sessions`` cabins get their full ``(polled_t, estimate)``
-    poll logs recorded in :attr:`LoadResult.captured` for cross-run
-    comparison.
+    fleet exercises every batch-planner path at once.  ``workloads``
+    (the scenario registry's mix) supersedes it: an explicit kind cycle
+    from :data:`ALL_WORKLOAD_KINDS`, which may include the non-head
+    estimation workloads (``localize``, ``breathing``) — those sessions
+    open with the matching serve-layer workload and cabin traffic
+    shape.  The first ``capture_sessions`` cabins get their full
+    ``(polled_t, estimate)`` poll logs recorded in
+    :attr:`LoadResult.captured` for cross-run comparison.
+
+    ``churn_sessions`` closes that many sessions (from the fleet's
+    tail) mid-run and reopens them shortly after — the T3 scenarios'
+    session-churn stress.  Churned cabins are excluded from
+    verification and capture (their reopened trackers legitimately
+    restart from empty buffers), and with the default of 0 the code
+    path is untouched.
     """
     if num_sessions < 1:
         raise ValueError("num_sessions must be >= 1")
+    if workloads is not None:
+        unknown = sorted(set(workloads) - set(ALL_WORKLOAD_KINDS))
+        if unknown:
+            raise ValueError(
+                f"unknown workload kinds {unknown}; known: "
+                f"{list(ALL_WORKLOAD_KINDS)}"
+            )
+    if churn_sessions < 0:
+        raise ValueError("churn_sessions must be >= 0")
     if config is None:
         # The fast search configuration the online benches use.
         config = ViHOTConfig(profile_stride=8, num_length_candidates=3)
@@ -306,18 +402,21 @@ def run_load(
         buffer_s=buffer_s,
         batching=batching,
     )
+    cabin_kinds = [
+        _cabin_kind(k, workload_mix, workloads) for k in range(num_sessions)
+    ]
     cabins = [
         SyntheticCabin(f"cabin-{k:04d}", seed=seed * 10_000 + k, duration_s=duration_s,
-                       rate_hz=rate_hz)
+                       rate_hz=rate_hz, workload=kind_workload(cabin_kinds[k]))
         for k in range(num_sessions)
     ]
     kinds = {
-        cabin.cabin_id: _cabin_kind(k, workload_mix)
-        for k, cabin in enumerate(cabins)
+        cabin.cabin_id: cabin_kinds[k] for k, cabin in enumerate(cabins)
     }
     cameras: dict[str, SyntheticCamera] = {}
     configs: dict[str, ViHOTConfig] = {}
-    for k, cabin in enumerate(cabins):
+
+    def open_cabin(k: int, cabin: SyntheticCabin) -> None:
         kind = kinds[cabin.cabin_id]
         session_config = (
             replace(config, horizon_s=0.1) if kind == "forecast" else config
@@ -332,12 +431,29 @@ def run_load(
             build_profile=lambda: profile,
             camera=camera,
             config=session_config if kind == "forecast" else None,
+            workload=kind_workload(kind),
         )
+
+    for k, cabin in enumerate(cabins):
+        open_cabin(k, cabin)
 
     faults: dict[str, StreamFaults] = {}
     if plan is not None and plan.enabled:
         faults = {cabin.cabin_id: plan.bind(cabin.cabin_id) for cabin in cabins}
         verify_sessions = 0  # injected streams diverge from pristine cabins
+
+    # Churn takes sessions from the fleet's tail so it never overlaps
+    # the verification/capture probes at the front.
+    churn_sessions = min(
+        churn_sessions,
+        max(num_sessions - max(verify_sessions, capture_sessions), 0),
+    )
+    churn_ids = [cabin.cabin_id for cabin in cabins[num_sessions - churn_sessions:]
+                 ] if churn_sessions else []
+    churn_close_t = 0.45 * duration_s
+    churn_reopen_t = 0.65 * duration_s
+    churn_phase = "open"  # open -> closed -> reopened
+    closed: set[str] = set()
 
     # Per-tracked-session poll log: the stream times the scheduler
     # actually polled at (estimates or declines both advance the clock).
@@ -366,8 +482,32 @@ def run_load(
     imu_cursors = {cabin.cabin_id: 0 for cabin in cabins}
     for k in range(num_steps):
         t = float(cabins[0].times[k])
+        if churn_ids and churn_phase == "open" and t >= churn_close_t:
+            for cabin_id in churn_ids:
+                manager.close_session(cabin_id)
+                closed.add(cabin_id)
+            churn_phase = "closed"
+        elif churn_ids and churn_phase == "closed" and t >= churn_reopen_t:
+            for ck, cabin in enumerate(cabins):
+                if cabin.cabin_id in closed:
+                    open_cabin(ck, cabin)
+            closed.clear()
+            churn_phase = "reopened"
         for cabin in cabins:
-            if kinds[cabin.cabin_id] in ("camera", "imu"):
+            uses_imu = kind_uses_imu(kinds[cabin.cabin_id])
+            if cabin.cabin_id in closed:
+                # A disconnected car streams nothing; its unsent IMU
+                # backlog is discarded, not delivered on reconnect.
+                if uses_imu:
+                    cursor = imu_cursors[cabin.cabin_id]
+                    while (
+                        cursor < len(cabin.imu_times)
+                        and cabin.imu_times[cursor] <= t
+                    ):
+                        cursor += 1
+                    imu_cursors[cabin.cabin_id] = cursor
+                continue
+            if uses_imu:
                 cursor = imu_cursors[cabin.cabin_id]
                 while cursor < len(cabin.imu_times) and cabin.imu_times[cursor] <= t:
                     manager.ingest_imu(
@@ -400,7 +540,8 @@ def run_load(
             buffer_s,
             [t for t, _ in log],
             camera=cameras.get(cabin.cabin_id),
-            with_imu=kind in ("camera", "imu"),
+            with_imu=kind_uses_imu(kind),
+            workload=kind_workload(kind),
         )
         served_estimates = [e for _, e in log]
         if len(standalone) != len(served_estimates) or not all(
@@ -432,6 +573,7 @@ def run_load(
         batching=batching,
         batched_sessions=batched_total,
         fallback_sessions=fallback_total,
+        churned_sessions=len(churn_ids),
         captured={
             cabin.cabin_id: servings[cabin.cabin_id]
             for cabin in cabins[:capture_sessions]

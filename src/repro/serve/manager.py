@@ -39,6 +39,7 @@ from repro.core.config import ViHOTConfig
 from repro.core.diagnostics import StageStats, aggregate_stage_traces
 from repro.core.profile import CsiProfile
 from repro.core.stages import CameraLike, Estimate
+from repro.core.workloads import HEAD_WORKLOAD
 from repro.serve.batch import BatchedScheduler
 from repro.serve.ingest import IngestQueue
 from repro.serve.metrics import MetricsRegistry
@@ -300,6 +301,7 @@ class SessionManager:
         build_profile: Callable[[], CsiProfile] | None = None,
         camera: CameraLike | None = None,
         config: ViHOTConfig | None = None,
+        workload: str = HEAD_WORKLOAD,
     ) -> TrackedSession:
         """Admit one session, resolving its profile.
 
@@ -311,8 +313,15 @@ class SessionManager:
 
         ``config`` overrides the manager-wide tracker config for this
         session (e.g. a forecasting cabin in a tracking fleet); the
-        batch planner only stacks sessions whose configs are equal, so
-        an override simply lands the session in its own batch group.
+        batch planner stacks sessions whose configs agree up to the
+        forecast horizon, so an override beyond that simply lands the
+        session in its own batch group.
+
+        ``workload`` picks the estimation chain
+        (:func:`repro.core.workloads.workload_kinds`): one fleet can mix
+        head-tracking, occupant-localization and breathing sessions in
+        the same tick loop — different chains never share a batch group
+        (the planner keys on stage names).
         """
         if session_id in self._sessions and (
             self._sessions[session_id].state != EVICTED
@@ -326,6 +335,7 @@ class SessionManager:
             stride_s=self._stride_s,
             max_history=self._max_history,
             health_policy=self._health_policy,
+            workload=workload,
         )
         if profile is None and fingerprint is not None:
             if fingerprint in self._profiles or build_profile is not None:
@@ -345,6 +355,10 @@ class SessionManager:
         session.last_activity = self._clock()
         self._sessions[session_id] = session
         self._c_opened.inc()
+        self._metrics.counter(
+            f"vihot_sessions_opened_{workload}_total",
+            f"sessions opened with the {workload!r} workload",
+        ).inc()
         self._g_live.set(len(self))
         return session
 

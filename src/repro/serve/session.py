@@ -32,6 +32,7 @@ from repro.core.engine import BatchItem
 from repro.core.online import OnlineTracker
 from repro.core.profile import CsiProfile
 from repro.core.stages import CameraLike, Estimate
+from repro.core.workloads import HEAD_WORKLOAD, engine_for_workload, workload_kinds
 
 #: Lifecycle states, in nominal order.
 CREATED = "created"
@@ -201,6 +202,11 @@ class TrackedSession:
             stats and reads.
         health_policy: thresholds for the fault containment machine
             (defaults are the fleet-wide :class:`HealthPolicy`).
+        workload: which estimation chain this session runs — any name in
+            :func:`repro.core.workloads.workload_kinds` (``"head"``,
+            ``"localize"``, ``"breathing"``, ...).  The default is the
+            paper's head tracker, constructed exactly as before the
+            workload registry existed.
     """
 
     def __init__(
@@ -212,11 +218,18 @@ class TrackedSession:
         stride_s: float = 0.05,
         max_history: int = 256,
         health_policy: HealthPolicy | None = None,
+        workload: str = HEAD_WORKLOAD,
     ) -> None:
         config = config if config is not None else ViHOTConfig()
         if stride_s <= 0:
             raise ValueError(f"stride_s must be positive, got {stride_s}")
+        if workload not in workload_kinds():
+            raise ValueError(
+                f"unknown workload {workload!r}; registered: "
+                f"{sorted(workload_kinds())}"
+            )
         self.session_id = session_id
+        self.workload = workload
         self._config = config
         self._camera = camera
         self._buffer_s = buffer_s
@@ -272,9 +285,23 @@ class TrackedSession:
                 f"session {self.session_id!r}: profile already attached "
                 f"(state {self._state!r})"
             )
-        self._tracker = OnlineTracker(
-            profile, self._config, camera=self._camera, buffer_s=self._buffer_s
-        )
+        if self.workload == HEAD_WORKLOAD:
+            # The pre-registry construction, byte for byte: head
+            # tracking is the reference workload the bit-identity
+            # gates compare against.
+            self._tracker = OnlineTracker(
+                profile, self._config, camera=self._camera, buffer_s=self._buffer_s
+            )
+        else:
+            engine = engine_for_workload(
+                self.workload, profile, self._config, camera=self._camera
+            )
+            self._tracker = OnlineTracker(
+                profile,
+                camera=self._camera,
+                buffer_s=self._buffer_s,
+                engine=engine,
+            )
         self._fingerprint = fingerprint
         self._transition(PROFILED)
 

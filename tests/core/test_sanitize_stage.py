@@ -1,0 +1,147 @@
+"""SanitizeStage: batch-aware raw-CSI sanitization, pinned bit-identical.
+
+This file is the VH205 batch pin for :class:`SanitizeStage`: its
+``run_batch`` over a fleet of equal-shape captures must produce
+bit-identical ``ctx.phase`` series to ``run`` on each context alone, and
+the whole-capture convenience wrapper
+:meth:`EstimationEngine.track_streams` must equal a scalar
+``track_stream`` loop estimate for estimate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ViHOTConfig
+from repro.core.engine import EstimationEngine
+from repro.core.sanitize import sanitize_stream
+from repro.core.stages import EstimationContext, SanitizeStage
+from repro.dsp.series import TimeSeries
+from repro.experiments.scenarios import Scenario, ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def capture_world():
+    """One profile plus several equal-length runtime captures."""
+    scenario = Scenario(
+        ScenarioConfig(
+            seed=23,
+            num_positions=4,
+            profile_seconds=5.0,
+            runtime_duration_s=6.0,
+        )
+    )
+    profile = scenario.build_profile()
+    streams = [scenario.runtime_capture(k)[0] for k in range(4)]
+    return profile, streams
+
+
+def _context(engine, stream):
+    state = engine.new_session()
+    return EstimationContext(
+        phase=TimeSeries.empty(),
+        imu=stream.imu,
+        t=0.0,
+        position=state.position,
+        default_position=engine._default_position,
+        raw_times=stream.times,
+        raw_csi=stream.csi,
+    )
+
+
+def test_run_batch_bit_identical_to_run(capture_world):
+    """The pin: SanitizeStage.run_batch over equal-shape captures is
+    bit-identical to SanitizeStage.run per context."""
+    profile, streams = capture_world
+    config = ViHOTConfig(profile_stride=6, num_length_candidates=3)
+    engine = EstimationEngine(profile, config)
+    stage = SanitizeStage()
+
+    solo = [_context(engine, s) for s in streams]
+    for ctx in solo:
+        decision = stage.run(ctx)
+        assert decision.fired
+
+    stacked = [_context(engine, s) for s in streams]
+    decisions = stage.run_batch(stacked)
+    assert all(d.fired for d in decisions)
+
+    for a, b in zip(solo, stacked):
+        assert np.array_equal(a.phase.times, b.phase.times)
+        assert np.array_equal(a.phase.values, b.phase.values)
+
+
+def test_run_batch_matches_sanitize_stream(capture_world):
+    """Each batched phase equals the scalar sanitize_stream output."""
+    profile, streams = capture_world
+    engine = EstimationEngine(profile, ViHOTConfig(profile_stride=6))
+    contexts = [_context(engine, s) for s in streams]
+    SanitizeStage().run_batch(contexts)
+    for ctx, stream in zip(contexts, streams):
+        reference = sanitize_stream(stream.times, stream.csi)
+        assert np.array_equal(ctx.phase.times, reference.times)
+        assert np.array_equal(ctx.phase.values, reference.values)
+
+
+def test_ragged_batch_falls_back_per_context(capture_world):
+    """Captures of different lengths cannot stack; each one must still
+    come out bit-identical to its scalar run."""
+    profile, streams = capture_world
+    engine = EstimationEngine(profile, ViHOTConfig(profile_stride=6))
+    short = streams[0]
+    cut = len(short.times) // 2
+    ragged = [_context(engine, s) for s in streams[1:]]
+    odd = EstimationContext(
+        phase=TimeSeries.empty(),
+        imu=short.imu,
+        t=0.0,
+        position=engine.new_session().position,
+        default_position=engine._default_position,
+        raw_times=short.times[:cut],
+        raw_csi=short.csi[:cut],
+    )
+    contexts = [odd] + ragged
+    decisions = SanitizeStage().run_batch(contexts)
+    assert all(d.fired for d in decisions)
+    reference = sanitize_stream(short.times[:cut], short.csi[:cut])
+    assert np.array_equal(odd.phase.times, reference.times)
+    assert np.array_equal(odd.phase.values, reference.values)
+
+
+def test_run_without_raw_capture_is_a_no_op(capture_world):
+    """Online contexts sanitize at ingest; the stage must pass through."""
+    profile, streams = capture_world
+    engine = EstimationEngine(profile, ViHOTConfig(profile_stride=6))
+    ctx = _context(engine, streams[0])
+    ctx.raw_times = None
+    ctx.raw_csi = None
+    decision = SanitizeStage().run(ctx)
+    assert not decision.fired
+    assert len(ctx.phase) == 0
+
+
+def test_track_streams_equals_scalar_track_stream(capture_world):
+    """The whole-capture batch API returns bit-identical estimates to a
+    track_stream loop, including with a ragged member."""
+    profile, streams = capture_world
+    config = ViHOTConfig(profile_stride=6, num_length_candidates=3)
+    engine = EstimationEngine(profile, config)
+
+    from repro.net.link import CsiStream
+
+    cut = len(streams[0].times) * 2 // 3
+    fleet = [
+        CsiStream(
+            times=streams[0].times[:cut],
+            csi=streams[0].csi[:cut],
+            seqs=streams[0].seqs[:cut],
+            imu=streams[0].imu,
+        ),
+        streams[1],
+        streams[2],
+    ]
+    batched = engine.track_streams(fleet)
+    scalar = [engine.track_stream(s) for s in fleet]
+    assert [len(b) for b in batched] == [len(s) for s in scalar]
+    for b_run, s_run in zip(batched, scalar):
+        for b, s in zip(b_run, s_run):
+            assert b == s

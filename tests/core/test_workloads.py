@@ -1,0 +1,129 @@
+"""The workload registry and the two non-head CSI workloads.
+
+Occupant localization (CarFi-style seat fingerprinting) and breathing
+sensing (V2iFi-style micro-motion spectral peak) ride the same stage
+contract and :class:`OnlineTracker` plumbing as head tracking — these
+tests check each engine recovers the ground truth its synthetic cabin
+encodes, and that the registry refuses unknown names.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ViHOTConfig
+from repro.core.breathing import BREATHING_BAND_HZ, breathing_stages
+from repro.core.localize import localization_stages
+from repro.core.online import OnlineTracker
+from repro.core.workloads import (
+    HEAD_WORKLOAD,
+    engine_for_workload,
+    workload_kinds,
+)
+from repro.serve.loadgen import SyntheticCabin, synthetic_profile
+
+
+@pytest.fixture(scope="module")
+def profile():
+    return synthetic_profile()
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ViHOTConfig(profile_stride=8, num_length_candidates=3)
+
+
+def _replay(cabin, profile, config, workload):
+    tracker = OnlineTracker(
+        profile,
+        buffer_s=10.0,
+        engine=engine_for_workload(workload, profile, config),
+    )
+    estimates = []
+    next_poll = 1.0
+    for k in range(len(cabin)):
+        t = float(cabin.times[k])
+        tracker.push_csi(t, cabin.csi_at(k))
+        if t >= next_poll:
+            est = tracker.estimate(t)
+            if est is not None:
+                estimates.append(est)
+            next_poll += 0.25
+    return estimates
+
+
+def test_registry_names(profile, config):
+    kinds = workload_kinds()
+    assert HEAD_WORKLOAD in kinds
+    assert "localize" in kinds and "breathing" in kinds
+    with pytest.raises(KeyError):
+        engine_for_workload("tyre-pressure", profile, config)
+
+
+def test_head_engine_is_the_default_chain(profile, config):
+    head = engine_for_workload(HEAD_WORKLOAD, profile, config)
+    assert head.stage_names == (
+        "position", "steering", "stability_fix", "stationary",
+        "match", "forecast", "jump_filter", "emit",
+    )
+
+
+def test_workload_engines_use_their_own_chains(profile, config):
+    localize = engine_for_workload("localize", profile, config)
+    breathing = engine_for_workload("breathing", profile, config)
+    assert localize.stage_names == tuple(
+        s.name for s in localization_stages(profile, config)
+    )
+    assert breathing.stage_names == tuple(
+        s.name for s in breathing_stages(config)
+    )
+
+
+def test_localization_recovers_the_seat(profile, config):
+    """A localize cabin parks an occupant on one of four seats; the
+    SeatMatchStage must recover that index from the phase centroid."""
+    for seed in (101, 202, 303):
+        cabin = SyntheticCabin(
+            f"loc-{seed}", seed=seed, duration_s=4.0, workload="localize"
+        )
+        estimates = _replay(cabin, profile, config, "localize")
+        localized = [e for e in estimates if e.mode == "localized"]
+        assert localized, f"seed {seed}: no localized estimates"
+        seats = {e.position_index for e in localized}
+        assert seats == {cabin.seat_index}, (
+            f"seed {seed}: localized to {seats}, cabin seat is "
+            f"{cabin.seat_index}"
+        )
+
+
+def test_breathing_recovers_the_rate(profile, config):
+    """A breathing cabin oscillates at a hidden rate inside the
+    respiratory band; the spectral peak must land within 0.05 Hz once
+    the window is long enough to resolve it."""
+    for seed in (11, 44):
+        cabin = SyntheticCabin(
+            f"br-{seed}", seed=seed, duration_s=10.0, workload="breathing"
+        )
+        estimates = _replay(cabin, profile, config, "breathing")
+        breathing = [e for e in estimates if e.mode == "breathing"]
+        assert breathing, f"seed {seed}: no breathing estimates"
+        lo, hi = BREATHING_BAND_HZ
+        assert all(lo <= e.orientation <= hi for e in breathing)
+        # Late estimates see the longest window; they must converge.
+        settled = breathing[len(breathing) // 2:]
+        err = min(abs(e.orientation - cabin.breathing_rate_hz) for e in settled)
+        assert err < 0.05, (
+            f"seed {seed}: best settled estimate off by {err:.3f} Hz from "
+            f"{cabin.breathing_rate_hz:.3f} Hz"
+        )
+
+
+def test_breathing_replay_is_deterministic(profile, config):
+    cabin_a = SyntheticCabin("det", seed=7, duration_s=6.0, workload="breathing")
+    cabin_b = SyntheticCabin("det", seed=7, duration_s=6.0, workload="breathing")
+    assert all(
+        np.array_equal(cabin_a.csi_at(k), cabin_b.csi_at(k))
+        for k in range(len(cabin_a))
+    )
+    ests_a = _replay(cabin_a, profile, config, "breathing")
+    ests_b = _replay(cabin_b, profile, config, "breathing")
+    assert ests_a == ests_b

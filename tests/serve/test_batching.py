@@ -218,7 +218,11 @@ def test_planner_excludes_degraded_sessions(planner_fleet):
     assert len(groups[1].sessions) == 2
 
 
-def test_planner_config_override_splits_groups(planner_fleet):
+def test_planner_groups_forecast_with_plain_siblings(planner_fleet):
+    """A horizon-only config override shares the plain siblings' group:
+    the key normalizes ``horizon_s`` away, and the planned batch carries
+    both sessions (each batch item brings its own engine, so the
+    forecast session keeps its horizon inside the stacked call)."""
     planner = BatchPlanner()
     plain = planner_fleet.session("plain-a")
     forecast = planner_fleet.session("forecast")
@@ -226,9 +230,27 @@ def test_planner_config_override_splits_groups(planner_fleet):
     key_plain = planner.group_key(plain)
     key_forecast = planner.group_key(forecast)
     assert key_plain is not None and key_forecast is not None
-    assert key_plain != key_forecast
+    assert key_plain == key_forecast
     groups = planner.plan([plain, forecast])
-    assert all(not g.batched for g in groups)  # singletons both
+    assert len(groups) == 1
+    assert groups[0].batched
+    assert [s.session_id for s in groups[0].sessions] == ["plain-a", "forecast"]
+
+
+def test_planner_still_splits_non_horizon_overrides(planner_fleet):
+    """Config differences beyond the forecast horizon still split: a
+    different match window is a genuinely different candidate bank."""
+    planner = BatchPlanner()
+    plain = planner_fleet.session("plain-a")
+    key_plain = planner.group_key(plain)
+    assert key_plain is not None
+    base = plain.tracker.engine.config
+    other = SessionManager(
+        replace(base, window_s=2 * base.window_s), stride_s=0.1
+    ).open_session("wide", profile=plain.tracker.engine.profile)
+    key_other = planner.group_key(other)
+    assert key_other is not None
+    assert key_plain != key_other
 
 
 def test_planner_preserves_rotation_order(planner_fleet):
