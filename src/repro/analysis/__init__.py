@@ -20,7 +20,12 @@ from __future__ import annotations
 from collections.abc import Sequence
 from pathlib import Path
 
-from repro.analysis.config import DEFAULT_ALLOWLIST, dataflow_rules, default_rules
+from repro.analysis.config import (
+    DEFAULT_ALLOWLIST,
+    dataflow_rules,
+    default_rules,
+    shape_rules,
+)
 from repro.analysis.engine import (
     Allowlist,
     AllowlistEntry,
@@ -45,6 +50,7 @@ __all__ = [
     "dataflow_rules",
     "default_rules",
     "run_analysis",
+    "shape_rules",
 ]
 
 
@@ -52,18 +58,24 @@ def run_analysis(
     paths: Sequence[str | Path] | None = None,
     use_default_allowlist: bool = True,
     dataflow: bool = False,
+    shapes: bool = False,
     cache_dir: str | Path | None = None,
 ) -> list[Finding]:
     """Lint ``paths`` (default: the installed ``repro`` tree) and return findings.
 
     Thin convenience wrapper over :class:`Analyzer` used by the CLI and
     the test suite.  ``dataflow=True`` adds the inter-procedural VH3xx /
-    VH4xx rules (phase-domain tracking, numpy aliasing); ``cache_dir``
-    persists their call-graph summaries between runs.
+    VH4xx rules (phase-domain tracking, numpy aliasing); ``shapes=True``
+    adds the VH5xx array shape/dtype rules; ``cache_dir`` persists the
+    shared call-graph summaries between runs.
     """
     if paths is None:
         paths = [Path(__file__).resolve().parent.parent]
     allowlist = DEFAULT_ALLOWLIST if use_default_allowlist else Allowlist()
-    rules = default_rules() + (dataflow_rules() if dataflow else [])
+    rules = (
+        default_rules()
+        + (dataflow_rules() if dataflow else [])
+        + (shape_rules() if shapes else [])
+    )
     analyzer = Analyzer(rules, allowlist=allowlist, cache_dir=cache_dir)
     return analyzer.run([Path(p) for p in paths])

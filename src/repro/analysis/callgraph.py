@@ -33,12 +33,22 @@ from repro.analysis.domains import (
     Signature,
     declared_domains_of,
 )
+from repro.analysis.dtypes import declared_dtypes_of
 from repro.analysis.engine import ModuleContext
+from repro.analysis.shapes import declared_shapes_of
 
-__all__ = ["FunctionInfo", "ProjectContext", "build_project"]
+__all__ = ["FunctionInfo", "ProjectContext", "RULESET_EPOCH", "build_project"]
 
 #: Bump when the summary-cache layout changes.
 _CACHE_VERSION = 1
+
+#: Bump whenever the *inference rules* change — new domain signatures,
+#: a different fixpoint, a propagation fix.  The summary cache is keyed
+#: on this in addition to the source digest: a cached summary describes
+#: (source, rules), and hashing only the source let stale summaries
+#: survive rule edits (the bug this guard retires).  Epoch 2 marks the
+#: VH5xx era.
+RULESET_EPOCH = 2
 
 #: Fixed-point iteration bound for return-domain inference; domain
 #: chains in practice are a handful of calls deep.
@@ -59,6 +69,16 @@ class FunctionInfo:
     declared_params: dict[str, str]
     declared_return: str | None
     inferred_return: str | None = None
+    #: Declared array contracts (VH5xx): param -> accepted shape
+    #: alternatives, declared return alternatives, param -> dtype,
+    #: declared return dtype.  Shapes/dtypes are declared-only — no
+    #: fixpoint inference — so they never enter the summary cache.
+    declared_shapes: dict[str, tuple[tuple[str | int, ...], ...]] = field(
+        default_factory=dict
+    )
+    declared_shape_return: tuple[tuple[str | int, ...], ...] | None = None
+    declared_dtypes: dict[str, str] = field(default_factory=dict)
+    declared_dtype_return: str | None = None
 
     @property
     def return_domain(self) -> str | None:
@@ -84,6 +104,8 @@ def _function_info(
     if is_method and positional and positional[0] in ("self", "cls"):
         positional = positional[1:]
     declared_params, declared_return = declared_domains_of(node)
+    declared_shapes, declared_shape_return = declared_shapes_of(node)
+    declared_dtypes, declared_dtype_return = declared_dtypes_of(node)
     local = f"{owner}.{node.name}" if owner else node.name
     return FunctionInfo(
         qualname=f"{module_qualname}.{local}",
@@ -94,6 +116,10 @@ def _function_info(
         kwonly=tuple(a.arg for a in args.kwonlyargs),
         declared_params=declared_params,
         declared_return=declared_return,
+        declared_shapes=declared_shapes,
+        declared_shape_return=declared_shape_return,
+        declared_dtypes=declared_dtypes,
+        declared_dtype_return=declared_dtype_return,
     )
 
 
@@ -183,7 +209,8 @@ class ProjectContext:
     def _infer_return_domains(self, cache_dir: Path | str | None) -> None:
         digest = self._source_digest()
         cache_path = (
-            Path(cache_dir) / f"summaries-v{_CACHE_VERSION}-{digest[:16]}.json"
+            Path(cache_dir)
+            / f"summaries-v{_CACHE_VERSION}-e{RULESET_EPOCH}-{digest[:16]}.json"
             if cache_dir is not None
             else None
         )
@@ -192,7 +219,11 @@ class ProjectContext:
                 payload = json.loads(cache_path.read_text(encoding="utf-8"))
             except (OSError, ValueError):
                 payload = None
-            if payload is not None and payload.get("digest") == digest:
+            if (
+                payload is not None
+                and payload.get("digest") == digest
+                and payload.get("epoch") == RULESET_EPOCH
+            ):
                 for qualname, domain in payload.get("returns", {}).items():
                     info = self.functions.get(qualname)
                     if info is not None and info.declared_return is None:
@@ -223,7 +254,14 @@ class ProjectContext:
             try:
                 cache_path.parent.mkdir(parents=True, exist_ok=True)
                 cache_path.write_text(
-                    json.dumps({"digest": digest, "returns": returns}, indent=0),
+                    json.dumps(
+                        {
+                            "digest": digest,
+                            "epoch": RULESET_EPOCH,
+                            "returns": returns,
+                        },
+                        indent=0,
+                    ),
                     encoding="utf-8",
                 )
             except OSError:

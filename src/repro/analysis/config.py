@@ -30,8 +30,14 @@ from repro.analysis.determinism import (
     UnseededGeneratorRule,
 )
 from repro.analysis.engine import Allowlist, AllowlistEntry, Rule
+from repro.analysis.shapes import (
+    BatchAxisMixupRule,
+    DtypeDowncastRule,
+    ImplicitBroadcastRule,
+    ShapeCallMismatchRule,
+)
 
-__all__ = ["DEFAULT_ALLOWLIST", "dataflow_rules", "default_rules"]
+__all__ = ["DEFAULT_ALLOWLIST", "dataflow_rules", "default_rules", "shape_rules"]
 
 
 def default_rules() -> list[Rule]:
@@ -64,6 +70,21 @@ def dataflow_rules() -> list[Rule]:
         CrossCallDomainLeakRule(),
         ParamMutationRule(),
         ViewMutationRule(),
+    ]
+
+
+def shape_rules() -> list[Rule]:
+    """The array shape/dtype rule set behind ``vihot lint --shapes``.
+
+    Rides the same project-wide build as :func:`dataflow_rules` (and
+    shares its summary cache when both are enabled); kept opt-in for the
+    same reason — a whole-tree parse is overkill for single-file lints.
+    """
+    return [
+        ShapeCallMismatchRule(),
+        BatchAxisMixupRule(),
+        DtypeDowncastRule(),
+        ImplicitBroadcastRule(),
     ]
 
 

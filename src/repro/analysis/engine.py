@@ -180,7 +180,8 @@ class Rule:
     Subclasses set ``id`` / ``name`` / ``description`` / ``rationale``
     and implement :meth:`check`.  ``rationale`` is surfaced by
     ``vihot lint --list-rules`` so the "why" travels with the rule
-    instead of living only in a reviewer's head.
+    instead of living only in a reviewer's head; ``example`` (optional)
+    is a minimal trigger snippet shown by ``vihot lint --explain``.
     """
 
     id: str = "VH000"
@@ -188,6 +189,7 @@ class Rule:
     severity: Severity = Severity.ERROR
     description: str = ""
     rationale: str = ""
+    example: str = ""
 
     def check(self, module: ModuleContext) -> Iterator[Finding]:
         raise NotImplementedError

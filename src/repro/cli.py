@@ -223,9 +223,20 @@ def cmd_report(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from repro.analysis import dataflow_rules, default_rules, run_analysis
+    from repro.analysis import (
+        dataflow_rules,
+        default_rules,
+        run_analysis,
+        shape_rules,
+    )
 
-    rules = default_rules() + (dataflow_rules() if args.dataflow else [])
+    if args.explain is not None:
+        return _explain_rule(args.explain)
+    rules = (
+        default_rules()
+        + (dataflow_rules() if args.dataflow else [])
+        + (shape_rules() if args.shapes else [])
+    )
     if args.list_rules:
         for rule in rules:
             print(f"{rule.id} {rule.name} [{rule.severity}]")
@@ -237,6 +248,7 @@ def cmd_lint(args) -> int:
         paths=args.paths or None,
         use_default_allowlist=not args.no_default_allowlist,
         dataflow=args.dataflow,
+        shapes=args.shapes,
         cache_dir=args.cache_dir,
     )
     elapsed = time.perf_counter() - start
@@ -259,6 +271,32 @@ def cmd_lint(args) -> int:
     if args.format != "json":
         print("vihot lint: clean")
     return 0
+
+
+def _explain_rule(rule_id: str) -> int:
+    """Print one rule's full documentation (``vihot lint --explain VH502``)."""
+    from repro.analysis import dataflow_rules, default_rules, shape_rules
+
+    wanted = rule_id.strip().upper()
+    for rule in default_rules() + dataflow_rules() + shape_rules():
+        if rule.id != wanted:
+            continue
+        print(f"{rule.id} {rule.name} [{rule.severity}]")
+        print(f"    {rule.description}")
+        print()
+        print(f"    {rule.rationale}")
+        if rule.example:
+            print()
+            print("    example:")
+            for line in rule.example.splitlines():
+                print(f"        {line}")
+        return 0
+    print(
+        f"vihot lint: unknown rule {rule_id!r}; see --list-rules "
+        "(add --dataflow/--shapes for the opt-in sets)",
+        file=sys.stderr,
+    )
+    return 2
 
 
 def _lint_budget_ok(budget_path: Path, elapsed_s: float) -> bool:
@@ -548,6 +586,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the inter-procedural VH3xx/VH4xx rules "
         "(phase-domain tracking, numpy aliasing)",
+    )
+    p.add_argument(
+        "--shapes",
+        action="store_true",
+        help="also run the array shape/dtype VH5xx rules "
+        "(symbolic axes, batch-axis mixups, silent downcasts)",
+    )
+    p.add_argument(
+        "--explain",
+        default=None,
+        metavar="VHxxx",
+        help="print one rule's description, rationale and example, then exit",
     )
     p.add_argument(
         "--cache-dir",

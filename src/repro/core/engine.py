@@ -74,6 +74,10 @@ class BatchItem:
     per-context stages still run with their own parameters.  ``None``
     means "the engine :meth:`~EstimationEngine.estimate_batch` was
     called on", which keeps direct construction backward compatible.
+
+    The phase series carries ``(T,)`` float64 values; a stacked wave of
+    ``S`` items therefore feeds the match stage an ``(S, m)`` query
+    block (see :func:`repro.dsp.dtw.stacked_dtw_distance`).
     """
 
     phase: TimeSeries

@@ -87,6 +87,7 @@ class SeriesMatcher:
         :domain query: wrapped_rad
         :domain center_orientation: rad
         :domain tolerance_rad: rad
+        :shape query: (m,)
         """
         config = self._config
         phases = position.phases
@@ -165,6 +166,7 @@ class SeriesMatcher:
         :domain query: rad
         :domain center_orientation: rad
         :domain tolerance_rad: rad
+        :shape query: (m,)
         """
         query = wrap_phase(np.asarray(query, dtype=np.float64))
         if query.ndim != 1 or len(query) < 2:
@@ -219,6 +221,8 @@ class SeriesMatcher:
         :func:`stacked_dtw_distance` row ``s`` is pinned identical to
         the per-query :func:`batched_dtw_distance` call and the
         argmin/feasibility logic is reproduced verbatim.
+
+        :shape queries: (S, m)
         """
         config = self._config
         phases = position.phases

@@ -35,6 +35,10 @@ def antenna_phase_difference(
         Wrapped phases in ``(-pi, pi]``, shape ``(T,)``.
 
     :domain return: wrapped_rad
+    :shape csi: (T, n_rx, F)
+    :dtype csi: complex128
+    :shape return: (T,)
+    :dtype return: float64
     """
     csi = np.asarray(csi)
     if csi.ndim != 3:
@@ -63,6 +67,10 @@ def sanitize_stream(
     With ``unwrap=True`` (default) the result is a continuous track,
     suitable for interpolation; wrap it back (``repro.dsp.phase.wrap_phase``)
     when a value in ``(-pi, pi]`` is needed.
+
+    :shape times: (T,)
+    :shape csi: (T, n_rx, F)
+    :dtype csi: complex128
     """
     times = np.asarray(times, dtype=np.float64)
     phases = antenna_phase_difference(csi, rx_a, rx_b)
@@ -98,6 +106,10 @@ def sanitize_streams(
         :func:`sanitize_stream` on each session alone: the subcarrier
         average reduces per packet row and the unwrap accumulates per
         session row, so stacking changes neither reduction order.
+
+    :shape times: (T,) | (S, T)
+    :shape csi: (S, T, n_rx, F)
+    :dtype csi: complex128
     """
     csi = np.asarray(csi)
     if csi.ndim != 4:

@@ -153,6 +153,10 @@ class EstimationContext:
     view, the clock ``t`` and the session state (position estimator,
     previous estimate, last confident time).  The second block is filled
     in by the stages as the chain advances.
+
+    :shape raw_times: (T,)
+    :shape raw_csi: (T, n_rx, F)
+    :dtype raw_csi: complex128
     """
 
     phase: TimeSeries

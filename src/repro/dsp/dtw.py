@@ -78,6 +78,9 @@ def dtw_distance(
     ``band`` is an optional Sakoe-Chiba constraint: cells further than
     ``band`` from the (rescaled) diagonal are forbidden.  Returns ``inf``
     when the band makes alignment infeasible.
+
+    :shape a: (m,)
+    :shape b: (L,)
     """
     a = _as_1d(a, "a")
     b = _as_1d(b, "b")
@@ -118,6 +121,9 @@ def dtw_path(
     """DTW distance and optimal alignment path as ``[(i, j), ...]``.
 
     The path starts at ``(0, 0)`` and ends at ``(len(a)-1, len(b)-1)``.
+
+    :shape a: (m,)
+    :shape b: (L,)
     """
     a = _as_1d(a, "a")
     b = _as_1d(b, "b")
@@ -207,6 +213,11 @@ def batched_dtw_distance(
     min/add work is vectorised over all ``B`` candidates and all cells of
     the diagonal at once; the python-level loop runs only ``m + L - 1``
     times.
+
+    :shape query: (m,)
+    :shape candidates: (B, L)
+    :shape return: (B,)
+    :dtype return: float64
     """
     query = _as_1d(query, "query")
     candidates = np.asarray(candidates, dtype=np.float64)
@@ -244,6 +255,11 @@ def stacked_dtw_distance(
 
     The cost tensor is ``(S, B, m, L)`` floats; callers stacking very
     large banks should chunk along ``S`` if memory is a concern.
+
+    :shape queries: (S, m)
+    :shape candidates: (B, L) | (S, B, L)
+    :shape return: (S, B)
+    :dtype return: float64
     """
     queries = np.asarray(queries, dtype=np.float64)
     if queries.ndim != 2 or queries.shape[1] == 0:

@@ -65,6 +65,9 @@ def unwrap_phase(phases: np.ndarray) -> np.ndarray:
 
     :domain phases: wrapped_rad
     :domain return: unwrapped_rad
+    :shape phases: (T,)
+    :shape return: (T,)
+    :dtype return: float64
     """
     phases = np.asarray(phases, dtype=np.float64)
     if phases.ndim != 1:

@@ -40,6 +40,9 @@ def doppler_spectrum(
     ``(frequencies_hz, power)`` with the spectrum centred on DC.
 
     :domain rate_hz: hz
+    :shape times: (T,)
+    :shape csi: (T, n_rx, F)
+    :dtype csi: complex128
     """
     times = np.asarray(times, dtype=np.float64)
     csi = np.asarray(csi)
@@ -67,6 +70,8 @@ def doppler_spread(freqs: np.ndarray, power: np.ndarray) -> float:
 
     :domain freqs: hz
     :domain return: hz
+    :shape freqs: (K,)
+    :shape power: (K,)
     """
     freqs = np.asarray(freqs, dtype=np.float64)
     power = np.asarray(power, dtype=np.float64)

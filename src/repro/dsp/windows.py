@@ -16,7 +16,12 @@ def sliding_windows(x: np.ndarray, length: int, stride: int = 1) -> np.ndarray:
     """All windows of ``length`` samples, advancing by ``stride``.
 
     Returns a read-only view of shape ``(num_windows, length)``.  Raises if
-    the signal is shorter than one window.
+    the signal is shorter than one window.  In matching terms the result
+    is a candidate bank: ``B`` windows of ``L`` samples each.
+
+    :shape x: (T,)
+    :shape return: (B, L)
+    :dtype return: float64
     """
     x = np.ascontiguousarray(x, dtype=np.float64)
     if x.ndim != 1:
@@ -42,6 +47,8 @@ def window_slice(
 
     ``times`` must be sorted ascending.  The range is half-open and may be
     empty if no samples fall inside the window.
+
+    :shape times: (T,)
     """
     times = np.asarray(times, dtype=np.float64)
     if window_s <= 0:

@@ -88,6 +88,11 @@ class BatchPlanner:
     stacks vs ~0.9x for spilled ones.  Oversized groups are split into
     consecutive chunks (rotation order preserved), so correctness never
     depends on the cap.
+
+    In the shape vocabulary of ``repro.units.AXIS_SYMBOLS``: a batched
+    group of ``S`` sessions feeds the match stage an ``(S, m)`` query
+    block against the shared ``(B, L)`` candidate bank, so ``max_batch``
+    bounds the ``S`` axis of every stacked kernel call.
     """
 
     max_batch: int = 8

@@ -1,4 +1,4 @@
-"""Unit-domain vocabulary for the phase signal chain.
+"""Unit-domain and array-contract vocabulary for the phase signal chain.
 
 ViHOT's entire pipeline is phase arithmetic, and the most dangerous bug
 class in the repo is a value silently crossing unit domains: a wrapped
@@ -14,7 +14,16 @@ rate [rad/s].  This module gives those domains names so they can be
   assignments, arithmetic and call boundaries and flags cross-domain
   flows (rules VH301-VH304).
 
-The markers are deliberately runtime-inert: ``Domain`` carries a name
+The same pattern covers the *array* contracts the fleet-batched path
+lives on: :class:`Shape` declares symbolic axes
+(``Annotated[np.ndarray, Shape("S", "m")]`` — ``S`` sessions stacked
+over ``m`` query samples) and :class:`DType` pins the numeric width.
+``vihot lint --shapes`` (:mod:`repro.analysis.shapes`) checks those
+statically (rules VH501-VH504) and
+:mod:`repro.analysis.runtime_contracts` cross-checks the observed
+shapes/dtypes against the declarations while the test suite runs.
+
+The markers are deliberately runtime-inert: each carries its payload
 and nothing else, so annotating a hot-path signature costs nothing.
 """
 
@@ -23,12 +32,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 __all__ = [
+    "AXIS_SYMBOLS",
     "DEG",
     "DOMAIN_NAMES",
+    "DTYPE_NAMES",
+    "DType",
     "Domain",
     "HZ",
     "RAD",
     "RAD_PER_S",
+    "Shape",
     "UNWRAPPED_RAD",
     "WRAPPED_RAD",
 ]
@@ -82,6 +95,106 @@ class Domain:
         if self.name not in DOMAIN_NAMES:
             raise ValueError(
                 f"unknown unit domain {self.name!r}; known: {sorted(DOMAIN_NAMES)}"
+            )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The canonical axis vocabulary of the batched estimation path.  Shape
+#: declarations may use any identifier, but these are the symbols the
+#: codebase shares — a declaration spelled with one of them means *the*
+#: fleet axis of that name, and the VH5xx rules treat two different
+#: symbols as two different axes:
+#:
+#: ``S``  stacked serving sessions        ``B``     candidate-bank entries
+#: ``m``  query (window) samples          ``L``     candidate length
+#: ``T``  capture packets (time)          ``F``     OFDM subcarriers
+#: ``W``  sliding-window count            ``n_rx``  RX antennas
+#: ``K``  spectrum bins                   ``n_sub`` subcarrier subset
+#: ``win``  resampled window samples
+AXIS_SYMBOLS = frozenset(
+    {"S", "B", "m", "L", "T", "F", "W", "K", "n_rx", "n_sub", "win"}
+)
+
+#: Numeric dtypes the contract lattice tracks (numpy canonical names).
+DTYPE_NAMES = frozenset(
+    {
+        "float16",
+        "float32",
+        "float64",
+        "complex64",
+        "complex128",
+        "int32",
+        "int64",
+        "bool",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Shape:
+    """``Annotated`` metadata declaring an array's symbolic shape.
+
+    Usage::
+
+        def stacked_dtw_distance(
+            queries: Annotated[np.ndarray, Shape("S", "m")],
+            candidates: Annotated[np.ndarray, Shape("B", "L")],
+        ) -> Annotated[np.ndarray, Shape("S", "B")]: ...
+
+    Axes are axis *symbols* (strings — see :data:`AXIS_SYMBOLS` for the
+    shared vocabulary; the same symbol must bind to the same size
+    everywhere it appears in one signature) or literal ints for fixed
+    extents.  For ``ArrayLike`` parameters or parameters accepting
+    several ranks, the docstring form supports alternatives::
+
+        :shape candidates: (B, L) | (S, B, L)
+
+    Like :class:`Domain`, the marker is runtime-inert; the static pass
+    (:mod:`repro.analysis.shapes`) reads it syntactically and the
+    runtime cross-check (:mod:`repro.analysis.runtime_contracts`) reads
+    it off the live function object.
+    """
+
+    axes: tuple[str | int, ...]
+
+    def __init__(self, *axes: str | int) -> None:
+        for axis in axes:
+            if isinstance(axis, int):
+                if axis < 0:
+                    raise ValueError(f"axis extents must be >= 0, got {axis}")
+            elif not (isinstance(axis, str) and axis.isidentifier()):
+                raise ValueError(
+                    f"axis symbols must be identifiers or ints, got {axis!r}"
+                )
+        object.__setattr__(self, "axes", tuple(axes))
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(a) for a in self.axes) + ")"
+
+
+@dataclass(frozen=True)
+class DType:
+    """``Annotated`` metadata pinning an array's numeric dtype.
+
+    Usage::
+
+        def sanitize(csi: Annotated[np.ndarray, DType("complex128")]
+                     ) -> Annotated[np.ndarray, DType("float64")]: ...
+
+    The docstring form is ``:dtype csi: complex128``.  The static pass
+    flags silent downcasts (VH503: complex -> real, float64 -> float32)
+    and the runtime cross-check requires the observed dtype to equal the
+    declared one exactly.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in DTYPE_NAMES:
+            raise ValueError(
+                f"unknown dtype {self.name!r}; known: {sorted(DTYPE_NAMES)}"
             )
 
     def __str__(self) -> str:

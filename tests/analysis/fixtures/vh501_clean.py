@@ -1,0 +1,19 @@
+"""Clean twin of vh501_trigger: every argument matches its declaration."""
+
+
+def bank_scores(query, candidates):
+    """Score one query against the candidate bank.
+
+    :shape query: (m,)
+    :shape candidates: (B, L)
+    """
+    return float(len(query) + len(candidates))
+
+
+def run(query, candidates):
+    """Call the scorer with the arguments in the right slots.
+
+    :shape query: (m,)
+    :shape candidates: (B, L)
+    """
+    return bank_scores(query, candidates)

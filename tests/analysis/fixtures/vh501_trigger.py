@@ -1,0 +1,19 @@
+"""Trigger: a candidate bank flows into a 1-D query slot (VH501)."""
+
+
+def bank_scores(query, candidates):
+    """Score one query against the candidate bank.
+
+    :shape query: (m,)
+    :shape candidates: (B, L)
+    """
+    return float(len(query) + len(candidates))
+
+
+def run(query, candidates):
+    """Call the scorer with the arguments crossed.
+
+    :shape query: (m,)
+    :shape candidates: (B, L)
+    """
+    return bank_scores(candidates, candidates)

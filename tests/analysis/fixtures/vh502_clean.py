@@ -1,0 +1,19 @@
+"""Clean twin of vh502_trigger: the query block keeps its axis order."""
+
+
+def stacked_scores(queries, candidates):
+    """Score a stack of queries against per-session banks.
+
+    :shape queries: (S, m)
+    :shape candidates: (S, B, L)
+    """
+    return float(len(queries) + len(candidates))
+
+
+def run(queries, candidates):
+    """Feed the kernel the session-major block it declares.
+
+    :shape queries: (S, m)
+    :shape candidates: (S, B, L)
+    """
+    return stacked_scores(queries, candidates)

@@ -1,0 +1,19 @@
+"""Trigger: a transposed query block reaches a stacked kernel (VH502)."""
+
+
+def stacked_scores(queries, candidates):
+    """Score a stack of queries against per-session banks.
+
+    :shape queries: (S, m)
+    :shape candidates: (S, B, L)
+    """
+    return float(len(queries) + len(candidates))
+
+
+def run(queries, candidates):
+    """Feed the kernel a batch-major block that was transposed.
+
+    :shape queries: (S, m)
+    :shape candidates: (S, B, L)
+    """
+    return stacked_scores(queries.T, candidates)

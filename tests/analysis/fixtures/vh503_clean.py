@@ -1,0 +1,21 @@
+"""Clean twin of vh503_trigger: the complex tap is explicitly reduced."""
+
+import numpy as np
+
+
+def smooth(phases):
+    """Smooth a real phase track.
+
+    :shape phases: (T,)
+    :dtype phases: float64
+    """
+    return phases
+
+
+def run(csi):
+    """Take the angle first — an explicit complex -> float64 reduction.
+
+    :shape csi: (T,)
+    :dtype csi: complex128
+    """
+    return smooth(np.angle(csi))

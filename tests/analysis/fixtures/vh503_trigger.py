@@ -1,0 +1,19 @@
+"""Trigger: complex CSI flows into a float64 slot uncast (VH503)."""
+
+
+def smooth(phases):
+    """Smooth a real phase track.
+
+    :shape phases: (T,)
+    :dtype phases: float64
+    """
+    return phases
+
+
+def run(csi):
+    """Pass the raw complex tap where real phases are declared.
+
+    :shape csi: (T,)
+    :dtype csi: complex128
+    """
+    return smooth(csi)

@@ -1,0 +1,10 @@
+"""Clean twin of vh504_trigger: both operands share every declared axis."""
+
+
+def run(queries, others):
+    """Combine two session-major blocks of the same shape.
+
+    :shape queries: (S, m)
+    :shape others: (S, m)
+    """
+    return queries + others

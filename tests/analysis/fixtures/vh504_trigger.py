@@ -1,0 +1,11 @@
+"""Trigger: arithmetic broadcasts the session axis against the bank axis
+(VH504)."""
+
+
+def run(queries, candidates):
+    """Combine two blocks whose leading axes are different fleet axes.
+
+    :shape queries: (S, m)
+    :shape candidates: (B, m)
+    """
+    return queries + candidates

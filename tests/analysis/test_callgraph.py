@@ -100,3 +100,47 @@ def test_project_context_build_is_reusable_scratch():
     assert isinstance(project, ProjectContext)
     project.memo["k"] = 1
     assert project.memo["k"] == 1
+
+
+def test_cache_invalidates_on_ruleset_epoch_bump(tmp_path, monkeypatch):
+    """A RULESET_EPOCH bump must orphan every cached summary file: new
+    inference rules (the VH5xx era) change what a summary contains, so a
+    stale-epoch payload silently reused would lint with old semantics."""
+    from repro.analysis import callgraph
+
+    cache = tmp_path / "cache"
+    first = build_dfpkg(cache_dir=cache)
+    assert first.cache_hit is False
+    second = build_dfpkg(cache_dir=cache)
+    assert second.cache_hit is True
+
+    monkeypatch.setattr(callgraph, "RULESET_EPOCH", callgraph.RULESET_EPOCH + 1)
+    bumped = build_dfpkg(cache_dir=cache)
+    assert bumped.cache_hit is False
+    # The bumped build re-caches under the new epoch and hits next time.
+    again = build_dfpkg(cache_dir=cache)
+    assert again.cache_hit is True
+    names = [p.name for p in cache.glob("summaries-*.json")]
+    assert any(f"-e{callgraph.RULESET_EPOCH}-" in n for n in names)
+
+
+def test_epoch_two_summaries_carry_shape_declarations(tmp_path):
+    pkg = tmp_path / "shpkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("", encoding="utf-8")
+    (pkg / "k.py").write_text(
+        'def f(queries):\n'
+        '    """\n'
+        '    :shape queries: (S, m)\n'
+        '    :dtype queries: float64\n'
+        '    """\n'
+        '    return queries\n',
+        encoding="utf-8",
+    )
+    cache = tmp_path / "cache"
+    build_project([pkg], cache_dir=cache)
+    cached = build_project([pkg], cache_dir=cache)
+    assert cached.cache_hit is True
+    info = cached.functions["shpkg.k.f"]
+    assert info.declared_shapes == {"queries": (("S", "m"),)}
+    assert info.declared_dtypes == {"queries": "float64"}

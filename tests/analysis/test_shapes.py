@@ -1,0 +1,213 @@
+"""Golden-fixture and behaviour tests for the VH5xx shape/dtype rules."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer, shape_rules
+from repro.analysis.dtypes import is_silent_downcast, promote
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+SHAPE_FIXTURES = {
+    "VH501": FIXTURES / "vh501",
+    "VH502": FIXTURES / "vh502",
+    "VH503": FIXTURES / "vh503",
+    "VH504": FIXTURES / "vh504",
+}
+
+
+def analyze_file(path):
+    return Analyzer(shape_rules()).check_file(path)
+
+
+def analyze_source(src):
+    return Analyzer(shape_rules()).check_source(src)
+
+
+def test_every_shape_rule_has_a_fixture():
+    assert {r.id for r in shape_rules()} == set(SHAPE_FIXTURES)
+    for stem in SHAPE_FIXTURES.values():
+        assert stem.with_name(stem.name + "_trigger.py").exists()
+        assert stem.with_name(stem.name + "_clean.py").exists()
+
+
+@pytest.mark.parametrize("rule_id", sorted(SHAPE_FIXTURES))
+def test_trigger_fixture_fires_exactly_its_rule(rule_id):
+    stem = SHAPE_FIXTURES[rule_id]
+    findings = analyze_file(stem.with_name(stem.name + "_trigger.py"))
+    assert findings, f"{rule_id} trigger fixture produced no findings"
+    assert {f.rule for f in findings} == {rule_id}
+
+
+@pytest.mark.parametrize("rule_id", sorted(SHAPE_FIXTURES))
+def test_clean_fixture_is_silent(rule_id):
+    stem = SHAPE_FIXTURES[rule_id]
+    findings = analyze_file(stem.with_name(stem.name + "_clean.py"))
+    assert findings == []
+
+
+def test_vh502_message_names_the_fix():
+    stem = SHAPE_FIXTURES["VH502"]
+    (finding,) = analyze_file(stem.with_name(stem.name + "_trigger.py"))
+    assert "permutation" in finding.message
+    assert "transpose" in finding.message
+    assert "(S, m)" in finding.message  # the declared order
+    assert finding.trace, "shape findings must carry a flow trace"
+
+
+def test_vh503_message_suggests_explicit_cast():
+    stem = SHAPE_FIXTURES["VH503"]
+    (finding,) = analyze_file(stem.with_name(stem.name + "_trigger.py"))
+    assert "astype" in finding.message
+    assert "complex128" in finding.message
+    assert "float64" in finding.message
+
+
+STACKED_SRC = """\
+import numpy as np
+
+
+def stacked(queries, candidates):
+    '''Stacked scorer.
+
+    :shape queries: (S, m)
+    :shape candidates: (B, L) | (S, B, L)
+    :shape return: (S, B)
+    :dtype return: float64
+    '''
+    return np.zeros((len(queries), len(candidates)))
+"""
+
+
+def test_shape_alternatives_accept_either_rank():
+    src = STACKED_SRC + """\
+
+
+def run(queries, bank, stack):
+    '''
+    :shape queries: (S, m)
+    :shape bank: (B, L)
+    :shape stack: (S, B, L)
+    '''
+    a = stacked(queries, bank)
+    b = stacked(queries, stack)
+    return a + b
+"""
+    assert analyze_source(src) == []
+
+
+def test_declared_return_shape_flows_to_callers():
+    # stacked() returns (S, B); feeding that back as (S, m) queries is a
+    # symbol mismatch on the second axis -> VH501.
+    src = STACKED_SRC + """\
+
+
+def run(queries, bank):
+    '''
+    :shape queries: (S, m)
+    :shape bank: (B, L)
+    '''
+    scores = stacked(queries, bank)
+    return stacked(scores, bank)
+"""
+    findings = analyze_source(src)
+    assert [f.rule for f in findings] == ["VH501"]
+    assert "scores" in "".join(findings[0].trace) or "(S, B)" in findings[0].message
+
+
+def test_explicit_astype_silences_vh503():
+    src = """\
+import numpy as np
+
+
+def smooth(phases):
+    '''
+    :shape phases: (T,)
+    :dtype phases: float64
+    '''
+    return phases
+
+
+def run(csi):
+    '''
+    :shape csi: (T,)
+    :dtype csi: complex128
+    '''
+    return smooth(np.abs(csi).astype(np.float64))
+"""
+    assert analyze_source(src) == []
+
+
+def test_return_dtype_downcast_is_vh503():
+    src = """\
+import numpy as np
+
+
+def track(phases):
+    '''
+    :shape phases: (T,)
+    :dtype phases: float64
+    :dtype return: float64
+    '''
+    return phases.astype(np.float32)
+"""
+    findings = analyze_source(src)
+    assert [f.rule for f in findings] == ["VH503"]
+
+
+def test_bounded_slice_degrades_axis_without_flagging():
+    # query[::decimation] has an unknown length; unknown matches any
+    # declared symbol, so no finding (the pass never guesses).
+    src = """\
+def scorer(query):
+    '''
+    :shape query: (m,)
+    '''
+    return float(len(query))
+
+
+def run(query, decimation):
+    '''
+    :shape query: (m,)
+    '''
+    return scorer(query[::decimation])
+"""
+    assert analyze_source(src) == []
+
+
+def test_inline_noqa_suppresses_shape_finding():
+    stem = SHAPE_FIXTURES["VH501"]
+    src = stem.with_name(stem.name + "_trigger.py").read_text(encoding="utf-8")
+    src = src.replace(
+        "return bank_scores(candidates, candidates)",
+        "return bank_scores(candidates, candidates)  # vihot: noqa[VH501]",
+    )
+    assert analyze_source(src) == []
+
+
+def test_rules_carry_explain_material():
+    for rule in shape_rules():
+        assert rule.description
+        assert rule.rationale
+        assert rule.example.strip(), f"{rule.id} has no --explain example"
+
+
+def test_dtype_lattice_downcasts():
+    assert is_silent_downcast("complex128", "float64")
+    assert is_silent_downcast("complex64", "float32")
+    assert is_silent_downcast("float64", "float32")
+    assert is_silent_downcast("complex128", "complex64")
+    assert not is_silent_downcast("float32", "float64")
+    assert not is_silent_downcast("float64", "complex128")
+    assert not is_silent_downcast("float64", "float64")
+    # int narrowing is out of scope for VH503
+    assert not is_silent_downcast("int64", "int32")
+
+
+def test_dtype_lattice_promotion():
+    assert promote("float64", "float64") == "float64"
+    assert promote("float32", "float64") == "float64"
+    assert promote("float64", "complex128") == "complex128"
+    assert promote("int64", "float64") == "float64"
+    assert promote("bool", "float32") == "float32"

@@ -144,3 +144,62 @@ def test_mypy_config_present_in_pyproject():
     strict = config["tool"]["mypy"]["overrides"][0]
     assert {"repro.core.*", "repro.geometry.*", "repro.sensors.*"} <= set(strict["module"])
     assert strict["disallow_untyped_defs"] is True
+
+
+def test_shipped_tree_is_shapes_clean():
+    """The --shapes acceptance gate: zero unsuppressed VH5xx findings on
+    the annotated tree (and zero suppressions are in play: no allowlist
+    entry names a VH5xx rule)."""
+    findings = run_analysis(shapes=True)
+    assert findings == [], "\n".join(f.format() for f in findings)
+    assert not any(
+        entry.rule.startswith("VH5") for entry in DEFAULT_ALLOWLIST.entries
+    )
+
+
+def test_cli_lint_shapes_clean_tree_exits_zero(capsys):
+    assert main(["lint", "--shapes"]) == 0
+    assert "vihot lint: clean" in capsys.readouterr().out
+
+
+def test_cli_lint_shapes_fixture_dir_reports_vh5xx(capsys):
+    rc = main(["lint", "--shapes", "--format", "json", str(FIXTURES)])
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    rules = {f["rule"] for f in payload}
+    assert rules >= {"VH501", "VH502", "VH503", "VH504"}
+    vh5 = [f for f in payload if f["rule"].startswith("VH5")]
+    assert all(f["trace"] for f in vh5), "VH5xx findings must carry traces"
+
+
+def test_cli_list_rules_with_shapes_includes_vh5xx(capsys):
+    assert main(["lint", "--list-rules", "--shapes"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("VH501", "VH502", "VH503", "VH504"):
+        assert rule_id in out
+
+
+def test_cli_explain_known_rule(capsys):
+    assert main(["lint", "--explain", "VH502"]) == 0
+    out = capsys.readouterr().out
+    assert "VH502" in out
+    assert "batch-axis-mixup" in out
+    assert "permutation" in out
+    # The example snippet is printed indented.
+    assert "    " in out
+
+
+def test_cli_explain_works_for_every_registered_rule(capsys):
+    from repro.analysis import shape_rules
+    from repro.analysis.config import dataflow_rules as df
+
+    for rule in [*default_rules(), *df(), *shape_rules()]:
+        assert main(["lint", "--explain", rule.id]) == 0, rule.id
+        assert rule.id in capsys.readouterr().out
+
+
+def test_cli_explain_unknown_rule_exits_two(capsys):
+    assert main(["lint", "--explain", "VH999"]) == 2
+    captured = capsys.readouterr()
+    assert "unknown rule" in captured.err
+    assert "VH999" in captured.err

@@ -12,6 +12,50 @@ from repro.core import ViHOTConfig
 from repro.experiments.scenarios import Scenario, ScenarioConfig
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runtime-contracts",
+        action="store_true",
+        default=False,
+        help=(
+            "wrap the annotated kernel boundaries "
+            "(repro.analysis.runtime_contracts) and fail any test whose "
+            "calls diverge from the declared :shape/:dtype contracts"
+        ),
+    )
+
+
+def pytest_configure(config):
+    if config.getoption("--runtime-contracts"):
+        from repro.analysis import runtime_contracts
+
+        runtime_contracts.clear_records()
+        runtime_contracts.activate()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not config.getoption("--runtime-contracts"):
+        return
+    from repro.analysis import runtime_contracts
+
+    counts = runtime_contracts.summary()
+    terminalreporter.write_sep("-", "runtime shape/dtype contracts")
+    if not counts:
+        terminalreporter.write_line(
+            "no annotated boundary was crossed (suspicious: check "
+            "CONTRACT_BOUNDARIES)"
+        )
+    for boundary in sorted(counts):
+        terminalreporter.write_line(f"{boundary}: {counts[boundary]} calls ok")
+
+
+def pytest_unconfigure(config):
+    if config.getoption("--runtime-contracts"):
+        from repro.analysis import runtime_contracts
+
+        runtime_contracts.deactivate()
+
+
 SMALL = ScenarioConfig(
     seed=7,
     num_positions=4,

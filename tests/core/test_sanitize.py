@@ -162,3 +162,25 @@ def test_sanitize_streams_validation():
             np.zeros((3, 5)), np.zeros((2, 5, 2, 30), dtype=complex)
         )
     assert sanitize_streams(np.zeros(5), np.zeros((0, 5, 2, 30), dtype=complex)) == []
+
+
+def test_sanitize_preserves_float64_end_to_end():
+    """The declared dtype contract: complex128 CSI in, float64 phases
+    out, at every sanitisation boundary (pinned for VH503)."""
+    rng = np.random.default_rng(47)
+    csi = (
+        rng.normal(size=(20, 2, 4)) + 1j * rng.normal(size=(20, 2, 4))
+    ).astype(np.complex128)
+    times = np.linspace(0.0, 1.0, 20)
+
+    diff = antenna_phase_difference(csi)
+    assert diff.dtype == np.float64
+
+    series = sanitize_stream(times, csi)
+    assert np.asarray(series.times).dtype == np.float64
+    assert np.asarray(series.values).dtype == np.float64
+
+    stacked = sanitize_streams(times, csi[None, ...].repeat(3, axis=0))
+    for one in stacked:
+        assert np.asarray(one.times).dtype == np.float64
+        assert np.asarray(one.values).dtype == np.float64

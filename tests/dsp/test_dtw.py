@@ -230,3 +230,46 @@ def test_stacked_shape_validation():
         stacked_dtw_distance(np.zeros((2, 5)), np.zeros((2, 3, 4)), band=-1)
     assert stacked_dtw_distance(np.zeros((0, 5)), np.zeros((3, 4))).shape == (0, 3)
     assert stacked_dtw_distance(np.zeros((2, 5)), np.zeros((0, 4))).shape == (2, 0)
+
+
+def test_stacked_degenerate_axis_sizes():
+    """Every axis of the (S, m) x (S, B, L) contract survives size 1."""
+    rng = np.random.default_rng(29)
+    # S=1: one session stacked is exactly the batched kernel.
+    query = rng.uniform(-1, 1, 7)
+    bank = rng.uniform(-1, 1, (5, 8))
+    np.testing.assert_array_equal(
+        stacked_dtw_distance(query[None, :], bank[None, :, :])[0],
+        batched_dtw_distance(query, bank),
+    )
+    # B=1: a single-candidate bank gives one column per session.
+    queries = rng.uniform(-1, 1, (3, 7))
+    single = rng.uniform(-1, 1, (1, 8))
+    out = stacked_dtw_distance(queries, single)
+    assert out.shape == (3, 1)
+    for s in range(3):
+        np.testing.assert_array_equal(
+            out[s], batched_dtw_distance(queries[s], single)
+        )
+    # m=1: a one-sample query warps onto every candidate sample.
+    ones = rng.uniform(-1, 1, (2, 1))
+    out = stacked_dtw_distance(ones, bank)
+    assert out.shape == (2, 5)
+    for s in range(2):
+        np.testing.assert_array_equal(
+            out[s], batched_dtw_distance(ones[s], bank)
+        )
+    # L=1 for completeness: candidates of a single sample each.
+    thin = rng.uniform(-1, 1, (4, 1))
+    out = stacked_dtw_distance(queries, thin)
+    assert out.shape == (3, 4)
+
+
+def test_stacked_ragged_bank_rejected():
+    """A ragged candidate bank cannot form the (B, L) tensor: the kernel
+    must refuse it loudly rather than let numpy build an object array."""
+    ragged = [[0.0, 1.0, 2.0], [3.0, 4.0]]
+    with pytest.raises((ValueError, TypeError)):
+        stacked_dtw_distance(np.zeros((2, 3)), ragged)
+    with pytest.raises((ValueError, TypeError)):
+        batched_dtw_distance(np.zeros(3), ragged)
