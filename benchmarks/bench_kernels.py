@@ -225,6 +225,9 @@ def main(argv=None) -> int:
     parser.add_argument("--reps", type=int, default=30,
                         help="timing repetitions per kernel")
     parser.add_argument("--json", default=None, help="write the result as JSON")
+    parser.add_argument("--trajectory", default=None,
+                        help="also append the artefact to this bench "
+                        "trajectory file")
     args = parser.parse_args(argv)
 
     payload = collect(reps=args.reps)
@@ -237,6 +240,11 @@ def main(argv=None) -> int:
     if args.json:
         Path(args.json).write_text(json.dumps(payload, indent=2))
         print(f"wrote {args.json}")
+    if args.trajectory:
+        from bench_trajectory import append_record
+
+        record = append_record(args.trajectory, payload)
+        print(f"appended run @ {record['commit'][:12]} to {args.trajectory}")
     return 0
 
 

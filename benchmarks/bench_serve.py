@@ -123,7 +123,14 @@ def main(argv=None) -> int:
     parser.add_argument("--rate", type=float, default=None)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", default=None, help="write the result as JSON")
+    parser.add_argument("--trajectory", default=None,
+                        help="also append the artefact to this bench "
+                        "trajectory file (requires --json)")
     args = parser.parse_args(argv)
+    if args.trajectory and not args.json:
+        parser.error("--trajectory requires --json")
+    if args.trajectory and args.chaos:
+        parser.error("--trajectory tracks the comparison artefact, not chaos")
 
     if args.chaos:
         scale = dict(CHAOS)
@@ -173,6 +180,11 @@ def main(argv=None) -> int:
               f"batch efficiency {payload['batch_efficiency']:.2f}")
         Path(args.json).write_text(json.dumps(payload, indent=2))
         print(f"wrote {args.json}")
+        if args.trajectory:
+            from bench_trajectory import append_record
+
+            record = append_record(args.trajectory, payload)
+            print(f"appended run @ {record['commit'][:12]} to {args.trajectory}")
         ok = payload["sequential"]["bit_identical"] and payload["batched"][
             "bit_identical"]
         drops = payload["sequential"]["drops"] + payload["batched"]["drops"]

@@ -1,0 +1,142 @@
+"""Persisted bench trajectories: per-run records with a rolling gate.
+
+The single-artefact gate (``check_bench_regression.py --baseline``)
+compares one fresh run against one committed run — simple, but a single
+noisy committed sample skews every later comparison.  A *trajectory*
+file keeps the last N runs, each stamped with the commit and a UTC
+timestamp::
+
+    {
+      "schema": "vihot-bench-trajectory/1",
+      "runs": [
+        {"commit": "…", "timestamp": "…+00:00", "payload": {…}},
+        …
+      ]
+    }
+
+``payload`` is the unmodified schema'd bench artefact (the same dict
+``bench_serve.py --json`` / ``bench_kernels.py --json`` writes), so the
+regression gate's dotted metric paths resolve inside every record.  The
+rolling baseline for a metric is the **median over the window** — one
+slow CI runner in the history no longer fails (or masks) anything.
+
+This module is import-shared by the bench scripts and the gate; it has
+no repro imports (the trajectory is tooling, not tracking).
+"""
+
+import json
+import os
+import statistics
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+
+TRAJECTORY_SCHEMA = "vihot-bench-trajectory/1"
+
+#: Records kept per trajectory; old runs roll off the back.
+DEFAULT_KEEP = 50
+
+
+def current_commit() -> str:
+    """The commit to stamp a record with: CI's ``GITHUB_SHA`` when set,
+    otherwise ``git rev-parse HEAD``, otherwise ``"unknown"``."""
+    sha = os.environ.get("GITHUB_SHA")
+    if sha:
+        return sha
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def utc_timestamp() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def load_trajectory(path) -> dict:
+    """The trajectory at ``path`` (an empty one if the file is absent)."""
+    path = Path(path)
+    if not path.exists():
+        return {"schema": TRAJECTORY_SCHEMA, "runs": []}
+    payload = json.loads(path.read_text())
+    if payload.get("schema") != TRAJECTORY_SCHEMA:
+        raise ValueError(
+            f"{path} is not a bench trajectory "
+            f"(schema {payload.get('schema')!r}, want {TRAJECTORY_SCHEMA!r})"
+        )
+    return payload
+
+
+def append_record(
+    path,
+    payload: dict,
+    *,
+    commit: str | None = None,
+    timestamp: str | None = None,
+    keep: int = DEFAULT_KEEP,
+) -> dict:
+    """Append one bench run to the trajectory at ``path`` and write it.
+
+    Returns the record appended.  The trajectory is trimmed to the most
+    recent ``keep`` records; mixing payload schemas in one trajectory is
+    refused (that is what the payload ``schema`` field is for).
+    """
+    trajectory = load_trajectory(path)
+    schemas = {
+        run["payload"].get("schema")
+        for run in trajectory["runs"]
+        if isinstance(run.get("payload"), dict)
+    }
+    if schemas and payload.get("schema") not in schemas:
+        raise ValueError(
+            f"payload schema {payload.get('schema')!r} does not match the "
+            f"trajectory's {sorted(schemas)} — start a new trajectory file"
+        )
+    record = {
+        "commit": commit if commit is not None else current_commit(),
+        "timestamp": timestamp if timestamp is not None else utc_timestamp(),
+        "payload": payload,
+    }
+    trajectory["runs"].append(record)
+    trajectory["runs"] = trajectory["runs"][-keep:]
+    Path(path).write_text(json.dumps(trajectory, indent=2) + "\n")
+    return record
+
+
+def lookup(payload: dict, path: str) -> float:
+    """Resolve a dotted path (``sequential.latency_p50_ms``) to a float."""
+    node = payload
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(f"metric path {path!r} missing at {part!r}")
+        node = node[part]
+    if not isinstance(node, (int, float)) or isinstance(node, bool):
+        raise TypeError(f"metric path {path!r} is not numeric: {node!r}")
+    return float(node)
+
+
+def rolling_baseline(
+    trajectory: dict, metric_path: str, window: int = 5
+) -> float | None:
+    """Median of ``metric_path`` over the last ``window`` runs.
+
+    Records missing the metric (older payload schema revisions) are
+    skipped; returns ``None`` when no record in the window has it —
+    the caller should then fall back to the single-artefact gate.
+    """
+    values = []
+    for run in trajectory["runs"][-window:]:
+        try:
+            values.append(lookup(run["payload"], metric_path))
+        except (KeyError, TypeError):
+            continue
+    if not values:
+        return None
+    return float(statistics.median(values))

@@ -15,12 +15,26 @@ Usage::
         --baseline BENCH_kernels.json \
         --fresh bench-fresh/BENCH_kernels.json \
         --config .github/bench_baseline.json
+
+With ``--trajectory`` the gate compares against the **rolling median**
+of the last ``--window`` recorded runs instead of one committed
+artefact (see ``bench_trajectory.py`` for the file format) — a single
+noisy historical sample can no longer fail or mask a regression.
+``--append`` records the fresh run into the trajectory after a passing
+gate, so the baseline tracks the hardware CI actually runs on::
+
+    python benchmarks/check_bench_regression.py \
+        --trajectory benchmarks/trajectories/BENCH_serve.json \
+        --fresh bench-fresh/BENCH_serve.json \
+        --config .github/bench_baseline.json --append
 """
 
 import argparse
 import json
 import sys
 from pathlib import Path
+
+from bench_trajectory import append_record, load_trajectory, rolling_baseline
 
 
 def lookup(payload: dict, path: str) -> float:
@@ -72,24 +86,94 @@ def check(baseline: dict, fresh: dict, config: dict) -> list[str]:
     return violations
 
 
+def check_trajectory(
+    trajectory: dict, fresh: dict, config: dict, window: int
+) -> list[str]:
+    """Compare ``fresh`` against the rolling median of the trajectory.
+
+    Metrics with no history in the window are reported and skipped —
+    the first few runs of a new trajectory gate nothing, then tighten
+    as records accumulate.
+    """
+    schema = fresh.get("schema")
+    max_ratio = float(config["max_ratio"])
+    metrics = config["metrics"].get(schema, [])
+    if not metrics:
+        return [f"no metrics configured for schema {schema!r}"]
+    history = len(trajectory["runs"])
+    print(f"  rolling window: last {min(window, history)} of "
+          f"{history} recorded run(s)")
+    violations = []
+    for metric in metrics:
+        path = metric["path"]
+        direction = metric.get("direction", "lower_is_better")
+        base = rolling_baseline(trajectory, path, window)
+        if base is None:
+            print(f"  [new] {path}: no history yet, not gated")
+            continue
+        new = lookup(fresh, path)
+        if base <= 0 or new <= 0:
+            continue  # degenerate timings: nothing meaningful to compare
+        if direction == "lower_is_better":
+            ratio = new / base
+        elif direction == "higher_is_better":
+            ratio = base / new
+        else:
+            raise ValueError(f"unknown direction {direction!r} for {path!r}")
+        marker = "FAIL" if ratio > max_ratio else "ok"
+        print(f"  [{marker}] {path}: rolling median {base:.6g}, fresh "
+              f"{new:.6g} (x{ratio:.2f} worse-ratio, limit x{max_ratio:.1f})")
+        if ratio > max_ratio:
+            violations.append(
+                f"{path}: fresh {new:.6g} is x{ratio:.2f} worse than the "
+                f"rolling median {base:.6g} (limit x{max_ratio:.1f})"
+            )
+    return violations
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True,
+    parser.add_argument("--baseline", default=None,
                         help="committed bench artefact (known good)")
     parser.add_argument("--fresh", required=True,
                         help="artefact regenerated on this runner")
     parser.add_argument("--config", default=".github/bench_baseline.json")
+    parser.add_argument("--trajectory", default=None,
+                        help="bench trajectory file: gate against the "
+                        "rolling median instead of --baseline")
+    parser.add_argument("--window", type=int, default=5,
+                        help="trajectory runs in the rolling baseline")
+    parser.add_argument("--append", action="store_true",
+                        help="record the fresh run into --trajectory "
+                        "after a passing gate")
     args = parser.parse_args(argv)
+    if args.baseline is None and args.trajectory is None:
+        parser.error("need --baseline and/or --trajectory")
+    if args.append and args.trajectory is None:
+        parser.error("--append requires --trajectory")
 
-    baseline = json.loads(Path(args.baseline).read_text())
     fresh = json.loads(Path(args.fresh).read_text())
     config = json.loads(Path(args.config).read_text())
 
-    print(f"bench regression gate: {args.fresh} vs {args.baseline}")
-    violations = check(baseline, fresh, config)
+    violations = []
+    if args.baseline is not None:
+        baseline = json.loads(Path(args.baseline).read_text())
+        print(f"bench regression gate: {args.fresh} vs {args.baseline}")
+        violations += check(baseline, fresh, config)
+    if args.trajectory is not None:
+        print(f"bench trajectory gate: {args.fresh} vs {args.trajectory}")
+        violations += check_trajectory(
+            load_trajectory(args.trajectory), fresh, config, args.window
+        )
     for violation in violations:
         print(f"FAIL: {violation}", file=sys.stderr)
-    return 1 if violations else 0
+    if violations:
+        return 1
+    if args.append:
+        record = append_record(args.trajectory, fresh)
+        print(f"appended run @ {record['commit'][:12]} "
+              f"{record['timestamp']} to {args.trajectory}")
+    return 0
 
 
 if __name__ == "__main__":

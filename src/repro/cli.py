@@ -367,8 +367,51 @@ def _finish_load_result(result, json_path) -> int:
     return 0
 
 
+def _write_prometheus(path: str | None, snapshot) -> None:
+    if not path:
+        return
+    from repro.serve.export import render_prometheus
+
+    Path(path).write_text(render_prometheus(snapshot))
+    print(f"wrote {path}")
+
+
 def cmd_serve_bench(args) -> int:
     from repro.serve import run_chaos, run_load
+
+    if args.open_loop:
+        if args.chaos or args.scenario:
+            print(
+                "--open-loop is its own driver; drop --chaos/--scenario",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.serve.openloop import SloSpec, run_open_loop
+
+        slo = SloSpec.parse(args.slo) if args.slo else None
+        result = run_open_loop(
+            num_sessions=args.sessions,
+            duration_s=args.duration,
+            rate_hz=args.rate,
+            tick_interval_s=args.tick / 1000.0,
+            speedup=args.speedup,
+            workers=args.workers,
+            slo=slo,
+            stride_s=args.stride / 1000.0,
+            budget_s=args.budget / 1000.0,
+            queue_depth=args.queue_depth,
+            seed=args.seed,
+        )
+        print(result.summary())
+        if args.json:
+            Path(args.json).write_text(json.dumps(result.as_dict(), indent=2))
+            print(f"wrote {args.json}")
+        _write_prometheus(args.prom_out, result.snapshot)
+        if result.slo_checked and not result.slo_met:
+            for violation in result.violations:
+                print(f"FAIL SLO: {violation}", file=sys.stderr)
+            return 1
+        return 0
 
     if args.scenario:
         from repro.scenarios import resolve_scenario, run_scenario, run_scenario_chaos
@@ -377,7 +420,9 @@ def cmd_serve_bench(args) -> int:
         print(f"scenario {spec.name} [{spec.tier}] id={spec.scenario_id}")
         if args.chaos:
             return _finish_chaos_result(run_scenario_chaos(spec), args.json)
-        return _finish_load_result(run_scenario(spec), args.json)
+        result = run_scenario(spec, workers=args.workers)
+        _write_prometheus(args.prom_out, result.snapshot)
+        return _finish_load_result(result, args.json)
 
     if args.chaos:
         chaos = run_chaos(
@@ -405,7 +450,9 @@ def cmd_serve_bench(args) -> int:
         seed=args.seed,
         batching=args.batched,
         workload_mix=args.workload_mix,
+        workers=args.workers,
     )
+    _write_prometheus(args.prom_out, result.snapshot)
     return _finish_load_result(result, args.json)
 
 
@@ -459,7 +506,9 @@ def cmd_scenarios(args) -> int:
     print(f"scenario {spec.name} [{spec.tier}] id={spec.scenario_id}")
     if args.chaos:
         return _finish_chaos_result(run_scenario_chaos(spec), args.json)
-    return _finish_load_result(run_scenario(spec), args.json)
+    return _finish_load_result(
+        run_scenario(spec, workers=args.workers), args.json
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -537,6 +586,41 @@ def build_parser() -> argparse.ArgumentParser:
         "tier's flagship (e.g. T2) instead of the ad-hoc knobs above; "
         "combine with --chaos for the containment driver",
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="serve through a sharded multi-process fabric of N workers "
+        "(0 = one in-process manager; estimates are bit-identical "
+        "either way)",
+    )
+    p.add_argument(
+        "--open-loop",
+        action="store_true",
+        help="wall-clock arrival schedule instead of the closed-loop "
+        "replay: arrivals never wait for the service, so latency "
+        "percentiles reflect real queueing delay",
+    )
+    p.add_argument(
+        "--speedup",
+        type=float,
+        default=10.0,
+        help="open-loop stream-time compression (10 = a 4 s stream "
+        "replays in 0.4 s wall)",
+    )
+    p.add_argument(
+        "--slo",
+        default=None,
+        metavar="SPEC",
+        help='open-loop latency objectives, e.g. "p99=50,p99.9=200" '
+        "[ms]; exits nonzero when missed",
+    )
+    p.add_argument(
+        "--prom-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics as a Prometheus text exposition",
+    )
     p.set_defaults(func=cmd_serve_bench)
 
     p = sub.add_parser(
@@ -562,6 +646,9 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--chaos", action="store_true",
                     help="use the containment driver instead of loadgen")
     sp.add_argument("--json", default=None, help="write the result dict as JSON")
+    sp.add_argument("--workers", type=int, default=0,
+                    help="serve through a sharded fabric of N worker "
+                    "processes (loadgen driver only)")
     sp.set_defaults(func=cmd_scenarios)
 
     p = sub.add_parser(

@@ -251,6 +251,7 @@ class EstimationEngine:
             default_position=self._default_position,
             previous=state.previous,
             last_confident_time=state.last_confident_time,
+            horizon_s=self._config.horizon_s,
         )
         estimate = self._run_chain(ctx)
         if estimate is not None:
@@ -344,6 +345,7 @@ class EstimationEngine:
                 default_position=engines[i]._default_position,
                 previous=item.state.previous,
                 last_confident_time=item.state.last_confident_time,
+                horizon_s=engines[i]._config.horizon_s,
             )
             for i, item in enumerate(items)
         ]
@@ -461,6 +463,7 @@ class EstimationEngine:
             t=0.0,
             position=self.new_session().position,
             default_position=self._default_position,
+            horizon_s=self._config.horizon_s,
             raw_times=stream.times,
             raw_csi=stream.csi,
         )

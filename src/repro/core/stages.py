@@ -40,7 +40,7 @@ from repro.core.position import PositionEstimator
 from repro.core.profile import CsiProfile
 from repro.core.sanitize import sanitize_stream, sanitize_streams
 from repro.core.steering_id import SteeringIdentifier
-from repro.dsp.phase import phase_std, wrap_phase
+from repro.dsp.phase import phase_std, stacked_phase_std, wrap_phase
 from repro.dsp.resample import resample_uniform
 from repro.dsp.series import TimeSeries
 
@@ -166,6 +166,16 @@ class EstimationContext:
     default_position: int
     previous: Estimate | None = None
     last_confident_time: float | None = None
+
+    #: The forecast horizon this estimate should carry [s].  Set by the
+    #: engine from the *owning session's* config: a batched group mixes
+    #: forecast and plain sessions (the planner's group key normalizes
+    #: ``horizon_s``), and a batch-aware stage runs on the group
+    #: leader's instance — reading ``self._config.horizon_s`` there
+    #: would stamp the leader's horizon on every session's estimate.
+    #: ``None`` means "use the stage's own config" (contexts built
+    #: outside the engine, e.g. directly in tests).
+    horizon_s: float | None = None
 
     # Filled in by the stages.
     position_index: int = -1
@@ -399,12 +409,47 @@ class StationaryStage(Stage):
     window would make DTW pick an arbitrary equal-phase profile sample
     (see :class:`ViHOTConfig`), so the previous estimate is re-issued
     instead.
+
+    Batch-aware: windows sharing one length are stacked through
+    :func:`repro.dsp.phase.stacked_phase_std` — one complex-exponential
+    pass over the ``session x sample`` matrix instead of one per
+    session.  Bit-identical to looping :meth:`run` (pinned by
+    ``tests/core/test_stationary_stage.py``, ``vihot lint`` VH205).
     """
 
     name = "stationary"
+    batch_aware = True
 
     def __init__(self, config: ViHOTConfig) -> None:
         self._config = config
+
+    def _decide(
+        self, ctx: EstimationContext, flatness: float, samples: int
+    ) -> StageDecision:
+        """Turn a computed flatness into the stage's decision.
+
+        Shared verbatim by :meth:`run` and :meth:`run_batch` so the
+        batched path cannot drift from the sequential reference.
+        """
+        config = self._config
+        if flatness < config.stationary_std_rad:
+            horizon = (
+                ctx.horizon_s if ctx.horizon_s is not None else config.horizon_s
+            )
+            return StageDecision.emit(
+                Estimate(
+                    ctx.t,
+                    ctx.t + horizon,
+                    ctx.previous.orientation,
+                    "stationary",
+                    ctx.position_index,
+                ),
+                flatness=flatness,
+                samples=samples,
+            )
+        return StageDecision.passthrough(
+            fired=False, flatness=flatness, samples=samples
+        )
 
     def run(self, ctx: EstimationContext) -> StageDecision:
         config = self._config
@@ -412,21 +457,42 @@ class StationaryStage(Stage):
         if ctx.previous is None or len(window) < 5:
             return StageDecision.passthrough(fired=False, samples=len(window))
         flatness = phase_std(wrap_phase(np.asarray(window.values)))
-        if flatness < config.stationary_std_rad:
-            return StageDecision.emit(
-                Estimate(
-                    ctx.t,
-                    ctx.t + config.horizon_s,
-                    ctx.previous.orientation,
-                    "stationary",
-                    ctx.position_index,
-                ),
-                flatness=flatness,
-                samples=len(window),
-            )
-        return StageDecision.passthrough(
-            fired=False, flatness=flatness, samples=len(window)
-        )
+        return self._decide(ctx, flatness, len(window))
+
+    def run_batch(
+        self, contexts: Sequence[EstimationContext]
+    ) -> list[StageDecision]:
+        """Flatness for many sessions in stacked circular-std calls.
+
+        Groups contexts by window length (stacking needs a rectangular
+        matrix); each same-length group becomes one
+        :func:`stacked_phase_std` call.  Contexts with no previous
+        estimate or a too-short window pass through exactly as in
+        :meth:`run`, and singleton groups take the scalar path verbatim.
+        """
+        config = self._config
+        decisions: list[StageDecision | None] = [None] * len(contexts)
+        groups: dict[int, list[int]] = {}
+        wrapped: dict[int, np.ndarray] = {}
+        for i, ctx in enumerate(contexts):
+            window = ctx.phase.slice(ctx.t - config.window_s, ctx.t)
+            if ctx.previous is None or len(window) < 5:
+                decisions[i] = StageDecision.passthrough(
+                    fired=False, samples=len(window)
+                )
+                continue
+            wrapped[i] = np.asarray(wrap_phase(np.asarray(window.values)))
+            groups.setdefault(len(window), []).append(i)
+        for length, slots in groups.items():
+            if len(slots) == 1:
+                i = slots[0]
+                flatness = phase_std(wrapped[i])
+                decisions[i] = self._decide(contexts[i], flatness, length)
+                continue
+            stacked = np.stack([wrapped[i] for i in slots])
+            for i, row_std in zip(slots, stacked_phase_std(stacked)):
+                decisions[i] = self._decide(contexts[i], float(row_std), length)
+        return [d for d in decisions if d is not None]
 
 
 class MatchStage(Stage):

@@ -93,3 +93,37 @@ def phase_std(phases: np.ndarray) -> float:
     if resultant <= 1e-12:
         return float(np.sqrt(-2.0 * np.log(1e-12)))
     return float(np.sqrt(-2.0 * np.log(resultant)))
+
+
+def stacked_phase_std(phases: np.ndarray) -> np.ndarray:
+    """Circular standard deviation of many same-length phase windows.
+
+    The cross-session analogue of :func:`phase_std`: one complex
+    exponential + row mean over the whole ``(S, m)`` matrix instead of
+    ``S`` scalar passes.  ``mean(axis=1)`` over a contiguous row is the
+    same pairwise summation as a 1-D ``mean()``, so every row's result
+    is bitwise identical to ``phase_std(row)`` — including the clamp and
+    the degenerate-resultant floor (pinned by
+    ``tests/dsp/test_phase.py``).
+
+    :domain phases: rad
+    :shape phases: (S, m)
+    :shape return: (S,)
+    :dtype return: float64
+    """
+    phases = np.asarray(phases, dtype=np.float64)
+    if phases.ndim != 2:
+        raise ValueError(
+            f"stacked_phase_std expects an (S, m) matrix, got ndim={phases.ndim}"
+        )
+    if phases.shape[1] == 0:
+        raise ValueError("phase_std of an empty array is undefined")
+    resultants = np.abs(np.exp(1j * phases).mean(axis=1))
+    resultants = np.minimum(1.0, resultants)
+    floor = float(np.sqrt(-2.0 * np.log(1e-12)))
+    out = np.where(
+        resultants <= 1e-12,
+        floor,
+        np.sqrt(-2.0 * np.log(np.maximum(resultants, 1e-300))),
+    )
+    return np.asarray(out, dtype=np.float64)

@@ -86,6 +86,20 @@ T2_VITALS_UNDER_LOAD = register_scenario(ScenarioSpec(
     fault_plan=chaos_plan(seed=32, start_s=1.0, stop_s=1.8),
 ))
 
+T2_SHARDED_RUSH = register_scenario(ScenarioSpec(
+    name="t2-sharded-rush",
+    tier="T2",
+    description="Fifty mixed-workload cabins under the fault storm: the "
+                "fleet the sharded serving fabric's bit-identity gate "
+                "replays across worker counts.  Registered after the "
+                "tier flagship on purpose — CI targets it by name.",
+    seed=33,
+    num_sessions=50,
+    duration_s=2.0,
+    workload_mix=("plain", "imu", "forecast"),
+    fault_plan=chaos_plan(seed=33, start_s=0.7, stop_s=1.4),
+))
+
 T3_RUSH_HOUR_CHAOS = register_scenario(ScenarioSpec(
     name="t3-rush-hour-chaos",
     tier="T3",

@@ -25,6 +25,8 @@ def run_scenario(
     spec: ScenarioSpec,
     verify_sessions: int | None = None,
     capture_sessions: int = 0,
+    workers: int = 0,
+    processes: bool = True,
 ) -> LoadResult:
     """Run ``spec`` through the loadgen driver.
 
@@ -34,6 +36,11 @@ def run_scenario(
     ``capture_sessions`` captures that many estimate streams for replay
     comparison; note churn takes the fleet tail, so capturing the whole
     fleet on a churning scenario clamps the churn away.
+
+    ``workers`` > 0 serves the scenario through the sharded
+    :class:`~repro.serve.fabric.ServingFabric` instead of one manager —
+    the scenario id pins the same estimate stream either way, which is
+    how CI gates the fleet's bit-identity across worker counts.
     """
     if verify_sessions is None:
         churned = spec.churn_sessions > 0
@@ -57,6 +64,8 @@ def run_scenario(
         capture_sessions=capture_sessions,
         workloads=spec.workload_mix,
         churn_sessions=spec.churn_sessions,
+        workers=workers,
+        processes=processes,
     )
 
 

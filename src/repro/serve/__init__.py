@@ -23,6 +23,8 @@ standalone ``OnlineTracker`` fed the same packets.
 
 from repro.serve.batch import BatchedScheduler, BatchGroup, BatchPlanner
 from repro.serve.chaos import ChaosResult, run_chaos
+from repro.serve.export import render_prometheus
+from repro.serve.fabric import ServingFabric, merge_snapshots
 from repro.serve.ingest import IngestBatch, IngestQueue, IngestRecord
 from repro.serve.loadgen import (
     ALL_WORKLOAD_KINDS,
@@ -40,8 +42,22 @@ from repro.serve.manager import (
     SessionManager,
     scenario_fingerprint,
 )
-from repro.serve.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_snapshot,
+)
+from repro.serve.openloop import (
+    OpenLoopResult,
+    SloSpec,
+    SloViolation,
+    run_open_loop,
+)
 from repro.serve.scheduler import RoundRobinScheduler, ServedEstimate, TickReport
+from repro.serve.shard import ShardRouter
+from repro.serve.shm import SharedCsiRing
 from repro.serve.session import (
     CREATED,
     DEGRADED,
@@ -85,6 +101,16 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "render_snapshot",
+    "render_prometheus",
+    "ServingFabric",
+    "merge_snapshots",
+    "ShardRouter",
+    "SharedCsiRing",
+    "SloSpec",
+    "SloViolation",
+    "OpenLoopResult",
+    "run_open_loop",
     "run_load",
     "LoadResult",
     "SyntheticCabin",

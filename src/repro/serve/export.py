@@ -1,0 +1,156 @@
+"""Prometheus text exposition over :class:`MetricsRegistry` snapshots.
+
+The one-line ``render()`` report is for log grepping; a scrape target
+wants the `Prometheus text format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_:
+``# HELP`` / ``# TYPE`` headers, one sample per line, labels in braces.
+:func:`render_prometheus` produces it from the same ``as_dict``
+snapshots everything else consumes — for a single manager (one
+unlabelled fleet) or for the sharded fabric, where every sample carries
+a ``shard`` label: ``shard="fleet"`` for the merged aggregate and
+``shard="0"``... for the per-worker views, so a dashboard can plot both
+the fleet SLO and the balance across workers from one scrape.
+
+Conventions applied:
+
+* every metric is prefixed ``vihot_`` (unless the registry name
+  already carries it — the per-workload open counters do);
+* counters get the ``_total`` suffix when missing;
+* histograms export quantile series (0.5 / 0.9 / 0.99 / 0.999) plus
+  ``_max`` and ``_count`` — exactly the digest
+  :meth:`Histogram.summary` retains, which is also exactly what the
+  serve-bench SLO gate alerts on;
+* per-stage tracking stats export as ``vihot_stage_*`` families with a
+  ``stage`` label.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+from typing import Any
+
+#: ``Histogram.summary`` key -> Prometheus quantile label.
+_QUANTILES = (("p50", "0.5"), ("p90", "0.9"), ("p99", "0.99"), ("p99_9", "0.999"))
+
+_PREFIX = "vihot_"
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _metric_name(name: str) -> str:
+    return name if name.startswith(_PREFIX) else _PREFIX + name
+
+
+def _counter_name(name: str) -> str:
+    name = _metric_name(name)
+    return name if name.endswith("_total") else name + "_total"
+
+
+def _labels(pairs: Mapping[str, str]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs.items())
+    return "{" + inner + "}"
+
+
+class _Family:
+    """One metric family: header emitted once, samples accumulated."""
+
+    def __init__(self, name: str, kind: str, help: str = "") -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.samples: list[str] = []
+
+    def add(
+        self,
+        value: float,
+        labels: Mapping[str, str],
+        suffix: str = "",
+    ) -> None:
+        self.samples.append(
+            f"{self.name}{suffix}{_labels(labels)} {_format_value(value)}"
+        )
+
+    def render(self) -> list[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {self.help}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        lines.extend(self.samples)
+        return lines
+
+
+def render_prometheus(
+    fleet: Mapping[str, Any],
+    shards: Mapping[int, Mapping[str, Any]] | None = None,
+) -> str:
+    """The text exposition of one fleet snapshot.
+
+    Args:
+        fleet: a :meth:`MetricsRegistry.as_dict` /
+            :meth:`ServingFabric.metrics_snapshot` snapshot — exported
+            with ``shard="fleet"`` when per-shard views accompany it,
+            unlabelled otherwise (a single-process manager).
+        shards: optional per-shard snapshots
+            (:meth:`ServingFabric.shard_snapshots`), each exported with
+            its ``shard="<index>"`` label.
+    """
+    families: dict[str, _Family] = {}
+
+    def family(name: str, kind: str) -> _Family:
+        if name not in families:
+            families[name] = _Family(name, kind)
+        return families[name]
+
+    def emit(snapshot: Mapping[str, Any], labels: Mapping[str, str]) -> None:
+        for name, value in snapshot.get("counters", {}).items():
+            family(_counter_name(name), "counter").add(float(value), labels)
+        for name, value in snapshot.get("gauges", {}).items():
+            family(_metric_name(name), "gauge").add(float(value), labels)
+        for name, summary in snapshot.get("histograms", {}).items():
+            base = family(_metric_name(name), "summary")
+            for key, quantile in _QUANTILES:
+                if key in summary:
+                    base.add(
+                        float(summary[key]),
+                        {**labels, "quantile": quantile},
+                    )
+            if "max" in summary:
+                base.add(float(summary["max"]), labels, suffix="_max")
+            base.add(float(summary["count"]), labels, suffix="_count")
+        for stage in snapshot.get("stages", ()):
+            stage_labels = {**labels, "stage": str(stage["stage"])}
+            for column, kind in (
+                ("evaluated", "counter"),
+                ("fired", "counter"),
+                ("terminal", "counter"),
+            ):
+                family(
+                    _counter_name(f"stage_{column}"), kind
+                ).add(float(stage[column]), stage_labels)
+            for column in ("p50_ms", "p90_ms"):
+                family(_metric_name(f"stage_{column}"), "gauge").add(
+                    float(stage[column]), stage_labels
+                )
+
+    if shards:
+        emit(fleet, {"shard": "fleet"})
+        for index in sorted(shards):
+            emit(shards[index], {"shard": str(index)})
+    else:
+        emit(fleet, {})
+
+    lines: list[str] = []
+    for name in sorted(families):
+        lines.extend(families[name].render())
+    return "\n".join(lines) + "\n"

@@ -84,6 +84,12 @@ class IngestQueue:
         return len(self._slots)
 
     @property
+    def fill_fraction(self) -> float:
+        """Occupancy in ``[0, 1]`` — the backpressure signal the sharded
+        fabric's work stealing keys on (see :mod:`repro.serve.fabric`)."""
+        return self._count / len(self._slots)
+
+    @property
     def pushed_total(self) -> int:
         """Packets ever offered to the queue (accepted or shed)."""
         return self._pushed

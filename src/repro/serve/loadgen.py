@@ -30,6 +30,7 @@ from repro.core.profile import CsiProfile, PositionProfile
 from repro.core.stages import Estimate
 from repro.core.workloads import HEAD_WORKLOAD, engine_for_workload
 from repro.faults import FaultPlan, StreamFaults
+from repro.serve.fabric import ServingFabric
 from repro.serve.manager import ManagerTickReport, SessionManager
 
 #: Intel-5300-shaped packets.
@@ -196,6 +197,7 @@ class LoadResult:
     batched_sessions: int = 0  # serving records produced by stacked calls
     fallback_sessions: int = 0  # serving records on the sequential path
     churned_sessions: int = 0  # sessions closed mid-run and reopened
+    workers: int = 0  # sharded-fabric worker count (0 = single process)
     #: Per-captured-session poll log ``[(polled_t, estimate), ...]`` for
     #: the first ``capture_sessions`` cabins — lets a caller compare two
     #: runs (batched vs sequential) estimate-for-estimate.  Excluded
@@ -203,6 +205,10 @@ class LoadResult:
     captured: dict[str, list[tuple[float, Estimate | None]]] = field(
         default_factory=dict
     )
+    #: The run's final merged metrics snapshot (registry ``as_dict``
+    #: form) — what :func:`repro.serve.export.render_prometheus`
+    #: consumes.  Excluded from :meth:`as_dict` like ``captured``.
+    snapshot: dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -224,6 +230,7 @@ class LoadResult:
             "batched_sessions": self.batched_sessions,
             "fallback_sessions": self.fallback_sessions,
             "churned_sessions": self.churned_sessions,
+            "workers": self.workers,
             "metrics": self.metrics_line,
         }
 
@@ -341,6 +348,8 @@ def run_load(
     capture_sessions: int = 0,
     workloads: Sequence[str] | None = None,
     churn_sessions: int = 0,
+    workers: int = 0,
+    processes: bool = True,
 ) -> LoadResult:
     """Drive ``num_sessions`` synthetic cabins through one manager.
 
@@ -376,6 +385,14 @@ def run_load(
     verification and capture (their reopened trackers legitimately
     restart from empty buffers), and with the default of 0 the code
     path is untouched.
+
+    ``workers`` > 0 swaps the single manager for a sharded
+    :class:`~repro.serve.fabric.ServingFabric` of that many shards
+    (``processes=False`` keeps the shards inline — same code path
+    minus the transport).  The drive loop, fault injection, churn and
+    standalone verification all run unchanged against the fabric's
+    manager-shaped facade, so the identity probes hold across worker
+    counts — the tentpole guarantee.
     """
     if num_sessions < 1:
         raise ValueError("num_sessions must be >= 1")
@@ -393,15 +410,29 @@ def run_load(
         config = ViHOTConfig(profile_stride=8, num_length_candidates=3)
 
     profile = synthetic_profile()
-    manager = SessionManager(
-        config,
-        queue_depth=queue_depth,
-        budget_s=budget_s,
-        stride_s=stride_s,
-        idle_timeout_s=10 * duration_s + 60.0,  # no idling mid-run
-        buffer_s=buffer_s,
-        batching=batching,
-    )
+    manager: SessionManager | ServingFabric
+    if workers:
+        manager = ServingFabric(
+            config,
+            workers=workers,
+            processes=processes,
+            queue_depth=queue_depth,
+            budget_s=budget_s,
+            stride_s=stride_s,
+            idle_timeout_s=10 * duration_s + 60.0,  # no idling mid-run
+            buffer_s=buffer_s,
+            batching=batching,
+        )
+    else:
+        manager = SessionManager(
+            config,
+            queue_depth=queue_depth,
+            budget_s=budget_s,
+            stride_s=stride_s,
+            idle_timeout_s=10 * duration_s + 60.0,  # no idling mid-run
+            buffer_s=buffer_s,
+            batching=batching,
+        )
     cabin_kinds = [
         _cabin_kind(k, workload_mix, workloads) for k in range(num_sessions)
     ]
@@ -550,8 +581,16 @@ def run_load(
         ):
             bit_identical = False
 
-    counters = manager.metrics_snapshot()["counters"]
+    snapshot = manager.metrics_snapshot()
+    counters = snapshot["counters"]
+    assert isinstance(counters, dict)
     latency = manager.metrics.histogram("estimate_latency_ms")
+    latency_p50 = latency.percentile(50)
+    latency_p90 = latency.percentile(90)
+    latency_p99 = latency.percentile(99)
+    metrics_line = manager.render_metrics()
+    if isinstance(manager, ServingFabric):
+        manager.close()
     packets = int(counters["packets_ingested"])
     aggregate_rate = packets / wall_s if wall_s > 0 else float("inf")
     return LoadResult(
@@ -564,18 +603,20 @@ def run_load(
         wall_s=wall_s,
         packets_per_s=aggregate_rate / num_sessions,
         session_packets_per_s=aggregate_rate,
-        latency_p50_ms=latency.percentile(50),
-        latency_p90_ms=latency.percentile(90),
-        latency_p99_ms=latency.percentile(99),
+        latency_p50_ms=latency_p50,
+        latency_p90_ms=latency_p90,
+        latency_p99_ms=latency_p99,
         verified_sessions=min(verify_sessions, num_sessions),
         bit_identical=bit_identical,
-        metrics_line=manager.render_metrics(),
+        metrics_line=metrics_line,
         batching=batching,
         batched_sessions=batched_total,
         fallback_sessions=fallback_total,
         churned_sessions=len(churn_ids),
+        workers=workers,
         captured={
             cabin.cabin_id: servings[cabin.cabin_id]
             for cabin in cabins[:capture_sessions]
         },
+        snapshot=dict(snapshot),
     )

@@ -19,7 +19,8 @@ snapshot so one scrape shows both serving health and tracking health.
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -127,11 +128,29 @@ class Histogram:
             return float("nan")
         return float(np.percentile(window, q))
 
+    def maximum(self) -> float:
+        """The largest retained observation (NaN if empty)."""
+        window = self._window()
+        if window.size == 0:
+            return float("nan")
+        return float(window.max())
+
     def summary(self) -> dict[str, float]:
+        """The SLO-facing digest of the retained window.
+
+        Keys are dotted-path safe (``p99_9``, not ``p99.9``) so perf
+        gates can address them with the same dotted lookups the bench
+        regression checker uses.  Tail percentiles are included because
+        that is what latency SLOs alert on — a snapshot exposing only
+        p50/p90 would gate on numbers the operator never sees.
+        """
         return {
             "count": self._count,
             "p50": self.percentile(50),
             "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "p99_9": self.percentile(99.9),
+            "max": self.maximum(),
         }
 
     def __repr__(self) -> str:
@@ -225,26 +244,9 @@ class MetricsRegistry:
         Example::
 
             sessions_live=50 packets_ingested=64000 packets_dropped=0
-            estimate_latency_ms{p50=2.1,p90=3.4,n=1200}
+            estimate_latency_ms{p50=2.1,p90=3.4,p99=5.0,n=1200}
         """
-        parts: list[str] = []
-        for name, gauge in sorted(self._gauges.items()):
-            value = gauge.value
-            text = f"{value:g}" if value != int(value) else f"{int(value)}"
-            parts.append(f"{name}={text}")
-        for name, counter in sorted(self._counters.items()):
-            parts.append(f"{name}={counter.value}")
-        for name, hist in sorted(self._histograms.items()):
-            summary = hist.summary()
-            parts.append(
-                f"{name}{{p50={summary['p50']:.2f},p90={summary['p90']:.2f},"
-                f"n={summary['count']}}}"
-            )
-        if self._stage_stats:
-            terminal = {s.stage: s.terminal for s in self._stage_stats if s.terminal}
-            stages = ",".join(f"{k}={v}" for k, v in terminal.items())
-            parts.append(f"stage_terminals{{{stages}}}")
-        return " ".join(parts)
+        return render_snapshot(self.as_dict())
 
     def get(self, name: str) -> object | None:
         """Look up a metric of any type by name (``None`` if absent)."""
@@ -253,3 +255,37 @@ class MetricsRegistry:
             or self._gauges.get(name)
             or self._histograms.get(name)
         )
+
+
+def render_snapshot(snapshot: Mapping[str, Any]) -> str:
+    """Render an :meth:`MetricsRegistry.as_dict` snapshot as one line.
+
+    Shared by :meth:`MetricsRegistry.render` and the sharded serving
+    fabric (whose fleet-wide snapshot is *merged* from many worker
+    registries and therefore has no single registry object to render
+    from) — one formatter, so per-process and fleet reports never drift.
+    """
+    parts: list[str] = []
+    gauges: Mapping[str, float] = snapshot.get("gauges", {})
+    for name in sorted(gauges):
+        value = gauges[name]
+        text = f"{value:g}" if value != int(value) else f"{int(value)}"
+        parts.append(f"{name}={text}")
+    counters: Mapping[str, int] = snapshot.get("counters", {})
+    for name in sorted(counters):
+        parts.append(f"{name}={counters[name]}")
+    histograms: Mapping[str, Mapping[str, float]] = snapshot.get("histograms", {})
+    for name in sorted(histograms):
+        summary = histograms[name]
+        parts.append(
+            f"{name}{{p50={summary['p50']:.2f},p90={summary['p90']:.2f},"
+            f"p99={summary['p99']:.2f},n={int(summary['count'])}}}"
+        )
+    stages: Sequence[Mapping[str, Any]] = snapshot.get("stages", ())
+    terminal = {
+        str(s["stage"]): int(s["terminal"]) for s in stages if s["terminal"]
+    }
+    if terminal:
+        joined = ",".join(f"{k}={v}" for k, v in terminal.items())
+        parts.append(f"stage_terminals{{{joined}}}")
+    return " ".join(parts)

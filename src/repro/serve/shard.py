@@ -1,0 +1,111 @@
+"""Consistent-hash routing of sessions onto serving shards.
+
+The sharded fabric (:mod:`repro.serve.fabric`) pins every session to
+one worker process for its whole life — a tracker's ring buffers are
+process state, so a session that hopped shards would replay from empty
+buffers.  The router therefore has to be **deterministic** (the same
+session id always lands on the same shard, across processes and runs;
+no RNG, no ``hash()`` randomization) and **minimally disruptive** when
+the shard set changes (a worker death must re-home only the dead
+shard's sessions, not reshuffle the fleet).
+
+Both properties come from a classic consistent-hash ring: each shard
+owns ``replicas`` points on a sha256 ring, and a session id routes to
+the first shard point at or after its own hash.  Removing a shard
+deletes only that shard's points, so every other session keeps its
+placement — the minimal-rehash property the failover test pins.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from collections.abc import Iterable
+
+
+def _ring_point(key: str) -> int:
+    """A stable 64-bit position on the hash ring.
+
+    sha256 rather than ``hash()``: Python string hashing is salted per
+    process (PYTHONHASHSEED), which would route the same session to
+    different shards in the parent and a respawned worker.
+    """
+    return int.from_bytes(
+        hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class ShardRouter:
+    """Deterministic session-id -> shard-index placement.
+
+    Args:
+        shard_count: initial shards, numbered ``0..shard_count-1``.
+        replicas: ring points per shard.  More points smooth the load
+            split (each shard's arc becomes the union of many small
+            arcs); 64 keeps the worst shard within ~2x of the mean on
+            fleet-sized id sets, which the balance test pins.
+    """
+
+    def __init__(self, shard_count: int, *, replicas: int = 64) -> None:
+        if shard_count < 1:
+            raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self._replicas = replicas
+        self._shards: set[int] = set()
+        self._points: list[int] = []
+        self._owners: list[int] = []
+        for shard in range(shard_count):
+            self.add_shard(shard)
+
+    @property
+    def shards(self) -> tuple[int, ...]:
+        """Live shard indices, ascending."""
+        return tuple(sorted(self._shards))
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard: int) -> bool:
+        return shard in self._shards
+
+    def add_shard(self, shard: int) -> None:
+        if shard in self._shards:
+            raise ValueError(f"shard {shard} already on the ring")
+        self._shards.add(shard)
+        for replica in range(self._replicas):
+            point = _ring_point(f"shard-{shard}:replica-{replica}")
+            index = bisect_right(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, shard)
+
+    def remove_shard(self, shard: int) -> None:
+        """Delete one shard's ring points (its sessions re-hash onto the
+        survivors; everyone else keeps their placement)."""
+        if shard not in self._shards:
+            raise ValueError(f"shard {shard} not on the ring")
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        self._shards.discard(shard)
+        keep = [k for k, owner in enumerate(self._owners) if owner != shard]
+        self._points = [self._points[k] for k in keep]
+        self._owners = [self._owners[k] for k in keep]
+
+    def route(self, session_id: str) -> int:
+        """The shard owning ``session_id`` (first point at or after its
+        hash, wrapping at the top of the ring)."""
+        point = _ring_point(session_id)
+        index = bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[index]
+
+    def assignments(
+        self, session_ids: Iterable[str]
+    ) -> dict[int, list[str]]:
+        """``{shard: [session ids]}`` over the live shards (every live
+        shard appears, possibly empty), ids in input order."""
+        placed: dict[int, list[str]] = {shard: [] for shard in self.shards}
+        for session_id in session_ids:
+            placed[self.route(session_id)].append(session_id)
+        return placed

@@ -1,0 +1,114 @@
+"""StationaryStage: batch-aware flat-window detection, pinned bit-identical.
+
+This file is the VH205 batch pin for :class:`StationaryStage`: its
+``run_batch`` over a fleet of same-length windows must produce
+bit-identical decisions (action, estimate, flatness detail) to ``run``
+on each context alone, and the per-context ``horizon_s`` carried by
+:class:`EstimationContext` must win over the group leader's config so
+mixed forecast/plain batches never stamp the wrong target time.
+"""
+
+import numpy as np
+
+from repro.core import ViHOTConfig
+from repro.core.stages import Estimate, EstimationContext, StationaryStage
+from repro.dsp.series import TimeSeries
+
+
+def _phase_window(seed: int, n: int, spread: float, t_end: float = 2.0):
+    """A phase series of ``n`` samples ending at ``t_end``."""
+    rng = np.random.default_rng(seed)
+    times = np.linspace(t_end - 0.9, t_end, n)
+    values = rng.normal(0.4, spread, n)
+    return TimeSeries(times, values)
+
+
+def _context(phase, t=2.0, previous_orientation=0.3, horizon_s=None):
+    previous = (
+        None
+        if previous_orientation is None
+        else Estimate(t - 0.1, t - 0.1, previous_orientation, "csi", 1)
+    )
+    return EstimationContext(
+        phase=phase,
+        imu=None,
+        t=t,
+        position=None,  # the stationary stage never touches the estimator
+        default_position=0,
+        previous=previous,
+        horizon_s=horizon_s,
+        position_index=1,
+    )
+
+
+def _fleet(config):
+    """A mixed fleet: stackable groups, singletons, and passthroughs."""
+    contexts = []
+    # Two stackable groups (same window length), flat and noisy members.
+    for seed in range(4):
+        contexts.append(_context(_phase_window(seed, 40, 0.001)))
+    for seed in range(3):
+        contexts.append(_context(_phase_window(10 + seed, 40, 1.5)))
+    for seed in range(3):
+        contexts.append(_context(_phase_window(20 + seed, 25, 0.002)))
+    # Singleton window length.
+    contexts.append(_context(_phase_window(30, 33, 0.003)))
+    # Too-short window and no-previous: must pass through untouched.
+    contexts.append(_context(_phase_window(31, 3, 0.001)))
+    contexts.append(_context(_phase_window(32, 40, 0.001), previous_orientation=None))
+    return contexts
+
+
+def test_run_batch_bit_identical_to_run():
+    """The pin: StationaryStage.run_batch over a mixed fleet is
+    bit-identical to StationaryStage.run per context — same actions,
+    same estimates, and bitwise-equal flatness details."""
+    config = ViHOTConfig()
+    stage = StationaryStage(config)
+    solo = [stage.run(ctx) for ctx in _fleet(config)]
+    batched = stage.run_batch(_fleet(config))
+    assert len(solo) == len(batched)
+    fired = [d.fired for d in solo]
+    assert any(fired) and not all(fired)  # the fleet exercises both paths
+    for a, b in zip(solo, batched):
+        assert a.action == b.action
+        assert a.fired == b.fired
+        assert a.estimate == b.estimate
+        # Flatness must match to the last bit, not approximately.
+        assert a.detail == b.detail
+
+
+def test_batch_respects_per_context_horizon():
+    """Forecast and plain sessions batch together (the planner's group
+    key normalizes horizon_s), so each emitted estimate must carry its
+    own session's horizon — not the group leader's."""
+    stage = StationaryStage(ViHOTConfig())  # leader config: horizon 0
+    contexts = [
+        _context(_phase_window(seed, 40, 0.001), horizon_s=h)
+        for seed, h in ((0, 0.0), (1, 0.5), (2, 0.2), (3, 0.0))
+    ]
+    decisions = stage.run_batch(contexts)
+    assert all(d.fired for d in decisions)
+    for ctx, decision in zip(contexts, decisions):
+        assert decision.estimate.mode == "stationary"
+        assert decision.estimate.target_time == ctx.t + ctx.horizon_s
+
+
+def test_unset_context_horizon_falls_back_to_stage_config():
+    """Contexts built outside the engine (horizon_s=None) keep the old
+    behaviour: the stage's own config horizon."""
+    config = ViHOTConfig(horizon_s=0.4)
+    stage = StationaryStage(config)
+    decision = stage.run(_context(_phase_window(0, 40, 0.001)))
+    assert decision.fired
+    assert decision.estimate.target_time == 2.0 + 0.4
+
+
+def test_emitted_estimate_reissues_previous_orientation():
+    stage = StationaryStage(ViHOTConfig())
+    decision = stage.run(
+        _context(_phase_window(5, 40, 0.001), previous_orientation=-0.7)
+    )
+    assert decision.fired
+    assert decision.estimate.orientation == -0.7
+    assert decision.estimate.position_index == 1

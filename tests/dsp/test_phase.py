@@ -9,6 +9,7 @@ from repro.dsp.phase import (
     circular_mean,
     phase_difference,
     phase_std,
+    stacked_phase_std,
     unwrap_phase,
     wrap_phase,
 )
@@ -128,3 +129,44 @@ def test_phase_std_uniform_is_large():
 def test_phase_std_empty_raises():
     with pytest.raises(ValueError):
         phase_std(np.array([]))
+
+
+def test_stacked_phase_std_bit_identical_to_scalar():
+    """The stacked kernel must be bit-identical to per-row phase_std —
+    the (S, m) row mean is the same pairwise summation as a 1-D mean."""
+    rng = np.random.default_rng(7)
+    for m in (5, 17, 64, 257):
+        rows = rng.uniform(-np.pi, np.pi, (9, m))
+        stacked = stacked_phase_std(rows)
+        scalar = np.array([phase_std(row) for row in rows])
+        np.testing.assert_array_equal(stacked, scalar)
+
+
+def test_stacked_phase_std_degenerate_rows():
+    """Constant and circle-uniform rows hit the clamp and the resultant
+    floor exactly as the scalar path does."""
+    n = 360
+    uniform = np.linspace(-np.pi, np.pi, n, endpoint=False)
+    rows = np.stack([np.full(n, 1.3), uniform, np.zeros(n)])
+    stacked = stacked_phase_std(rows)
+    scalar = np.array([phase_std(row) for row in rows])
+    np.testing.assert_array_equal(stacked, scalar)
+    assert stacked[0] == 0.0
+    assert stacked[2] == 0.0
+
+
+def test_stacked_phase_std_floor_matches_scalar():
+    # A perfectly balanced pair has resultant ~0 -> both paths floor at
+    # sqrt(-2 ln 1e-12).
+    rows = np.array([[0.0, np.pi], [0.25, 0.25 + np.pi]])
+    stacked = stacked_phase_std(rows)
+    scalar = np.array([phase_std(row) for row in rows])
+    np.testing.assert_array_equal(stacked, scalar)
+    np.testing.assert_allclose(stacked, np.sqrt(-2.0 * np.log(1e-12)))
+
+
+def test_stacked_phase_std_validation():
+    with pytest.raises(ValueError):
+        stacked_phase_std(np.zeros(5))
+    with pytest.raises(ValueError):
+        stacked_phase_std(np.zeros((3, 0)))

@@ -1,0 +1,73 @@
+"""The tentpole pin: sharded serving is bit-identical to one manager.
+
+The same scenario spec is replayed twice — once through a single
+in-process :class:`~repro.serve.manager.SessionManager`, once through a
+4-worker :class:`~repro.serve.fabric.ServingFabric` — and the captured
+per-session estimate streams must match bit for bit, fault storm
+included.  Sharding may only change *where* a tracker runs, never what
+it computes.
+
+Two scales: the 50-session ``t2-sharded-rush`` pack runs the fabric
+inline (``processes=False`` — same code path minus the transport, fast
+enough for every CI run), and the T2 flagship runs with real forked
+worker processes to pin the transport too.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.scenarios import list_scenarios, run_scenario
+from repro.serve.loadgen import estimates_identical
+
+
+def _spec(name):
+    spec = next(s for s in list_scenarios() if s.name == name)
+    # Generous budget: wall-clock noise must never defer a session in
+    # one run but not the other (same override as the replay suite).
+    return dataclasses.replace(spec, budget_s=30.0)
+
+
+def _assert_captures_identical(single, sharded):
+    assert set(single.captured) == set(sharded.captured)
+    assert len(single.captured) >= 1
+    polls = 0
+    estimates = 0
+    for session_id, log_a in single.captured.items():
+        log_b = sharded.captured[session_id]
+        assert len(log_a) == len(log_b), session_id
+        for (t_a, e_a), (t_b, e_b) in zip(log_a, log_b):
+            polls += 1
+            estimates += e_a is not None
+            assert t_a == t_b, f"{session_id}: poll instants diverged"
+            assert estimates_identical(e_a, e_b), (
+                f"{session_id} @ t={t_a}: {e_a} != {e_b}"
+            )
+    assert polls > 0 and estimates > 0, "capture is vacuous"
+    assert single.packets == sharded.packets
+    assert single.estimates == sharded.estimates
+    assert single.deadline_misses == sharded.deadline_misses
+
+
+@pytest.mark.parametrize("workers", [4])
+def test_sharded_rush_pack_identical_across_worker_counts(workers):
+    spec = _spec("t2-sharded-rush")
+    assert spec.num_sessions == 50
+    assert spec.fault_plan.enabled  # identity must hold under faults
+    capture = spec.num_sessions
+    single = run_scenario(spec, capture_sessions=capture)
+    sharded = run_scenario(
+        spec, capture_sessions=capture, workers=workers, processes=False
+    )
+    assert sharded.workers == workers
+    _assert_captures_identical(single, sharded)
+
+
+def test_flagship_identical_through_forked_workers():
+    spec = _spec("t2-downtown-interference")
+    capture = spec.num_sessions
+    single = run_scenario(spec, capture_sessions=capture)
+    sharded = run_scenario(
+        spec, capture_sessions=capture, workers=4, processes=True
+    )
+    _assert_captures_identical(single, sharded)

@@ -1,0 +1,94 @@
+"""Prometheus text exposition: naming, labels, quantiles, ordering."""
+
+from __future__ import annotations
+
+from repro.serve.export import render_prometheus
+from repro.serve.metrics import MetricsRegistry
+
+
+def _snapshot() -> dict:
+    registry = MetricsRegistry()
+    registry.counter("packets_ingested").inc(42)
+    registry.counter("vihot_sessions_opened_vihot_head_total").inc(3)
+    registry.gauge("sessions_live").set(5)
+    hist = registry.histogram("estimate_latency_ms")
+    for value in (1.0, 2.0, 3.0, 10.0):
+        hist.observe(value)
+    return registry.as_dict()
+
+
+def test_single_snapshot_renders_unlabelled() -> None:
+    text = render_prometheus(_snapshot())
+    lines = text.splitlines()
+    assert text.endswith("\n")
+    assert "vihot_packets_ingested_total 42" in lines
+    assert "vihot_sessions_live 5" in lines
+    assert "# TYPE vihot_packets_ingested_total counter" in lines
+    assert "# TYPE vihot_sessions_live gauge" in lines
+    assert "# TYPE vihot_estimate_latency_ms summary" in lines
+    # Names already carrying the prefix / suffix are not doubled.
+    assert "vihot_sessions_opened_vihot_head_total 3" in lines
+    assert not any("vihot_vihot" in line for line in lines)
+    assert not any("_total_total" in line for line in lines)
+
+
+def test_histogram_exports_quantiles_max_and_count() -> None:
+    lines = render_prometheus(_snapshot()).splitlines()
+    for quantile in ("0.5", "0.9", "0.99", "0.999"):
+        assert any(
+            line.startswith(f'vihot_estimate_latency_ms{{quantile="{quantile}"}}')
+            for line in lines
+        ), quantile
+    assert "vihot_estimate_latency_ms_max 10" in lines
+    assert "vihot_estimate_latency_ms_count 4" in lines
+
+
+def test_sharded_rendering_labels_fleet_and_shards() -> None:
+    fleet = _snapshot()
+    shards = {0: _snapshot(), 3: _snapshot()}
+    lines = render_prometheus(fleet, shards).splitlines()
+    assert 'vihot_packets_ingested_total{shard="fleet"} 42' in lines
+    assert 'vihot_packets_ingested_total{shard="0"} 42' in lines
+    assert 'vihot_packets_ingested_total{shard="3"} 42' in lines
+    # One family header covers fleet and shard samples alike.
+    assert (
+        sum(1 for line in lines if line == "# TYPE vihot_sessions_live gauge")
+        == 1
+    )
+    assert any(
+        line.startswith('vihot_estimate_latency_ms{shard="3",quantile="0.5"}')
+        for line in lines
+    )
+
+
+def test_stage_stats_export_with_stage_label() -> None:
+    snapshot = {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "stages": [
+            {"stage": "match", "evaluated": 10, "fired": 4, "terminal": 2,
+             "p50_ms": 1.25, "p90_ms": 2.5},
+        ],
+    }
+    lines = render_prometheus(snapshot).splitlines()
+    assert 'vihot_stage_evaluated_total{stage="match"} 10' in lines
+    assert 'vihot_stage_fired_total{stage="match"} 4' in lines
+    assert 'vihot_stage_terminal_total{stage="match"} 2' in lines
+    assert 'vihot_stage_p50_ms{stage="match"} 1.25' in lines
+    assert 'vihot_stage_p90_ms{stage="match"} 2.5' in lines
+
+
+def test_empty_histogram_renders_nan_not_crash() -> None:
+    registry = MetricsRegistry()
+    registry.histogram("estimate_latency_ms")
+    lines = render_prometheus(registry.as_dict()).splitlines()
+    assert 'vihot_estimate_latency_ms{quantile="0.5"} NaN' in lines
+    assert "vihot_estimate_latency_ms_count 0" in lines
+
+
+def test_families_sorted_by_name() -> None:
+    lines = render_prometheus(_snapshot()).splitlines()
+    type_lines = [line for line in lines if line.startswith("# TYPE ")]
+    names = [line.split()[2] for line in type_lines]
+    assert names == sorted(names)

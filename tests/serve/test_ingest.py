@@ -89,3 +89,65 @@ def test_forget_session_prunes_shed_bookkeeping():
     assert queue.pushed_total == 9
     # Forgetting an unknown session is a no-op, not an error.
     queue.forget_session("never-seen")
+
+
+def test_fill_fraction_tracks_occupancy():
+    queue = IngestQueue(depth=8)
+    assert queue.fill_fraction == 0.0
+    for k in range(6):
+        queue.push("s", float(k), csi(k))
+    assert queue.fill_fraction == pytest.approx(0.75)
+    queue.drain(max_records=4)
+    assert queue.fill_fraction == pytest.approx(0.25)
+    # Shedding keeps occupancy saturated at 1.0, never above.
+    for k in range(20):
+        queue.push("s", float(k), csi(k))
+    assert queue.fill_fraction == 1.0
+
+
+def test_drop_attribution_under_multi_tenant_churn():
+    # Tenants with very different offered rates share one ring: sheds
+    # must land on whoever owned the oldest queued packet at that
+    # moment, so a chatty tenant's backlog absorbs the drops while a
+    # quiet one queued behind it stays accountable only for its own.
+    queue = IngestQueue(depth=4)
+    for k in range(4):
+        queue.push("chatty", float(k), csi(k))
+    # Quiet tenant arrives at a full ring: the shed packets are all
+    # chatty's (they are the oldest), not the quiet pusher's.
+    queue.push("quiet", 4.0, csi(4))
+    queue.push("quiet", 5.0, csi(5))
+    assert queue.dropped_by_session == {"chatty": 2}
+    # Now chatty returns and starts shedding the queue head again —
+    # which by now is partly quiet's traffic.
+    queue.push("chatty", 6.0, csi(6))
+    queue.push("chatty", 7.0, csi(7))
+    queue.push("chatty", 8.0, csi(8))
+    assert queue.dropped_by_session == {"chatty": 4, "quiet": 1}
+    assert queue.dropped_total == 5
+    # The survivors are exactly the 4 freshest packets, in order.
+    assert [r.time for r in queue.drain()] == [5.0, 6.0, 7.0, 8.0]
+
+
+def test_forget_session_midstream_does_not_disturb_other_tenants():
+    # A close/evict in a busy fleet: the departing tenant's shed
+    # bookkeeping vanishes, its queued packets still drain (the manager
+    # counts those as orphaned), and other tenants' attribution,
+    # ordering and occupancy are untouched.
+    queue = IngestQueue(depth=4)
+    for k in range(6):
+        queue.push("leaver", float(k), csi(k))
+    for k in range(6, 8):
+        queue.push("stayer", float(k), csi(k))
+    assert queue.dropped_by_session == {"leaver": 4}
+    depth_before = len(queue)
+
+    queue.forget_session("leaver")
+    assert queue.dropped_by_session == {}
+    assert len(queue) == depth_before  # queued packets not purged
+    # Reopening the same id starts attribution from zero.
+    for k in range(8, 13):
+        queue.push("leaver", float(k), csi(k))
+    assert queue.dropped_by_session["leaver"] >= 1
+    batch = queue.drain()
+    assert [r.time for r in batch] == sorted(r.time for r in batch)

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.diagnostics import StageStats
-from repro.serve.metrics import Histogram, MetricsRegistry
+from repro.serve.metrics import Histogram, MetricsRegistry, render_snapshot
 
 
 def test_counter_monotone():
@@ -46,6 +46,58 @@ def test_histogram_bounded_window():
     assert np.isnan(Histogram("empty").percentile(50))
 
 
+def test_histogram_summary_exposes_tail_percentiles():
+    hist = Histogram("latency")
+    for v in range(1, 1001):
+        hist.observe(float(v))
+    summary = hist.summary()
+    # Every key an SLO gate can reference, and monotone tails.
+    assert set(summary) == {"count", "p50", "p90", "p99", "p99_9", "max"}
+    assert summary["count"] == 1000
+    assert summary["p50"] <= summary["p90"] <= summary["p99"]
+    assert summary["p99"] <= summary["p99_9"] <= summary["max"]
+    assert summary["max"] == 1000.0
+    assert summary["p99"] == pytest.approx(np.percentile(np.arange(1.0, 1001.0), 99))
+    assert summary["p99_9"] == pytest.approx(
+        np.percentile(np.arange(1.0, 1001.0), 99.9)
+    )
+
+
+def test_histogram_tails_after_window_wraparound():
+    """Tail percentiles must describe the retained window only, even
+    after the ring has wrapped many times over."""
+    hist = Histogram("latency", capacity=64)
+    # 10 full wraps of small values, then one window of large ones.
+    for v in range(640):
+        hist.observe(0.001 * v)
+    for v in range(64):
+        hist.observe(1000.0 + v)
+    summary = hist.summary()
+    assert summary["count"] == 704
+    # Nothing from the overwritten epochs survives in any tail stat.
+    assert summary["p50"] >= 1000.0
+    assert summary["p99"] >= 1000.0
+    assert summary["p99_9"] >= 1000.0
+    assert summary["max"] == 1063.0
+    # Mid-wrap: the window mixes the newest partial epoch with the tail
+    # of the previous one — percentiles still cover exactly `capacity`.
+    hist.observe(5000.0)
+    assert hist.summary()["max"] == 5000.0
+    assert hist.percentile(0) >= 1000.0
+
+
+def test_histogram_tails_empty_and_tiny_windows():
+    empty = Histogram("empty")
+    summary = empty.summary()
+    for key in ("p50", "p99", "p99_9", "max"):
+        assert np.isnan(summary[key])
+    one = Histogram("one")
+    one.observe(7.5)
+    summary = one.summary()
+    assert summary["p99_9"] == 7.5
+    assert summary["max"] == 7.5
+
+
 def test_name_collision_across_types_rejected():
     registry = MetricsRegistry()
     registry.counter("x")
@@ -74,10 +126,19 @@ def test_as_dict_and_render():
     assert snapshot["histograms"]["estimate_latency_ms"]["p50"] == pytest.approx(2.0)
     assert snapshot["stages"][0]["stage"] == "match"
 
+    # The snapshot's histogram digest carries the tail keys too.
+    latency = snapshot["histograms"]["estimate_latency_ms"]
+    assert latency["p99"] == pytest.approx(2.98)
+    assert latency["max"] == 3.0
+
     line = registry.render()
     assert "sessions_live=3" in line
     assert "packets_ingested=120" in line
     assert "packets_dropped=0" in line
     assert "estimate_latency_ms{p50=2.00,p90=" in line
+    assert ",p99=2.98," in line
     assert "stage_terminals{emit=8}" in line
     assert "\n" not in line
+    # The module-level renderer is the same formatter the registry uses,
+    # so a merged (fleet) snapshot renders identically.
+    assert render_snapshot(snapshot) == line

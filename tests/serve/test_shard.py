@@ -1,0 +1,90 @@
+"""Consistent-hash router: determinism, balance, minimal rehash."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.shard import ShardRouter
+
+FLEET = [f"cabin-{k:04d}" for k in range(400)]
+
+
+def test_routing_is_deterministic_across_instances() -> None:
+    # Two independently built routers must agree on every placement —
+    # this is what lets a respawned parent re-derive where sessions
+    # live (and why the ring hashes with sha256, not salted hash()).
+    a = ShardRouter(4)
+    b = ShardRouter(4)
+    assert [a.route(sid) for sid in FLEET] == [b.route(sid) for sid in FLEET]
+
+
+def test_routes_stay_on_live_shards() -> None:
+    router = ShardRouter(5)
+    assert router.shards == (0, 1, 2, 3, 4)
+    for sid in FLEET:
+        assert router.route(sid) in router
+
+
+def test_balance_within_bounds() -> None:
+    # 64 virtual replicas keep the split uneven but bounded: every
+    # shard gets traffic, the hottest stays within ~2.5x of the mean.
+    router = ShardRouter(4)
+    assignments = router.assignments(FLEET)
+    counts = {shard: len(ids) for shard, ids in assignments.items()}
+    assert set(counts) == {0, 1, 2, 3}
+    assert all(count > 0 for count in counts.values())
+    mean = len(FLEET) / len(router)
+    assert max(counts.values()) < 2.5 * mean
+
+
+def test_assignments_preserve_input_order_and_empty_shards() -> None:
+    router = ShardRouter(8)
+    few = FLEET[:3]
+    assignments = router.assignments(few)
+    assert set(assignments) == set(router.shards)  # empty shards listed
+    flattened = [sid for shard in router.shards for sid in assignments[shard]]
+    assert sorted(flattened) == sorted(few)
+    for ids in assignments.values():
+        assert ids == [sid for sid in few if sid in ids]  # input order
+
+
+def test_remove_shard_rehashes_only_the_dead_shards_sessions() -> None:
+    # The failover property: killing shard D moves exactly D's sessions;
+    # every other session keeps its placement bit for bit.
+    router = ShardRouter(4)
+    before = {sid: router.route(sid) for sid in FLEET}
+    dead = 2
+    router.remove_shard(dead)
+    after = {sid: router.route(sid) for sid in FLEET}
+    for sid in FLEET:
+        if before[sid] == dead:
+            assert after[sid] != dead
+            assert after[sid] in router
+        else:
+            assert after[sid] == before[sid]
+
+
+def test_add_shard_restores_prior_placements() -> None:
+    # Remove + re-add is placement-idempotent: the replica points are
+    # pure functions of (shard, replica), so the ring rebuilds exactly.
+    router = ShardRouter(4)
+    before = {sid: router.route(sid) for sid in FLEET}
+    router.remove_shard(1)
+    router.add_shard(1)
+    assert {sid: router.route(sid) for sid in FLEET} == before
+
+
+def test_validation() -> None:
+    with pytest.raises(ValueError):
+        ShardRouter(0)
+    with pytest.raises(ValueError):
+        ShardRouter(2, replicas=0)
+    router = ShardRouter(2)
+    with pytest.raises(ValueError):
+        router.add_shard(1)  # already present
+    with pytest.raises(ValueError):
+        router.remove_shard(7)  # never existed
+    router.remove_shard(0)
+    with pytest.raises(ValueError):
+        router.remove_shard(1)  # cannot empty the ring
+    assert len(router) == 1
