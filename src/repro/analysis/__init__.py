@@ -22,6 +22,7 @@ from pathlib import Path
 
 from repro.analysis.config import (
     DEFAULT_ALLOWLIST,
+    concurrency_rules,
     dataflow_rules,
     default_rules,
     shape_rules,
@@ -47,6 +48,7 @@ __all__ = [
     "ProjectRule",
     "Rule",
     "Severity",
+    "concurrency_rules",
     "dataflow_rules",
     "default_rules",
     "run_analysis",
@@ -59,6 +61,7 @@ def run_analysis(
     use_default_allowlist: bool = True,
     dataflow: bool = False,
     shapes: bool = False,
+    concurrency: bool = False,
     cache_dir: str | Path | None = None,
 ) -> list[Finding]:
     """Lint ``paths`` (default: the installed ``repro`` tree) and return findings.
@@ -66,8 +69,9 @@ def run_analysis(
     Thin convenience wrapper over :class:`Analyzer` used by the CLI and
     the test suite.  ``dataflow=True`` adds the inter-procedural VH3xx /
     VH4xx rules (phase-domain tracking, numpy aliasing); ``shapes=True``
-    adds the VH5xx array shape/dtype rules; ``cache_dir`` persists the
-    shared call-graph summaries between runs.
+    adds the VH5xx array shape/dtype rules; ``concurrency=True`` adds
+    the VH6xx process-safety rules; ``cache_dir`` persists the shared
+    call-graph summaries between runs.
     """
     if paths is None:
         paths = [Path(__file__).resolve().parent.parent]
@@ -76,6 +80,7 @@ def run_analysis(
         default_rules()
         + (dataflow_rules() if dataflow else [])
         + (shape_rules() if shapes else [])
+        + (concurrency_rules() if concurrency else [])
     )
     analyzer = Analyzer(rules, allowlist=allowlist, cache_dir=cache_dir)
     return analyzer.run([Path(p) for p in paths])

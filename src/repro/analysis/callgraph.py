@@ -47,8 +47,8 @@ _CACHE_VERSION = 1
 #: on this in addition to the source digest: a cached summary describes
 #: (source, rules), and hashing only the source let stale summaries
 #: survive rule edits (the bug this guard retires).  Epoch 2 marks the
-#: VH5xx era.
-RULESET_EPOCH = 2
+#: VH5xx era; epoch 3 the VH6xx process-safety pass.
+RULESET_EPOCH = 3
 
 #: Fixed-point iteration bound for return-domain inference; domain
 #: chains in practice are a handful of calls deep.

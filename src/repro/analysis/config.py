@@ -9,6 +9,13 @@ broader belongs here where the next PR can see (and challenge) it.
 from __future__ import annotations
 
 from repro.analysis.aliasing import ParamMutationRule, ViewMutationRule
+from repro.analysis.concurrency import (
+    CrossProcessRngRule,
+    ForkInheritedStateRule,
+    ForkOnlyApiRule,
+    PickleBoundaryRule,
+    SharedMemoryLifecycleRule,
+)
 from repro.analysis.contracts import (
     BareExceptRule,
     BatchPinRule,
@@ -37,7 +44,13 @@ from repro.analysis.shapes import (
     ShapeCallMismatchRule,
 )
 
-__all__ = ["DEFAULT_ALLOWLIST", "dataflow_rules", "default_rules", "shape_rules"]
+__all__ = [
+    "DEFAULT_ALLOWLIST",
+    "concurrency_rules",
+    "dataflow_rules",
+    "default_rules",
+    "shape_rules",
+]
 
 
 def default_rules() -> list[Rule]:
@@ -85,6 +98,22 @@ def shape_rules() -> list[Rule]:
         BatchAxisMixupRule(),
         DtypeDowncastRule(),
         ImplicitBroadcastRule(),
+    ]
+
+
+def concurrency_rules() -> list[Rule]:
+    """The process-safety rule set behind ``vihot lint --concurrency``.
+
+    Rides the same project-wide build as :func:`dataflow_rules` /
+    :func:`shape_rules` (call graph + worker-entrypoint reachability)
+    and shares their summary cache; opt-in for the same reason.
+    """
+    return [
+        ForkInheritedStateRule(),
+        SharedMemoryLifecycleRule(),
+        PickleBoundaryRule(),
+        CrossProcessRngRule(),
+        ForkOnlyApiRule(),
     ]
 
 

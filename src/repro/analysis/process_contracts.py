@@ -1,0 +1,321 @@
+"""Runtime cross-check of the process-safety contracts (VH6xx).
+
+The static concurrency pass (:mod:`repro.analysis.concurrency`) reasons
+about shared-memory lifecycle and per-worker seed isolation without
+running the code.  This module closes the loop from the other side,
+mirroring :mod:`repro.analysis.runtime_contracts`: it wraps
+:class:`~repro.serve.shm.SharedCsiRing` (every acquisition and release
+is recorded in a ledger) and the worker entrypoint
+(:class:`~repro.serve.fabric.ShardWorker` construction records a
+per-worker identity: its pid, its ring, and a digest of every RNG
+generator state reachable from its constructor inputs), and asserts two
+invariants after a run:
+
+* :func:`assert_balanced` — every segment this process acquired was
+  released, **verified against the kernel**: a name with no recorded
+  release is probed with ``SharedMemory(name=...)``; only
+  ``FileNotFoundError`` (the segment is truly gone — e.g. the parent
+  unlinked a ring a forked child acquired by attaching) excuses the
+  missing ledger entry.  This is what makes the check fork-safe:
+  events recorded inside a forked worker live in the worker's memory
+  and never reach the parent's ledger, but the kernel's view of the
+  segment is shared.
+* :func:`assert_worker_divergence` — no two recorded workers share an
+  RNG stream state (the VH604 failure mode: fork copies generator
+  state byte for byte, so a pre-fork stream makes every worker draw
+  identical "random" sequences), and no two live workers share a ring.
+
+The wrappers never change behaviour: originals run first, recording
+happens after, and all original exceptions propagate untouched.
+Install with :func:`activate` (idempotent), remove with
+:func:`deactivate`.  Patching happens at the *class* level (methods,
+not module attributes), so ``from repro.serve.shm import SharedCsiRing``
+aliases are covered automatically — every importer shares the one class
+object — and forked children inherit the instrumented classes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = [
+    "ContractViolation",
+    "ShmEvent",
+    "WorkerRecord",
+    "activate",
+    "active",
+    "assert_balanced",
+    "assert_worker_divergence",
+    "clear_records",
+    "deactivate",
+    "records",
+    "summary",
+    "worker_records",
+]
+
+#: Cap on retained events, so a long soak cannot grow memory without
+#: bound.  Assertions always run over what was retained.
+_MAX_RECORDS = 10_000
+
+
+class ContractViolation(AssertionError):
+    """An observed run diverged from a declared process-safety contract."""
+
+
+@dataclass(frozen=True)
+class ShmEvent:
+    """One recorded shared-memory lifecycle crossing.
+
+    Attributes:
+        kind: ``"acquire"`` (ring constructed) or ``"release"`` (closed).
+        name: the kernel segment name (``/psm_...``).
+        owner: whether this process created the segment (vs attached).
+        unlink: for releases, whether the segment name was removed
+            (``None`` on acquires).
+        pid: the recording process.
+    """
+
+    kind: str
+    name: str
+    owner: bool
+    unlink: bool | None
+    pid: int
+
+
+@dataclass(frozen=True)
+class WorkerRecord:
+    """One worker-entrypoint crossing: identity for divergence checks.
+
+    Attributes:
+        pid: the process the worker was built in (forked workers record
+            in their own memory; inline workers record in the parent).
+        ring_name: segment name of the CSI ring this worker serves.
+        rng_digests: sha256 prefixes of every ``np.random.Generator``
+            state reachable from the constructor inputs (bounded scan).
+    """
+
+    pid: int
+    ring_name: str
+    rng_digests: tuple[str, ...]
+
+
+_EVENTS: list[ShmEvent] = []
+_WORKERS: list[WorkerRecord] = []
+#: (owner class, attribute name, original function) per patched slot.
+_PATCHED: list[tuple[type, str, Callable[..., Any]]] = []
+
+
+def _record_event(event: ShmEvent) -> None:
+    if len(_EVENTS) < _MAX_RECORDS:
+        _EVENTS.append(event)
+
+
+def _generator_digests(
+    obj: Any, depth: int = 4, seen: set[int] | None = None
+) -> list[str]:
+    """sha256 prefixes of every Generator state reachable from ``obj``.
+
+    Bounded, cycle-safe recursion through dicts, sequences and instance
+    ``__dict__``s — enough to reach a generator smuggled in through
+    ``manager_kwargs`` or stored on the manager at construction.
+    """
+    if seen is None:
+        seen = set()
+    if depth < 0 or id(obj) in seen:
+        return []
+    seen.add(id(obj))
+    if isinstance(obj, np.random.Generator):
+        state = repr(obj.bit_generator.state)
+        return [hashlib.sha256(state.encode()).hexdigest()[:16]]
+    out: list[str] = []
+    if isinstance(obj, dict):
+        for value in obj.values():
+            out.extend(_generator_digests(value, depth - 1, seen))
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for value in obj:
+            out.extend(_generator_digests(value, depth - 1, seen))
+    elif hasattr(obj, "__dict__"):
+        for value in vars(obj).values():
+            out.extend(_generator_digests(value, depth - 1, seen))
+    return out
+
+
+def active() -> bool:
+    """Whether the process-contract wrappers are currently installed."""
+    return bool(_PATCHED)
+
+
+def activate() -> int:
+    """Install the wrappers; returns the number of patched slots.
+
+    Idempotent.  Must run in the parent *before* the fabric forks so
+    children inherit the instrumented classes.
+    """
+    if _PATCHED:
+        return len(_PATCHED)
+    from repro.serve.fabric import ShardWorker
+    from repro.serve.shm import SharedCsiRing
+
+    ring_init = SharedCsiRing.__init__
+    ring_close = SharedCsiRing.close
+    worker_init = ShardWorker.__init__
+
+    def checked_ring_init(self: Any, *args: Any, **kwargs: Any) -> None:
+        ring_init(self, *args, **kwargs)
+        _record_event(
+            ShmEvent(
+                kind="acquire",
+                name=self.name,
+                owner=self.owner,
+                unlink=None,
+                pid=os.getpid(),
+            )
+        )
+
+    def checked_ring_close(
+        self: Any, unlink: bool | None = None
+    ) -> None:
+        # Capture identity before the original drops the views/mapping.
+        name = self.name
+        owner = self.owner
+        ring_close(self, unlink)
+        _record_event(
+            ShmEvent(
+                kind="release",
+                name=name,
+                owner=owner,
+                unlink=unlink if unlink is not None else owner,
+                pid=os.getpid(),
+            )
+        )
+
+    def checked_worker_init(self: Any, *args: Any, **kwargs: Any) -> None:
+        worker_init(self, *args, **kwargs)
+        ring = getattr(self, "_ring", None)
+        if len(_WORKERS) < _MAX_RECORDS:
+            _WORKERS.append(
+                WorkerRecord(
+                    pid=os.getpid(),
+                    ring_name=getattr(ring, "name", ""),
+                    rng_digests=tuple(sorted(_generator_digests(self))),
+                )
+            )
+
+    for owner_cls, attr, wrapper, original in (
+        (SharedCsiRing, "__init__", checked_ring_init, ring_init),
+        (SharedCsiRing, "close", checked_ring_close, ring_close),
+        (ShardWorker, "__init__", checked_worker_init, worker_init),
+    ):
+        wrapper.__vihot_pcontract__ = True  # type: ignore[attr-defined]
+        setattr(owner_cls, attr, wrapper)
+        _PATCHED.append((owner_cls, attr, original))
+    return len(_PATCHED)
+
+
+def deactivate() -> None:
+    """Restore every patched method to the original."""
+    while _PATCHED:
+        owner_cls, attr, original = _PATCHED.pop()
+        current = getattr(owner_cls, attr, None)
+        if getattr(current, "__vihot_pcontract__", False):
+            setattr(owner_cls, attr, original)
+
+
+def records() -> tuple[ShmEvent, ...]:
+    """Shm lifecycle events recorded since the last :func:`clear_records`."""
+    return tuple(_EVENTS)
+
+
+def worker_records() -> tuple[WorkerRecord, ...]:
+    """Worker-entrypoint records since the last :func:`clear_records`."""
+    return tuple(_WORKERS)
+
+
+def clear_records() -> None:
+    del _EVENTS[:]
+    del _WORKERS[:]
+
+
+def summary() -> dict[str, int]:
+    """Event counts: acquires, releases, unlinks, workers, leak suspects."""
+    acquires = sum(1 for e in _EVENTS if e.kind == "acquire")
+    releases = sum(1 for e in _EVENTS if e.kind == "release")
+    unlinks = sum(1 for e in _EVENTS if e.kind == "release" and e.unlink)
+    return {
+        "acquires": acquires,
+        "releases": releases,
+        "unlinks": unlinks,
+        "workers": len(_WORKERS),
+        "unreleased": len(_unreleased_names()),
+    }
+
+
+def _unreleased_names() -> list[str]:
+    released = {e.name for e in _EVENTS if e.kind == "release"}
+    return sorted(
+        {e.name for e in _EVENTS if e.kind == "acquire"} - released
+    )
+
+
+def _segment_exists(name: str) -> bool:
+    """Whether the kernel still knows ``name`` (the fork-safe probe)."""
+    try:
+        probe = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    probe.close()
+    return True
+
+
+def assert_balanced() -> None:
+    """Every acquired segment was released (ledger, or kernel probe).
+
+    Raises :class:`ContractViolation` naming the leaked segments: those
+    with neither a recorded release nor a kernel that has forgotten the
+    name.  Call after the fabric under test has been closed.
+    """
+    leaked = [name for name in _unreleased_names() if _segment_exists(name)]
+    if leaked:
+        raise ContractViolation(
+            "shared-memory segments acquired but never released "
+            f"(still attachable): {', '.join(leaked)} — every "
+            "SharedCsiRing must reach close()/unlink() on shutdown and "
+            "failover paths (VH602's runtime half)"
+        )
+
+
+def assert_worker_divergence() -> None:
+    """No two workers share an RNG stream state or a CSI ring.
+
+    A shared stream digest is the VH604 failure mode observed live: two
+    workers would draw identical "random" sequences.  A shared ring
+    means two workers consuming one queue — double-serving.  Vacuous
+    when fewer than two workers were recorded in this process (forked
+    workers record in their own memory).
+    """
+    seen_digest: dict[str, int] = {}
+    seen_ring: dict[str, int] = {}
+    for worker_index, record in enumerate(_WORKERS):
+        for digest in record.rng_digests:
+            if digest in seen_digest:
+                raise ContractViolation(
+                    f"workers #{seen_digest[digest]} and #{worker_index} "
+                    f"share RNG stream state {digest}: per-worker draws "
+                    "are identical (VH604's runtime half) — derive a "
+                    "distinct seed per worker"
+                )
+            seen_digest[digest] = worker_index
+        if record.ring_name:
+            if record.ring_name in seen_ring:
+                raise ContractViolation(
+                    f"workers #{seen_ring[record.ring_name]} and "
+                    f"#{worker_index} share CSI ring "
+                    f"{record.ring_name}: one queue, two consumers"
+                )
+            seen_ring[record.ring_name] = worker_index

@@ -224,6 +224,7 @@ def cmd_report(args) -> int:
 
 def cmd_lint(args) -> int:
     from repro.analysis import (
+        concurrency_rules,
         dataflow_rules,
         default_rules,
         run_analysis,
@@ -236,6 +237,7 @@ def cmd_lint(args) -> int:
         default_rules()
         + (dataflow_rules() if args.dataflow else [])
         + (shape_rules() if args.shapes else [])
+        + (concurrency_rules() if args.concurrency else [])
     )
     if args.list_rules:
         for rule in rules:
@@ -249,6 +251,7 @@ def cmd_lint(args) -> int:
         use_default_allowlist=not args.no_default_allowlist,
         dataflow=args.dataflow,
         shapes=args.shapes,
+        concurrency=args.concurrency,
         cache_dir=args.cache_dir,
     )
     elapsed = time.perf_counter() - start
@@ -275,10 +278,17 @@ def cmd_lint(args) -> int:
 
 def _explain_rule(rule_id: str) -> int:
     """Print one rule's full documentation (``vihot lint --explain VH502``)."""
-    from repro.analysis import dataflow_rules, default_rules, shape_rules
+    from repro.analysis import (
+        concurrency_rules,
+        dataflow_rules,
+        default_rules,
+        shape_rules,
+    )
 
     wanted = rule_id.strip().upper()
-    for rule in default_rules() + dataflow_rules() + shape_rules():
+    for rule in (
+        default_rules() + dataflow_rules() + shape_rules() + concurrency_rules()
+    ):
         if rule.id != wanted:
             continue
         print(f"{rule.id} {rule.name} [{rule.severity}]")
@@ -293,7 +303,7 @@ def _explain_rule(rule_id: str) -> int:
         return 0
     print(
         f"vihot lint: unknown rule {rule_id!r}; see --list-rules "
-        "(add --dataflow/--shapes for the opt-in sets)",
+        "(add --dataflow/--shapes/--concurrency for the opt-in sets)",
         file=sys.stderr,
     )
     return 2
@@ -679,6 +689,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the array shape/dtype VH5xx rules "
         "(symbolic axes, batch-axis mixups, silent downcasts)",
+    )
+    p.add_argument(
+        "--concurrency",
+        action="store_true",
+        help="also run the process-safety VH6xx rules (fork-inherited "
+        "state, shared-memory lifecycle, pickle boundaries, RNG leakage, "
+        "fork-only APIs)",
     )
     p.add_argument(
         "--explain",

@@ -158,6 +158,9 @@ def _worker_main(
             conn.send(("err", f"{type(exc).__name__}: {exc}"))
         else:
             conn.send(("ok", result))
+    # Drop this process's mapping (never the segment itself: the parent
+    # owns the name and unlinks it on shutdown/failover).
+    ring.close(unlink=False)
     conn.close()
 
 
@@ -334,16 +337,28 @@ class ServingFabric:
         )
         slots = ring_slots if ring_slots is not None else queue_depth
         self._shards: dict[int, _InlineShard | _ProcessShard] = {}
-        for index in range(workers):
-            ring = SharedCsiRing(slots, csi_shape)
-            if processes:
-                self._shards[index] = _ProcessShard(
-                    index, ring, dict(manager_kwargs)
-                )
-            else:
-                self._shards[index] = _InlineShard(
-                    index, ring, ShardWorker(ring, dict(manager_kwargs))
-                )
+        try:
+            for index in range(workers):
+                ring = SharedCsiRing(slots, csi_shape)
+                try:
+                    if processes:
+                        self._shards[index] = _ProcessShard(
+                            index, ring, dict(manager_kwargs)
+                        )
+                    else:
+                        self._shards[index] = _InlineShard(
+                            index, ring, ShardWorker(ring, dict(manager_kwargs))
+                        )
+                except BaseException:
+                    # The ring has no owning shard yet: release it here
+                    # or the segment outlives the failed constructor.
+                    ring.close(unlink=True)
+                    raise
+        except BaseException:
+            for shard in self._shards.values():
+                shard.kill()
+                shard.ring.close(unlink=True)
+            raise
 
         m = MetricsRegistry()
         self._metrics = m

@@ -223,7 +223,14 @@ class SharedCsiRing:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self, unlink: bool | None = None) -> None:
-        """Release this process's mapping; the owner also unlinks."""
+        """Release this process's mapping; the owner also unlinks.
+
+        Idempotent, and the unlink decision is independent of whether
+        the mapping could be dropped: a ``BufferError`` (an exported
+        view still alive somewhere) must not leak the *segment* — the
+        name is removed regardless and the mapping goes when the last
+        view dies.
+        """
         # Views into the buffer must go before the mapping can close.
         for attr in ("_header", "_sid_lens", "_sids", "_times", "_csi"):
             if hasattr(self, attr):
@@ -231,7 +238,7 @@ class SharedCsiRing:
         try:
             self._shm.close()
         except BufferError:  # pragma: no cover - exported views still live
-            return
+            pass
         if unlink if unlink is not None else self.owner:
             try:
                 self._shm.unlink()

@@ -1,0 +1,20 @@
+"""Clean twin of vh601_trigger: the worker re-initialises the state post-fork."""
+
+from multiprocessing import get_context
+
+_CACHE = {}
+
+
+def _worker_main(conn):
+    global _CACHE
+    _CACHE = {}
+    _CACHE["hits"] = _CACHE.get("hits", 0) + 1
+    conn.send(_CACHE["hits"])
+
+
+def launch():
+    ctx = get_context("fork")
+    parent, child = ctx.Pipe()
+    proc = ctx.Process(target=_worker_main, args=(child,), daemon=True)
+    proc.start()
+    return parent, proc

@@ -1,0 +1,18 @@
+"""Trigger: worker-reachable code mutates fork-inherited module state (VH601)."""
+
+from multiprocessing import get_context
+
+_CACHE = {}
+
+
+def _worker_main(conn):
+    _CACHE["hits"] = _CACHE.get("hits", 0) + 1
+    conn.send(_CACHE["hits"])
+
+
+def launch():
+    ctx = get_context("fork")
+    parent, child = ctx.Pipe()
+    proc = ctx.Process(target=_worker_main, args=(child,), daemon=True)
+    proc.start()
+    return parent, proc

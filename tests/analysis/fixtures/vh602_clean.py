@@ -1,0 +1,12 @@
+"""Clean twin of vh602_trigger: the handle is closed and unlinked on exit."""
+
+from multiprocessing import shared_memory
+
+
+def acquire_segment(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    try:
+        return bytes(shm.buf[:4])
+    finally:
+        shm.close()
+        shm.unlink()

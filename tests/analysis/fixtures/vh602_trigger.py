@@ -1,0 +1,8 @@
+"""Trigger: a shared-memory segment is acquired and never released (VH602)."""
+
+from multiprocessing import shared_memory
+
+
+def acquire_segment(size):
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    return shm.name

@@ -1,0 +1,10 @@
+"""Clean twin of vh603_trigger: plain data crosses; the far side rebuilds."""
+
+from multiprocessing.connection import Connection
+
+import numpy as np
+
+
+def publish(conn: Connection, seed):
+    rng = np.random.default_rng(seed)
+    conn.send((int(seed), float(rng.standard_normal())))

@@ -1,0 +1,10 @@
+"""Trigger: an RNG generator is shipped across a pickle boundary (VH603)."""
+
+from multiprocessing.connection import Connection
+
+import numpy as np
+
+
+def publish(conn: Connection, seed):
+    rng = np.random.default_rng(seed)
+    conn.send(rng)

@@ -1,0 +1,23 @@
+"""Clean twin of vh604_trigger: each worker derives its own stream post-fork."""
+
+from multiprocessing import get_context
+
+import numpy as np
+
+_BASE_SEED = 1234
+
+
+def _worker_main(conn, worker_index):
+    rng = np.random.default_rng(_BASE_SEED + worker_index)
+    conn.send(float(rng.standard_normal()))
+
+
+def launch(n):
+    ctx = get_context("fork")
+    procs = []
+    for index in range(n):
+        parent, child = ctx.Pipe()
+        procs.append(
+            ctx.Process(target=_worker_main, args=(child, index), daemon=True)
+        )
+    return procs

@@ -1,0 +1,20 @@
+"""Trigger: a pre-fork module-level generator feeds every worker (VH604)."""
+
+from multiprocessing import get_context
+
+import numpy as np
+
+_RNG = np.random.default_rng(1234)
+
+
+def _worker_main(conn):
+    conn.send(float(_RNG.standard_normal()))
+
+
+def launch(n):
+    ctx = get_context("fork")
+    procs = []
+    for _ in range(n):
+        parent, child = ctx.Pipe()
+        procs.append(ctx.Process(target=_worker_main, args=(child,), daemon=True))
+    return procs

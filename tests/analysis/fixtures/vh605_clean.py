@@ -1,0 +1,16 @@
+"""Clean twin of vh605_trigger: pinned context, module-level target, daemon upfront."""
+
+from multiprocessing import get_context
+
+
+def _worker_main(conn):
+    conn.close()
+
+
+def serve_forever():
+    ctx = get_context("fork")
+    lock = ctx.Lock()
+    parent, child = ctx.Pipe()
+    proc = ctx.Process(target=_worker_main, args=(child,), daemon=True)
+    proc.start()
+    return parent, lock, proc

@@ -1,0 +1,11 @@
+"""Trigger: fork-only multiprocessing API use that breaks under spawn (VH605)."""
+
+import multiprocessing
+
+
+def serve_forever(handler):
+    lock = multiprocessing.Lock()
+    proc = multiprocessing.Process(target=lambda: handler(lock))
+    proc.start()
+    proc.daemon = True
+    return proc

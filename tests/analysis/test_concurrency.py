@@ -1,0 +1,223 @@
+"""Golden-fixture and behaviour tests for the VH6xx process-safety rules."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer, concurrency_rules
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+CONCURRENCY_FIXTURES = {
+    "VH601": FIXTURES / "vh601",
+    "VH602": FIXTURES / "vh602",
+    "VH603": FIXTURES / "vh603",
+    "VH604": FIXTURES / "vh604",
+    "VH605": FIXTURES / "vh605",
+}
+
+
+def analyze_file(path):
+    return Analyzer(concurrency_rules()).check_file(path)
+
+
+def analyze_source(src):
+    return Analyzer(concurrency_rules()).check_source(src)
+
+
+def test_every_concurrency_rule_has_a_fixture():
+    assert {r.id for r in concurrency_rules()} == set(CONCURRENCY_FIXTURES)
+    for stem in CONCURRENCY_FIXTURES.values():
+        assert stem.with_name(stem.name + "_trigger.py").exists()
+        assert stem.with_name(stem.name + "_clean.py").exists()
+
+
+@pytest.mark.parametrize("rule_id", sorted(CONCURRENCY_FIXTURES))
+def test_trigger_fixture_fires_exactly_its_rule(rule_id):
+    stem = CONCURRENCY_FIXTURES[rule_id]
+    findings = analyze_file(stem.with_name(stem.name + "_trigger.py"))
+    assert findings, f"{rule_id} trigger fixture produced no findings"
+    assert {f.rule for f in findings} == {rule_id}
+
+
+@pytest.mark.parametrize("rule_id", sorted(CONCURRENCY_FIXTURES))
+def test_clean_fixture_is_silent(rule_id):
+    stem = CONCURRENCY_FIXTURES[rule_id]
+    findings = analyze_file(stem.with_name(stem.name + "_clean.py"))
+    assert findings == []
+
+
+def test_vh601_trace_names_the_entrypoint_and_the_state():
+    stem = CONCURRENCY_FIXTURES["VH601"]
+    (finding,) = analyze_file(stem.with_name(stem.name + "_trigger.py"))
+    assert "_worker_main" in finding.message
+    assert "_CACHE" in finding.message
+    assert finding.trace, "VH601 findings must carry a reachability trace"
+    assert any("module scope" in step for step in finding.trace)
+
+
+def test_vh601_reaches_through_the_call_graph():
+    """The mutation need not sit in the entrypoint itself: a helper two
+    calls deep is still worker-reachable."""
+    findings = analyze_source(
+        "_SEEN = {}\n"
+        "\n"
+        "def _bump(key):\n"
+        "    _SEEN[key] = _SEEN.get(key, 0) + 1\n"
+        "\n"
+        "def _handle(cmd):\n"
+        "    _bump(cmd[0])\n"
+        "\n"
+        "def _worker_main(conn):\n"
+        "    _handle(conn.recv())\n"
+    )
+    assert [f.rule for f in findings] == ["VH601"]
+    assert "_bump" in findings[0].message
+
+
+def test_vh602_release_through_constructor_ownership_is_clean():
+    """The fabric pattern: the acquiring function hands the ring to a
+    shard object, and shutdown code releases `shard.ring` — the escape
+    analysis must follow the handle through the constructor."""
+    findings = analyze_source(
+        "from multiprocessing import shared_memory\n"
+        "\n"
+        "class Shard:\n"
+        "    def __init__(self, ring):\n"
+        "        self.ring = ring\n"
+        "\n"
+        "class Fabric:\n"
+        "    def __init__(self, n):\n"
+        "        self.shards = []\n"
+        "        for _ in range(n):\n"
+        "            ring = shared_memory.SharedMemory(create=True, size=64)\n"
+        "            self.shards.append(Shard(ring))\n"
+        "\n"
+        "    def close(self):\n"
+        "        for shard in self.shards:\n"
+        "            shard.ring.close()\n"
+        "            shard.ring.unlink()\n"
+    )
+    assert findings == []
+
+
+def test_vh602_attr_acquisition_without_release_fires():
+    findings = analyze_source(
+        "from multiprocessing import shared_memory\n"
+        "\n"
+        "class Holder:\n"
+        "    def __init__(self, size):\n"
+        "        self._seg = shared_memory.SharedMemory(create=True, size=size)\n"
+    )
+    assert [f.rule for f in findings] == ["VH602"]
+    assert "_seg" in findings[0].message
+
+
+def test_vh603_fork_context_process_args_are_not_flagged():
+    """The fabric deliberately inherits rings/locks by fork: args of a
+    pinned-fork Process never pickle, so nothing to flag."""
+    findings = analyze_source(
+        "from multiprocessing import get_context, shared_memory\n"
+        "\n"
+        "def _worker_main(conn, seg):\n"
+        "    seg.close()\n"
+        "    conn.close()\n"
+        "\n"
+        "def launch(conn):\n"
+        "    ctx = get_context('fork')\n"
+        "    seg = shared_memory.SharedMemory(create=True, size=64)\n"
+        "    proc = ctx.Process(target=_worker_main, args=(conn, seg), daemon=True)\n"
+        "    proc.start()\n"
+        "    seg.close()\n"
+        "    seg.unlink()\n"
+        "    return proc\n"
+    )
+    assert findings == []
+
+
+def test_vh603_spawn_context_process_args_are_flagged():
+    findings = analyze_source(
+        "from multiprocessing import get_context\n"
+        "import threading\n"
+        "\n"
+        "def _worker_main(lock):\n"
+        "    return lock\n"
+        "\n"
+        "def launch():\n"
+        "    ctx = get_context('spawn')\n"
+        "    lock = threading.Lock()\n"
+        "    proc = ctx.Process(target=_worker_main, args=(lock,), daemon=True)\n"
+        "    proc.start()\n"
+        "    return proc\n"
+    )
+    assert [f.rule for f in findings] == ["VH603"]
+    assert "spawn" in findings[0].message
+
+
+def test_vh604_generator_shipped_to_worker_loop_fires():
+    findings = analyze_source(
+        "from multiprocessing import get_context\n"
+        "import numpy as np\n"
+        "\n"
+        "def _run(rng):\n"
+        "    return rng\n"
+        "\n"
+        "def launch(n):\n"
+        "    ctx = get_context('fork')\n"
+        "    rng = np.random.default_rng(7)\n"
+        "    procs = []\n"
+        "    for _ in range(n):\n"
+        "        procs.append(ctx.Process(target=_run, args=(rng,)))\n"
+        "    return procs\n"
+    )
+    assert {f.rule for f in findings} == {"VH604"}
+    assert "identical" in findings[0].message
+
+
+def test_vh605_pinned_fork_context_is_allowed():
+    """get_context('fork') is the fabric's documented contract — only
+    *unpinned* / accidental start methods are VH605 material."""
+    findings = analyze_source(
+        "from multiprocessing import get_context\n"
+        "\n"
+        "def _worker_main(conn):\n"
+        "    conn.close()\n"
+        "\n"
+        "def launch(conn):\n"
+        "    ctx = get_context('fork')\n"
+        "    lock = ctx.Lock()\n"
+        "    proc = ctx.Process(target=_worker_main, args=(conn,), daemon=True)\n"
+        "    proc.start()\n"
+        "    return proc, lock\n"
+    )
+    assert findings == []
+
+
+def test_vh605_os_fork_fires():
+    findings = analyze_source(
+        "import os\n"
+        "\n"
+        "def serve():\n"
+        "    return os.fork()\n"
+    )
+    assert [f.rule for f in findings] == ["VH605"]
+    assert "os.fork" in findings[0].message
+
+
+def test_noqa_suppresses_concurrency_findings():
+    findings = analyze_source(
+        "import os\n"
+        "\n"
+        "def serve():\n"
+        "    return os.fork()  # vihot: noqa[VH605]\n"
+    )
+    assert findings == []
+
+
+def test_rule_catalogue_is_documented():
+    for rule in concurrency_rules():
+        assert rule.id.startswith("VH6")
+        assert rule.name
+        assert rule.description
+        assert rule.rationale
+        assert rule.example, f"{rule.id} needs an --explain example"

@@ -23,6 +23,17 @@ def pytest_addoption(parser):
             "calls diverge from the declared :shape/:dtype contracts"
         ),
     )
+    parser.addoption(
+        "--process-contracts",
+        action="store_true",
+        default=False,
+        help=(
+            "wrap SharedCsiRing and the worker entrypoint "
+            "(repro.analysis.process_contracts) and fail the session if "
+            "any acquired shm segment is never released or two workers "
+            "share an RNG stream/ring (VH6xx's runtime half)"
+        ),
+    )
 
 
 def pytest_configure(config):
@@ -31,22 +42,58 @@ def pytest_configure(config):
 
         runtime_contracts.clear_records()
         runtime_contracts.activate()
+    if config.getoption("--process-contracts"):
+        from repro.analysis import process_contracts
+
+        process_contracts.clear_records()
+        process_contracts.activate()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not session.config.getoption("--process-contracts", default=False):
+        return
+    from repro.analysis import process_contracts
+
+    try:
+        process_contracts.assert_balanced()
+        process_contracts.assert_worker_divergence()
+    except process_contracts.ContractViolation as exc:
+        session.config._process_contract_violation = str(exc)
+        session.exitstatus = 1
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
-    if not config.getoption("--runtime-contracts"):
-        return
-    from repro.analysis import runtime_contracts
+    if config.getoption("--runtime-contracts"):
+        from repro.analysis import runtime_contracts
 
-    counts = runtime_contracts.summary()
-    terminalreporter.write_sep("-", "runtime shape/dtype contracts")
-    if not counts:
+        counts = runtime_contracts.summary()
+        terminalreporter.write_sep("-", "runtime shape/dtype contracts")
+        if not counts:
+            terminalreporter.write_line(
+                "no annotated boundary was crossed (suspicious: check "
+                "CONTRACT_BOUNDARIES)"
+            )
+        for boundary in sorted(counts):
+            terminalreporter.write_line(f"{boundary}: {counts[boundary]} calls ok")
+    if config.getoption("--process-contracts", default=False):
+        from repro.analysis import process_contracts
+
+        stats = process_contracts.summary()
+        terminalreporter.write_sep("-", "runtime process-safety contracts")
+        violation = getattr(config, "_process_contract_violation", None)
+        if violation is not None:
+            terminalreporter.write_line(f"VIOLATION: {violation}")
         terminalreporter.write_line(
-            "no annotated boundary was crossed (suspicious: check "
-            "CONTRACT_BOUNDARIES)"
+            f"shm acquires={stats['acquires']} releases={stats['releases']} "
+            f"unlinks={stats['unlinks']} workers={stats['workers']} "
+            f"unreleased-in-ledger={stats['unreleased']}"
+            + ("" if violation is None else " [FAIL]")
         )
-    for boundary in sorted(counts):
-        terminalreporter.write_line(f"{boundary}: {counts[boundary]} calls ok")
+        if stats["acquires"] == 0:
+            terminalreporter.write_line(
+                "no SharedCsiRing was acquired (suspicious: did the "
+                "fabric suites run?)"
+            )
 
 
 def pytest_unconfigure(config):
@@ -54,6 +101,10 @@ def pytest_unconfigure(config):
         from repro.analysis import runtime_contracts
 
         runtime_contracts.deactivate()
+    if config.getoption("--process-contracts", default=False):
+        from repro.analysis import process_contracts
+
+        process_contracts.deactivate()
 
 
 SMALL = ScenarioConfig(

@@ -287,6 +287,61 @@ def test_kill_worker_process_mode() -> None:
             fabric.kill_worker(survivor)  # never kill the last shard
 
 
+def test_kill_worker_mid_stream_releases_all_segments() -> None:
+    """Failover must not leak shared memory: kill a forked worker in the
+    middle of its stream, keep serving, shut down — and every segment
+    the fabric ever acquired must be gone from the kernel (attaching by
+    name raises FileNotFoundError)."""
+    from multiprocessing import shared_memory
+
+    from repro.analysis import process_contracts
+
+    was_active = process_contracts.active()
+    if not was_active:
+        process_contracts.activate()
+    before = len(process_contracts.records())
+    try:
+        cabins = _cabins(8)
+        fabric = ServingFabric(CONFIG, workers=4, processes=True, **MANAGER_KWARGS)
+        try:
+            for cabin in cabins:
+                fabric.open_session(
+                    cabin.cabin_id,
+                    fingerprint=SYNTHETIC_FINGERPRINT,
+                    build_profile=lambda: PROFILE,
+                )
+            half = len(cabins[0].times) // 2
+            for k in range(half):
+                t = float(cabins[0].times[k])
+                for cabin in cabins:
+                    fabric.ingest(cabin.cabin_id, t, cabin.csi_at(k))
+            fabric.tick()
+            victim = fabric.router.shards[0]
+            orphans = fabric.kill_worker(victim)
+            assert orphans, "kill hit an empty shard — pick a livelier victim"
+            for k in range(half, len(cabins[0].times)):
+                t = float(cabins[0].times[k])
+                for cabin in cabins:
+                    fabric.ingest(cabin.cabin_id, t, cabin.csi_at(k))
+            fabric.tick()
+        finally:
+            fabric.close()
+        acquired = {
+            e.name
+            for e in process_contracts.records()[before:]
+            if e.kind == "acquire"
+        }
+        assert len(acquired) == 4, "expected one ring per worker"
+        process_contracts.assert_balanced()
+        for name in acquired:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+    finally:
+        if not was_active:
+            process_contracts.deactivate()
+            process_contracts.clear_records()
+
+
 def test_merge_snapshots_sums_and_merges() -> None:
     worker_a = {
         "counters": {"packets_ingested": 3, "estimates_served": 1},
